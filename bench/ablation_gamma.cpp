@@ -1,0 +1,67 @@
+// Ablation of the LSE smoothing parameter gamma (paper §3.2): accuracy of
+// the smoothed WNS/TNS against exact STA, and the placement outcome when
+// optimizing with each gamma.  The paper sets gamma ~ 100 ps and notes the
+// smoothness/accuracy trade-off; this bench quantifies both sides.
+//
+// Flags: --scale N (default 400), --iters N (default 600)
+#include <cstdio>
+
+#include "bench_util.h"
+
+using namespace dtp;
+
+int main(int argc, char** argv) {
+  const int scale = bench::arg_int(argc, argv, "--scale", 400);
+  const int iters = bench::arg_int(argc, argv, "--iters", 600);
+  const liberty::CellLibrary lib = liberty::make_synthetic_library();
+  const auto preset = workload::miniblue_presets()[2];  // miniblue4
+  const auto wopts = workload::miniblue_options(preset, scale);
+
+  std::printf("Ablation: LSE smoothing gamma (paper Sec. 3.2), %s 1/%d\n\n",
+              preset.name, scale);
+
+  // Part 1: approximation error at a fixed placement.
+  {
+    netlist::Design design = workload::generate_design(lib, wopts, preset.name);
+    sta::TimingGraph graph(design.netlist);
+    sta::Timer hard(design, graph);
+    const auto mh = hard.evaluate(design.cell_x, design.cell_y);
+    ConsoleTable t({"gamma(ns)", "WNS_smooth", "WNS_exact", "WNS err%",
+                    "TNS_smooth", "TNS_exact", "TNS err%"});
+    for (double gamma : {0.2, 0.1, 0.05, 0.02, 0.01, 0.005}) {
+      sta::TimerOptions sopts;
+      sopts.mode = sta::AggMode::Smooth;
+      sopts.gamma = gamma;
+      sta::Timer smooth(design, graph, sopts);
+      const auto ms = smooth.evaluate(design.cell_x, design.cell_y);
+      t.add_row({fmt(gamma, 3), fmt(ms.wns_smooth, 4), fmt(mh.wns, 4),
+                 fmt(100.0 * std::abs(ms.wns_smooth - mh.wns) / std::abs(mh.wns), 2),
+                 fmt(ms.tns_smooth, 2), fmt(mh.tns, 2),
+                 fmt(100.0 * std::abs(ms.tns_smooth - mh.tns) / std::abs(mh.tns), 2)});
+    }
+    std::printf("-- smoothed vs exact metrics at the initial placement --\n");
+    t.print();
+    std::printf("(LSE upper-bounds max: smoothed arrival times are pessimistic;"
+                " error shrinks with gamma.)\n\n");
+  }
+
+  // Part 2: end-to-end optimization outcome per gamma.
+  {
+    ConsoleTable t({"gamma(ns)", "final WNS", "final TNS", "HPWL", "iters"});
+    for (double gamma : {0.2, 0.05, 0.01}) {
+      placer::GlobalPlacerOptions popts;
+      popts.max_iters = iters;
+      popts.gamma_timing = gamma;
+      popts.timing_start_iter = 50;
+      const auto res = bench::run_flow(lib, wopts, preset.name,
+                                       placer::PlacerMode::DiffTiming, popts);
+      t.add_row({fmt(gamma, 3), fmt(res.timing.wns, 4), fmt(res.timing.tns, 2),
+                 fmt(res.place.hpwl * 1e-3, 3), fmt_int(res.place.iterations)});
+    }
+    std::printf("-- placement outcome when optimizing with each gamma --\n");
+    t.print();
+    std::printf("(Too-large gamma blurs criticality; too-small gamma degrades "
+                "to one-hot max gradients and oscillates — paper Sec. 3.2.)\n");
+  }
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Ablation of the placement optimizer: Nesterov-BB (the ePlace/DREAMPlace
+// scheme the paper runs on) versus Adam, in wirelength-only and
+// differentiable-timing modes.
+//
+// Flags: --scale N (default 400), --iters N (default 700)
+#include <cstdio>
+
+#include "bench_util.h"
+
+using namespace dtp;
+
+int main(int argc, char** argv) {
+  const int scale = bench::arg_int(argc, argv, "--scale", 400);
+  const int iters = bench::arg_int(argc, argv, "--iters", 700);
+  const liberty::CellLibrary lib = liberty::make_synthetic_library();
+  const auto preset = workload::miniblue_presets()[2];  // miniblue4
+  const auto wopts = workload::miniblue_options(preset, scale);
+
+  std::printf("Ablation: optimizer (Nesterov-BB vs Adam), %s 1/%d\n\n",
+              preset.name, scale);
+  ConsoleTable t({"optimizer", "mode", "final WNS", "final TNS", "HPWL",
+                  "overflow", "iters", "sec"});
+  for (int timing = 0; timing < 2; ++timing) {
+    for (int adam = 0; adam < 2; ++adam) {
+      placer::GlobalPlacerOptions o;
+      o.max_iters = iters;
+      o.timing_start_iter = 50;
+      o.use_adam = adam != 0;
+      const auto res = bench::run_flow(
+          lib, wopts, preset.name,
+          timing ? placer::PlacerMode::DiffTiming
+                 : placer::PlacerMode::WirelengthOnly,
+          o);
+      t.add_row({adam ? "Adam" : "Nesterov-BB",
+                 timing ? "diff-timing" : "wirelength",
+                 fmt(res.timing.wns, 4), fmt(res.timing.tns, 2),
+                 fmt(res.place.hpwl * 1e-3, 3), fmt(res.place.overflow, 3),
+                 fmt_int(res.place.iterations), fmt(res.runtime_sec, 2)});
+    }
+  }
+  t.print();
+  return 0;
+}

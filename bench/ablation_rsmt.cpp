@@ -1,0 +1,67 @@
+// Ablation of the RSMT generator (paper §3.4.1: "FLUTE can be replaced by
+// other RSMT generation algorithms in our framework"): plain rectilinear MST
+// versus iterated-1-Steiner-refined trees — wirelength quality, timer impact,
+// and construction cost.
+//
+// Flags: --nets N (default 20000 random nets for the quality sweep)
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/rng.h"
+#include "rsmt/rsmt_builder.h"
+
+using namespace dtp;
+
+int main(int argc, char** argv) {
+  const int num_nets = bench::arg_int(argc, argv, "--nets", 20000);
+  Rng rng(12345);
+
+  // Part 1: tree-length quality by net degree.
+  std::printf("Ablation: RSMT construction (paper Sec. 3.4.1)\n\n");
+  std::printf("-- tree length vs plain RMST over %d random nets --\n", num_nets);
+  ConsoleTable t({"degree", "nets", "avg RMST len", "avg RSMT len", "saving %",
+                  "us/net RMST", "us/net RSMT"});
+  for (int degree : {3, 4, 6, 8, 12, 16}) {
+    double len_rmst = 0.0, len_rsmt = 0.0;
+    const int n = num_nets / degree;
+    std::vector<std::vector<Vec2>> nets(static_cast<size_t>(n));
+    for (auto& pins : nets) {
+      pins.resize(static_cast<size_t>(degree));
+      for (auto& p : pins) p = {rng.uniform(0, 100), rng.uniform(0, 100)};
+    }
+    Stopwatch c1;
+    for (const auto& pins : nets) len_rmst += rsmt::build_rmst(pins, 0).length();
+    const double t_rmst = c1.elapsed_sec();
+    Stopwatch c2;
+    for (const auto& pins : nets) len_rsmt += rsmt::build_rsmt(pins, 0).length();
+    const double t_rsmt = c2.elapsed_sec();
+    t.add_row({fmt_int(degree), fmt_int(n), fmt(len_rmst / n, 2),
+               fmt(len_rsmt / n, 2), fmt(100.0 * (1.0 - len_rsmt / len_rmst), 2),
+               fmt(1e6 * t_rmst / n, 2), fmt(1e6 * t_rsmt / n, 2)});
+  }
+  t.print();
+
+  // Part 2: end-to-end placement with and without 1-Steiner refinement.
+  std::printf("\n-- full diff-timing placement, refined trees vs plain RMST --\n");
+  const liberty::CellLibrary lib = liberty::make_synthetic_library();
+  const auto preset = workload::miniblue_presets()[2];
+  const auto wopts = workload::miniblue_options(preset, 400);
+  ConsoleTable t2({"trees", "final WNS", "final TNS", "HPWL", "GP sec"});
+  for (int refined = 1; refined >= 0; --refined) {
+    placer::GlobalPlacerOptions o;
+    o.max_iters = 600;
+    o.timing_start_iter = 50;
+    o.mode = placer::PlacerMode::DiffTiming;
+    o.rsmt.enable_1steiner = refined != 0;
+    netlist::Design design = workload::generate_design(lib, wopts, preset.name);
+    sta::TimingGraph graph(design.netlist);
+    placer::GlobalPlacer gp(design, graph, o);
+    const auto res = gp.run();
+    sta::Timer signoff(design, graph);
+    const auto m = signoff.evaluate(design.cell_x, design.cell_y);
+    t2.add_row({refined ? "1-Steiner refined" : "plain RMST", fmt(m.wns, 4),
+                fmt(m.tns, 2), fmt(res.hpwl * 1e-3, 3), fmt(res.runtime_sec, 2)});
+  }
+  t2.print();
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Ablation of the differentiable wire delay model (paper §3.4.2: the
+// framework "is generalizable to other more complex interconnect delay
+// models ... as long as the model can be written in analytical form"):
+// Elmore (first moment, the paper's model) vs D2M (two-moment metric),
+// both optimized through the same adjoint machinery with different seeds,
+// each signed off by an Elmore *and* a D2M exact timer.
+//
+// Flags: --scale N (default 400), --iters N (default 700)
+#include <cstdio>
+
+#include "bench_util.h"
+
+using namespace dtp;
+
+int main(int argc, char** argv) {
+  const int scale = bench::arg_int(argc, argv, "--scale", 400);
+  const int iters = bench::arg_int(argc, argv, "--iters", 700);
+  const liberty::CellLibrary lib = liberty::make_synthetic_library();
+  const auto preset = workload::miniblue_presets()[2];  // miniblue4
+  const auto wopts = workload::miniblue_options(preset, scale);
+
+  std::printf("Ablation: differentiable wire delay model "
+              "(paper Sec. 3.4.2 extensibility), %s 1/%d\n\n", preset.name, scale);
+
+  ConsoleTable t({"optimized with", "WNS@Elmore", "TNS@Elmore", "WNS@D2M",
+                  "TNS@D2M", "HPWL", "sec"});
+  for (int model = 0; model < 2; ++model) {
+    netlist::Design design = workload::generate_design(lib, wopts, preset.name);
+    sta::TimingGraph graph(design.netlist);
+    placer::GlobalPlacerOptions o;
+    o.mode = placer::PlacerMode::DiffTiming;
+    o.max_iters = iters;
+    o.timing_start_iter = 50;
+    o.wire_model =
+        model == 0 ? sta::WireDelayModel::Elmore : sta::WireDelayModel::D2M;
+    placer::GlobalPlacer gp(design, graph, o);
+    Stopwatch clock;
+    const auto res = gp.run();
+    const double secs = clock.elapsed_sec();
+
+    sta::TimerOptions elm_opts;
+    sta::Timer elm(design, graph, elm_opts);
+    const auto m_elm = elm.evaluate(design.cell_x, design.cell_y);
+    sta::TimerOptions d2m_opts;
+    d2m_opts.wire_model = sta::WireDelayModel::D2M;
+    sta::Timer d2m(design, graph, d2m_opts);
+    const auto m_d2m = d2m.evaluate(design.cell_x, design.cell_y);
+
+    t.add_row({model == 0 ? "Elmore (paper)" : "D2M", fmt(m_elm.wns, 4),
+               fmt(m_elm.tns, 2), fmt(m_d2m.wns, 4), fmt(m_d2m.tns, 2),
+               fmt(res.hpwl * 1e-3, 3), fmt(secs, 2)});
+  }
+  t.print();
+  std::printf("\n(Each flow optimizes its own model; both are signed off under "
+              "both models.  D2M's smaller wire delays relax the apparent\n"
+              "violations, so the D2M-driven flow concentrates effort on "
+              "cell-delay-dominated paths.)\n");
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Shared helpers for the table/figure reproduction benches.
+#pragma once
+
+#include <cstring>
+#include <string>
+
+#include "common/stopwatch.h"
+#include "common/table.h"
+#include "liberty/synth_library.h"
+#include "placer/global_placer.h"
+#include "placer/legalizer.h"
+#include "sta/timer.h"
+#include "workload/circuit_gen.h"
+
+namespace dtp::bench {
+
+struct FlowResult {
+  placer::PlaceResult place;
+  sta::TimingMetrics timing;  // exact STA at the final placement
+  double runtime_sec = 0.0;   // GP runtime (excludes final signoff STA)
+};
+
+// Generates the design fresh (same seed => same initial state across modes),
+// runs global placement in the given mode and signs off with the exact timer.
+inline FlowResult run_flow(const liberty::CellLibrary& lib,
+                           const workload::WorkloadOptions& wopts,
+                           const std::string& name, placer::PlacerMode mode,
+                           placer::GlobalPlacerOptions popts) {
+  netlist::Design design = workload::generate_design(lib, wopts, name);
+  sta::TimingGraph graph(design.netlist);
+  popts.mode = mode;
+  placer::GlobalPlacer gp(design, graph, popts);
+  Stopwatch clock;
+  FlowResult result;
+  result.place = gp.run();
+  result.runtime_sec = clock.elapsed_sec();
+  sta::Timer signoff(design, graph);
+  result.timing = signoff.evaluate(design.cell_x, design.cell_y);
+  return result;
+}
+
+// Simple --flag value argument scanning.
+inline int arg_int(int argc, char** argv, const char* flag, int fallback) {
+  for (int i = 1; i + 1 < argc; ++i)
+    if (std::strcmp(argv[i], flag) == 0) return std::atoi(argv[i + 1]);
+  return fallback;
+}
+
+inline double arg_double(int argc, char** argv, const char* flag,
+                         double fallback) {
+  for (int i = 1; i + 1 < argc; ++i)
+    if (std::strcmp(argv[i], flag) == 0) return std::atof(argv[i + 1]);
+  return fallback;
+}
+
+inline bool arg_flag(int argc, char** argv, const char* flag) {
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], flag) == 0) return true;
+  return false;
+}
+
+}  // namespace dtp::bench

@@ -1,0 +1,164 @@
+// Reproduces paper Table 3: WNS, TNS, HPWL and runtime of
+//   DREAMPlace [16]        -> PlacerMode::WirelengthOnly
+//   Net Weighting [24]     -> PlacerMode::NetWeighting
+//   Ours (differentiable)  -> PlacerMode::DiffTiming
+// on the eight miniblue designs (the superblue suite scaled per DESIGN.md),
+// plus the Avg. Ratio row and the abstract's headline numbers (best WNS/TNS
+// improvement over net weighting, runtime speed-up).
+//
+// Flags: --scale N   superblue-cells / N per design  (default 200)
+//        --iters N   max GP iterations               (default 900)
+//        --quick     tiny run for smoke testing (scale 2000, 2 designs)
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+
+using namespace dtp;
+
+namespace {
+
+struct Row {
+  std::string name;
+  bench::FlowResult res[3];  // [mode]
+};
+
+placer::GlobalPlacerOptions placer_options(int argc, char** argv, int max_iters) {
+  placer::GlobalPlacerOptions o;
+  o.max_iters = max_iters;
+  o.timing_start_iter = bench::arg_int(argc, argv, "--tstart", o.timing_start_iter);
+  o.timing_start_overflow =
+      bench::arg_double(argc, argv, "--ovfgate", o.timing_start_overflow);
+  o.t1 = bench::arg_double(argc, argv, "--t1", o.t1);
+  o.t2_ratio = bench::arg_double(argc, argv, "--t2ratio", o.t2_ratio);
+  o.t_growth = bench::arg_double(argc, argv, "--tgrowth", o.t_growth);
+  o.t_max = bench::arg_double(argc, argv, "--tmax", o.t_max);
+  o.t_clip = bench::arg_double(argc, argv, "--tclip", o.t_clip);
+  o.lambda_mu = bench::arg_double(argc, argv, "--mu", o.lambda_mu);
+  o.nw_period = bench::arg_int(argc, argv, "--nwperiod", o.nw_period);
+  o.nw.beta = bench::arg_double(argc, argv, "--nwbeta", o.nw.beta);
+  return o;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool quick = bench::arg_flag(argc, argv, "--quick");
+  const int scale = bench::arg_int(argc, argv, "--scale", quick ? 2000 : 200);
+  const int iters = bench::arg_int(argc, argv, "--iters", quick ? 400 : 900);
+
+  const liberty::CellLibrary lib = liberty::make_synthetic_library();
+  auto presets = workload::miniblue_presets();
+  if (quick) presets.resize(2);
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--only") == 0) {
+      const std::string want = argv[i + 1];
+      std::erase_if(presets, [&](const auto& p) { return want != p.name; });
+    }
+  }
+
+  const char* mode_names[3] = {"DREAMPlace [16] (WL-only)",
+                               "Net Weighting [24]", "Ours (diff-timing)"};
+  const placer::PlacerMode modes[3] = {placer::PlacerMode::WirelengthOnly,
+                                       placer::PlacerMode::NetWeighting,
+                                       placer::PlacerMode::DiffTiming};
+
+  std::printf("Table 3: timing-driven global placement comparison "
+              "(miniblue suite, scale 1/%d)\n", scale);
+  std::printf("WNS/TNS in ns (signoff STA at the GP result); HPWL in mm; "
+              "runtime in seconds.\n\n");
+
+  std::vector<Row> rows;
+  for (const auto& preset : presets) {
+    Row row;
+    row.name = preset.name;
+    const auto wopts = workload::miniblue_options(preset, scale);
+    for (int m = 0; m < 3; ++m) {
+      row.res[m] =
+          bench::run_flow(lib, wopts, preset.name, modes[m],
+                          placer_options(argc, argv, iters));
+      std::fprintf(stderr, "[table3] %-11s %-26s wns %8.4f  tns %10.3f  "
+                   "hpwl %8.3f  %6.1fs (%d iters)\n",
+                   preset.name, mode_names[m],
+                   row.res[m].timing.wns, row.res[m].timing.tns,
+                   row.res[m].place.hpwl * 1e-3, row.res[m].runtime_sec,
+                   row.res[m].place.iterations);
+    }
+    rows.push_back(std::move(row));
+  }
+
+  ConsoleTable table({"Benchmark", "WNS[16]", "TNS[16]", "HPWL[16]", "T[16]",
+                      "WNS[24]", "TNS[24]", "HPWL[24]", "T[24]", "WNS*",
+                      "TNS*", "HPWL*", "T*"});
+  // Avg ratios vs. ours (paper's normalization: ours = 1.000).
+  double ratio[3][4] = {};  // [mode][wns,tns,hpwl,time]
+  int wns_cnt = 0, tns_cnt = 0;
+  for (const Row& row : rows) {
+    std::vector<std::string> cells{row.name};
+    for (int m = 0; m < 3; ++m) {
+      cells.push_back(fmt(row.res[m].timing.wns, 4));
+      cells.push_back(fmt(row.res[m].timing.tns, 3));
+      cells.push_back(fmt(row.res[m].place.hpwl * 1e-3, 3));
+      cells.push_back(fmt(row.res[m].runtime_sec, 1));
+    }
+    table.add_row(std::move(cells));
+    const auto& ours = row.res[2];
+    for (int m = 0; m < 3; ++m) {
+      if (ours.timing.wns < 0 && row.res[m].timing.wns < 0) {
+        ratio[m][0] += row.res[m].timing.wns / ours.timing.wns;
+      }
+      if (ours.timing.tns < 0 && row.res[m].timing.tns < 0)
+        ratio[m][1] += row.res[m].timing.tns / ours.timing.tns;
+      ratio[m][2] += row.res[m].place.hpwl / ours.place.hpwl;
+      ratio[m][3] += row.res[m].runtime_sec / ours.runtime_sec;
+    }
+    ++wns_cnt;
+    ++tns_cnt;
+  }
+  {
+    std::vector<std::string> avg{"Avg.Ratio"};
+    const double n = static_cast<double>(rows.size());
+    for (int m = 0; m < 3; ++m) {
+      avg.push_back(fmt(ratio[m][0] / n, 3));
+      avg.push_back(fmt(ratio[m][1] / n, 3));
+      avg.push_back(fmt(ratio[m][2] / n, 3));
+      avg.push_back(fmt(ratio[m][3] / n, 3));
+    }
+    table.add_rule();
+    table.add_row(std::move(avg));
+  }
+  table.print();
+
+  // Headline numbers (abstract): best improvement over net weighting [24].
+  double best_wns_impr = 0.0, best_tns_impr = 0.0;
+  const char* best_wns_design = "-";
+  const char* best_tns_design = "-";
+  double speedup = 0.0;
+  for (const Row& row : rows) {
+    const auto& nw = row.res[1];
+    const auto& ours = row.res[2];
+    if (nw.timing.wns < 0 && ours.timing.wns < 0) {
+      const double impr = (ours.timing.wns - nw.timing.wns) / -nw.timing.wns;
+      if (impr > best_wns_impr) {
+        best_wns_impr = impr;
+        best_wns_design = row.name.c_str();
+      }
+    }
+    if (nw.timing.tns < 0 && ours.timing.tns < 0) {
+      const double impr = (ours.timing.tns - nw.timing.tns) / -nw.timing.tns;
+      if (impr > best_tns_impr) {
+        best_tns_impr = impr;
+        best_tns_design = row.name.c_str();
+      }
+    }
+    speedup += nw.runtime_sec / ours.runtime_sec;
+  }
+  speedup /= static_cast<double>(rows.size());
+  std::printf("\nHeadline vs net weighting [24]:\n");
+  std::printf("  best WNS improvement: %.1f%% (%s)   [paper: 32.7%%]\n",
+              100.0 * best_wns_impr, best_wns_design);
+  std::printf("  best TNS improvement: %.1f%% (%s)   [paper: 59.1%%]\n",
+              100.0 * best_tns_impr, best_tns_design);
+  std::printf("  average speed-up:     %.2fx          [paper: 1.80x]\n", speedup);
+  return 0;
+}

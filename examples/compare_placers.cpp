@@ -1,0 +1,51 @@
+// Head-to-head of the three placement flows on one design: wirelength-only
+// (DREAMPlace [16] substrate), momentum net weighting ([24]), and the
+// differentiable-timing flow (this paper) — the single-design version of the
+// Table 3 experiment, handy for experimentation.
+//
+//   ./compare_placers [num_cells] [seed]
+#include <cstdio>
+
+#include "liberty/synth_library.h"
+#include "placer/global_placer.h"
+#include "placer/legalizer.h"
+#include "sta/timer.h"
+#include "workload/circuit_gen.h"
+
+int main(int argc, char** argv) {
+  using namespace dtp;
+  const int num_cells = argc > 1 ? std::atoi(argv[1]) : 3000;
+  const uint64_t seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 11;
+
+  const liberty::CellLibrary lib = liberty::make_synthetic_library();
+  workload::WorkloadOptions wopts;
+  wopts.num_cells = num_cells;
+  wopts.seed = seed;
+  wopts.clock_scale = 0.7;
+
+  const placer::PlacerMode modes[3] = {placer::PlacerMode::WirelengthOnly,
+                                       placer::PlacerMode::NetWeighting,
+                                       placer::PlacerMode::DiffTiming};
+  const char* names[3] = {"wirelength-only", "net-weighting", "diff-timing"};
+
+  std::printf("%-16s %10s %12s %12s %9s %7s %6s\n", "flow", "WNS(ns)",
+              "TNS(ns)", "HPWL(um)", "overflow", "iters", "sec");
+  for (int m = 0; m < 3; ++m) {
+    // Fresh design per mode: identical initial state, independent runs.
+    netlist::Design design = workload::generate_design(lib, wopts, "cmp");
+    sta::TimingGraph graph(design.netlist);
+    placer::GlobalPlacerOptions popts;
+    popts.mode = modes[m];
+    popts.timing_start_iter = 50;
+    placer::GlobalPlacer gp(design, graph, popts);
+    const auto res = gp.run();
+    placer::legalize(design, design.cell_x, design.cell_y);
+    sta::Timer timer(design, graph);
+    const auto tm = timer.evaluate(design.cell_x, design.cell_y);
+    placer::WirelengthModel wl(design);
+    std::printf("%-16s %10.4f %12.3f %12.0f %9.3f %7d %6.1f\n", names[m], tm.wns,
+                tm.tns, wl.hpwl_unweighted(design.cell_x, design.cell_y),
+                res.overflow, res.iterations, res.runtime_sec);
+  }
+  return 0;
+}

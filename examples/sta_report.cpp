@@ -1,0 +1,89 @@
+// Standalone STA usage: build a design, run the exact timer, and print an
+// OpenTimer-style report — endpoint slack histogram, the K most critical
+// paths with per-pin arrival annotations, and hold-check results.
+//
+//   ./sta_report [num_cells] [num_paths]
+#include <algorithm>
+#include <cstdio>
+
+#include "liberty/synth_library.h"
+#include "sta/cell_arc_eval.h"
+#include "sta/timer.h"
+#include "workload/circuit_gen.h"
+
+int main(int argc, char** argv) {
+  using namespace dtp;
+  const int num_cells = argc > 1 ? std::atoi(argv[1]) : 1500;
+  const int num_paths = argc > 2 ? std::atoi(argv[2]) : 3;
+
+  const liberty::CellLibrary lib = liberty::make_synthetic_library();
+  workload::WorkloadOptions wopts;
+  wopts.num_cells = num_cells;
+  wopts.seed = 7;
+  wopts.clock_scale = 0.7;
+  netlist::Design design = workload::generate_design(lib, wopts, "sta_demo");
+  const netlist::Netlist& nl = design.netlist;
+
+  sta::TimingGraph graph(nl);
+  sta::TimerOptions topts;
+  topts.enable_early = true;  // also run hold analysis
+  sta::Timer timer(design, graph, topts);
+  const auto m = timer.evaluate(design.cell_x, design.cell_y);
+  timer.update_required();
+
+  std::printf("=== timing summary ===\n");
+  std::printf("clock period : %.4f ns\n", design.constraints.clock_period);
+  std::printf("setup  WNS %9.4f ns   TNS %11.3f ns   violations %zu / %zu\n",
+              m.wns, m.tns, m.num_violations, graph.endpoints().size());
+  std::printf("hold   WNS %9.4f ns   TNS %11.3f ns\n", m.hold_wns, m.hold_tns);
+  std::printf("graph: %d levels, %zu arcs, %zu timing nets\n\n",
+              graph.num_levels(), graph.arcs().size(), graph.timing_nets().size());
+
+  // Slack histogram over endpoints.
+  std::printf("=== endpoint slack histogram ===\n");
+  const auto& slacks = timer.endpoint_slack();
+  double lo = 0.0;
+  for (double s : slacks)
+    if (std::isfinite(s)) lo = std::min(lo, s);
+  const int kBuckets = 8;
+  std::vector<int> hist(kBuckets, 0);
+  const double span = std::max(1e-9, -lo);
+  for (double s : slacks) {
+    if (!std::isfinite(s)) continue;
+    if (s >= 0.0)
+      ++hist[kBuckets - 1];
+    else
+      ++hist[std::min(kBuckets - 2, static_cast<int>(-s / span * (kBuckets - 1)))];
+  }
+  for (int b = 0; b < kBuckets - 1; ++b) {
+    std::printf("[%8.4f, %8.4f) %5d  ", -span * (b + 1) / (kBuckets - 1),
+                -span * b / (kBuckets - 1), hist[b]);
+    for (int k = 0; k < hist[b] && k < 50; ++k) std::putchar('#');
+    std::putchar('\n');
+  }
+  std::printf("[  >= 0 slack    ) %5d\n\n", hist[kBuckets - 1]);
+
+  // Top-K critical paths.
+  std::vector<size_t> order(slacks.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(),
+            [&](size_t a, size_t b) { return slacks[a] < slacks[b]; });
+  for (int k = 0; k < num_paths && k < static_cast<int>(order.size()); ++k) {
+    const auto& ep = graph.endpoints()[order[static_cast<size_t>(k)]];
+    std::printf("=== critical path %d (slack %.4f ns, endpoint %s) ===\n", k + 1,
+                slacks[order[static_cast<size_t>(k)]],
+                nl.pin_full_name(ep.pin).c_str());
+    const auto path = timer.trace_critical_path(ep.pin);
+    std::printf("  %-28s %-5s %10s %10s %10s\n", "pin", "edge", "AT(ns)",
+                "RAT(ns)", "slack(ns)");
+    for (const auto& node : path) {
+      std::printf("  %-28s %-5s %10.4f %10.4f %10.4f\n",
+                  nl.pin_full_name(node.pin).c_str(),
+                  node.tr == sta::kRise ? "rise" : "fall", node.at,
+                  timer.rat(node.pin, node.tr),
+                  timer.rat(node.pin, node.tr) - node.at);
+    }
+    std::printf("  path depth: %zu pins\n\n", path.size());
+  }
+  return 0;
+}

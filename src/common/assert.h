@@ -1,0 +1,32 @@
+// Internal invariant checking for the dtp libraries.
+//
+// DTP_ASSERT guards conditions that are supposed to hold by construction;
+// violating one indicates a bug inside this library, not bad user input,
+// so it aborts with a source location.  User-facing input validation should
+// throw std::runtime_error (or return a Status) at the parse/API boundary
+// instead.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace dtp::detail {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file, int line,
+                                     const char* msg) {
+  std::fprintf(stderr, "DTP_ASSERT failed: %s at %s:%d%s%s\n", expr, file, line,
+               msg[0] ? " — " : "", msg);
+  std::abort();
+}
+
+}  // namespace dtp::detail
+
+#define DTP_ASSERT(cond)                                                 \
+  do {                                                                   \
+    if (!(cond)) ::dtp::detail::assert_fail(#cond, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define DTP_ASSERT_MSG(cond, msg)                                           \
+  do {                                                                      \
+    if (!(cond)) ::dtp::detail::assert_fail(#cond, __FILE__, __LINE__, msg); \
+  } while (0)

@@ -1,0 +1,53 @@
+// Minimal leveled logger.  Single global sink (stderr by default), printf-style
+// formatting, compile-out-able below a level.  Placement loops log at Info every
+// N iterations; Debug is for development only.
+#pragma once
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace dtp {
+
+enum class LogLevel : int { Debug = 0, Info = 1, Warn = 2, Error = 3, Silent = 4 };
+
+class Logger {
+ public:
+  static Logger& instance() {
+    static Logger logger;
+    return logger;
+  }
+
+  void set_level(LogLevel level) { level_ = level; }
+  LogLevel level() const { return level_; }
+
+  // Redirect output (e.g. to a file handle owned by the caller). Never owns.
+  void set_sink(std::FILE* sink) { sink_ = sink; }
+
+  void log(LogLevel level, const char* fmt, va_list args) {
+    if (level < level_) return;
+    static const char* kTag[] = {"DEBUG", "INFO ", "WARN ", "ERROR"};
+    std::fprintf(sink_, "[%s] ", kTag[static_cast<int>(level)]);
+    std::vfprintf(sink_, fmt, args);
+    std::fputc('\n', sink_);
+    std::fflush(sink_);
+  }
+
+ private:
+  Logger() = default;
+  LogLevel level_ = LogLevel::Info;
+  std::FILE* sink_ = stderr;
+};
+
+inline void log_at(LogLevel level, const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  Logger::instance().log(level, fmt, args);
+  va_end(args);
+}
+
+#define DTP_LOG_DEBUG(...) ::dtp::log_at(::dtp::LogLevel::Debug, __VA_ARGS__)
+#define DTP_LOG_INFO(...) ::dtp::log_at(::dtp::LogLevel::Info, __VA_ARGS__)
+#define DTP_LOG_WARN(...) ::dtp::log_at(::dtp::LogLevel::Warn, __VA_ARGS__)
+#define DTP_LOG_ERROR(...) ::dtp::log_at(::dtp::LogLevel::Error, __VA_ARGS__)
+
+}  // namespace dtp

@@ -1,0 +1,111 @@
+// Console table and CSV writers used by the benchmark harness to print the
+// paper's tables and dump figure series.
+#pragma once
+
+#include <cstdio>
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/assert.h"
+
+namespace dtp {
+
+// A simple right-aligned fixed-width console table. Columns size to content.
+class ConsoleTable {
+ public:
+  explicit ConsoleTable(std::vector<std::string> header)
+      : header_(std::move(header)) {}
+
+  void add_row(std::vector<std::string> row) {
+    DTP_ASSERT(row.size() == header_.size());
+    rows_.push_back(std::move(row));
+  }
+
+  // Separator line between body rows (e.g. before an "Avg." summary row).
+  void add_rule() { rules_.push_back(rows_.size()); }
+
+  std::string to_string() const {
+    std::vector<size_t> width(header_.size());
+    for (size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+    for (const auto& row : rows_)
+      for (size_t c = 0; c < row.size(); ++c)
+        width[c] = std::max(width[c], row[c].size());
+
+    std::ostringstream os;
+    auto print_rule = [&] {
+      for (size_t c = 0; c < width.size(); ++c)
+        os << std::string(width[c] + 2, '-') << (c + 1 < width.size() ? "+" : "");
+      os << "\n";
+    };
+    auto print_row = [&](const std::vector<std::string>& row) {
+      for (size_t c = 0; c < row.size(); ++c) {
+        os << " " << std::setw(static_cast<int>(width[c])) << row[c] << " "
+           << (c + 1 < row.size() ? "|" : "");
+      }
+      os << "\n";
+    };
+    print_row(header_);
+    print_rule();
+    for (size_t r = 0; r < rows_.size(); ++r) {
+      for (size_t rule : rules_)
+        if (rule == r) print_rule();
+      print_row(rows_[r]);
+    }
+    return os.str();
+  }
+
+  void print(std::FILE* out = stdout) const {
+    std::fputs(to_string().c_str(), out);
+  }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+  std::vector<size_t> rules_;
+};
+
+// Formats a double with fixed decimals (benchmark tables).
+inline std::string fmt(double v, int decimals = 3) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(decimals) << v;
+  return os.str();
+}
+
+inline std::string fmt_int(long long v) { return std::to_string(v); }
+
+// Streaming CSV writer (figure series).
+class CsvWriter {
+ public:
+  CsvWriter(const std::string& path, std::vector<std::string> header)
+      : out_(path) {
+    DTP_ASSERT_MSG(out_.good(), "cannot open CSV output file");
+    cols_ = header.size();
+    write_row_strings(header);
+  }
+
+  void write_row(const std::vector<double>& values) {
+    DTP_ASSERT(values.size() == cols_);
+    for (size_t i = 0; i < values.size(); ++i) {
+      if (i) out_ << ',';
+      out_ << std::setprecision(12) << values[i];
+    }
+    out_ << '\n';
+  }
+
+ private:
+  void write_row_strings(const std::vector<std::string>& row) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i) out_ << ',';
+      out_ << row[i];
+    }
+    out_ << '\n';
+  }
+
+  std::ofstream out_;
+  size_t cols_ = 0;
+};
+
+}  // namespace dtp

@@ -1,0 +1,125 @@
+// Fixed-size thread pool with a blocking parallel_for.
+//
+// This is the CPU substitute for the paper's CUDA kernels (§3.6): every
+// levelized timer kernel, the wirelength gradient, and the density splat are
+// written as parallel_for over a flat index range, mirroring a 1-D CUDA grid.
+// On a 1-core machine the pool degrades to serial execution with near-zero
+// overhead (ranges below a grain threshold never touch the queue).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace dtp {
+
+class ThreadPool {
+ public:
+  // n_threads == 0 picks hardware_concurrency (at least 1).
+  explicit ThreadPool(size_t n_threads = 0) {
+    if (n_threads == 0) {
+      n_threads = std::thread::hardware_concurrency();
+      if (n_threads == 0) n_threads = 1;
+    }
+    n_threads_ = n_threads;
+    // With a single worker, run everything inline on the caller thread.
+    if (n_threads_ <= 1) return;
+    workers_.reserve(n_threads_);
+    for (size_t i = 0; i < n_threads_; ++i) {
+      workers_.emplace_back([this] { worker_loop(); });
+    }
+  }
+
+  ~ThreadPool() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    for (auto& w : workers_) w.join();
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_threads() const { return n_threads_; }
+
+  // Runs body(i) for i in [begin, end). Blocks until all iterations finish.
+  // `grain` is the minimum chunk per task; small ranges run inline.
+  void parallel_for(size_t begin, size_t end,
+                    const std::function<void(size_t)>& body, size_t grain = 64) {
+    if (end <= begin) return;
+    const size_t n = end - begin;
+    if (workers_.empty() || n <= grain) {
+      for (size_t i = begin; i < end; ++i) body(i);
+      return;
+    }
+    const size_t chunks = std::min(n_threads_ * 4, (n + grain - 1) / grain);
+    const size_t step = (n + chunks - 1) / chunks;
+    std::mutex done_mutex;
+    std::condition_variable done_cv;
+    size_t remaining = 0;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      for (size_t c = 0; c * step < n; ++c) ++remaining;
+    }
+    size_t total = remaining;
+    for (size_t c = 0; c * step < n; ++c) {
+      const size_t lo = begin + c * step;
+      const size_t hi = std::min(end, lo + step);
+      enqueue([&, lo, hi] {
+        for (size_t i = lo; i < hi; ++i) body(i);
+        {
+          std::lock_guard<std::mutex> lock(done_mutex);
+          --remaining;
+        }
+        done_cv.notify_one();
+      });
+    }
+    std::unique_lock<std::mutex> lock(done_mutex);
+    done_cv.wait(lock, [&] { return remaining == 0; });
+    (void)total;
+  }
+
+  // Global pool shared by the timer/placer kernels.
+  static ThreadPool& global() {
+    static ThreadPool pool;
+    return pool;
+  }
+
+ private:
+  void enqueue(std::function<void()> task) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      tasks_.push(std::move(task));
+    }
+    cv_.notify_one();
+  }
+
+  void worker_loop() {
+    for (;;) {
+      std::function<void()> task;
+      {
+        std::unique_lock<std::mutex> lock(mutex_);
+        cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+        if (stop_ && tasks_.empty()) return;
+        task = std::move(tasks_.front());
+        tasks_.pop();
+      }
+      task();
+    }
+  }
+
+  size_t n_threads_ = 1;
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+}  // namespace dtp

@@ -1,0 +1,60 @@
+// 2-D geometry primitives shared by the placer, router and timer.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+
+namespace dtp {
+
+struct Vec2 {
+  double x = 0.0;
+  double y = 0.0;
+
+  Vec2() = default;
+  Vec2(double x_, double y_) : x(x_), y(y_) {}
+
+  Vec2 operator+(const Vec2& o) const { return {x + o.x, y + o.y}; }
+  Vec2 operator-(const Vec2& o) const { return {x - o.x, y - o.y}; }
+  Vec2 operator*(double s) const { return {x * s, y * s}; }
+  Vec2& operator+=(const Vec2& o) {
+    x += o.x;
+    y += o.y;
+    return *this;
+  }
+  Vec2& operator-=(const Vec2& o) {
+    x -= o.x;
+    y -= o.y;
+    return *this;
+  }
+  bool operator==(const Vec2& o) const { return x == o.x && y == o.y; }
+
+  double norm2() const { return std::sqrt(x * x + y * y); }
+};
+
+// Manhattan (rectilinear) distance — the metric of on-chip routing.
+inline double manhattan(const Vec2& a, const Vec2& b) {
+  return std::abs(a.x - b.x) + std::abs(a.y - b.y);
+}
+
+struct Rect {
+  double xl = 0.0, yl = 0.0, xh = 0.0, yh = 0.0;
+
+  Rect() = default;
+  Rect(double xl_, double yl_, double xh_, double yh_)
+      : xl(xl_), yl(yl_), xh(xh_), yh(yh_) {}
+
+  double width() const { return xh - xl; }
+  double height() const { return yh - yl; }
+  double area() const { return width() * height(); }
+  bool contains(const Vec2& p) const {
+    return p.x >= xl && p.x <= xh && p.y >= yl && p.y <= yh;
+  }
+  // Overlap area with another rectangle (0 if disjoint).
+  double overlap(const Rect& o) const {
+    const double w = std::min(xh, o.xh) - std::max(xl, o.xl);
+    const double h = std::min(yh, o.yh) - std::max(yl, o.yl);
+    return (w > 0.0 && h > 0.0) ? w * h : 0.0;
+  }
+};
+
+}  // namespace dtp

@@ -1,0 +1,365 @@
+#include "dtimer/diff_timer.h"
+
+#include <cmath>
+
+#include "common/assert.h"
+#include "common/smooth_math.h"
+#include "dtimer/elmore_grad.h"
+#include "sta/cell_arc_eval.h"
+
+namespace dtp::dtimer {
+
+using netlist::CellId;
+using netlist::NetId;
+using netlist::PinId;
+using sta::Arc;
+using sta::ArcCandidate;
+using sta::ArcKind;
+
+DiffTimer::DiffTimer(const netlist::Design& design, const sta::TimingGraph& graph,
+                     DiffTimerOptions options)
+    : timer_(design, graph,
+             sta::TimerOptions{sta::AggMode::Smooth, options.gamma,
+                               options.enable_early, options.wire_model,
+                               options.rsmt}),
+      options_(options) {
+  const size_t n_pins = design.netlist.num_pins();
+  const size_t n_nets = design.netlist.num_nets();
+  g_at_.assign(n_pins * 2, 0.0);
+  g_slew_.assign(n_pins * 2, 0.0);
+  if (options.enable_early) {
+    g_at_early_.assign(n_pins * 2, 0.0);
+    g_slew_early_.assign(n_pins * 2, 0.0);
+  }
+  g_load_.assign(n_nets, 0.0);
+  pin_gx_.assign(n_pins, 0.0);
+  pin_gy_.assign(n_pins, 0.0);
+  g_net_delay_.resize(n_nets);
+  g_net_imp2_.resize(n_nets);
+}
+
+sta::TimingMetrics DiffTimer::forward(std::span<const double> cell_x,
+                                      std::span<const double> cell_y,
+                                      bool force_rebuild) {
+  timer_.update_positions(cell_x, cell_y);
+  const bool rebuild =
+      force_rebuild || !timer_.trees_built() ||
+      (options_.steiner_rebuild_period > 0 &&
+       forward_calls_ % options_.steiner_rebuild_period == 0);
+  if (rebuild)
+    timer_.build_trees();
+  else
+    timer_.drag_trees();
+  ++forward_calls_;
+  timer_.run_elmore();
+  timer_.propagate();
+  timer_.update_slacks();
+  return timer_.metrics();
+}
+
+void DiffTimer::backward(double t1, double t2, double h1, double h2,
+                         std::span<double> grad_x, std::span<double> grad_y) {
+  const sta::TimingGraph& graph = timer_.graph();
+  const netlist::Netlist& nl = graph.netlist();
+  const double gamma = timer_.options().gamma;
+  DTP_ASSERT(grad_x.size() == nl.num_cells() && grad_y.size() == nl.num_cells());
+
+  const bool hold = (h1 != 0.0 || h2 != 0.0);
+  DTP_ASSERT_MSG(!hold || options_.enable_early,
+                 "hold gradients require DiffTimerOptions::enable_early");
+  std::fill(g_at_.begin(), g_at_.end(), 0.0);
+  std::fill(g_slew_.begin(), g_slew_.end(), 0.0);
+  if (hold) {
+    std::fill(g_at_early_.begin(), g_at_early_.end(), 0.0);
+    std::fill(g_slew_early_.begin(), g_slew_early_.end(), 0.0);
+  }
+  std::fill(g_load_.begin(), g_load_.end(), 0.0);
+  std::fill(pin_gx_.begin(), pin_gx_.end(), 0.0);
+  std::fill(pin_gy_.begin(), pin_gy_.end(), 0.0);
+  for (NetId n : graph.timing_nets()) {
+    const size_t m = timer_.net_timing(n).tree.num_nodes();
+    g_net_delay_[static_cast<size_t>(n)].assign(m, 0.0);
+    g_net_imp2_[static_cast<size_t>(n)].assign(m, 0.0);
+  }
+
+  // ---- step 1+2: endpoint seeds ----
+  const auto& endpoints = graph.endpoints();
+  const auto& ep_slack = timer_.endpoint_slack();
+  const auto& ep_tr_w = timer_.endpoint_tr_weights();
+
+  // Softmin weights of WNS_gamma over reachable endpoints.
+  std::vector<double> finite_slacks;
+  std::vector<size_t> finite_idx;
+  finite_slacks.reserve(endpoints.size());
+  for (size_t e = 0; e < endpoints.size(); ++e) {
+    if (std::isfinite(ep_slack[e])) {
+      finite_slacks.push_back(ep_slack[e]);
+      finite_idx.push_back(e);
+    }
+  }
+  if (finite_slacks.empty()) return;
+  std::vector<double> wns_weights;
+  smooth_min(finite_slacks, gamma, wns_weights);
+
+  std::vector<double> g_ep(endpoints.size(), 0.0);
+  for (size_t k = 0; k < finite_idx.size(); ++k) {
+    const size_t e = finite_idx[k];
+    // loss = -t1*TNS - t2*WNS;  dTNS/ds = [s < 0],  dWNS/ds = softmin weight.
+    double g = -t2 * wns_weights[k];
+    if (ep_slack[e] < 0.0) g += -t1;
+    g_ep[e] = g;
+  }
+  for (size_t e = 0; e < endpoints.size(); ++e) {
+    if (g_ep[e] == 0.0) continue;
+    const PinId p = endpoints[e].pin;
+    for (int tr = 0; tr < 2; ++tr) {
+      // slack_tr = RAT(slew) - AT  =>  d(loss)/d(AT) = -g_ep * w_tr, and when
+      // the setup constraint is a LUT, d(loss)/d(slew) = g_ep * w_tr * dRAT/dslew.
+      const double w = ep_tr_w[e * 2 + static_cast<size_t>(tr)];
+      g_at_[static_cast<size_t>(p) * 2 + static_cast<size_t>(tr)] +=
+          -g_ep[e] * w;
+      const auto req = timer_.endpoint_setup_rat(e, tr);
+      if (req.d_dslew != 0.0)
+        g_slew_[static_cast<size_t>(p) * 2 + static_cast<size_t>(tr)] +=
+            g_ep[e] * w * req.d_dslew;
+    }
+  }
+
+  // Hold endpoint seeds: slack = AT_early - requirement => d(slack)/d(AT) = +1.
+  if (hold) {
+    const auto& hold_slack = timer_.endpoint_hold_slack();
+    const auto& hold_tr_w = timer_.endpoint_hold_tr_weights();
+    std::vector<double> finite_hold;
+    std::vector<size_t> finite_hold_idx;
+    for (size_t e = 0; e < endpoints.size(); ++e) {
+      if (std::isfinite(hold_slack[e])) {
+        finite_hold.push_back(hold_slack[e]);
+        finite_hold_idx.push_back(e);
+      }
+    }
+    if (!finite_hold.empty()) {
+      std::vector<double> hold_wns_w;
+      smooth_min(finite_hold, gamma, hold_wns_w);
+      for (size_t k = 0; k < finite_hold_idx.size(); ++k) {
+        const size_t e = finite_hold_idx[k];
+        double g = -h2 * hold_wns_w[k];
+        if (hold_slack[e] < 0.0) g += -h1;
+        if (g == 0.0) continue;
+        const PinId p = endpoints[e].pin;
+        for (int tr = 0; tr < 2; ++tr) {
+          // slack = AT_early - req(slew_early): both arrival and (for LUT
+          // constraints) the early slew carry gradient.
+          const double w = hold_tr_w[e * 2 + static_cast<size_t>(tr)];
+          g_at_early_[static_cast<size_t>(p) * 2 + static_cast<size_t>(tr)] +=
+              g * w;
+          const auto req = timer_.endpoint_hold_requirement(e, tr);
+          if (req.d_dslew != 0.0)
+            g_slew_early_[static_cast<size_t>(p) * 2 +
+                          static_cast<size_t>(tr)] += -g * w * req.d_dslew;
+        }
+      }
+    }
+  }
+
+  // ---- step 3+4: reverse level sweep ----
+  const double* at = timer_.at_data();
+  const double* slew = timer_.slew_data();
+  std::vector<ArcCandidate> cands;
+  std::vector<double> values, w_at, w_slew;
+
+  for (int l = graph.num_levels() - 1; l >= 0; --l) {
+    for (const PinId v : graph.level(l)) {
+      const auto fanin = graph.fanin(v);
+      if (!fanin.empty()) {
+        const Arc& first = graph.arcs()[static_cast<size_t>(fanin[0])];
+        if (first.kind == ArcKind::NetArc) {
+          // Eq. 10: single fan-in wire arc.
+          const size_t node = static_cast<size_t>(first.sink_index);
+          auto& g_delay = g_net_delay_[static_cast<size_t>(first.net)];
+          auto& g_imp2 = g_net_imp2_[static_cast<size_t>(first.net)];
+          for (int tr = 0; tr < 2; ++tr) {
+            const size_t vi = static_cast<size_t>(v) * 2 + static_cast<size_t>(tr);
+            const size_t ui =
+                static_cast<size_t>(first.from) * 2 + static_cast<size_t>(tr);
+            const double gat = g_at_[vi];
+            const double gslew = g_slew_[vi];
+            if (gat != 0.0) {
+              g_at_[ui] += gat;            // Eq. 10a
+              g_delay[node] += gat;        // Eq. 10b (delay shared across tr)
+            }
+            if (gslew != 0.0 && std::isfinite(slew[vi]) && slew[vi] > 0.0) {
+              g_slew_[ui] += slew[ui] / slew[vi] * gslew;      // Eq. 10c
+              g_imp2[node] += gslew / (2.0 * slew[vi]);        // Eq. 10d
+            }
+          }
+        } else {
+          // Eq. 12: cell arcs; re-derive candidates and LSE softmax weights.
+          const NetId out_net = graph.driven_timing_net(v);
+          const double load =
+              out_net == netlist::kInvalidId
+                  ? 0.0
+                  : timer_.net_timing(out_net).root_load();
+          for (int tr_out = 0; tr_out < 2; ++tr_out) {
+            const size_t vi =
+                static_cast<size_t>(v) * 2 + static_cast<size_t>(tr_out);
+            const double gat_out = g_at_[vi];
+            const double gslew_out = g_slew_[vi];
+            if (gat_out == 0.0 && gslew_out == 0.0) continue;
+            cands.clear();
+            for (int ai : fanin)
+              gather_arc_candidates(graph.arcs()[static_cast<size_t>(ai)], tr_out,
+                                    at, slew, load, cands);
+            if (cands.empty()) continue;
+            values.resize(cands.size());
+            for (size_t k = 0; k < cands.size(); ++k) values[k] = cands[k].at_value;
+            smooth_max(values, timer_.options().gamma, w_at);
+            for (size_t k = 0; k < cands.size(); ++k)
+              values[k] = cands[k].slew_q.value;
+            smooth_max(values, timer_.options().gamma, w_slew);
+
+            for (size_t k = 0; k < cands.size(); ++k) {
+              const ArcCandidate& c = cands[k];
+              const size_t ui = static_cast<size_t>(c.from) * 2 +
+                                static_cast<size_t>(c.tr_in);
+              const double g_at_cand = w_at[k] * gat_out;     // Eq. 12a
+              const double g_delay_cand = g_at_cand;          // Eq. 12b
+              const double g_slew_cand = w_slew[k] * gslew_out;  // Eq. 12c
+              g_at_[ui] += g_at_cand;
+              g_slew_[ui] += c.delay_q.d_dx * g_delay_cand +
+                             c.slew_q.d_dx * g_slew_cand;     // Eq. 12d
+              if (out_net != netlist::kInvalidId)
+                g_load_[static_cast<size_t>(out_net)] +=
+                    c.delay_q.d_dy * g_delay_cand +
+                    c.slew_q.d_dy * g_slew_cand;              // Eq. 12e
+            }
+          }
+        }
+      }
+
+      // Hold corner: mirror the sweep on the early arrays (min-aggregation
+      // softmin weights; same Elmore/load accumulators — the wire quantities
+      // are shared between corners).
+      if (hold && !fanin.empty()) {
+        const double* at_e = g_at_early_.empty() ? nullptr : timer_.at_early_data();
+        const double* slew_e = timer_.slew_early_data();
+        const Arc& first = graph.arcs()[static_cast<size_t>(fanin[0])];
+        if (first.kind == ArcKind::NetArc) {
+          const size_t node = static_cast<size_t>(first.sink_index);
+          auto& g_delay = g_net_delay_[static_cast<size_t>(first.net)];
+          auto& g_imp2 = g_net_imp2_[static_cast<size_t>(first.net)];
+          for (int tr = 0; tr < 2; ++tr) {
+            const size_t vi = static_cast<size_t>(v) * 2 + static_cast<size_t>(tr);
+            const size_t ui =
+                static_cast<size_t>(first.from) * 2 + static_cast<size_t>(tr);
+            const double gat = g_at_early_[vi];
+            const double gslew = g_slew_early_[vi];
+            if (gat != 0.0) {
+              g_at_early_[ui] += gat;
+              g_delay[node] += gat;
+            }
+            if (gslew != 0.0 && std::isfinite(slew_e[vi]) && slew_e[vi] > 0.0) {
+              g_slew_early_[ui] += slew_e[ui] / slew_e[vi] * gslew;
+              g_imp2[node] += gslew / (2.0 * slew_e[vi]);
+            }
+          }
+        } else {
+          const NetId out_net = graph.driven_timing_net(v);
+          const double load =
+              out_net == netlist::kInvalidId
+                  ? 0.0
+                  : timer_.net_timing(out_net).root_load();
+          for (int tr_out = 0; tr_out < 2; ++tr_out) {
+            const size_t vi =
+                static_cast<size_t>(v) * 2 + static_cast<size_t>(tr_out);
+            const double gat_out = g_at_early_[vi];
+            const double gslew_out = g_slew_early_[vi];
+            if (gat_out == 0.0 && gslew_out == 0.0) continue;
+            cands.clear();
+            for (int ai : fanin)
+              gather_arc_candidates(graph.arcs()[static_cast<size_t>(ai)],
+                                    tr_out, at_e, slew_e, load, cands);
+            if (cands.empty()) continue;
+            values.resize(cands.size());
+            for (size_t k = 0; k < cands.size(); ++k)
+              values[k] = cands[k].at_value;
+            smooth_min(values, timer_.options().gamma, w_at);
+            for (size_t k = 0; k < cands.size(); ++k)
+              values[k] = cands[k].slew_q.value;
+            smooth_min(values, timer_.options().gamma, w_slew);
+            for (size_t k = 0; k < cands.size(); ++k) {
+              const ArcCandidate& c = cands[k];
+              const size_t ui = static_cast<size_t>(c.from) * 2 +
+                                static_cast<size_t>(c.tr_in);
+              const double g_at_cand = w_at[k] * gat_out;
+              const double g_delay_cand = g_at_cand;
+              const double g_slew_cand = w_slew[k] * gslew_out;
+              g_at_early_[ui] += g_at_cand;
+              g_slew_early_[ui] += c.delay_q.d_dx * g_delay_cand +
+                                   c.slew_q.d_dx * g_slew_cand;
+              if (out_net != netlist::kInvalidId)
+                g_load_[static_cast<size_t>(out_net)] +=
+                    c.delay_q.d_dy * g_delay_cand +
+                    c.slew_q.d_dy * g_slew_cand;
+            }
+          }
+        }
+      }
+
+      // If v drives a timing net, every adjoint seed of that net is now
+      // final (sinks live at higher levels; the load adjoint was produced by
+      // v's own fan-in arcs just above): run the Elmore adjoint.
+      const NetId driven = graph.driven_timing_net(v);
+      if (driven != netlist::kInvalidId) {
+        const sta::NetTiming& nt = timer_.net_timing(driven);
+        const size_t m = nt.tree.num_nodes();
+        scratch_gx_.assign(m, 0.0);
+        scratch_gy_.assign(m, 0.0);
+        auto& g_delay = g_net_delay_[static_cast<size_t>(driven)];
+        std::span<const double> g_beta{};
+        if (options_.wire_model == sta::WireDelayModel::D2M) {
+          // The net-arc seeds landed on used_delay = ln2 * m1^2 / sqrt(m2);
+          // convert to (m1, m2) = (delay, beta) seeds via the chain rule.
+          // Degenerate nodes fell back to Elmore and pass through unchanged.
+          scratch_gbeta_.assign(m, 0.0);
+          for (size_t node = 0; node < m; ++node) {
+            const double gu = g_delay[node];
+            if (gu == 0.0 || nt.d2m_degenerate[node]) continue;
+            const double d = nt.delay[node];
+            const double b = nt.beta[node];
+            const double sqrt_b = std::sqrt(b);
+            g_delay[node] = gu * sta::kLn2 * 2.0 * d / sqrt_b;
+            scratch_gbeta_[node] = gu * sta::kLn2 * d * d * -0.5 / (b * sqrt_b);
+          }
+          g_beta = scratch_gbeta_;
+        }
+        elmore_backward(nt, g_delay, g_net_imp2_[static_cast<size_t>(driven)],
+                        g_load_[static_cast<size_t>(driven)],
+                        timer_.design().constraints.wire_res,
+                        timer_.design().constraints.wire_cap, scratch_gx_,
+                        scratch_gy_, g_beta);
+        // Fold node gradients onto pins: pin nodes directly, Steiner nodes via
+        // their coordinate source pins (paper Fig. 4).
+        const netlist::Net& net = nl.net(driven);
+        for (size_t node = 0; node < m; ++node) {
+          const auto& tn = nt.tree.nodes[node];
+          const size_t xp = static_cast<size_t>(
+              net.pins[static_cast<size_t>(tn.x_src)]);
+          const size_t yp = static_cast<size_t>(
+              net.pins[static_cast<size_t>(tn.y_src)]);
+          pin_gx_[xp] += scratch_gx_[node];
+          pin_gy_[yp] += scratch_gy_[node];
+        }
+      }
+    }
+  }
+
+  // ---- pins -> cells (pin offsets are rigid) ----
+  for (size_t p = 0; p < nl.num_pins(); ++p) {
+    if (pin_gx_[p] == 0.0 && pin_gy_[p] == 0.0) continue;
+    const CellId c = nl.pin(static_cast<PinId>(p)).cell;
+    grad_x[static_cast<size_t>(c)] += pin_gx_[p];
+    grad_y[static_cast<size_t>(c)] += pin_gy_[p];
+  }
+}
+
+}  // namespace dtp::dtimer

@@ -1,0 +1,91 @@
+// DiffTimer: the paper's differentiable STA engine (§3).
+//
+// Wraps a smooth-mode sta::Timer and adds the backward pass: given the
+// smoothed timing objective
+//
+//     loss = t1 * (-TNS_gamma) + t2 * (-WNS_gamma)                   (Eq. 6)
+//
+// backward() computes d(loss)/d(cell x, y) for every cell by sweeping the
+// timing levels in reverse (paper Fig. 3, blue edges):
+//
+//   1. seed d(loss)/d(slack) at every endpoint — the TNS term gates on
+//      slack < 0 (the subgradient of min(0, s)), the WNS term distributes by
+//      the softmin weights over endpoints;
+//   2. convert to d/d(AT) seeds via slack = RAT - AT and the per-endpoint
+//      transition softmin weights;
+//   3. walk levels top-down in reverse: cell arcs apply Eq. 12 (softmax of the
+//      LSE aggregation + LUT gradients feeding slew and load adjoints), net
+//      arcs apply Eq. 10 (delay and impulse^2 adjoints);
+//   4. when a net's driver pin is reached, all of that net's adjoint seeds are
+//      final, so run the Elmore adjoint (Eq. 8) for the net and fold the
+//      resulting Steiner-node coordinate gradients onto their source pins
+//      (Fig. 4), then pin gradients onto cells.
+//
+// Between full Steiner reconstructions the forward pass only drags Steiner
+// points along their source pins (§3.6); forward() manages the rebuild period.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "sta/timer.h"
+
+namespace dtp::dtimer {
+
+struct DiffTimerOptions {
+  double gamma = 0.05;             // LSE smoothing (ns); paper uses ~100 ps
+  int steiner_rebuild_period = 10; // full RSMT every N calls, drag in between
+  bool enable_early = false;
+  sta::WireDelayModel wire_model = sta::WireDelayModel::Elmore;
+  rsmt::RsmtOptions rsmt;
+};
+
+class DiffTimer {
+ public:
+  DiffTimer(const netlist::Design& design, const sta::TimingGraph& graph,
+            DiffTimerOptions options = {});
+
+  // Forward STA at the given cell locations.  Rebuilds Steiner trees on the
+  // first call and every `steiner_rebuild_period`-th call thereafter; set
+  // force_rebuild to override.  Returns smoothed + exact-on-smoothed metrics.
+  sta::TimingMetrics forward(std::span<const double> cell_x,
+                             std::span<const double> cell_y,
+                             bool force_rebuild = false);
+
+  // Accumulates (+=) d(loss)/d(cell location) into grad_x/grad_y for
+  // loss = t1*(-TNS_gamma) + t2*(-WNS_gamma).  Requires a prior forward().
+  void backward(double t1, double t2, std::span<double> grad_x,
+                std::span<double> grad_y) {
+    backward(t1, t2, 0.0, 0.0, grad_x, grad_y);
+  }
+
+  // Extended objective including the hold metrics of Eq. 2:
+  //   loss = t1*(-TNS_gamma) + t2*(-WNS_gamma)
+  //        + h1*(-holdTNS_gamma) + h2*(-holdWNS_gamma).
+  // Hold terms require enable_early; their gradients *lengthen* violating
+  // short paths (early arrivals rise), the dual of the setup gradients.
+  void backward(double t1, double t2, double h1, double h2,
+                std::span<double> grad_x, std::span<double> grad_y);
+
+  // The wrapped smooth timer (state inspection, gamma adjustment).
+  sta::Timer& timer() { return timer_; }
+  const sta::Timer& timer() const { return timer_; }
+
+  int forward_calls() const { return forward_calls_; }
+
+ private:
+  sta::Timer timer_;
+  DiffTimerOptions options_;
+  int forward_calls_ = 0;
+
+  // Backward state, sized once.
+  std::vector<double> g_at_, g_slew_;               // late, [pin*2 + tr]
+  std::vector<double> g_at_early_, g_slew_early_;   // hold terms only
+  std::vector<double> g_load_;          // per net: root-load adjoint
+  std::vector<double> pin_gx_, pin_gy_; // per netlist pin
+  // Per-net Elmore seeds, allocated lazily per backward call.
+  std::vector<std::vector<double>> g_net_delay_, g_net_imp2_;
+  std::vector<double> scratch_gx_, scratch_gy_, scratch_gbeta_;
+};
+
+}  // namespace dtp::dtimer

@@ -1,0 +1,90 @@
+#include "dtimer/elmore_grad.h"
+
+#include <vector>
+
+#include "common/assert.h"
+#include "common/smooth_math.h"
+
+namespace dtp::dtimer {
+
+void elmore_backward(const sta::NetTiming& nt, std::span<const double> g_delay,
+                     std::span<const double> g_imp2, double g_load_root,
+                     double r_unit, double c_unit, std::span<double> gx,
+                     std::span<double> gy, std::span<const double> g_beta) {
+  const rsmt::SteinerTree& tree = nt.tree;
+  const size_t m = tree.num_nodes();
+  DTP_ASSERT(g_delay.size() == m && g_imp2.size() == m);
+  DTP_ASSERT(g_beta.empty() || g_beta.size() == m);
+  DTP_ASSERT(gx.size() == m && gy.size() == m);
+  const auto& topo = tree.topo_order;
+
+  thread_local std::vector<double> gbeta, gldelay, gdelay, gload;
+
+  // Effective gImp2 with the clamp mask applied.
+  auto imp2_grad = [&](size_t v) -> double {
+    return nt.imp2_clamped[v] ? 0.0 : g_imp2[v];
+  };
+
+  // R1 (bottom-up): gBeta.
+  gbeta.resize(m);
+  for (size_t v = 0; v < m; ++v)
+    gbeta[v] = 2.0 * imp2_grad(v) + (g_beta.empty() ? 0.0 : g_beta[v]);
+  for (size_t k = m; k-- > 1;) {
+    const int v = topo[k];
+    const int p = tree.nodes[static_cast<size_t>(v)].parent;
+    gbeta[static_cast<size_t>(p)] += gbeta[static_cast<size_t>(v)];
+  }
+
+  // R2 (top-down): gLDelay.
+  gldelay.assign(m, 0.0);
+  for (size_t k = 1; k < m; ++k) {
+    const int v = topo[k];
+    const int p = tree.nodes[static_cast<size_t>(v)].parent;
+    gldelay[static_cast<size_t>(v)] = nt.edge_res[static_cast<size_t>(v)] *
+                                          gbeta[static_cast<size_t>(v)] +
+                                      gldelay[static_cast<size_t>(p)];
+  }
+
+  // R3 (bottom-up): gDelay.
+  gdelay.resize(m);
+  for (size_t v = 0; v < m; ++v) {
+    gdelay[v] = g_delay[v] + nt.node_cap[v] * gldelay[v] -
+                2.0 * nt.delay[v] * imp2_grad(v);
+  }
+  for (size_t k = m; k-- > 1;) {
+    const int v = topo[k];
+    const int p = tree.nodes[static_cast<size_t>(v)].parent;
+    gdelay[static_cast<size_t>(p)] += gdelay[static_cast<size_t>(v)];
+  }
+
+  // R4 (top-down): gLoad.
+  gload.assign(m, 0.0);
+  gload[static_cast<size_t>(tree.root)] = g_load_root;
+  for (size_t k = 1; k < m; ++k) {
+    const int v = topo[k];
+    const int p = tree.nodes[static_cast<size_t>(v)].parent;
+    gload[static_cast<size_t>(v)] = nt.edge_res[static_cast<size_t>(v)] *
+                                        gdelay[static_cast<size_t>(v)] +
+                                    gload[static_cast<size_t>(p)];
+  }
+
+  // Pointwise: gCap, gRes -> edge-length gradient -> coordinates.
+  for (size_t k = 1; k < m; ++k) {
+    const size_t v = static_cast<size_t>(topo[k]);
+    const size_t p = static_cast<size_t>(tree.nodes[v].parent);
+    const double gcap_v = gload[v] + nt.delay[v] * gldelay[v];
+    const double gcap_p = gload[p] + nt.delay[p] * gldelay[p];
+    const double gres = nt.load[v] * gdelay[v] + nt.ldelay[v] * gbeta[v];
+    const double glen = r_unit * gres + 0.5 * c_unit * (gcap_v + gcap_p);
+    const Vec2& pv = tree.nodes[v].pos;
+    const Vec2& pp = tree.nodes[p].pos;
+    const double sx = sign(pv.x - pp.x);
+    const double sy = sign(pv.y - pp.y);
+    gx[v] += glen * sx;
+    gx[p] -= glen * sx;
+    gy[v] += glen * sy;
+    gy[p] -= glen * sy;
+  }
+}
+
+}  // namespace dtp::dtimer

@@ -1,0 +1,49 @@
+// Adjoint of the Elmore delay model (paper §3.4.2, Eq. 8, Fig. 5).
+//
+// Given the forward NetTiming state and the objective's gradients with
+// respect to the net's sink Delays, sink Impulse^2 values and the root Load,
+// computes the gradient with respect to every tree-node coordinate by four
+// reverse dynamic-programming passes (mirroring the four forward passes in
+// reverse order):
+//
+//   R1 (bottom-up):  gBeta(u)   = 2*gImp2(u) + sum_child gBeta(v)
+//   R2 (top-down):   gLDelay(u) = Res(u)*gBeta(u) + gLDelay(fa(u))
+//   R3 (bottom-up):  gDelay(u)  = seed(u) + Cap(u)*gLDelay(u)
+//                                 - 2*Delay(u)*gImp2(u) + sum_child gDelay(v)
+//   R4 (top-down):   gLoad(u)   = Res(u)*gDelay(u) + gLoad(fa(u)),
+//                    gLoad(root) = gLoadRoot seed
+//
+// then pointwise
+//
+//   gCap(u) = gLoad(u) + Delay(u)*gLDelay(u)
+//   gRes(u) = Load(u)*gDelay(u) + LDelay(u)*gBeta(u)
+//
+// and finally through the edge parasitics Res = r*len, Cap contributions
+// c*len/2 per endpoint, and the rectilinear length len = |dx| + |dy| down to
+// node coordinates.  Note the sign of the -2*Delay*gImp2 term in R3: it is
+// the derivative of Imp2 = 2*Beta - Delay^2 (the paper's Eq. 8c prints the
+// term with a plus; the finite-difference gradient checks in
+// tests/test_elmore_grad.cpp confirm the minus).
+//
+// Gradients on Steiner nodes are the caller's to redistribute onto the pins
+// that source their coordinates (paper Fig. 4).
+#pragma once
+
+#include <span>
+
+#include "sta/net_timing.h"
+
+namespace dtp::dtimer {
+
+// Accumulates (+=) coordinate gradients into gx/gy (sized num_nodes).
+// g_imp2 entries on clamped nodes are ignored (the clamp breaks dependence).
+// g_beta carries direct objective seeds on Beta (empty span = all zero) —
+// used by two-moment wire delay models like D2M whose propagation delay
+// depends on m2 as well as m1.
+void elmore_backward(const sta::NetTiming& nt, std::span<const double> g_delay,
+                     std::span<const double> g_imp2, double g_load_root,
+                     double r_unit, double c_unit, std::span<double> gx,
+                     std::span<double> gy,
+                     std::span<const double> g_beta = {});
+
+}  // namespace dtp::dtimer

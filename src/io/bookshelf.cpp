@@ -1,0 +1,136 @@
+#include "io/bookshelf.h"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace dtp::io {
+
+using netlist::CellId;
+using netlist::NetId;
+
+namespace {
+
+std::ofstream open_out(const std::string& path) {
+  std::ofstream out(path);
+  if (!out.good()) throw std::runtime_error("cannot open " + path + " for writing");
+  return out;
+}
+
+}  // namespace
+
+void write_bookshelf(const netlist::Design& design, const std::string& directory) {
+  const netlist::Netlist& nl = design.netlist;
+  const std::string stem = directory + "/" + design.name;
+
+  {
+    auto aux = open_out(stem + ".aux");
+    aux << "RowBasedPlacement : " << design.name << ".nodes " << design.name
+        << ".nets " << design.name << ".pl " << design.name << ".scl\n";
+  }
+  {
+    auto nodes = open_out(stem + ".nodes");
+    nodes << "UCLA nodes 1.0\n\n";
+    size_t terminals = 0;
+    for (size_t c = 0; c < nl.num_cells(); ++c)
+      if (nl.cell(static_cast<CellId>(c)).fixed) ++terminals;
+    nodes << "NumNodes : " << nl.num_cells() << "\n";
+    nodes << "NumTerminals : " << terminals << "\n";
+    for (size_t c = 0; c < nl.num_cells(); ++c) {
+      const auto& cell = nl.cell(static_cast<CellId>(c));
+      const auto& master = nl.lib_cell_of(static_cast<CellId>(c));
+      nodes << "  " << cell.name << "  " << master.width << "  " << master.height;
+      if (cell.fixed) nodes << "  terminal";
+      nodes << "\n";
+    }
+  }
+  {
+    auto nets = open_out(stem + ".nets");
+    nets << "UCLA nets 1.0\n\n";
+    size_t num_pins = 0;
+    for (size_t n = 0; n < nl.num_nets(); ++n)
+      num_pins += nl.net(static_cast<NetId>(n)).pins.size();
+    nets << "NumNets : " << nl.num_nets() << "\n";
+    nets << "NumPins : " << num_pins << "\n";
+    for (size_t n = 0; n < nl.num_nets(); ++n) {
+      const netlist::Net& net = nl.net(static_cast<NetId>(n));
+      nets << "NetDegree : " << net.pins.size() << "  " << net.name << "\n";
+      for (netlist::PinId p : net.pins) {
+        const auto& cell = nl.cell(nl.pin(p).cell);
+        const auto& master = nl.lib_cell_of(nl.pin(p).cell);
+        const auto& lp = nl.lib_pin_of(p);
+        // Bookshelf pin offsets are from the cell *center*.
+        const double ox = lp.offset_x - master.width / 2.0;
+        const double oy = lp.offset_y - master.height / 2.0;
+        nets << "  " << cell.name << "  "
+             << (nl.pin_is_output(p) ? "O" : "I") << " : " << ox << "  " << oy
+             << "\n";
+      }
+    }
+  }
+  {
+    auto pl = open_out(stem + ".pl");
+    pl.precision(12);
+    pl << "UCLA pl 1.0\n\n";
+    for (size_t c = 0; c < nl.num_cells(); ++c) {
+      const auto& cell = nl.cell(static_cast<CellId>(c));
+      pl << cell.name << "  " << design.cell_x[c] << "  " << design.cell_y[c]
+         << " : N";
+      if (cell.fixed) pl << " /FIXED";
+      pl << "\n";
+    }
+  }
+  {
+    auto scl = open_out(stem + ".scl");
+    const auto& fp = design.floorplan;
+    scl << "UCLA scl 1.0\n\n";
+    scl << "NumRows : " << fp.num_rows() << "\n";
+    for (int r = 0; r < fp.num_rows(); ++r) {
+      scl << "CoreRow Horizontal\n";
+      scl << "  Coordinate : " << fp.core.yl + r * fp.row_height << "\n";
+      scl << "  Height : " << fp.row_height << "\n";
+      scl << "  Sitewidth : " << fp.site_width << "\n";
+      scl << "  SubrowOrigin : " << fp.core.xl
+          << "  NumSites : " << static_cast<int>(fp.core.width() / fp.site_width)
+          << "\n";
+      scl << "End\n";
+    }
+  }
+}
+
+size_t read_placement(netlist::Design& design, const std::string& pl_path) {
+  std::ifstream in(pl_path);
+  if (!in.good()) throw std::runtime_error("cannot open " + pl_path);
+  std::string line;
+  size_t updated = 0;
+  bool first = true;
+  while (std::getline(in, line)) {
+    // Strip comments.
+    const size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream is(line);
+    std::string name;
+    if (!(is >> name)) continue;
+    if (first && name == "UCLA") {
+      first = false;
+      continue;
+    }
+    first = false;
+    double x, y;
+    if (!(is >> x >> y))
+      throw std::runtime_error("malformed .pl line: " + line);
+    const netlist::CellId c = design.netlist.find_cell(name);
+    if (c == netlist::kInvalidId)
+      throw std::runtime_error(".pl names unknown cell: " + name);
+    design.cell_x[static_cast<size_t>(c)] = x;
+    design.cell_y[static_cast<size_t>(c)] = y;
+    // Optional ": N [/FIXED]" tail.
+    std::string tok;
+    while (is >> tok)
+      if (tok == "/FIXED") design.netlist.cell(c).fixed = true;
+    ++updated;
+  }
+  return updated;
+}
+
+}  // namespace dtp::io

@@ -1,0 +1,27 @@
+// Bookshelf-lite placement interchange (.aux/.nodes/.nets/.pl/.scl subset).
+//
+// The ICCAD/ISPD placement contests distribute designs in the Bookshelf
+// format; this module writes and reads the subset needed to round-trip our
+// designs: .nodes (cell names, dimensions, terminal flags), .nets (pin
+// connections with offsets), .pl (positions + fixed flags) and a one-row-set
+// .scl (core rows).  Cell master resolution on read is by dimensions+name
+// conventions and is therefore lossy for timing (Bookshelf has no library
+// binding) — read_placement() is the faithful use-case: re-importing
+// positions for a known design.
+#pragma once
+
+#include <string>
+
+#include "netlist/netlist.h"
+
+namespace dtp::io {
+
+// Writes design.aux plus the .nodes/.nets/.pl/.scl files into `directory`
+// with file stem `design.name`.
+void write_bookshelf(const netlist::Design& design, const std::string& directory);
+
+// Reads a .pl file and applies positions (and fixed flags) to matching cell
+// names in `design`. Unknown names throw. Returns number of cells updated.
+size_t read_placement(netlist::Design& design, const std::string& pl_path);
+
+}  // namespace dtp::io

@@ -1,0 +1,161 @@
+#include "io/sdc.h"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace dtp::io {
+
+namespace {
+
+// Splits one logical SDC line into tokens, handling [get_ports name] and
+// {braced lists} by flattening the bracket tokens away.
+std::vector<std::string> tokenize(const std::string& line) {
+  std::vector<std::string> out;
+  std::string tok;
+  for (char ch : line) {
+    if (ch == '[' || ch == ']' || ch == '{' || ch == '}') ch = ' ';
+    if (std::isspace(static_cast<unsigned char>(ch))) {
+      if (!tok.empty()) {
+        out.push_back(tok);
+        tok.clear();
+      }
+    } else {
+      tok += ch;
+    }
+  }
+  if (!tok.empty()) out.push_back(tok);
+  return out;
+}
+
+// Extracts the port names following a get_ports token; empty if none.
+std::vector<std::string> ports_of(const std::vector<std::string>& toks) {
+  std::vector<std::string> ports;
+  for (size_t i = 0; i < toks.size(); ++i) {
+    if (toks[i] == "get_ports") {
+      for (size_t j = i + 1; j < toks.size(); ++j) {
+        if (toks[j].front() == '-') break;
+        ports.push_back(toks[j]);
+      }
+    }
+  }
+  return ports;
+}
+
+// First bare numeric token after the command name (skipping -flag values of
+// named flags we know carry non-numeric arguments).
+bool first_number(const std::vector<std::string>& toks, size_t start, double* out) {
+  for (size_t i = start; i < toks.size(); ++i) {
+    const std::string& t = toks[i];
+    if (t == "-name" || t == "-clock") {
+      ++i;  // skip the flag's argument
+      continue;
+    }
+    if (t.front() == '-' && t.size() > 1 &&
+        !std::isdigit(static_cast<unsigned char>(t[1])) && t[1] != '.')
+      continue;
+    char* end = nullptr;
+    const double v = std::strtod(t.c_str(), &end);
+    if (end && *end == '\0') {
+      *out = v;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+SdcParseResult read_sdc(std::istream& in, netlist::Constraints& con) {
+  SdcParseResult result;
+  std::string line;
+  while (std::getline(in, line)) {
+    const size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    const auto toks = tokenize(line);
+    if (toks.empty()) continue;
+    const std::string& cmd = toks[0];
+    double value = 0.0;
+    const auto ports = ports_of(toks);
+
+    auto apply = [&](double fallback_slot_is_unused,
+                     std::unordered_map<std::string, double>& overrides,
+                     double& fallback) {
+      (void)fallback_slot_is_unused;
+      if (ports.empty())
+        fallback = value;
+      else
+        for (const std::string& p : ports) overrides[p] = value;
+    };
+
+    if (cmd == "create_clock") {
+      if (!first_number(toks, 1, &value))
+        throw std::runtime_error("create_clock without -period value");
+      // -period is a named flag; first_number finds its argument.
+      con.clock_period = value;
+      ++result.commands;
+    } else if (cmd == "set_input_delay") {
+      if (!first_number(toks, 1, &value))
+        throw std::runtime_error("set_input_delay without value");
+      apply(0, con.input_delay_override, con.input_delay);
+      ++result.commands;
+    } else if (cmd == "set_output_delay") {
+      if (!first_number(toks, 1, &value))
+        throw std::runtime_error("set_output_delay without value");
+      apply(0, con.output_delay_override, con.output_delay);
+      ++result.commands;
+    } else if (cmd == "set_input_transition") {
+      if (!first_number(toks, 1, &value))
+        throw std::runtime_error("set_input_transition without value");
+      apply(0, con.input_slew_override, con.input_slew);
+      ++result.commands;
+    } else if (cmd == "set_load") {
+      if (!first_number(toks, 1, &value))
+        throw std::runtime_error("set_load without value");
+      apply(0, con.output_load_override, con.output_load);
+      ++result.commands;
+    } else if (cmd == "set_wire_res") {
+      if (first_number(toks, 1, &value)) con.wire_res = value;
+      ++result.commands;
+    } else if (cmd == "set_wire_cap") {
+      if (first_number(toks, 1, &value)) con.wire_cap = value;
+      ++result.commands;
+    } else {
+      ++result.skipped;
+    }
+  }
+  return result;
+}
+
+SdcParseResult read_sdc_file(const std::string& path, netlist::Constraints& con) {
+  std::ifstream in(path);
+  if (!in.good()) throw std::runtime_error("cannot open " + path);
+  return read_sdc(in, con);
+}
+
+void write_sdc(const netlist::Constraints& con, std::ostream& out) {
+  out << "create_clock -period " << con.clock_period << " -name clk [get_ports clk]\n";
+  out << "set_input_delay " << con.input_delay << "\n";
+  out << "set_output_delay " << con.output_delay << "\n";
+  out << "set_input_transition " << con.input_slew << "\n";
+  out << "set_load " << con.output_load << "\n";
+  out << "set_wire_res " << con.wire_res << "\n";
+  out << "set_wire_cap " << con.wire_cap << "\n";
+  for (const auto& [port, v] : con.input_delay_override)
+    out << "set_input_delay " << v << " [get_ports " << port << "]\n";
+  for (const auto& [port, v] : con.output_delay_override)
+    out << "set_output_delay " << v << " [get_ports " << port << "]\n";
+  for (const auto& [port, v] : con.input_slew_override)
+    out << "set_input_transition " << v << " [get_ports " << port << "]\n";
+  for (const auto& [port, v] : con.output_load_override)
+    out << "set_load " << v << " [get_ports " << port << "]\n";
+}
+
+void write_sdc_file(const netlist::Constraints& con, const std::string& path) {
+  std::ofstream out(path);
+  if (!out.good()) throw std::runtime_error("cannot open " + path + " for writing");
+  write_sdc(con, out);
+}
+
+}  // namespace dtp::io

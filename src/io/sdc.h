@@ -1,0 +1,36 @@
+// SDC-subset constraint reader/writer.
+//
+// Supported commands (the ones a placement-stage timer consumes):
+//   create_clock -period <ns> [-name <n>] [get_ports <p>]
+//   set_input_delay <ns> [get_ports <p>]        (-clock ignored)
+//   set_output_delay <ns> [get_ports <p>]
+//   set_input_transition <ns> [get_ports <p>]
+//   set_load <pF> [get_ports <p>]
+//   set_wire_res <kohm/um>        (dtp extension)
+//   set_wire_cap <pF/um>          (dtp extension)
+//
+// A bare value without get_ports sets the design default.  Unknown commands
+// are skipped with a warning count so real SDC files degrade gracefully.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "netlist/netlist.h"
+
+namespace dtp::io {
+
+struct SdcParseResult {
+  size_t commands = 0;
+  size_t skipped = 0;  // unrecognized commands
+};
+
+SdcParseResult read_sdc(std::istream& in, netlist::Constraints& constraints);
+SdcParseResult read_sdc_file(const std::string& path,
+                             netlist::Constraints& constraints);
+
+void write_sdc(const netlist::Constraints& constraints, std::ostream& out);
+void write_sdc_file(const netlist::Constraints& constraints,
+                    const std::string& path);
+
+}  // namespace dtp::io

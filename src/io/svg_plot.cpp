@@ -1,0 +1,157 @@
+#include "io/svg_plot.h"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <functional>
+#include <stdexcept>
+
+namespace dtp::io {
+
+using netlist::CellId;
+using netlist::PinId;
+
+namespace {
+
+class SvgCanvas {
+ public:
+  SvgCanvas(const std::string& path, const Rect& world, double pixels)
+      : out_(path), world_(world), scale_(pixels / world.width()) {
+    if (!out_.good())
+      throw std::runtime_error("cannot open " + path + " for writing");
+    const double h = world.height() * scale_;
+    out_ << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" << pixels
+         << "\" height=\"" << h << "\" viewBox=\"0 0 " << pixels << " " << h
+         << "\">\n";
+    out_ << "<rect width=\"100%\" height=\"100%\" fill=\"#101418\"/>\n";
+  }
+
+  ~SvgCanvas() { out_ << "</svg>\n"; }
+
+  // World -> screen (y flipped: SVG origin is top-left).
+  double sx(double x) const { return (x - world_.xl) * scale_; }
+  double sy(double y) const { return (world_.yh - y) * scale_; }
+
+  void rect(double xl, double yl, double w, double h, const std::string& fill,
+            double opacity = 1.0) {
+    out_ << "<rect x=\"" << sx(xl) << "\" y=\"" << sy(yl + h) << "\" width=\""
+         << w * scale_ << "\" height=\"" << h * scale_ << "\" fill=\"" << fill
+         << "\" fill-opacity=\"" << opacity << "\"/>\n";
+  }
+
+  void line(double x1, double y1, double x2, double y2, const std::string& color,
+            double width_px) {
+    out_ << "<line x1=\"" << sx(x1) << "\" y1=\"" << sy(y1) << "\" x2=\""
+         << sx(x2) << "\" y2=\"" << sy(y2) << "\" stroke=\"" << color
+         << "\" stroke-width=\"" << width_px << "\"/>\n";
+  }
+
+ private:
+  std::ofstream out_;
+  Rect world_;
+  double scale_;
+};
+
+// Slack -> color: deep red at `worst`, yellow at 0, green above.
+std::string slack_color(double slack, double worst) {
+  if (!std::isfinite(slack)) return "#3a4450";
+  if (slack >= 0.0) return "#3c9d55";
+  const double t = std::clamp(slack / std::min(worst, -1e-12), 0.0, 1.0);
+  // t = 0 -> yellow (255, 210, 60), t = 1 -> red (225, 40, 40).
+  const int r = static_cast<int>(255 + t * (225 - 255));
+  const int g = static_cast<int>(210 + t * (40 - 210));
+  const int b = static_cast<int>(60 + t * (40 - 60));
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "#%02x%02x%02x", r, g, b);
+  return buf;
+}
+
+void draw_frame(SvgCanvas& canvas, const netlist::Design& design,
+                const SvgOptions& options) {
+  const auto& fp = design.floorplan;
+  canvas.rect(fp.core.xl, fp.core.yl, fp.core.width(), fp.core.height(),
+              "#1a2128");
+  if (options.draw_rows) {
+    for (int r = 0; r <= fp.num_rows(); ++r)
+      canvas.line(fp.core.xl, fp.core.yl + r * fp.row_height, fp.core.xh,
+                  fp.core.yl + r * fp.row_height, "#242e38", 0.5);
+  }
+}
+
+void draw_cells(SvgCanvas& canvas, const netlist::Design& design,
+                const std::function<std::string(CellId)>& color_of) {
+  const netlist::Netlist& nl = design.netlist;
+  for (size_t c = 0; c < nl.num_cells(); ++c) {
+    const auto id = static_cast<CellId>(c);
+    const auto& master = nl.lib_cell_of(id);
+    if (nl.cell(id).fixed) {
+      // Pads: small markers on the ring.
+      canvas.rect(design.cell_x[c] - 0.6, design.cell_y[c] - 0.6, 1.2, 1.2,
+                  "#5d81a8");
+      continue;
+    }
+    canvas.rect(design.cell_x[c], design.cell_y[c], master.width, master.height,
+                color_of(id), 0.9);
+  }
+}
+
+}  // namespace
+
+void write_placement_svg(const netlist::Design& design, const std::string& path,
+                         const SvgOptions& options) {
+  const auto& core = design.floorplan.core;
+  const Rect world{core.xl - 3, core.yl - 3, core.xh + 3, core.yh + 3};
+  SvgCanvas canvas(path, world, options.pixels);
+  draw_frame(canvas, design, options);
+  draw_cells(canvas, design, [](CellId) { return std::string("#6aa2d8"); });
+}
+
+void write_slack_svg(const netlist::Design& design, sta::Timer& timer,
+                     const std::string& path, const SvgOptions& options) {
+  timer.update_required();
+  const netlist::Netlist& nl = design.netlist;
+  const double wns = timer.metrics().wns;
+
+  // Worst slack per cell over its pins.
+  std::vector<double> cell_slack(nl.num_cells(),
+                                 std::numeric_limits<double>::infinity());
+  for (size_t p = 0; p < nl.num_pins(); ++p) {
+    if (!timer.graph().in_graph(static_cast<PinId>(p))) continue;
+    const CellId c = nl.pin(static_cast<PinId>(p)).cell;
+    cell_slack[static_cast<size_t>(c)] =
+        std::min(cell_slack[static_cast<size_t>(c)],
+                 timer.pin_slack(static_cast<PinId>(p)));
+  }
+
+  const auto& core = design.floorplan.core;
+  const Rect world{core.xl - 3, core.yl - 3, core.xh + 3, core.yh + 3};
+  SvgCanvas canvas(path, world, options.pixels);
+  draw_frame(canvas, design, options);
+  draw_cells(canvas, design, [&](CellId c) {
+    return slack_color(cell_slack[static_cast<size_t>(c)], wns);
+  });
+
+  if (options.draw_critical_path && !timer.graph().endpoints().empty()) {
+    // Overlay the worst-k endpoint paths.
+    const auto& slacks = timer.endpoint_slack();
+    std::vector<size_t> order;
+    for (size_t e = 0; e < slacks.size(); ++e)
+      if (std::isfinite(slacks[e])) order.push_back(e);
+    std::sort(order.begin(), order.end(),
+              [&](size_t a, size_t b) { return slacks[a] < slacks[b]; });
+    const int k_paths =
+        std::min<int>(options.highlight_paths, static_cast<int>(order.size()));
+    for (int k = 0; k < k_paths; ++k) {
+      const auto path_nodes =
+          timer.trace_critical_path(timer.graph().endpoints()[order[static_cast<size_t>(k)]].pin);
+      for (size_t i = 1; i < path_nodes.size(); ++i) {
+        const Vec2 a = timer.pin_positions()[static_cast<size_t>(path_nodes[i - 1].pin)];
+        const Vec2 b = timer.pin_positions()[static_cast<size_t>(path_nodes[i].pin)];
+        canvas.line(a.x, a.y, b.x, b.y, k == 0 ? "#ff5050" : "#ff9e3d",
+                    k == 0 ? 2.0 : 1.2);
+      }
+    }
+  }
+}
+
+}  // namespace dtp::io

@@ -1,0 +1,30 @@
+// SVG placement plots: the core with rows, cells, pads — optionally colored
+// by timing slack (red = critical, green = comfortable) with the worst path
+// overlaid.  Produces the classic placement-paper figure for any design
+// state; viewable in any browser.
+#pragma once
+
+#include <string>
+
+#include "netlist/netlist.h"
+#include "sta/timer.h"
+
+namespace dtp::io {
+
+struct SvgOptions {
+  double pixels = 900.0;       // output width (height scales with aspect)
+  bool draw_rows = true;
+  bool draw_critical_path = true;  // only when a timer is supplied
+  int highlight_paths = 3;         // worst-k endpoint paths overlaid
+};
+
+// Plain connectivity-free plot (cells as boxes).
+void write_placement_svg(const netlist::Design& design, const std::string& path,
+                         const SvgOptions& options = {});
+
+// Slack-colored plot: per-cell color from the worst slack over the cell's
+// pins.  `timer` must have completed evaluate() + update_required().
+void write_slack_svg(const netlist::Design& design, sta::Timer& timer,
+                     const std::string& path, const SvgOptions& options = {});
+
+}  // namespace dtp::io

@@ -1,0 +1,272 @@
+#include "io/verilog.h"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace dtp::io {
+
+using netlist::CellId;
+using netlist::NetId;
+
+void write_verilog(const netlist::Design& design, std::ostream& out) {
+  const netlist::Netlist& nl = design.netlist;
+
+  // Ports: pad cells. The port name doubles as the external net name.
+  std::vector<std::string> inputs, outputs;
+  for (size_t c = 0; c < nl.num_cells(); ++c) {
+    const auto id = static_cast<CellId>(c);
+    if (!nl.cell_is_port(id)) continue;
+    if (nl.lib_cell_of(id).kind == liberty::CellKind::PortIn)
+      inputs.push_back(nl.cell(id).name);
+    else
+      outputs.push_back(nl.cell(id).name);
+  }
+
+  out << "module " << design.name << " (";
+  bool first = true;
+  for (const auto& p : inputs) {
+    out << (first ? "" : ", ") << p;
+    first = false;
+  }
+  for (const auto& p : outputs) {
+    out << (first ? "" : ", ") << p;
+    first = false;
+  }
+  out << ");\n";
+  for (const auto& p : inputs) out << "  input " << p << ";\n";
+  for (const auto& p : outputs) out << "  output " << p << ";\n";
+
+  // Internal nets: every net not identical to a port name.  Pad-attached
+  // nets are emitted under their own (net) names; ports alias them via
+  // assign-free pad instances, so we simply declare all nets as wires except
+  // ones named exactly like a port.
+  for (size_t n = 0; n < nl.num_nets(); ++n)
+    out << "  wire " << nl.net(static_cast<NetId>(n)).name << ";\n";
+
+  // Pad connectivity is expressed with assigns (pads are not real gates).
+  for (size_t c = 0; c < nl.num_cells(); ++c) {
+    const auto id = static_cast<CellId>(c);
+    if (!nl.cell_is_port(id)) continue;
+    const netlist::PinId pad = nl.cell(id).first_pin;
+    const NetId net = nl.pin(pad).net;
+    if (net == netlist::kInvalidId) continue;
+    if (nl.lib_cell_of(id).kind == liberty::CellKind::PortIn)
+      out << "  assign " << nl.net(net).name << " = " << nl.cell(id).name << ";\n";
+    else
+      out << "  assign " << nl.cell(id).name << " = " << nl.net(net).name << ";\n";
+  }
+
+  // Gate instances.
+  for (size_t c = 0; c < nl.num_cells(); ++c) {
+    const auto id = static_cast<CellId>(c);
+    if (nl.cell_is_port(id)) continue;
+    const auto& cell = nl.cell(id);
+    const auto& master = nl.lib_cell_of(id);
+    out << "  " << master.name << " " << cell.name << " ( ";
+    bool first_pin = true;
+    for (int k = 0; k < cell.num_pins; ++k) {
+      const netlist::PinId p = cell.first_pin + k;
+      const NetId net = nl.pin(p).net;
+      if (net == netlist::kInvalidId) continue;
+      out << (first_pin ? "" : ", ") << "."
+          << master.pins[static_cast<size_t>(k)].name << "("
+          << nl.net(net).name << ")";
+      first_pin = false;
+    }
+    out << " );\n";
+  }
+  out << "endmodule\n";
+}
+
+void write_verilog_file(const netlist::Design& design, const std::string& path) {
+  std::ofstream out(path);
+  if (!out.good()) throw std::runtime_error("cannot open " + path + " for writing");
+  write_verilog(design, out);
+}
+
+namespace {
+
+class VlogLexer {
+ public:
+  explicit VlogLexer(std::istream& in) {
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    src_ = ss.str();
+  }
+
+  // Tokens: identifiers and single punctuation chars. Empty string = EOF.
+  std::string next() {
+    skip();
+    if (pos_ >= src_.size()) return {};
+    const char c = src_[pos_];
+    if (std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '\\' ||
+        c == '$') {
+      size_t start = pos_;
+      while (pos_ < src_.size()) {
+        const char d = src_[pos_];
+        if (std::isalnum(static_cast<unsigned char>(d)) || d == '_' || d == '$' ||
+            d == '\\')
+          ++pos_;
+        else
+          break;
+      }
+      return src_.substr(start, pos_ - start);
+    }
+    ++pos_;
+    return std::string(1, c);
+  }
+
+  int line() const { return line_; }
+
+ private:
+  void skip() {
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (c == '\n') {
+        ++line_;
+        ++pos_;
+      } else if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '/' && pos_ + 1 < src_.size() && src_[pos_ + 1] == '/') {
+        while (pos_ < src_.size() && src_[pos_] != '\n') ++pos_;
+      } else if (c == '/' && pos_ + 1 < src_.size() && src_[pos_ + 1] == '*') {
+        pos_ += 2;
+        while (pos_ + 1 < src_.size() && !(src_[pos_] == '*' && src_[pos_ + 1] == '/')) {
+          if (src_[pos_] == '\n') ++line_;
+          ++pos_;
+        }
+        pos_ = std::min(pos_ + 2, src_.size());
+      } else {
+        break;
+      }
+    }
+  }
+
+  std::string src_;
+  size_t pos_ = 0;
+  int line_ = 1;
+};
+
+[[noreturn]] void fail(const VlogLexer& lex, const std::string& msg) {
+  throw std::runtime_error("verilog parse error at line " +
+                           std::to_string(lex.line()) + ": " + msg);
+}
+
+}  // namespace
+
+netlist::Design read_verilog(const liberty::CellLibrary& lib, std::istream& in) {
+  VlogLexer lex(in);
+  std::string tok = lex.next();
+  if (tok != "module") fail(lex, "expected 'module'");
+  const std::string mod_name = lex.next();
+  netlist::Design design(&lib, mod_name);
+  netlist::Netlist& nl = design.netlist;
+
+  // Skip the port list — directions come from the declarations.
+  while (!(tok = lex.next()).empty() && tok != ";") {
+  }
+  if (tok.empty()) fail(lex, "unexpected EOF in module header");
+
+  struct PendingPort {
+    std::string name;
+    bool is_input;
+  };
+  std::vector<PendingPort> ports;
+  std::vector<std::string> wires;
+
+  struct Instance {
+    std::string master, name;
+    std::vector<std::pair<std::string, std::string>> conns;  // pin -> net
+  };
+  std::vector<Instance> instances;
+  std::vector<std::pair<std::string, std::string>> assigns;  // lhs = rhs
+
+  while (!(tok = lex.next()).empty() && tok != "endmodule") {
+    if (tok == "input" || tok == "output" || tok == "wire") {
+      const std::string kind = tok;
+      while (!(tok = lex.next()).empty() && tok != ";") {
+        if (tok == ",") continue;
+        if (kind == "wire")
+          wires.push_back(tok);
+        else
+          ports.push_back({tok, kind == "input"});
+      }
+    } else if (tok == "assign") {
+      const std::string lhs = lex.next();
+      if (lex.next() != "=") fail(lex, "expected '=' in assign");
+      const std::string rhs = lex.next();
+      if (lex.next() != ";") fail(lex, "expected ';' after assign");
+      assigns.emplace_back(lhs, rhs);
+    } else {
+      // Instance: MASTER name ( .PIN(net), ... );
+      Instance inst;
+      inst.master = tok;
+      inst.name = lex.next();
+      if (inst.name.empty()) fail(lex, "expected instance name");
+      if (lex.next() != "(") fail(lex, "expected '(' after instance name");
+      for (;;) {
+        tok = lex.next();
+        if (tok == ")") break;
+        if (tok == ",") continue;
+        if (tok != ".") fail(lex, "expected named connection '.pin(net)'");
+        const std::string pin = lex.next();
+        if (lex.next() != "(") fail(lex, "expected '(' in connection");
+        const std::string net = lex.next();
+        if (lex.next() != ")") fail(lex, "expected ')' in connection");
+        inst.conns.emplace_back(pin, net);
+      }
+      if (lex.next() != ";") fail(lex, "expected ';' after instance");
+      instances.push_back(std::move(inst));
+    }
+  }
+
+  // Create nets for every declared wire and every port.
+  auto ensure_net = [&](const std::string& name) -> NetId {
+    const NetId existing = nl.find_net(name);
+    return existing != netlist::kInvalidId ? existing : nl.add_net(name);
+  };
+  for (const std::string& w : wires) ensure_net(w);
+
+  // Ports become pad cells.  Direct port-to-net aliasing via assigns is
+  // resolved so the pad connects to the internal net.
+  const int port_in = lib.find_cell(liberty::CellLibrary::kPortInName);
+  const int port_out = lib.find_cell(liberty::CellLibrary::kPortOutName);
+  if (port_in < 0 || port_out < 0)
+    throw std::runtime_error("library lacks IO pad masters");
+  for (const PendingPort& port : ports) {
+    // assign <net> = <port>  (input) / assign <port> = <net>  (output)
+    std::string net_name = port.name;
+    for (const auto& [lhs, rhs] : assigns) {
+      if (port.is_input && rhs == port.name) net_name = lhs;
+      if (!port.is_input && lhs == port.name) net_name = rhs;
+    }
+    const NetId net = ensure_net(net_name);
+    const CellId pad = nl.add_cell(port.name, port.is_input ? port_in : port_out);
+    nl.cell(pad).fixed = true;
+    nl.connect(net, pad, "PAD");
+  }
+
+  for (const Instance& inst : instances) {
+    const int master = lib.find_cell(inst.master);
+    if (master < 0)
+      throw std::runtime_error("unknown master in verilog: " + inst.master);
+    const CellId cell = nl.add_cell(inst.name, master);
+    for (const auto& [pin, net] : inst.conns)
+      nl.connect(ensure_net(net), cell, pin);
+  }
+
+  design.init_positions();
+  return design;
+}
+
+netlist::Design read_verilog_file(const liberty::CellLibrary& lib,
+                                  const std::string& path) {
+  std::ifstream in(path);
+  if (!in.good()) throw std::runtime_error("cannot open " + path);
+  return read_verilog(lib, in);
+}
+
+}  // namespace dtp::io

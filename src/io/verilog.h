@@ -1,0 +1,36 @@
+// Structural Verilog subset writer and reader for gate-level netlists.
+//
+// The ICCAD 2015 suite ships its netlists as structural Verilog; this module
+// supports the same shape:
+//
+//   module <name> (port, port, ...);
+//     input  a, b;
+//     output y;
+//     wire   n1, n2;
+//     NAND2_X1 u1 ( .A(a), .B(n1), .Z(n2) );
+//   endmodule
+//
+// On read, each input/output port becomes an IO-pad cell (PortIn/PortOut)
+// named after the port and connected to the like-named net, matching how the
+// rest of this repo models primary IOs.  Masters are resolved against the
+// provided CellLibrary; named port connections only (positional connections
+// are rejected).  No behavioural constructs, buses, or assigns.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "netlist/netlist.h"
+
+namespace dtp::io {
+
+void write_verilog(const netlist::Design& design, std::ostream& out);
+void write_verilog_file(const netlist::Design& design, const std::string& path);
+
+// Parses a module into a fresh Design (netlist only; constraints/floorplan
+// keep defaults and positions are zero).  Throws on malformed input.
+netlist::Design read_verilog(const liberty::CellLibrary& lib, std::istream& in);
+netlist::Design read_verilog_file(const liberty::CellLibrary& lib,
+                                  const std::string& path);
+
+}  // namespace dtp::io

@@ -1,0 +1,116 @@
+// Cell library: the set of standard-cell masters a netlist instantiates.
+//
+// Widths/heights are in microns; time in nanoseconds; capacitance in
+// picofarads (matching the synthetic Liberty files this repo emits).  Two
+// special master kinds model primary IOs so the netlist, placer and timer can
+// treat ports uniformly as fixed zero-area cells.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/assert.h"
+#include "liberty/timing_arc.h"
+
+namespace dtp::liberty {
+
+enum class PinDir : uint8_t { Input, Output };
+
+struct LibPin {
+  std::string name;
+  PinDir dir = PinDir::Input;
+  double cap = 0.0;  // input pin capacitance (pF); 0 for outputs
+  bool is_clock = false;
+  // Pin offset from the cell origin (microns); pin location = cell pos + offset.
+  double offset_x = 0.0;
+  double offset_y = 0.0;
+};
+
+enum class CellKind : uint8_t {
+  Combinational,
+  Sequential,  // has ClockToQ arcs and setup/hold constraints on data pins
+  PortIn,      // primary input pad: one output pin, no arcs
+  PortOut,     // primary output pad: one input pin, no arcs
+};
+
+struct LibCell {
+  std::string name;
+  CellKind kind = CellKind::Combinational;
+  double width = 0.0;
+  double height = 0.0;
+  std::vector<LibPin> pins;
+  std::vector<TimingArc> arcs;
+  // Constraint values for sequential cells.  When the constraint LUTs are
+  // valid they take precedence and are queried at (data slew, clock slew),
+  // NLDM-style; the scalars remain as the fallback model.
+  double setup_time = 0.0;
+  double hold_time = 0.0;
+  Lut setup_lut;  // (x = data slew, y = clock slew) -> setup requirement
+  Lut hold_lut;
+
+  int find_pin(const std::string& pin_name) const {
+    for (size_t i = 0; i < pins.size(); ++i)
+      if (pins[i].name == pin_name) return static_cast<int>(i);
+    return -1;
+  }
+  bool is_port() const { return kind == CellKind::PortIn || kind == CellKind::PortOut; }
+};
+
+class CellLibrary {
+ public:
+  CellLibrary() = default;
+
+  // Registers a master; names must be unique.
+  int add_cell(LibCell cell) {
+    DTP_ASSERT_MSG(name_to_id_.find(cell.name) == name_to_id_.end(),
+                   "duplicate lib cell name");
+    const int id = static_cast<int>(cells_.size());
+    name_to_id_[cell.name] = id;
+    cells_.push_back(std::move(cell));
+    return id;
+  }
+
+  int find_cell(const std::string& name) const {
+    const auto it = name_to_id_.find(name);
+    return it == name_to_id_.end() ? -1 : it->second;
+  }
+
+  const LibCell& cell(int id) const { return cells_.at(static_cast<size_t>(id)); }
+  LibCell& cell(int id) { return cells_.at(static_cast<size_t>(id)); }
+  size_t size() const { return cells_.size(); }
+
+  // Lazily creates the IO-pad masters and returns their ids.  The input pad's
+  // single pin is an output (it drives the net); vice versa for output pads.
+  int ensure_port_in() {
+    int id = find_cell(kPortInName);
+    if (id >= 0) return id;
+    LibCell pad;
+    pad.name = kPortInName;
+    pad.kind = CellKind::PortIn;
+    pad.pins.push_back({"PAD", PinDir::Output, 0.0, false, 0.0, 0.0});
+    return add_cell(std::move(pad));
+  }
+  int ensure_port_out() {
+    int id = find_cell(kPortOutName);
+    if (id >= 0) return id;
+    LibCell pad;
+    pad.name = kPortOutName;
+    pad.kind = CellKind::PortOut;
+    pad.pins.push_back({"PAD", PinDir::Input, 0.0, false, 0.0, 0.0});
+    return add_cell(std::move(pad));
+  }
+
+  // Library-wide default slew axis (used when generating synthetic tables and
+  // as the clock-slew default).
+  double default_slew = 0.02;
+
+  static constexpr const char* kPortInName = "__PORT_IN__";
+  static constexpr const char* kPortOutName = "__PORT_OUT__";
+
+ private:
+  std::vector<LibCell> cells_;
+  std::unordered_map<std::string, int> name_to_id_;
+};
+
+}  // namespace dtp::liberty

@@ -1,0 +1,469 @@
+#include "liberty/liberty_io.h"
+
+#include <cctype>
+#include <fstream>
+#include <iomanip>
+#include <memory>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace dtp::liberty {
+
+// ---------------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------------
+namespace {
+
+void write_axis(std::ostream& out, const char* name, std::span<const double> axis,
+                const char* indent) {
+  out << indent << name << " (\"";
+  for (size_t i = 0; i < axis.size(); ++i) {
+    if (i) out << ", ";
+    out << std::setprecision(10) << axis[i];
+  }
+  out << "\");\n";
+}
+
+void write_lut(std::ostream& out, const char* group, const Lut& lut,
+               const char* indent) {
+  std::string inner = std::string(indent) + "  ";
+  out << indent << group << " () {\n";
+  write_axis(out, "index_1", lut.x_axis(), inner.c_str());
+  write_axis(out, "index_2", lut.y_axis(), inner.c_str());
+  out << inner << "values (";
+  for (size_t i = 0; i < lut.nx(); ++i) {
+    if (i) out << ", \\\n" << inner << "        ";
+    out << "\"";
+    for (size_t j = 0; j < lut.ny(); ++j) {
+      if (j) out << ", ";
+      out << std::setprecision(10) << lut.value_at(i, j);
+    }
+    out << "\"";
+  }
+  out << ");\n";
+  out << indent << "}\n";
+}
+
+const char* unate_name(Unateness u) {
+  switch (u) {
+    case Unateness::Positive: return "positive_unate";
+    case Unateness::Negative: return "negative_unate";
+    case Unateness::NonUnate: return "non_unate";
+  }
+  return "non_unate";
+}
+
+}  // namespace
+
+void write_liberty(const CellLibrary& lib, std::ostream& out,
+                   const std::string& library_name) {
+  out << "library (" << library_name << ") {\n";
+  out << "  time_unit : \"1ns\";\n";
+  out << "  capacitive_load_unit (1, pf);\n";
+  out << "  dtp_default_slew : " << std::setprecision(12) << lib.default_slew
+      << ";\n";
+  for (size_t c = 0; c < lib.size(); ++c) {
+    const LibCell& cell = lib.cell(static_cast<int>(c));
+    out << "  cell (" << cell.name << ") {\n";
+    out << "    area : " << cell.width * cell.height << ";\n";
+    out << "    dtp_width : " << cell.width << ";\n";
+    out << "    dtp_height : " << cell.height << ";\n";
+    switch (cell.kind) {
+      case CellKind::Sequential: out << "    dtp_kind : sequential;\n"; break;
+      case CellKind::PortIn: out << "    dtp_kind : port_in;\n"; break;
+      case CellKind::PortOut: out << "    dtp_kind : port_out;\n"; break;
+      case CellKind::Combinational: break;  // default, omitted
+    }
+    if (cell.kind == CellKind::Sequential) {
+      out << "    dtp_setup : " << cell.setup_time << ";\n";
+      out << "    dtp_hold : " << cell.hold_time << ";\n";
+      if (cell.setup_lut.valid())
+        write_lut(out, "dtp_setup_lut", cell.setup_lut, "    ");
+      if (cell.hold_lut.valid())
+        write_lut(out, "dtp_hold_lut", cell.hold_lut, "    ");
+    }
+    for (size_t p = 0; p < cell.pins.size(); ++p) {
+      const LibPin& pin = cell.pins[p];
+      out << "    pin (" << pin.name << ") {\n";
+      out << "      direction : " << (pin.dir == PinDir::Input ? "input" : "output")
+          << ";\n";
+      if (pin.dir == PinDir::Input)
+        out << "      capacitance : " << std::setprecision(10) << pin.cap << ";\n";
+      if (pin.is_clock) out << "      clock : true;\n";
+      out << "      dtp_offset_x : " << pin.offset_x << ";\n";
+      out << "      dtp_offset_y : " << pin.offset_y << ";\n";
+      // Liberty puts timing groups on the arc's *output* pin.
+      for (const TimingArc& arc : cell.arcs) {
+        if (arc.to_pin != static_cast<int>(p)) continue;
+        out << "      timing () {\n";
+        out << "        related_pin : \"" << cell.pins[static_cast<size_t>(arc.from_pin)].name
+            << "\";\n";
+        out << "        timing_sense : " << unate_name(arc.unate) << ";\n";
+        if (arc.kind == ArcKind::ClockToQ)
+          out << "        timing_type : rising_edge;\n";
+        write_lut(out, "cell_rise", arc.cell_rise, "        ");
+        write_lut(out, "cell_fall", arc.cell_fall, "        ");
+        write_lut(out, "rise_transition", arc.rise_transition, "        ");
+        write_lut(out, "fall_transition", arc.fall_transition, "        ");
+        out << "      }\n";
+      }
+      out << "    }\n";
+    }
+    out << "  }\n";
+  }
+  out << "}\n";
+}
+
+// ---------------------------------------------------------------------------
+// Parser: tokenizer + generic group AST + interpretation.
+// ---------------------------------------------------------------------------
+namespace {
+
+struct Token {
+  enum Kind { Ident, Str, Punct, End } kind = End;
+  std::string text;
+  int line = 0;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::istream& in) {
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    src_ = ss.str();
+  }
+
+  Token next() {
+    skip_ws_and_comments();
+    Token t;
+    t.line = line_;
+    if (pos_ >= src_.size()) {
+      t.kind = Token::End;
+      return t;
+    }
+    const char c = src_[pos_];
+    if (c == '"') {
+      ++pos_;
+      std::string s;
+      while (pos_ < src_.size() && src_[pos_] != '"') {
+        if (src_[pos_] == '\\' && pos_ + 1 < src_.size()) ++pos_;  // line splice
+        if (src_[pos_] == '\n') ++line_;
+        s += src_[pos_++];
+      }
+      if (pos_ >= src_.size()) fail("unterminated string");
+      ++pos_;
+      t.kind = Token::Str;
+      t.text = std::move(s);
+      return t;
+    }
+    if (std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '.' ||
+        c == '-' || c == '+') {
+      size_t start = pos_;
+      while (pos_ < src_.size()) {
+        const char d = src_[pos_];
+        if (std::isalnum(static_cast<unsigned char>(d)) || d == '_' || d == '.' ||
+            d == '-' || d == '+')
+          ++pos_;
+        else
+          break;
+      }
+      t.kind = Token::Ident;
+      t.text = src_.substr(start, pos_ - start);
+      return t;
+    }
+    t.kind = Token::Punct;
+    t.text = std::string(1, c);
+    ++pos_;
+    return t;
+  }
+
+  [[noreturn]] void fail(const std::string& msg) const {
+    throw std::runtime_error("liberty parse error at line " + std::to_string(line_) +
+                             ": " + msg);
+  }
+
+ private:
+  void skip_ws_and_comments() {
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (c == '\n') {
+        ++line_;
+        ++pos_;
+      } else if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '\\' && pos_ + 1 < src_.size() && src_[pos_ + 1] == '\n') {
+        ++line_;
+        pos_ += 2;  // line continuation
+      } else if (c == '/' && pos_ + 1 < src_.size() && src_[pos_ + 1] == '*') {
+        pos_ += 2;
+        while (pos_ + 1 < src_.size() && !(src_[pos_] == '*' && src_[pos_ + 1] == '/')) {
+          if (src_[pos_] == '\n') ++line_;
+          ++pos_;
+        }
+        pos_ = std::min(pos_ + 2, src_.size());
+      } else if (c == '/' && pos_ + 1 < src_.size() && src_[pos_ + 1] == '/') {
+        while (pos_ < src_.size() && src_[pos_] != '\n') ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  std::string src_;
+  size_t pos_ = 0;
+  int line_ = 1;
+};
+
+// Generic Liberty AST node: either a simple attribute `name : value;`, a
+// complex attribute `name (a, b, ...);`, or a group `name (args) { ... }`.
+struct Group {
+  std::string type;                 // e.g. "cell"
+  std::vector<std::string> args;    // e.g. {"INV_X1"}
+  std::vector<std::pair<std::string, std::string>> attrs;        // simple
+  std::vector<std::pair<std::string, std::vector<std::string>>> cattrs;  // complex
+  std::vector<std::unique_ptr<Group>> groups;
+
+  const std::string* attr(const std::string& name) const {
+    for (const auto& [k, v] : attrs)
+      if (k == name) return &v;
+    return nullptr;
+  }
+  double attr_double(const std::string& name, double fallback) const {
+    const std::string* s = attr(name);
+    return s ? std::stod(*s) : fallback;
+  }
+};
+
+class Parser {
+ public:
+  explicit Parser(std::istream& in) : lex_(in) { advance(); }
+
+  std::unique_ptr<Group> parse_top() {
+    auto g = parse_group();
+    if (g->type != "library") lex_.fail("expected top-level 'library' group");
+    return g;
+  }
+
+ private:
+  void advance() { cur_ = lex_.next(); }
+
+  void expect_punct(const char* p) {
+    if (cur_.kind != Token::Punct || cur_.text != p)
+      lex_.fail(std::string("expected '") + p + "', got '" + cur_.text + "'");
+    advance();
+  }
+
+  std::unique_ptr<Group> parse_group() {
+    auto g = std::make_unique<Group>();
+    if (cur_.kind != Token::Ident) lex_.fail("expected group name");
+    g->type = cur_.text;
+    advance();
+    expect_punct("(");
+    while (!(cur_.kind == Token::Punct && cur_.text == ")")) {
+      if (cur_.kind == Token::End) lex_.fail("unexpected EOF in group args");
+      if (cur_.kind == Token::Punct && cur_.text == ",") {
+        advance();
+        continue;
+      }
+      g->args.push_back(cur_.text);
+      advance();
+    }
+    advance();  // ')'
+    expect_punct("{");
+    parse_body(*g);
+    return g;
+  }
+
+  void parse_body(Group& g) {
+    for (;;) {
+      if (cur_.kind == Token::Punct && cur_.text == "}") {
+        advance();
+        // Optional trailing ';' after a group close.
+        if (cur_.kind == Token::Punct && cur_.text == ";") advance();
+        return;
+      }
+      if (cur_.kind == Token::End) lex_.fail("unexpected EOF in group body");
+      if (cur_.kind != Token::Ident) lex_.fail("expected statement");
+      const std::string name = cur_.text;
+      advance();
+      if (cur_.kind == Token::Punct && cur_.text == ":") {
+        advance();
+        std::string value = cur_.text;
+        advance();
+        // Liberty allows unquoted multi-token values; collect until ';'.
+        while (!(cur_.kind == Token::Punct && cur_.text == ";")) {
+          if (cur_.kind == Token::End) lex_.fail("unexpected EOF in attribute");
+          value += " " + cur_.text;
+          advance();
+        }
+        advance();  // ';'
+        g.attrs.emplace_back(name, value);
+      } else if (cur_.kind == Token::Punct && cur_.text == "(") {
+        // Complex attribute or nested group: disambiguate after ')'.
+        advance();
+        std::vector<std::string> args;
+        while (!(cur_.kind == Token::Punct && cur_.text == ")")) {
+          if (cur_.kind == Token::End) lex_.fail("unexpected EOF in arguments");
+          if (cur_.kind == Token::Punct && cur_.text == ",") {
+            advance();
+            continue;
+          }
+          args.push_back(cur_.text);
+          advance();
+        }
+        advance();  // ')'
+        if (cur_.kind == Token::Punct && cur_.text == "{") {
+          advance();
+          auto sub = std::make_unique<Group>();
+          sub->type = name;
+          sub->args = std::move(args);
+          parse_body(*sub);
+          g.groups.push_back(std::move(sub));
+        } else {
+          expect_punct(";");
+          g.cattrs.emplace_back(name, std::move(args));
+        }
+      } else {
+        lex_.fail("expected ':' or '(' after identifier '" + name + "'");
+      }
+    }
+  }
+
+  Lexer lex_;
+  Token cur_;
+};
+
+std::vector<double> parse_number_list(const std::string& s) {
+  std::vector<double> out;
+  std::string token;
+  std::istringstream is(s);
+  while (std::getline(is, token, ',')) {
+    // strip whitespace
+    size_t b = token.find_first_not_of(" \t\n\r");
+    if (b == std::string::npos) continue;
+    size_t e = token.find_last_not_of(" \t\n\r");
+    out.push_back(std::stod(token.substr(b, e - b + 1)));
+  }
+  return out;
+}
+
+Lut parse_lut_group(const Group& g) {
+  std::vector<double> xs{0.0}, ys{0.0}, vals;
+  for (const auto& [name, args] : g.cattrs) {
+    if (name == "index_1" && !args.empty()) xs = parse_number_list(args[0]);
+    if (name == "index_2" && !args.empty()) ys = parse_number_list(args[0]);
+    if (name == "values") {
+      vals.clear();
+      for (const std::string& row : args) {
+        auto nums = parse_number_list(row);
+        vals.insert(vals.end(), nums.begin(), nums.end());
+      }
+    }
+  }
+  if (vals.empty()) vals.assign(xs.size() * ys.size(), 0.0);
+  return Lut(std::move(xs), std::move(ys), std::move(vals));
+}
+
+Unateness parse_unate(const std::string& s) {
+  if (s == "positive_unate") return Unateness::Positive;
+  if (s == "negative_unate") return Unateness::Negative;
+  return Unateness::NonUnate;
+}
+
+}  // namespace
+
+CellLibrary parse_liberty(std::istream& in) {
+  Parser parser(in);
+  auto top = parser.parse_top();
+
+  CellLibrary lib;
+  lib.default_slew = top->attr_double("dtp_default_slew", lib.default_slew);
+
+  for (const auto& gc : top->groups) {
+    if (gc->type != "cell") continue;
+    if (gc->args.empty()) throw std::runtime_error("cell group without a name");
+    LibCell cell;
+    cell.name = gc->args[0];
+    cell.width = gc->attr_double("dtp_width", 0.0);
+    cell.height = gc->attr_double("dtp_height", 0.0);
+    cell.setup_time = gc->attr_double("dtp_setup", 0.0);
+    cell.hold_time = gc->attr_double("dtp_hold", 0.0);
+    if (const std::string* kind = gc->attr("dtp_kind")) {
+      if (*kind == "sequential") cell.kind = CellKind::Sequential;
+      else if (*kind == "port_in") cell.kind = CellKind::PortIn;
+      else if (*kind == "port_out") cell.kind = CellKind::PortOut;
+    }
+    for (const auto& gl : gc->groups) {
+      if (gl->type == "dtp_setup_lut") cell.setup_lut = parse_lut_group(*gl);
+      else if (gl->type == "dtp_hold_lut") cell.hold_lut = parse_lut_group(*gl);
+    }
+
+    // First pass: pins (so arc endpoints can be resolved by name).
+    for (const auto& gp : gc->groups) {
+      if (gp->type != "pin") continue;
+      if (gp->args.empty()) throw std::runtime_error("pin group without a name");
+      LibPin pin;
+      pin.name = gp->args[0];
+      if (const std::string* dir = gp->attr("direction"))
+        pin.dir = (*dir == "output") ? PinDir::Output : PinDir::Input;
+      pin.cap = gp->attr_double("capacitance", 0.0);
+      if (const std::string* clk = gp->attr("clock")) pin.is_clock = (*clk == "true");
+      pin.offset_x = gp->attr_double("dtp_offset_x", 0.0);
+      pin.offset_y = gp->attr_double("dtp_offset_y", 0.0);
+      cell.pins.push_back(std::move(pin));
+    }
+
+    // Second pass: timing groups hanging off output pins.
+    for (const auto& gp : gc->groups) {
+      if (gp->type != "pin") continue;
+      const int to_pin = cell.find_pin(gp->args[0]);
+      for (const auto& gt : gp->groups) {
+        if (gt->type != "timing") continue;
+        TimingArc arc;
+        arc.to_pin = to_pin;
+        if (const std::string* rp = gt->attr("related_pin")) {
+          arc.from_pin = cell.find_pin(*rp);
+          if (arc.from_pin < 0)
+            throw std::runtime_error("timing related_pin '" + *rp +
+                                     "' not found in cell " + cell.name);
+        } else {
+          throw std::runtime_error("timing group without related_pin in cell " +
+                                   cell.name);
+        }
+        if (const std::string* sense = gt->attr("timing_sense"))
+          arc.unate = parse_unate(*sense);
+        if (const std::string* type = gt->attr("timing_type")) {
+          if (*type == "rising_edge" || *type == "falling_edge")
+            arc.kind = ArcKind::ClockToQ;
+        }
+        for (const auto& glut : gt->groups) {
+          if (glut->type == "cell_rise") arc.cell_rise = parse_lut_group(*glut);
+          else if (glut->type == "cell_fall") arc.cell_fall = parse_lut_group(*glut);
+          else if (glut->type == "rise_transition")
+            arc.rise_transition = parse_lut_group(*glut);
+          else if (glut->type == "fall_transition")
+            arc.fall_transition = parse_lut_group(*glut);
+        }
+        cell.arcs.push_back(std::move(arc));
+      }
+    }
+    lib.add_cell(std::move(cell));
+  }
+  return lib;
+}
+
+void write_liberty_file(const CellLibrary& lib, const std::string& path,
+                        const std::string& library_name) {
+  std::ofstream out(path);
+  if (!out.good()) throw std::runtime_error("cannot open " + path + " for writing");
+  write_liberty(lib, out, library_name);
+}
+
+CellLibrary parse_liberty_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.good()) throw std::runtime_error("cannot open " + path);
+  return parse_liberty(in);
+}
+
+}  // namespace dtp::liberty

@@ -1,0 +1,39 @@
+// Liberty-subset reader and writer.
+//
+// This repo persists cell libraries in a subset of the Liberty (.lib) format:
+// `library`, `cell`, `pin` and `timing` groups, NLDM `cell_rise` /
+// `cell_fall` / `rise_transition` / `fall_transition` tables with inline
+// index_1/index_2/values, `direction`, `capacitance`, `clock`,
+// `timing_sense`, `timing_type` and `related_pin` attributes.  Geometry and
+// constraint values that real flows take from LEF and constraint LUTs are
+// carried as `dtp_*` extension attributes (dtp_width, dtp_height,
+// dtp_offset_x/y, dtp_setup, dtp_hold), so a library round-trips exactly:
+// parse(write(lib)) == lib.
+//
+// The parser is a recursive-descent parser over a generic
+// group/attribute/complex-attribute AST, so unknown groups and attributes are
+// skipped gracefully — real Liberty files with extra content parse as long as
+// the supported core is present.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "liberty/cell_library.h"
+
+namespace dtp::liberty {
+
+// Serializes the library (including IO-pad masters) to Liberty-subset text.
+void write_liberty(const CellLibrary& lib, std::ostream& out,
+                   const std::string& library_name = "dtp_synth");
+
+// Parses Liberty-subset text. Throws std::runtime_error with a line number on
+// malformed input.
+CellLibrary parse_liberty(std::istream& in);
+
+// File-path conveniences.
+void write_liberty_file(const CellLibrary& lib, const std::string& path,
+                        const std::string& library_name = "dtp_synth");
+CellLibrary parse_liberty_file(const std::string& path);
+
+}  // namespace dtp::liberty

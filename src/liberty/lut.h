@@ -1,0 +1,63 @@
+// Non-linear delay model (NLDM) look-up table with differentiable queries.
+//
+// A Lut is an Nx x Ny matrix of values v(i,j) with axis breakpoints
+// x_0..x_{Nx-1} (input slew) and y_0..y_{Ny-1} (output load), per the Liberty
+// NLDM convention (index_1 = input transition, index_2 = total output net
+// capacitance).  A query at (x, y) bilinearly interpolates inside the
+// surrounding 2x2 cell and linearly extrapolates outside the table, exactly as
+// commercial STA tools do.
+//
+// The paper's cell-arc backward pass (Eq. 12, Fig. 6) needs d(value)/dx and
+// d(value)/dy of the query.  Because bilinear interpolation is piecewise
+// differentiable, those are the slopes of the interpolating surface within the
+// selected cell; lookup_grad() returns them together with the value.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+namespace dtp::liberty {
+
+class Lut {
+ public:
+  Lut() = default;
+
+  // `values` is row-major over x: values[i * ny + j] = v(x_i, y_j).
+  Lut(std::vector<double> xs, std::vector<double> ys, std::vector<double> values);
+
+  // Constant table (0-dimensional): every query returns `c` with zero gradient.
+  static Lut constant(double c);
+
+  size_t nx() const { return xs_.size(); }
+  size_t ny() const { return ys_.size(); }
+  std::span<const double> x_axis() const { return xs_; }
+  std::span<const double> y_axis() const { return ys_; }
+  std::span<const double> values() const { return values_; }
+  double value_at(size_t i, size_t j) const { return values_[i * ys_.size() + j]; }
+
+  bool is_constant() const { return xs_.size() <= 1 && ys_.size() <= 1; }
+  // False for a default-constructed (empty) table; queries require valid().
+  bool valid() const { return !values_.empty(); }
+
+  // Interpolated/extrapolated query.
+  double lookup(double x, double y) const;
+
+  struct Query {
+    double value = 0.0;
+    double d_dx = 0.0;  // d(value)/d(input slew)
+    double d_dy = 0.0;  // d(value)/d(output load)
+  };
+  Query lookup_grad(double x, double y) const;
+
+ private:
+  // Index of the lower breakpoint of the interpolation interval for query q on
+  // `axis` (clamped so extrapolation reuses the edge interval slope).
+  static size_t lower_index(std::span<const double> axis, double q);
+
+  std::vector<double> xs_;
+  std::vector<double> ys_;
+  std::vector<double> values_;
+};
+
+}  // namespace dtp::liberty

@@ -1,0 +1,219 @@
+#include "liberty/synth_library.h"
+
+#include <cmath>
+
+namespace dtp::liberty {
+
+double synth_delay_model(double p, double r, double ks, double knl, double slew,
+                         double load) {
+  return p + r * load + ks * slew + knl * slew * load;
+}
+
+double synth_slew_model(double s0, double r, double beta, double kss, double slew,
+                        double load) {
+  return s0 + beta * r * load + kss * slew;
+}
+
+namespace {
+
+std::vector<double> geometric_axis(double lo, double hi, int n) {
+  std::vector<double> axis(static_cast<size_t>(n));
+  const double ratio = std::pow(hi / lo, 1.0 / (n - 1));
+  double v = lo;
+  for (int i = 0; i < n; ++i) {
+    axis[static_cast<size_t>(i)] = v;
+    v *= ratio;
+  }
+  axis.back() = hi;  // kill accumulated rounding
+  return axis;
+}
+
+// Electrical parameters of one timing arc "edge" (rise or fall).
+struct EdgeModel {
+  double p;    // intrinsic delay, ns
+  double r;    // drive resistance, kOhm
+  double ks;   // slew-to-delay coefficient
+  double knl;  // bilinear cross coefficient, ns / (ns*pF)
+  double s0;   // intrinsic output slew, ns
+  double beta; // output slew per R*load
+  double kss;  // input-slew feedthrough into output slew
+};
+
+Lut tabulate_delay(const std::vector<double>& slews, const std::vector<double>& loads,
+                   const EdgeModel& m) {
+  std::vector<double> v;
+  v.reserve(slews.size() * loads.size());
+  for (double s : slews)
+    for (double l : loads) v.push_back(synth_delay_model(m.p, m.r, m.ks, m.knl, s, l));
+  return Lut(slews, loads, std::move(v));
+}
+
+Lut tabulate_slew(const std::vector<double>& slews, const std::vector<double>& loads,
+                  const EdgeModel& m) {
+  std::vector<double> v;
+  v.reserve(slews.size() * loads.size());
+  for (double s : slews)
+    for (double l : loads) v.push_back(synth_slew_model(m.s0, m.r, m.beta, m.kss, s, l));
+  return Lut(slews, loads, std::move(v));
+}
+
+// Fills the four LUTs of an arc from a base model.  Rise edges are slightly
+// slower than fall edges (PMOS weaker than NMOS), the usual asymmetry.
+void fill_arc_tables(TimingArc& arc, const std::vector<double>& slews,
+                     const std::vector<double>& loads, EdgeModel base) {
+  EdgeModel rise = base, fall = base;
+  rise.p *= 1.07;
+  rise.r *= 1.10;
+  rise.s0 *= 1.08;
+  fall.p *= 0.93;
+  fall.r *= 0.92;
+  fall.s0 *= 0.94;
+  arc.cell_rise = tabulate_delay(slews, loads, rise);
+  arc.cell_fall = tabulate_delay(slews, loads, fall);
+  arc.rise_transition = tabulate_slew(slews, loads, rise);
+  arc.fall_transition = tabulate_slew(slews, loads, fall);
+}
+
+struct GateSpec {
+  const char* name;
+  int n_inputs;
+  Unateness unate;
+  double drive;      // relative drive strength (scales R down, cap/width up)
+  double logical_g;  // logical effort: scales input cap
+  double p_base;     // intrinsic delay at X1, ns
+};
+
+}  // namespace
+
+CellLibrary make_synthetic_library(const SynthLibraryOptions& opts) {
+  CellLibrary lib;
+  const auto slews = geometric_axis(opts.slew_min, opts.slew_max, opts.lut_size);
+  const auto loads = geometric_axis(opts.load_min, opts.load_max, opts.lut_size);
+  lib.default_slew = slews[2];
+
+  // X1 reference electricals.
+  const double kR1 = 6.0;     // kOhm drive resistance of a unit inverter
+  const double kCin1 = 0.0018;  // pF input cap of a unit inverter
+
+  const GateSpec gates[] = {
+      {"INV_X1", 1, Unateness::Negative, 1.0, 1.00, 0.008},
+      {"INV_X2", 1, Unateness::Negative, 2.0, 1.00, 0.008},
+      {"INV_X4", 1, Unateness::Negative, 4.0, 1.00, 0.009},
+      {"BUF_X1", 1, Unateness::Positive, 1.0, 1.80, 0.016},
+      {"BUF_X2", 1, Unateness::Positive, 2.0, 1.80, 0.017},
+      {"NAND2_X1", 2, Unateness::Negative, 1.0, 1.33, 0.010},
+      {"NAND2_X2", 2, Unateness::Negative, 2.0, 1.33, 0.011},
+      {"NOR2_X1", 2, Unateness::Negative, 1.0, 1.67, 0.012},
+      {"AOI21_X1", 3, Unateness::Negative, 1.0, 1.70, 0.014},
+      {"XOR2_X1", 2, Unateness::NonUnate, 1.0, 2.00, 0.018},
+  };
+
+  const char* input_names[] = {"A", "B", "C"};
+
+  for (const GateSpec& g : gates) {
+    LibCell cell;
+    cell.name = g.name;
+    cell.kind = CellKind::Combinational;
+    cell.height = opts.row_height;
+    // Width grows with input count and drive strength, snapped to sites.
+    const double raw_w =
+        opts.site_width * (1.0 + g.n_inputs) * (1.0 + 0.5 * std::log2(g.drive));
+    cell.width = std::ceil(raw_w / opts.site_width) * opts.site_width;
+
+    const double cin = kCin1 * g.logical_g * g.drive;
+    for (int i = 0; i < g.n_inputs; ++i) {
+      LibPin pin;
+      pin.name = input_names[i];
+      pin.dir = PinDir::Input;
+      pin.cap = cin;
+      pin.offset_x = cell.width * 0.15;
+      pin.offset_y = cell.height * (0.25 + 0.5 * i / std::max(1, g.n_inputs - 1));
+      if (g.n_inputs == 1) pin.offset_y = cell.height * 0.5;
+      cell.pins.push_back(pin);
+    }
+    LibPin out;
+    out.name = "Z";
+    out.dir = PinDir::Output;
+    out.offset_x = cell.width * 0.85;
+    out.offset_y = cell.height * 0.5;
+    cell.pins.push_back(out);
+    const int out_idx = g.n_inputs;
+
+    for (int i = 0; i < g.n_inputs; ++i) {
+      TimingArc arc;
+      arc.from_pin = i;
+      arc.to_pin = out_idx;
+      arc.kind = ArcKind::Combinational;
+      arc.unate = g.unate;
+      EdgeModel m;
+      m.r = kR1 / g.drive;
+      // Later inputs of a stack are slightly slower (series transistors).
+      m.p = g.p_base * (1.0 + 0.15 * i);
+      m.ks = 0.12;
+      m.knl = 0.8;
+      m.s0 = 0.006;
+      m.beta = 1.9;
+      m.kss = 0.10;
+      fill_arc_tables(arc, slews, loads, m);
+      cell.arcs.push_back(std::move(arc));
+    }
+    lib.add_cell(std::move(cell));
+  }
+
+  // D flip-flop: pins D (data in), CK (clock in), Q (out); CK->Q arc.
+  {
+    LibCell ff;
+    ff.name = "DFF_X1";
+    ff.kind = CellKind::Sequential;
+    ff.height = opts.row_height;
+    ff.width = 6.0 * opts.site_width;
+    ff.setup_time = 0.030;
+    ff.hold_time = 0.004;
+    // Constraint LUTs (x = data slew, y = clock slew): mildly increasing in
+    // data slew, with a small bilinear term so the gradient path through the
+    // constraint query is genuinely 2-D.
+    {
+      std::vector<double> sv, hv;
+      sv.reserve(slews.size() * slews.size());
+      hv.reserve(slews.size() * slews.size());
+      for (double ds : slews)
+        for (double cs : slews) {
+          sv.push_back(ff.setup_time + 0.30 * ds + 0.08 * cs + 0.15 * ds * cs);
+          hv.push_back(ff.hold_time + 0.06 * ds + 0.02 * cs);
+        }
+      ff.setup_lut = Lut(slews, slews, std::move(sv));
+      ff.hold_lut = Lut(slews, slews, std::move(hv));
+    }
+
+    LibPin d{"D", PinDir::Input, kCin1 * 1.4, false, ff.width * 0.12,
+             ff.height * 0.35};
+    LibPin ck{"CK", PinDir::Input, kCin1 * 1.1, true, ff.width * 0.12,
+              ff.height * 0.70};
+    LibPin q{"Q", PinDir::Output, 0.0, false, ff.width * 0.88, ff.height * 0.5};
+    ff.pins = {d, ck, q};
+
+    TimingArc c2q;
+    c2q.from_pin = 1;  // CK
+    c2q.to_pin = 2;    // Q
+    c2q.kind = ArcKind::ClockToQ;
+    c2q.unate = Unateness::Positive;  // rising clock edge launches both edges;
+                                      // positive-unate is the usual .lib idiom
+    EdgeModel m;
+    m.r = kR1 / 1.5;
+    m.p = 0.035;
+    m.ks = 0.05;
+    m.knl = 0.5;
+    m.s0 = 0.007;
+    m.beta = 1.9;
+    m.kss = 0.04;
+    fill_arc_tables(c2q, slews, loads, m);
+    ff.arcs.push_back(std::move(c2q));
+    lib.add_cell(std::move(ff));
+  }
+
+  lib.ensure_port_in();
+  lib.ensure_port_out();
+  return lib;
+}
+
+}  // namespace dtp::liberty

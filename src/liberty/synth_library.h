@@ -1,0 +1,43 @@
+// Synthetic standard-cell library generator.
+//
+// Stands in for a PDK's Liberty file (DESIGN.md §1): produces a small library
+// of combinational cells at several drive strengths plus a D flip-flop, with
+// 7x7 NLDM LUTs tabulated from a logical-effort-style analytic model
+//
+//     delay(slew, load) = P + R*load + ks*slew + knl*slew*load
+//     slew (slew, load) = s0 + beta*R*load + kss*slew
+//
+// The bilinear cross term `knl*slew*load` guarantees the tables are *not*
+// separable, so bilinear interpolation and its gradient (paper Fig. 6) are
+// genuinely exercised rather than degenerating to two 1-D lookups.
+//
+// Units: ns, pF, kOhm (kOhm * pF = ns), microns.
+#pragma once
+
+#include "liberty/cell_library.h"
+
+namespace dtp::liberty {
+
+struct SynthLibraryOptions {
+  int lut_size = 7;              // NLDM table dimension (lut_size x lut_size)
+  double slew_min = 0.002;       // ns, first slew breakpoint
+  double slew_max = 0.640;       // ns, last slew breakpoint (geometric axis)
+  double load_min = 0.0005;      // pF
+  double load_max = 0.2560;      // pF
+  double row_height = 2.0;       // microns, all cells share one row height
+  double site_width = 0.5;       // microns
+};
+
+// Builds the default synthetic library:
+//   INV_X1/X2/X4, BUF_X1/X2, NAND2_X1/X2, NOR2_X1, AOI21_X1, XOR2_X1 (non-unate),
+//   DFF_X1 (sequential), plus the IO-pad masters.
+CellLibrary make_synthetic_library(const SynthLibraryOptions& opts = {});
+
+// The analytic model behind the tables, exposed so tests can verify that LUT
+// interpolation reproduces it exactly at breakpoints and closely in between.
+double synth_delay_model(double p, double r, double ks, double knl, double slew,
+                         double load);
+double synth_slew_model(double s0, double r, double beta, double kss, double slew,
+                        double load);
+
+}  // namespace dtp::liberty

@@ -1,0 +1,40 @@
+// Library timing arcs: the cell-internal delay edges of the STA graph.
+//
+// A combinational or clock-to-Q arc carries four NLDM LUTs (cell_rise,
+// cell_fall, rise_transition, fall_transition) indexed by (input slew, output
+// load).  Unateness decides which input transition drives which output
+// transition: a positive-unate arc maps rise->rise / fall->fall, a
+// negative-unate arc maps fall->rise / rise->fall, and a non-unate arc maps
+// both (the worst is taken, smoothly in the differentiable timer).
+//
+// Setup/hold constraint arcs are modelled with constant values (a documented
+// simplification of the constraint LUTs; see DESIGN.md §1) and live on the
+// LibCell as setup_time/hold_time rather than as arcs.
+#pragma once
+
+#include <cstdint>
+
+#include "liberty/lut.h"
+
+namespace dtp::liberty {
+
+enum class ArcKind : uint8_t {
+  Combinational,  // input pin -> output pin through logic
+  ClockToQ,       // clock pin -> output pin of a sequential cell
+};
+
+enum class Unateness : uint8_t { Positive, Negative, NonUnate };
+
+struct TimingArc {
+  int from_pin = -1;  // lib-pin index within the owning LibCell
+  int to_pin = -1;    // lib-pin index within the owning LibCell
+  ArcKind kind = ArcKind::Combinational;
+  Unateness unate = Unateness::Negative;
+
+  Lut cell_rise;        // delay to an output *rise*
+  Lut cell_fall;        // delay to an output *fall*
+  Lut rise_transition;  // output slew of a rise
+  Lut fall_transition;  // output slew of a fall
+};
+
+}  // namespace dtp::liberty

@@ -1,0 +1,114 @@
+#include "netlist/netlist.h"
+
+#include <stdexcept>
+
+namespace dtp::netlist {
+
+CellId Netlist::add_cell(std::string name, int lib_cell_id) {
+  DTP_ASSERT(lib_cell_id >= 0 && static_cast<size_t>(lib_cell_id) < lib_->size());
+  if (cell_names_.count(name))
+    throw std::runtime_error("duplicate cell name: " + name);
+  const CellId id = static_cast<CellId>(cells_.size());
+  Cell cell;
+  cell.name = std::move(name);
+  cell.lib_cell = lib_cell_id;
+  cell.first_pin = static_cast<PinId>(pins_.size());
+  const liberty::LibCell& master = lib_->cell(lib_cell_id);
+  cell.num_pins = static_cast<int>(master.pins.size());
+  cell_names_[cell.name] = id;
+  cells_.push_back(std::move(cell));
+  for (int i = 0; i < static_cast<int>(master.pins.size()); ++i) {
+    Pin pin;
+    pin.cell = id;
+    pin.lib_pin = i;
+    pins_.push_back(pin);
+  }
+  return id;
+}
+
+NetId Netlist::add_net(std::string name) {
+  if (net_names_.count(name)) throw std::runtime_error("duplicate net name: " + name);
+  const NetId id = static_cast<NetId>(nets_.size());
+  Net net;
+  net.name = std::move(name);
+  net_names_[net.name] = id;
+  nets_.push_back(std::move(net));
+  return id;
+}
+
+PinId Netlist::connect(NetId net_id, CellId cell_id, const std::string& pin_name) {
+  const int idx = lib_cell_of(cell_id).find_pin(pin_name);
+  if (idx < 0)
+    throw std::runtime_error("cell " + cells_[static_cast<size_t>(cell_id)].name +
+                             " has no pin named " + pin_name);
+  return connect(net_id, cell_id, idx);
+}
+
+PinId Netlist::connect(NetId net_id, CellId cell_id, int lib_pin_index) {
+  DTP_ASSERT(net_id >= 0 && static_cast<size_t>(net_id) < nets_.size());
+  const Cell& cell = cells_[static_cast<size_t>(cell_id)];
+  DTP_ASSERT(lib_pin_index >= 0 && lib_pin_index < cell.num_pins);
+  const PinId pin_id = cell.first_pin + lib_pin_index;
+  Pin& pin = pins_[static_cast<size_t>(pin_id)];
+  if (pin.net != kInvalidId)
+    throw std::runtime_error("pin " + pin_full_name(pin_id) + " already connected");
+  pin.net = net_id;
+  Net& net = nets_[static_cast<size_t>(net_id)];
+  net.pins.push_back(pin_id);
+  if (pin_is_output(pin_id)) {
+    if (net.driver != kInvalidId)
+      throw std::runtime_error("net " + net.name + " has multiple drivers");
+    net.driver = pin_id;
+  }
+  return pin_id;
+}
+
+void Netlist::validate() const {
+  for (size_t n = 0; n < nets_.size(); ++n) {
+    const Net& net = nets_[n];
+    if (net.pins.empty())
+      throw std::runtime_error("net " + net.name + " has no pins");
+    if (net.driver == kInvalidId)
+      throw std::runtime_error("net " + net.name + " has no driver");
+    if (net.pins.size() < 2)
+      throw std::runtime_error("net " + net.name + " has no sinks");
+  }
+  for (size_t p = 0; p < pins_.size(); ++p) {
+    const Pin& pin = pins_[p];
+    // Clock pins and unconnected pins are allowed only where meaningful: an
+    // unconnected *output* of a port-in pad would orphan the port.
+    if (pin.net == kInvalidId) {
+      const CellId c = pin.cell;
+      if (cell_is_port(c))
+        throw std::runtime_error("port " + cells_[static_cast<size_t>(c)].name +
+                                 " is unconnected");
+    }
+  }
+}
+
+Netlist::Stats Netlist::stats() const {
+  Stats s;
+  s.num_cells = cells_.size();
+  for (size_t c = 0; c < cells_.size(); ++c) {
+    const auto id = static_cast<CellId>(c);
+    if (cell_is_port(id))
+      ++s.num_ports;
+    else {
+      ++s.num_std_cells;
+      if (cell_is_sequential(id)) ++s.num_seq_cells;
+    }
+  }
+  s.num_nets = nets_.size();
+  size_t total_degree = 0;
+  for (const Net& net : nets_) {
+    total_degree += net.pins.size();
+    s.max_net_degree = std::max(s.max_net_degree, net.pins.size());
+  }
+  s.num_pins = total_degree;
+  s.avg_net_degree = nets_.empty() ? 0.0
+                                   : static_cast<double>(total_degree) /
+                                         static_cast<double>(nets_.size());
+  return s;
+}
+
+}  // namespace dtp::netlist

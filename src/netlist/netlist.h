@@ -1,0 +1,189 @@
+// Flat netlist data model.
+//
+// A Netlist instantiates masters from a liberty::CellLibrary.  Storage is
+// index-based and append-only: cells, pins and nets live in flat vectors and
+// are referenced by dense integer ids, which is what the levelized timer and
+// the placer kernels iterate over (the CPU analogue of the paper's flattened
+// GPU arrays).  Every instantiated cell materializes one Pin per lib pin at
+// creation; unconnected pins keep net == kInvalidId.
+//
+// Primary IOs are ordinary cells whose master is one of the IO-pad masters
+// (CellKind::PortIn/PortOut), fixed in place by the floorplanner, so the
+// placer and timer need no special-casing for ports.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/assert.h"
+#include "common/vec2.h"
+#include "liberty/cell_library.h"
+
+namespace dtp::netlist {
+
+using CellId = int;
+using NetId = int;
+using PinId = int;
+inline constexpr int kInvalidId = -1;
+
+struct Cell {
+  std::string name;
+  int lib_cell = kInvalidId;
+  bool fixed = false;
+  PinId first_pin = kInvalidId;  // pins are contiguous: [first_pin, first_pin+n)
+  int num_pins = 0;
+};
+
+struct Pin {
+  CellId cell = kInvalidId;
+  int lib_pin = -1;       // index into LibCell::pins
+  NetId net = kInvalidId; // kInvalidId while unconnected
+};
+
+struct Net {
+  std::string name;
+  std::vector<PinId> pins;       // all connected pins; driver is listed too
+  PinId driver = kInvalidId;     // the single output pin on the net
+};
+
+class Netlist {
+ public:
+  explicit Netlist(const liberty::CellLibrary* library) : lib_(library) {
+    DTP_ASSERT(library != nullptr);
+  }
+
+  // ---- construction ----
+  CellId add_cell(std::string name, int lib_cell_id);
+  NetId add_net(std::string name);
+  // Connects the pin of `cell` whose lib-pin name is `pin_name` to `net`.
+  PinId connect(NetId net, CellId cell, const std::string& pin_name);
+  PinId connect(NetId net, CellId cell, int lib_pin_index);
+
+  // Validates single-driver nets, no dangling drivers, etc.  Throws
+  // std::runtime_error describing the first problem found.
+  void validate() const;
+
+  // ---- topology accessors ----
+  const liberty::CellLibrary& library() const { return *lib_; }
+  size_t num_cells() const { return cells_.size(); }
+  size_t num_nets() const { return nets_.size(); }
+  size_t num_pins() const { return pins_.size(); }
+
+  const Cell& cell(CellId id) const { return cells_[static_cast<size_t>(id)]; }
+  Cell& cell(CellId id) { return cells_[static_cast<size_t>(id)]; }
+  const Net& net(NetId id) const { return nets_[static_cast<size_t>(id)]; }
+  const Pin& pin(PinId id) const { return pins_[static_cast<size_t>(id)]; }
+
+  CellId find_cell(const std::string& name) const {
+    const auto it = cell_names_.find(name);
+    return it == cell_names_.end() ? kInvalidId : it->second;
+  }
+  NetId find_net(const std::string& name) const {
+    const auto it = net_names_.find(name);
+    return it == net_names_.end() ? kInvalidId : it->second;
+  }
+
+  // ---- derived pin properties (hot paths, header-inline) ----
+  const liberty::LibCell& lib_cell_of(CellId c) const {
+    return lib_->cell(cells_[static_cast<size_t>(c)].lib_cell);
+  }
+  const liberty::LibPin& lib_pin_of(PinId p) const {
+    const Pin& pin = pins_[static_cast<size_t>(p)];
+    return lib_cell_of(pin.cell).pins[static_cast<size_t>(pin.lib_pin)];
+  }
+  bool pin_is_output(PinId p) const {
+    return lib_pin_of(p).dir == liberty::PinDir::Output;
+  }
+  double pin_cap(PinId p) const { return lib_pin_of(p).cap; }
+  Vec2 pin_offset(PinId p) const {
+    const liberty::LibPin& lp = lib_pin_of(p);
+    return {lp.offset_x, lp.offset_y};
+  }
+  // The pin this pin belongs to, by cell pin name (debug/report paths).
+  std::string pin_full_name(PinId p) const {
+    const Pin& pin = pins_[static_cast<size_t>(p)];
+    return cells_[static_cast<size_t>(pin.cell)].name + "/" + lib_pin_of(p).name;
+  }
+  PinId pin_of_cell(CellId c, const std::string& pin_name) const {
+    const Cell& cell = cells_[static_cast<size_t>(c)];
+    const int idx = lib_cell_of(c).find_pin(pin_name);
+    return idx < 0 ? kInvalidId : cell.first_pin + idx;
+  }
+  bool cell_is_port(CellId c) const { return lib_cell_of(c).is_port(); }
+  bool cell_is_sequential(CellId c) const {
+    return lib_cell_of(c).kind == liberty::CellKind::Sequential;
+  }
+
+  struct Stats {
+    size_t num_cells = 0;      // all cells including IO pads
+    size_t num_std_cells = 0;  // movable standard cells
+    size_t num_seq_cells = 0;
+    size_t num_ports = 0;
+    size_t num_nets = 0;
+    size_t num_pins = 0;       // connected pins
+    double avg_net_degree = 0.0;
+    size_t max_net_degree = 0;
+  };
+  Stats stats() const;
+
+ private:
+  const liberty::CellLibrary* lib_;
+  std::vector<Cell> cells_;
+  std::vector<Pin> pins_;
+  std::vector<Net> nets_;
+  std::unordered_map<std::string, CellId> cell_names_;
+  std::unordered_map<std::string, NetId> net_names_;
+};
+
+// Design-level timing constraints (single ideal clock; see DESIGN.md §1).
+struct Constraints {
+  double clock_period = 1.0;   // ns
+  double clock_slew = 0.02;    // ns, constant slew of the ideal clock tree
+  double input_slew = 0.02;    // ns, default PI transition
+  double input_delay = 0.0;    // ns, default PI arrival time
+  double output_delay = 0.0;   // ns, margin required at POs
+  double output_load = 0.004;  // pF, default load on POs
+  // Unit-length wire parasitics (per micron).
+  double wire_res = 0.0004;    // kOhm / micron
+  double wire_cap = 0.0002;    // pF / micron
+  // Per-port overrides keyed by port cell name.
+  std::unordered_map<std::string, double> input_delay_override;
+  std::unordered_map<std::string, double> input_slew_override;
+  std::unordered_map<std::string, double> output_delay_override;
+  std::unordered_map<std::string, double> output_load_override;
+};
+
+// Placement region geometry.
+struct Floorplan {
+  Rect core;                 // placeable area, microns
+  double row_height = 2.0;   // microns
+  double site_width = 0.5;   // microns
+  int num_rows() const {
+    return static_cast<int>(core.height() / row_height + 0.5);
+  }
+};
+
+// A complete design: netlist + constraints + floorplan + cell locations, the
+// unit every stage of the flow (placer, timer, IO) operates on.  cell_x/cell_y
+// hold the *origin* (lower-left) of each cell; pin locations add the lib-pin
+// offsets.  Cells flagged fixed (IO pads, macros) keep their coordinates
+// through placement.
+struct Design {
+  std::string name;
+  Netlist netlist;
+  Constraints constraints;
+  Floorplan floorplan;
+  std::vector<double> cell_x, cell_y;  // indexed by CellId
+
+  explicit Design(const liberty::CellLibrary* lib, std::string design_name = "top")
+      : name(std::move(design_name)), netlist(lib) {}
+
+  // Call after netlist construction to size the position arrays.
+  void init_positions() {
+    cell_x.assign(netlist.num_cells(), 0.0);
+    cell_y.assign(netlist.num_cells(), 0.0);
+  }
+};
+
+}  // namespace dtp::netlist

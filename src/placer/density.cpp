@@ -1,0 +1,135 @@
+#include "placer/density.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.h"
+
+namespace dtp::placer {
+
+using netlist::CellId;
+
+DensityModel::DensityModel(const netlist::Design& design, int bins_per_dim,
+                           double target_density)
+    : design_(&design),
+      m_(bins_per_dim),
+      target_density_(target_density),
+      bin_w_(design.floorplan.core.width() / bins_per_dim),
+      bin_h_(design.floorplan.core.height() / bins_per_dim),
+      solver_(bins_per_dim, design.floorplan.core.width(),
+              design.floorplan.core.height()) {
+  const netlist::Netlist& nl = design.netlist;
+  const size_t n = nl.num_cells();
+  cell_w_.resize(n);
+  cell_h_.resize(n);
+  cell_area_.resize(n);
+  movable_.resize(n);
+  for (size_t c = 0; c < n; ++c) {
+    const liberty::LibCell& master = nl.lib_cell_of(static_cast<CellId>(c));
+    cell_w_[c] = master.width;
+    cell_h_[c] = master.height;
+    cell_area_[c] = master.width * master.height;
+    movable_[c] = !nl.cell(static_cast<CellId>(c)).fixed;
+    if (movable_[c]) total_movable_area_ += cell_area_[c];
+  }
+  rho_.assign(static_cast<size_t>(m_) * m_, 0.0);
+}
+
+DensityModel::Footprint DensityModel::footprint(size_t c, double x,
+                                                double y) const {
+  // Inflate to at least bin dimensions, keeping the center and total charge.
+  const double w = std::max(cell_w_[c], bin_w_);
+  const double h = std::max(cell_h_[c], bin_h_);
+  const double cx = x + 0.5 * cell_w_[c];
+  const double cy = y + 0.5 * cell_h_[c];
+  Footprint f;
+  f.xl = cx - 0.5 * w;
+  f.xh = cx + 0.5 * w;
+  f.yl = cy - 0.5 * h;
+  f.yh = cy + 0.5 * h;
+  f.scale = cell_area_[c] / (w * h);  // charge density inside the footprint
+  return f;
+}
+
+DensityStats DensityModel::update(std::span<const double> x,
+                                  std::span<const double> y) {
+  const Rect& core = design_->floorplan.core;
+  std::fill(rho_.begin(), rho_.end(), 0.0);
+
+  for (size_t c = 0; c < cell_w_.size(); ++c) {
+    if (!movable_[c] || cell_area_[c] <= 0.0) continue;
+    const Footprint f = footprint(c, x[c], y[c]);
+    // Clamp to the core and convert to bin index ranges.
+    const double xl = std::max(f.xl - core.xl, 0.0);
+    const double xh = std::min(f.xh - core.xl, core.width());
+    const double yl = std::max(f.yl - core.yl, 0.0);
+    const double yh = std::min(f.yh - core.yl, core.height());
+    if (xl >= xh || yl >= yh) continue;
+    const int bx0 = std::clamp(static_cast<int>(xl / bin_w_), 0, m_ - 1);
+    const int bx1 = std::clamp(static_cast<int>(xh / bin_w_), 0, m_ - 1);
+    const int by0 = std::clamp(static_cast<int>(yl / bin_h_), 0, m_ - 1);
+    const int by1 = std::clamp(static_cast<int>(yh / bin_h_), 0, m_ - 1);
+    for (int bx = bx0; bx <= bx1; ++bx) {
+      const double ox = std::min(xh, (bx + 1) * bin_w_) - std::max(xl, bx * bin_w_);
+      if (ox <= 0.0) continue;
+      for (int by = by0; by <= by1; ++by) {
+        const double oy =
+            std::min(yh, (by + 1) * bin_h_) - std::max(yl, by * bin_h_);
+        if (oy <= 0.0) continue;
+        rho_[static_cast<size_t>(bx) * m_ + by] += f.scale * ox * oy;
+      }
+    }
+  }
+
+  solver_.solve(rho_, psi_, field_x_, field_y_);
+
+  DensityStats stats;
+  stats.energy = PoissonSolver::energy(rho_, psi_);
+  const double bin_area = bin_w_ * bin_h_;
+  const double cap = target_density_ * bin_area;
+  double over = 0.0;
+  for (double r : rho_) {
+    over += std::max(0.0, r - cap);
+    stats.max_density = std::max(stats.max_density, r / bin_area);
+  }
+  stats.overflow = total_movable_area_ > 0 ? over / total_movable_area_ : 0.0;
+  return stats;
+}
+
+void DensityModel::add_gradient(std::span<const double> x,
+                                std::span<const double> y, double lambda,
+                                std::span<double> gx, std::span<double> gy) const {
+  const Rect& core = design_->floorplan.core;
+  for (size_t c = 0; c < cell_w_.size(); ++c) {
+    if (!movable_[c] || cell_area_[c] <= 0.0) continue;
+    const Footprint f = footprint(c, x[c], y[c]);
+    const double xl = std::max(f.xl - core.xl, 0.0);
+    const double xh = std::min(f.xh - core.xl, core.width());
+    const double yl = std::max(f.yl - core.yl, 0.0);
+    const double yh = std::min(f.yh - core.yl, core.height());
+    if (xl >= xh || yl >= yh) continue;
+    const int bx0 = std::clamp(static_cast<int>(xl / bin_w_), 0, m_ - 1);
+    const int bx1 = std::clamp(static_cast<int>(xh / bin_w_), 0, m_ - 1);
+    const int by0 = std::clamp(static_cast<int>(yl / bin_h_), 0, m_ - 1);
+    const int by1 = std::clamp(static_cast<int>(yh / bin_h_), 0, m_ - 1);
+    double fx = 0.0, fy = 0.0;
+    for (int bx = bx0; bx <= bx1; ++bx) {
+      const double ox = std::min(xh, (bx + 1) * bin_w_) - std::max(xl, bx * bin_w_);
+      if (ox <= 0.0) continue;
+      for (int by = by0; by <= by1; ++by) {
+        const double oy =
+            std::min(yh, (by + 1) * bin_h_) - std::max(yl, by * bin_h_);
+        if (oy <= 0.0) continue;
+        const double q = f.scale * ox * oy;
+        fx += q * field_x_[static_cast<size_t>(bx) * m_ + by];
+        fy += q * field_y_[static_cast<size_t>(bx) * m_ + by];
+      }
+    }
+    // The force -q*grad(psi) = +q*field pulls cells from dense to sparse
+    // regions; as an objective gradient it enters with the opposite sign.
+    gx[c] += -lambda * fx;
+    gy[c] += -lambda * fy;
+  }
+}
+
+}  // namespace dtp::placer

@@ -1,0 +1,157 @@
+#include "placer/fft.h"
+
+#include <cmath>
+#include <memory>
+
+#include "common/assert.h"
+
+namespace dtp::placer {
+
+namespace {
+constexpr double kPi = 3.14159265358979323846;
+}
+
+Fft::Fft(size_t n) : n_(n) {
+  DTP_ASSERT_MSG(is_power_of_two(n), "FFT size must be a power of two");
+  bit_reverse_.resize(n);
+  size_t bits = 0;
+  while ((size_t{1} << bits) < n) ++bits;
+  for (size_t i = 0; i < n; ++i) {
+    size_t r = 0;
+    for (size_t b = 0; b < bits; ++b)
+      if (i & (size_t{1} << b)) r |= size_t{1} << (bits - 1 - b);
+    bit_reverse_[i] = r;
+  }
+  tw_re_.resize(n / 2);
+  tw_im_.resize(n / 2);
+  for (size_t k = 0; k < n / 2; ++k) {
+    tw_re_[k] = std::cos(2.0 * kPi * static_cast<double>(k) / static_cast<double>(n));
+    tw_im_[k] = -std::sin(2.0 * kPi * static_cast<double>(k) / static_cast<double>(n));
+  }
+}
+
+void Fft::transform(std::vector<double>& re, std::vector<double>& im,
+                    bool invert) const {
+  DTP_ASSERT(re.size() == n_ && im.size() == n_);
+  for (size_t i = 0; i < n_; ++i) {
+    const size_t j = bit_reverse_[i];
+    if (i < j) {
+      std::swap(re[i], re[j]);
+      std::swap(im[i], im[j]);
+    }
+  }
+  for (size_t len = 2; len <= n_; len <<= 1) {
+    const size_t step = n_ / len;
+    for (size_t block = 0; block < n_; block += len) {
+      for (size_t k = 0; k < len / 2; ++k) {
+        const size_t t = k * step;
+        const double wr = tw_re_[t];
+        const double wi = invert ? -tw_im_[t] : tw_im_[t];
+        const size_t a = block + k;
+        const size_t b = a + len / 2;
+        const double xr = re[b] * wr - im[b] * wi;
+        const double xi = re[b] * wi + im[b] * wr;
+        re[b] = re[a] - xr;
+        im[b] = im[a] - xi;
+        re[a] += xr;
+        im[a] += xi;
+      }
+    }
+  }
+}
+
+void Fft::forward(std::vector<double>& re, std::vector<double>& im) const {
+  transform(re, im, /*invert=*/false);
+}
+
+void Fft::inverse(std::vector<double>& re, std::vector<double>& im) const {
+  transform(re, im, /*invert=*/true);
+}
+
+HalfSampleTransform::HalfSampleTransform(size_t m) : m_(m) {
+  DTP_ASSERT(m >= 2);
+  if (is_power_of_two(m)) {
+    fft_ = std::make_unique<Fft>(2 * m);
+    rot_re_.resize(m);
+    rot_im_.resize(m);
+    for (size_t u = 0; u < m; ++u) {
+      const double theta = kPi * static_cast<double>(u) / (2.0 * static_cast<double>(m));
+      rot_re_[u] = std::cos(theta);
+      rot_im_[u] = std::sin(theta);  // e^{+i theta}; conjugate applied as needed
+    }
+  } else {
+    cos_tab_.resize(m * m);
+    sin_tab_.resize(m * m);
+    for (size_t u = 0; u < m; ++u)
+      for (size_t x = 0; x < m; ++x) {
+        const double theta =
+            kPi * static_cast<double>(u) * (static_cast<double>(x) + 0.5) /
+            static_cast<double>(m);
+        cos_tab_[u * m + x] = std::cos(theta);
+        sin_tab_[u * m + x] = std::sin(theta);
+      }
+  }
+}
+
+void HalfSampleTransform::dct2(const double* in, double* out) const {
+  if (!fft_) {
+    for (size_t u = 0; u < m_; ++u) {
+      double acc = 0.0;
+      const double* row = cos_tab_.data() + u * m_;
+      for (size_t x = 0; x < m_; ++x) acc += in[x] * row[x];
+      out[u] = acc;
+    }
+    return;
+  }
+  const size_t n = 2 * m_;
+  scratch_re_.assign(n, 0.0);
+  scratch_im_.assign(n, 0.0);
+  for (size_t x = 0; x < m_; ++x) scratch_re_[x] = in[x];
+  fft_->forward(scratch_re_, scratch_im_);
+  // X_u = Re( e^{-i pi u/(2m)} V_u ).
+  for (size_t u = 0; u < m_; ++u)
+    out[u] = rot_re_[u] * scratch_re_[u] + rot_im_[u] * scratch_im_[u];
+}
+
+void HalfSampleTransform::eval_cos(const double* in, double* out) const {
+  if (!fft_) {
+    for (size_t x = 0; x < m_; ++x) {
+      double acc = 0.0;
+      for (size_t u = 0; u < m_; ++u) acc += in[u] * cos_tab_[u * m_ + x];
+      out[x] = acc;
+    }
+    return;
+  }
+  const size_t n = 2 * m_;
+  scratch_re_.assign(n, 0.0);
+  scratch_im_.assign(n, 0.0);
+  // c_u = a_u e^{+i pi u/(2m)}; W = IDFT(c) (no 1/N); f(x) = Re W_x.
+  for (size_t u = 0; u < m_; ++u) {
+    scratch_re_[u] = in[u] * rot_re_[u];
+    scratch_im_[u] = in[u] * rot_im_[u];
+  }
+  fft_->inverse(scratch_re_, scratch_im_);
+  for (size_t x = 0; x < m_; ++x) out[x] = scratch_re_[x];
+}
+
+void HalfSampleTransform::eval_sin(const double* in, double* out) const {
+  if (!fft_) {
+    for (size_t x = 0; x < m_; ++x) {
+      double acc = 0.0;
+      for (size_t u = 0; u < m_; ++u) acc += in[u] * sin_tab_[u * m_ + x];
+      out[x] = acc;
+    }
+    return;
+  }
+  const size_t n = 2 * m_;
+  scratch_re_.assign(n, 0.0);
+  scratch_im_.assign(n, 0.0);
+  for (size_t u = 0; u < m_; ++u) {
+    scratch_re_[u] = in[u] * rot_re_[u];
+    scratch_im_[u] = in[u] * rot_im_[u];
+  }
+  fft_->inverse(scratch_re_, scratch_im_);
+  for (size_t x = 0; x < m_; ++x) out[x] = scratch_im_[x];
+}
+
+}  // namespace dtp::placer

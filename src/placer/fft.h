@@ -1,0 +1,75 @@
+// Iterative radix-2 complex FFT and the half-sample cosine/sine row kernels
+// built on it — the fast path of the spectral Poisson solver (the CPU
+// analogue of DREAMPlace's dct2_fft2 CUDA kernels).
+//
+// All transforms here use the "half-sample" Neumann basis
+//
+//   C_u(x) = cos(pi*u*(x+1/2)/m),   S_u(x) = sin(pi*u*(x+1/2)/m)
+//
+// with three row kernels:
+//
+//   dct2      : X_u  = sum_x x_x * C_u(x)          (analysis / DCT-II)
+//   eval_cos  : f(x) = sum_u a_u * C_u(x)          (synthesis / DCT-III-like)
+//   eval_sin  : f(x) = sum_u b_u * S_u(x)          (sine synthesis)
+//
+// Each is reduced to one complex FFT of size 2m with twiddle pre/post
+// rotation; sizes must be powers of two.  The equivalent O(m^2) direct sums
+// live in the same interface (used for odd sizes and as the test oracle).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+namespace dtp::placer {
+
+using std::size_t;
+
+// Radix-2 complex FFT plan for a fixed power-of-two size.
+class Fft {
+ public:
+  explicit Fft(size_t n);  // n must be a power of two
+
+  size_t size() const { return n_; }
+
+  // In-place forward DFT: X_k = sum_n x_n e^{-i 2 pi k n / N}.
+  void forward(std::vector<double>& re, std::vector<double>& im) const;
+  // In-place inverse DFT *without* the 1/N factor.
+  void inverse(std::vector<double>& re, std::vector<double>& im) const;
+
+ private:
+  void transform(std::vector<double>& re, std::vector<double>& im,
+                 bool invert) const;
+
+  size_t n_;
+  std::vector<size_t> bit_reverse_;
+  std::vector<double> tw_re_, tw_im_;  // e^{-i 2 pi k / N}, k < N/2
+};
+
+// Half-sample transform plan of length m (rows of the Poisson grid).
+class HalfSampleTransform {
+ public:
+  explicit HalfSampleTransform(size_t m);
+
+  size_t size() const { return m_; }
+  bool fast() const { return fft_ != nullptr; }
+
+  // out[u] = sum_x in[x] cos(pi u (x+1/2) / m)
+  void dct2(const double* in, double* out) const;
+  // out[x] = sum_u in[u] cos(pi u (x+1/2) / m)
+  void eval_cos(const double* in, double* out) const;
+  // out[x] = sum_u in[u] sin(pi u (x+1/2) / m)
+  void eval_sin(const double* in, double* out) const;
+
+ private:
+  size_t m_;
+  std::unique_ptr<Fft> fft_;  // size 2m; null when m is not a power of two
+  // Precomputed tables for both the fast rotations and the slow path.
+  std::vector<double> cos_tab_, sin_tab_;    // [u*m + x] direct tables
+  std::vector<double> rot_re_, rot_im_;      // e^{-i pi k / (2m)}, k < 2m
+  mutable std::vector<double> scratch_re_, scratch_im_;
+};
+
+inline bool is_power_of_two(size_t n) { return n != 0 && (n & (n - 1)) == 0; }
+
+}  // namespace dtp::placer

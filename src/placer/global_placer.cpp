@@ -1,0 +1,256 @@
+#include "placer/global_placer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logger.h"
+#include "common/stopwatch.h"
+
+namespace dtp::placer {
+
+using netlist::CellId;
+
+GlobalPlacer::GlobalPlacer(netlist::Design& design, const sta::TimingGraph& graph,
+                           GlobalPlacerOptions options)
+    : design_(&design), graph_(&graph), options_(options) {
+  wl_ = std::make_unique<WirelengthModel>(design, options_.ignore_net_degree);
+  const int bins = options_.bins > 0 ? options_.bins : auto_bins();
+  density_ = std::make_unique<DensityModel>(design, bins, options_.target_density);
+  if (options_.use_adam)
+    optimizer_ = std::make_unique<AdamOptimizer>(options_.adam_lr_bins *
+                                                 density_->bin_w());
+  else
+    optimizer_ = std::make_unique<NesterovOptimizer>();
+
+  if (options_.mode == PlacerMode::DiffTiming) {
+    dtimer::DiffTimerOptions dopts;
+    dopts.gamma = options_.gamma_timing;
+    dopts.steiner_rebuild_period = options_.steiner_period;
+    dopts.rsmt = options_.rsmt;
+    dopts.wire_model = options_.wire_model;
+    diff_timer_ = std::make_unique<dtimer::DiffTimer>(design, graph, dopts);
+  }
+  if (options_.mode == PlacerMode::NetWeighting ||
+      options_.probe_timing_every > 0) {
+    exact_timer_ = std::make_unique<sta::Timer>(design, graph);
+    if (options_.mode == PlacerMode::NetWeighting)
+      net_weighting_ = std::make_unique<NetWeighting>(design, graph, options_.nw);
+  }
+}
+
+int GlobalPlacer::auto_bins() const {
+  size_t movable = 0;
+  for (size_t c = 0; c < design_->netlist.num_cells(); ++c)
+    if (!design_->netlist.cell(static_cast<CellId>(c)).fixed) ++movable;
+  int m = 16;
+  while (m * m < static_cast<int>(movable) && m < 256) m *= 2;
+  return m;
+}
+
+void GlobalPlacer::update_wl_gamma(double overflow) {
+  // RePlAce-style schedule: heavy smoothing while dense, sharp when spread.
+  const double bw = density_->bin_w();
+  const double k = 20.0 / 9.0;
+  const double gamma = 8.0 * bw * std::pow(10.0, k * (overflow - 0.1) - 1.0);
+  wl_->set_gamma(std::clamp(gamma, 0.1 * bw, 80.0 * bw));
+}
+
+PlaceResult GlobalPlacer::run() {
+  Stopwatch total_clock;
+  netlist::Netlist& nl = design_->netlist;
+  const size_t n = nl.num_cells();
+  auto& x = design_->cell_x;
+  auto& y = design_->cell_y;
+  const Rect& core = design_->floorplan.core;
+
+  std::vector<char> movable(n, 0);
+  std::vector<double> width(n, 0.0), height(n, 0.0), area(n, 0.0);
+  for (size_t c = 0; c < n; ++c) {
+    movable[c] = !nl.cell(static_cast<CellId>(c)).fixed;
+    const liberty::LibCell& master = nl.lib_cell_of(static_cast<CellId>(c));
+    width[c] = master.width;
+    height[c] = master.height;
+    area[c] = master.width * master.height;
+  }
+  double mean_area = 0.0;
+  size_t n_mov = 0;
+  for (size_t c = 0; c < n; ++c)
+    if (movable[c]) {
+      mean_area += area[c];
+      ++n_mov;
+    }
+  mean_area /= std::max<size_t>(1, n_mov);
+
+  std::vector<double> g_wl_x(n), g_wl_y(n), g_den_x(n), g_den_y(n);
+  std::vector<double> g_t_x(n), g_t_y(n), g_x(n), g_y(n);
+  std::vector<double> precond = wl_->cell_incidence_weights();
+
+  PlaceResult result;
+  double lambda = 0.0;
+  bool timing_active = false;
+  double t_mix = options_.t1;
+  double timing_scale = -1.0;  // frozen |WL|/|timing| ratio, set at activation
+  double sta_time = 0.0;
+
+  auto l1 = [&](const std::vector<double>& a, const std::vector<double>& b) {
+    double s = 0.0;
+    for (size_t i = 0; i < a.size(); ++i) s += std::abs(a[i]) + std::abs(b[i]);
+    return s;
+  };
+
+  int iter = 0;
+  for (; iter < options_.max_iters; ++iter) {
+    // ---- density field + overflow ----
+    const DensityStats ds = density_->update(x, y);
+    update_wl_gamma(ds.overflow);
+
+    // ---- wirelength gradient ----
+    std::fill(g_wl_x.begin(), g_wl_x.end(), 0.0);
+    std::fill(g_wl_y.begin(), g_wl_y.end(), 0.0);
+    wl_->value_and_gradient(x, y, g_wl_x, g_wl_y);
+
+    // ---- density gradient (lambda-scaled inside) ----
+    std::fill(g_den_x.begin(), g_den_x.end(), 0.0);
+    std::fill(g_den_y.begin(), g_den_y.end(), 0.0);
+    if (lambda == 0.0) {
+      // Initialize lambda so density force starts as a fixed fraction of the
+      // wirelength force (ePlace's initialization).
+      density_->add_gradient(x, y, 1.0, g_den_x, g_den_y);
+      const double wl_norm = l1(g_wl_x, g_wl_y);
+      const double den_norm = l1(g_den_x, g_den_y);
+      lambda = den_norm > 1e-30
+                   ? options_.lambda_init_ratio * wl_norm / den_norm
+                   : 1.0;
+      for (size_t c = 0; c < n; ++c) {
+        g_den_x[c] *= lambda;
+        g_den_y[c] *= lambda;
+      }
+    } else {
+      density_->add_gradient(x, y, lambda, g_den_x, g_den_y);
+    }
+
+    // ---- timing ----
+    IterationLog log;
+    log.iter = iter;
+    log.overflow = ds.overflow;
+    log.lambda = lambda;
+    if (!timing_active && options_.mode != PlacerMode::WirelengthOnly &&
+        iter >= options_.timing_start_iter &&
+        ds.overflow <= options_.timing_start_overflow) {
+      timing_active = true;
+      if (options_.verbose)
+        DTP_LOG_INFO("timing optimization activated at iter %d (overflow %.3f)",
+                     iter, ds.overflow);
+    }
+
+    std::fill(g_t_x.begin(), g_t_x.end(), 0.0);
+    std::fill(g_t_y.begin(), g_t_y.end(), 0.0);
+    bool precond_dirty = false;
+    if (timing_active && options_.mode == PlacerMode::DiffTiming) {
+      Stopwatch sta_clock;
+      if (options_.gamma_timing_final > 0.0) {
+        // Geometric gamma annealing across the timing phase.
+        const double decay =
+            std::pow(options_.gamma_timing_final / options_.gamma_timing,
+                     1.0 / std::max(1, options_.gamma_anneal_iters));
+        const double g = std::max(options_.gamma_timing_final,
+                                  diff_timer_->timer().options().gamma * decay);
+        diff_timer_->timer().set_gamma(g);
+      }
+      const auto tm = diff_timer_->forward(x, y);
+      diff_timer_->backward(1.0, options_.t2_ratio, g_t_x, g_t_y);
+      sta_time += sta_clock.elapsed_sec();
+      log.wns = tm.wns;
+      log.tns = tm.tns;
+      log.has_timing = true;
+      // Normalize timing-gradient magnitude against the wirelength gradient,
+      // then mix with the growing weight.  In at-activation mode the scale is
+      // frozen on the first timing iteration, so the timing force decays
+      // naturally as violations shrink instead of being re-amplified.
+      const double t_norm = l1(g_t_x, g_t_y);
+      if (t_norm > 1e-30) {
+        if (!options_.timing_scale_at_activation || timing_scale < 0.0) {
+          const double wl_norm = l1(g_wl_x, g_wl_y);
+          timing_scale = wl_norm / t_norm;
+        }
+        const double scale = t_mix * timing_scale;
+        for (size_t c = 0; c < n; ++c) {
+          g_t_x[c] *= scale;
+          g_t_y[c] *= scale;
+        }
+        if (options_.t_clip > 0.0) {
+          for (size_t c = 0; c < n; ++c) {
+            const double bx =
+                options_.t_clip * (std::abs(g_wl_x[c]) + std::abs(g_den_x[c]));
+            const double by =
+                options_.t_clip * (std::abs(g_wl_y[c]) + std::abs(g_den_y[c]));
+            g_t_x[c] = std::clamp(g_t_x[c], -bx, bx);
+            g_t_y[c] = std::clamp(g_t_y[c], -by, by);
+          }
+        }
+      }
+      t_mix = std::min(options_.t_max, t_mix * options_.t_growth);
+    } else if (timing_active && options_.mode == PlacerMode::NetWeighting &&
+               (iter - options_.timing_start_iter) % options_.nw_period == 0) {
+      Stopwatch sta_clock;
+      const auto tm = exact_timer_->evaluate(x, y);
+      net_weighting_->update(*exact_timer_, *wl_);
+      sta_time += sta_clock.elapsed_sec();
+      log.wns = tm.wns;
+      log.tns = tm.tns;
+      log.has_timing = true;
+      precond_dirty = true;  // net weights changed
+    }
+
+    // Exact-STA probe for iteration curves (Fig. 8).
+    if (options_.probe_timing_every > 0 && !log.has_timing &&
+        iter % options_.probe_timing_every == 0) {
+      const auto tm = exact_timer_->evaluate(x, y);
+      log.wns = tm.wns;
+      log.tns = tm.tns;
+      log.has_timing = true;
+    }
+
+    // ---- combine, precondition, mask, step ----
+    if (precond_dirty) precond = wl_->cell_incidence_weights();
+    for (size_t c = 0; c < n; ++c) {
+      if (!movable[c]) {
+        g_x[c] = 0.0;
+        g_y[c] = 0.0;
+        continue;
+      }
+      const double p =
+          std::max(1.0, precond[c] + lambda * area[c] / mean_area);
+      g_x[c] = (g_wl_x[c] + g_den_x[c] + g_t_x[c]) / p;
+      g_y[c] = (g_wl_y[c] + g_den_y[c] + g_t_y[c]) / p;
+    }
+    optimizer_->step(x, y, g_x, g_y);
+
+    // Project into the core.
+    for (size_t c = 0; c < n; ++c) {
+      if (!movable[c]) continue;
+      x[c] = std::clamp(x[c], core.xl, core.xh - width[c]);
+      y[c] = std::clamp(y[c], core.yl, core.yh - height[c]);
+    }
+
+    lambda *= options_.lambda_mu;
+
+    log.hpwl = wl_->hpwl_unweighted(x, y);
+    result.history.push_back(log);
+    if (options_.verbose && iter % 50 == 0)
+      DTP_LOG_INFO("iter %4d  hpwl %.4g  overflow %.3f  lambda %.3g", iter,
+                   log.hpwl, ds.overflow, lambda);
+
+    if (iter >= options_.min_iters && ds.overflow < options_.stop_overflow)
+      break;
+  }
+
+  result.iterations = std::min(iter + 1, options_.max_iters);
+  result.hpwl = wl_->hpwl_unweighted(x, y);
+  result.overflow = result.history.empty() ? 0.0 : result.history.back().overflow;
+  result.runtime_sec = total_clock.elapsed_sec();
+  result.sta_runtime_sec = sta_time;
+  return result;
+}
+
+}  // namespace dtp::placer

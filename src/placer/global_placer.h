@@ -1,0 +1,143 @@
+// Nonlinear global placement driver (the paper's Fig. 7 flow).
+//
+// Minimizes  sum_e w_e WL(e) + lambda * D(x, y) [+ t1*(-TNS_g) + t2*(-WNS_g)]
+// by preconditioned first-order descent (Nesterov-BB by default), with the
+// ePlace ingredients: WA wirelength whose smoothing gamma tracks overflow,
+// electrostatic density whose weight lambda grows geometrically, and — per
+// placement mode — one of three timing treatments:
+//
+//   WirelengthOnly : no timing terms (the DREAMPlace [16] baseline),
+//   NetWeighting   : periodic exact STA + momentum net re-weighting
+//                    (the DREAMPlace 4.0 [24] baseline),
+//   DiffTiming     : the paper's contribution — direct gradients of the
+//                    smoothed TNS/WNS from the differentiable timer, activated
+//                    once cells have spread (iteration ~100 / overflow gate),
+//                    with weights growing a few percent per iteration up to a
+//                    cap (paper §4 grows t1/t2 by 1%; the rates here are
+//                    re-calibrated for the mini designs).
+//
+// Timing-gradient preconditioning (which the paper defers to future work):
+// the timing gradient is magnitude-normalized against the wirelength gradient
+// — by default with the scale frozen at activation so timing pressure decays
+// as violations shrink — and clipped per cell to a multiple of the local
+// WL+density gradient (a trust region that keeps critical cells from being
+// flung across the die).  Defaults below are calibrated on the miniblue suite.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "dtimer/diff_timer.h"
+#include "placer/density.h"
+#include "placer/net_weighting.h"
+#include "placer/optimizer.h"
+#include "placer/wirelength.h"
+#include "sta/timer.h"
+
+namespace dtp::placer {
+
+enum class PlacerMode : uint8_t { WirelengthOnly, NetWeighting, DiffTiming };
+
+struct GlobalPlacerOptions {
+  PlacerMode mode = PlacerMode::WirelengthOnly;
+  int max_iters = 1200;
+  int min_iters = 120;
+  double stop_overflow = 0.08;   // density-overflow stop criterion (Table 3)
+  int bins = 0;                  // bins per dim; 0 = auto from cell count
+  double target_density = 1.0;   // bin capacity fraction for overflow
+  double lambda_mu = 1.03;       // density weight growth per iteration
+  double lambda_init_ratio = 0.10;  // initial |density|/|wirelength| force ratio
+  size_t ignore_net_degree = 128;
+
+  // Timing activation (both timing modes).
+  int timing_start_iter = 100;
+  double timing_start_overflow = 0.50;
+
+  // DiffTiming mode (paper §4 hyperparameters).
+  double t1 = 0.10;              // TNS weight
+  double t2_ratio = 0.05;        // WNS weight relative to TNS weight
+  double t_growth = 1.03;        // +3% per iteration (calibrated)
+  double t_max = 3.0;            // cap on the effective timing mix
+  double gamma_timing = 0.05;    // LSE smoothing (ns)
+  // Gamma annealing (paper §5 future work, "dynamic updating strategies"):
+  // when > 0, gamma decays geometrically from gamma_timing to this value over
+  // gamma_anneal_iters timing iterations — broad credit assignment early,
+  // sharp criticality late.  0 disables (constant gamma, the paper's setup).
+  double gamma_timing_final = 0.0;
+  int gamma_anneal_iters = 200;
+  int steiner_period = 10;       // FLUTE-substitute rebuild period (§3.6)
+  rsmt::RsmtOptions rsmt;        // Steiner-tree construction knobs (§3.4.1)
+  sta::WireDelayModel wire_model = sta::WireDelayModel::Elmore;  // §3.4.2
+  // Timing-gradient normalization: if true, the |WL|/|timing| scale is frozen
+  // at activation (the paper's static-weight regime: timing pressure fades as
+  // violations shrink); if false it is recomputed every iteration (keeps
+  // constant relative pressure, more aggressive, costs wirelength).
+  bool timing_scale_at_activation = true;
+  // Per-cell trust region: |timing grad| clipped to t_clip x |WL+density grad|
+  // per component (<= 0 disables).  Keeps the handful of most-critical cells
+  // from being flung across the die, which stretches their other nets.
+  double t_clip = 4.0;
+
+  // NetWeighting mode.
+  int nw_period = 1;             // STA + reweight every K iterations
+                                 // ([24]'s runtime is dominated by
+                                 // repeated STA calls — paper §3.6)
+  NetWeightingOptions nw;
+
+  // Optimizer.
+  bool use_adam = false;
+  double adam_lr_bins = 0.30;    // Adam LR in units of bin width
+
+  // Exact-STA probe for iteration curves (0 = off). Used by the Fig. 8 bench.
+  int probe_timing_every = 0;
+
+  bool verbose = false;
+};
+
+struct IterationLog {
+  int iter = 0;
+  double hpwl = 0.0;
+  double overflow = 0.0;
+  double lambda = 0.0;
+  double wns = 0.0;  // filled when timing is evaluated this iteration
+  double tns = 0.0;
+  bool has_timing = false;
+};
+
+struct PlaceResult {
+  int iterations = 0;
+  double hpwl = 0.0;            // final unweighted HPWL
+  double overflow = 0.0;
+  double runtime_sec = 0.0;
+  double sta_runtime_sec = 0.0; // time inside timing forward/backward
+  std::vector<IterationLog> history;
+};
+
+class GlobalPlacer {
+ public:
+  GlobalPlacer(netlist::Design& design, const sta::TimingGraph& graph,
+               GlobalPlacerOptions options = {});
+
+  // Runs global placement on design.cell_x/cell_y in place.
+  PlaceResult run();
+
+  DensityModel& density() { return *density_; }
+  WirelengthModel& wirelength() { return *wl_; }
+
+ private:
+  int auto_bins() const;
+  void update_wl_gamma(double overflow);
+
+  netlist::Design* design_;
+  const sta::TimingGraph* graph_;
+  GlobalPlacerOptions options_;
+  std::unique_ptr<WirelengthModel> wl_;
+  std::unique_ptr<DensityModel> density_;
+  std::unique_ptr<Optimizer> optimizer_;
+  std::unique_ptr<dtimer::DiffTimer> diff_timer_;  // DiffTiming mode
+  std::unique_ptr<sta::Timer> exact_timer_;        // NetWeighting + probes
+  std::unique_ptr<NetWeighting> net_weighting_;
+};
+
+}  // namespace dtp::placer

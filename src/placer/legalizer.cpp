@@ -1,0 +1,322 @@
+#include "placer/legalizer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/assert.h"
+
+namespace dtp::placer {
+
+using netlist::CellId;
+
+namespace {
+
+struct RowState {
+  double frontier;  // first free x in this row
+};
+
+}  // namespace
+
+LegalizeResult legalize(const netlist::Design& design, std::span<double> x,
+                        std::span<double> y, const LegalizerOptions& opts) {
+  const netlist::Netlist& nl = design.netlist;
+  const netlist::Floorplan& fp = design.floorplan;
+  const int num_rows = fp.num_rows();
+  const double site = fp.site_width;
+
+  std::vector<RowState> rows(static_cast<size_t>(num_rows), {fp.core.xl});
+
+  // Movable cells sorted by desired x.
+  std::vector<size_t> order;
+  for (size_t c = 0; c < nl.num_cells(); ++c)
+    if (!nl.cell(static_cast<CellId>(c)).fixed) order.push_back(c);
+  std::sort(order.begin(), order.end(),
+            [&](size_t a, size_t b) { return x[a] < x[b]; });
+
+  LegalizeResult result;
+  for (size_t c : order) {
+    const liberty::LibCell& master = nl.lib_cell_of(static_cast<CellId>(c));
+    const double w = master.width;
+    const int want_row = std::clamp(
+        static_cast<int>((y[c] - fp.core.yl) / fp.row_height + 0.5), 0,
+        num_rows - 1);
+    double best_cost = std::numeric_limits<double>::infinity();
+    int best_row = -1;
+    double best_x = 0.0;
+    for (int dr = 0; dr <= opts.row_search_range; ++dr) {
+      for (int sgn = (dr == 0 ? 1 : -1); sgn <= 1; sgn += 2) {
+        const int r = want_row + sgn * dr;
+        if (r < 0 || r >= num_rows) continue;
+        // Candidate x: desired, but never before the row frontier; snapped to
+        // sites; must fit in the row.
+        double cx = std::max(x[c], rows[static_cast<size_t>(r)].frontier);
+        cx = fp.core.xl + std::ceil((cx - fp.core.xl) / site - 1e-9) * site;
+        if (cx + w > fp.core.xh + 1e-9) continue;
+        const double ry = fp.core.yl + r * fp.row_height;
+        const double cost = std::abs(cx - x[c]) + std::abs(ry - y[c]);
+        if (cost < best_cost) {
+          best_cost = cost;
+          best_row = r;
+          best_x = cx;
+        }
+        if (dr == 0) break;  // row 0 offset: single candidate
+      }
+      // Early exit: rows further away cost at least dr*row_height.
+      if (best_row >= 0 && best_cost < (dr + 1) * fp.row_height) break;
+    }
+    if (best_row < 0) {
+      // Fallback: scan every row for any space (densely packed tail).
+      for (int r = 0; r < num_rows; ++r) {
+        double cx = rows[static_cast<size_t>(r)].frontier;
+        cx = fp.core.xl + std::ceil((cx - fp.core.xl) / site - 1e-9) * site;
+        if (cx + w > fp.core.xh + 1e-9) continue;
+        const double ry = fp.core.yl + r * fp.row_height;
+        const double cost = std::abs(cx - x[c]) + std::abs(ry - y[c]);
+        if (best_row < 0 || cost < best_cost) {
+          best_cost = cost;
+          best_row = r;
+          best_x = cx;
+        }
+      }
+    }
+    if (best_row < 0) {
+      ++result.failed_cells;
+      continue;
+    }
+    const double ny = fp.core.yl + best_row * fp.row_height;
+    const double disp = std::abs(best_x - x[c]) + std::abs(ny - y[c]);
+    result.total_displacement += disp;
+    result.max_displacement = std::max(result.max_displacement, disp);
+    x[c] = best_x;
+    y[c] = ny;
+    rows[static_cast<size_t>(best_row)].frontier = best_x + w;
+  }
+  return result;
+}
+
+bool is_legal(const netlist::Design& design, std::span<const double> x,
+              std::span<const double> y, std::string* why) {
+  const netlist::Netlist& nl = design.netlist;
+  const netlist::Floorplan& fp = design.floorplan;
+  auto fail = [&](const std::string& msg) {
+    if (why) *why = msg;
+    return false;
+  };
+
+  // Per-row interval collection.
+  std::vector<std::vector<std::pair<double, double>>> rows(
+      static_cast<size_t>(fp.num_rows()));
+  for (size_t c = 0; c < nl.num_cells(); ++c) {
+    if (nl.cell(static_cast<CellId>(c)).fixed) continue;
+    const liberty::LibCell& master = nl.lib_cell_of(static_cast<CellId>(c));
+    if (x[c] < fp.core.xl - 1e-9 || x[c] + master.width > fp.core.xh + 1e-9 ||
+        y[c] < fp.core.yl - 1e-9 || y[c] + master.height > fp.core.yh + 1e-9)
+      return fail("cell outside core: " + nl.cell(static_cast<CellId>(c)).name);
+    const double row_f = (y[c] - fp.core.yl) / fp.row_height;
+    if (std::abs(row_f - std::round(row_f)) > 1e-6)
+      return fail("cell not row aligned: " + nl.cell(static_cast<CellId>(c)).name);
+    const double site_f = (x[c] - fp.core.xl) / fp.site_width;
+    if (std::abs(site_f - std::round(site_f)) > 1e-6)
+      return fail("cell not site aligned: " + nl.cell(static_cast<CellId>(c)).name);
+    const int r = static_cast<int>(std::round(row_f));
+    if (r < 0 || r >= fp.num_rows())
+      return fail("cell row out of range: " + nl.cell(static_cast<CellId>(c)).name);
+    rows[static_cast<size_t>(r)].emplace_back(x[c], x[c] + master.width);
+  }
+  for (auto& row : rows) {
+    std::sort(row.begin(), row.end());
+    for (size_t i = 1; i < row.size(); ++i)
+      if (row[i].first < row[i - 1].second - 1e-9) return fail("overlap in row");
+  }
+  if (why) why->clear();
+  return true;
+}
+
+double detailed_place_swaps(const netlist::Design& design,
+                            const WirelengthModel& wl, std::span<double> x,
+                            std::span<double> y, int max_passes) {
+  const netlist::Netlist& nl = design.netlist;
+  const netlist::Floorplan& fp = design.floorplan;
+  const double before = wl.hpwl_unweighted(x, y);
+
+  // Group movable cells by row, ordered by x.
+  std::vector<std::vector<size_t>> rows(static_cast<size_t>(fp.num_rows()));
+  for (size_t c = 0; c < nl.num_cells(); ++c) {
+    if (nl.cell(static_cast<CellId>(c)).fixed) continue;
+    const int r = std::clamp(
+        static_cast<int>(std::round((y[c] - fp.core.yl) / fp.row_height)), 0,
+        fp.num_rows() - 1);
+    rows[static_cast<size_t>(r)].push_back(c);
+  }
+  for (auto& row : rows)
+    std::sort(row.begin(), row.end(), [&](size_t a, size_t b) { return x[a] < x[b]; });
+
+  auto width_of = [&](size_t c) {
+    return nl.lib_cell_of(static_cast<CellId>(c)).width;
+  };
+
+  // Incident placement nets per cell, for O(local) swap cost evaluation.
+  std::vector<std::vector<netlist::NetId>> incident(nl.num_cells());
+  for (netlist::NetId n : wl.active_nets())
+    for (netlist::PinId p : nl.net(n).pins)
+      incident[static_cast<size_t>(nl.pin(p).cell)].push_back(n);
+
+  auto local_hpwl = [&](size_t a, size_t b) {
+    double total = 0.0;
+    auto add_nets = [&](size_t c, size_t skip_cell) {
+      for (netlist::NetId n : incident[c]) {
+        // Avoid double counting nets incident to both cells.
+        bool shared = false;
+        if (skip_cell != c) {
+          for (netlist::NetId n2 : incident[skip_cell])
+            if (n2 == n) {
+              shared = true;
+              break;
+            }
+        }
+        if (shared && c > skip_cell) continue;
+        double xl = 1e300, xh = -1e300, yl = 1e300, yh = -1e300;
+        for (netlist::PinId p : nl.net(n).pins) {
+          const CellId cc = nl.pin(p).cell;
+          const Vec2 off = nl.pin_offset(p);
+          const double px = x[static_cast<size_t>(cc)] + off.x;
+          const double py = y[static_cast<size_t>(cc)] + off.y;
+          xl = std::min(xl, px);
+          xh = std::max(xh, px);
+          yl = std::min(yl, py);
+          yh = std::max(yh, py);
+        }
+        total += (xh - xl) + (yh - yl);
+      }
+    };
+    add_nets(a, b);
+    add_nets(b, a);
+    return total;
+  };
+
+  for (int pass = 0; pass < max_passes; ++pass) {
+    bool improved = false;
+    for (auto& row : rows) {
+      for (size_t i = 0; i + 1 < row.size(); ++i) {
+        const size_t a = row[i], b = row[i + 1];
+        // Swap in place: b takes a's left edge, a goes after b.
+        const double ax = x[a], bx = x[b];
+        const double ax_new = ax + width_of(b);
+        const double bx_new = ax;
+        if (ax_new + width_of(a) > bx + width_of(b) + 1e-9) continue;
+        const double h0 = local_hpwl(a, b);
+        x[a] = ax_new;
+        x[b] = bx_new;
+        const double h1 = local_hpwl(a, b);
+        if (h1 < h0 - 1e-9) {
+          std::swap(row[i], row[i + 1]);
+          improved = true;
+        } else {
+          x[a] = ax;
+          x[b] = bx;
+        }
+      }
+    }
+    if (!improved) break;
+  }
+  return before - wl.hpwl_unweighted(x, y);
+}
+
+TimingDpResult timing_driven_swaps(const netlist::Design& design,
+                                   const WirelengthModel& wl, sta::Timer& timer,
+                                   std::span<double> x, std::span<double> y,
+                                   double tns_weight, int max_passes) {
+  const netlist::Netlist& nl = design.netlist;
+  const netlist::Floorplan& fp = design.floorplan;
+
+  // Row membership (x-sorted), as in detailed_place_swaps.
+  std::vector<std::vector<size_t>> rows(static_cast<size_t>(fp.num_rows()));
+  for (size_t c = 0; c < nl.num_cells(); ++c) {
+    if (nl.cell(static_cast<CellId>(c)).fixed) continue;
+    const int r = std::clamp(
+        static_cast<int>(std::round((y[c] - fp.core.yl) / fp.row_height)), 0,
+        fp.num_rows() - 1);
+    rows[static_cast<size_t>(r)].push_back(c);
+  }
+  for (auto& row : rows)
+    std::sort(row.begin(), row.end(), [&](size_t a, size_t b) { return x[a] < x[b]; });
+
+  std::vector<std::vector<netlist::NetId>> incident(nl.num_cells());
+  for (netlist::NetId n : wl.active_nets())
+    for (netlist::PinId p : nl.net(n).pins)
+      incident[static_cast<size_t>(nl.pin(p).cell)].push_back(n);
+
+  auto local_hpwl = [&](size_t a, size_t b) {
+    double total = 0.0;
+    auto add = [&](size_t c, size_t other) {
+      for (netlist::NetId n : incident[c]) {
+        bool shared = false;
+        for (netlist::NetId n2 : incident[other])
+          if (n2 == n) {
+            shared = true;
+            break;
+          }
+        if (shared && c > other) continue;
+        double xl = 1e300, xh = -1e300, yl = 1e300, yh = -1e300;
+        for (netlist::PinId p : nl.net(n).pins) {
+          const CellId cc = nl.pin(p).cell;
+          const Vec2 off = nl.pin_offset(p);
+          xl = std::min(xl, x[static_cast<size_t>(cc)] + off.x);
+          xh = std::max(xh, x[static_cast<size_t>(cc)] + off.x);
+          yl = std::min(yl, y[static_cast<size_t>(cc)] + off.y);
+          yh = std::max(yh, y[static_cast<size_t>(cc)] + off.y);
+        }
+        total += (xh - xl) + (yh - yl);
+      }
+    };
+    add(a, b);
+    add(b, a);
+    return total;
+  };
+
+  auto width_of = [&](size_t c) {
+    return nl.lib_cell_of(static_cast<CellId>(c)).width;
+  };
+
+  TimingDpResult result;
+  double tns = timer.metrics().tns;
+  const double tns_start = tns;
+
+  for (int pass = 0; pass < max_passes; ++pass) {
+    bool improved = false;
+    for (auto& row : rows) {
+      for (size_t i = 0; i + 1 < row.size(); ++i) {
+        const size_t a = row[i], b = row[i + 1];
+        const double ax = x[a], bx = x[b];
+        const double ax_new = ax + width_of(b);
+        if (ax_new + width_of(a) > bx + width_of(b) + 1e-9) continue;
+        ++result.swaps_tried;
+        const double h0 = local_hpwl(a, b);
+        x[a] = ax_new;
+        x[b] = ax;
+        const CellId moved[2] = {static_cast<CellId>(a), static_cast<CellId>(b)};
+        const double tns_new =
+            timer.evaluate_incremental(x, y, moved).tns;
+        const double h1 = local_hpwl(a, b);
+        // Accept when weighted TNS gain beats the HPWL cost.
+        if (tns_weight * (tns_new - tns) > (h1 - h0) + 1e-12) {
+          std::swap(row[i], row[i + 1]);
+          result.hpwl_delta += h1 - h0;
+          tns = tns_new;
+          improved = true;
+          ++result.swaps_accepted;
+        } else {
+          x[a] = ax;
+          x[b] = bx;
+          timer.evaluate_incremental(x, y, moved);  // restore timer state
+        }
+      }
+    }
+    if (!improved) break;
+  }
+  result.tns_gain = tns - tns_start;
+  return result;
+}
+
+}  // namespace dtp::placer

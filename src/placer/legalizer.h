@@ -1,0 +1,66 @@
+// Tetris-style greedy legalization and a row-local detailed placement pass.
+//
+// Legalization (the LG step of the flow) snaps the global-placement result to
+// non-overlapping, row- and site-aligned positions: cells are processed in
+// x order and each is packed into the row (within a search window around its
+// global position) that minimizes its displacement, at the first free site at
+// or after its desired x.  Classic Hill's "Tetris" scheme — simple, fast, and
+// adequate for standard-cell rows without macros.
+//
+// Detailed placement then greedily swaps adjacent cells within each row when
+// a swap reduces HPWL — a deliberately local refinement (the paper's flow
+// delegates serious DP to external tools; this pass exists so the repo ships
+// a complete GP -> LG -> DP pipeline).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "netlist/netlist.h"
+#include "placer/wirelength.h"
+#include "sta/timer.h"
+
+namespace dtp::placer {
+
+struct LegalizerOptions {
+  int row_search_range = 12;  // rows examined above/below the desired row
+};
+
+struct LegalizeResult {
+  double total_displacement = 0.0;
+  double max_displacement = 0.0;
+  size_t failed_cells = 0;  // cells that found no space (should stay 0)
+};
+
+// Legalizes movable cells in place (x/y are cell origins).
+LegalizeResult legalize(const netlist::Design& design, std::span<double> x,
+                        std::span<double> y, const LegalizerOptions& opts = {});
+
+// True iff no two movable cells overlap, all are inside the core and aligned
+// to rows/sites. Used by tests and as a post-LG assertion.
+bool is_legal(const netlist::Design& design, std::span<const double> x,
+              std::span<const double> y, std::string* why = nullptr);
+
+// Row-local adjacent-swap detailed placement; returns HPWL improvement.
+double detailed_place_swaps(const netlist::Design& design,
+                            const WirelengthModel& wl, std::span<double> x,
+                            std::span<double> y, int max_passes = 3);
+
+// Timing-driven detailed placement: adjacent swaps within rows, each
+// evaluated with *incremental* STA (only the affected timing cone is
+// re-propagated), accepted when the weighted objective
+//     delta = tns_weight * (-delta TNS) + delta HPWL
+// improves.  The timer must already reflect (x, y); it is left consistent
+// with the final positions.  Returns the TNS improvement (>= 0).
+struct TimingDpResult {
+  double tns_gain = 0.0;
+  double hpwl_delta = 0.0;   // signed; positive = HPWL increased
+  size_t swaps_accepted = 0;
+  size_t swaps_tried = 0;
+};
+TimingDpResult timing_driven_swaps(const netlist::Design& design,
+                                   const WirelengthModel& wl, sta::Timer& timer,
+                                   std::span<double> x, std::span<double> y,
+                                   double tns_weight, int max_passes = 2);
+
+}  // namespace dtp::placer

@@ -1,0 +1,34 @@
+#include "placer/net_weighting.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dtp::placer {
+
+using netlist::NetId;
+using netlist::PinId;
+
+size_t NetWeighting::update(sta::Timer& timer, WirelengthModel& wl) const {
+  timer.update_required();
+  const double wns = timer.metrics().wns;
+  if (wns >= 0.0) return 0;  // no violations: leave weights as they are
+
+  auto weights = wl.net_weights();
+  size_t critical = 0;
+  const netlist::Netlist& nl = design_->netlist;
+  for (NetId n : graph_->timing_nets()) {
+    // Net criticality: worst slack over the net's pins.
+    double worst = std::numeric_limits<double>::infinity();
+    for (PinId p : nl.net(n).pins) worst = std::min(worst, timer.pin_slack(p));
+    double crit = 0.0;
+    if (std::isfinite(worst) && worst < 0.0) {
+      crit = std::min(1.0, -worst / -wns);
+      ++critical;
+    }
+    double& w = weights[static_cast<size_t>(n)];
+    w = options_.alpha * w + (1.0 - options_.alpha) * (1.0 + options_.beta * crit);
+  }
+  return critical;
+}
+
+}  // namespace dtp::placer

@@ -1,0 +1,47 @@
+// Momentum-based net weighting: the DREAMPlace 4.0 baseline [24].
+//
+// Periodically runs exact STA, derives a per-net criticality from the worst
+// pin slack on the net,
+//
+//   crit_e = clamp(-worst_slack(e) / |WNS|, 0, 1)        (0 if no violation)
+//
+// and updates the wirelength weight of each net as an exponential moving
+// average toward the bounded boost target:
+//
+//   w_e <- alpha * w_e + (1 - alpha) * (1 + beta * crit_e)
+//
+// so weights live in [1, 1 + beta]: criticality raises a net's weight toward
+// the cap and persistent non-criticality decays it back toward 1 (the
+// momentum both smooths STA staleness and forgets stale criticality).
+// This is the *indirect* timing optimization the paper compares against:
+// timing pressure enters only by re-weighting the one-hop wirelength
+// objective, never through a gradient of the actual timing metrics.
+#pragma once
+
+#include "placer/wirelength.h"
+#include "sta/timer.h"
+
+namespace dtp::placer {
+
+struct NetWeightingOptions {
+  double alpha = 0.5;  // momentum (history retention)
+  double beta = 8.0;   // boost cap: weights live in [1, 1 + beta]
+};
+
+class NetWeighting {
+ public:
+  NetWeighting(const netlist::Design& design, const sta::TimingGraph& graph,
+               NetWeightingOptions options = {})
+      : design_(&design), graph_(&graph), options_(options) {}
+
+  // Runs update_required() on the (already forward-propagated) timer, then
+  // updates `wl.net_weights()` in place.  Returns the number of critical nets.
+  size_t update(sta::Timer& timer, WirelengthModel& wl) const;
+
+ private:
+  const netlist::Design* design_;
+  const sta::TimingGraph* graph_;
+  NetWeightingOptions options_;
+};
+
+}  // namespace dtp::placer

@@ -1,0 +1,104 @@
+#include "placer/optimizer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.h"
+
+namespace dtp::placer {
+
+double NesterovOptimizer::step(std::span<double> x, std::span<double> y,
+                               std::span<const double> gx,
+                               std::span<const double> gy) {
+  const size_t n = x.size();
+  DTP_ASSERT(y.size() == n && gx.size() == n && gy.size() == n);
+  if (ux_.empty()) {
+    ux_.assign(x.begin(), x.end());
+    uy_.assign(y.begin(), y.end());
+    prev_vx_.resize(n);
+    prev_vy_.resize(n);
+    prev_gx_.resize(n);
+    prev_gy_.resize(n);
+  }
+
+  // Barzilai–Borwein step size from the change between consecutive lookahead
+  // points and gradients: eta = |dv| / |dg| (the ePlace Lipschitz estimate).
+  double eta = initial_step_;
+  if (has_prev_) {
+    double dv2 = 0.0, dg2 = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      const double dvx = x[i] - prev_vx_[i];
+      const double dvy = y[i] - prev_vy_[i];
+      const double dgx = gx[i] - prev_gx_[i];
+      const double dgy = gy[i] - prev_gy_[i];
+      dv2 += dvx * dvx + dvy * dvy;
+      dg2 += dgx * dgx + dgy * dgy;
+    }
+    if (dg2 > 1e-30) eta = std::sqrt(dv2 / dg2);
+    // Guard against degenerate estimates.
+    if (!std::isfinite(eta) || eta <= 0.0) eta = initial_step_;
+  }
+
+  for (size_t i = 0; i < n; ++i) {
+    prev_vx_[i] = x[i];
+    prev_vy_[i] = y[i];
+    prev_gx_[i] = gx[i];
+    prev_gy_[i] = gy[i];
+  }
+  has_prev_ = true;
+
+  // u_{k+1} = v_k - eta * g(v_k);   v_{k+1} = u_{k+1} + c (u_{k+1} - u_k).
+  const double a_next = 0.5 * (1.0 + std::sqrt(4.0 * a_ * a_ + 1.0));
+  const double coef = (a_ - 1.0) / a_next;
+  a_ = a_next;
+  for (size_t i = 0; i < n; ++i) {
+    const double ux_new = x[i] - eta * gx[i];
+    const double uy_new = y[i] - eta * gy[i];
+    x[i] = ux_new + coef * (ux_new - ux_[i]);
+    y[i] = uy_new + coef * (uy_new - uy_[i]);
+    ux_[i] = ux_new;
+    uy_[i] = uy_new;
+  }
+  return eta;
+}
+
+void NesterovOptimizer::reset() {
+  a_ = 1.0;
+  ux_.clear();
+  uy_.clear();
+  has_prev_ = false;
+}
+
+double AdamOptimizer::step(std::span<double> x, std::span<double> y,
+                           std::span<const double> gx,
+                           std::span<const double> gy) {
+  const size_t n = x.size();
+  if (mx_.empty()) {
+    mx_.assign(n, 0.0);
+    my_.assign(n, 0.0);
+    vx_.assign(n, 0.0);
+    vy_.assign(n, 0.0);
+  }
+  ++t_;
+  const double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
+  const double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));
+  for (size_t i = 0; i < n; ++i) {
+    mx_[i] = beta1_ * mx_[i] + (1.0 - beta1_) * gx[i];
+    my_[i] = beta1_ * my_[i] + (1.0 - beta1_) * gy[i];
+    vx_[i] = beta2_ * vx_[i] + (1.0 - beta2_) * gx[i] * gx[i];
+    vy_[i] = beta2_ * vy_[i] + (1.0 - beta2_) * gy[i] * gy[i];
+    x[i] -= lr_ * (mx_[i] / bc1) / (std::sqrt(vx_[i] / bc2) + eps_);
+    y[i] -= lr_ * (my_[i] / bc1) / (std::sqrt(vy_[i] / bc2) + eps_);
+  }
+  return lr_;
+}
+
+void AdamOptimizer::reset() {
+  t_ = 0;
+  mx_.clear();
+  my_.clear();
+  vx_.clear();
+  vy_.clear();
+}
+
+}  // namespace dtp::placer

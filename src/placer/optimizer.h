@@ -1,0 +1,63 @@
+// First-order optimizers for nonlinear placement.
+//
+// NesterovOptimizer is the ePlace scheme: Nesterov's accelerated gradient
+// with Barzilai–Borwein step-size prediction — the optimizer DREAMPlace (and
+// hence the paper's flow) runs.  AdamOptimizer is provided as a robust
+// alternative and for the optimizer ablation bench.
+//
+// Both operate on interleaved (x, y) coordinate vectors of movable cells; the
+// driver masks fixed cells by zeroing their gradients before step().
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace dtp::placer {
+
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+  // Takes one descent step given the objective gradient at the *current*
+  // iterate; updates x/y in place.  Returns the step scale actually used.
+  virtual double step(std::span<double> x, std::span<double> y,
+                      std::span<const double> gx, std::span<const double> gy) = 0;
+  virtual void reset() = 0;
+};
+
+// Nesterov with BB step: the iterate exposed to the caller is the lookahead
+// point v_k (where gradients are evaluated), as in ePlace's implementation.
+class NesterovOptimizer final : public Optimizer {
+ public:
+  explicit NesterovOptimizer(double initial_step = 1.0)
+      : initial_step_(initial_step) {}
+
+  double step(std::span<double> x, std::span<double> y,
+              std::span<const double> gx, std::span<const double> gy) override;
+  void reset() override;
+
+ private:
+  double initial_step_;
+  double a_ = 1.0;  // Nesterov momentum sequence
+  std::vector<double> ux_, uy_;          // main solution u_k
+  std::vector<double> prev_vx_, prev_vy_; // previous lookahead point
+  std::vector<double> prev_gx_, prev_gy_; // gradient at previous lookahead
+  bool has_prev_ = false;
+};
+
+class AdamOptimizer final : public Optimizer {
+ public:
+  explicit AdamOptimizer(double lr, double beta1 = 0.9, double beta2 = 0.999,
+                         double eps = 1e-12)
+      : lr_(lr), beta1_(beta1), beta2_(beta2), eps_(eps) {}
+
+  double step(std::span<double> x, std::span<double> y,
+              std::span<const double> gx, std::span<const double> gy) override;
+  void reset() override;
+
+ private:
+  double lr_, beta1_, beta2_, eps_;
+  long t_ = 0;
+  std::vector<double> mx_, my_, vx_, vy_;
+};
+
+}  // namespace dtp::placer

@@ -1,0 +1,150 @@
+#include "placer/wirelength.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.h"
+
+namespace dtp::placer {
+
+using netlist::CellId;
+using netlist::NetId;
+using netlist::PinId;
+
+WirelengthModel::WirelengthModel(const netlist::Design& design,
+                                 size_t ignore_degree)
+    : design_(&design) {
+  const netlist::Netlist& nl = design.netlist;
+  net_weights_.assign(nl.num_nets(), 1.0);
+  for (size_t n = 0; n < nl.num_nets(); ++n) {
+    const netlist::Net& net = nl.net(static_cast<NetId>(n));
+    if (net.pins.size() >= 2 && net.pins.size() <= ignore_degree)
+      nets_.push_back(static_cast<NetId>(n));
+  }
+}
+
+namespace {
+
+// Per-axis WA value and gradient for one net. `coords` are the pin positions
+// on this axis; `grads` receives d(WA)/d(coord_i) (overwritten).
+double wa_axis(std::span<const double> coords, double gamma,
+               std::span<double> grads) {
+  const size_t n = coords.size();
+  double cmax = coords[0], cmin = coords[0];
+  for (double c : coords) {
+    cmax = std::max(cmax, c);
+    cmin = std::min(cmin, c);
+  }
+  double sp = 0.0, tp = 0.0, sm = 0.0, tm = 0.0;
+  thread_local std::vector<double> ep, em;
+  ep.resize(n);
+  em.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    ep[i] = std::exp((coords[i] - cmax) / gamma);
+    em[i] = std::exp(-(coords[i] - cmin) / gamma);
+    sp += ep[i];
+    tp += coords[i] * ep[i];
+    sm += em[i];
+    tm += coords[i] * em[i];
+  }
+  const double wa_p = tp / sp;
+  const double wa_m = tm / sm;
+  for (size_t i = 0; i < n; ++i) {
+    const double gp = ep[i] / sp * (1.0 + (coords[i] - wa_p) / gamma);
+    const double gm = em[i] / sm * (1.0 - (coords[i] - wa_m) / gamma);
+    grads[i] = gp - gm;
+  }
+  return wa_p - wa_m;
+}
+
+}  // namespace
+
+double WirelengthModel::hpwl(std::span<const double> x,
+                             std::span<const double> y) const {
+  const netlist::Netlist& nl = design_->netlist;
+  double total = 0.0;
+  for (NetId n : nets_) {
+    const netlist::Net& net = nl.net(n);
+    double xl = 1e300, xh = -1e300, yl = 1e300, yh = -1e300;
+    for (PinId p : net.pins) {
+      const CellId c = nl.pin(p).cell;
+      const Vec2 off = nl.pin_offset(p);
+      const double px = x[static_cast<size_t>(c)] + off.x;
+      const double py = y[static_cast<size_t>(c)] + off.y;
+      xl = std::min(xl, px);
+      xh = std::max(xh, px);
+      yl = std::min(yl, py);
+      yh = std::max(yh, py);
+    }
+    total += net_weights_[static_cast<size_t>(n)] * ((xh - xl) + (yh - yl));
+  }
+  return total;
+}
+
+double WirelengthModel::hpwl_unweighted(std::span<const double> x,
+                                        std::span<const double> y) const {
+  const netlist::Netlist& nl = design_->netlist;
+  double total = 0.0;
+  for (NetId n : nets_) {
+    const netlist::Net& net = nl.net(n);
+    double xl = 1e300, xh = -1e300, yl = 1e300, yh = -1e300;
+    for (PinId p : net.pins) {
+      const CellId c = nl.pin(p).cell;
+      const Vec2 off = nl.pin_offset(p);
+      const double px = x[static_cast<size_t>(c)] + off.x;
+      const double py = y[static_cast<size_t>(c)] + off.y;
+      xl = std::min(xl, px);
+      xh = std::max(xh, px);
+      yl = std::min(yl, py);
+      yh = std::max(yh, py);
+    }
+    total += (xh - xl) + (yh - yl);
+  }
+  return total;
+}
+
+double WirelengthModel::value_and_gradient(std::span<const double> x,
+                                           std::span<const double> y,
+                                           std::span<double> gx,
+                                           std::span<double> gy) const {
+  const netlist::Netlist& nl = design_->netlist;
+  double total = 0.0;
+  thread_local std::vector<double> px, py, dgx, dgy;
+  for (NetId n : nets_) {
+    const netlist::Net& net = nl.net(n);
+    const size_t deg = net.pins.size();
+    const double w = net_weights_[static_cast<size_t>(n)];
+    px.resize(deg);
+    py.resize(deg);
+    dgx.resize(deg);
+    dgy.resize(deg);
+    for (size_t i = 0; i < deg; ++i) {
+      const PinId p = net.pins[i];
+      const CellId c = nl.pin(p).cell;
+      const Vec2 off = nl.pin_offset(p);
+      px[i] = x[static_cast<size_t>(c)] + off.x;
+      py[i] = y[static_cast<size_t>(c)] + off.y;
+    }
+    total += w * wa_axis(px, gamma_, dgx);
+    total += w * wa_axis(py, gamma_, dgy);
+    for (size_t i = 0; i < deg; ++i) {
+      const CellId c = nl.pin(net.pins[i]).cell;
+      gx[static_cast<size_t>(c)] += w * dgx[i];
+      gy[static_cast<size_t>(c)] += w * dgy[i];
+    }
+  }
+  return total;
+}
+
+std::vector<double> WirelengthModel::cell_incidence_weights() const {
+  const netlist::Netlist& nl = design_->netlist;
+  std::vector<double> out(nl.num_cells(), 0.0);
+  for (NetId n : nets_) {
+    const double w = net_weights_[static_cast<size_t>(n)];
+    for (PinId p : nl.net(n).pins)
+      out[static_cast<size_t>(nl.pin(p).cell)] += w;
+  }
+  return out;
+}
+
+}  // namespace dtp::placer

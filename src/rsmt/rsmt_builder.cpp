@@ -1,0 +1,192 @@
+#include "rsmt/rsmt_builder.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/assert.h"
+
+namespace dtp::rsmt {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Prim's algorithm over a complete rectilinear graph, O(m^2).
+// Returns the parent array of an MST rooted at `root` (parent[root] == -1).
+std::vector<int> prim_parents(std::span<const Vec2> pts, int root) {
+  const size_t m = pts.size();
+  std::vector<int> parent(m, -1);
+  std::vector<double> dist(m, kInf);
+  std::vector<char> in_tree(m, 0);
+  dist[static_cast<size_t>(root)] = 0.0;
+  for (size_t iter = 0; iter < m; ++iter) {
+    size_t best = m;
+    double best_d = kInf;
+    for (size_t v = 0; v < m; ++v)
+      if (!in_tree[v] && dist[v] < best_d) {
+        best = v;
+        best_d = dist[v];
+      }
+    DTP_ASSERT(best < m);
+    in_tree[best] = 1;
+    for (size_t v = 0; v < m; ++v) {
+      if (in_tree[v]) continue;
+      const double d = manhattan(pts[best], pts[v]);
+      if (d < dist[v]) {
+        dist[v] = d;
+        parent[v] = static_cast<int>(best);
+      }
+    }
+  }
+  return parent;
+}
+
+double mst_length(std::span<const Vec2> pts) {
+  if (pts.size() < 2) return 0.0;
+  const auto parent = prim_parents(pts, 0);
+  double total = 0.0;
+  for (size_t v = 1; v < pts.size(); ++v)
+    total += manhattan(pts[v], pts[static_cast<size_t>(parent[v])]);
+  return total;
+}
+
+// Finalizes a tree: given all node positions (pins first), Steiner provenance,
+// and an undirected MST parent array, re-roots at the driver and computes the
+// parent-before-child order.
+SteinerTree finalize(std::span<const Vec2> pts, int num_pins, int driver,
+                     const std::vector<std::pair<int, int>>& steiner_src) {
+  const size_t m = pts.size();
+  const auto up = prim_parents(pts, driver);
+
+  SteinerTree tree;
+  tree.num_pins = num_pins;
+  tree.root = driver;
+  tree.nodes.resize(m);
+  for (size_t v = 0; v < m; ++v) {
+    tree.nodes[v].pos = pts[v];
+    tree.nodes[v].parent = up[v];
+    if (v < static_cast<size_t>(num_pins)) {
+      tree.nodes[v].x_src = static_cast<int>(v);
+      tree.nodes[v].y_src = static_cast<int>(v);
+    } else {
+      tree.nodes[v].x_src = steiner_src[v - static_cast<size_t>(num_pins)].first;
+      tree.nodes[v].y_src = steiner_src[v - static_cast<size_t>(num_pins)].second;
+    }
+  }
+  // Prim rooted at `driver` already yields parent pointers oriented away from
+  // the root, so the topo order is just a BFS by child lists.
+  std::vector<std::vector<int>> children(m);
+  for (size_t v = 0; v < m; ++v)
+    if (up[v] >= 0) children[static_cast<size_t>(up[v])].push_back(static_cast<int>(v));
+  tree.topo_order.reserve(m);
+  tree.topo_order.push_back(driver);
+  for (size_t head = 0; head < tree.topo_order.size(); ++head) {
+    for (int c : children[static_cast<size_t>(tree.topo_order[head])])
+      tree.topo_order.push_back(c);
+  }
+  DTP_ASSERT(tree.topo_order.size() == m);
+  return tree;
+}
+
+// Exact 3-pin RSMT: one Steiner point at the coordinate-wise median.
+SteinerTree build_median3(std::span<const Vec2> pins, int driver) {
+  // Median index per axis (the pin supplying the middle coordinate).
+  auto median_idx = [&](auto coord) {
+    int idx[3] = {0, 1, 2};
+    std::sort(idx, idx + 3, [&](int a, int b) {
+      return coord(pins[static_cast<size_t>(a)]) < coord(pins[static_cast<size_t>(b)]);
+    });
+    return idx[1];
+  };
+  const int mx = median_idx([](const Vec2& p) { return p.x; });
+  const int my = median_idx([](const Vec2& p) { return p.y; });
+  const Vec2 s{pins[static_cast<size_t>(mx)].x, pins[static_cast<size_t>(my)].y};
+
+  std::vector<Vec2> pts(pins.begin(), pins.end());
+  // If the median point coincides with a pin, the MST through the pins already
+  // realizes the RSMT; no Steiner node needed.
+  std::vector<std::pair<int, int>> src;
+  bool coincides = false;
+  for (const Vec2& p : pins)
+    if (p == s) coincides = true;
+  if (!coincides) {
+    pts.push_back(s);
+    src.emplace_back(mx, my);
+  }
+  return finalize(pts, 3, driver, src);
+}
+
+}  // namespace
+
+SteinerTree build_rmst(std::span<const Vec2> pins, int driver) {
+  DTP_ASSERT(!pins.empty());
+  DTP_ASSERT(driver >= 0 && static_cast<size_t>(driver) < pins.size());
+  std::vector<Vec2> pts(pins.begin(), pins.end());
+  return finalize(pts, static_cast<int>(pins.size()), driver, {});
+}
+
+SteinerTree build_rsmt(std::span<const Vec2> pins, int driver,
+                       const RsmtOptions& opts) {
+  DTP_ASSERT(!pins.empty());
+  DTP_ASSERT(driver >= 0 && static_cast<size_t>(driver) < pins.size());
+  const int n = static_cast<int>(pins.size());
+  if (n <= 2) return build_rmst(pins, driver);
+  if (n == 3) return build_median3(pins, driver);
+  if (!opts.enable_1steiner || n > opts.kr_max_pins) return build_rmst(pins, driver);
+
+  // Iterated 1-Steiner (Kahng–Robins) over the pin Hanan grid.
+  std::vector<Vec2> pts(pins.begin(), pins.end());
+  std::vector<std::pair<int, int>> src;  // provenance of appended Steiner points
+  double current = mst_length(pts);
+
+  for (int round = 0; round < opts.kr_max_rounds; ++round) {
+    double best_len = current;
+    int best_i = -1, best_j = -1;
+    std::vector<Vec2> trial = pts;
+    trial.emplace_back();
+    for (int i = 0; i < n; ++i) {
+      for (int j = 0; j < n; ++j) {
+        if (i == j) continue;
+        const Vec2 cand{pins[static_cast<size_t>(i)].x,
+                        pins[static_cast<size_t>(j)].y};
+        trial.back() = cand;
+        const double len = mst_length(trial);
+        if (len < best_len - opts.kr_min_gain) {
+          best_len = len;
+          best_i = i;
+          best_j = j;
+        }
+      }
+    }
+    if (best_i < 0) break;
+    pts.push_back({pins[static_cast<size_t>(best_i)].x,
+                   pins[static_cast<size_t>(best_j)].y});
+    src.emplace_back(best_i, best_j);
+    current = best_len;
+  }
+
+  // Prune Steiner points of MST degree <= 2: they cannot shorten a rectilinear
+  // MST (triangle inequality), so dropping them never increases length.
+  for (;;) {
+    if (src.empty()) break;
+    const auto parent = prim_parents(pts, 0);
+    std::vector<int> degree(pts.size(), 0);
+    for (size_t v = 1; v < pts.size(); ++v) {
+      ++degree[v];
+      ++degree[static_cast<size_t>(parent[v])];
+    }
+    int drop = -1;
+    for (size_t v = static_cast<size_t>(n); v < pts.size(); ++v)
+      if (degree[v] <= 2) {
+        drop = static_cast<int>(v);
+        break;
+      }
+    if (drop < 0) break;
+    pts.erase(pts.begin() + drop);
+    src.erase(src.begin() + (drop - n));
+  }
+
+  return finalize(pts, n, driver, src);
+}
+
+}  // namespace dtp::rsmt

@@ -1,0 +1,36 @@
+// Rectilinear Steiner tree construction (FLUTE substitute; DESIGN.md §1).
+//
+//   * degree 2: a single edge;
+//   * degree 3: the exact RSMT — one Steiner point at the coordinate-wise
+//     median of the three pins;
+//   * degree 4..kr_max_pins: Prim rectilinear MST followed by iterated
+//     1-Steiner refinement (Kahng–Robins): repeatedly insert the Hanan-grid
+//     point that maximally reduces the MST length, until no candidate helps;
+//   * larger nets: plain rectilinear MST (refinement cost grows ~n^4).
+//
+// All builders produce trees satisfying the coordinate-provenance contract of
+// SteinerTree, rooted at the net driver.
+#pragma once
+
+#include <span>
+
+#include "rsmt/steiner_tree.h"
+
+namespace dtp::rsmt {
+
+struct RsmtOptions {
+  bool enable_1steiner = true;  // turn off to get plain RMST (ablation)
+  int kr_max_pins = 16;         // 1-Steiner refinement only below this degree
+  int kr_max_rounds = 12;       // safety cap on insertion rounds
+  double kr_min_gain = 1e-9;    // stop when the best candidate gains less
+};
+
+// Builds a tree over `pins` rooted at pins[driver].
+SteinerTree build_rsmt(std::span<const Vec2> pins, int driver,
+                       const RsmtOptions& opts = {});
+
+// Plain rectilinear MST over the pins (no Steiner points), rooted at driver.
+// Exposed for the RSMT-quality ablation bench.
+SteinerTree build_rmst(std::span<const Vec2> pins, int driver);
+
+}  // namespace dtp::rsmt

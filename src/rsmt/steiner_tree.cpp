@@ -1,0 +1,56 @@
+#include "rsmt/steiner_tree.h"
+
+#include <string>
+
+#include "common/assert.h"
+
+namespace dtp::rsmt {
+
+void update_positions(SteinerTree& tree, std::span<const Vec2> pin_positions) {
+  DTP_ASSERT(pin_positions.size() == static_cast<size_t>(tree.num_pins));
+  for (int i = 0; i < tree.num_pins; ++i)
+    tree.nodes[static_cast<size_t>(i)].pos = pin_positions[static_cast<size_t>(i)];
+  for (size_t i = static_cast<size_t>(tree.num_pins); i < tree.nodes.size(); ++i) {
+    SteinerTree::Node& node = tree.nodes[i];
+    node.pos.x = pin_positions[static_cast<size_t>(node.x_src)].x;
+    node.pos.y = pin_positions[static_cast<size_t>(node.y_src)].y;
+  }
+}
+
+std::string check_tree(const SteinerTree& tree) {
+  const size_t n = tree.nodes.size();
+  if (n == 0) return "empty tree";
+  if (tree.num_pins <= 0 || static_cast<size_t>(tree.num_pins) > n)
+    return "bad num_pins";
+  if (tree.root < 0 || tree.root >= tree.num_pins) return "root is not a pin";
+  if (tree.topo_order.size() != n) return "topo order size mismatch";
+  if (tree.topo_order[0] != tree.root) return "topo order does not start at root";
+
+  std::vector<char> seen(n, 0);
+  for (size_t k = 0; k < n; ++k) {
+    const int v = tree.topo_order[k];
+    if (v < 0 || static_cast<size_t>(v) >= n) return "topo order index out of range";
+    if (seen[static_cast<size_t>(v)]) return "topo order repeats a node";
+    const int p = tree.nodes[static_cast<size_t>(v)].parent;
+    if (v == tree.root) {
+      if (p != -1) return "root has a parent";
+    } else {
+      if (p < 0 || static_cast<size_t>(p) >= n) return "node parent out of range";
+      if (!seen[static_cast<size_t>(p)]) return "child precedes parent in topo order";
+    }
+    seen[static_cast<size_t>(v)] = 1;
+  }
+
+  for (size_t i = static_cast<size_t>(tree.num_pins); i < n; ++i) {
+    const SteinerTree::Node& node = tree.nodes[i];
+    if (node.x_src < 0 || node.x_src >= tree.num_pins) return "steiner x_src invalid";
+    if (node.y_src < 0 || node.y_src >= tree.num_pins) return "steiner y_src invalid";
+    if (node.pos.x != tree.nodes[static_cast<size_t>(node.x_src)].pos.x)
+      return "steiner x does not match its source pin";
+    if (node.pos.y != tree.nodes[static_cast<size_t>(node.y_src)].pos.y)
+      return "steiner y does not match its source pin";
+  }
+  return {};
+}
+
+}  // namespace dtp::rsmt

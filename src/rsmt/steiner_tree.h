@@ -1,0 +1,73 @@
+// Rectilinear Steiner tree representation for net routing estimation.
+//
+// The differentiable timer (paper §3.4) needs, per net, a driver-rooted tree
+// over the net's pins with per-edge rectilinear lengths, plus — crucially — a
+// record of *which pin determines each Steiner coordinate*.  Every Steiner
+// point our builders create sits on the Hanan grid, i.e. its x is a copy of
+// some pin's x and its y a copy of some pin's y.  That makes the paper's
+// Fig. 4 treatment exact in both directions:
+//
+//   * forward drag (§3.6): between tree rebuilds, Steiner points move with
+//     their source pins (update_positions), and
+//   * backward redistribution: a gradient landing on a Steiner point's x is
+//     added to the x-gradient of its x-source pin (and likewise for y).
+//
+// Node indices [0, num_pins) are the net's pins in net-pin order; Steiner
+// nodes follow.  The tree is stored as a parent array rooted at the driver,
+// with a precomputed parent-before-child topological order for the Elmore
+// DP passes.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/vec2.h"
+
+namespace dtp::rsmt {
+
+struct SteinerTree {
+  struct Node {
+    Vec2 pos;
+    int parent = -1;   // node index; -1 for the root
+    // Coordinate provenance: pin node -> itself; Steiner node -> the pin
+    // (tree-pin index < num_pins) whose coordinate it copies.
+    int x_src = -1;
+    int y_src = -1;
+  };
+
+  int num_pins = 0;  // nodes [0, num_pins) are pins
+  int root = 0;      // node index of the net driver pin
+  std::vector<Node> nodes;
+  // Parent-before-child order starting at root (size == nodes.size()).
+  std::vector<int> topo_order;
+
+  size_t num_nodes() const { return nodes.size(); }
+  size_t num_steiner() const { return nodes.size() - static_cast<size_t>(num_pins); }
+
+  double edge_length(int node) const {
+    const Node& n = nodes[static_cast<size_t>(node)];
+    return n.parent < 0 ? 0.0
+                        : manhattan(n.pos, nodes[static_cast<size_t>(n.parent)].pos);
+  }
+
+  // Total rectilinear length of the tree.
+  double length() const {
+    double total = 0.0;
+    for (size_t i = 0; i < nodes.size(); ++i)
+      total += edge_length(static_cast<int>(i));
+    return total;
+  }
+};
+
+// Refreshes node positions after pins moved: pin nodes take the new positions,
+// Steiner nodes are dragged along their source pins (paper Fig. 4 / §3.6).
+// Tree topology and edge set are unchanged.
+void update_positions(SteinerTree& tree, std::span<const Vec2> pin_positions);
+
+// Structural sanity: connected, acyclic, root is the driver, every Steiner
+// coordinate matches its source pin's coordinate, topo order is valid.
+// Returns an empty string when healthy, else a description of the violation.
+std::string check_tree(const SteinerTree& tree);
+
+}  // namespace dtp::rsmt

@@ -1,0 +1,74 @@
+// Shared cell-arc candidate evaluation (forward and backward).
+//
+// A cell arc contributes, per output transition, one candidate per compatible
+// input transition (decided by unateness).  The forward pass aggregates the
+// candidates' arrival times and slews (hard max/min or LSE); the backward pass
+// re-derives the same candidates to compute softmax weights and LUT gradients
+// (Eq. 12).  Keeping the enumeration in one helper guarantees forward and
+// backward see identical candidate sets.
+#pragma once
+
+#include <vector>
+
+#include "liberty/lut.h"
+#include "sta/timing_graph.h"
+
+namespace dtp::sta {
+
+inline constexpr int kRise = 0;
+inline constexpr int kFall = 1;
+
+// Input transitions driving output transition `tr_out`; returns count (1 or 2).
+inline int input_transitions(liberty::Unateness unate, int tr_out, int out[2]) {
+  switch (unate) {
+    case liberty::Unateness::Positive:
+      out[0] = tr_out;
+      return 1;
+    case liberty::Unateness::Negative:
+      out[0] = 1 - tr_out;
+      return 1;
+    case liberty::Unateness::NonUnate:
+      out[0] = kRise;
+      out[1] = kFall;
+      return 2;
+  }
+  return 0;
+}
+
+struct ArcCandidate {
+  PinId from = netlist::kInvalidId;
+  int tr_in = 0;
+  liberty::Lut::Query delay_q;  // value + d/d(input slew) + d/d(load)
+  liberty::Lut::Query slew_q;
+  double at_value = 0.0;  // at(from, tr_in) + delay
+};
+
+// Appends the candidates of one cell arc for output transition `tr_out`.
+// `at` / `slew` are the [pin*2 + tr] state arrays; `load` is the driven net's
+// root load.  Candidates whose source AT is non-finite (unreachable pin) are
+// skipped.  `want_grad` controls whether LUT gradients are computed.
+inline void gather_arc_candidates(const Arc& arc, int tr_out, const double* at,
+                                  const double* slew, double load,
+                                  std::vector<ArcCandidate>& out) {
+  const liberty::TimingArc& lib = *arc.lib_arc;
+  const liberty::Lut& delay_lut = (tr_out == kRise) ? lib.cell_rise : lib.cell_fall;
+  const liberty::Lut& slew_lut =
+      (tr_out == kRise) ? lib.rise_transition : lib.fall_transition;
+  int trs[2];
+  const int n = input_transitions(lib.unate, tr_out, trs);
+  for (int k = 0; k < n; ++k) {
+    const int tr_in = trs[k];
+    const size_t idx = static_cast<size_t>(arc.from) * 2 + static_cast<size_t>(tr_in);
+    const double at_u = at[idx];
+    if (!std::isfinite(at_u)) continue;
+    ArcCandidate cand;
+    cand.from = arc.from;
+    cand.tr_in = tr_in;
+    cand.delay_q = delay_lut.lookup_grad(slew[idx], load);
+    cand.slew_q = slew_lut.lookup_grad(slew[idx], load);
+    cand.at_value = at_u + cand.delay_q.value;
+    out.push_back(cand);
+  }
+}
+
+}  // namespace dtp::sta

@@ -1,0 +1,101 @@
+#include "sta/net_timing.h"
+
+#include <cmath>
+
+#include "common/assert.h"
+
+namespace dtp::sta {
+
+void elmore_forward(NetTiming& nt, std::span<const double> pin_caps,
+                    double r_unit, double c_unit, WireDelayModel model) {
+  const rsmt::SteinerTree& tree = nt.tree;
+  const size_t m = tree.num_nodes();
+  DTP_ASSERT(pin_caps.size() == static_cast<size_t>(tree.num_pins));
+
+  nt.edge_len.assign(m, 0.0);
+  nt.edge_res.assign(m, 0.0);
+  nt.node_cap.assign(m, 0.0);
+  for (size_t v = 0; v < m; ++v) {
+    const int p = tree.nodes[v].parent;
+    if (p < 0) continue;
+    const double len = manhattan(tree.nodes[v].pos, tree.nodes[static_cast<size_t>(p)].pos);
+    nt.edge_len[v] = len;
+    nt.edge_res[v] = r_unit * len;
+    const double half_cap = 0.5 * c_unit * len;
+    nt.node_cap[v] += half_cap;
+    nt.node_cap[static_cast<size_t>(p)] += half_cap;
+  }
+  for (size_t k = 0; k < pin_caps.size(); ++k) nt.node_cap[k] += pin_caps[k];
+
+  const auto& topo = tree.topo_order;
+
+  // Pass 1 (bottom-up): Load(u) = Cap(u) + sum_child Load(v).       (Eq. 7a)
+  nt.load = nt.node_cap;
+  for (size_t k = m; k-- > 1;) {
+    const int v = topo[k];
+    const int p = tree.nodes[static_cast<size_t>(v)].parent;
+    nt.load[static_cast<size_t>(p)] += nt.load[static_cast<size_t>(v)];
+  }
+
+  // Pass 2 (top-down): Delay(u) = Delay(fa) + Res(fa->u)*Load(u).   (Eq. 7b)
+  nt.delay.assign(m, 0.0);
+  for (size_t k = 1; k < m; ++k) {
+    const int v = topo[k];
+    const int p = tree.nodes[static_cast<size_t>(v)].parent;
+    nt.delay[static_cast<size_t>(v)] = nt.delay[static_cast<size_t>(p)] +
+                                       nt.edge_res[static_cast<size_t>(v)] *
+                                           nt.load[static_cast<size_t>(v)];
+  }
+
+  // Pass 3 (bottom-up): LDelay(u) = Cap(u)*Delay(u) + sum LDelay(v). (Eq. 7c)
+  nt.ldelay.resize(m);
+  for (size_t v = 0; v < m; ++v) nt.ldelay[v] = nt.node_cap[v] * nt.delay[v];
+  for (size_t k = m; k-- > 1;) {
+    const int v = topo[k];
+    const int p = tree.nodes[static_cast<size_t>(v)].parent;
+    nt.ldelay[static_cast<size_t>(p)] += nt.ldelay[static_cast<size_t>(v)];
+  }
+
+  // Pass 4 (top-down): Beta(u) = Beta(fa) + Res(fa->u)*LDelay(u).   (Eq. 7d)
+  nt.beta.assign(m, 0.0);
+  for (size_t k = 1; k < m; ++k) {
+    const int v = topo[k];
+    const int p = tree.nodes[static_cast<size_t>(v)].parent;
+    nt.beta[static_cast<size_t>(v)] = nt.beta[static_cast<size_t>(p)] +
+                                      nt.edge_res[static_cast<size_t>(v)] *
+                                          nt.ldelay[static_cast<size_t>(v)];
+  }
+
+  // Impulse^2 = 2*Beta - Delay^2, clamped for sqrt/division safety.  (Eq. 7e)
+  nt.imp2.resize(m);
+  nt.imp2_clamped.assign(m, 0);
+  for (size_t v = 0; v < m; ++v) {
+    const double raw = 2.0 * nt.beta[v] - nt.delay[v] * nt.delay[v];
+    if (raw < kImpulseFloor) {
+      nt.imp2[v] = kImpulseFloor;
+      nt.imp2_clamped[v] = 1;
+    } else {
+      nt.imp2[v] = raw;
+    }
+  }
+
+  // Propagation delay under the selected wire model.
+  if (model == WireDelayModel::Elmore) {
+    nt.used_delay = nt.delay;
+    nt.d2m_degenerate.assign(m, 1);  // "degenerate" == plain Elmore seeds
+  } else {
+    nt.used_delay.resize(m);
+    nt.d2m_degenerate.assign(m, 0);
+    for (size_t v = 0; v < m; ++v) {
+      if (nt.beta[v] < kD2mBetaFloor) {
+        nt.used_delay[v] = nt.delay[v];  // zero-length geometry: m2 ~ 0
+        nt.d2m_degenerate[v] = 1;
+      } else {
+        nt.used_delay[v] =
+            kLn2 * nt.delay[v] * nt.delay[v] / std::sqrt(nt.beta[v]);
+      }
+    }
+  }
+}
+
+}  // namespace dtp::sta

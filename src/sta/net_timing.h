@@ -1,0 +1,73 @@
+// Per-net interconnect timing: Steiner tree + Elmore delay state.
+//
+// Implements the forward half of the paper's differentiable wire delay model
+// (§3.4.2, Eq. 7): four dynamic-programming passes over the net's routing
+// tree, alternating bottom-up and top-down, producing per-node
+//
+//   Load    — downstream capacitance (bottom-up),
+//   Delay   — Elmore delay from the driver (top-down),
+//   LDelay  — cap-weighted delay sum (bottom-up),
+//   Beta    — second moment accumulator (top-down),
+//   Imp2    — impulse^2 = 2*Beta - Delay^2, the slew-degradation term.
+//
+// Edge parasitics follow the lumped pi model: an edge of rectilinear length L
+// contributes resistance r_unit*L and capacitance c_unit*L split half to each
+// endpoint; sink pin input capacitances add to their nodes.  Load at the root
+// is the total capacitive load the driving cell arc sees (the LUT y-axis).
+//
+// Imp2 is clamped from below at kImpulseFloor for sqrt/division safety; the
+// clamp mask is kept so the backward pass can zero the corresponding adjoint
+// (a clamped value has no dependence on upstream variables).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "rsmt/steiner_tree.h"
+
+namespace dtp::sta {
+
+inline constexpr double kImpulseFloor = 1e-18;  // ns^2
+
+// Interconnect delay model used for arrival-time propagation (paper §3.4.2
+// notes the framework generalizes to any analytical model):
+//   Elmore — first moment m1 (the paper's model),
+//   D2M    — the two-moment metric ln2 * m1^2 / sqrt(m2), less pessimistic
+//            for far sinks; m2 is the Beta accumulator of Eq. 7d.
+// Both are differentiable through the same adjoint with different seeds.
+enum class WireDelayModel : uint8_t { Elmore, D2M };
+
+struct NetTiming {
+  rsmt::SteinerTree tree;
+  // Per tree node (size == tree.num_nodes()):
+  std::vector<double> edge_len;  // rectilinear length of the edge to parent
+  std::vector<double> edge_res;  // resistance of the edge to parent
+  std::vector<double> node_cap;  // pin cap + half of each adjacent edge cap
+  std::vector<double> load;
+  std::vector<double> delay;
+  std::vector<double> ldelay;
+  std::vector<double> beta;
+  std::vector<double> imp2;            // clamped at kImpulseFloor
+  std::vector<char> imp2_clamped;
+  // Delay used for AT propagation under the selected wire model: equals
+  // `delay` for Elmore; the D2M metric otherwise.  Nodes where m2 is too
+  // small for D2M (degenerate geometry) fall back to Elmore, recorded in
+  // `d2m_degenerate` so the backward pass seeds accordingly.
+  std::vector<double> used_delay;
+  std::vector<char> d2m_degenerate;
+
+  double root_load() const { return load[static_cast<size_t>(tree.root)]; }
+};
+
+// Recomputes edge lengths/parasitics and runs the 4 Elmore passes, then
+// derives `used_delay` for the selected wire model.
+// `pin_caps[k]` is the input capacitance of tree pin k (0 for the driver).
+// Assumes tree topology and node positions are current.
+void elmore_forward(NetTiming& nt, std::span<const double> pin_caps,
+                    double r_unit, double c_unit,
+                    WireDelayModel model = WireDelayModel::Elmore);
+
+inline constexpr double kD2mBetaFloor = 1e-24;  // ns^2, degeneracy threshold
+inline constexpr double kLn2 = 0.6931471805599453;
+
+}  // namespace dtp::sta

@@ -1,0 +1,138 @@
+#include "sta/report.h"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "sta/cell_arc_eval.h"
+
+namespace dtp::sta {
+
+std::vector<DrvViolation> check_drv(const Timer& timer, double max_slew,
+                                    double max_cap) {
+  std::vector<DrvViolation> out;
+  const TimingGraph& graph = timer.graph();
+  if (max_slew > 0.0) {
+    for (int l = 0; l < graph.num_levels(); ++l) {
+      for (PinId p : graph.level(l)) {
+        double worst = 0.0;
+        for (int tr = 0; tr < 2; ++tr)
+          if (std::isfinite(timer.at(p, tr)))
+            worst = std::max(worst, timer.slew(p, tr));
+        if (worst > max_slew) out.push_back({p, DrvViolation::Slew, worst, max_slew});
+      }
+    }
+  }
+  if (max_cap > 0.0) {
+    for (netlist::NetId n : graph.timing_nets()) {
+      const double load = timer.net_timing(n).root_load();
+      if (load > max_cap) {
+        const PinId driver = graph.netlist().net(n).driver;
+        out.push_back({driver, DrvViolation::Cap, load, max_cap});
+      }
+    }
+  }
+  return out;
+}
+
+void write_timing_report(Timer& timer, const ReportOptions& options,
+                         std::ostream& out) {
+  const TimingGraph& graph = timer.graph();
+  const netlist::Netlist& nl = graph.netlist();
+  timer.update_required();
+  const TimingMetrics m = timer.metrics();
+
+  out << std::fixed;
+  out << "==== timing report ====\n";
+  out << "clock period  : " << std::setprecision(4)
+      << timer.design().constraints.clock_period << " ns\n";
+  out << "setup WNS     : " << m.wns << " ns\n";
+  out << "setup TNS     : " << std::setprecision(3) << m.tns << " ns\n";
+  out << "violations    : " << m.num_violations << " / "
+      << graph.endpoints().size() << " endpoints\n";
+  if (timer.options().enable_early) {
+    out << "hold WNS      : " << std::setprecision(4) << m.hold_wns << " ns\n";
+    out << "hold TNS      : " << std::setprecision(3) << m.hold_tns << " ns\n";
+  }
+
+  // Histogram.
+  const auto& slacks = timer.endpoint_slack();
+  double lo = 0.0, hi = 0.0;
+  for (double s : slacks) {
+    if (!std::isfinite(s)) continue;
+    lo = std::min(lo, s);
+    hi = std::max(hi, s);
+  }
+  const int buckets = std::max(2, options.histogram_buckets);
+  const double span = std::max(hi - lo, 1e-9);
+  std::vector<int> hist(static_cast<size_t>(buckets), 0);
+  for (double s : slacks) {
+    if (!std::isfinite(s)) continue;
+    const int b = std::min(buckets - 1, static_cast<int>((s - lo) / span * buckets));
+    ++hist[static_cast<size_t>(b)];
+  }
+  out << "\n==== endpoint slack histogram ====\n";
+  for (int b = 0; b < buckets; ++b) {
+    out << "[" << std::setw(9) << std::setprecision(4) << lo + span * b / buckets
+        << ", " << std::setw(9) << lo + span * (b + 1) / buckets << ") "
+        << std::setw(6) << hist[static_cast<size_t>(b)] << " ";
+    for (int k = 0; k < hist[static_cast<size_t>(b)] && k < 60; ++k) out << '#';
+    out << "\n";
+  }
+
+  // Worst paths.
+  std::vector<size_t> order;
+  for (size_t e = 0; e < slacks.size(); ++e)
+    if (std::isfinite(slacks[e])) order.push_back(e);
+  std::sort(order.begin(), order.end(),
+            [&](size_t a, size_t b) { return slacks[a] < slacks[b]; });
+  const int n_paths = std::min<int>(options.max_paths, static_cast<int>(order.size()));
+  for (int k = 0; k < n_paths; ++k) {
+    const size_t e = order[static_cast<size_t>(k)];
+    const Endpoint& ep = graph.endpoints()[e];
+    out << "\n==== path " << k + 1 << ": slack " << std::setprecision(4)
+        << slacks[e] << " ns, endpoint " << nl.pin_full_name(ep.pin) << " ("
+        << (ep.kind == EndpointKind::FlopData ? "flop setup" : "output port")
+        << ") ====\n";
+    out << "  " << std::left << std::setw(30) << "pin" << std::right
+        << std::setw(6) << "edge" << std::setw(11) << "AT" << std::setw(11)
+        << "slew" << std::setw(11) << "RAT" << std::setw(11) << "slack"
+        << "\n";
+    for (const auto& node : timer.trace_critical_path(ep.pin)) {
+      out << "  " << std::left << std::setw(30) << nl.pin_full_name(node.pin)
+          << std::right << std::setw(6) << (node.tr == kRise ? "rise" : "fall")
+          << std::setw(11) << std::setprecision(4) << node.at << std::setw(11)
+          << timer.slew(node.pin, node.tr) << std::setw(11)
+          << timer.rat(node.pin, node.tr) << std::setw(11)
+          << timer.rat(node.pin, node.tr) - node.at << "\n";
+    }
+  }
+
+  // DRV checks.
+  if (options.max_slew > 0.0 || options.max_cap > 0.0) {
+    const auto drv = check_drv(timer, options.max_slew, options.max_cap);
+    out << "\n==== design rule checks ====\n";
+    out << "violations    : " << drv.size() << "\n";
+    size_t shown = 0;
+    for (const auto& v : drv) {
+      if (++shown > 20) {
+        out << "  ... (" << drv.size() - 20 << " more)\n";
+        break;
+      }
+      out << "  " << (v.kind == DrvViolation::Slew ? "max_slew" : "max_cap ")
+          << "  " << std::left << std::setw(30) << nl.pin_full_name(v.pin)
+          << std::right << std::setprecision(4) << v.value << " > " << v.limit
+          << "\n";
+    }
+  }
+}
+
+std::string timing_report_string(Timer& timer, const ReportOptions& options) {
+  std::ostringstream os;
+  write_timing_report(timer, options, os);
+  return os.str();
+}
+
+}  // namespace dtp::sta

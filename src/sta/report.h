@@ -1,0 +1,43 @@
+// Timing report generation on top of the Timer: OpenTimer-style text output
+// for humans and scripts — summary block, per-endpoint path reports with
+// arrival/required annotations, slack histogram, and design-rule (DRV)
+// checks for maximum slew and maximum capacitance.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sta/timer.h"
+
+namespace dtp::sta {
+
+struct ReportOptions {
+  int max_paths = 5;          // endpoints reported, worst-slack first
+  int histogram_buckets = 10;
+  // DRV limits; <= 0 disables the corresponding check.
+  double max_slew = 0.0;      // ns
+  double max_cap = 0.0;       // pF
+};
+
+struct DrvViolation {
+  PinId pin = netlist::kInvalidId;
+  enum Kind : uint8_t { Slew, Cap } kind = Slew;
+  double value = 0.0;
+  double limit = 0.0;
+};
+
+// Scans all in-graph pins for slew violations and all timing nets for load
+// violations.  Requires a completed propagate().
+std::vector<DrvViolation> check_drv(const Timer& timer, double max_slew,
+                                    double max_cap);
+
+// Writes the full report; requires evaluate() (and runs update_required()
+// itself so per-pin RAT columns are available).
+void write_timing_report(Timer& timer, const ReportOptions& options,
+                         std::ostream& out);
+
+// Convenience: report as a string (tests, logging).
+std::string timing_report_string(Timer& timer, const ReportOptions& options = {});
+
+}  // namespace dtp::sta

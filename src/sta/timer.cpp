@@ -1,0 +1,625 @@
+#include "sta/timer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+
+#include "common/assert.h"
+#include "common/smooth_math.h"
+#include "common/thread_pool.h"
+#include "sta/cell_arc_eval.h"
+
+namespace dtp::sta {
+
+namespace {
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+constexpr double kPosInf = std::numeric_limits<double>::infinity();
+
+double lookup_override(const std::unordered_map<std::string, double>& overrides,
+                       const std::string& key, double fallback) {
+  const auto it = overrides.find(key);
+  return it == overrides.end() ? fallback : it->second;
+}
+}  // namespace
+
+Timer::Timer(const netlist::Design& design, const TimingGraph& graph,
+             TimerOptions options)
+    : design_(&design), graph_(&graph), options_(options) {
+  const netlist::Netlist& nl = design.netlist;
+  const size_t n_pins = nl.num_pins();
+  pin_pos_.resize(n_pins);
+  net_timing_.resize(nl.num_nets());
+  at_.assign(n_pins * 2, kNegInf);
+  slew_.assign(n_pins * 2, nl.library().default_slew);
+  if (options_.enable_early) {
+    at_early_.assign(n_pins * 2, kPosInf);
+    slew_early_.assign(n_pins * 2, nl.library().default_slew);
+  }
+
+  // Per-net sink pin caps (PO pads add the constraint's output load).
+  const netlist::Constraints& con = design.constraints;
+  net_pin_caps_.resize(nl.num_nets());
+  for (NetId n : graph.timing_nets()) {
+    const netlist::Net& net = nl.net(n);
+    auto& caps = net_pin_caps_[static_cast<size_t>(n)];
+    caps.resize(net.pins.size(), 0.0);
+    for (size_t k = 0; k < net.pins.size(); ++k) {
+      const PinId p = net.pins[k];
+      double cap = nl.pin_cap(p);
+      const CellId c = nl.pin(p).cell;
+      if (nl.lib_cell_of(c).kind == liberty::CellKind::PortOut)
+        cap += lookup_override(con.output_load_override, nl.cell(c).name,
+                               con.output_load);
+      caps[k] = cap;
+    }
+  }
+
+  // Source initial conditions.
+  src_at_.assign(n_pins * 2, kNegInf);
+  src_slew_.assign(n_pins * 2, nl.library().default_slew);
+  if (graph.num_levels() > 0) {
+    for (PinId p : graph.level(0)) {
+      double at0 = kNegInf;
+      double slew0 = nl.library().default_slew;
+      if (graph.pin_is_clock_source(p)) {
+        at0 = 0.0;  // ideal clock: launch edge at t = 0
+        slew0 = con.clock_slew;
+      } else {
+        const CellId c = nl.pin(p).cell;
+        if (nl.lib_cell_of(c).kind == liberty::CellKind::PortIn) {
+          const std::string& name = nl.cell(c).name;
+          at0 = lookup_override(con.input_delay_override, name, con.input_delay);
+          slew0 = lookup_override(con.input_slew_override, name, con.input_slew);
+        }
+      }
+      for (int tr = 0; tr < 2; ++tr) {
+        src_at_[static_cast<size_t>(p) * 2 + static_cast<size_t>(tr)] = at0;
+        src_slew_[static_cast<size_t>(p) * 2 + static_cast<size_t>(tr)] = slew0;
+      }
+    }
+  }
+
+  // Endpoint required arrival times (late/setup).
+  const auto& endpoints = graph.endpoints();
+  endpoint_rat_.resize(endpoints.size());
+  for (size_t e = 0; e < endpoints.size(); ++e) {
+    const Endpoint& ep = endpoints[e];
+    double margin = ep.setup;
+    if (ep.kind == EndpointKind::PrimaryOutput) {
+      const std::string& name = nl.cell(nl.pin(ep.pin).cell).name;
+      margin = lookup_override(con.output_delay_override, name, con.output_delay);
+    }
+    endpoint_rat_[e] = con.clock_period - margin;
+  }
+  endpoint_slack_.assign(endpoints.size(), kPosInf);
+  endpoint_tr_weights_.assign(endpoints.size() * 2, 0.0);
+  endpoint_hold_req_.resize(endpoints.size());
+  for (size_t e = 0; e < endpoints.size(); ++e) {
+    endpoint_hold_req_[e] =
+        endpoints[e].kind == EndpointKind::FlopData ? endpoints[e].hold : 0.0;
+  }
+  endpoint_hold_slack_.assign(endpoints.size(), kPosInf);
+  endpoint_hold_tr_weights_.assign(endpoints.size() * 2, 0.0);
+  ep_setup_lut_.assign(endpoints.size(), nullptr);
+  ep_hold_lut_.assign(endpoints.size(), nullptr);
+  for (size_t e = 0; e < endpoints.size(); ++e) {
+    if (endpoints[e].kind != EndpointKind::FlopData) continue;
+    const liberty::LibCell& master = nl.lib_cell_of(nl.pin(endpoints[e].pin).cell);
+    if (master.setup_lut.valid()) ep_setup_lut_[e] = &master.setup_lut;
+    if (master.hold_lut.valid()) ep_hold_lut_[e] = &master.hold_lut;
+  }
+}
+
+Timer::EndpointReq Timer::endpoint_setup_rat(size_t e, int tr) const {
+  EndpointReq req;
+  if (const liberty::Lut* lut = ep_setup_lut_[e]) {
+    const PinId p = graph_->endpoints()[e].pin;
+    const auto q = lut->lookup_grad(slew(p, tr), design_->constraints.clock_slew);
+    // rat = T - setup(data slew, clock slew).
+    req.value = design_->constraints.clock_period - q.value;
+    req.d_dslew = -q.d_dx;
+  } else {
+    req.value = endpoint_rat_[e];
+  }
+  return req;
+}
+
+Timer::EndpointReq Timer::endpoint_hold_requirement(size_t e, int tr) const {
+  EndpointReq req;
+  if (const liberty::Lut* lut = ep_hold_lut_[e]) {
+    const PinId p = graph_->endpoints()[e].pin;
+    const double sl = slew_early_.empty()
+                          ? design_->netlist.library().default_slew
+                          : slew_early_[static_cast<size_t>(p) * 2 +
+                                        static_cast<size_t>(tr)];
+    const auto q = lut->lookup_grad(sl, design_->constraints.clock_slew);
+    req.value = q.value;
+    req.d_dslew = q.d_dx;
+  } else {
+    req.value = endpoint_hold_req_[e];
+  }
+  return req;
+}
+
+TimingMetrics Timer::evaluate(std::span<const double> cell_x,
+                              std::span<const double> cell_y) {
+  update_positions(cell_x, cell_y);
+  build_trees();
+  run_elmore();
+  propagate();
+  update_slacks();
+  return metrics_;
+}
+
+void Timer::update_positions(std::span<const double> cell_x,
+                             std::span<const double> cell_y) {
+  const netlist::Netlist& nl = design_->netlist;
+  DTP_ASSERT(cell_x.size() == nl.num_cells() && cell_y.size() == nl.num_cells());
+  for (size_t p = 0; p < nl.num_pins(); ++p) {
+    const netlist::Pin& pin = nl.pin(static_cast<PinId>(p));
+    const Vec2 off = nl.pin_offset(static_cast<PinId>(p));
+    pin_pos_[p] = {cell_x[static_cast<size_t>(pin.cell)] + off.x,
+                   cell_y[static_cast<size_t>(pin.cell)] + off.y};
+  }
+}
+
+void Timer::build_trees() {
+  const netlist::Netlist& nl = design_->netlist;
+  const auto& nets = graph_->timing_nets();
+  ThreadPool::global().parallel_for(
+      0, nets.size(),
+      [&](size_t i) {
+        const NetId n = nets[i];
+        const netlist::Net& net = nl.net(n);
+        std::vector<Vec2> pts(net.pins.size());
+        int driver_idx = 0;
+        for (size_t k = 0; k < net.pins.size(); ++k) {
+          pts[k] = pin_pos_[static_cast<size_t>(net.pins[k])];
+          if (net.pins[k] == net.driver) driver_idx = static_cast<int>(k);
+        }
+        net_timing_[static_cast<size_t>(n)].tree =
+            rsmt::build_rsmt(pts, driver_idx, options_.rsmt);
+      },
+      /*grain=*/8);
+  trees_built_ = true;
+}
+
+void Timer::drag_trees() {
+  DTP_ASSERT_MSG(trees_built_, "drag_trees requires build_trees first");
+  const netlist::Netlist& nl = design_->netlist;
+  const auto& nets = graph_->timing_nets();
+  ThreadPool::global().parallel_for(
+      0, nets.size(),
+      [&](size_t i) {
+        const NetId n = nets[i];
+        const netlist::Net& net = nl.net(n);
+        std::vector<Vec2> pts(net.pins.size());
+        for (size_t k = 0; k < net.pins.size(); ++k)
+          pts[k] = pin_pos_[static_cast<size_t>(net.pins[k])];
+        rsmt::update_positions(net_timing_[static_cast<size_t>(n)].tree, pts);
+      },
+      /*grain=*/32);
+}
+
+void Timer::run_elmore() {
+  const netlist::Constraints& con = design_->constraints;
+  const auto& nets = graph_->timing_nets();
+  ThreadPool::global().parallel_for(
+      0, nets.size(),
+      [&](size_t i) {
+        const NetId n = nets[i];
+        elmore_forward(net_timing_[static_cast<size_t>(n)],
+                       net_pin_caps_[static_cast<size_t>(n)], con.wire_res,
+                       con.wire_cap, options_.wire_model);
+      },
+      /*grain=*/32);
+}
+
+void Timer::init_sources(bool early) {
+  const size_t n = at_.size();
+  if (!early) {
+    for (size_t i = 0; i < n; ++i) {
+      at_[i] = src_at_[i];
+      slew_[i] = src_slew_[i];
+    }
+  } else {
+    for (size_t i = 0; i < n; ++i) {
+      // Early arrival of a source equals its (single) arrival time; pins that
+      // are not sources start at +inf so min-aggregation works.
+      at_early_[i] = std::isfinite(src_at_[i]) ? src_at_[i] : kPosInf;
+      slew_early_[i] = src_slew_[i];
+    }
+  }
+}
+
+void Timer::propagate() {
+  init_sources(/*early=*/false);
+  for (int l = 1; l < graph_->num_levels(); ++l) propagate_level(l, false);
+  if (options_.enable_early) {
+    init_sources(/*early=*/true);
+    for (int l = 1; l < graph_->num_levels(); ++l) propagate_level(l, true);
+  }
+}
+
+bool Timer::update_pin(PinId v, bool early) {
+  double* at = early ? at_early_.data() : at_.data();
+  double* slew = early ? slew_early_.data() : slew_.data();
+  const bool smooth = options_.mode == AggMode::Smooth;
+  const double gamma = options_.gamma;
+
+  const auto fanin = graph_->fanin(v);
+  if (fanin.empty()) return false;  // sources keep their initial conditions
+  const Arc& first = graph_->arcs()[static_cast<size_t>(fanin[0])];
+  bool changed = false;
+  auto store = [&](size_t idx, double value, double* array) {
+    if (array[idx] != value) {
+      array[idx] = value;
+      changed = true;
+    }
+  };
+
+  if (first.kind == ArcKind::NetArc) {
+    // Exactly one fan-in net arc per pin (Eq. 9): no aggregation needed.
+    DTP_ASSERT(fanin.size() == 1);
+    const NetTiming& nt = net_timing_[static_cast<size_t>(first.net)];
+    // Tree pin index == net-pin index of the sink.
+    const size_t node = static_cast<size_t>(first.sink_index);
+    const double d = nt.used_delay[node];
+    const double imp2 = nt.imp2[node];
+    for (int tr = 0; tr < 2; ++tr) {
+      const size_t vi = static_cast<size_t>(v) * 2 + static_cast<size_t>(tr);
+      const size_t ui = static_cast<size_t>(first.from) * 2 + static_cast<size_t>(tr);
+      store(vi, at[ui] + d, at);                                    // Eq. 9a
+      store(vi, std::sqrt(slew[ui] * slew[ui] + imp2), slew);       // Eq. 9b
+    }
+    return changed;
+  }
+
+  // Cell arcs: aggregate candidates per output transition (Eq. 11).
+  const NetId out_net = graph_->driven_timing_net(v);
+  const double load = out_net == netlist::kInvalidId
+                          ? 0.0
+                          : net_timing_[static_cast<size_t>(out_net)].root_load();
+  thread_local std::vector<ArcCandidate> cands;
+  thread_local std::vector<double> values;
+  thread_local std::vector<double> weights;
+  for (int tr_out = 0; tr_out < 2; ++tr_out) {
+    cands.clear();
+    for (int ai : fanin) {
+      const Arc& arc = graph_->arcs()[static_cast<size_t>(ai)];
+      DTP_ASSERT(arc.kind == ArcKind::CellArc);
+      gather_arc_candidates(arc, tr_out, at, slew, load, cands);
+    }
+    const size_t vi = static_cast<size_t>(v) * 2 + static_cast<size_t>(tr_out);
+    if (cands.empty()) {
+      store(vi, early ? kPosInf : kNegInf, at);
+      continue;
+    }
+    // Arrival time aggregation.
+    values.resize(cands.size());
+    for (size_t k = 0; k < cands.size(); ++k) values[k] = cands[k].at_value;
+    double agg;
+    if (early)
+      agg = smooth ? smooth_min(values, gamma, weights)
+                   : hard_min(values, weights);
+    else
+      agg = smooth ? smooth_max(values, gamma, weights)
+                   : hard_max(values, weights);
+    store(vi, agg, at);
+    // Slew aggregation (Eq. 11d): late takes the worst (max) slew, early the
+    // best (min).
+    for (size_t k = 0; k < cands.size(); ++k) values[k] = cands[k].slew_q.value;
+    if (early)
+      agg = smooth ? smooth_min(values, gamma, weights)
+                   : hard_min(values, weights);
+    else
+      agg = smooth ? smooth_max(values, gamma, weights)
+                   : hard_max(values, weights);
+    store(vi, agg, slew);
+  }
+  return changed;
+}
+
+void Timer::propagate_level(int level, bool early) {
+  const auto& pins = graph_->level(level);
+  ThreadPool::global().parallel_for(
+      0, pins.size(), [&](size_t i) { update_pin(pins[i], early); },
+      /*grain=*/16);
+}
+
+TimingMetrics Timer::evaluate_incremental(std::span<const double> cell_x,
+                                          std::span<const double> cell_y,
+                                          std::span<const CellId> moved_cells) {
+  DTP_ASSERT_MSG(trees_built_, "evaluate_incremental requires a prior evaluate()");
+  const netlist::Netlist& nl = design_->netlist;
+  const netlist::Constraints& con = design_->constraints;
+
+  // 1. Refresh pin positions of the moved cells.
+  for (const CellId c : moved_cells) {
+    const netlist::Cell& cell = nl.cell(c);
+    for (int k = 0; k < cell.num_pins; ++k) {
+      const PinId p = cell.first_pin + k;
+      const Vec2 off = nl.pin_offset(p);
+      pin_pos_[static_cast<size_t>(p)] = {cell_x[static_cast<size_t>(c)] + off.x,
+                                          cell_y[static_cast<size_t>(c)] + off.y};
+    }
+  }
+
+  // 2. Rebuild + re-time every affected timing net.
+  thread_local std::vector<NetId> nets;
+  nets.clear();
+  for (const CellId c : moved_cells) {
+    const netlist::Cell& cell = nl.cell(c);
+    for (int k = 0; k < cell.num_pins; ++k) {
+      const NetId n = nl.pin(cell.first_pin + k).net;
+      if (n == netlist::kInvalidId || graph_->is_clock_net(n)) continue;
+      if (net_timing_[static_cast<size_t>(n)].tree.num_nodes() == 0) continue;
+      nets.push_back(n);
+    }
+  }
+  std::sort(nets.begin(), nets.end());
+  nets.erase(std::unique(nets.begin(), nets.end()), nets.end());
+
+  // Level-ordered worklist of pins whose timing may have changed.
+  using Entry = std::pair<int, PinId>;  // (level, pin)
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> worklist;
+  thread_local std::vector<char> queued;
+  queued.assign(nl.num_pins(), 0);
+  auto enqueue = [&](PinId p) {
+    if (queued[static_cast<size_t>(p)]) return;
+    queued[static_cast<size_t>(p)] = 1;
+    worklist.emplace(graph_->level_of(p), p);
+  };
+
+  for (const NetId n : nets) {
+    const netlist::Net& net = nl.net(n);
+    std::vector<Vec2> pts(net.pins.size());
+    int driver_idx = 0;
+    for (size_t k = 0; k < net.pins.size(); ++k) {
+      pts[k] = pin_pos_[static_cast<size_t>(net.pins[k])];
+      if (net.pins[k] == net.driver) driver_idx = static_cast<int>(k);
+    }
+    NetTiming& nt = net_timing_[static_cast<size_t>(n)];
+    nt.tree = rsmt::build_rsmt(pts, driver_idx, options_.rsmt);
+    elmore_forward(nt, net_pin_caps_[static_cast<size_t>(n)], con.wire_res,
+                   con.wire_cap, options_.wire_model);
+    // Seeds: sinks (net delay changed) and the driver (its load changed).
+    for (const PinId p : net.pins)
+      if (graph_->in_graph(p)) enqueue(p);
+  }
+
+  // 3. Cone propagation in level order; unchanged pins cut the cone.
+  while (!worklist.empty()) {
+    const PinId v = worklist.top().second;
+    worklist.pop();
+    queued[static_cast<size_t>(v)] = 0;
+    bool changed = update_pin(v, /*early=*/false);
+    if (options_.enable_early) changed |= update_pin(v, /*early=*/true);
+    if (!changed) continue;
+    for (const int ai : graph_->fanout(v))
+      enqueue(graph_->arcs()[static_cast<size_t>(ai)].to);
+  }
+
+  // 4. Refresh slacks/metrics (O(endpoints)).
+  update_slacks();
+  return metrics_;
+}
+
+void Timer::update_slacks() {
+  const auto& endpoints = graph_->endpoints();
+  const bool smooth = options_.mode == AggMode::Smooth;
+  const double gamma = options_.gamma;
+
+  TimingMetrics m;
+  m.wns = kPosInf;
+  m.wns_smooth = kPosInf;
+  m.hold_wns = kPosInf;
+
+  thread_local std::vector<double> slacks2;
+  thread_local std::vector<double> weights;
+  std::vector<double> smooth_ep_slacks;
+  smooth_ep_slacks.reserve(endpoints.size());
+
+  for (size_t e = 0; e < endpoints.size(); ++e) {
+    const Endpoint& ep = endpoints[e];
+    slacks2.resize(2);
+    bool reachable = false;
+    for (int tr = 0; tr < 2; ++tr) {
+      const double a = at(ep.pin, tr);
+      slacks2[static_cast<size_t>(tr)] =
+          std::isfinite(a) ? endpoint_setup_rat(e, tr).value - a : kPosInf;
+      reachable |= std::isfinite(a);
+    }
+    if (!reachable) {
+      endpoint_slack_[e] = kPosInf;
+      endpoint_tr_weights_[e * 2] = endpoint_tr_weights_[e * 2 + 1] = 0.0;
+      continue;
+    }
+    // Exact endpoint slack (worst transition) for reported metrics.
+    const double hard_slack = std::min(slacks2[0], slacks2[1]);
+    m.wns = std::min(m.wns, hard_slack);
+    if (hard_slack < 0.0) {
+      m.tns += hard_slack;
+      ++m.num_violations;
+    }
+    if (smooth) {
+      // +inf slack of an unreachable transition is fine: exp(-inf) = 0.
+      const double s = smooth_min(slacks2, gamma, weights);
+      endpoint_slack_[e] = s;
+      endpoint_tr_weights_[e * 2] = weights[0];
+      endpoint_tr_weights_[e * 2 + 1] = weights[1];
+      smooth_ep_slacks.push_back(s);
+    } else {
+      endpoint_slack_[e] = hard_slack;
+      endpoint_tr_weights_[e * 2] = slacks2[0] <= slacks2[1] ? 1.0 : 0.0;
+      endpoint_tr_weights_[e * 2 + 1] = 1.0 - endpoint_tr_weights_[e * 2];
+    }
+  }
+  if (!std::isfinite(m.wns)) m.wns = 0.0;  // no reachable endpoints
+
+  if (smooth && !smooth_ep_slacks.empty()) {
+    m.wns_smooth = smooth_min(smooth_ep_slacks, gamma, weights);
+    m.tns_smooth = 0.0;
+    for (double s : smooth_ep_slacks) m.tns_smooth += std::min(0.0, s);
+  } else {
+    m.wns_smooth = m.wns;
+    m.tns_smooth = m.tns;
+  }
+
+  // Hold metrics from early arrivals (hold slack = at_early - requirement;
+  // smooth mode also fills the smoothed aggregates and seed weights).
+  if (options_.enable_early) {
+    m.hold_wns = kPosInf;
+    std::vector<double> smooth_hold_slacks;
+    smooth_hold_slacks.reserve(endpoints.size());
+    for (size_t e = 0; e < endpoints.size(); ++e) {
+      const Endpoint& ep = endpoints[e];
+      slacks2.resize(2);
+      bool reachable = false;
+      for (int tr = 0; tr < 2; ++tr) {
+        const double a = at_early(ep.pin, tr);
+        slacks2[static_cast<size_t>(tr)] =
+            std::isfinite(a) ? a - endpoint_hold_requirement(e, tr).value
+                             : kPosInf;
+        reachable |= std::isfinite(a);
+      }
+      if (!reachable) {
+        endpoint_hold_slack_[e] = kPosInf;
+        endpoint_hold_tr_weights_[e * 2] = endpoint_hold_tr_weights_[e * 2 + 1] =
+            0.0;
+        continue;
+      }
+      const double hard_slack = std::min(slacks2[0], slacks2[1]);
+      m.hold_wns = std::min(m.hold_wns, hard_slack);
+      if (hard_slack < 0.0) m.hold_tns += hard_slack;
+      if (smooth) {
+        const double sv = smooth_min(slacks2, gamma, weights);
+        endpoint_hold_slack_[e] = sv;
+        endpoint_hold_tr_weights_[e * 2] = weights[0];
+        endpoint_hold_tr_weights_[e * 2 + 1] = weights[1];
+        smooth_hold_slacks.push_back(sv);
+      } else {
+        endpoint_hold_slack_[e] = hard_slack;
+        endpoint_hold_tr_weights_[e * 2] = slacks2[0] <= slacks2[1] ? 1.0 : 0.0;
+        endpoint_hold_tr_weights_[e * 2 + 1] =
+            1.0 - endpoint_hold_tr_weights_[e * 2];
+      }
+    }
+    if (!std::isfinite(m.hold_wns)) m.hold_wns = 0.0;
+    if (smooth && !smooth_hold_slacks.empty()) {
+      m.hold_wns_smooth = smooth_min(smooth_hold_slacks, gamma, weights);
+      m.hold_tns_smooth = 0.0;
+      for (double sv : smooth_hold_slacks)
+        m.hold_tns_smooth += std::min(0.0, sv);
+    } else {
+      m.hold_wns_smooth = m.hold_wns;
+      m.hold_tns_smooth = m.hold_tns;
+    }
+  } else {
+    m.hold_wns = 0.0;
+  }
+
+  metrics_ = m;
+}
+
+void Timer::update_required() {
+  const netlist::Netlist& nl = design_->netlist;
+  rat_.assign(nl.num_pins() * 2, kPosInf);
+
+  // Seed endpoints.
+  const auto& endpoints = graph_->endpoints();
+  for (size_t e = 0; e < endpoints.size(); ++e) {
+    const PinId p = endpoints[e].pin;
+    for (int tr = 0; tr < 2; ++tr)
+      rat_[static_cast<size_t>(p) * 2 + static_cast<size_t>(tr)] =
+          std::min(rat_[static_cast<size_t>(p) * 2 + static_cast<size_t>(tr)],
+                   endpoint_setup_rat(e, tr).value);
+  }
+
+  // Sweep levels in reverse, relaxing RAT(from) from each fan-in arc of the
+  // current pin (every arc is visited exactly once this way).
+  thread_local std::vector<ArcCandidate> cands;
+  for (int l = graph_->num_levels() - 1; l >= 1; --l) {
+    for (const PinId v : graph_->level(l)) {
+      const auto fanin = graph_->fanin(v);
+      if (fanin.empty()) continue;
+      const Arc& first = graph_->arcs()[static_cast<size_t>(fanin[0])];
+      if (first.kind == ArcKind::NetArc) {
+        const sta::NetTiming& nt = net_timing_[static_cast<size_t>(first.net)];
+        const double d = nt.used_delay[static_cast<size_t>(first.sink_index)];
+        for (int tr = 0; tr < 2; ++tr) {
+          const size_t vi = static_cast<size_t>(v) * 2 + static_cast<size_t>(tr);
+          const size_t ui =
+              static_cast<size_t>(first.from) * 2 + static_cast<size_t>(tr);
+          rat_[ui] = std::min(rat_[ui], rat_[vi] - d);
+        }
+      } else {
+        const NetId out_net = graph_->driven_timing_net(v);
+        const double load =
+            out_net == netlist::kInvalidId
+                ? 0.0
+                : net_timing_[static_cast<size_t>(out_net)].root_load();
+        for (int tr_out = 0; tr_out < 2; ++tr_out) {
+          const size_t vi = static_cast<size_t>(v) * 2 + static_cast<size_t>(tr_out);
+          if (!std::isfinite(rat_[vi])) continue;
+          cands.clear();
+          for (int ai : fanin)
+            gather_arc_candidates(graph_->arcs()[static_cast<size_t>(ai)], tr_out,
+                                  at_.data(), slew_.data(), load, cands);
+          for (const ArcCandidate& c : cands) {
+            const size_t ui =
+                static_cast<size_t>(c.from) * 2 + static_cast<size_t>(c.tr_in);
+            rat_[ui] = std::min(rat_[ui], rat_[vi] - c.delay_q.value);
+          }
+        }
+      }
+    }
+  }
+}
+
+double Timer::pin_slack(PinId p) const {
+  double worst = kPosInf;
+  for (int tr = 0; tr < 2; ++tr) {
+    const size_t i = static_cast<size_t>(p) * 2 + static_cast<size_t>(tr);
+    if (std::isfinite(rat_[i]) && std::isfinite(at_[i]))
+      worst = std::min(worst, rat_[i] - at_[i]);
+  }
+  return worst;
+}
+
+std::vector<Timer::PathNode> Timer::trace_critical_path(PinId endpoint) const {
+  std::vector<PathNode> path;
+  // Worst transition at the endpoint.
+  int tr = at(endpoint, kRise) >= at(endpoint, kFall) ? kRise : kFall;
+  PinId p = endpoint;
+  while (true) {
+    path.push_back({p, tr, at(p, tr)});
+    const auto fanin = graph_->fanin(p);
+    if (fanin.empty()) break;
+    const Arc& first = graph_->arcs()[static_cast<size_t>(fanin[0])];
+    if (first.kind == ArcKind::NetArc) {
+      p = first.from;  // same transition through the wire
+      continue;
+    }
+    // Pick the cell-arc candidate with the largest arrival.
+    const NetId out_net = graph_->driven_timing_net(p);
+    const double load = out_net == netlist::kInvalidId
+                            ? 0.0
+                            : net_timing_[static_cast<size_t>(out_net)].root_load();
+    std::vector<ArcCandidate> cands;
+    for (int ai : fanin)
+      gather_arc_candidates(graph_->arcs()[static_cast<size_t>(ai)], tr, at_.data(),
+                            slew_.data(), load, cands);
+    if (cands.empty()) break;
+    size_t best = 0;
+    for (size_t k = 1; k < cands.size(); ++k)
+      if (cands[k].at_value > cands[best].at_value) best = k;
+    p = cands[best].from;
+    tr = cands[best].tr_in;
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+}  // namespace dtp::sta

@@ -1,0 +1,181 @@
+#include "sta/timing_graph.h"
+
+#include <queue>
+#include <stdexcept>
+
+#include "common/assert.h"
+
+namespace dtp::sta {
+
+using liberty::CellKind;
+using liberty::PinDir;
+
+TimingGraph::TimingGraph(const netlist::Netlist& nl) : nl_(&nl) {
+  const size_t n_pins = nl.num_pins();
+  const size_t n_nets = nl.num_nets();
+  level_of_pin_.assign(n_pins, -1);
+  is_clock_source_.assign(n_pins, 0);
+  is_clock_net_.assign(n_nets, 0);
+  driven_net_.assign(n_pins, netlist::kInvalidId);
+
+  // Classify clock nets: any net touching a clock lib-pin.
+  for (size_t n = 0; n < n_nets; ++n) {
+    for (PinId p : nl.net(static_cast<NetId>(n)).pins) {
+      if (nl.lib_pin_of(p).is_clock) {
+        is_clock_net_[n] = 1;
+        break;
+      }
+    }
+  }
+
+  // Net arcs for timing nets.
+  for (size_t n = 0; n < n_nets; ++n) {
+    const netlist::Net& net = nl.net(static_cast<NetId>(n));
+    if (is_clock_net_[n] || net.driver == netlist::kInvalidId || net.pins.size() < 2)
+      continue;
+    timing_nets_.push_back(static_cast<NetId>(n));
+    driven_net_[static_cast<size_t>(net.driver)] = static_cast<NetId>(n);
+    for (size_t k = 0; k < net.pins.size(); ++k) {
+      const PinId sink = net.pins[k];
+      if (sink == net.driver) continue;
+      Arc arc;
+      arc.from = net.driver;
+      arc.to = sink;
+      arc.kind = ArcKind::NetArc;
+      arc.net = static_cast<NetId>(n);
+      arc.sink_index = static_cast<int>(k);
+      arcs_.push_back(arc);
+    }
+  }
+
+  // Cell arcs.
+  for (size_t c = 0; c < nl.num_cells(); ++c) {
+    const netlist::Cell& cell = nl.cell(static_cast<CellId>(c));
+    const liberty::LibCell& master = nl.lib_cell_of(static_cast<CellId>(c));
+    for (const liberty::TimingArc& lib_arc : master.arcs) {
+      const PinId from = cell.first_pin + lib_arc.from_pin;
+      const PinId to = cell.first_pin + lib_arc.to_pin;
+      // Both endpoints must be electrically meaningful: the output must drive
+      // a timing net, and the input must either be clocked (level-0 source)
+      // or connected to a timing net.
+      if (driven_net_[static_cast<size_t>(to)] == netlist::kInvalidId) continue;
+      const NetId in_net = nl.pin(from).net;
+      const bool clocked = nl.lib_pin_of(from).is_clock;
+      if (!clocked &&
+          (in_net == netlist::kInvalidId || is_clock_net_[static_cast<size_t>(in_net)]))
+        continue;
+      Arc arc;
+      arc.from = from;
+      arc.to = to;
+      arc.kind = ArcKind::CellArc;
+      arc.lib_arc = &lib_arc;
+      arcs_.push_back(arc);
+      if (clocked) is_clock_source_[static_cast<size_t>(from)] = 1;
+    }
+  }
+
+  // Fan-in CSR and Kahn levelization (longest-path levels).
+  std::vector<int> fanin_count(n_pins, 0);
+  std::vector<int> fanout_count(n_pins, 0);
+  for (const Arc& a : arcs_) {
+    ++fanin_count[static_cast<size_t>(a.to)];
+    ++fanout_count[static_cast<size_t>(a.from)];
+  }
+  fanin_range_.resize(n_pins);
+  {
+    int offset = 0;
+    for (size_t p = 0; p < n_pins; ++p) {
+      fanin_range_[p] = {offset, 0};
+      offset += fanin_count[p];
+    }
+    fanin_arcs_.resize(static_cast<size_t>(offset));
+    for (size_t ai = 0; ai < arcs_.size(); ++ai) {
+      auto& range = fanin_range_[static_cast<size_t>(arcs_[ai].to)];
+      fanin_arcs_[static_cast<size_t>(range.first + range.second)] =
+          static_cast<int>(ai);
+      ++range.second;
+    }
+  }
+
+  // Fan-out CSR (kept for incremental cone propagation) + adjacency view.
+  fanout_range_.resize(n_pins);
+  {
+    int offset = 0;
+    for (size_t p = 0; p < n_pins; ++p) {
+      fanout_range_[p] = {offset, 0};
+      offset += fanout_count[p];
+    }
+    fanout_arcs_.resize(static_cast<size_t>(offset));
+    for (size_t ai = 0; ai < arcs_.size(); ++ai) {
+      auto& range = fanout_range_[static_cast<size_t>(arcs_[ai].from)];
+      fanout_arcs_[static_cast<size_t>(range.first + range.second)] =
+          static_cast<int>(ai);
+      ++range.second;
+    }
+  }
+  std::vector<std::vector<int>> fanout(n_pins);
+  for (size_t p = 0; p < n_pins; ++p) {
+    const auto span = this->fanout(static_cast<PinId>(p));
+    fanout[p].assign(span.begin(), span.end());
+  }
+
+  size_t in_graph_pins = 0;
+  std::queue<PinId> ready;
+  for (size_t p = 0; p < n_pins; ++p) {
+    const bool touched = fanin_count[p] > 0 || fanout_count[p] > 0;
+    if (!touched) continue;
+    ++in_graph_pins;
+    if (fanin_count[p] == 0) {
+      level_of_pin_[p] = 0;
+      ready.push(static_cast<PinId>(p));
+    }
+  }
+
+  std::vector<int> remaining = fanin_count;
+  size_t processed = 0;
+  while (!ready.empty()) {
+    const PinId u = ready.front();
+    ready.pop();
+    ++processed;
+    const int lu = level_of_pin_[static_cast<size_t>(u)];
+    for (int ai : fanout[static_cast<size_t>(u)]) {
+      const PinId v = arcs_[static_cast<size_t>(ai)].to;
+      level_of_pin_[static_cast<size_t>(v)] =
+          std::max(level_of_pin_[static_cast<size_t>(v)], lu + 1);
+      if (--remaining[static_cast<size_t>(v)] == 0) ready.push(v);
+    }
+  }
+  if (processed != in_graph_pins)
+    throw std::runtime_error("timing graph has a combinational cycle");
+
+  int max_level = -1;
+  for (size_t p = 0; p < n_pins; ++p)
+    max_level = std::max(max_level, level_of_pin_[p]);
+  levels_.resize(static_cast<size_t>(max_level + 1));
+  for (size_t p = 0; p < n_pins; ++p)
+    if (level_of_pin_[p] >= 0)
+      levels_[static_cast<size_t>(level_of_pin_[p])].push_back(static_cast<PinId>(p));
+
+  // Endpoints: data pins of sequential cells + primary-output pads.
+  for (size_t c = 0; c < nl.num_cells(); ++c) {
+    const auto cell_id = static_cast<CellId>(c);
+    const netlist::Cell& cell = nl.cell(cell_id);
+    const liberty::LibCell& master = nl.lib_cell_of(cell_id);
+    if (master.kind == CellKind::Sequential) {
+      for (size_t lp = 0; lp < master.pins.size(); ++lp) {
+        const liberty::LibPin& pin = master.pins[lp];
+        if (pin.dir != PinDir::Input || pin.is_clock) continue;
+        const PinId p = cell.first_pin + static_cast<int>(lp);
+        if (!in_graph(p)) continue;
+        endpoints_.push_back({p, EndpointKind::FlopData, master.setup_time,
+                              master.hold_time});
+      }
+    } else if (master.kind == CellKind::PortOut) {
+      const PinId p = cell.first_pin;
+      if (!in_graph(p)) continue;
+      endpoints_.push_back({p, EndpointKind::PrimaryOutput, 0.0, 0.0});
+    }
+  }
+}
+
+}  // namespace dtp::sta

@@ -1,0 +1,113 @@
+// Pin-level timing graph with topological levelization (paper §3.3 step 1).
+//
+// Nodes are netlist pins; arcs are either *net arcs* (net driver -> each sink,
+// carrying Elmore delay/impulse) or *cell arcs* (cell input -> cell output,
+// carrying NLDM LUT delay/slew).  Pins are grouped by topological level so the
+// forward propagation sweeps levels 0..L and the backward gradient sweeps
+// L..0 — the structure the paper maps onto one GPU kernel launch per level,
+// and that we map onto one parallel_for per level.
+//
+// Clock handling (ideal clock, DESIGN.md §1): nets that touch a clock lib-pin
+// are *clock nets*; their net arcs are excluded from the graph, and every
+// clock input pin becomes a level-0 source with AT = 0 and slew = the
+// constraint's clock slew.  Sequential cells therefore start paths at their
+// CK->Q arc and end them at their D pin (a timing endpoint), cutting all
+// sequential loops.
+#pragma once
+
+#include <vector>
+
+#include "netlist/netlist.h"
+
+namespace dtp::sta {
+
+using netlist::CellId;
+using netlist::NetId;
+using netlist::PinId;
+
+enum class ArcKind : uint8_t { NetArc, CellArc };
+
+struct Arc {
+  PinId from = netlist::kInvalidId;
+  PinId to = netlist::kInvalidId;
+  ArcKind kind = ArcKind::NetArc;
+  NetId net = netlist::kInvalidId;              // for net arcs
+  int sink_index = -1;                          // net-pin index of `to` within the net
+  const liberty::TimingArc* lib_arc = nullptr;  // for cell arcs
+};
+
+enum class EndpointKind : uint8_t { FlopData, PrimaryOutput };
+
+struct Endpoint {
+  PinId pin = netlist::kInvalidId;
+  EndpointKind kind = EndpointKind::FlopData;
+  double setup = 0.0;  // setup constraint (FF setup time, or PO output delay)
+  double hold = 0.0;
+};
+
+class TimingGraph {
+ public:
+  // Builds the graph; throws std::runtime_error on combinational cycles.
+  explicit TimingGraph(const netlist::Netlist& nl);
+
+  const netlist::Netlist& netlist() const { return *nl_; }
+
+  // ---- levels ----
+  int num_levels() const { return static_cast<int>(levels_.size()); }
+  const std::vector<PinId>& level(int l) const {
+    return levels_[static_cast<size_t>(l)];
+  }
+  int level_of(PinId p) const { return level_of_pin_[static_cast<size_t>(p)]; }
+  bool in_graph(PinId p) const { return level_of_pin_[static_cast<size_t>(p)] >= 0; }
+
+  // ---- arcs ----
+  const std::vector<Arc>& arcs() const { return arcs_; }
+  // Fan-in arcs of a pin (indices into arcs()).
+  std::span<const int> fanin(PinId p) const {
+    const auto& range = fanin_range_[static_cast<size_t>(p)];
+    return {fanin_arcs_.data() + range.first, static_cast<size_t>(range.second)};
+  }
+  // Fan-out arcs of a pin (indices into arcs()).
+  std::span<const int> fanout(PinId p) const {
+    const auto& range = fanout_range_[static_cast<size_t>(p)];
+    return {fanout_arcs_.data() + range.first, static_cast<size_t>(range.second)};
+  }
+
+  // ---- sources / endpoints ----
+  // Level-0 pins with no fan-in: PI pads and clock pins.
+  const std::vector<PinId>& sources() const { return levels_.empty() ? empty_ : levels_[0]; }
+  const std::vector<Endpoint>& endpoints() const { return endpoints_; }
+  bool pin_is_clock_source(PinId p) const {
+    return is_clock_source_[static_cast<size_t>(p)];
+  }
+
+  // ---- nets ----
+  bool is_clock_net(NetId n) const { return is_clock_net_[static_cast<size_t>(n)]; }
+  // Nets carried by the timing graph (driver + >=1 sink, not clock).
+  const std::vector<NetId>& timing_nets() const { return timing_nets_; }
+  // The net driven by this pin if it drives a timing net, else kInvalidId.
+  NetId driven_timing_net(PinId p) const {
+    return driven_net_[static_cast<size_t>(p)];
+  }
+
+  // Longest combinational level depth (diagnostics; the paper's ">300 layers").
+  int max_depth() const { return num_levels(); }
+
+ private:
+  const netlist::Netlist* nl_;
+  std::vector<int> level_of_pin_;
+  std::vector<std::vector<PinId>> levels_;
+  std::vector<Arc> arcs_;
+  std::vector<std::pair<int, int>> fanin_range_;  // per pin: (offset, count)
+  std::vector<int> fanin_arcs_;
+  std::vector<std::pair<int, int>> fanout_range_;
+  std::vector<int> fanout_arcs_;
+  std::vector<Endpoint> endpoints_;
+  std::vector<char> is_clock_net_;
+  std::vector<char> is_clock_source_;
+  std::vector<NetId> timing_nets_;
+  std::vector<NetId> driven_net_;
+  std::vector<PinId> empty_;
+};
+
+}  // namespace dtp::sta

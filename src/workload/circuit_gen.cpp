@@ -1,0 +1,338 @@
+#include "workload/circuit_gen.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.h"
+#include "common/rng.h"
+
+namespace dtp::workload {
+
+using netlist::CellId;
+using netlist::Design;
+using netlist::NetId;
+
+namespace {
+
+// A "signal" is a driven net available for consumption by later levels.
+struct Signal {
+  NetId net = netlist::kInvalidId;
+  int level = 0;    // 0 = PI or flop Q
+  int cluster = 0;
+  int capacity = 1;      // remaining sink slots
+  bool consumed = false; // has at least one sink
+};
+
+struct GateChoice {
+  int lib_id;
+  int n_inputs;
+  double weight;
+};
+
+}  // namespace
+
+Design generate_design(const liberty::CellLibrary& lib, const WorkloadOptions& opts,
+                       const std::string& name) {
+  DTP_ASSERT(opts.num_cells >= 16 && opts.levels >= 2);
+  Rng rng(opts.seed);
+  Design design(&lib, name);
+  netlist::Netlist& nl = design.netlist;
+
+  // --- gate palette, weighted toward 2-input gates like real designs ---
+  std::vector<GateChoice> palette;
+  auto add_gate = [&](const char* gate_name, double weight) {
+    const int id = lib.find_cell(gate_name);
+    DTP_ASSERT_MSG(id >= 0, "synthetic library is missing an expected gate");
+    int n_inputs = 0;
+    for (const auto& pin : lib.cell(id).pins)
+      if (pin.dir == liberty::PinDir::Input) ++n_inputs;
+    palette.push_back({id, n_inputs, weight});
+  };
+  add_gate("INV_X1", 0.10);
+  add_gate("INV_X2", 0.05);
+  add_gate("INV_X4", 0.02);
+  add_gate("BUF_X1", 0.06);
+  add_gate("BUF_X2", 0.03);
+  add_gate("NAND2_X1", 0.26);
+  add_gate("NAND2_X2", 0.08);
+  add_gate("NOR2_X1", 0.18);
+  add_gate("AOI21_X1", 0.12);
+  add_gate("XOR2_X1", 0.10);
+  double weight_total = 0.0;
+  for (const auto& g : palette) weight_total += g.weight;
+
+  auto pick_gate = [&]() -> const GateChoice& {
+    double r = rng.uniform() * weight_total;
+    for (const auto& g : palette) {
+      r -= g.weight;
+      if (r <= 0.0) return g;
+    }
+    return palette.back();
+  };
+
+  const int dff_id = lib.find_cell("DFF_X1");
+  DTP_ASSERT(dff_id >= 0);
+  const int port_in = lib.find_cell(liberty::CellLibrary::kPortInName);
+  const int port_out = lib.find_cell(liberty::CellLibrary::kPortOutName);
+  DTP_ASSERT(port_in >= 0 && port_out >= 0);
+
+  const int n_ff = std::max(1, static_cast<int>(opts.num_cells * opts.ff_fraction));
+  const int n_comb = opts.num_cells - n_ff;
+  const int n_clusters =
+      std::max(1, opts.num_cells / std::max(1, opts.cluster_size));
+
+  std::vector<Signal> signals;
+  std::vector<std::vector<int>> cluster_signals(static_cast<size_t>(n_clusters));
+  auto new_signal = [&](CellId driver_cell, const char* driver_pin, int level,
+                        int cluster) {
+    const NetId net = nl.add_net("n" + std::to_string(nl.num_nets()));
+    nl.connect(net, driver_cell, driver_pin);
+    Signal sig;
+    sig.net = net;
+    sig.level = level;
+    sig.cluster = cluster;
+    sig.capacity = static_cast<int>(
+        rng.heavy_tail(opts.fanout_alpha, opts.max_fanout));
+    signals.push_back(sig);
+    cluster_signals[static_cast<size_t>(cluster)].push_back(
+        static_cast<int>(signals.size() - 1));
+    return static_cast<int>(signals.size() - 1);
+  };
+
+  // --- primary inputs ---
+  std::vector<CellId> pi_cells;
+  for (int i = 0; i < opts.num_pi; ++i) {
+    const CellId c = nl.add_cell("pi_" + std::to_string(i), port_in);
+    nl.cell(c).fixed = true;
+    pi_cells.push_back(c);
+    new_signal(c, "PAD", 0, static_cast<int>(rng.uniform_int(0, n_clusters - 1)));
+  }
+  const CellId clk_cell = nl.add_cell("clk", port_in);
+  nl.cell(clk_cell).fixed = true;
+  const NetId clk_net = nl.add_net("clknet");
+  nl.connect(clk_net, clk_cell, "PAD");
+
+  // --- flops: Q pins are level-0 signals; D/CK wired later ---
+  std::vector<CellId> ff_cells;
+  for (int i = 0; i < n_ff; ++i) {
+    const CellId c = nl.add_cell("ff_" + std::to_string(i), dff_id);
+    ff_cells.push_back(c);
+    const int cluster = static_cast<int>(rng.uniform_int(0, n_clusters - 1));
+    new_signal(c, "Q", 0, cluster);
+    nl.connect(clk_net, c, "CK");
+  }
+
+  // --- consume one signal, preferring unconsumed / in-cluster / low level ---
+  // Returns the signal index to use as an input at `level` for `cluster`.
+  auto choose_input = [&](int level, int cluster, bool force_prev_level) -> int {
+    // Pass 1: an unconsumed signal at exactly level-1 (depth backbone).
+    if (force_prev_level) {
+      // Prefer own cluster, fall back to a global scan sample.
+      for (int attempt = 0; attempt < 24; ++attempt) {
+        const auto& pool = cluster_signals[static_cast<size_t>(
+            attempt < 12 ? cluster
+                         : static_cast<int>(rng.uniform_int(0, n_clusters - 1)))];
+        if (pool.empty()) continue;
+        const int s = pool[static_cast<size_t>(
+            rng.uniform_int(0, static_cast<int64_t>(pool.size()) - 1))];
+        if (signals[static_cast<size_t>(s)].level == level - 1 &&
+            signals[static_cast<size_t>(s)].capacity > 0)
+          return s;
+      }
+    }
+    // Pass 2: random signal below `level`, cluster-biased.
+    for (int attempt = 0; attempt < 48; ++attempt) {
+      const bool local = rng.bernoulli(opts.p_local);
+      const auto& pool =
+          cluster_signals[static_cast<size_t>(local ? cluster
+                                                    : static_cast<int>(rng.uniform_int(
+                                                          0, n_clusters - 1)))];
+      if (pool.empty()) continue;
+      const int s = pool[static_cast<size_t>(
+          rng.uniform_int(0, static_cast<int64_t>(pool.size()) - 1))];
+      Signal& sig = signals[static_cast<size_t>(s)];
+      if (sig.level < level && sig.capacity > 0) return s;
+    }
+    // Pass 3: exhaustive fallback — any signal below `level` (capacity
+    // ignored so generation always succeeds).
+    for (size_t s = 0; s < signals.size(); ++s)
+      if (signals[s].level < level) return static_cast<int>(s);
+    DTP_ASSERT_MSG(false, "no candidate signal below requested level");
+    return 0;
+  };
+
+  auto consume = [&](int sig_idx, NetId* out_net) {
+    Signal& sig = signals[static_cast<size_t>(sig_idx)];
+    sig.consumed = true;
+    if (sig.capacity > 0) --sig.capacity;
+    *out_net = sig.net;
+  };
+
+  // --- combinational gates, level by level ---
+  // Distribute gates over levels 1..levels; guarantee one per level.
+  std::vector<int> gate_level(static_cast<size_t>(n_comb));
+  for (int i = 0; i < n_comb; ++i) {
+    gate_level[static_cast<size_t>(i)] =
+        i < opts.levels ? i + 1
+                        : static_cast<int>(rng.uniform_int(1, opts.levels));
+  }
+  std::sort(gate_level.begin(), gate_level.end());
+
+  for (int i = 0; i < n_comb; ++i) {
+    const GateChoice& gate = pick_gate();
+    const int level = gate_level[static_cast<size_t>(i)];
+    const int cluster = static_cast<int>(rng.uniform_int(0, n_clusters - 1));
+    const CellId c = nl.add_cell("g" + std::to_string(i), gate.lib_id);
+    const liberty::LibCell& master = lib.cell(gate.lib_id);
+    int input_no = 0;
+    for (size_t lp = 0; lp < master.pins.size(); ++lp) {
+      if (master.pins[lp].dir != liberty::PinDir::Input) continue;
+      const int s = choose_input(level, cluster, /*force_prev_level=*/input_no == 0);
+      NetId in_net;
+      consume(s, &in_net);
+      nl.connect(in_net, c, static_cast<int>(lp));
+      ++input_no;
+    }
+    new_signal(c, "Z", level, cluster);
+  }
+
+  // --- flop D inputs: deep signals, cluster-biased ---
+  for (const CellId ff : ff_cells) {
+    // Reuse choose_input at the deepest level + 1 so any signal qualifies;
+    // bias the first attempt set toward deep levels by sampling a few and
+    // keeping the deepest.
+    int best = -1;
+    for (int attempt = 0; attempt < 6; ++attempt) {
+      const int s = choose_input(opts.levels + 1, static_cast<int>(rng.uniform_int(
+                                                      0, n_clusters - 1)),
+                                 false);
+      if (best < 0 ||
+          signals[static_cast<size_t>(s)].level >
+              signals[static_cast<size_t>(best)].level)
+        best = s;
+    }
+    NetId in_net;
+    consume(best, &in_net);
+    nl.connect(in_net, ff, "D");
+  }
+
+  // --- primary outputs: deepest unconsumed signals first ---
+  std::vector<int> unconsumed;
+  for (size_t s = 0; s < signals.size(); ++s)
+    if (!signals[s].consumed) unconsumed.push_back(static_cast<int>(s));
+  std::sort(unconsumed.begin(), unconsumed.end(), [&](int a, int b) {
+    return signals[static_cast<size_t>(a)].level >
+           signals[static_cast<size_t>(b)].level;
+  });
+  int n_po = opts.num_po;
+  size_t next_unconsumed = 0;
+  std::vector<CellId> po_cells;
+  auto add_po = [&](int sig_idx) {
+    const CellId c =
+        nl.add_cell("po_" + std::to_string(po_cells.size()), port_out);
+    nl.cell(c).fixed = true;
+    po_cells.push_back(c);
+    NetId in_net;
+    consume(sig_idx, &in_net);
+    nl.connect(in_net, c, "PAD");
+  };
+  for (int i = 0; i < n_po; ++i) {
+    int s;
+    if (next_unconsumed < unconsumed.size())
+      s = unconsumed[next_unconsumed++];
+    else
+      s = choose_input(opts.levels + 1,
+                       static_cast<int>(rng.uniform_int(0, n_clusters - 1)), false);
+    add_po(s);
+  }
+  // Every remaining dangling driver gets its own PO (nets must have sinks).
+  for (; next_unconsumed < unconsumed.size(); ++next_unconsumed) {
+    if (!signals[static_cast<size_t>(unconsumed[next_unconsumed])].consumed)
+      add_po(unconsumed[next_unconsumed]);
+  }
+
+  nl.validate();
+
+  // --- floorplan from area and utilization ---
+  double total_area = 0.0;
+  for (size_t c = 0; c < nl.num_cells(); ++c) {
+    const liberty::LibCell& master = nl.lib_cell_of(static_cast<CellId>(c));
+    total_area += master.width * master.height;
+  }
+  const liberty::LibCell& any_gate = lib.cell(palette[0].lib_id);
+  const double row_h = any_gate.height;
+  double side = std::sqrt(total_area / opts.target_density);
+  // Snap to whole rows.
+  const int rows = std::max(4, static_cast<int>(std::ceil(side / row_h)));
+  side = rows * row_h;
+  design.floorplan.core = Rect(0.0, 0.0, side, side);
+  design.floorplan.row_height = row_h;
+  design.floorplan.site_width = 0.5;
+
+  // --- positions: pads on the boundary ring, movables near the center ---
+  design.init_positions();
+  std::vector<CellId> pads;
+  for (size_t c = 0; c < nl.num_cells(); ++c)
+    if (nl.cell_is_port(static_cast<CellId>(c)))
+      pads.push_back(static_cast<CellId>(c));
+  const double perimeter = 4.0 * side;
+  for (size_t i = 0; i < pads.size(); ++i) {
+    const double t = perimeter * static_cast<double>(i) /
+                     static_cast<double>(pads.size());
+    double x, y;
+    if (t < side) {
+      x = t;
+      y = 0.0;
+    } else if (t < 2.0 * side) {
+      x = side;
+      y = t - side;
+    } else if (t < 3.0 * side) {
+      x = 3.0 * side - t;
+      y = side;
+    } else {
+      x = 0.0;
+      y = 4.0 * side - t;
+    }
+    design.cell_x[static_cast<size_t>(pads[i])] = x;
+    design.cell_y[static_cast<size_t>(pads[i])] = y;
+  }
+  for (size_t c = 0; c < nl.num_cells(); ++c) {
+    if (nl.cell(static_cast<CellId>(c)).fixed) continue;
+    design.cell_x[c] = 0.5 * side + rng.normal(0.0, side * 0.08);
+    design.cell_y[c] = 0.5 * side + rng.normal(0.0, side * 0.08);
+    design.cell_x[c] = std::clamp(design.cell_x[c], 0.0, side - 1.0);
+    design.cell_y[c] = std::clamp(design.cell_y[c], 0.0, side - 1.0);
+  }
+
+  // --- constraints: period from structural depth ---
+  design.constraints.clock_period =
+      opts.clock_scale * opts.levels * opts.delay_per_level_est;
+  design.constraints.clock_slew = lib.default_slew;
+  design.constraints.input_slew = lib.default_slew;
+
+  return design;
+}
+
+const std::vector<MinibluePreset>& miniblue_presets() {
+  // Cell counts from paper Table 2.
+  static const std::vector<MinibluePreset> presets = {
+      {"miniblue1", 1209716, 101}, {"miniblue3", 1213253, 103},
+      {"miniblue4", 795645, 104},  {"miniblue5", 1086888, 105},
+      {"miniblue7", 1931639, 107}, {"miniblue10", 1876103, 110},
+      {"miniblue16", 981559, 116}, {"miniblue18", 768068, 118},
+  };
+  return presets;
+}
+
+WorkloadOptions miniblue_options(const MinibluePreset& preset, int scale_divisor) {
+  WorkloadOptions opts;
+  opts.seed = preset.seed;
+  opts.num_cells = std::max(500, preset.superblue_cells / scale_divisor);
+  // IO and depth scale sublinearly with design size.
+  opts.num_pi = std::max(16, opts.num_cells / 160);
+  opts.num_po = std::max(16, opts.num_cells / 160);
+  opts.levels = std::min(40, 16 + opts.num_cells / 500);
+  return opts;
+}
+
+}  // namespace dtp::workload

@@ -1,0 +1,65 @@
+// Synthetic benchmark generator: the stand-in for the ICCAD 2015 superblue
+// suite (DESIGN.md §1).
+//
+// Generates a single-clock design with superblue-like *structure*:
+//   * a layered combinational DAG of library gates with a guaranteed
+//     logic-depth backbone (every level-l gate consumes at least one level
+//     l-1 signal),
+//   * a register fraction whose Q pins launch paths and D pins end them,
+//   * a heavy-tailed fanout distribution (power-law capacity per net),
+//   * Rent-style locality: cells belong to clusters and prefer consuming
+//     signals from their own cluster, so good placements exist,
+//   * an IO ring of fixed pads around the core, and one clock net from a clk
+//     pad to every flop (ideal-clock net, excluded from timing).
+//
+// The floorplan is sized from total cell area and target utilization; movable
+// cells start near the core center with jitter (the placer's usual initial
+// state).  The clock period is set from the structural depth so the design
+// has meaningful negative slack at the global-placement stage, as the
+// contest benchmarks do.  Fully deterministic given the seed.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.h"
+
+namespace dtp::workload {
+
+struct WorkloadOptions {
+  uint64_t seed = 1;
+  int num_cells = 4000;       // movable standard cells (gates + flops)
+  double ff_fraction = 0.12;  // share of num_cells that are flops
+  int num_pi = 32;
+  int num_po = 32;
+  int levels = 24;            // combinational depth
+  double fanout_alpha = 2.3;  // power-law exponent of net fanout capacity
+  int max_fanout = 24;        // cap on generated net fanout
+  int cluster_size = 80;      // cells per locality cluster
+  double p_local = 0.75;      // probability an input comes from the own cluster
+  double target_density = 0.70;
+  // clock_period = clock_scale * levels * delay_per_level_est (+wire margin);
+  // < 1 values make the unoptimized design violate, as in the contest suite.
+  double clock_scale = 0.85;
+  double delay_per_level_est = 0.055;  // ns
+};
+
+// Generates a complete design (netlist + constraints + floorplan + initial
+// cell positions with pads fixed on the core boundary).
+netlist::Design generate_design(const liberty::CellLibrary& lib,
+                                const WorkloadOptions& opts,
+                                const std::string& name = "synthetic");
+
+// The eight "miniblue" presets mirroring Table 2's relative design sizes
+// (superblue cell counts scaled by `scale_divisor`).
+struct MinibluePreset {
+  const char* name;
+  int superblue_cells;  // the real benchmark's cell count (Table 2)
+  uint64_t seed;
+};
+const std::vector<MinibluePreset>& miniblue_presets();
+WorkloadOptions miniblue_options(const MinibluePreset& preset,
+                                 int scale_divisor = 200);
+
+}  // namespace dtp::workload

@@ -1,0 +1,128 @@
+// Slew-dependent setup/hold constraint LUTs (NLDM-style): forward semantics,
+// IO round trip, and their gradient path (validated implicitly by the main
+// gradchecks; here the mechanism itself).
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "liberty/liberty_io.h"
+#include "liberty/synth_library.h"
+#include "sta/timer.h"
+#include "workload/circuit_gen.h"
+
+namespace dtp::sta {
+namespace {
+
+using netlist::Design;
+
+TEST(ConstraintLut, SyntheticDffHasValidTables) {
+  const liberty::CellLibrary lib = liberty::make_synthetic_library();
+  const liberty::LibCell& ff = lib.cell(lib.find_cell("DFF_X1"));
+  ASSERT_TRUE(ff.setup_lut.valid());
+  ASSERT_TRUE(ff.hold_lut.valid());
+  // At the smallest slews the tables approach the scalar fallbacks.
+  EXPECT_NEAR(ff.setup_lut.lookup(0.0, 0.0), ff.setup_time, 1e-9);
+  EXPECT_NEAR(ff.hold_lut.lookup(0.0, 0.0), ff.hold_time, 1e-9);
+  // Monotone increasing in data slew.
+  EXPECT_GT(ff.setup_lut.lookup(0.3, 0.02), ff.setup_lut.lookup(0.01, 0.02));
+}
+
+TEST(ConstraintLut, RoundTripsThroughLibertyIo) {
+  const liberty::CellLibrary lib = liberty::make_synthetic_library();
+  std::stringstream ss;
+  liberty::write_liberty(lib, ss);
+  const liberty::CellLibrary back = liberty::parse_liberty(ss);
+  const liberty::LibCell& a = lib.cell(lib.find_cell("DFF_X1"));
+  const liberty::LibCell& b = back.cell(back.find_cell("DFF_X1"));
+  ASSERT_TRUE(b.setup_lut.valid());
+  ASSERT_TRUE(b.hold_lut.valid());
+  for (double ds : {0.01, 0.1, 0.4})
+    for (double cs : {0.01, 0.05}) {
+      EXPECT_NEAR(a.setup_lut.lookup(ds, cs), b.setup_lut.lookup(ds, cs), 1e-9);
+      EXPECT_NEAR(a.hold_lut.lookup(ds, cs), b.hold_lut.lookup(ds, cs), 1e-9);
+    }
+}
+
+TEST(ConstraintLut, EndpointRatUsesDataSlew) {
+  const liberty::CellLibrary lib = liberty::make_synthetic_library();
+  workload::WorkloadOptions opts;
+  opts.num_cells = 200;
+  opts.seed = 808;
+  const Design d = workload::generate_design(lib, opts);
+  const TimingGraph graph(d.netlist);
+  Timer timer(d, graph);
+  timer.evaluate(d.cell_x, d.cell_y);
+
+  // Find a flop endpoint: its RAT must equal T - setup_lut(slew(D), clk slew)
+  // and carry a negative slew derivative (larger slew => earlier RAT).
+  bool checked = false;
+  for (size_t e = 0; e < graph.endpoints().size(); ++e) {
+    const Endpoint& ep = graph.endpoints()[e];
+    if (ep.kind != EndpointKind::FlopData) continue;
+    if (!std::isfinite(timer.at(ep.pin, 0))) continue;
+    const auto req = timer.endpoint_setup_rat(e, 0);
+    const liberty::LibCell& ff =
+        d.netlist.lib_cell_of(d.netlist.pin(ep.pin).cell);
+    const double expect =
+        d.constraints.clock_period -
+        ff.setup_lut.lookup(timer.slew(ep.pin, 0), d.constraints.clock_slew);
+    EXPECT_NEAR(req.value, expect, 1e-12);
+    EXPECT_LT(req.d_dslew, 0.0);
+    checked = true;
+    break;
+  }
+  EXPECT_TRUE(checked);
+}
+
+TEST(ConstraintLut, ScalarFallbackWhenLutAbsent) {
+  liberty::CellLibrary lib = liberty::make_synthetic_library();
+  liberty::LibCell& ff = lib.cell(lib.find_cell("DFF_X1"));
+  ff.setup_lut = liberty::Lut();  // invalidate
+  ff.hold_lut = liberty::Lut();
+  workload::WorkloadOptions opts;
+  opts.num_cells = 150;
+  opts.seed = 809;
+  const Design d = workload::generate_design(lib, opts);
+  const TimingGraph graph(d.netlist);
+  TimerOptions topts;
+  topts.enable_early = true;
+  Timer timer(d, graph, topts);
+  timer.evaluate(d.cell_x, d.cell_y);
+  for (size_t e = 0; e < graph.endpoints().size(); ++e) {
+    if (graph.endpoints()[e].kind != EndpointKind::FlopData) continue;
+    const auto req = timer.endpoint_setup_rat(e, 0);
+    EXPECT_NEAR(req.value, d.constraints.clock_period - ff.setup_time, 1e-12);
+    EXPECT_EQ(req.d_dslew, 0.0);
+    const auto hreq = timer.endpoint_hold_requirement(e, 1);
+    EXPECT_NEAR(hreq.value, ff.hold_time, 1e-12);
+    EXPECT_EQ(hreq.d_dslew, 0.0);
+    break;
+  }
+}
+
+TEST(ConstraintLut, LutConstraintsTightenSlackVsScalar) {
+  // The LUTs add slew-dependent margin on top of the scalar base, so WNS
+  // under LUT constraints is no better than under the scalars alone.
+  liberty::CellLibrary lut_lib = liberty::make_synthetic_library();
+  liberty::CellLibrary scalar_lib = liberty::make_synthetic_library();
+  auto& ff = scalar_lib.cell(scalar_lib.find_cell("DFF_X1"));
+  ff.setup_lut = liberty::Lut();
+  ff.hold_lut = liberty::Lut();
+
+  workload::WorkloadOptions opts;
+  opts.num_cells = 250;
+  opts.seed = 811;
+  const Design d_lut = workload::generate_design(lut_lib, opts);
+  const Design d_scalar = workload::generate_design(scalar_lib, opts);
+  const TimingGraph g_lut(d_lut.netlist);
+  const TimingGraph g_scalar(d_scalar.netlist);
+  Timer t_lut(d_lut, g_lut);
+  Timer t_scalar(d_scalar, g_scalar);
+  const double wns_lut = t_lut.evaluate(d_lut.cell_x, d_lut.cell_y).wns;
+  const double wns_scalar =
+      t_scalar.evaluate(d_scalar.cell_x, d_scalar.cell_y).wns;
+  EXPECT_LE(wns_lut, wns_scalar + 1e-12);
+}
+
+}  // namespace
+}  // namespace dtp::sta

@@ -1,0 +1,147 @@
+// D2M wire delay model (the paper's §3.4.2 extensibility claim): forward
+// properties and full-pipeline finite-difference gradient validation.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "dtimer/diff_timer.h"
+#include "liberty/synth_library.h"
+#include "rsmt/rsmt_builder.h"
+#include "workload/circuit_gen.h"
+
+namespace dtp::sta {
+namespace {
+
+using netlist::Design;
+
+NetTiming make_net(uint64_t seed, int n, WireDelayModel model) {
+  Rng rng(seed);
+  std::vector<Vec2> pins(static_cast<size_t>(n));
+  for (auto& p : pins) p = {rng.uniform(0, 300), rng.uniform(0, 300)};
+  NetTiming nt;
+  nt.tree = rsmt::build_rsmt(pins, 0);
+  std::vector<double> caps(static_cast<size_t>(n), 0.004);
+  caps[0] = 0.0;
+  elmore_forward(nt, caps, 4e-4, 2e-4, model);
+  return nt;
+}
+
+TEST(D2m, ElmoreModeKeepsUsedDelayEqualToDelay) {
+  const NetTiming nt = make_net(1, 6, WireDelayModel::Elmore);
+  for (size_t v = 0; v < nt.tree.num_nodes(); ++v)
+    EXPECT_EQ(nt.used_delay[v], nt.delay[v]);
+}
+
+TEST(D2m, FormulaHoldsOnNonDegenerateNodes) {
+  const NetTiming nt = make_net(2, 8, WireDelayModel::D2M);
+  size_t checked = 0;
+  for (size_t v = 0; v < nt.tree.num_nodes(); ++v) {
+    if (nt.d2m_degenerate[v]) continue;
+    EXPECT_NEAR(nt.used_delay[v],
+                kLn2 * nt.delay[v] * nt.delay[v] / std::sqrt(nt.beta[v]), 1e-15);
+    EXPECT_GT(nt.used_delay[v], 0.0);
+    ++checked;
+  }
+  EXPECT_GT(checked, 0u);
+}
+
+TEST(D2m, DegenerateGeometryFallsBackToElmore) {
+  // Coincident pins: beta ~ 0 everywhere.
+  NetTiming nt;
+  nt.tree = rsmt::build_rsmt(std::vector<Vec2>{{5, 5}, {5, 5}, {5, 5}}, 0);
+  std::vector<double> caps{0.0, 0.003, 0.003};
+  elmore_forward(nt, caps, 4e-4, 2e-4, WireDelayModel::D2M);
+  for (size_t v = 0; v < nt.tree.num_nodes(); ++v) {
+    EXPECT_TRUE(nt.d2m_degenerate[v]);
+    EXPECT_EQ(nt.used_delay[v], nt.delay[v]);
+  }
+}
+
+TEST(D2m, LessPessimisticThanElmoreForDominantPathSinks) {
+  // For the far sink of a 2-pin net, D2M < Elmore (the known behavior:
+  // Elmore is an upper bound on 50% delay; D2M tightens it).
+  NetTiming nt;
+  nt.tree = rsmt::build_rsmt(std::vector<Vec2>{{0, 0}, {200, 0}}, 0);
+  std::vector<double> caps{0.0, 0.002};
+  elmore_forward(nt, caps, 4e-4, 2e-4, WireDelayModel::D2M);
+  ASSERT_FALSE(nt.d2m_degenerate[1]);
+  EXPECT_LT(nt.used_delay[1], nt.delay[1]);
+  EXPECT_GT(nt.used_delay[1], 0.3 * nt.delay[1]);
+}
+
+TEST(D2m, TimerRunsEndToEnd) {
+  const liberty::CellLibrary lib = liberty::make_synthetic_library();
+  workload::WorkloadOptions opts;
+  opts.num_cells = 250;
+  opts.seed = 555;
+  opts.clock_scale = 0.6;
+  const Design d = workload::generate_design(lib, opts);
+  const TimingGraph graph(d.netlist);
+  TimerOptions topts;
+  topts.wire_model = WireDelayModel::D2M;
+  Timer d2m(d, graph, topts);
+  const auto m_d2m = d2m.evaluate(d.cell_x, d.cell_y);
+  Timer elm(d, graph);
+  const auto m_elm = elm.evaluate(d.cell_x, d.cell_y);
+  EXPECT_TRUE(std::isfinite(m_d2m.wns));
+  // Wire delays shrink under D2M => slack cannot get worse.
+  EXPECT_GE(m_d2m.wns, m_elm.wns - 1e-9);
+  EXPECT_GE(m_d2m.tns, m_elm.tns - 1e-9);
+}
+
+class D2mGradCheck : public ::testing::TestWithParam<int> {};
+
+TEST_P(D2mGradCheck, FullPipelineMatchesFiniteDifference) {
+  const liberty::CellLibrary lib = liberty::make_synthetic_library();
+  workload::WorkloadOptions opts;
+  opts.num_cells = 80;
+  opts.seed = static_cast<uint64_t>(9100 + GetParam());
+  opts.levels = 8;
+  opts.clock_scale = 0.55;
+  const Design d = workload::generate_design(lib, opts);
+  const TimingGraph graph(d.netlist);
+
+  dtimer::DiffTimerOptions dopts;
+  dopts.steiner_rebuild_period = 0;
+  dopts.wire_model = WireDelayModel::D2M;
+  dtimer::DiffTimer dt(d, graph, dopts);
+
+  auto x = d.cell_x;
+  auto y = d.cell_y;
+  auto loss = [&](const sta::TimingMetrics& m) {
+    return 0.01 * (-m.tns_smooth) + 0.001 * (-m.wns_smooth);
+  };
+  dt.forward(x, y, true);
+  std::vector<double> gx(x.size(), 0.0), gy(y.size(), 0.0);
+  dt.backward(0.01, 0.001, gx, gy);
+
+  Rng rng(static_cast<uint64_t>(GetParam()));
+  const double eps = 2e-4;
+  size_t checked = 0;
+  for (size_t c = 0; c < x.size() && checked < 14; ++c) {
+    if (std::abs(gx[c]) < 1e-7 && std::abs(gy[c]) < 1e-7) continue;
+    for (int axis = 0; axis < 2; ++axis) {
+      auto& coords = axis == 0 ? x : y;
+      const double saved = coords[c];
+      coords[c] = saved + eps;
+      const double fp = loss(dt.forward(x, y));
+      coords[c] = saved - eps;
+      const double fm = loss(dt.forward(x, y));
+      coords[c] = saved;
+      const double f0 = loss(dt.forward(x, y));
+      const double fd = (fp - fm) / (2 * eps);
+      // Skip rectilinear kink samples (second difference blows up there).
+      if (std::abs(fp + fm - 2 * f0) / eps > 1e-3 * (std::abs(fd) + 1e-6))
+        continue;
+      const double an = axis == 0 ? gx[c] : gy[c];
+      EXPECT_NEAR(an, fd, 3e-4 * std::max(1.0, std::abs(fd)) + 1e-7)
+          << "cell " << c << " axis " << axis;
+      ++checked;
+    }
+  }
+  EXPECT_GE(checked, 6u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Random, D2mGradCheck, ::testing::Range(0, 6));
+
+}  // namespace
+}  // namespace dtp::sta

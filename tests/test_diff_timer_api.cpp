@@ -1,0 +1,158 @@
+// DiffTimer API semantics: rebuild scheduling, gradient accumulation,
+// objective gating, determinism.
+#include <gtest/gtest.h>
+
+#include "dtimer/diff_timer.h"
+#include "liberty/synth_library.h"
+#include "workload/circuit_gen.h"
+
+namespace dtp::dtimer {
+namespace {
+
+using netlist::Design;
+
+Design make(const liberty::CellLibrary& lib, double clock_scale = 0.55,
+            uint64_t seed = 881) {
+  workload::WorkloadOptions opts;
+  opts.num_cells = 200;
+  opts.seed = seed;
+  opts.clock_scale = clock_scale;
+  return workload::generate_design(lib, opts);
+}
+
+TEST(DiffTimerApi, RebuildPeriodIsHonored) {
+  const liberty::CellLibrary lib = liberty::make_synthetic_library();
+  const Design d = make(lib);
+  const sta::TimingGraph graph(d.netlist);
+  DiffTimerOptions opts;
+  opts.steiner_rebuild_period = 3;
+  DiffTimer dt(d, graph, opts);
+  // forward_calls counts invocations; trees rebuild on calls 0, 3, 6, ...
+  for (int k = 0; k < 7; ++k) {
+    dt.forward(d.cell_x, d.cell_y);
+    EXPECT_EQ(dt.forward_calls(), k + 1);
+  }
+}
+
+TEST(DiffTimerApi, PeriodZeroNeverRebuildsAfterFirst) {
+  const liberty::CellLibrary lib = liberty::make_synthetic_library();
+  Design d = make(lib);
+  const sta::TimingGraph graph(d.netlist);
+  DiffTimerOptions opts;
+  opts.steiner_rebuild_period = 0;
+  DiffTimer dt(d, graph, opts);
+  const auto m0 = dt.forward(d.cell_x, d.cell_y);
+  // Move cells drastically; with period 0 topology is frozen (drag only), so
+  // a forced rebuild afterwards gives a different (shorter) result.
+  for (size_t c = 0; c < d.cell_x.size(); ++c) {
+    if (d.netlist.cell(static_cast<int>(c)).fixed) continue;
+    d.cell_x[c] = 5.0 + 0.001 * static_cast<double>(c);
+  }
+  const auto m_drag = dt.forward(d.cell_x, d.cell_y);
+  const auto m_rebuild = dt.forward(d.cell_x, d.cell_y, /*force_rebuild=*/true);
+  (void)m0;
+  // Fresh topology at the new positions cannot be worse than dragged trees.
+  EXPECT_GE(m_rebuild.tns, m_drag.tns - 1e-9);
+}
+
+TEST(DiffTimerApi, BackwardAccumulates) {
+  const liberty::CellLibrary lib = liberty::make_synthetic_library();
+  const Design d = make(lib);
+  const sta::TimingGraph graph(d.netlist);
+  DiffTimer dt(d, graph);
+  dt.forward(d.cell_x, d.cell_y, true);
+  const size_t n = d.cell_x.size();
+  std::vector<double> g1x(n, 0.0), g1y(n, 0.0);
+  dt.backward(1.0, 0.1, g1x, g1y);
+  std::vector<double> g2x(g1x), g2y(g1y);
+  dt.backward(1.0, 0.1, g2x, g2y);  // += on top of the first result
+  for (size_t c = 0; c < n; ++c) {
+    EXPECT_NEAR(g2x[c], 2.0 * g1x[c], 1e-12 + 1e-9 * std::abs(g1x[c]));
+    EXPECT_NEAR(g2y[c], 2.0 * g1y[c], 1e-12 + 1e-9 * std::abs(g1y[c]));
+  }
+}
+
+TEST(DiffTimerApi, ZeroWeightsZeroGradient) {
+  const liberty::CellLibrary lib = liberty::make_synthetic_library();
+  const Design d = make(lib);
+  const sta::TimingGraph graph(d.netlist);
+  DiffTimer dt(d, graph);
+  dt.forward(d.cell_x, d.cell_y, true);
+  std::vector<double> gx(d.cell_x.size(), 0.0), gy(d.cell_y.size(), 0.0);
+  dt.backward(0.0, 0.0, gx, gy);
+  for (size_t c = 0; c < gx.size(); ++c) {
+    EXPECT_EQ(gx[c], 0.0);
+    EXPECT_EQ(gy[c], 0.0);
+  }
+}
+
+TEST(DiffTimerApi, TnsGradientVanishesWithoutViolations) {
+  // Relaxed clock: all slacks positive => the TNS term ([slack<0] gate) emits
+  // nothing; the WNS term still produces a gradient.
+  const liberty::CellLibrary lib = liberty::make_synthetic_library();
+  const Design d = make(lib, /*clock_scale=*/6.0);
+  const sta::TimingGraph graph(d.netlist);
+  DiffTimer dt(d, graph);
+  const auto m = dt.forward(d.cell_x, d.cell_y, true);
+  ASSERT_GE(m.wns, 0.0);
+  const size_t n = d.cell_x.size();
+  std::vector<double> gx(n, 0.0), gy(n, 0.0);
+  dt.backward(/*t1=*/1.0, /*t2=*/0.0, gx, gy);
+  double norm = 0.0;
+  for (size_t c = 0; c < n; ++c) norm += std::abs(gx[c]) + std::abs(gy[c]);
+  EXPECT_EQ(norm, 0.0);
+  dt.backward(/*t1=*/0.0, /*t2=*/1.0, gx, gy);
+  norm = 0.0;
+  for (size_t c = 0; c < n; ++c) norm += std::abs(gx[c]) + std::abs(gy[c]);
+  EXPECT_GT(norm, 0.0);
+}
+
+TEST(DiffTimerApi, DeterministicAcrossInstances) {
+  const liberty::CellLibrary lib = liberty::make_synthetic_library();
+  const Design d = make(lib);
+  const sta::TimingGraph graph(d.netlist);
+  DiffTimer a(d, graph), b(d, graph);
+  const auto ma = a.forward(d.cell_x, d.cell_y, true);
+  const auto mb = b.forward(d.cell_x, d.cell_y, true);
+  EXPECT_EQ(ma.tns_smooth, mb.tns_smooth);
+  EXPECT_EQ(ma.wns_smooth, mb.wns_smooth);
+  const size_t n = d.cell_x.size();
+  std::vector<double> gax(n, 0.0), gay(n, 0.0), gbx(n, 0.0), gby(n, 0.0);
+  a.backward(0.7, 0.03, gax, gay);
+  b.backward(0.7, 0.03, gbx, gby);
+  for (size_t c = 0; c < n; ++c) {
+    EXPECT_EQ(gax[c], gbx[c]);
+    EXPECT_EQ(gay[c], gby[c]);
+  }
+}
+
+TEST(DiffTimerApi, GradientPointsDownhill) {
+  // A small step against the gradient must not increase the loss.
+  const liberty::CellLibrary lib = liberty::make_synthetic_library();
+  Design d = make(lib);
+  const sta::TimingGraph graph(d.netlist);
+  DiffTimerOptions opts;
+  opts.steiner_rebuild_period = 0;
+  DiffTimer dt(d, graph, opts);
+  const auto m0 = dt.forward(d.cell_x, d.cell_y, true);
+  const double loss0 = -m0.tns_smooth - 0.05 * m0.wns_smooth;
+  const size_t n = d.cell_x.size();
+  std::vector<double> gx(n, 0.0), gy(n, 0.0);
+  dt.backward(1.0, 0.05, gx, gy);
+  double gmax = 0.0;
+  for (size_t c = 0; c < n; ++c)
+    gmax = std::max({gmax, std::abs(gx[c]), std::abs(gy[c])});
+  ASSERT_GT(gmax, 0.0);
+  const double step = 0.01 / gmax;  // max move: 0.01 um (first-order regime)
+  for (size_t c = 0; c < n; ++c) {
+    if (d.netlist.cell(static_cast<int>(c)).fixed) continue;
+    d.cell_x[c] -= step * gx[c];
+    d.cell_y[c] -= step * gy[c];
+  }
+  const auto m1 = dt.forward(d.cell_x, d.cell_y);
+  const double loss1 = -m1.tns_smooth - 0.05 * m1.wns_smooth;
+  EXPECT_LE(loss1, loss0 + 1e-12);
+}
+
+}  // namespace
+}  // namespace dtp::dtimer

@@ -1,0 +1,141 @@
+// Elmore forward pass (Eq. 7) versus an independent brute-force computation
+// based on shared-path resistance:
+//
+//   Delay(u) = sum_v Cap(v) * R(u, v)          with R(u, v) = resistance of
+//   Beta(u)  = sum_v Cap(v) * Delay(v) * R(u, v)    the shared root path,
+//
+// plus structural properties (load conservation, monotonicity along paths).
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "rsmt/rsmt_builder.h"
+#include "sta/net_timing.h"
+
+namespace dtp::sta {
+namespace {
+
+// Resistance of the common part of the root->a and root->b paths.
+double shared_resistance(const NetTiming& nt, int a, int b) {
+  const auto& tree = nt.tree;
+  // Collect ancestors (including self) of a with accumulated depth.
+  std::vector<int> order(tree.num_nodes(), -1);
+  for (size_t k = 0; k < tree.topo_order.size(); ++k)
+    order[static_cast<size_t>(tree.topo_order[k])] = static_cast<int>(k);
+  double r = 0.0;
+  // Walk both up to the root, marking a's path.
+  std::vector<char> on_a(tree.num_nodes(), 0);
+  for (int v = a; v >= 0; v = tree.nodes[static_cast<size_t>(v)].parent)
+    on_a[static_cast<size_t>(v)] = 1;
+  // Find first common ancestor on b's way up, then sum edge resistances from
+  // that ancestor to the root along a's path.
+  int lca = b;
+  while (!on_a[static_cast<size_t>(lca)])
+    lca = tree.nodes[static_cast<size_t>(lca)].parent;
+  for (int v = lca; tree.nodes[static_cast<size_t>(v)].parent >= 0;
+       v = tree.nodes[static_cast<size_t>(v)].parent)
+    r += nt.edge_res[static_cast<size_t>(v)];
+  (void)order;
+  return r;
+}
+
+NetTiming make_net(const std::vector<Vec2>& pins, const std::vector<double>& caps,
+                   double r_unit, double c_unit, int driver = 0) {
+  NetTiming nt;
+  nt.tree = rsmt::build_rsmt(pins, driver);
+  elmore_forward(nt, caps, r_unit, c_unit);
+  return nt;
+}
+
+TEST(Elmore, TwoPinHandComputed) {
+  // Driver at origin, sink 10um away; r=0.001 kOhm/um, c=0.0002 pF/um,
+  // sink pin cap 0.005 pF.
+  const double r = 0.001, c = 0.0002;
+  NetTiming nt = make_net({{0, 0}, {10, 0}}, {0.0, 0.005}, r, c);
+  const double wire_r = r * 10, wire_c = c * 10;
+  // Node caps: root has wire_c/2; sink has wire_c/2 + 0.005.
+  EXPECT_NEAR(nt.node_cap[0], wire_c / 2, 1e-15);
+  EXPECT_NEAR(nt.node_cap[1], wire_c / 2 + 0.005, 1e-15);
+  EXPECT_NEAR(nt.root_load(), wire_c + 0.005, 1e-15);
+  // Elmore delay to the sink: R * (C_far) with the lumped pi: R*(c/2 + cap).
+  EXPECT_NEAR(nt.delay[1], wire_r * (wire_c / 2 + 0.005), 1e-15);
+  EXPECT_EQ(nt.delay[0], 0.0);
+}
+
+TEST(Elmore, LoadConservation) {
+  Rng rng(31);
+  std::vector<Vec2> pins(6);
+  for (auto& p : pins) p = {rng.uniform(0, 50), rng.uniform(0, 50)};
+  std::vector<double> caps(6);
+  for (auto& cp : caps) cp = rng.uniform(0.001, 0.01);
+  caps[0] = 0.0;
+  NetTiming nt = make_net(pins, caps, 0.0004, 0.0002);
+  double total_cap = 0.0;
+  for (double cc : nt.node_cap) total_cap += cc;
+  EXPECT_NEAR(nt.root_load(), total_cap, 1e-12);
+  // Wire cap accounting: total node cap = pin caps + c * tree length.
+  double pin_cap_sum = 0.0;
+  for (double cc : caps) pin_cap_sum += cc;
+  EXPECT_NEAR(total_cap, pin_cap_sum + 0.0002 * nt.tree.length(), 1e-12);
+}
+
+TEST(Elmore, DelayMonotoneAlongPaths) {
+  Rng rng(37);
+  std::vector<Vec2> pins(8);
+  for (auto& p : pins) p = {rng.uniform(0, 80), rng.uniform(0, 80)};
+  std::vector<double> caps(8, 0.004);
+  caps[2] = 0.0;
+  NetTiming nt = make_net(pins, caps, 0.0004, 0.0002, /*driver=*/2);
+  for (size_t k = 1; k < nt.tree.topo_order.size(); ++k) {
+    const int v = nt.tree.topo_order[k];
+    const int p = nt.tree.nodes[static_cast<size_t>(v)].parent;
+    EXPECT_GE(nt.delay[static_cast<size_t>(v)], nt.delay[static_cast<size_t>(p)]);
+    EXPECT_GE(nt.beta[static_cast<size_t>(v)], nt.beta[static_cast<size_t>(p)]);
+  }
+}
+
+// Property: the 4-pass DP equals the brute-force shared-resistance formulas.
+class ElmoreBruteForce : public ::testing::TestWithParam<int> {};
+
+TEST_P(ElmoreBruteForce, DelayAndBetaMatch) {
+  Rng rng(static_cast<uint64_t>(GetParam() * 131 + 7));
+  const int n = static_cast<int>(rng.uniform_int(2, 10));
+  std::vector<Vec2> pins(static_cast<size_t>(n));
+  for (auto& p : pins) p = {rng.uniform(0, 100), rng.uniform(0, 100)};
+  std::vector<double> caps(static_cast<size_t>(n));
+  for (auto& cp : caps) cp = rng.uniform(0.0, 0.01);
+  const int driver = static_cast<int>(rng.uniform_int(0, n - 1));
+  caps[static_cast<size_t>(driver)] = 0.0;
+  const double r_unit = rng.uniform(1e-4, 1e-3);
+  const double c_unit = rng.uniform(1e-4, 4e-4);
+  NetTiming nt = make_net(pins, caps, r_unit, c_unit, driver);
+
+  const size_t m = nt.tree.num_nodes();
+  for (size_t u = 0; u < m; ++u) {
+    double delay_bf = 0.0, beta_bf = 0.0;
+    for (size_t v = 0; v < m; ++v) {
+      const double r_shared =
+          shared_resistance(nt, static_cast<int>(u), static_cast<int>(v));
+      delay_bf += nt.node_cap[v] * r_shared;
+      beta_bf += nt.node_cap[v] * nt.delay[v] * r_shared;
+    }
+    EXPECT_NEAR(nt.delay[u], delay_bf, 1e-12) << "node " << u;
+    EXPECT_NEAR(nt.beta[u], beta_bf, 1e-12) << "node " << u;
+    // Impulse^2 definition (Eq. 7e), modulo the safety clamp.
+    if (!nt.imp2_clamped[u]) {
+      EXPECT_NEAR(nt.imp2[u], 2 * nt.beta[u] - nt.delay[u] * nt.delay[u], 1e-15);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Random, ElmoreBruteForce, ::testing::Range(0, 30));
+
+TEST(Elmore, ZeroLengthDegenerateNet) {
+  // All pins coincident: zero wire delay, load = pin caps.
+  NetTiming nt = make_net({{5, 5}, {5, 5}, {5, 5}}, {0.0, 0.003, 0.004}, 4e-4, 2e-4);
+  EXPECT_NEAR(nt.root_load(), 0.007, 1e-15);
+  for (double d : nt.delay) EXPECT_EQ(d, 0.0);
+  for (size_t v = 0; v < nt.imp2.size(); ++v) EXPECT_TRUE(nt.imp2_clamped[v]);
+}
+
+}  // namespace
+}  // namespace dtp::sta

@@ -1,0 +1,54 @@
+// Geometry primitives.
+#include <gtest/gtest.h>
+
+#include "common/vec2.h"
+
+namespace dtp {
+namespace {
+
+TEST(Vec2, Arithmetic) {
+  const Vec2 a{1.0, 2.0}, b{3.0, -1.0};
+  EXPECT_EQ((a + b), Vec2(4.0, 1.0));
+  EXPECT_EQ((a - b), Vec2(-2.0, 3.0));
+  EXPECT_EQ((a * 2.0), Vec2(2.0, 4.0));
+  Vec2 c = a;
+  c += b;
+  EXPECT_EQ(c, Vec2(4.0, 1.0));
+  c -= b;
+  EXPECT_EQ(c, a);
+}
+
+TEST(Vec2, Norms) {
+  EXPECT_DOUBLE_EQ(Vec2(3.0, 4.0).norm2(), 5.0);
+  EXPECT_DOUBLE_EQ(manhattan({0, 0}, {3, 4}), 7.0);
+  EXPECT_DOUBLE_EQ(manhattan({-1, -2}, {1, 2}), 6.0);
+  EXPECT_DOUBLE_EQ(manhattan({5, 5}, {5, 5}), 0.0);
+}
+
+TEST(Rect, Dimensions) {
+  const Rect r{1.0, 2.0, 5.0, 10.0};
+  EXPECT_DOUBLE_EQ(r.width(), 4.0);
+  EXPECT_DOUBLE_EQ(r.height(), 8.0);
+  EXPECT_DOUBLE_EQ(r.area(), 32.0);
+}
+
+TEST(Rect, Contains) {
+  const Rect r{0.0, 0.0, 10.0, 10.0};
+  EXPECT_TRUE(r.contains({5.0, 5.0}));
+  EXPECT_TRUE(r.contains({0.0, 0.0}));    // boundary inclusive
+  EXPECT_TRUE(r.contains({10.0, 10.0}));
+  EXPECT_FALSE(r.contains({10.1, 5.0}));
+  EXPECT_FALSE(r.contains({5.0, -0.1}));
+}
+
+TEST(Rect, Overlap) {
+  const Rect a{0, 0, 10, 10};
+  EXPECT_DOUBLE_EQ(a.overlap({5, 5, 15, 15}), 25.0);
+  EXPECT_DOUBLE_EQ(a.overlap({10, 10, 20, 20}), 0.0);  // touching = no area
+  EXPECT_DOUBLE_EQ(a.overlap({-5, -5, 20, 20}), 100.0);  // containment
+  EXPECT_DOUBLE_EQ(a.overlap({12, 0, 20, 10}), 0.0);   // disjoint
+  EXPECT_DOUBLE_EQ(a.overlap({2, 3, 4, 7}), 8.0);      // contained
+}
+
+}  // namespace
+}  // namespace dtp

@@ -1,0 +1,196 @@
+// IO formats: Bookshelf, SDC subset, structural Verilog round trips.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "io/bookshelf.h"
+#include "io/sdc.h"
+#include "io/verilog.h"
+#include "liberty/synth_library.h"
+#include "workload/circuit_gen.h"
+
+namespace dtp::io {
+namespace {
+
+using netlist::Design;
+
+Design make_design(const liberty::CellLibrary& lib, int cells = 200,
+                   uint64_t seed = 500) {
+  workload::WorkloadOptions opts;
+  opts.num_cells = cells;
+  opts.seed = seed;
+  return workload::generate_design(lib, opts);
+}
+
+// ---------------- SDC ----------------
+
+TEST(Sdc, ParsesCoreCommands) {
+  const char* text = R"(
+# comment line
+create_clock -period 0.75 -name core_clk [get_ports clk]
+set_input_delay 0.05
+set_output_delay 0.10 [get_ports po_3]
+set_input_transition 0.02 [get_ports pi_1]
+set_load 0.008
+set_wire_res 0.0005
+set_wire_cap 0.00025
+set_false_path -from x -to y
+)";
+  netlist::Constraints con;
+  std::istringstream in(text);
+  const auto r = read_sdc(in, con);
+  EXPECT_EQ(r.commands, 7u);
+  EXPECT_EQ(r.skipped, 1u);  // set_false_path unsupported
+  EXPECT_DOUBLE_EQ(con.clock_period, 0.75);
+  EXPECT_DOUBLE_EQ(con.input_delay, 0.05);
+  EXPECT_DOUBLE_EQ(con.output_delay_override.at("po_3"), 0.10);
+  EXPECT_DOUBLE_EQ(con.input_slew_override.at("pi_1"), 0.02);
+  EXPECT_DOUBLE_EQ(con.output_load, 0.008);
+  EXPECT_DOUBLE_EQ(con.wire_res, 0.0005);
+  EXPECT_DOUBLE_EQ(con.wire_cap, 0.00025);
+}
+
+TEST(Sdc, RoundTrips) {
+  netlist::Constraints con;
+  con.clock_period = 1.25;
+  con.input_delay = 0.03;
+  con.output_delay = 0.07;
+  con.input_slew = 0.015;
+  con.output_load = 0.006;
+  con.input_delay_override["pi_2"] = 0.09;
+  con.output_load_override["po_5"] = 0.012;
+  std::stringstream ss;
+  write_sdc(con, ss);
+  netlist::Constraints back;
+  read_sdc(ss, back);
+  EXPECT_DOUBLE_EQ(back.clock_period, con.clock_period);
+  EXPECT_DOUBLE_EQ(back.input_delay, con.input_delay);
+  EXPECT_DOUBLE_EQ(back.output_delay, con.output_delay);
+  EXPECT_DOUBLE_EQ(back.input_slew, con.input_slew);
+  EXPECT_DOUBLE_EQ(back.output_load, con.output_load);
+  EXPECT_DOUBLE_EQ(back.input_delay_override.at("pi_2"), 0.09);
+  EXPECT_DOUBLE_EQ(back.output_load_override.at("po_5"), 0.012);
+}
+
+TEST(Sdc, ThrowsOnMissingValue) {
+  netlist::Constraints con;
+  std::istringstream in("set_input_delay [get_ports p]");
+  EXPECT_THROW(read_sdc(in, con), std::runtime_error);
+}
+
+// ---------------- Verilog ----------------
+
+TEST(Verilog, RoundTripsGeneratedDesign) {
+  const liberty::CellLibrary lib = liberty::make_synthetic_library();
+  const Design d = make_design(lib);
+  std::stringstream ss;
+  write_verilog(d, ss);
+  const Design back = read_verilog(lib, ss);
+
+  ASSERT_EQ(back.netlist.num_cells(), d.netlist.num_cells());
+  ASSERT_EQ(back.netlist.num_nets(), d.netlist.num_nets());
+  EXPECT_NO_THROW(back.netlist.validate());
+  // Per-cell master identity and per-net degree must survive.
+  for (size_t c = 0; c < d.netlist.num_cells(); ++c) {
+    const auto& name = d.netlist.cell(static_cast<int>(c)).name;
+    const auto id = back.netlist.find_cell(name);
+    ASSERT_NE(id, netlist::kInvalidId) << name;
+    EXPECT_EQ(back.netlist.cell(id).lib_cell,
+              d.netlist.cell(static_cast<int>(c)).lib_cell)
+        << name;
+  }
+  for (size_t n = 0; n < d.netlist.num_nets(); ++n) {
+    const auto& net = d.netlist.net(static_cast<int>(n));
+    const auto id = back.netlist.find_net(net.name);
+    ASSERT_NE(id, netlist::kInvalidId);
+    EXPECT_EQ(back.netlist.net(id).pins.size(), net.pins.size()) << net.name;
+  }
+}
+
+TEST(Verilog, ParsesHandWrittenModule) {
+  const liberty::CellLibrary lib = liberty::make_synthetic_library();
+  const char* text = R"(
+// tiny module
+module tiny (a, b, y);
+  input a;
+  input b;
+  output y;
+  wire n1;  wire na; wire nb; wire ny;
+  assign na = a;
+  assign nb = b;
+  assign y = ny;
+  NAND2_X1 u1 ( .A(na), .B(nb), .Z(n1) );
+  INV_X1 u2 ( .A(n1), .Z(ny) );
+endmodule
+)";
+  std::istringstream in(text);
+  const Design d = read_verilog(lib, in);
+  EXPECT_EQ(d.name, "tiny");
+  EXPECT_EQ(d.netlist.num_cells(), 5u);  // 3 pads + 2 gates
+  EXPECT_NO_THROW(d.netlist.validate());
+  const auto u1 = d.netlist.find_cell("u1");
+  ASSERT_NE(u1, netlist::kInvalidId);
+  EXPECT_EQ(d.netlist.lib_cell_of(u1).name, "NAND2_X1");
+  // a -> u1.A connectivity through the alias.
+  const auto a_pad = d.netlist.find_cell("a");
+  const auto net_of_a = d.netlist.pin(d.netlist.cell(a_pad).first_pin).net;
+  const auto u1_a = d.netlist.pin_of_cell(u1, "A");
+  EXPECT_EQ(d.netlist.pin(u1_a).net, net_of_a);
+}
+
+TEST(Verilog, RejectsUnknownMaster) {
+  const liberty::CellLibrary lib = liberty::make_synthetic_library();
+  std::istringstream in(
+      "module m (a); input a; wire na; assign na = a;\n"
+      "MYSTERY_CELL u1 ( .A(na) ); endmodule");
+  EXPECT_THROW(read_verilog(lib, in), std::runtime_error);
+}
+
+TEST(Verilog, RejectsPositionalConnections) {
+  const liberty::CellLibrary lib = liberty::make_synthetic_library();
+  std::istringstream in(
+      "module m (a); input a; wire na; assign na = a;\n"
+      "INV_X1 u1 ( na ); endmodule");
+  EXPECT_THROW(read_verilog(lib, in), std::runtime_error);
+}
+
+// ---------------- Bookshelf ----------------
+
+TEST(Bookshelf, WritesAllFilesAndReadsPlacementBack) {
+  const liberty::CellLibrary lib = liberty::make_synthetic_library();
+  Design d = make_design(lib);
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "dtp_bookshelf_test").string();
+  std::filesystem::create_directories(dir);
+  write_bookshelf(d, dir);
+  for (const char* ext : {".aux", ".nodes", ".nets", ".pl", ".scl"})
+    EXPECT_TRUE(std::filesystem::exists(dir + "/" + d.name + ext)) << ext;
+
+  // Perturb positions, then restore them from the .pl.
+  Design other = make_design(lib);
+  for (auto& x : other.cell_x) x += 123.0;
+  const size_t updated = read_placement(other, dir + "/" + d.name + ".pl");
+  EXPECT_EQ(updated, d.netlist.num_cells());
+  for (size_t c = 0; c < d.cell_x.size(); ++c) {
+    EXPECT_NEAR(other.cell_x[c], d.cell_x[c], 1e-9);
+    EXPECT_NEAR(other.cell_y[c], d.cell_y[c], 1e-9);
+  }
+}
+
+TEST(Bookshelf, ReadPlacementRejectsUnknownCell) {
+  const liberty::CellLibrary lib = liberty::make_synthetic_library();
+  Design d = make_design(lib);
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "dtp_bookshelf_bad").string();
+  std::filesystem::create_directories(dir);
+  {
+    std::ofstream pl(dir + "/bad.pl");
+    pl << "UCLA pl 1.0\n\nnot_a_cell 1.0 2.0 : N\n";
+  }
+  EXPECT_THROW(read_placement(d, dir + "/bad.pl"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace dtp::io

@@ -1,0 +1,166 @@
+// Legalization and detailed placement: legality, displacement, HPWL.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "liberty/synth_library.h"
+#include "placer/legalizer.h"
+#include "workload/circuit_gen.h"
+
+namespace dtp::placer {
+namespace {
+
+using netlist::Design;
+
+Design make_design(int cells, uint64_t seed, const liberty::CellLibrary& lib,
+                   double density = 0.6) {
+  workload::WorkloadOptions opts;
+  opts.num_cells = cells;
+  opts.seed = seed;
+  opts.target_density = density;
+  return workload::generate_design(lib, opts);
+}
+
+// Spread cells quasi-uniformly (a stand-in for a converged global placement).
+void spread(Design& d, uint64_t seed) {
+  Rng rng(seed);
+  const Rect& core = d.floorplan.core;
+  for (size_t c = 0; c < d.cell_x.size(); ++c) {
+    if (d.netlist.cell(static_cast<int>(c)).fixed) continue;
+    d.cell_x[c] = rng.uniform(core.xl, core.xh - 3.0);
+    d.cell_y[c] = rng.uniform(core.yl, core.yh - 2.0);
+  }
+}
+
+TEST(Legalizer, ProducesLegalPlacement) {
+  const liberty::CellLibrary lib = liberty::make_synthetic_library();
+  Design d = make_design(500, 81, lib);
+  spread(d, 1);
+  const auto res = legalize(d, d.cell_x, d.cell_y);
+  EXPECT_EQ(res.failed_cells, 0u);
+  std::string why;
+  EXPECT_TRUE(is_legal(d, d.cell_x, d.cell_y, &why)) << why;
+}
+
+TEST(Legalizer, SmallDisplacementWhenSpread) {
+  const liberty::CellLibrary lib = liberty::make_synthetic_library();
+  Design d = make_design(400, 83, lib, /*density=*/0.5);
+  spread(d, 2);
+  const auto res = legalize(d, d.cell_x, d.cell_y);
+  EXPECT_EQ(res.failed_cells, 0u);
+  const double avg_disp = res.total_displacement / 400.0;
+  // At 50% utilization, a spread start should legalize with displacement on
+  // the order of a few rows.
+  EXPECT_LT(avg_disp, 6.0 * d.floorplan.row_height);
+}
+
+TEST(Legalizer, HandlesClusteredStart) {
+  // Everything piled at the center must still legalize (fallback scan).
+  const liberty::CellLibrary lib = liberty::make_synthetic_library();
+  Design d = make_design(600, 87, lib);
+  const auto res = legalize(d, d.cell_x, d.cell_y);
+  EXPECT_EQ(res.failed_cells, 0u);
+  std::string why;
+  EXPECT_TRUE(is_legal(d, d.cell_x, d.cell_y, &why)) << why;
+}
+
+TEST(Legalizer, IsLegalDetectsViolations) {
+  const liberty::CellLibrary lib = liberty::make_synthetic_library();
+  Design d = make_design(100, 89, lib);
+  spread(d, 3);
+  legalize(d, d.cell_x, d.cell_y);
+  std::string why;
+  ASSERT_TRUE(is_legal(d, d.cell_x, d.cell_y, &why)) << why;
+
+  // Misalign one cell.
+  size_t victim = 0;
+  for (size_t c = 0; c < d.cell_x.size(); ++c)
+    if (!d.netlist.cell(static_cast<int>(c)).fixed) {
+      victim = c;
+      break;
+    }
+  auto x = d.cell_x;
+  x[victim] += 0.1;  // off-site
+  EXPECT_FALSE(is_legal(d, x, d.cell_y, &why));
+  EXPECT_NE(why.find("site"), std::string::npos);
+
+  auto y = d.cell_y;
+  y[victim] += 0.7;  // off-row
+  EXPECT_FALSE(is_legal(d, d.cell_x, y, &why));
+
+  auto x2 = d.cell_x;
+  x2[victim] = d.floorplan.core.xh;  // out of core
+  EXPECT_FALSE(is_legal(d, x2, d.cell_y, &why));
+}
+
+TEST(Legalizer, DeterministicGivenSameInput) {
+  const liberty::CellLibrary lib = liberty::make_synthetic_library();
+  Design d1 = make_design(300, 91, lib);
+  spread(d1, 4);
+  Design d2 = make_design(300, 91, lib);
+  spread(d2, 4);
+  legalize(d1, d1.cell_x, d1.cell_y);
+  legalize(d2, d2.cell_x, d2.cell_y);
+  for (size_t c = 0; c < d1.cell_x.size(); ++c) {
+    EXPECT_EQ(d1.cell_x[c], d2.cell_x[c]);
+    EXPECT_EQ(d1.cell_y[c], d2.cell_y[c]);
+  }
+}
+
+TEST(DetailedPlace, ImprovesOrKeepsHpwlAndStaysLegal) {
+  const liberty::CellLibrary lib = liberty::make_synthetic_library();
+  Design d = make_design(400, 93, lib);
+  spread(d, 5);
+  legalize(d, d.cell_x, d.cell_y);
+  WirelengthModel wl(d);
+  const double before = wl.hpwl_unweighted(d.cell_x, d.cell_y);
+  const double gain = detailed_place_swaps(d, wl, d.cell_x, d.cell_y);
+  EXPECT_GE(gain, -1e-9);
+  EXPECT_NEAR(wl.hpwl_unweighted(d.cell_x, d.cell_y), before - gain, 1e-6);
+  std::string why;
+  EXPECT_TRUE(is_legal(d, d.cell_x, d.cell_y, &why)) << why;
+}
+
+TEST(DetailedPlace, FindsObviousSwap) {
+  // Hand-build: two cells in one row whose nets clearly prefer swapped order.
+  const liberty::CellLibrary lib = liberty::make_synthetic_library();
+  Design d(&lib, "swap");
+  auto& nl = d.netlist;
+  const int inv = lib.find_cell("INV_X1");
+  const int pin_id = lib.find_cell(liberty::CellLibrary::kPortInName);
+  const int pout_id = lib.find_cell(liberty::CellLibrary::kPortOutName);
+  const auto pl = nl.add_cell("pl", pin_id);   // left pad
+  const auto pr = nl.add_cell("pr", pin_id);   // right pad
+  const auto a = nl.add_cell("a", inv);        // wants to be right
+  const auto b = nl.add_cell("b", inv);        // wants to be left
+  const auto ol = nl.add_cell("ol", pout_id);
+  const auto orr = nl.add_cell("or", pout_id);
+  auto net = [&](const char* name) { return nl.add_net(name); };
+  auto n1 = net("n1");
+  nl.connect(n1, pr, "PAD");
+  nl.connect(n1, a, "A");
+  auto n2 = net("n2");
+  nl.connect(n2, a, "Z");
+  nl.connect(n2, orr, "PAD");
+  auto n3 = net("n3");
+  nl.connect(n3, pl, "PAD");
+  nl.connect(n3, b, "A");
+  auto n4 = net("n4");
+  nl.connect(n4, b, "Z");
+  nl.connect(n4, ol, "PAD");
+  nl.cell(pl).fixed = nl.cell(pr).fixed = nl.cell(ol).fixed = nl.cell(orr).fixed = true;
+  d.floorplan.core = Rect(0, 0, 40, 8);
+  d.floorplan.row_height = 2.0;
+  d.floorplan.site_width = 0.5;
+  d.init_positions();
+  d.cell_x = {0.0, 40.0, 18.0, 19.0, 0.0, 40.0};  // a left of b — wrong order
+  d.cell_y = {4.0, 4.0, 4.0, 4.0, 0.0, 0.0};
+  legalize(d, d.cell_x, d.cell_y);
+  WirelengthModel wl(d);
+  ASSERT_LT(d.cell_x[a], d.cell_x[b]);
+  const double gain = detailed_place_swaps(d, wl, d.cell_x, d.cell_y);
+  EXPECT_GT(gain, 0.0);
+  EXPECT_GT(d.cell_x[a], d.cell_x[b]);  // swapped
+}
+
+}  // namespace
+}  // namespace dtp::placer

@@ -1,0 +1,153 @@
+// Liberty-subset writer/parser round-trip and error handling.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "liberty/liberty_io.h"
+#include "liberty/synth_library.h"
+
+namespace dtp::liberty {
+namespace {
+
+void expect_lut_eq(const Lut& a, const Lut& b, const std::string& context) {
+  ASSERT_EQ(a.nx(), b.nx()) << context;
+  ASSERT_EQ(a.ny(), b.ny()) << context;
+  for (size_t i = 0; i < a.nx(); ++i)
+    EXPECT_NEAR(a.x_axis()[i], b.x_axis()[i], 1e-9) << context;
+  for (size_t j = 0; j < a.ny(); ++j)
+    EXPECT_NEAR(a.y_axis()[j], b.y_axis()[j], 1e-9) << context;
+  for (size_t i = 0; i < a.nx(); ++i)
+    for (size_t j = 0; j < a.ny(); ++j)
+      EXPECT_NEAR(a.value_at(i, j), b.value_at(i, j), 1e-9) << context;
+}
+
+TEST(LibertyIo, RoundTripsSyntheticLibrary) {
+  const CellLibrary lib = make_synthetic_library();
+  std::stringstream ss;
+  write_liberty(lib, ss);
+  const CellLibrary parsed = parse_liberty(ss);
+
+  ASSERT_EQ(parsed.size(), lib.size());
+  EXPECT_NEAR(parsed.default_slew, lib.default_slew, 1e-9);
+  for (size_t c = 0; c < lib.size(); ++c) {
+    const LibCell& a = lib.cell(static_cast<int>(c));
+    const int id = parsed.find_cell(a.name);
+    ASSERT_GE(id, 0) << a.name;
+    const LibCell& b = parsed.cell(id);
+    EXPECT_EQ(a.kind, b.kind) << a.name;
+    EXPECT_NEAR(a.width, b.width, 1e-9);
+    EXPECT_NEAR(a.height, b.height, 1e-9);
+    EXPECT_NEAR(a.setup_time, b.setup_time, 1e-9);
+    EXPECT_NEAR(a.hold_time, b.hold_time, 1e-9);
+    ASSERT_EQ(a.pins.size(), b.pins.size()) << a.name;
+    for (size_t p = 0; p < a.pins.size(); ++p) {
+      EXPECT_EQ(a.pins[p].name, b.pins[p].name);
+      EXPECT_EQ(a.pins[p].dir, b.pins[p].dir);
+      EXPECT_EQ(a.pins[p].is_clock, b.pins[p].is_clock);
+      EXPECT_NEAR(a.pins[p].cap, b.pins[p].cap, 1e-12);
+      EXPECT_NEAR(a.pins[p].offset_x, b.pins[p].offset_x, 1e-9);
+      EXPECT_NEAR(a.pins[p].offset_y, b.pins[p].offset_y, 1e-9);
+    }
+    ASSERT_EQ(a.arcs.size(), b.arcs.size()) << a.name;
+    for (size_t k = 0; k < a.arcs.size(); ++k) {
+      EXPECT_EQ(a.arcs[k].from_pin, b.arcs[k].from_pin);
+      EXPECT_EQ(a.arcs[k].to_pin, b.arcs[k].to_pin);
+      EXPECT_EQ(a.arcs[k].kind, b.arcs[k].kind);
+      EXPECT_EQ(a.arcs[k].unate, b.arcs[k].unate);
+      const std::string ctx = a.name + " arc " + std::to_string(k);
+      expect_lut_eq(a.arcs[k].cell_rise, b.arcs[k].cell_rise, ctx);
+      expect_lut_eq(a.arcs[k].cell_fall, b.arcs[k].cell_fall, ctx);
+      expect_lut_eq(a.arcs[k].rise_transition, b.arcs[k].rise_transition, ctx);
+      expect_lut_eq(a.arcs[k].fall_transition, b.arcs[k].fall_transition, ctx);
+    }
+  }
+}
+
+TEST(LibertyIo, ParsesHandWrittenMinimalLibrary) {
+  const char* text = R"(
+/* a comment */
+library (tiny) {
+  time_unit : "1ns";
+  cell (AND1) {  // line comment
+    dtp_width : 2.0;
+    dtp_height : 2.0;
+    pin (A) { direction : input; capacitance : 0.002; }
+    pin (Z) {
+      direction : output;
+      timing () {
+        related_pin : "A";
+        timing_sense : positive_unate;
+        cell_rise () {
+          index_1 ("0.01, 0.1");
+          index_2 ("0.001, 0.01");
+          values ("0.02, 0.04", "0.03, 0.05");
+        }
+      }
+    }
+  }
+}
+)";
+  std::stringstream ss(text);
+  const CellLibrary lib = parse_liberty(ss);
+  const int id = lib.find_cell("AND1");
+  ASSERT_GE(id, 0);
+  const LibCell& cell = lib.cell(id);
+  ASSERT_EQ(cell.arcs.size(), 1u);
+  EXPECT_EQ(cell.arcs[0].unate, Unateness::Positive);
+  EXPECT_NEAR(cell.arcs[0].cell_rise.lookup(0.01, 0.001), 0.02, 1e-12);
+  EXPECT_NEAR(cell.arcs[0].cell_rise.lookup(0.1, 0.01), 0.05, 1e-12);
+}
+
+TEST(LibertyIo, SkipsUnknownGroupsAndAttributes) {
+  const char* text = R"(
+library (odd) {
+  operating_conditions (typ) { process : 1; temperature : 25; }
+  unknown_attr : some value here;
+  lu_table_template (tmpl_7x7) { variable_1 : input_net_transition; }
+  cell (X) {
+    dtp_width : 1.0;
+    dtp_height : 1.0;
+    pin (A) { direction : input; capacitance : 0.001; }
+  }
+}
+)";
+  std::stringstream ss(text);
+  const CellLibrary lib = parse_liberty(ss);
+  EXPECT_GE(lib.find_cell("X"), 0);
+}
+
+TEST(LibertyIo, ThrowsOnMissingRelatedPin) {
+  const char* text = R"(
+library (bad) {
+  cell (X) {
+    pin (A) { direction : input; }
+    pin (Z) { direction : output; timing () { timing_sense : positive_unate; } }
+  }
+}
+)";
+  std::stringstream ss(text);
+  EXPECT_THROW(parse_liberty(ss), std::runtime_error);
+}
+
+TEST(LibertyIo, ThrowsOnGarbage) {
+  std::stringstream a("not a library at all");
+  EXPECT_THROW(parse_liberty(a), std::runtime_error);
+  std::stringstream b("library (x) { cell (y) {");
+  EXPECT_THROW(parse_liberty(b), std::runtime_error);
+}
+
+TEST(LibertyIo, LutQueriesIdenticalAfterRoundTrip) {
+  const CellLibrary lib = make_synthetic_library();
+  std::stringstream ss;
+  write_liberty(lib, ss);
+  const CellLibrary parsed = parse_liberty(ss);
+  const LibCell& a = lib.cell(lib.find_cell("NAND2_X1"));
+  const LibCell& b = parsed.cell(parsed.find_cell("NAND2_X1"));
+  for (double slew : {0.01, 0.05, 0.3})
+    for (double load : {0.001, 0.02, 0.2})
+      EXPECT_NEAR(a.arcs[1].cell_fall.lookup(slew, load),
+                  b.arcs[1].cell_fall.lookup(slew, load), 1e-9);
+}
+
+}  // namespace
+}  // namespace dtp::liberty

@@ -1,0 +1,109 @@
+// NLDM LUT interpolation and gradient tests (paper Fig. 6, Eq. 12 inputs).
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "liberty/lut.h"
+
+namespace dtp::liberty {
+namespace {
+
+Lut make_bilinear_lut() {
+  // v(x, y) = 2 + 3x + 5y + 7xy sampled on a 3x4 grid: bilinear interpolation
+  // must reproduce it exactly everywhere (including extrapolation).
+  std::vector<double> xs{0.1, 0.5, 2.0};
+  std::vector<double> ys{0.0, 1.0, 2.5, 4.0};
+  std::vector<double> vals;
+  for (double x : xs)
+    for (double y : ys) vals.push_back(2.0 + 3.0 * x + 5.0 * y + 7.0 * x * y);
+  return Lut(xs, ys, vals);
+}
+
+TEST(Lut, ExactAtBreakpoints) {
+  const Lut lut = make_bilinear_lut();
+  for (size_t i = 0; i < lut.nx(); ++i)
+    for (size_t j = 0; j < lut.ny(); ++j) {
+      const double x = lut.x_axis()[i], y = lut.y_axis()[j];
+      EXPECT_NEAR(lut.lookup(x, y), 2.0 + 3.0 * x + 5.0 * y + 7.0 * x * y, 1e-12);
+    }
+}
+
+TEST(Lut, ReproducesBilinearFunctionInside) {
+  const Lut lut = make_bilinear_lut();
+  Rng rng(3);
+  for (int k = 0; k < 200; ++k) {
+    const double x = rng.uniform(0.1, 2.0);
+    const double y = rng.uniform(0.0, 4.0);
+    EXPECT_NEAR(lut.lookup(x, y), 2.0 + 3.0 * x + 5.0 * y + 7.0 * x * y, 1e-9);
+  }
+}
+
+TEST(Lut, ExtrapolatesLinearlyOutside) {
+  const Lut lut = make_bilinear_lut();
+  // Within the bilinear model, edge-cell extrapolation is exact too.
+  for (auto [x, y] : {std::pair{3.5, 5.0}, {0.01, -0.5}, {2.5, 0.5}, {1.0, 6.0}}) {
+    EXPECT_NEAR(lut.lookup(x, y), 2.0 + 3.0 * x + 5.0 * y + 7.0 * x * y, 1e-9);
+  }
+}
+
+TEST(Lut, ConstantLutHasZeroGradient) {
+  const Lut lut = Lut::constant(0.42);
+  const auto q = lut.lookup_grad(123.0, -7.0);
+  EXPECT_EQ(q.value, 0.42);
+  EXPECT_EQ(q.d_dx, 0.0);
+  EXPECT_EQ(q.d_dy, 0.0);
+}
+
+TEST(Lut, OneDimensionalTables) {
+  const Lut row(std::vector<double>{0.0}, {1.0, 2.0, 4.0}, {10.0, 20.0, 30.0});
+  EXPECT_NEAR(row.lookup(0.0, 1.5), 15.0, 1e-12);
+  EXPECT_NEAR(row.lookup(0.0, 3.0), 25.0, 1e-12);
+  const auto q = row.lookup_grad(0.0, 3.0);
+  EXPECT_NEAR(q.d_dy, 5.0, 1e-12);
+  EXPECT_EQ(q.d_dx, 0.0);
+
+  const Lut col(std::vector<double>{1.0, 2.0, 4.0}, {0.0}, {10.0, 20.0, 30.0});
+  EXPECT_NEAR(col.lookup(1.5, 0.0), 15.0, 1e-12);
+  EXPECT_NEAR(col.lookup_grad(3.0, 0.0).d_dx, 5.0, 1e-12);
+}
+
+// Property sweep: analytic LUT gradient vs central finite differences, on a
+// non-separable random monotone table, inside and outside the axes.
+class LutGradient : public ::testing::TestWithParam<int> {};
+
+TEST_P(LutGradient, MatchesFiniteDifference) {
+  Rng rng(static_cast<uint64_t>(GetParam() + 1000));
+  std::vector<double> xs(5), ys(6);
+  double acc = 0.01;
+  for (double& x : xs) x = (acc += rng.uniform(0.05, 0.5));
+  acc = 0.001;
+  for (double& y : ys) y = (acc += rng.uniform(0.01, 0.2));
+  std::vector<double> vals;
+  for (size_t i = 0; i < xs.size(); ++i)
+    for (size_t j = 0; j < ys.size(); ++j)
+      vals.push_back(0.01 + 0.1 * xs[i] + 2.0 * ys[j] + 0.9 * xs[i] * ys[j] +
+                     0.02 * rng.uniform());
+  const Lut lut(xs, ys, vals);
+
+  for (int k = 0; k < 50; ++k) {
+    const double x = rng.uniform(-0.2, xs.back() + 0.5);
+    const double y = rng.uniform(-0.05, ys.back() + 0.2);
+    const auto q = lut.lookup_grad(x, y);
+    const double eps = 1e-7;
+    // Stay inside one interpolation cell: skip queries near breakpoints where
+    // the surface is only piecewise differentiable.
+    bool near_break = false;
+    for (double bx : xs) near_break |= std::abs(x - bx) < 10 * eps;
+    for (double by : ys) near_break |= std::abs(y - by) < 10 * eps;
+    if (near_break) continue;
+    const double fdx = (lut.lookup(x + eps, y) - lut.lookup(x - eps, y)) / (2 * eps);
+    const double fdy = (lut.lookup(x, y + eps) - lut.lookup(x, y - eps)) / (2 * eps);
+    EXPECT_NEAR(q.d_dx, fdx, 1e-5);
+    EXPECT_NEAR(q.d_dy, fdy, 1e-5);
+    EXPECT_NEAR(q.value, lut.lookup(x, y), 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Random, LutGradient, ::testing::Range(0, 10));
+
+}  // namespace
+}  // namespace dtp::liberty

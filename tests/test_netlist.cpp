@@ -1,0 +1,118 @@
+// Netlist construction, validation and statistics.
+#include <gtest/gtest.h>
+
+#include "liberty/synth_library.h"
+#include "netlist/netlist.h"
+
+namespace dtp::netlist {
+namespace {
+
+class NetlistTest : public ::testing::Test {
+ protected:
+  NetlistTest() : lib(liberty::make_synthetic_library()), nl(&lib) {}
+  liberty::CellLibrary lib;
+  Netlist nl;
+};
+
+TEST_F(NetlistTest, AddCellCreatesAllPins) {
+  const CellId c = nl.add_cell("u1", lib.find_cell("NAND2_X1"));
+  EXPECT_EQ(nl.cell(c).num_pins, 3);
+  EXPECT_EQ(nl.num_pins(), 3u);
+  EXPECT_EQ(nl.pin_of_cell(c, "A"), 0);
+  EXPECT_EQ(nl.pin_of_cell(c, "Z"), 2);
+  EXPECT_EQ(nl.pin_of_cell(c, "NOPE"), kInvalidId);
+}
+
+TEST_F(NetlistTest, ConnectTracksDriver) {
+  const CellId u1 = nl.add_cell("u1", lib.find_cell("INV_X1"));
+  const CellId u2 = nl.add_cell("u2", lib.find_cell("INV_X1"));
+  const NetId n = nl.add_net("w");
+  nl.connect(n, u1, "Z");
+  nl.connect(n, u2, "A");
+  EXPECT_EQ(nl.net(n).driver, nl.pin_of_cell(u1, "Z"));
+  EXPECT_EQ(nl.net(n).pins.size(), 2u);
+}
+
+TEST_F(NetlistTest, RejectsDoubleDriver) {
+  const CellId u1 = nl.add_cell("u1", lib.find_cell("INV_X1"));
+  const CellId u2 = nl.add_cell("u2", lib.find_cell("INV_X1"));
+  const NetId n = nl.add_net("w");
+  nl.connect(n, u1, "Z");
+  EXPECT_THROW(nl.connect(n, u2, "Z"), std::runtime_error);
+}
+
+TEST_F(NetlistTest, RejectsDoubleConnection) {
+  const CellId u1 = nl.add_cell("u1", lib.find_cell("INV_X1"));
+  const NetId a = nl.add_net("a");
+  const NetId b = nl.add_net("b");
+  nl.connect(a, u1, "A");
+  EXPECT_THROW(nl.connect(b, u1, "A"), std::runtime_error);
+}
+
+TEST_F(NetlistTest, RejectsDuplicateNames) {
+  nl.add_cell("u1", lib.find_cell("INV_X1"));
+  EXPECT_THROW(nl.add_cell("u1", lib.find_cell("INV_X2")), std::runtime_error);
+  nl.add_net("n1");
+  EXPECT_THROW(nl.add_net("n1"), std::runtime_error);
+}
+
+TEST_F(NetlistTest, ValidateCatchesDriverlessNet) {
+  const CellId u1 = nl.add_cell("u1", lib.find_cell("INV_X1"));
+  const CellId u2 = nl.add_cell("u2", lib.find_cell("INV_X1"));
+  const NetId n = nl.add_net("w");
+  nl.connect(n, u1, "A");
+  nl.connect(n, u2, "A");
+  EXPECT_THROW(nl.validate(), std::runtime_error);
+}
+
+TEST_F(NetlistTest, ValidateCatchesSinklessNet) {
+  const CellId u1 = nl.add_cell("u1", lib.find_cell("INV_X1"));
+  const NetId n = nl.add_net("w");
+  nl.connect(n, u1, "Z");
+  EXPECT_THROW(nl.validate(), std::runtime_error);
+}
+
+TEST_F(NetlistTest, PinDerivedProperties) {
+  const CellId u1 = nl.add_cell("u1", lib.find_cell("NAND2_X1"));
+  const PinId a = nl.pin_of_cell(u1, "A");
+  const PinId z = nl.pin_of_cell(u1, "Z");
+  EXPECT_FALSE(nl.pin_is_output(a));
+  EXPECT_TRUE(nl.pin_is_output(z));
+  EXPECT_GT(nl.pin_cap(a), 0.0);
+  EXPECT_EQ(nl.pin_cap(z), 0.0);
+  EXPECT_EQ(nl.pin_full_name(a), "u1/A");
+  const Vec2 off = nl.pin_offset(a);
+  EXPECT_GT(off.x, 0.0);
+}
+
+TEST_F(NetlistTest, StatsCountKinds) {
+  const CellId g = nl.add_cell("g", lib.find_cell("INV_X1"));
+  const CellId ff = nl.add_cell("ff", lib.find_cell("DFF_X1"));
+  const CellId pi = nl.add_cell("pi", lib.find_cell(liberty::CellLibrary::kPortInName));
+  const NetId n1 = nl.add_net("n1");
+  nl.connect(n1, pi, "PAD");
+  nl.connect(n1, g, "A");
+  const NetId n2 = nl.add_net("n2");
+  nl.connect(n2, g, "Z");
+  nl.connect(n2, ff, "D");
+  const auto s = nl.stats();
+  EXPECT_EQ(s.num_cells, 3u);
+  EXPECT_EQ(s.num_std_cells, 2u);
+  EXPECT_EQ(s.num_seq_cells, 1u);
+  EXPECT_EQ(s.num_ports, 1u);
+  EXPECT_EQ(s.num_nets, 2u);
+  EXPECT_EQ(s.num_pins, 4u);
+  EXPECT_EQ(s.max_net_degree, 2u);
+  EXPECT_NEAR(s.avg_net_degree, 2.0, 1e-12);
+}
+
+TEST_F(NetlistTest, DesignPositionsSizing) {
+  Design design(&lib, "t");
+  design.netlist.add_cell("u1", lib.find_cell("INV_X1"));
+  design.init_positions();
+  EXPECT_EQ(design.cell_x.size(), 1u);
+  EXPECT_EQ(design.cell_y.size(), 1u);
+}
+
+}  // namespace
+}  // namespace dtp::netlist

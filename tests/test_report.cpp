@@ -1,0 +1,130 @@
+// Timing report generation and DRV checks.
+#include <gtest/gtest.h>
+
+#include "liberty/synth_library.h"
+#include "sta/report.h"
+#include "workload/circuit_gen.h"
+
+namespace dtp::sta {
+namespace {
+
+using netlist::Design;
+
+struct Fixture {
+  liberty::CellLibrary lib = liberty::make_synthetic_library();
+  Design design;
+  TimingGraph graph;
+  Timer timer;
+
+  explicit Fixture(double clock_scale = 0.6, int cells = 400)
+      : design(make(lib, clock_scale, cells)),
+        graph(design.netlist),
+        timer(design, graph) {
+    timer.evaluate(design.cell_x, design.cell_y);
+  }
+
+  static Design make(const liberty::CellLibrary& lib, double clock_scale,
+                     int cells) {
+    workload::WorkloadOptions opts;
+    opts.num_cells = cells;
+    opts.seed = 901;
+    opts.clock_scale = clock_scale;
+    return workload::generate_design(lib, opts);
+  }
+};
+
+TEST(Report, ContainsSummaryAndPaths) {
+  Fixture f;
+  ReportOptions opts;
+  opts.max_paths = 3;
+  const std::string report = timing_report_string(f.timer, opts);
+  EXPECT_NE(report.find("timing report"), std::string::npos);
+  EXPECT_NE(report.find("setup WNS"), std::string::npos);
+  EXPECT_NE(report.find("slack histogram"), std::string::npos);
+  EXPECT_NE(report.find("path 1:"), std::string::npos);
+  EXPECT_NE(report.find("path 3:"), std::string::npos);
+  EXPECT_EQ(report.find("path 4:"), std::string::npos);
+}
+
+TEST(Report, WorstPathSlackMatchesWns) {
+  Fixture f;
+  const std::string report = timing_report_string(f.timer);
+  const auto pos = report.find("path 1: slack ");
+  ASSERT_NE(pos, std::string::npos);
+  const double slack = std::stod(report.substr(pos + 14));
+  EXPECT_NEAR(slack, f.timer.metrics().wns, 1e-3);
+}
+
+TEST(Report, HistogramCountsAllFiniteEndpoints) {
+  Fixture f;
+  ReportOptions opts;
+  opts.max_paths = 0;
+  const std::string report = timing_report_string(f.timer, opts);
+  // Sum the histogram bucket counts out of the report text.
+  size_t total = 0;
+  std::istringstream is(report);
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.size() > 1 && line[0] == '[' && line.find(')') != std::string::npos) {
+      const auto p = line.find(')');
+      total += static_cast<size_t>(std::stoul(line.substr(p + 1)));
+    }
+  }
+  size_t finite = 0;
+  for (double s : f.timer.endpoint_slack())
+    if (std::isfinite(s)) ++finite;
+  EXPECT_EQ(total, finite);
+}
+
+TEST(Drv, FindsInjectedSlewViolations) {
+  Fixture f;
+  // Pick a limit below the worst slew in the design: guaranteed violations.
+  double worst = 0.0;
+  for (int l = 0; l < f.graph.num_levels(); ++l)
+    for (netlist::PinId p : f.graph.level(l))
+      for (int tr = 0; tr < 2; ++tr)
+        if (std::isfinite(f.timer.at(p, tr)))
+          worst = std::max(worst, f.timer.slew(p, tr));
+  ASSERT_GT(worst, 0.0);
+  const auto viols = check_drv(f.timer, worst * 0.5, 0.0);
+  EXPECT_FALSE(viols.empty());
+  for (const auto& v : viols) {
+    EXPECT_EQ(v.kind, DrvViolation::Slew);
+    EXPECT_GT(v.value, v.limit);
+  }
+  // A limit above the worst slew finds nothing.
+  EXPECT_TRUE(check_drv(f.timer, worst * 1.01, 0.0).empty());
+}
+
+TEST(Drv, FindsCapViolationsOnLoadedNets) {
+  Fixture f;
+  double worst_load = 0.0;
+  for (netlist::NetId n : f.graph.timing_nets())
+    worst_load = std::max(worst_load, f.timer.net_timing(n).root_load());
+  const auto viols = check_drv(f.timer, 0.0, worst_load * 0.7);
+  EXPECT_FALSE(viols.empty());
+  for (const auto& v : viols) {
+    EXPECT_EQ(v.kind, DrvViolation::Cap);
+    // The reported pin is the net driver (an output pin).
+    EXPECT_TRUE(f.design.netlist.pin_is_output(v.pin));
+  }
+  EXPECT_TRUE(check_drv(f.timer, 0.0, worst_load * 1.01).empty());
+}
+
+TEST(Drv, DisabledChecksReportNothing) {
+  Fixture f;
+  EXPECT_TRUE(check_drv(f.timer, 0.0, 0.0).empty());
+}
+
+TEST(Report, DrvSectionAppearsWhenEnabled) {
+  Fixture f;
+  ReportOptions opts;
+  opts.max_paths = 1;
+  opts.max_slew = 1e-6;  // everything violates
+  const std::string report = timing_report_string(f.timer, opts);
+  EXPECT_NE(report.find("design rule checks"), std::string::npos);
+  EXPECT_NE(report.find("max_slew"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dtp::sta

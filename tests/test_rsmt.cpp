@@ -1,0 +1,148 @@
+// RSMT builder invariants and quality properties.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "rsmt/rsmt_builder.h"
+
+namespace dtp::rsmt {
+namespace {
+
+std::vector<Vec2> random_pins(Rng& rng, int n, double span = 100.0) {
+  std::vector<Vec2> pins(static_cast<size_t>(n));
+  for (auto& p : pins) p = {rng.uniform(0.0, span), rng.uniform(0.0, span)};
+  return pins;
+}
+
+TEST(Rsmt, TwoPinNetIsSingleEdge) {
+  const std::vector<Vec2> pins{{0.0, 0.0}, {3.0, 4.0}};
+  const SteinerTree t = build_rsmt(pins, 0);
+  EXPECT_EQ(t.num_nodes(), 2u);
+  EXPECT_EQ(t.num_steiner(), 0u);
+  EXPECT_EQ(check_tree(t), "");
+  EXPECT_NEAR(t.length(), 7.0, 1e-12);
+}
+
+TEST(Rsmt, ThreePinMedianSteiner) {
+  const std::vector<Vec2> pins{{0.0, 0.0}, {10.0, 2.0}, {4.0, 8.0}};
+  const SteinerTree t = build_rsmt(pins, 0);
+  EXPECT_EQ(check_tree(t), "");
+  ASSERT_EQ(t.num_steiner(), 1u);
+  const auto& s = t.nodes[3];
+  EXPECT_EQ(s.pos.x, 4.0);  // median x (pin 2)
+  EXPECT_EQ(s.pos.y, 2.0);  // median y (pin 1)
+  EXPECT_EQ(s.x_src, 2);
+  EXPECT_EQ(s.y_src, 1);
+  // Exact 3-pin RSMT length: half-perimeter of the bounding box.
+  EXPECT_NEAR(t.length(), 10.0 + 8.0, 1e-12);
+}
+
+TEST(Rsmt, ThreePinDegenerateMedianOnPin) {
+  // Median point coincides with the middle pin: no Steiner node.
+  const std::vector<Vec2> pins{{0.0, 0.0}, {5.0, 5.0}, {9.0, 9.0}};
+  const SteinerTree t = build_rsmt(pins, 1);
+  EXPECT_EQ(check_tree(t), "");
+  EXPECT_EQ(t.num_steiner(), 0u);
+  EXPECT_NEAR(t.length(), 18.0, 1e-12);
+}
+
+TEST(Rsmt, CrossTopologyGainsOverMst) {
+  // Four pins at the corners of a plus sign: the RSMT uses a center Steiner
+  // point and beats the MST.
+  const std::vector<Vec2> pins{{5.0, 0.0}, {5.0, 10.0}, {0.0, 5.0}, {10.0, 5.0}};
+  const SteinerTree rsmt = build_rsmt(pins, 0);
+  const SteinerTree rmst = build_rmst(pins, 0);
+  EXPECT_EQ(check_tree(rsmt), "");
+  EXPECT_NEAR(rsmt.length(), 20.0, 1e-9);
+  EXPECT_GT(rmst.length(), rsmt.length());
+}
+
+TEST(Rsmt, RootIsDriver) {
+  Rng rng(5);
+  const auto pins = random_pins(rng, 7);
+  for (int driver = 0; driver < 7; ++driver) {
+    const SteinerTree t = build_rsmt(pins, driver);
+    EXPECT_EQ(t.root, driver);
+    EXPECT_EQ(t.nodes[static_cast<size_t>(driver)].parent, -1);
+    EXPECT_EQ(check_tree(t), "");
+  }
+}
+
+TEST(Rsmt, UpdatePositionsDragsSteinerPoints) {
+  Rng rng(17);
+  // Distinct x and y medians so the 3-pin tree is guaranteed a Steiner node.
+  std::vector<Vec2> pins{{0.0, 0.0}, {10.0, 3.0}, {4.0, 9.0}};
+  SteinerTree t = build_rsmt(pins, 0);
+  ASSERT_EQ(t.num_steiner(), 1u);
+  // Move every pin and drag.
+  for (auto& p : pins) {
+    p.x += rng.uniform(-1.0, 1.0);
+    p.y += rng.uniform(-1.0, 1.0);
+  }
+  update_positions(t, pins);
+  EXPECT_EQ(check_tree(t), "");
+  const auto& s = t.nodes[3];
+  EXPECT_EQ(s.pos.x, pins[static_cast<size_t>(s.x_src)].x);
+  EXPECT_EQ(s.pos.y, pins[static_cast<size_t>(s.y_src)].y);
+}
+
+TEST(Rsmt, CoincidentPinsAreFine) {
+  const std::vector<Vec2> pins{{1.0, 1.0}, {1.0, 1.0}, {4.0, 1.0}, {1.0, 1.0}};
+  const SteinerTree t = build_rsmt(pins, 0);
+  EXPECT_EQ(check_tree(t), "");
+  EXPECT_NEAR(t.length(), 3.0, 1e-12);
+}
+
+// Property sweep over random nets: structural validity, Steiner never worse
+// than MST, MST never better than half the Steiner bound (sanity), and
+// length within the Hwang bound factor 1.5 of the MST lower bound 2/3*MST.
+class RsmtRandom : public ::testing::TestWithParam<int> {};
+
+TEST_P(RsmtRandom, InvariantsHold) {
+  Rng rng(static_cast<uint64_t>(GetParam() * 7919 + 1));
+  const int n = static_cast<int>(rng.uniform_int(2, 14));
+  const auto pins = random_pins(rng, n);
+  const int driver = static_cast<int>(rng.uniform_int(0, n - 1));
+
+  const SteinerTree rsmt = build_rsmt(pins, driver);
+  const SteinerTree rmst = build_rmst(pins, driver);
+  EXPECT_EQ(check_tree(rsmt), "");
+  EXPECT_EQ(check_tree(rmst), "");
+  EXPECT_LE(rsmt.length(), rmst.length() + 1e-9);
+  // Steiner trees cannot shorten below 2/3 of the MST (Hwang's theorem).
+  EXPECT_GE(rsmt.length(), rmst.length() * 2.0 / 3.0 - 1e-9);
+
+  // HPWL is a lower bound on any connecting tree length.
+  double xl = pins[0].x, xh = pins[0].x, yl = pins[0].y, yh = pins[0].y;
+  for (const auto& p : pins) {
+    xl = std::min(xl, p.x);
+    xh = std::max(xh, p.x);
+    yl = std::min(yl, p.y);
+    yh = std::max(yh, p.y);
+  }
+  EXPECT_GE(rsmt.length(), (xh - xl) + (yh - yl) - 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Random, RsmtRandom, ::testing::Range(0, 40));
+
+TEST(Rsmt, DisableRefinementGivesRmst) {
+  Rng rng(23);
+  const auto pins = random_pins(rng, 9);
+  RsmtOptions opts;
+  opts.enable_1steiner = false;
+  const SteinerTree t = build_rsmt(pins, 0, opts);
+  EXPECT_EQ(t.num_steiner(), 0u);
+  EXPECT_NEAR(t.length(), build_rmst(pins, 0).length(), 1e-12);
+}
+
+TEST(Rsmt, LargeNetFallsBackToRmst) {
+  Rng rng(29);
+  const auto pins = random_pins(rng, 40);
+  RsmtOptions opts;
+  opts.kr_max_pins = 16;
+  const SteinerTree t = build_rsmt(pins, 0, opts);
+  EXPECT_EQ(t.num_steiner(), 0u);
+  EXPECT_EQ(check_tree(t), "");
+}
+
+}  // namespace
+}  // namespace dtp::rsmt

@@ -1,0 +1,128 @@
+// Unit and property tests for the LSE smoothing utilities (paper Eq. 5).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "common/smooth_math.h"
+
+namespace dtp {
+namespace {
+
+TEST(SmoothMath, LogSumExpUpperBoundsMax) {
+  const std::vector<double> xs{1.0, 2.0, 3.0};
+  for (double gamma : {0.001, 0.01, 0.1, 1.0}) {
+    const double v = log_sum_exp(xs, gamma);
+    EXPECT_GE(v, 3.0);
+    EXPECT_LE(v, 3.0 + gamma * std::log(3.0) + 1e-12);
+  }
+}
+
+TEST(SmoothMath, LogSumExpConvergesToMax) {
+  const std::vector<double> xs{-4.0, 7.5, 2.0, 7.4};
+  EXPECT_NEAR(log_sum_exp(xs, 1e-3), 7.5, 1e-6);
+}
+
+TEST(SmoothMath, LogSumExpStableForLargeValues) {
+  const std::vector<double> xs{1e8, 1e8 + 1.0};
+  const double v = log_sum_exp(xs, 1.0);
+  EXPECT_TRUE(std::isfinite(v));
+  EXPECT_GE(v, 1e8 + 1.0);
+}
+
+TEST(SmoothMath, SmoothMaxWeightsAreSoftmax) {
+  const std::vector<double> xs{0.0, 1.0, 2.0};
+  std::vector<double> w;
+  const double v = smooth_max(xs, 0.5, w);
+  EXPECT_EQ(w.size(), 3u);
+  double sum = 0.0;
+  for (double wi : w) {
+    EXPECT_GT(wi, 0.0);
+    sum += wi;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+  // Largest input gets the largest weight.
+  EXPECT_GT(w[2], w[1]);
+  EXPECT_GT(w[1], w[0]);
+  EXPECT_GE(v, 2.0);
+}
+
+TEST(SmoothMath, SmoothMaxHandlesAllNegInf) {
+  const std::vector<double> xs{-INFINITY, -INFINITY};
+  std::vector<double> w;
+  const double v = smooth_max(xs, 0.1, w);
+  EXPECT_TRUE(std::isinf(v));
+  EXPECT_LT(v, 0.0);
+}
+
+TEST(SmoothMath, SmoothMaxIgnoresNegInfOperand) {
+  const std::vector<double> xs{-INFINITY, 2.0};
+  std::vector<double> w;
+  const double v = smooth_max(xs, 0.1, w);
+  EXPECT_NEAR(v, 2.0, 1e-12);
+  EXPECT_NEAR(w[0], 0.0, 1e-12);
+  EXPECT_NEAR(w[1], 1.0, 1e-12);
+}
+
+TEST(SmoothMath, SmoothMinIsNegatedSmoothMaxOfNegation) {
+  const std::vector<double> xs{3.0, -1.0, 0.5};
+  std::vector<double> w;
+  const double v = smooth_min(xs, 0.2, w);
+  EXPECT_LE(v, -1.0);
+  EXPECT_GT(w[1], w[0]);
+  EXPECT_GT(w[1], w[2]);
+}
+
+TEST(SmoothMath, HardMaxOneHot) {
+  const std::vector<double> xs{1.0, 5.0, 2.0};
+  std::vector<double> w;
+  EXPECT_EQ(hard_max(xs, w), 5.0);
+  EXPECT_EQ(w[0], 0.0);
+  EXPECT_EQ(w[1], 1.0);
+  EXPECT_EQ(w[2], 0.0);
+  EXPECT_EQ(hard_min(xs, w), 1.0);
+  EXPECT_EQ(w[0], 1.0);
+}
+
+// Property: the smooth_max weights are the analytic gradient of LSE.
+class SmoothMaxGradient : public ::testing::TestWithParam<int> {};
+
+TEST_P(SmoothMaxGradient, MatchesFiniteDifference) {
+  Rng rng(static_cast<uint64_t>(GetParam()));
+  const size_t n = static_cast<size_t>(rng.uniform_int(2, 8));
+  std::vector<double> xs(n);
+  for (double& x : xs) x = rng.uniform(-2.0, 2.0);
+  const double gamma = rng.uniform(0.05, 1.0);
+
+  std::vector<double> w;
+  smooth_max(xs, gamma, w);
+  const double eps = 1e-6;
+  for (size_t i = 0; i < n; ++i) {
+    auto xp = xs, xm = xs;
+    xp[i] += eps;
+    xm[i] -= eps;
+    const double fd =
+        (log_sum_exp(xp, gamma) - log_sum_exp(xm, gamma)) / (2.0 * eps);
+    EXPECT_NEAR(w[i], fd, 1e-6) << "operand " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Random, SmoothMaxGradient, ::testing::Range(0, 20));
+
+TEST(SmoothMath, SmoothAbsGradient) {
+  const double eps = 1e-4;
+  for (double x : {-3.0, -0.1, 0.0, 0.2, 5.0}) {
+    const double fd =
+        (smooth_abs(x + 1e-7, eps) - smooth_abs(x - 1e-7, eps)) / 2e-7;
+    EXPECT_NEAR(smooth_abs_grad(x, eps), fd, 1e-5);
+  }
+}
+
+TEST(SmoothMath, SignConvention) {
+  EXPECT_EQ(sign(2.5), 1.0);
+  EXPECT_EQ(sign(-0.1), -1.0);
+  EXPECT_EQ(sign(0.0), 0.0);
+}
+
+}  // namespace
+}  // namespace dtp

@@ -1,0 +1,201 @@
+// Cross-validation of the levelized STA engine against an independent
+// reference implementation: a memoized recursive traversal that shares no
+// code with the level-sweep kernels (only the Elmore per-net results and LUT
+// objects, which have their own dedicated tests).  Any disagreement in
+// arrival time, slew, RAT or slack on random designs is a bug in one of the
+// two traversals.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <unordered_map>
+
+#include "liberty/synth_library.h"
+#include "sta/cell_arc_eval.h"
+#include "sta/timer.h"
+#include "workload/circuit_gen.h"
+
+namespace dtp::sta {
+namespace {
+
+using netlist::Design;
+using netlist::PinId;
+
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+
+// Reference timer: recursive with memoization, pull-based (asks fan-ins),
+// hard max semantics.
+class ReferenceTimer {
+ public:
+  ReferenceTimer(const Design& design, const TimingGraph& graph,
+                 const Timer& elmore_source)
+      : design_(&design), graph_(&graph), timer_(&elmore_source) {}
+
+  struct Value {
+    double at[2] = {kNegInf, kNegInf};
+    double slew[2] = {0.0, 0.0};
+  };
+
+  const Value& eval(PinId p) {
+    auto it = memo_.find(p);
+    if (it != memo_.end()) return it->second;
+    Value v;
+    const netlist::Netlist& nl = design_->netlist;
+    const auto fanin = graph_->fanin(p);
+    if (fanin.empty()) {
+      // Source: replicate the constraint-derived initial conditions.
+      const netlist::Constraints& con = design_->constraints;
+      double at0 = kNegInf, slew0 = nl.library().default_slew;
+      if (graph_->pin_is_clock_source(p)) {
+        at0 = 0.0;
+        slew0 = con.clock_slew;
+      } else if (nl.lib_cell_of(nl.pin(p).cell).kind == liberty::CellKind::PortIn) {
+        at0 = con.input_delay;
+        slew0 = con.input_slew;
+        const auto& name = nl.cell(nl.pin(p).cell).name;
+        if (auto itd = con.input_delay_override.find(name);
+            itd != con.input_delay_override.end())
+          at0 = itd->second;
+        if (auto its = con.input_slew_override.find(name);
+            its != con.input_slew_override.end())
+          slew0 = its->second;
+      }
+      v.at[0] = v.at[1] = at0;
+      v.slew[0] = v.slew[1] = slew0;
+      return memo_[p] = v;
+    }
+    const Arc& first = graph_->arcs()[static_cast<size_t>(fanin[0])];
+    if (first.kind == ArcKind::NetArc) {
+      const Value& u = eval(first.from);
+      const NetTiming& nt = timer_->net_timing(first.net);
+      const size_t node = static_cast<size_t>(first.sink_index);
+      for (int tr = 0; tr < 2; ++tr) {
+        v.at[tr] = u.at[tr] + nt.delay[node];
+        v.slew[tr] = std::sqrt(u.slew[tr] * u.slew[tr] + nt.imp2[node]);
+      }
+      return memo_[p] = v;
+    }
+    // Cell arcs: explicit max over candidates.
+    const netlist::NetId out_net = graph_->driven_timing_net(p);
+    const double load =
+        out_net == netlist::kInvalidId ? 0.0 : timer_->net_timing(out_net).root_load();
+    for (int tr_out = 0; tr_out < 2; ++tr_out) {
+      double best_at = kNegInf, best_slew = kNegInf;
+      for (int ai : fanin) {
+        const Arc& arc = graph_->arcs()[static_cast<size_t>(ai)];
+        const liberty::TimingArc& lib = *arc.lib_arc;
+        int trs[2];
+        const int n = input_transitions(lib.unate, tr_out, trs);
+        const Value& u = eval(arc.from);
+        for (int k = 0; k < n; ++k) {
+          const int tr_in = trs[k];
+          if (!std::isfinite(u.at[tr_in])) continue;
+          const liberty::Lut& dlut = tr_out == kRise ? lib.cell_rise : lib.cell_fall;
+          const liberty::Lut& slut =
+              tr_out == kRise ? lib.rise_transition : lib.fall_transition;
+          best_at = std::max(best_at, u.at[tr_in] + dlut.lookup(u.slew[tr_in], load));
+          best_slew = std::max(best_slew, slut.lookup(u.slew[tr_in], load));
+        }
+      }
+      v.at[tr_out] = best_at;
+      v.slew[tr_out] = std::isfinite(best_at) ? best_slew : 0.0;
+    }
+    return memo_[p] = v;
+  }
+
+  // Reference RAT by pull-based recursion over fanout.
+  double rat(PinId p, int tr) {
+    const auto key = std::make_pair(p, tr);
+    auto it = rat_memo_.find(key.first * 2 + key.second);
+    if (it != rat_memo_.end()) return it->second;
+    double r = std::numeric_limits<double>::infinity();
+    // Endpoint seed (constraint-LUT aware, per transition).
+    for (size_t e = 0; e < graph_->endpoints().size(); ++e)
+      if (graph_->endpoints()[e].pin == p)
+        r = std::min(r, timer_->endpoint_setup_rat(e, tr).value);
+    // Relax over fanout arcs.
+    const netlist::Netlist& nl = design_->netlist;
+    for (size_t ai = 0; ai < graph_->arcs().size(); ++ai) {
+      const Arc& arc = graph_->arcs()[ai];
+      if (arc.from != p) continue;
+      if (arc.kind == ArcKind::NetArc) {
+        const NetTiming& nt = timer_->net_timing(arc.net);
+        r = std::min(r, rat(arc.to, tr) - nt.delay[static_cast<size_t>(arc.sink_index)]);
+      } else {
+        const liberty::TimingArc& lib = *arc.lib_arc;
+        const netlist::NetId out_net = graph_->driven_timing_net(arc.to);
+        const double load = out_net == netlist::kInvalidId
+                                ? 0.0
+                                : timer_->net_timing(out_net).root_load();
+        const Value& u = eval(p);
+        for (int tr_out = 0; tr_out < 2; ++tr_out) {
+          int trs[2];
+          const int n = input_transitions(lib.unate, tr_out, trs);
+          for (int k = 0; k < n; ++k) {
+            if (trs[k] != tr) continue;
+            if (!std::isfinite(u.at[tr])) continue;
+            const liberty::Lut& dlut =
+                tr_out == kRise ? lib.cell_rise : lib.cell_fall;
+            r = std::min(r, rat(arc.to, tr_out) - dlut.lookup(u.slew[tr], load));
+          }
+        }
+      }
+    }
+    (void)nl;
+    rat_memo_[p * 2 + tr] = r;
+    return r;
+  }
+
+ private:
+  const Design* design_;
+  const TimingGraph* graph_;
+  const Timer* timer_;
+  std::unordered_map<PinId, Value> memo_;
+  std::unordered_map<int, double> rat_memo_;
+};
+
+class StaReference : public ::testing::TestWithParam<int> {};
+
+TEST_P(StaReference, ArrivalSlewRatMatchLevelizedEngine) {
+  const liberty::CellLibrary lib = liberty::make_synthetic_library();
+  workload::WorkloadOptions opts;
+  opts.num_cells = 150 + 60 * GetParam();
+  opts.seed = static_cast<uint64_t>(1000 + GetParam());
+  opts.levels = 6 + GetParam() % 9;
+  opts.clock_scale = 0.5 + 0.05 * (GetParam() % 6);
+  const Design design = workload::generate_design(lib, opts);
+  const TimingGraph graph(design.netlist);
+
+  Timer timer(design, graph);  // hard mode
+  timer.evaluate(design.cell_x, design.cell_y);
+  timer.update_required();
+
+  ReferenceTimer ref(design, graph, timer);
+  size_t compared = 0;
+  for (int l = 0; l < graph.num_levels(); ++l) {
+    for (PinId p : graph.level(l)) {
+      const auto& v = ref.eval(p);
+      for (int tr = 0; tr < 2; ++tr) {
+        const double at = timer.at(p, tr);
+        if (std::isfinite(at) || std::isfinite(v.at[tr])) {
+          ASSERT_NEAR(at, v.at[tr], 1e-9)
+              << design.netlist.pin_full_name(p) << " tr " << tr;
+          ASSERT_NEAR(timer.slew(p, tr), v.slew[tr], 1e-9)
+              << design.netlist.pin_full_name(p) << " tr " << tr;
+        }
+        const double r1 = timer.rat(p, tr);
+        const double r2 = ref.rat(p, tr);
+        if (std::isfinite(r1) || std::isfinite(r2)) {
+          ASSERT_NEAR(r1, r2, 1e-9)
+              << "RAT " << design.netlist.pin_full_name(p) << " tr " << tr;
+        }
+        ++compared;
+      }
+    }
+  }
+  EXPECT_GT(compared, 100u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Random, StaReference, ::testing::Range(0, 12));
+
+}  // namespace
+}  // namespace dtp::sta

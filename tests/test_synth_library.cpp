@@ -1,0 +1,114 @@
+// Sanity of the generated synthetic library: structure, monotonicity,
+// physical plausibility of the NLDM tables.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "liberty/synth_library.h"
+
+namespace dtp::liberty {
+namespace {
+
+class SynthLibTest : public ::testing::Test {
+ protected:
+  CellLibrary lib = make_synthetic_library();
+};
+
+TEST_F(SynthLibTest, HasExpectedCells) {
+  for (const char* name : {"INV_X1", "INV_X2", "INV_X4", "BUF_X1", "NAND2_X1",
+                           "NOR2_X1", "AOI21_X1", "XOR2_X1", "DFF_X1"})
+    EXPECT_GE(lib.find_cell(name), 0) << name;
+  EXPECT_GE(lib.find_cell(CellLibrary::kPortInName), 0);
+  EXPECT_GE(lib.find_cell(CellLibrary::kPortOutName), 0);
+}
+
+TEST_F(SynthLibTest, EveryCombCellHasOneArcPerInput) {
+  for (size_t c = 0; c < lib.size(); ++c) {
+    const LibCell& cell = lib.cell(static_cast<int>(c));
+    if (cell.kind != CellKind::Combinational) continue;
+    size_t inputs = 0;
+    for (const auto& pin : cell.pins)
+      if (pin.dir == PinDir::Input) ++inputs;
+    EXPECT_EQ(cell.arcs.size(), inputs) << cell.name;
+    for (const auto& arc : cell.arcs) {
+      EXPECT_EQ(arc.kind, ArcKind::Combinational);
+      EXPECT_EQ(cell.pins[static_cast<size_t>(arc.to_pin)].dir, PinDir::Output);
+    }
+  }
+}
+
+TEST_F(SynthLibTest, DelayTablesMonotoneInSlewAndLoad) {
+  for (size_t c = 0; c < lib.size(); ++c) {
+    const LibCell& cell = lib.cell(static_cast<int>(c));
+    for (const auto& arc : cell.arcs) {
+      for (const Lut* lut : {&arc.cell_rise, &arc.cell_fall, &arc.rise_transition,
+                             &arc.fall_transition}) {
+        for (size_t i = 0; i < lut->nx(); ++i)
+          for (size_t j = 0; j + 1 < lut->ny(); ++j)
+            EXPECT_LT(lut->value_at(i, j), lut->value_at(i, j + 1))
+                << cell.name << " not monotone in load";
+        for (size_t i = 0; i + 1 < lut->nx(); ++i)
+          for (size_t j = 0; j < lut->ny(); ++j)
+            EXPECT_LE(lut->value_at(i, j), lut->value_at(i + 1, j))
+                << cell.name << " not monotone in slew";
+      }
+    }
+  }
+}
+
+TEST_F(SynthLibTest, StrongerDrivesAreFasterUnderLoad) {
+  const LibCell& x1 = lib.cell(lib.find_cell("INV_X1"));
+  const LibCell& x4 = lib.cell(lib.find_cell("INV_X4"));
+  const double slew = 0.05, load = 0.1;
+  EXPECT_GT(x1.arcs[0].cell_rise.lookup(slew, load),
+            x4.arcs[0].cell_rise.lookup(slew, load));
+}
+
+TEST_F(SynthLibTest, StrongerDrivesCostMoreInputCap) {
+  const LibCell& x1 = lib.cell(lib.find_cell("INV_X1"));
+  const LibCell& x4 = lib.cell(lib.find_cell("INV_X4"));
+  EXPECT_GT(x4.pins[0].cap, x1.pins[0].cap);
+}
+
+TEST_F(SynthLibTest, DffShape) {
+  const LibCell& ff = lib.cell(lib.find_cell("DFF_X1"));
+  EXPECT_EQ(ff.kind, CellKind::Sequential);
+  EXPECT_GT(ff.setup_time, 0.0);
+  EXPECT_GT(ff.hold_time, 0.0);
+  ASSERT_EQ(ff.arcs.size(), 1u);
+  EXPECT_EQ(ff.arcs[0].kind, ArcKind::ClockToQ);
+  const int ck = ff.find_pin("CK");
+  ASSERT_GE(ck, 0);
+  EXPECT_TRUE(ff.pins[static_cast<size_t>(ck)].is_clock);
+  EXPECT_EQ(ff.arcs[0].from_pin, ck);
+}
+
+TEST_F(SynthLibTest, XorIsNonUnate) {
+  const LibCell& x = lib.cell(lib.find_cell("XOR2_X1"));
+  for (const auto& arc : x.arcs) EXPECT_EQ(arc.unate, Unateness::NonUnate);
+}
+
+TEST_F(SynthLibTest, PinOffsetsInsideCell) {
+  for (size_t c = 0; c < lib.size(); ++c) {
+    const LibCell& cell = lib.cell(static_cast<int>(c));
+    for (const auto& pin : cell.pins) {
+      EXPECT_GE(pin.offset_x, 0.0);
+      EXPECT_LE(pin.offset_x, cell.width + 1e-9) << cell.name;
+      EXPECT_GE(pin.offset_y, 0.0);
+      EXPECT_LE(pin.offset_y, cell.height + 1e-9) << cell.name;
+    }
+  }
+}
+
+TEST_F(SynthLibTest, WidthsSnapToSites) {
+  const SynthLibraryOptions opts;
+  for (size_t c = 0; c < lib.size(); ++c) {
+    const LibCell& cell = lib.cell(static_cast<int>(c));
+    if (cell.is_port()) continue;
+    const double sites = cell.width / opts.site_width;
+    EXPECT_NEAR(sites, std::round(sites), 1e-9) << cell.name;
+  }
+}
+
+}  // namespace
+}  // namespace dtp::liberty

@@ -1,0 +1,73 @@
+// Console table and CSV writers (the bench harness output layer).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "common/table.h"
+
+namespace dtp {
+namespace {
+
+TEST(ConsoleTable, AlignsAndSizesColumns) {
+  ConsoleTable t({"name", "value"});
+  t.add_row({"a", "1"});
+  t.add_row({"long_name", "123456"});
+  const std::string s = t.to_string();
+  // Every line has equal width.
+  std::istringstream is(s);
+  std::string line;
+  size_t width = 0;
+  while (std::getline(is, line)) {
+    if (width == 0) width = line.size();
+    EXPECT_EQ(line.size(), width) << line;
+  }
+  EXPECT_NE(s.find("long_name"), std::string::npos);
+  EXPECT_NE(s.find("name"), std::string::npos);
+}
+
+TEST(ConsoleTable, RuleBeforeSummaryRow) {
+  ConsoleTable t({"a"});
+  t.add_row({"1"});
+  t.add_rule();
+  t.add_row({"sum"});
+  const std::string s = t.to_string();
+  // header rule + explicit rule = at least 2 separator lines.
+  size_t rules = 0;
+  std::istringstream is(s);
+  std::string line;
+  while (std::getline(is, line))
+    if (line.find_first_not_of("-+") == std::string::npos && !line.empty()) ++rules;
+  EXPECT_EQ(rules, 2u);
+}
+
+TEST(Fmt, FixedDecimals) {
+  EXPECT_EQ(fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt(-0.5, 3), "-0.500");
+  EXPECT_EQ(fmt(2.0, 0), "2");
+  EXPECT_EQ(fmt_int(42), "42");
+  EXPECT_EQ(fmt_int(-7), "-7");
+}
+
+TEST(CsvWriter, WritesHeaderAndRows) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "dtp_csv_test.csv").string();
+  {
+    CsvWriter csv(path, {"x", "y"});
+    csv.write_row({1.0, 2.5});
+    csv.write_row({-3.0, 1e-9});
+  }
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "x,y");
+  std::getline(in, line);
+  EXPECT_EQ(line, "1,2.5");
+  std::getline(in, line);
+  EXPECT_EQ(line.substr(0, 3), "-3,");
+  EXPECT_FALSE(std::getline(in, line));
+}
+
+}  // namespace
+}  // namespace dtp

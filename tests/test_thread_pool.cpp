@@ -1,0 +1,61 @@
+// Thread-pool correctness: coverage, blocking semantics, nested-free usage.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "common/thread_pool.h"
+
+namespace dtp {
+namespace {
+
+TEST(ThreadPool, ParallelForCoversRangeExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(0, hits.size(), [&](size_t i) { ++hits[i]; }, /*grain=*/8);
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, EmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  int calls = 0;
+  pool.parallel_for(5, 5, [&](size_t) { ++calls; });
+  pool.parallel_for(7, 3, [&](size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ThreadPool, SmallRangeRunsInline) {
+  ThreadPool pool(4);
+  const auto caller = std::this_thread::get_id();
+  std::vector<std::thread::id> ids(3);
+  pool.parallel_for(0, 3, [&](size_t i) { ids[i] = std::this_thread::get_id(); },
+                    /*grain=*/64);
+  for (const auto& id : ids) EXPECT_EQ(id, caller);
+}
+
+TEST(ThreadPool, SingleThreadDegradesGracefully) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.num_threads(), 1u);
+  std::vector<int> out(100, 0);
+  pool.parallel_for(0, out.size(), [&](size_t i) { out[i] = static_cast<int>(i); },
+                    /*grain=*/1);
+  for (size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], static_cast<int>(i));
+}
+
+TEST(ThreadPool, BlocksUntilAllWorkDone) {
+  ThreadPool pool(3);
+  std::atomic<long> sum{0};
+  pool.parallel_for(1, 1001, [&](size_t i) { sum += static_cast<long>(i); },
+                    /*grain=*/10);
+  EXPECT_EQ(sum.load(), 500500L);
+}
+
+TEST(ThreadPool, GlobalPoolIsUsable) {
+  std::atomic<int> count{0};
+  ThreadPool::global().parallel_for(0, 50, [&](size_t) { ++count; }, 4);
+  EXPECT_EQ(count.load(), 50);
+}
+
+}  // namespace
+}  // namespace dtp

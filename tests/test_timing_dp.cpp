@@ -1,0 +1,106 @@
+// Timing-driven detailed placement (incremental-STA-based swaps) and
+// gamma annealing.
+#include <gtest/gtest.h>
+
+#include "liberty/synth_library.h"
+#include "placer/global_placer.h"
+#include "placer/legalizer.h"
+#include "workload/circuit_gen.h"
+
+namespace dtp::placer {
+namespace {
+
+using netlist::Design;
+
+Design placed_design(const liberty::CellLibrary& lib, int cells, uint64_t seed) {
+  workload::WorkloadOptions opts;
+  opts.num_cells = cells;
+  opts.seed = seed;
+  opts.clock_scale = 0.6;
+  Design d = workload::generate_design(lib, opts);
+  sta::TimingGraph graph(d.netlist);
+  GlobalPlacerOptions po;
+  po.max_iters = 350;
+  po.bins = 32;
+  GlobalPlacer gp(d, graph, po);
+  gp.run();
+  legalize(d, d.cell_x, d.cell_y);
+  return d;
+}
+
+TEST(TimingDp, ImprovesTnsAndKeepsTimerConsistent) {
+  const liberty::CellLibrary lib = liberty::make_synthetic_library();
+  Design d = placed_design(lib, 400, 4001);
+  sta::TimingGraph graph(d.netlist);
+  sta::Timer timer(d, graph);
+  const auto m0 = timer.evaluate(d.cell_x, d.cell_y);
+  ASSERT_LT(m0.tns, 0.0);
+
+  WirelengthModel wl(d);
+  const auto res = timing_driven_swaps(d, wl, timer, d.cell_x, d.cell_y,
+                                       /*tns_weight=*/50.0, /*max_passes=*/2);
+  EXPECT_GE(res.tns_gain, 0.0);
+  EXPECT_GT(res.swaps_tried, 0u);
+
+  // The incremental timer state must equal a from-scratch evaluation.
+  sta::Timer fresh(d, graph);
+  const auto m_fresh = fresh.evaluate(d.cell_x, d.cell_y);
+  EXPECT_NEAR(timer.metrics().tns, m_fresh.tns, 1e-9);
+  EXPECT_NEAR(timer.metrics().wns, m_fresh.wns, 1e-9);
+  EXPECT_NEAR(m_fresh.tns, m0.tns + res.tns_gain, 1e-9);
+}
+
+TEST(TimingDp, StaysLegal) {
+  const liberty::CellLibrary lib = liberty::make_synthetic_library();
+  Design d = placed_design(lib, 400, 4003);
+  sta::TimingGraph graph(d.netlist);
+  sta::Timer timer(d, graph);
+  timer.evaluate(d.cell_x, d.cell_y);
+  WirelengthModel wl(d);
+  timing_driven_swaps(d, wl, timer, d.cell_x, d.cell_y, 50.0);
+  std::string why;
+  EXPECT_TRUE(is_legal(d, d.cell_x, d.cell_y, &why)) << why;
+}
+
+TEST(TimingDp, ZeroWeightDegeneratesToHpwlOnly) {
+  // With tns_weight = 0 only HPWL-improving swaps are accepted, so HPWL
+  // cannot increase.
+  const liberty::CellLibrary lib = liberty::make_synthetic_library();
+  Design d = placed_design(lib, 300, 4005);
+  sta::TimingGraph graph(d.netlist);
+  sta::Timer timer(d, graph);
+  timer.evaluate(d.cell_x, d.cell_y);
+  WirelengthModel wl(d);
+  const double h0 = wl.hpwl_unweighted(d.cell_x, d.cell_y);
+  const auto res = timing_driven_swaps(d, wl, timer, d.cell_x, d.cell_y, 0.0);
+  EXPECT_LE(res.hpwl_delta, 1e-9);
+  EXPECT_LE(wl.hpwl_unweighted(d.cell_x, d.cell_y), h0 + 1e-6);
+}
+
+TEST(GammaAnneal, RunsAndReachesFinalGamma) {
+  const liberty::CellLibrary lib = liberty::make_synthetic_library();
+  workload::WorkloadOptions opts;
+  opts.num_cells = 300;
+  opts.seed = 4007;
+  opts.clock_scale = 0.6;
+  Design d = workload::generate_design(lib, opts);
+  sta::TimingGraph graph(d.netlist);
+  GlobalPlacerOptions po;
+  po.mode = PlacerMode::DiffTiming;
+  po.max_iters = 300;
+  po.bins = 32;
+  po.timing_start_iter = 40;
+  po.gamma_timing = 0.1;
+  po.gamma_timing_final = 0.02;
+  po.gamma_anneal_iters = 50;
+  GlobalPlacer gp(d, graph, po);
+  const auto res = gp.run();
+  EXPECT_GT(res.iterations, 100);
+  // The run must complete with finite metrics (annealing must not blow up).
+  sta::Timer timer(d, graph);
+  const auto m = timer.evaluate(d.cell_x, d.cell_y);
+  EXPECT_TRUE(std::isfinite(m.tns));
+}
+
+}  // namespace
+}  // namespace dtp::placer

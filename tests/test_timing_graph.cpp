@@ -1,0 +1,159 @@
+// Timing-graph construction: arcs, levelization, clock-net exclusion,
+// endpoints, cycle detection (paper §3.3 step 1).
+#include <gtest/gtest.h>
+
+#include "liberty/synth_library.h"
+#include "sta/timing_graph.h"
+#include "workload/circuit_gen.h"
+
+namespace dtp::sta {
+namespace {
+
+using netlist::CellId;
+using netlist::Design;
+using netlist::NetId;
+
+// pi -> INV u1 -> NAND u2 (other input from pi2) -> DFF.D ; DFF.Q -> po
+// plus a clock pad driving DFF.CK.
+struct SmallDesign {
+  liberty::CellLibrary lib = liberty::make_synthetic_library();
+  Design design{&lib, "small"};
+  CellId pi1, pi2, clk, u1, u2, ff, po;
+
+  SmallDesign() {
+    auto& nl = design.netlist;
+    const int pin_id = lib.find_cell(liberty::CellLibrary::kPortInName);
+    const int pout_id = lib.find_cell(liberty::CellLibrary::kPortOutName);
+    pi1 = nl.add_cell("pi1", pin_id);
+    pi2 = nl.add_cell("pi2", pin_id);
+    clk = nl.add_cell("clk", pin_id);
+    u1 = nl.add_cell("u1", lib.find_cell("INV_X1"));
+    u2 = nl.add_cell("u2", lib.find_cell("NAND2_X1"));
+    ff = nl.add_cell("ff", lib.find_cell("DFF_X1"));
+    po = nl.add_cell("po", pout_id);
+
+    const NetId n1 = nl.add_net("n1");
+    nl.connect(n1, pi1, "PAD");
+    nl.connect(n1, u1, "A");
+    const NetId n2 = nl.add_net("n2");
+    nl.connect(n2, u1, "Z");
+    nl.connect(n2, u2, "A");
+    const NetId n3 = nl.add_net("n3");
+    nl.connect(n3, pi2, "PAD");
+    nl.connect(n3, u2, "B");
+    const NetId n4 = nl.add_net("n4");
+    nl.connect(n4, u2, "Z");
+    nl.connect(n4, ff, "D");
+    const NetId n5 = nl.add_net("n5");
+    nl.connect(n5, ff, "Q");
+    nl.connect(n5, po, "PAD");
+    const NetId cn = nl.add_net("clknet");
+    nl.connect(cn, clk, "PAD");
+    nl.connect(cn, ff, "CK");
+    nl.validate();
+    design.init_positions();
+  }
+};
+
+TEST(TimingGraph, ClockNetExcluded) {
+  SmallDesign s;
+  const TimingGraph g(s.design.netlist);
+  const NetId cn = s.design.netlist.find_net("clknet");
+  EXPECT_TRUE(g.is_clock_net(cn));
+  for (NetId n : g.timing_nets()) EXPECT_NE(n, cn);
+  EXPECT_EQ(g.timing_nets().size(), 5u);
+}
+
+TEST(TimingGraph, LevelsFollowTopology) {
+  SmallDesign s;
+  auto& nl = s.design.netlist;
+  const TimingGraph g(nl);
+  const auto lvl = [&](CellId c, const char* pin) {
+    return g.level_of(nl.pin_of_cell(c, pin));
+  };
+  EXPECT_EQ(lvl(s.pi1, "PAD"), 0);
+  EXPECT_EQ(lvl(s.u1, "A"), 1);
+  EXPECT_EQ(lvl(s.u1, "Z"), 2);
+  EXPECT_EQ(lvl(s.u2, "A"), 3);
+  EXPECT_EQ(lvl(s.u2, "Z"), 4);  // longest path through u1 dominates pi2 path
+  EXPECT_EQ(lvl(s.ff, "D"), 5);
+  EXPECT_EQ(lvl(s.ff, "CK"), 0);  // clock source
+  EXPECT_EQ(lvl(s.ff, "Q"), 1);
+  EXPECT_EQ(lvl(s.po, "PAD"), 2);
+}
+
+TEST(TimingGraph, EndpointsAreFlopDataAndPrimaryOutputs) {
+  SmallDesign s;
+  auto& nl = s.design.netlist;
+  const TimingGraph g(nl);
+  ASSERT_EQ(g.endpoints().size(), 2u);
+  bool saw_ff = false, saw_po = false;
+  for (const Endpoint& ep : g.endpoints()) {
+    if (ep.kind == EndpointKind::FlopData) {
+      saw_ff = true;
+      EXPECT_EQ(ep.pin, nl.pin_of_cell(s.ff, "D"));
+      EXPECT_GT(ep.setup, 0.0);
+    } else {
+      saw_po = true;
+      EXPECT_EQ(ep.pin, nl.pin_of_cell(s.po, "PAD"));
+    }
+  }
+  EXPECT_TRUE(saw_ff && saw_po);
+}
+
+TEST(TimingGraph, FaninCsrIsConsistent) {
+  SmallDesign s;
+  auto& nl = s.design.netlist;
+  const TimingGraph g(nl);
+  // NAND output has 2 fan-in cell arcs; its input A has 1 fan-in net arc.
+  EXPECT_EQ(g.fanin(nl.pin_of_cell(s.u2, "Z")).size(), 2u);
+  EXPECT_EQ(g.fanin(nl.pin_of_cell(s.u2, "A")).size(), 1u);
+  EXPECT_EQ(g.fanin(nl.pin_of_cell(s.pi1, "PAD")).size(), 0u);
+  for (int ai : g.fanin(nl.pin_of_cell(s.u2, "Z"))) {
+    const Arc& arc = g.arcs()[static_cast<size_t>(ai)];
+    EXPECT_EQ(arc.kind, ArcKind::CellArc);
+    EXPECT_NE(arc.lib_arc, nullptr);
+  }
+}
+
+TEST(TimingGraph, ClockToQIsASourceArc) {
+  SmallDesign s;
+  auto& nl = s.design.netlist;
+  const TimingGraph g(nl);
+  const auto fanin = g.fanin(nl.pin_of_cell(s.ff, "Q"));
+  ASSERT_EQ(fanin.size(), 1u);
+  const Arc& arc = g.arcs()[static_cast<size_t>(fanin[0])];
+  EXPECT_EQ(arc.from, nl.pin_of_cell(s.ff, "CK"));
+  EXPECT_TRUE(g.pin_is_clock_source(arc.from));
+}
+
+TEST(TimingGraph, DetectsCombinationalCycle) {
+  liberty::CellLibrary lib = liberty::make_synthetic_library();
+  netlist::Netlist nl(&lib);
+  const CellId a = nl.add_cell("a", lib.find_cell("INV_X1"));
+  const CellId b = nl.add_cell("b", lib.find_cell("INV_X1"));
+  const NetId n1 = nl.add_net("n1");
+  nl.connect(n1, a, "Z");
+  nl.connect(n1, b, "A");
+  const NetId n2 = nl.add_net("n2");
+  nl.connect(n2, b, "Z");
+  nl.connect(n2, a, "A");
+  EXPECT_THROW(TimingGraph g(nl), std::runtime_error);
+}
+
+TEST(TimingGraph, GeneratedDesignLevelDepthMatchesSpec) {
+  const liberty::CellLibrary lib = liberty::make_synthetic_library();
+  workload::WorkloadOptions opts;
+  opts.num_cells = 600;
+  opts.levels = 12;
+  opts.seed = 3;
+  const Design d = workload::generate_design(lib, opts);
+  const TimingGraph g(d.netlist);
+  // Each logic level contributes 2 pin levels (input, output); plus sources.
+  EXPECT_GE(g.num_levels(), opts.levels);
+  EXPECT_FALSE(g.endpoints().empty());
+  EXPECT_FALSE(g.timing_nets().empty());
+}
+
+}  // namespace
+}  // namespace dtp::sta

@@ -1,0 +1,159 @@
+// Synthetic benchmark generator properties: determinism, structure, geometry.
+#include <gtest/gtest.h>
+
+#include "liberty/synth_library.h"
+#include "sta/timing_graph.h"
+#include "workload/circuit_gen.h"
+
+namespace dtp::workload {
+namespace {
+
+using netlist::CellId;
+using netlist::Design;
+
+class WorkloadTest : public ::testing::Test {
+ protected:
+  liberty::CellLibrary lib = liberty::make_synthetic_library();
+};
+
+TEST_F(WorkloadTest, DeterministicBySeed) {
+  WorkloadOptions opts;
+  opts.num_cells = 400;
+  opts.seed = 5;
+  const Design a = generate_design(lib, opts);
+  const Design b = generate_design(lib, opts);
+  ASSERT_EQ(a.netlist.num_cells(), b.netlist.num_cells());
+  ASSERT_EQ(a.netlist.num_nets(), b.netlist.num_nets());
+  for (size_t c = 0; c < a.netlist.num_cells(); ++c) {
+    EXPECT_EQ(a.netlist.cell(static_cast<CellId>(c)).lib_cell,
+              b.netlist.cell(static_cast<CellId>(c)).lib_cell);
+    EXPECT_EQ(a.cell_x[c], b.cell_x[c]);
+    EXPECT_EQ(a.cell_y[c], b.cell_y[c]);
+  }
+}
+
+TEST_F(WorkloadTest, DifferentSeedsDiffer) {
+  WorkloadOptions opts;
+  opts.num_cells = 400;
+  opts.seed = 5;
+  const Design a = generate_design(lib, opts);
+  opts.seed = 6;
+  const Design b = generate_design(lib, opts);
+  bool any_diff = a.netlist.num_nets() != b.netlist.num_nets();
+  for (size_t c = 0; !any_diff && c < a.netlist.num_cells(); ++c)
+    any_diff = a.netlist.cell(static_cast<CellId>(c)).lib_cell !=
+               b.netlist.cell(static_cast<CellId>(c)).lib_cell;
+  EXPECT_TRUE(any_diff);
+}
+
+TEST_F(WorkloadTest, StatsInExpectedRanges) {
+  WorkloadOptions opts;
+  opts.num_cells = 1000;
+  opts.ff_fraction = 0.15;
+  const Design d = generate_design(lib, opts);
+  const auto s = d.netlist.stats();
+  EXPECT_EQ(s.num_std_cells, 1000u);
+  EXPECT_NEAR(static_cast<double>(s.num_seq_cells), 150.0, 1.0);
+  EXPECT_GT(s.num_ports, static_cast<size_t>(opts.num_pi + opts.num_po));
+  // Pins per net around 2.5-4 like real designs.
+  EXPECT_GT(s.avg_net_degree, 2.0);
+  EXPECT_LT(s.avg_net_degree, 5.0);
+}
+
+TEST_F(WorkloadTest, ValidatesAndBuildsAcyclicGraph) {
+  WorkloadOptions opts;
+  opts.num_cells = 800;
+  opts.seed = 9;
+  const Design d = generate_design(lib, opts);
+  EXPECT_NO_THROW(d.netlist.validate());
+  EXPECT_NO_THROW(sta::TimingGraph g(d.netlist));
+}
+
+TEST_F(WorkloadTest, PadsFixedOnBoundaryMovablesInside) {
+  WorkloadOptions opts;
+  opts.num_cells = 500;
+  const Design d = generate_design(lib, opts);
+  const Rect& core = d.floorplan.core;
+  for (size_t c = 0; c < d.netlist.num_cells(); ++c) {
+    const auto id = static_cast<CellId>(c);
+    if (d.netlist.cell_is_port(id)) {
+      EXPECT_TRUE(d.netlist.cell(id).fixed);
+      const bool on_edge = d.cell_x[c] == core.xl || d.cell_x[c] == core.xh ||
+                           d.cell_y[c] == core.yl || d.cell_y[c] == core.yh;
+      EXPECT_TRUE(on_edge) << d.netlist.cell(id).name;
+    } else {
+      EXPECT_FALSE(d.netlist.cell(id).fixed);
+      EXPECT_GE(d.cell_x[c], core.xl);
+      EXPECT_LE(d.cell_x[c], core.xh);
+      EXPECT_GE(d.cell_y[c], core.yl);
+      EXPECT_LE(d.cell_y[c], core.yh);
+    }
+  }
+}
+
+TEST_F(WorkloadTest, FloorplanUtilizationNearTarget) {
+  WorkloadOptions opts;
+  opts.num_cells = 1500;
+  opts.target_density = 0.7;
+  const Design d = generate_design(lib, opts);
+  double area = 0.0;
+  for (size_t c = 0; c < d.netlist.num_cells(); ++c) {
+    const auto& master = d.netlist.lib_cell_of(static_cast<CellId>(c));
+    area += master.width * master.height;
+  }
+  const double util = area / d.floorplan.core.area();
+  EXPECT_GT(util, 0.55);
+  EXPECT_LE(util, 0.72);
+}
+
+TEST_F(WorkloadTest, SingleClockNetReachesAllFlops) {
+  WorkloadOptions opts;
+  opts.num_cells = 600;
+  const Design d = generate_design(lib, opts);
+  const netlist::NetId clk = d.netlist.find_net("clknet");
+  ASSERT_NE(clk, netlist::kInvalidId);
+  const auto s = d.netlist.stats();
+  // driver + one CK pin per flop
+  EXPECT_EQ(d.netlist.net(clk).pins.size(), 1u + s.num_seq_cells);
+}
+
+TEST_F(WorkloadTest, FanoutCapRespectedOnSignalNets) {
+  WorkloadOptions opts;
+  opts.num_cells = 1200;
+  opts.max_fanout = 24;
+  const Design d = generate_design(lib, opts);
+  const netlist::NetId clk = d.netlist.find_net("clknet");
+  for (size_t n = 0; n < d.netlist.num_nets(); ++n) {
+    if (static_cast<netlist::NetId>(n) == clk) continue;
+    // capacity cap + the exhaustive-fallback path can slightly exceed; allow
+    // a small margin but catch runaway fanout.
+    EXPECT_LE(d.netlist.net(static_cast<netlist::NetId>(n)).pins.size(),
+              static_cast<size_t>(opts.max_fanout) + 8);
+  }
+}
+
+TEST_F(WorkloadTest, MinibluePresetsScale) {
+  const auto& presets = miniblue_presets();
+  ASSERT_EQ(presets.size(), 8u);
+  const auto opts = miniblue_options(presets[0], /*scale_divisor=*/400);
+  EXPECT_NEAR(opts.num_cells, presets[0].superblue_cells / 400, 1.0);
+  // Relative ordering preserved: superblue7 is the largest.
+  int largest = 0;
+  for (size_t i = 1; i < presets.size(); ++i)
+    if (presets[i].superblue_cells > presets[static_cast<size_t>(largest)].superblue_cells)
+      largest = static_cast<int>(i);
+  EXPECT_STREQ(presets[static_cast<size_t>(largest)].name, "miniblue7");
+}
+
+TEST_F(WorkloadTest, ClockPeriodScalesWithDepth) {
+  WorkloadOptions opts;
+  opts.num_cells = 300;
+  opts.levels = 10;
+  const Design d10 = generate_design(lib, opts);
+  opts.levels = 20;
+  const Design d20 = generate_design(lib, opts);
+  EXPECT_GT(d20.constraints.clock_period, d10.constraints.clock_period * 1.5);
+}
+
+}  // namespace
+}  // namespace dtp::workload

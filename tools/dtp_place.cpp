@@ -1,0 +1,219 @@
+// dtp_place: command-line timing-driven placer.
+//
+//   dtp_place --lib <file.lib> --netlist <file.v> [--sdc <file.sdc>]
+//             [--mode wl|nw|dt] [--density 0.7] [--out <dir>]
+//             [--report <file>] [--svg <file>] [--max-iters N] [--seed N]
+//             [--legalize] [--detailed] [--verbose]
+//
+//   dtp_place --demo <cells>   # self-generate a design instead of reading files
+//
+// Reads a Liberty-subset library, a structural-Verilog netlist and optional
+// SDC constraints; floorplans (square core at the requested utilization, IO
+// pads ringed); runs global placement in the chosen mode (wl = wirelength
+// only, nw = momentum net weighting [24], dt = differentiable timing, the
+// default); optionally legalizes and detail-places; writes Bookshelf
+// placement, a timing report and a slack-colored SVG.
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "common/logger.h"
+#include "common/rng.h"
+#include "io/bookshelf.h"
+#include "io/sdc.h"
+#include "io/svg_plot.h"
+#include "io/verilog.h"
+#include "liberty/liberty_io.h"
+#include "liberty/synth_library.h"
+#include "placer/global_placer.h"
+#include "placer/legalizer.h"
+#include "sta/report.h"
+#include "workload/circuit_gen.h"
+
+namespace {
+
+const char* arg_str(int argc, char** argv, const char* flag, const char* dflt) {
+  for (int i = 1; i + 1 < argc; ++i)
+    if (std::strcmp(argv[i], flag) == 0) return argv[i + 1];
+  return dflt;
+}
+int arg_int(int argc, char** argv, const char* flag, int dflt) {
+  const char* s = arg_str(argc, argv, flag, nullptr);
+  return s ? std::atoi(s) : dflt;
+}
+double arg_double(int argc, char** argv, const char* flag, double dflt) {
+  const char* s = arg_str(argc, argv, flag, nullptr);
+  return s ? std::atof(s) : dflt;
+}
+bool arg_flag(int argc, char** argv, const char* flag) {
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], flag) == 0) return true;
+  return false;
+}
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: dtp_place --lib F --netlist F [--sdc F] [--mode wl|nw|dt]\n"
+               "                 [--density D] [--out DIR] [--report F] [--svg F]\n"
+               "                 [--max-iters N] [--seed N] [--legalize]\n"
+               "                 [--timing-dp [--tns-weight W]]\n"
+               "                 [--detailed] [--verbose]\n"
+               "       dtp_place --demo CELLS [same output options]\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace dtp;
+  if (argc < 2 || arg_flag(argc, argv, "--help")) {
+    usage();
+    return argc < 2 ? 1 : 0;
+  }
+  if (arg_flag(argc, argv, "--verbose"))
+    Logger::instance().set_level(LogLevel::Debug);
+
+  try {
+    // ---- inputs ----
+    liberty::CellLibrary lib;
+    std::unique_ptr<netlist::Design> design;
+    const int demo_cells = arg_int(argc, argv, "--demo", 0);
+    if (demo_cells > 0) {
+      lib = liberty::make_synthetic_library();
+      workload::WorkloadOptions wopts;
+      wopts.num_cells = demo_cells;
+      wopts.seed = static_cast<uint64_t>(arg_int(argc, argv, "--seed", 1));
+      design = std::make_unique<netlist::Design>(
+          workload::generate_design(lib, wopts, "demo"));
+    } else {
+      const char* lib_path = arg_str(argc, argv, "--lib", nullptr);
+      const char* v_path = arg_str(argc, argv, "--netlist", nullptr);
+      if (!lib_path || !v_path) {
+        usage();
+        return 1;
+      }
+      lib = liberty::parse_liberty_file(lib_path);
+      design = std::make_unique<netlist::Design>(io::read_verilog_file(lib, v_path));
+      if (const char* sdc = arg_str(argc, argv, "--sdc", nullptr))
+        io::read_sdc_file(sdc, design->constraints);
+
+      // Floorplan: square core at the requested utilization, pads ringed.
+      const double density = arg_double(argc, argv, "--density", 0.7);
+      double area = 0.0;
+      double row_h = 2.0;
+      for (size_t c = 0; c < design->netlist.num_cells(); ++c) {
+        const auto& m = design->netlist.lib_cell_of(static_cast<int>(c));
+        area += m.width * m.height;
+        if (!m.is_port()) row_h = m.height;
+      }
+      const double side = std::ceil(std::sqrt(area / density) / row_h) * row_h;
+      design->floorplan.core = Rect(0, 0, side, side);
+      design->floorplan.row_height = row_h;
+      design->floorplan.site_width = 0.5;
+      Rng rng(static_cast<uint64_t>(arg_int(argc, argv, "--seed", 1)));
+      size_t pad_i = 0, pad_n = 0;
+      for (size_t c = 0; c < design->netlist.num_cells(); ++c)
+        if (design->netlist.cell(static_cast<int>(c)).fixed) ++pad_n;
+      for (size_t c = 0; c < design->netlist.num_cells(); ++c) {
+        if (design->netlist.cell(static_cast<int>(c)).fixed) {
+          const double t = 4.0 * static_cast<double>(pad_i++) /
+                           static_cast<double>(std::max<size_t>(1, pad_n));
+          design->cell_x[c] =
+              t < 1 ? t * side : (t < 2 ? side : (t < 3 ? (3 - t) * side : 0.0));
+          design->cell_y[c] =
+              t < 1 ? 0.0 : (t < 2 ? (t - 1) * side : (t < 3 ? side : (4 - t) * side));
+        } else {
+          design->cell_x[c] =
+              std::clamp(side * 0.5 + rng.normal(0, side * 0.06), 0.0, side - 2);
+          design->cell_y[c] =
+              std::clamp(side * 0.5 + rng.normal(0, side * 0.06), 0.0, side - 2);
+        }
+      }
+    }
+
+    const auto stats = design->netlist.stats();
+    std::printf("design %s: %zu std cells, %zu nets, %zu pins, clock %.4f ns\n",
+                design->name.c_str(), stats.num_std_cells, stats.num_nets,
+                stats.num_pins, design->constraints.clock_period);
+
+    // ---- placement ----
+    sta::TimingGraph graph(design->netlist);
+    placer::GlobalPlacerOptions popts;
+    const std::string mode = arg_str(argc, argv, "--mode", "dt");
+    if (mode == "wl")
+      popts.mode = placer::PlacerMode::WirelengthOnly;
+    else if (mode == "nw")
+      popts.mode = placer::PlacerMode::NetWeighting;
+    else if (mode == "dt")
+      popts.mode = placer::PlacerMode::DiffTiming;
+    else {
+      std::fprintf(stderr, "unknown --mode %s\n", mode.c_str());
+      return 1;
+    }
+    popts.max_iters = arg_int(argc, argv, "--max-iters", popts.max_iters);
+    popts.verbose = arg_flag(argc, argv, "--verbose");
+    placer::GlobalPlacer gp(*design, graph, popts);
+    const auto res = gp.run();
+    std::printf("global placement: %d iterations, HPWL %.6g um, overflow %.3f, "
+                "%.1f s (timing engine %.1f s)\n",
+                res.iterations, res.hpwl, res.overflow, res.runtime_sec,
+                res.sta_runtime_sec);
+
+    if (arg_flag(argc, argv, "--legalize") || arg_flag(argc, argv, "--detailed")) {
+      const auto lg = placer::legalize(*design, design->cell_x, design->cell_y);
+      std::printf("legalization: %zu unplaced, avg displacement %.3f um\n",
+                  lg.failed_cells,
+                  lg.total_displacement / std::max<size_t>(1, stats.num_std_cells));
+      if (arg_flag(argc, argv, "--detailed")) {
+        placer::WirelengthModel wl(*design);
+        const double gain = placer::detailed_place_swaps(*design, wl,
+                                                         design->cell_x,
+                                                         design->cell_y);
+        std::printf("detailed placement: HPWL gain %.1f um\n", gain);
+      }
+      if (arg_flag(argc, argv, "--timing-dp")) {
+        placer::WirelengthModel wl(*design);
+        sta::Timer dp_timer(*design, graph);
+        dp_timer.evaluate(design->cell_x, design->cell_y);
+        const auto dp = placer::timing_driven_swaps(
+            *design, wl, dp_timer, design->cell_x, design->cell_y,
+            arg_double(argc, argv, "--tns-weight", 50.0));
+        std::printf("timing-driven DP: TNS gain %.3f ns, HPWL delta %+.1f um, "
+                    "%zu/%zu swaps\n",
+                    dp.tns_gain, dp.hpwl_delta, dp.swaps_accepted,
+                    dp.swaps_tried);
+      }
+    }
+
+    // ---- reporting ----
+    sta::TimerOptions topts;
+    topts.enable_early = true;
+    sta::Timer timer(*design, graph, topts);
+    const auto m = timer.evaluate(design->cell_x, design->cell_y);
+    std::printf("signoff: setup WNS %.4f ns  TNS %.3f ns  |  hold WNS %.4f ns\n",
+                m.wns, m.tns, m.hold_wns);
+
+    if (const char* report_path = arg_str(argc, argv, "--report", nullptr)) {
+      std::ofstream rf(report_path);
+      sta::ReportOptions ropts;
+      ropts.max_paths = 5;
+      sta::write_timing_report(timer, ropts, rf);
+      std::printf("wrote %s\n", report_path);
+    }
+    if (const char* svg_path = arg_str(argc, argv, "--svg", nullptr)) {
+      io::write_slack_svg(*design, timer, svg_path);
+      std::printf("wrote %s\n", svg_path);
+    }
+    if (const char* out_dir = arg_str(argc, argv, "--out", nullptr)) {
+      std::filesystem::create_directories(out_dir);
+      io::write_bookshelf(*design, out_dir);
+      std::printf("wrote %s/%s.{aux,nodes,nets,pl,scl}\n", out_dir,
+                  design->name.c_str());
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "dtp_place: error: %s\n", e.what());
+    return 1;
+  }
+}
