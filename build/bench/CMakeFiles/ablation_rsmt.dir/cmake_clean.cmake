@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_rsmt.dir/ablation_rsmt.cpp.o"
+  "CMakeFiles/ablation_rsmt.dir/ablation_rsmt.cpp.o.d"
+  "ablation_rsmt"
+  "ablation_rsmt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_rsmt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

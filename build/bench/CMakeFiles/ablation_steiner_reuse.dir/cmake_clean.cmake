@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_steiner_reuse.dir/ablation_steiner_reuse.cpp.o"
+  "CMakeFiles/ablation_steiner_reuse.dir/ablation_steiner_reuse.cpp.o.d"
+  "ablation_steiner_reuse"
+  "ablation_steiner_reuse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_steiner_reuse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_wire_model.cpp" "bench/CMakeFiles/ablation_wire_model.dir/ablation_wire_model.cpp.o" "gcc" "bench/CMakeFiles/ablation_wire_model.dir/ablation_wire_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/placer/CMakeFiles/dtp_placer.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/dtp_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/dtimer/CMakeFiles/dtp_dtimer.dir/DependInfo.cmake"
+  "/root/repo/build/src/sta/CMakeFiles/dtp_sta.dir/DependInfo.cmake"
+  "/root/repo/build/src/rsmt/CMakeFiles/dtp_rsmt.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/dtp_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/liberty/CMakeFiles/dtp_liberty.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

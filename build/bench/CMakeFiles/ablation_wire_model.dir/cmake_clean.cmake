@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_wire_model.dir/ablation_wire_model.cpp.o"
+  "CMakeFiles/ablation_wire_model.dir/ablation_wire_model.cpp.o.d"
+  "ablation_wire_model"
+  "ablation_wire_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_wire_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

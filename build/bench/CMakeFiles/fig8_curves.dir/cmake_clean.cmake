@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_curves.dir/fig8_curves.cpp.o"
+  "CMakeFiles/fig8_curves.dir/fig8_curves.cpp.o.d"
+  "fig8_curves"
+  "fig8_curves.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_curves.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/incremental_eco.dir/incremental_eco.cpp.o"
+  "CMakeFiles/incremental_eco.dir/incremental_eco.cpp.o.d"
+  "incremental_eco"
+  "incremental_eco.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/incremental_eco.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sta_report.dir/sta_report.cpp.o"
+  "CMakeFiles/sta_report.dir/sta_report.cpp.o.d"
+  "sta_report"
+  "sta_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sta_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dtp_dtimer.dir/diff_timer.cpp.o"
+  "CMakeFiles/dtp_dtimer.dir/diff_timer.cpp.o.d"
+  "CMakeFiles/dtp_dtimer.dir/elmore_grad.cpp.o"
+  "CMakeFiles/dtp_dtimer.dir/elmore_grad.cpp.o.d"
+  "libdtp_dtimer.a"
+  "libdtp_dtimer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dtp_dtimer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/io/bookshelf.cpp" "src/io/CMakeFiles/dtp_io.dir/bookshelf.cpp.o" "gcc" "src/io/CMakeFiles/dtp_io.dir/bookshelf.cpp.o.d"
+  "/root/repo/src/io/sdc.cpp" "src/io/CMakeFiles/dtp_io.dir/sdc.cpp.o" "gcc" "src/io/CMakeFiles/dtp_io.dir/sdc.cpp.o.d"
+  "/root/repo/src/io/svg_plot.cpp" "src/io/CMakeFiles/dtp_io.dir/svg_plot.cpp.o" "gcc" "src/io/CMakeFiles/dtp_io.dir/svg_plot.cpp.o.d"
+  "/root/repo/src/io/verilog.cpp" "src/io/CMakeFiles/dtp_io.dir/verilog.cpp.o" "gcc" "src/io/CMakeFiles/dtp_io.dir/verilog.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netlist/CMakeFiles/dtp_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/sta/CMakeFiles/dtp_sta.dir/DependInfo.cmake"
+  "/root/repo/build/src/liberty/CMakeFiles/dtp_liberty.dir/DependInfo.cmake"
+  "/root/repo/build/src/rsmt/CMakeFiles/dtp_rsmt.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dtp_io.dir/bookshelf.cpp.o"
+  "CMakeFiles/dtp_io.dir/bookshelf.cpp.o.d"
+  "CMakeFiles/dtp_io.dir/sdc.cpp.o"
+  "CMakeFiles/dtp_io.dir/sdc.cpp.o.d"
+  "CMakeFiles/dtp_io.dir/svg_plot.cpp.o"
+  "CMakeFiles/dtp_io.dir/svg_plot.cpp.o.d"
+  "CMakeFiles/dtp_io.dir/verilog.cpp.o"
+  "CMakeFiles/dtp_io.dir/verilog.cpp.o.d"
+  "libdtp_io.a"
+  "libdtp_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dtp_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/liberty/liberty_io.cpp" "src/liberty/CMakeFiles/dtp_liberty.dir/liberty_io.cpp.o" "gcc" "src/liberty/CMakeFiles/dtp_liberty.dir/liberty_io.cpp.o.d"
+  "/root/repo/src/liberty/lut.cpp" "src/liberty/CMakeFiles/dtp_liberty.dir/lut.cpp.o" "gcc" "src/liberty/CMakeFiles/dtp_liberty.dir/lut.cpp.o.d"
+  "/root/repo/src/liberty/synth_library.cpp" "src/liberty/CMakeFiles/dtp_liberty.dir/synth_library.cpp.o" "gcc" "src/liberty/CMakeFiles/dtp_liberty.dir/synth_library.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dtp_liberty.dir/liberty_io.cpp.o"
+  "CMakeFiles/dtp_liberty.dir/liberty_io.cpp.o.d"
+  "CMakeFiles/dtp_liberty.dir/lut.cpp.o"
+  "CMakeFiles/dtp_liberty.dir/lut.cpp.o.d"
+  "CMakeFiles/dtp_liberty.dir/synth_library.cpp.o"
+  "CMakeFiles/dtp_liberty.dir/synth_library.cpp.o.d"
+  "libdtp_liberty.a"
+  "libdtp_liberty.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dtp_liberty.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

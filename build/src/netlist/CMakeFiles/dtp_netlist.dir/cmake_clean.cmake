@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dtp_netlist.dir/netlist.cpp.o"
+  "CMakeFiles/dtp_netlist.dir/netlist.cpp.o.d"
+  "libdtp_netlist.a"
+  "libdtp_netlist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dtp_netlist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/placer/density.cpp" "src/placer/CMakeFiles/dtp_placer.dir/density.cpp.o" "gcc" "src/placer/CMakeFiles/dtp_placer.dir/density.cpp.o.d"
+  "/root/repo/src/placer/fft.cpp" "src/placer/CMakeFiles/dtp_placer.dir/fft.cpp.o" "gcc" "src/placer/CMakeFiles/dtp_placer.dir/fft.cpp.o.d"
+  "/root/repo/src/placer/global_placer.cpp" "src/placer/CMakeFiles/dtp_placer.dir/global_placer.cpp.o" "gcc" "src/placer/CMakeFiles/dtp_placer.dir/global_placer.cpp.o.d"
+  "/root/repo/src/placer/legalizer.cpp" "src/placer/CMakeFiles/dtp_placer.dir/legalizer.cpp.o" "gcc" "src/placer/CMakeFiles/dtp_placer.dir/legalizer.cpp.o.d"
+  "/root/repo/src/placer/net_weighting.cpp" "src/placer/CMakeFiles/dtp_placer.dir/net_weighting.cpp.o" "gcc" "src/placer/CMakeFiles/dtp_placer.dir/net_weighting.cpp.o.d"
+  "/root/repo/src/placer/optimizer.cpp" "src/placer/CMakeFiles/dtp_placer.dir/optimizer.cpp.o" "gcc" "src/placer/CMakeFiles/dtp_placer.dir/optimizer.cpp.o.d"
+  "/root/repo/src/placer/poisson.cpp" "src/placer/CMakeFiles/dtp_placer.dir/poisson.cpp.o" "gcc" "src/placer/CMakeFiles/dtp_placer.dir/poisson.cpp.o.d"
+  "/root/repo/src/placer/wirelength.cpp" "src/placer/CMakeFiles/dtp_placer.dir/wirelength.cpp.o" "gcc" "src/placer/CMakeFiles/dtp_placer.dir/wirelength.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netlist/CMakeFiles/dtp_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/sta/CMakeFiles/dtp_sta.dir/DependInfo.cmake"
+  "/root/repo/build/src/dtimer/CMakeFiles/dtp_dtimer.dir/DependInfo.cmake"
+  "/root/repo/build/src/liberty/CMakeFiles/dtp_liberty.dir/DependInfo.cmake"
+  "/root/repo/build/src/rsmt/CMakeFiles/dtp_rsmt.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

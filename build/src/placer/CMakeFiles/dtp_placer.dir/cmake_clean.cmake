@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dtp_placer.dir/density.cpp.o"
+  "CMakeFiles/dtp_placer.dir/density.cpp.o.d"
+  "CMakeFiles/dtp_placer.dir/fft.cpp.o"
+  "CMakeFiles/dtp_placer.dir/fft.cpp.o.d"
+  "CMakeFiles/dtp_placer.dir/global_placer.cpp.o"
+  "CMakeFiles/dtp_placer.dir/global_placer.cpp.o.d"
+  "CMakeFiles/dtp_placer.dir/legalizer.cpp.o"
+  "CMakeFiles/dtp_placer.dir/legalizer.cpp.o.d"
+  "CMakeFiles/dtp_placer.dir/net_weighting.cpp.o"
+  "CMakeFiles/dtp_placer.dir/net_weighting.cpp.o.d"
+  "CMakeFiles/dtp_placer.dir/optimizer.cpp.o"
+  "CMakeFiles/dtp_placer.dir/optimizer.cpp.o.d"
+  "CMakeFiles/dtp_placer.dir/poisson.cpp.o"
+  "CMakeFiles/dtp_placer.dir/poisson.cpp.o.d"
+  "CMakeFiles/dtp_placer.dir/wirelength.cpp.o"
+  "CMakeFiles/dtp_placer.dir/wirelength.cpp.o.d"
+  "libdtp_placer.a"
+  "libdtp_placer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dtp_placer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

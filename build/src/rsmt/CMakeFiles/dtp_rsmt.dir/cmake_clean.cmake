@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dtp_rsmt.dir/rsmt_builder.cpp.o"
+  "CMakeFiles/dtp_rsmt.dir/rsmt_builder.cpp.o.d"
+  "CMakeFiles/dtp_rsmt.dir/steiner_tree.cpp.o"
+  "CMakeFiles/dtp_rsmt.dir/steiner_tree.cpp.o.d"
+  "libdtp_rsmt.a"
+  "libdtp_rsmt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dtp_rsmt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sta/net_timing.cpp" "src/sta/CMakeFiles/dtp_sta.dir/net_timing.cpp.o" "gcc" "src/sta/CMakeFiles/dtp_sta.dir/net_timing.cpp.o.d"
+  "/root/repo/src/sta/report.cpp" "src/sta/CMakeFiles/dtp_sta.dir/report.cpp.o" "gcc" "src/sta/CMakeFiles/dtp_sta.dir/report.cpp.o.d"
+  "/root/repo/src/sta/timer.cpp" "src/sta/CMakeFiles/dtp_sta.dir/timer.cpp.o" "gcc" "src/sta/CMakeFiles/dtp_sta.dir/timer.cpp.o.d"
+  "/root/repo/src/sta/timing_graph.cpp" "src/sta/CMakeFiles/dtp_sta.dir/timing_graph.cpp.o" "gcc" "src/sta/CMakeFiles/dtp_sta.dir/timing_graph.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netlist/CMakeFiles/dtp_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/liberty/CMakeFiles/dtp_liberty.dir/DependInfo.cmake"
+  "/root/repo/build/src/rsmt/CMakeFiles/dtp_rsmt.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dtp_sta.dir/net_timing.cpp.o"
+  "CMakeFiles/dtp_sta.dir/net_timing.cpp.o.d"
+  "CMakeFiles/dtp_sta.dir/report.cpp.o"
+  "CMakeFiles/dtp_sta.dir/report.cpp.o.d"
+  "CMakeFiles/dtp_sta.dir/timer.cpp.o"
+  "CMakeFiles/dtp_sta.dir/timer.cpp.o.d"
+  "CMakeFiles/dtp_sta.dir/timing_graph.cpp.o"
+  "CMakeFiles/dtp_sta.dir/timing_graph.cpp.o.d"
+  "libdtp_sta.a"
+  "libdtp_sta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dtp_sta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dtp_workload.dir/circuit_gen.cpp.o"
+  "CMakeFiles/dtp_workload.dir/circuit_gen.cpp.o.d"
+  "libdtp_workload.a"
+  "libdtp_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dtp_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_constraint_lut.dir/test_constraint_lut.cpp.o"
+  "CMakeFiles/test_constraint_lut.dir/test_constraint_lut.cpp.o.d"
+  "test_constraint_lut"
+  "test_constraint_lut.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_constraint_lut.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

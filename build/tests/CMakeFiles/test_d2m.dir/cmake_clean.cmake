@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_d2m.dir/test_d2m.cpp.o"
+  "CMakeFiles/test_d2m.dir/test_d2m.cpp.o.d"
+  "test_d2m"
+  "test_d2m.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_d2m.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_diff_timer_api.dir/test_diff_timer_api.cpp.o"
+  "CMakeFiles/test_diff_timer_api.dir/test_diff_timer_api.cpp.o.d"
+  "test_diff_timer_api"
+  "test_diff_timer_api.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_diff_timer_api.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

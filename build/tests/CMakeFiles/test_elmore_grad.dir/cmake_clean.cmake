@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_elmore_grad.dir/test_elmore_grad.cpp.o"
+  "CMakeFiles/test_elmore_grad.dir/test_elmore_grad.cpp.o.d"
+  "test_elmore_grad"
+  "test_elmore_grad.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_elmore_grad.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

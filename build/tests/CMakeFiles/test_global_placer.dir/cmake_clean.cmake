@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_global_placer.dir/test_global_placer.cpp.o"
+  "CMakeFiles/test_global_placer.dir/test_global_placer.cpp.o.d"
+  "test_global_placer"
+  "test_global_placer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_global_placer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hold_gradcheck.dir/test_hold_gradcheck.cpp.o"
+  "CMakeFiles/test_hold_gradcheck.dir/test_hold_gradcheck.cpp.o.d"
+  "test_hold_gradcheck"
+  "test_hold_gradcheck.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hold_gradcheck.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_incremental_sta.dir/test_incremental_sta.cpp.o"
+  "CMakeFiles/test_incremental_sta.dir/test_incremental_sta.cpp.o.d"
+  "test_incremental_sta"
+  "test_incremental_sta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_incremental_sta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_legalizer.dir/test_legalizer.cpp.o"
+  "CMakeFiles/test_legalizer.dir/test_legalizer.cpp.o.d"
+  "test_legalizer"
+  "test_legalizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_legalizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

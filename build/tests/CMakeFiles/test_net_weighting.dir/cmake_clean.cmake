@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_net_weighting.dir/test_net_weighting.cpp.o"
+  "CMakeFiles/test_net_weighting.dir/test_net_weighting.cpp.o.d"
+  "test_net_weighting"
+  "test_net_weighting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_net_weighting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

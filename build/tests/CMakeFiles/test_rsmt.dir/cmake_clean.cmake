@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rsmt.dir/test_rsmt.cpp.o"
+  "CMakeFiles/test_rsmt.dir/test_rsmt.cpp.o.d"
+  "test_rsmt"
+  "test_rsmt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rsmt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

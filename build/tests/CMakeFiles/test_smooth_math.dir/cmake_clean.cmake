@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_smooth_math.dir/test_smooth_math.cpp.o"
+  "CMakeFiles/test_smooth_math.dir/test_smooth_math.cpp.o.d"
+  "test_smooth_math"
+  "test_smooth_math.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_smooth_math.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sta.dir/test_sta.cpp.o"
+  "CMakeFiles/test_sta.dir/test_sta.cpp.o.d"
+  "test_sta"
+  "test_sta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

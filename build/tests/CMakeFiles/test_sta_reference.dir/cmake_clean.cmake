@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sta_reference.dir/test_sta_reference.cpp.o"
+  "CMakeFiles/test_sta_reference.dir/test_sta_reference.cpp.o.d"
+  "test_sta_reference"
+  "test_sta_reference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sta_reference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_synth_library.dir/test_synth_library.cpp.o"
+  "CMakeFiles/test_synth_library.dir/test_synth_library.cpp.o.d"
+  "test_synth_library"
+  "test_synth_library.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_synth_library.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

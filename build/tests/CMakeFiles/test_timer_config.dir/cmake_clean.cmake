@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_timer_config.dir/test_timer_config.cpp.o"
+  "CMakeFiles/test_timer_config.dir/test_timer_config.cpp.o.d"
+  "test_timer_config"
+  "test_timer_config.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_timer_config.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

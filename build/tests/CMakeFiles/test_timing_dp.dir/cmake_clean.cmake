@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_timing_dp.dir/test_timing_dp.cpp.o"
+  "CMakeFiles/test_timing_dp.dir/test_timing_dp.cpp.o.d"
+  "test_timing_dp"
+  "test_timing_dp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_timing_dp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

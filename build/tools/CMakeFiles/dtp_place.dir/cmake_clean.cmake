@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dtp_place.dir/dtp_place.cpp.o"
+  "CMakeFiles/dtp_place.dir/dtp_place.cpp.o.d"
+  "dtp_place"
+  "dtp_place.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dtp_place.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
