@@ -7,8 +7,11 @@
 #include "common/stopwatch.h"
 #include "common/table.h"
 #include "liberty/synth_library.h"
+#include "obs/jsonl.h"
+#include "obs/trace.h"
 #include "placer/global_placer.h"
 #include "placer/legalizer.h"
+#include "placer/run_report.h"
 #include "sta/timer.h"
 #include "workload/circuit_gen.h"
 
@@ -58,5 +61,67 @@ inline bool arg_flag(int argc, char** argv, const char* flag) {
     if (std::strcmp(argv[i], flag) == 0) return true;
   return false;
 }
+
+inline const char* arg_str(int argc, char** argv, const char* flag,
+                          const char* fallback) {
+  for (int i = 1; i + 1 < argc; ++i)
+    if (std::strcmp(argv[i], flag) == 0) return argv[i + 1];
+  return fallback;
+}
+
+// --trace-out / --metrics-out handling shared by the table/figure benches:
+// construct at startup (enables tracing if requested), call add() after each
+// placement run, and finish() once at the end to flush the artifacts —
+// the same formats dtp_place emits, so paper tables regenerate with
+// attributable per-kernel timings.
+class RunArtifacts {
+ public:
+  RunArtifacts(int argc, char** argv) {
+    trace_path_ = arg_str(argc, argv, "--trace-out", nullptr);
+    const char* metrics_path = arg_str(argc, argv, "--metrics-out", nullptr);
+    if (trace_path_ != nullptr) obs::Tracer::instance().enable();
+    if (metrics_path != nullptr) {
+      if (!jsonl_.open(metrics_path)) {
+        std::fprintf(stderr, "cannot write %s\n", metrics_path);
+        std::exit(1);
+      }
+      metrics_path_ = metrics_path;
+    }
+  }
+
+  void add(const placer::PlaceResult& result, const std::string& design,
+           placer::PlacerMode mode) {
+    if (!jsonl_.is_open()) return;
+    const placer::RunMeta meta{design, placer::mode_short_name(mode)};
+    placer::append_run_jsonl(jsonl_, result, meta);
+    results_.push_back(result);
+    metas_.push_back(meta);
+  }
+
+  void finish() {
+    if (jsonl_.is_open()) {
+      const std::string summary = placer::summary_path_for(metrics_path_);
+      placer::write_summary_json(summary, results_, metas_);
+      std::fprintf(stderr, "wrote %s and %s\n", metrics_path_.c_str(),
+                   summary.c_str());
+      jsonl_.close();
+      results_.clear();
+      metas_.clear();
+    }
+    if (trace_path_ != nullptr) {
+      obs::Tracer::instance().disable();
+      obs::Tracer::instance().write_json(trace_path_);
+      std::fprintf(stderr, "wrote %s (%zu spans)\n", trace_path_,
+                   obs::Tracer::instance().num_events());
+    }
+  }
+
+ private:
+  const char* trace_path_ = nullptr;
+  std::string metrics_path_;
+  obs::JsonlWriter jsonl_;
+  std::vector<placer::PlaceResult> results_;
+  std::vector<placer::RunMeta> metas_;
+};
 
 }  // namespace dtp::bench

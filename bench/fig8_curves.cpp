@@ -7,7 +7,9 @@
 // the HPWL/overflow curves of the two flows nearly coincide, while the
 // WNS/TNS curves separate after timing activation.
 //
-// Flags: --scale N (default 200), --iters N (default 900), --probe N (10).
+// Flags: --scale N (default 200), --iters N (default 900), --probe N (10),
+//        --trace-out F / --metrics-out F (observability artifacts, same
+//        formats as dtp_place).
 #include <cstdio>
 
 #include "bench_util.h"
@@ -15,6 +17,7 @@
 using namespace dtp;
 
 int main(int argc, char** argv) {
+  bench::RunArtifacts artifacts(argc, argv);
   const int scale = bench::arg_int(argc, argv, "--scale", 200);
   const int iters = bench::arg_int(argc, argv, "--iters", 900);
   const int probe = bench::arg_int(argc, argv, "--probe", 10);
@@ -36,6 +39,7 @@ int main(int argc, char** argv) {
     o.probe_timing_every = probe;  // exact STA probes for the curves
     placer::GlobalPlacer gp(design, graph, o);
     runs[m] = gp.run();
+    artifacts.add(runs[m], preset.name, modes[m]);
     std::fprintf(stderr, "[fig8] %s: %d iterations, final hpwl %.4g\n",
                  m == 0 ? "wirelength-only" : "diff-timing", runs[m].iterations,
                  runs[m].hpwl);
@@ -87,5 +91,6 @@ int main(int argc, char** argv) {
               wns[0], wns[1]);
   std::printf("final TNS  base %.3f  ours %.3f   [paper: ours better]\n",
               tns[0], tns[1]);
+  artifacts.finish();
   return 0;
 }

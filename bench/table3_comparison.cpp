@@ -9,6 +9,9 @@
 // Flags: --scale N   superblue-cells / N per design  (default 200)
 //        --iters N   max GP iterations               (default 900)
 //        --quick     tiny run for smoke testing (scale 2000, 2 designs)
+//        --trace-out F / --metrics-out F   observability artifacts (the same
+//        Chrome-trace / JSONL formats dtp_place emits; records carry
+//        design+mode fields so all 24 runs share one stream)
 #include <cstdio>
 #include <vector>
 
@@ -43,6 +46,7 @@ placer::GlobalPlacerOptions placer_options(int argc, char** argv, int max_iters)
 }  // namespace
 
 int main(int argc, char** argv) {
+  bench::RunArtifacts artifacts(argc, argv);
   const bool quick = bench::arg_flag(argc, argv, "--quick");
   const int scale = bench::arg_int(argc, argv, "--scale", quick ? 2000 : 200);
   const int iters = bench::arg_int(argc, argv, "--iters", quick ? 400 : 900);
@@ -77,6 +81,7 @@ int main(int argc, char** argv) {
       row.res[m] =
           bench::run_flow(lib, wopts, preset.name, modes[m],
                           placer_options(argc, argv, iters));
+      artifacts.add(row.res[m].place, preset.name, modes[m]);
       std::fprintf(stderr, "[table3] %-11s %-26s wns %8.4f  tns %10.3f  "
                    "hpwl %8.3f  %6.1fs (%d iters)\n",
                    preset.name, mode_names[m],
@@ -160,5 +165,6 @@ int main(int argc, char** argv) {
   std::printf("  best TNS improvement: %.1f%% (%s)   [paper: 59.1%%]\n",
               100.0 * best_tns_impr, best_tns_design);
   std::printf("  average speed-up:     %.2fx          [paper: 1.80x]\n", speedup);
+  artifacts.finish();
   return 0;
 }

@@ -1,0 +1,168 @@
+// Tiny hand-rolled JSON emitter (no external deps, DESIGN.md §5).
+//
+// Streams into an internal string; the caller decides where the bytes go.
+// Comma placement and key/value alternation are handled by a small state
+// stack, so call sites read like the document they produce:
+//
+//   JsonWriter w;
+//   w.begin_object();
+//   w.key("iter").value(12);
+//   w.key("phases").begin_array().value(0.5).value(1.25).end_array();
+//   w.end_object();
+//   fputs(w.str().c_str(), f);
+//
+// Numbers are emitted with enough digits to round-trip a double; NaN and
+// infinities (not representable in JSON) are emitted as null.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/assert.h"
+
+namespace dtp {
+
+class JsonWriter {
+ public:
+  JsonWriter& begin_object() {
+    comma();
+    out_ += '{';
+    stack_.push_back(State::ObjectFirst);
+    return *this;
+  }
+  JsonWriter& end_object() {
+    DTP_ASSERT(!stack_.empty());
+    out_ += '}';
+    stack_.pop_back();
+    mark_value();
+    return *this;
+  }
+  JsonWriter& begin_array() {
+    comma();
+    out_ += '[';
+    stack_.push_back(State::ArrayFirst);
+    return *this;
+  }
+  JsonWriter& end_array() {
+    DTP_ASSERT(!stack_.empty());
+    out_ += ']';
+    stack_.pop_back();
+    mark_value();
+    return *this;
+  }
+
+  JsonWriter& key(const std::string& name) {
+    comma();
+    append_escaped(name);
+    out_ += ':';
+    DTP_ASSERT(!stack_.empty());
+    stack_.back() = State::ObjectKey;
+    return *this;
+  }
+
+  JsonWriter& value(const std::string& s) {
+    comma();
+    append_escaped(s);
+    mark_value();
+    return *this;
+  }
+  JsonWriter& value(const char* s) { return value(std::string(s)); }
+  JsonWriter& value(double v) {
+    comma();
+    if (!std::isfinite(v)) {
+      out_ += "null";
+    } else {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.17g", v);
+      out_ += buf;
+    }
+    mark_value();
+    return *this;
+  }
+  JsonWriter& value(int64_t v) {
+    comma();
+    out_ += std::to_string(v);
+    mark_value();
+    return *this;
+  }
+  JsonWriter& value(uint64_t v) {
+    comma();
+    out_ += std::to_string(v);
+    mark_value();
+    return *this;
+  }
+  JsonWriter& value(int v) { return value(static_cast<int64_t>(v)); }
+  JsonWriter& value(unsigned v) { return value(static_cast<uint64_t>(v)); }
+  JsonWriter& value(bool v) {
+    comma();
+    out_ += v ? "true" : "false";
+    mark_value();
+    return *this;
+  }
+
+  // Splices a pre-serialized JSON document in value position (e.g. the
+  // metrics-registry dump embedded into a run summary).  `json` must be a
+  // complete document; no validation is performed.
+  JsonWriter& raw(const std::string& json) {
+    comma();
+    out_ += json;
+    mark_value();
+    return *this;
+  }
+
+  // The document built so far; complete once every begin_ has its end_.
+  const std::string& str() const { return out_; }
+  bool complete() const { return stack_.empty() && !out_.empty(); }
+
+ private:
+  enum class State : uint8_t {
+    ObjectFirst,  // inside {}, nothing written yet
+    ObjectKey,    // a key was just written, its value is pending
+    ObjectNext,   // at least one pair written
+    ArrayFirst,
+    ArrayNext,
+  };
+
+  void comma() {
+    if (stack_.empty()) return;
+    State& s = stack_.back();
+    if (s == State::ObjectNext || s == State::ArrayNext) out_ += ',';
+  }
+  // A value (or key:value pair) was completed at the current nesting level.
+  void mark_value() {
+    if (stack_.empty()) return;
+    State& s = stack_.back();
+    if (s == State::ObjectFirst || s == State::ObjectKey) s = State::ObjectNext;
+    if (s == State::ArrayFirst) s = State::ArrayNext;
+  }
+
+  void append_escaped(const std::string& s) {
+    out_ += '"';
+    for (char c : s) {
+      switch (c) {
+        case '"': out_ += "\\\""; break;
+        case '\\': out_ += "\\\\"; break;
+        case '\n': out_ += "\\n"; break;
+        case '\r': out_ += "\\r"; break;
+        case '\t': out_ += "\\t"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+            out_ += buf;
+          } else {
+            out_ += c;
+          }
+      }
+    }
+    out_ += '"';
+  }
+
+  std::string out_;
+  std::vector<State> stack_;
+};
+
+}  // namespace dtp

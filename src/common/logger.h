@@ -1,14 +1,36 @@
 // Minimal leveled logger.  Single global sink (stderr by default), printf-style
 // formatting, compile-out-able below a level.  Placement loops log at Info every
 // N iterations; Debug is for development only.
+//
+// Thread-safe: each record is formatted into one buffer and emitted with a
+// single fprintf under a mutex, so lines from ThreadPool workers never
+// interleave.  set_timestamps(true) prefixes each record with the wall-clock
+// time of day ([HH:MM:SS.mmm]), useful when correlating logs with a trace.
 #pragma once
 
 #include <cstdarg>
 #include <cstdio>
+#include <cstring>
+#include <ctime>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
 
 namespace dtp {
 
 enum class LogLevel : int { Debug = 0, Info = 1, Warn = 2, Error = 3, Silent = 4 };
+
+// Parses a --log-level style name ("debug", "info", "warn", "error",
+// "silent"); nullopt for anything else.
+inline std::optional<LogLevel> parse_log_level(const std::string& name) {
+  if (name == "debug") return LogLevel::Debug;
+  if (name == "info") return LogLevel::Info;
+  if (name == "warn" || name == "warning") return LogLevel::Warn;
+  if (name == "error") return LogLevel::Error;
+  if (name == "silent" || name == "off") return LogLevel::Silent;
+  return std::nullopt;
+}
 
 class Logger {
  public:
@@ -23,12 +45,45 @@ class Logger {
   // Redirect output (e.g. to a file handle owned by the caller). Never owns.
   void set_sink(std::FILE* sink) { sink_ = sink; }
 
+  // Prefix records with the wall-clock time of day.
+  void set_timestamps(bool on) { timestamps_ = on; }
+
   void log(LogLevel level, const char* fmt, va_list args) {
     if (level < level_) return;
     static const char* kTag[] = {"DEBUG", "INFO ", "WARN ", "ERROR"};
-    std::fprintf(sink_, "[%s] ", kTag[static_cast<int>(level)]);
-    std::vfprintf(sink_, fmt, args);
-    std::fputc('\n', sink_);
+
+    // Format the whole record into one buffer first so the sink sees a single
+    // write: worker-thread lines cannot interleave mid-record.
+    char prefix[48];
+    int prefix_len = 0;
+    if (timestamps_) {
+      std::timespec ts{};
+      std::timespec_get(&ts, TIME_UTC);
+      std::tm tm{};
+      localtime_r(&ts.tv_sec, &tm);
+      prefix_len = std::snprintf(prefix, sizeof(prefix),
+                                 "[%02d:%02d:%02d.%03ld] ", tm.tm_hour,
+                                 tm.tm_min, tm.tm_sec, ts.tv_nsec / 1000000);
+    }
+
+    va_list probe;
+    va_copy(probe, args);
+    char stack_buf[512];
+    const int need = std::vsnprintf(stack_buf, sizeof(stack_buf), fmt, probe);
+    va_end(probe);
+    if (need < 0) return;
+
+    const char* body = stack_buf;
+    std::vector<char> heap_buf;
+    if (static_cast<size_t>(need) >= sizeof(stack_buf)) {
+      heap_buf.resize(static_cast<size_t>(need) + 1);
+      std::vsnprintf(heap_buf.data(), heap_buf.size(), fmt, args);
+      body = heap_buf.data();
+    }
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::fprintf(sink_, "%.*s[%s] %s\n", prefix_len, prefix,
+                 kTag[static_cast<int>(level)], body);
     std::fflush(sink_);
   }
 
@@ -36,6 +91,8 @@ class Logger {
   Logger() = default;
   LogLevel level_ = LogLevel::Info;
   std::FILE* sink_ = stderr;
+  bool timestamps_ = false;
+  std::mutex mutex_;
 };
 
 inline void log_at(LogLevel level, const char* fmt, ...) {

@@ -5,10 +5,19 @@
 // written as parallel_for over a flat index range, mirroring a 1-D CUDA grid.
 // On a 1-core machine the pool degrades to serial execution with near-zero
 // overhead (ranges below a grain threshold never touch the queue).
+//
+// The pool keeps lightweight utilization statistics (chunk-task counts, time
+// tasks sat in the queue, time workers spent executing) for the observability
+// artifacts: stats() snapshots them and the run-summary JSON embeds them.
+// Accounting costs two clock reads per *chunk* (not per iteration), so it
+// stays on even in benchmark builds.
 #pragma once
 
+#include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <mutex>
 #include <queue>
@@ -17,10 +26,26 @@
 
 namespace dtp {
 
+struct ThreadPoolStats {
+  size_t num_threads = 1;
+  uint64_t parallel_for_calls = 0;
+  uint64_t inline_ranges = 0;    // ranges run serially on the caller
+  uint64_t tasks_executed = 0;   // chunk tasks run by workers
+  double queue_wait_sec = 0.0;   // sum of per-task time spent queued
+  double busy_sec = 0.0;         // sum of per-task execution time
+  double lifetime_sec = 0.0;     // pool age at the time of the snapshot
+
+  // Fraction of worker capacity spent executing tasks since construction.
+  double utilization() const {
+    const double capacity = lifetime_sec * static_cast<double>(num_threads);
+    return capacity > 0.0 ? busy_sec / capacity : 0.0;
+  }
+};
+
 class ThreadPool {
  public:
   // n_threads == 0 picks hardware_concurrency (at least 1).
-  explicit ThreadPool(size_t n_threads = 0) {
+  explicit ThreadPool(size_t n_threads = 0) : created_(Clock::now()) {
     if (n_threads == 0) {
       n_threads = std::thread::hardware_concurrency();
       if (n_threads == 0) n_threads = 1;
@@ -48,13 +73,30 @@ class ThreadPool {
 
   size_t num_threads() const { return n_threads_; }
 
+  ThreadPoolStats stats() const {
+    ThreadPoolStats s;
+    s.num_threads = n_threads_;
+    s.parallel_for_calls = parallel_for_calls_.load(std::memory_order_relaxed);
+    s.inline_ranges = inline_ranges_.load(std::memory_order_relaxed);
+    s.tasks_executed = tasks_executed_.load(std::memory_order_relaxed);
+    s.queue_wait_sec =
+        1e-9 * static_cast<double>(queue_wait_ns_.load(std::memory_order_relaxed));
+    s.busy_sec =
+        1e-9 * static_cast<double>(busy_ns_.load(std::memory_order_relaxed));
+    s.lifetime_sec =
+        std::chrono::duration<double>(Clock::now() - created_).count();
+    return s;
+  }
+
   // Runs body(i) for i in [begin, end). Blocks until all iterations finish.
   // `grain` is the minimum chunk per task; small ranges run inline.
   void parallel_for(size_t begin, size_t end,
                     const std::function<void(size_t)>& body, size_t grain = 64) {
     if (end <= begin) return;
+    parallel_for_calls_.fetch_add(1, std::memory_order_relaxed);
     const size_t n = end - begin;
     if (workers_.empty() || n <= grain) {
+      inline_ranges_.fetch_add(1, std::memory_order_relaxed);
       for (size_t i = begin; i < end; ++i) body(i);
       return;
     }
@@ -92,17 +134,24 @@ class ThreadPool {
   }
 
  private:
+  using Clock = std::chrono::steady_clock;
+
+  struct Task {
+    std::function<void()> fn;
+    Clock::time_point enqueued;
+  };
+
   void enqueue(std::function<void()> task) {
     {
       std::lock_guard<std::mutex> lock(mutex_);
-      tasks_.push(std::move(task));
+      tasks_.push(Task{std::move(task), Clock::now()});
     }
     cv_.notify_one();
   }
 
   void worker_loop() {
     for (;;) {
-      std::function<void()> task;
+      Task task;
       {
         std::unique_lock<std::mutex> lock(mutex_);
         cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
@@ -110,16 +159,35 @@ class ThreadPool {
         task = std::move(tasks_.front());
         tasks_.pop();
       }
-      task();
+      const Clock::time_point start = Clock::now();
+      queue_wait_ns_.fetch_add(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(start -
+                                                               task.enqueued)
+              .count(),
+          std::memory_order_relaxed);
+      task.fn();
+      busy_ns_.fetch_add(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                               start)
+              .count(),
+          std::memory_order_relaxed);
+      tasks_executed_.fetch_add(1, std::memory_order_relaxed);
     }
   }
 
   size_t n_threads_ = 1;
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> tasks_;
+  std::queue<Task> tasks_;
   std::mutex mutex_;
   std::condition_variable cv_;
   bool stop_ = false;
+
+  const Clock::time_point created_;
+  std::atomic<uint64_t> parallel_for_calls_{0};
+  std::atomic<uint64_t> inline_ranges_{0};
+  std::atomic<uint64_t> tasks_executed_{0};
+  std::atomic<uint64_t> queue_wait_ns_{0};
+  std::atomic<uint64_t> busy_ns_{0};
 };
 
 }  // namespace dtp

@@ -4,7 +4,10 @@
 
 #include "common/assert.h"
 #include "common/smooth_math.h"
+#include "common/stopwatch.h"
 #include "dtimer/elmore_grad.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sta/cell_arc_eval.h"
 
 namespace dtp::dtimer {
@@ -41,24 +44,45 @@ DiffTimer::DiffTimer(const netlist::Design& design, const sta::TimingGraph& grap
 sta::TimingMetrics DiffTimer::forward(std::span<const double> cell_x,
                                       std::span<const double> cell_y,
                                       bool force_rebuild) {
+  DTP_TRACE_SCOPE("sta_forward");
+  auto& registry = obs::MetricsRegistry::instance();
+  static obs::Counter& fwd_count = registry.counter("dtimer.forward_calls");
+  static obs::Counter& rebuild_count = registry.counter("dtimer.rsmt_rebuilds");
+  static obs::Histogram& fwd_hist = registry.histogram("dtimer.forward_ms");
+
+  obs::ScopedTimerMs fwd_timer(fwd_hist);
+  Stopwatch clock;
   timer_.update_positions(cell_x, cell_y);
   const bool rebuild =
       force_rebuild || !timer_.trees_built() ||
       (options_.steiner_rebuild_period > 0 &&
        forward_calls_ % options_.steiner_rebuild_period == 0);
+  clock.reset();
   if (rebuild)
     timer_.build_trees();
   else
     timer_.drag_trees();
+  last_forward_.rebuilt = rebuild;
+  last_forward_.rsmt_ms = clock.elapsed_ms();
   ++forward_calls_;
+  fwd_count.add();
+  if (rebuild) rebuild_count.add();
+  clock.reset();
   timer_.run_elmore();
+  last_forward_.elmore_ms = clock.elapsed_ms();
+  clock.reset();
   timer_.propagate();
   timer_.update_slacks();
+  last_forward_.sweep_ms = clock.elapsed_ms();
   return timer_.metrics();
 }
 
 void DiffTimer::backward(double t1, double t2, double h1, double h2,
                          std::span<double> grad_x, std::span<double> grad_y) {
+  DTP_TRACE_SCOPE("sta_backward");
+  static obs::Histogram& bwd_hist =
+      obs::MetricsRegistry::instance().histogram("dtimer.backward_ms");
+  obs::ScopedTimerMs bwd_timer(bwd_hist);
   const sta::TimingGraph& graph = timer_.graph();
   const netlist::Netlist& nl = graph.netlist();
   const double gamma = timer_.options().gamma;

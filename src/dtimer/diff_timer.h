@@ -40,6 +40,17 @@ struct DiffTimerOptions {
   rsmt::RsmtOptions rsmt;
 };
 
+// Wall-clock split of the most recent forward() call, separating Steiner-tree
+// maintenance from the timer passes proper — the attribution the paper's §3.6
+// runtime argument needs (RSMT rebuild amortization vs. levelized sweeps).
+struct ForwardBreakdown {
+  double rsmt_ms = 0.0;     // build_trees or drag_trees
+  double elmore_ms = 0.0;   // wire delay/impulse/load pass
+  double sweep_ms = 0.0;    // AT/slew propagation + slack update
+  bool rebuilt = false;     // true when this call ran a full RSMT rebuild
+  double sta_ms() const { return elmore_ms + sweep_ms; }
+};
+
 class DiffTimer {
  public:
   DiffTimer(const netlist::Design& design, const sta::TimingGraph& graph,
@@ -73,10 +84,14 @@ class DiffTimer {
 
   int forward_calls() const { return forward_calls_; }
 
+  // Phase timings of the most recent forward().
+  const ForwardBreakdown& last_forward() const { return last_forward_; }
+
  private:
   sta::Timer timer_;
   DiffTimerOptions options_;
   int forward_calls_ = 0;
+  ForwardBreakdown last_forward_;
 
   // Backward state, sized once.
   std::vector<double> g_at_, g_slew_;               // late, [pin*2 + tr]

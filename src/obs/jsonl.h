@@ -1,0 +1,44 @@
+// Append-only JSONL (one JSON document per line) stream writer, the format of
+// the per-iteration metrics artifact (--metrics-out).  Lines are flushed as
+// written so a crashed or killed run keeps everything logged up to that point.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "common/assert.h"
+
+namespace dtp::obs {
+
+class JsonlWriter {
+ public:
+  JsonlWriter() = default;
+  explicit JsonlWriter(const std::string& path) { open(path); }
+  ~JsonlWriter() { close(); }
+  JsonlWriter(const JsonlWriter&) = delete;
+  JsonlWriter& operator=(const JsonlWriter&) = delete;
+
+  bool open(const std::string& path) {
+    close();
+    file_ = std::fopen(path.c_str(), "w");
+    return file_ != nullptr;
+  }
+  bool is_open() const { return file_ != nullptr; }
+  void close() {
+    if (file_ != nullptr) std::fclose(file_);
+    file_ = nullptr;
+  }
+
+  // `json` must be a single complete JSON document without newlines.
+  void write_line(const std::string& json) {
+    DTP_ASSERT(file_ != nullptr);
+    std::fwrite(json.data(), 1, json.size(), file_);
+    std::fputc('\n', file_);
+    std::fflush(file_);
+  }
+
+ private:
+  std::FILE* file_ = nullptr;
+};
+
+}  // namespace dtp::obs

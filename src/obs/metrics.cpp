@@ -1,0 +1,121 @@
+#include "obs/metrics.h"
+
+#include <cmath>
+#include <fstream>
+
+#include "common/json_writer.h"
+
+namespace dtp::obs {
+
+std::atomic<bool> MetricsRegistry::enabled_flag_{true};
+
+void Counter::add(uint64_t n) {
+  if (!MetricsRegistry::enabled()) return;
+  value_.fetch_add(n, std::memory_order_relaxed);
+}
+
+void Gauge::set(double v) {
+  if (!MetricsRegistry::enabled()) return;
+  value_.store(v, std::memory_order_relaxed);
+}
+
+void Histogram::observe(double v) {
+  if (!MetricsRegistry::enabled()) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (count_ == 0 || v < min_) min_ = v;
+  if (count_ == 0 || v > max_) max_ = v;
+  ++count_;
+  sum_ += v;
+  int k = 0;
+  if (v >= 1.0) {
+    k = std::min(kBuckets - 1, 1 + static_cast<int>(std::log2(v)));
+  }
+  ++buckets_[k];
+}
+
+void Histogram::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  count_ = 0;
+  sum_ = min_ = max_ = 0.0;
+  for (auto& b : buckets_) b = 0;
+}
+
+MetricsRegistry& MetricsRegistry::instance() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+double MetricsRegistry::histogram_sum(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = histograms_.find(name);
+  return it == histograms_.end() ? 0.0 : it->second->sum();
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+}
+
+std::string MetricsRegistry::to_json() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  JsonWriter w;
+  w.begin_object();
+  w.key("counters").begin_object();
+  for (const auto& [name, c] : counters_) w.key(name).value(c->value());
+  w.end_object();
+  w.key("gauges").begin_object();
+  for (const auto& [name, g] : gauges_) w.key(name).value(g->value());
+  w.end_object();
+  w.key("histograms").begin_object();
+  for (const auto& [name, h] : histograms_) {
+    w.key(name).begin_object();
+    w.key("count").value(h->count());
+    w.key("sum").value(h->sum());
+    w.key("min").value(h->min());
+    w.key("max").value(h->max());
+    w.key("mean").value(h->mean());
+    // Sparse bucket map: upper bound (2^k) -> count.
+    w.key("buckets").begin_object();
+    for (int k = 0; k < Histogram::kBuckets; ++k) {
+      if (h->bucket(k) == 0) continue;
+      w.key(std::to_string(static_cast<long long>(1) << k)).value(h->bucket(k));
+    }
+    w.end_object();
+    w.end_object();
+  }
+  w.end_object();
+  w.end_object();
+  return w.str();
+}
+
+bool MetricsRegistry::write_json(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f) return false;
+  f << to_json() << "\n";
+  return static_cast<bool>(f);
+}
+
+}  // namespace dtp::obs

@@ -1,0 +1,146 @@
+// Process-wide metrics registry: counters, gauges, wall-time histograms
+// (DESIGN.md §6).
+//
+// Instruments register metrics once (the registry interns by name and returns
+// a stable reference) and then update them lock-free from any thread:
+//
+//   static obs::Counter& trees = obs::MetricsRegistry::instance()
+//                                    .counter("rsmt.trees_built");
+//   trees.add();
+//
+// All mutation paths are gated on a single relaxed atomic enabled() flag so a
+// disabled registry costs one load + branch per call site — the
+// zero-overhead-when-disabled fast path the kernels_bench acceptance bar
+// requires.  The registry is enabled by default (counters are a relaxed
+// atomic add; the placer's per-phase histograms see a handful of
+// observations per iteration).
+//
+// Histograms track count/sum/min/max plus power-of-two buckets, enough to
+// answer "where did the milliseconds go" without a full sample log;
+// ScopedTimerMs feeds one from a C++ scope.  to_json() serializes the whole
+// registry for the end-of-run summary artifact.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+namespace dtp::obs {
+
+class MetricsRegistry;
+
+class Counter {
+ public:
+  void add(uint64_t n = 1);
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+class Gauge {
+ public:
+  void set(double v);
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+// Wall-time (or any nonnegative-valued) histogram.  Buckets are powers of two
+// of the unit: bucket k counts observations in [2^(k-1), 2^k) (k=0 catches
+// [0,1)).  Thread-safe via a per-histogram mutex — observations happen at
+// phase granularity, not per cell, so contention is nil.
+class Histogram {
+ public:
+  static constexpr int kBuckets = 40;
+
+  void observe(double v);
+
+  uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double min() const { return count_ ? min_ : 0.0; }
+  double max() const { return count_ ? max_ : 0.0; }
+  double mean() const { return count_ ? sum_ / static_cast<double>(count_) : 0.0; }
+  uint64_t bucket(int k) const { return buckets_[k]; }
+  void reset();
+
+ private:
+  friend class MetricsRegistry;
+  mutable std::mutex mutex_;
+  uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  uint64_t buckets_[kBuckets] = {};
+};
+
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& instance();
+
+  static bool enabled() {
+    return enabled_flag_.load(std::memory_order_relaxed);
+  }
+  void set_enabled(bool on) {
+    enabled_flag_.store(on, std::memory_order_relaxed);
+  }
+
+  // Interned by name; references stay valid for the life of the process.
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name);
+
+  // Sum of a histogram's observations, 0 if it does not exist yet.  Lets a
+  // caller compute per-run deltas of a global accumulator (PlaceResult's
+  // phase breakdown).
+  double histogram_sum(const std::string& name) const;
+
+  // Zeroes every registered metric (names stay registered).
+  void reset();
+
+  // {"counters":{...},"gauges":{...},"histograms":{name:{count,sum,...}}}
+  std::string to_json() const;
+  bool write_json(const std::string& path) const;
+
+ private:
+  MetricsRegistry() = default;
+
+  static std::atomic<bool> enabled_flag_;
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+// RAII wall-time observer: adds the scope's elapsed milliseconds to a
+// histogram.  Free when the registry is disabled (no clock reads).
+class ScopedTimerMs {
+ public:
+  explicit ScopedTimerMs(Histogram& h) {
+    if (MetricsRegistry::enabled()) {
+      hist_ = &h;
+      start_ = std::chrono::steady_clock::now();
+    }
+  }
+  ~ScopedTimerMs() {
+    if (hist_ != nullptr)
+      hist_->observe(std::chrono::duration<double, std::milli>(
+                         std::chrono::steady_clock::now() - start_)
+                         .count());
+  }
+  ScopedTimerMs(const ScopedTimerMs&) = delete;
+  ScopedTimerMs& operator=(const ScopedTimerMs&) = delete;
+
+ private:
+  Histogram* hist_ = nullptr;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace dtp::obs

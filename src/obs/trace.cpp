@@ -1,0 +1,133 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <fstream>
+
+#include "common/json_writer.h"
+
+namespace dtp::obs {
+
+std::atomic<bool> Tracer::enabled_flag_{false};
+
+// Per-thread ring buffer.  Owned by the Tracer registry and reset lazily when
+// the thread first records into a new session; the thread_local pointer below
+// stays valid for the life of the process (the Tracer singleton leaks its
+// buffers deliberately so worker threads can outlive a session).
+struct Tracer::ThreadBuffer {
+  std::vector<TraceEvent> ring;
+  size_t head = 0;     // next slot to write
+  size_t count = 0;    // valid events (<= ring.size())
+  size_t dropped = 0;  // events overwritten after the ring filled
+  uint64_t session = 0;
+  uint32_t tid = 0;
+};
+
+Tracer& Tracer::instance() {
+  static Tracer* tracer = new Tracer();  // leaked: see ThreadBuffer comment
+  return *tracer;
+}
+
+void Tracer::enable(size_t capacity) {
+  std::lock_guard<std::mutex> lock(registry_mutex_);
+  capacity_ = std::max<size_t>(1, capacity);
+  ++session_;
+  epoch_ = std::chrono::steady_clock::now();
+  enabled_flag_.store(true, std::memory_order_release);
+}
+
+void Tracer::disable() { enabled_flag_.store(false, std::memory_order_release); }
+
+double Tracer::now_us() const {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+Tracer::ThreadBuffer& Tracer::local_buffer() {
+  thread_local ThreadBuffer* buf = nullptr;
+  if (buf == nullptr) {
+    std::lock_guard<std::mutex> lock(registry_mutex_);
+    buf = new ThreadBuffer();
+    buf->tid = static_cast<uint32_t>(buffers_.size());
+    buffers_.push_back(buf);
+  }
+  return *buf;
+}
+
+void Tracer::record(const char* name, double ts_us, double dur_us) {
+  ThreadBuffer& buf = local_buffer();
+  if (buf.session != session_) {
+    // First record of this thread in the current session: (re)size and reset.
+    buf.ring.resize(capacity_);
+    buf.head = 0;
+    buf.count = 0;
+    buf.dropped = 0;
+    buf.session = session_;
+  }
+  if (buf.count == buf.ring.size()) ++buf.dropped;
+  buf.ring[buf.head] = TraceEvent{name, ts_us, dur_us, buf.tid};
+  buf.head = (buf.head + 1) % buf.ring.size();
+  buf.count = std::min(buf.count + 1, buf.ring.size());
+}
+
+size_t Tracer::num_events() const {
+  std::lock_guard<std::mutex> lock(registry_mutex_);
+  size_t n = 0;
+  for (const ThreadBuffer* b : buffers_)
+    if (b->session == session_) n += b->count;
+  return n;
+}
+
+size_t Tracer::dropped() const {
+  std::lock_guard<std::mutex> lock(registry_mutex_);
+  size_t n = 0;
+  for (const ThreadBuffer* b : buffers_)
+    if (b->session == session_) n += b->dropped;
+  return n;
+}
+
+std::vector<TraceEvent> Tracer::events() const {
+  std::lock_guard<std::mutex> lock(registry_mutex_);
+  std::vector<TraceEvent> out;
+  for (const ThreadBuffer* b : buffers_) {
+    if (b->session != session_) continue;
+    // Ring order: oldest first.
+    const size_t cap = b->ring.size();
+    const size_t start = (b->head + cap - b->count) % cap;
+    for (size_t i = 0; i < b->count; ++i)
+      out.push_back(b->ring[(start + i) % cap]);
+  }
+  std::sort(out.begin(), out.end(), [](const TraceEvent& a, const TraceEvent& b) {
+    return a.ts_us < b.ts_us;
+  });
+  return out;
+}
+
+std::string Tracer::to_json() const {
+  JsonWriter w;
+  w.begin_object();
+  w.key("displayTimeUnit").value("ms");
+  w.key("traceEvents").begin_array();
+  for (const TraceEvent& e : events()) {
+    w.begin_object();
+    w.key("name").value(e.name);
+    w.key("ph").value("X");
+    w.key("pid").value(0);
+    w.key("tid").value(static_cast<uint64_t>(e.tid));
+    w.key("ts").value(e.ts_us);
+    w.key("dur").value(e.dur_us);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+bool Tracer::write_json(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f) return false;
+  f << to_json() << "\n";
+  return static_cast<bool>(f);
+}
+
+}  // namespace dtp::obs

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/assert.h"
+#include "obs/trace.h"
 
 namespace dtp::placer {
 
@@ -53,6 +54,7 @@ DensityModel::Footprint DensityModel::footprint(size_t c, double x,
 
 DensityStats DensityModel::update(std::span<const double> x,
                                   std::span<const double> y) {
+  DTP_TRACE_SCOPE("density_update");
   const Rect& core = design_->floorplan.core;
   std::fill(rho_.begin(), rho_.end(), 0.0);
 
@@ -81,7 +83,10 @@ DensityStats DensityModel::update(std::span<const double> x,
     }
   }
 
-  solver_.solve(rho_, psi_, field_x_, field_y_);
+  {
+    DTP_TRACE_SCOPE("poisson_solve");
+    solver_.solve(rho_, psi_, field_x_, field_y_);
+  }
 
   DensityStats stats;
   stats.energy = PoissonSolver::energy(rho_, psi_);
@@ -99,6 +104,7 @@ DensityStats DensityModel::update(std::span<const double> x,
 void DensityModel::add_gradient(std::span<const double> x,
                                 std::span<const double> y, double lambda,
                                 std::span<double> gx, std::span<double> gy) const {
+  DTP_TRACE_SCOPE("density_grad");
   const Rect& core = design_->floorplan.core;
   for (size_t c = 0; c < cell_w_.size(); ++c) {
     if (!movable_[c] || cell_area_[c] <= 0.0) continue;

@@ -5,6 +5,8 @@
 
 #include "common/logger.h"
 #include "common/stopwatch.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace dtp::placer {
 
@@ -56,7 +58,23 @@ void GlobalPlacer::update_wl_gamma(double overflow) {
 }
 
 PlaceResult GlobalPlacer::run() {
+  DTP_TRACE_SCOPE("global_place");
   Stopwatch total_clock;
+
+  // Per-phase accumulators live in the process-wide registry so every placer
+  // run in a process feeds the same histograms; the per-run PhaseBreakdown is
+  // recovered as the sum-delta across this run.
+  auto& registry = obs::MetricsRegistry::instance();
+  static obs::Counter& iter_count = registry.counter("placer.iterations");
+  static obs::Histogram& h_wl = registry.histogram("placer.wirelength_ms");
+  static obs::Histogram& h_den = registry.histogram("placer.density_ms");
+  static obs::Histogram& h_rsmt = registry.histogram("placer.rsmt_ms");
+  static obs::Histogram& h_sta_f = registry.histogram("placer.sta_forward_ms");
+  static obs::Histogram& h_sta_b = registry.histogram("placer.sta_backward_ms");
+  static obs::Histogram& h_step = registry.histogram("placer.step_ms");
+  const double sum0[6] = {h_wl.sum(),    h_den.sum(),   h_rsmt.sum(),
+                          h_sta_f.sum(), h_sta_b.sum(), h_step.sum()};
+
   netlist::Netlist& nl = design_->netlist;
   const size_t n = nl.num_cells();
   auto& x = design_->cell_x;
@@ -99,17 +117,26 @@ PlaceResult GlobalPlacer::run() {
   };
 
   int iter = 0;
+  Stopwatch phase_clock;
   for (; iter < options_.max_iters; ++iter) {
+    IterationLog log;
+    log.iter = iter;
+
     // ---- density field + overflow ----
+    phase_clock.reset();
     const DensityStats ds = density_->update(x, y);
+    log.density_ms = phase_clock.elapsed_ms();
     update_wl_gamma(ds.overflow);
 
     // ---- wirelength gradient ----
+    phase_clock.reset();
     std::fill(g_wl_x.begin(), g_wl_x.end(), 0.0);
     std::fill(g_wl_y.begin(), g_wl_y.end(), 0.0);
     wl_->value_and_gradient(x, y, g_wl_x, g_wl_y);
+    log.wl_grad_ms = phase_clock.elapsed_ms();
 
     // ---- density gradient (lambda-scaled inside) ----
+    phase_clock.reset();
     std::fill(g_den_x.begin(), g_den_x.end(), 0.0);
     std::fill(g_den_y.begin(), g_den_y.end(), 0.0);
     if (lambda == 0.0) {
@@ -128,10 +155,9 @@ PlaceResult GlobalPlacer::run() {
     } else {
       density_->add_gradient(x, y, lambda, g_den_x, g_den_y);
     }
+    log.density_ms += phase_clock.elapsed_ms();
 
     // ---- timing ----
-    IterationLog log;
-    log.iter = iter;
     log.overflow = ds.overflow;
     log.lambda = lambda;
     if (!timing_active && options_.mode != PlacerMode::WirelengthOnly &&
@@ -158,7 +184,11 @@ PlaceResult GlobalPlacer::run() {
         diff_timer_->timer().set_gamma(g);
       }
       const auto tm = diff_timer_->forward(x, y);
+      log.rsmt_ms = diff_timer_->last_forward().rsmt_ms;
+      log.sta_fwd_ms = diff_timer_->last_forward().sta_ms();
+      phase_clock.reset();
       diff_timer_->backward(1.0, options_.t2_ratio, g_t_x, g_t_y);
+      log.sta_bwd_ms = phase_clock.elapsed_ms();
       sta_time += sta_clock.elapsed_sec();
       log.wns = tm.wns;
       log.tns = tm.tns;
@@ -195,6 +225,7 @@ PlaceResult GlobalPlacer::run() {
       Stopwatch sta_clock;
       const auto tm = exact_timer_->evaluate(x, y);
       net_weighting_->update(*exact_timer_, *wl_);
+      log.sta_fwd_ms = sta_clock.elapsed_ms();
       sta_time += sta_clock.elapsed_sec();
       log.wns = tm.wns;
       log.tns = tm.tns;
@@ -212,6 +243,7 @@ PlaceResult GlobalPlacer::run() {
     }
 
     // ---- combine, precondition, mask, step ----
+    phase_clock.reset();
     if (precond_dirty) precond = wl_->cell_incidence_weights();
     for (size_t c = 0; c < n; ++c) {
       if (!movable[c]) {
@@ -234,6 +266,15 @@ PlaceResult GlobalPlacer::run() {
     }
 
     lambda *= options_.lambda_mu;
+    log.step_ms = phase_clock.elapsed_ms();
+
+    iter_count.add();
+    h_wl.observe(log.wl_grad_ms);
+    h_den.observe(log.density_ms);
+    if (log.rsmt_ms > 0.0) h_rsmt.observe(log.rsmt_ms);
+    if (log.sta_fwd_ms > 0.0) h_sta_f.observe(log.sta_fwd_ms);
+    if (log.sta_bwd_ms > 0.0) h_sta_b.observe(log.sta_bwd_ms);
+    h_step.observe(log.step_ms);
 
     log.hpwl = wl_->hpwl_unweighted(x, y);
     result.history.push_back(log);
@@ -250,6 +291,12 @@ PlaceResult GlobalPlacer::run() {
   result.overflow = result.history.empty() ? 0.0 : result.history.back().overflow;
   result.runtime_sec = total_clock.elapsed_sec();
   result.sta_runtime_sec = sta_time;
+  result.phases.wirelength_sec = 1e-3 * (h_wl.sum() - sum0[0]);
+  result.phases.density_sec = 1e-3 * (h_den.sum() - sum0[1]);
+  result.phases.rsmt_sec = 1e-3 * (h_rsmt.sum() - sum0[2]);
+  result.phases.sta_forward_sec = 1e-3 * (h_sta_f.sum() - sum0[3]);
+  result.phases.sta_backward_sec = 1e-3 * (h_sta_b.sum() - sum0[4]);
+  result.phases.step_sec = 1e-3 * (h_step.sum() - sum0[5]);
   return result;
 }
 

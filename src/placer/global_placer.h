@@ -103,6 +103,25 @@ struct IterationLog {
   double wns = 0.0;  // filled when timing is evaluated this iteration
   double tns = 0.0;
   bool has_timing = false;
+  // Per-phase wall-clock milliseconds of this iteration (the --metrics-out
+  // JSONL stream; zero for phases that did not run).
+  double wl_grad_ms = 0.0;   // WA wirelength value + gradient
+  double density_ms = 0.0;   // bin splat + Poisson solve + gradient
+  double rsmt_ms = 0.0;      // Steiner rebuild or drag inside the timer
+  double sta_fwd_ms = 0.0;   // Elmore + levelized AT/slew propagation
+  double sta_bwd_ms = 0.0;   // adjoint sweep down the timing levels
+  double step_ms = 0.0;      // precondition + optimizer step + projection
+};
+
+// Where the placement run's wall clock went, in seconds (summed over
+// iterations).  Populated from the metrics-registry histograms the run feeds.
+struct PhaseBreakdown {
+  double wirelength_sec = 0.0;
+  double density_sec = 0.0;
+  double rsmt_sec = 0.0;
+  double sta_forward_sec = 0.0;
+  double sta_backward_sec = 0.0;
+  double step_sec = 0.0;
 };
 
 struct PlaceResult {
@@ -111,6 +130,7 @@ struct PlaceResult {
   double overflow = 0.0;
   double runtime_sec = 0.0;
   double sta_runtime_sec = 0.0; // time inside timing forward/backward
+  PhaseBreakdown phases;
   std::vector<IterationLog> history;
 };
 

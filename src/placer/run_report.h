@@ -1,0 +1,52 @@
+// Machine-readable run artifacts for a placement run (DESIGN.md §6):
+//
+//   * a JSONL stream with one record per placer iteration, carrying the
+//     optimization state (HPWL, overflow, lambda, WNS/TNS) and the per-phase
+//     wall-clock milliseconds of IterationLog — the raw series behind the
+//     paper's Fig. 8 convergence curves and Table 3 runtime attribution;
+//   * a summary JSON with the run's final numbers, the per-phase runtime
+//     breakdown, thread-pool utilization, and the full metrics-registry dump.
+//
+// Both the CLI placer (--metrics-out) and the table3/fig8 benches emit these;
+// records carry design/mode fields so multiple runs can share one stream.
+#pragma once
+
+#include <string>
+
+#include "obs/jsonl.h"
+#include "placer/global_placer.h"
+
+namespace dtp {
+class JsonWriter;
+}
+
+namespace dtp::placer {
+
+struct RunMeta {
+  std::string design;  // design/workload name
+  std::string mode;    // "wl" | "nw" | "dt" (PlacerMode short name)
+};
+
+const char* mode_short_name(PlacerMode mode);
+
+// Appends one {"type":"iter",...} record per iteration of `result.history`,
+// then one {"type":"run_end",...} record with the final numbers.
+void append_run_jsonl(obs::JsonlWriter& out, const PlaceResult& result,
+                      const RunMeta& meta);
+
+// Serializes one run-summary object (final metrics + phase breakdown) at the
+// writer's current position.
+void run_summary_object(JsonWriter& w, const PlaceResult& result,
+                        const RunMeta& meta);
+
+// Standalone summary document: {"runs":[...], "thread_pool":{...},
+// "metrics":<registry dump>}.  Returns false if the file cannot be written.
+bool write_summary_json(const std::string& path,
+                        const std::vector<PlaceResult>& results,
+                        const std::vector<RunMeta>& metas);
+
+// Companion summary path for a JSONL stream: "m.jsonl" -> "m.summary.json",
+// anything else gets ".summary.json" appended.
+std::string summary_path_for(const std::string& jsonl_path);
+
+}  // namespace dtp::placer

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/assert.h"
+#include "obs/trace.h"
 
 namespace dtp::placer {
 
@@ -107,6 +108,7 @@ double WirelengthModel::value_and_gradient(std::span<const double> x,
                                            std::span<const double> y,
                                            std::span<double> gx,
                                            std::span<double> gy) const {
+  DTP_TRACE_SCOPE("wirelength_grad");
   const netlist::Netlist& nl = design_->netlist;
   double total = 0.0;
   thread_local std::vector<double> px, py, dgx, dgy;

@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "common/assert.h"
+#include "obs/metrics.h"
 
 namespace dtp::rsmt {
 
@@ -129,12 +130,20 @@ SteinerTree build_rsmt(std::span<const Vec2> pins, int driver,
                        const RsmtOptions& opts) {
   DTP_ASSERT(!pins.empty());
   DTP_ASSERT(driver >= 0 && static_cast<size_t>(driver) < pins.size());
+  // Construction counters for the observability artifacts (per-net spans
+  // would be far too hot here: millions of calls per placement).
+  auto& registry = obs::MetricsRegistry::instance();
+  static obs::Counter& trees_built = registry.counter("rsmt.trees_built");
+  static obs::Counter& kr_refined = registry.counter("rsmt.kr_refined_trees");
+  static obs::Counter& steiner_points = registry.counter("rsmt.steiner_points");
+  trees_built.add();
   const int n = static_cast<int>(pins.size());
   if (n <= 2) return build_rmst(pins, driver);
   if (n == 3) return build_median3(pins, driver);
   if (!opts.enable_1steiner || n > opts.kr_max_pins) return build_rmst(pins, driver);
 
   // Iterated 1-Steiner (Kahng–Robins) over the pin Hanan grid.
+  kr_refined.add();
   std::vector<Vec2> pts(pins.begin(), pins.end());
   std::vector<std::pair<int, int>> src;  // provenance of appended Steiner points
   double current = mst_length(pts);
@@ -186,6 +195,7 @@ SteinerTree build_rsmt(std::span<const Vec2> pins, int driver,
     src.erase(src.begin() + (drop - n));
   }
 
+  steiner_points.add(src.size());
   return finalize(pts, n, driver, src);
 }
 

@@ -8,6 +8,7 @@
 #include "common/assert.h"
 #include "common/smooth_math.h"
 #include "common/thread_pool.h"
+#include "obs/trace.h"
 #include "sta/cell_arc_eval.h"
 
 namespace dtp::sta {
@@ -144,6 +145,7 @@ Timer::EndpointReq Timer::endpoint_hold_requirement(size_t e, int tr) const {
 
 TimingMetrics Timer::evaluate(std::span<const double> cell_x,
                               std::span<const double> cell_y) {
+  DTP_TRACE_SCOPE("sta_evaluate");
   update_positions(cell_x, cell_y);
   build_trees();
   run_elmore();
@@ -165,6 +167,7 @@ void Timer::update_positions(std::span<const double> cell_x,
 }
 
 void Timer::build_trees() {
+  DTP_TRACE_SCOPE("rsmt_build_trees");
   const netlist::Netlist& nl = design_->netlist;
   const auto& nets = graph_->timing_nets();
   ThreadPool::global().parallel_for(
@@ -186,6 +189,7 @@ void Timer::build_trees() {
 }
 
 void Timer::drag_trees() {
+  DTP_TRACE_SCOPE("rsmt_drag_trees");
   DTP_ASSERT_MSG(trees_built_, "drag_trees requires build_trees first");
   const netlist::Netlist& nl = design_->netlist;
   const auto& nets = graph_->timing_nets();
@@ -203,6 +207,7 @@ void Timer::drag_trees() {
 }
 
 void Timer::run_elmore() {
+  DTP_TRACE_SCOPE("elmore_forward");
   const netlist::Constraints& con = design_->constraints;
   const auto& nets = graph_->timing_nets();
   ThreadPool::global().parallel_for(
@@ -234,6 +239,7 @@ void Timer::init_sources(bool early) {
 }
 
 void Timer::propagate() {
+  DTP_TRACE_SCOPE("sta_propagate");
   init_sources(/*early=*/false);
   for (int l = 1; l < graph_->num_levels(); ++l) propagate_level(l, false);
   if (options_.enable_early) {
@@ -407,6 +413,7 @@ TimingMetrics Timer::evaluate_incremental(std::span<const double> cell_x,
 }
 
 void Timer::update_slacks() {
+  DTP_TRACE_SCOPE("sta_update_slacks");
   const auto& endpoints = graph_->endpoints();
   const bool smooth = options_.mode == AggMode::Smooth;
   const double gamma = options_.gamma;

@@ -1,0 +1,153 @@
+// MetricsRegistry: counter/gauge/histogram semantics, JSON round-trip, and
+// the zero-overhead-when-disabled fast path.
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "json_test_util.h"
+#include "obs/metrics.h"
+
+namespace dtp {
+namespace {
+
+using obs::Counter;
+using obs::Gauge;
+using obs::Histogram;
+using obs::MetricsRegistry;
+using test::JsonParser;
+using test::JsonValue;
+
+class MetricsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    MetricsRegistry::instance().set_enabled(true);
+    MetricsRegistry::instance().reset();
+  }
+  void TearDown() override { MetricsRegistry::instance().set_enabled(true); }
+};
+
+TEST_F(MetricsTest, CounterAccumulates) {
+  Counter& c = MetricsRegistry::instance().counter("test.counter");
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+  // Interned: same name, same instrument.
+  EXPECT_EQ(&MetricsRegistry::instance().counter("test.counter"), &c);
+}
+
+TEST_F(MetricsTest, CounterIsThreadSafe) {
+  Counter& c = MetricsRegistry::instance().counter("test.mt_counter");
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t)
+    threads.emplace_back([&c] {
+      for (int i = 0; i < 10000; ++i) c.add();
+    });
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.value(), 40000u);
+}
+
+TEST_F(MetricsTest, GaugeKeepsLastValue) {
+  Gauge& g = MetricsRegistry::instance().gauge("test.gauge");
+  g.set(1.5);
+  g.set(-2.25);
+  EXPECT_DOUBLE_EQ(g.value(), -2.25);
+}
+
+TEST_F(MetricsTest, HistogramTracksMoments) {
+  Histogram& h = MetricsRegistry::instance().histogram("test.hist");
+  h.observe(0.5);
+  h.observe(3.0);
+  h.observe(10.0);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_DOUBLE_EQ(h.sum(), 13.5);
+  EXPECT_DOUBLE_EQ(h.min(), 0.5);
+  EXPECT_DOUBLE_EQ(h.max(), 10.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 4.5);
+  // Buckets: [0,1) -> k=0, [2,4) -> k=2, [8,16) -> k=4.
+  EXPECT_EQ(h.bucket(0), 1u);
+  EXPECT_EQ(h.bucket(2), 1u);
+  EXPECT_EQ(h.bucket(4), 1u);
+}
+
+TEST_F(MetricsTest, HistogramSumHelper) {
+  MetricsRegistry& reg = MetricsRegistry::instance();
+  EXPECT_DOUBLE_EQ(reg.histogram_sum("test.absent"), 0.0);
+  reg.histogram("test.sum_hist").observe(2.0);
+  reg.histogram("test.sum_hist").observe(3.0);
+  EXPECT_DOUBLE_EQ(reg.histogram_sum("test.sum_hist"), 5.0);
+}
+
+TEST_F(MetricsTest, DisabledIsAFastNoOp) {
+  MetricsRegistry& reg = MetricsRegistry::instance();
+  Counter& c = reg.counter("test.off_counter");
+  Gauge& g = reg.gauge("test.off_gauge");
+  Histogram& h = reg.histogram("test.off_hist");
+  c.add(7);
+  g.set(7.0);
+
+  reg.set_enabled(false);
+  EXPECT_FALSE(MetricsRegistry::enabled());
+  c.add(100);
+  g.set(100.0);
+  h.observe(100.0);
+  {
+    obs::ScopedTimerMs timer(h);  // must not even read the clock
+  }
+  EXPECT_EQ(c.value(), 7u);
+  EXPECT_DOUBLE_EQ(g.value(), 7.0);
+  EXPECT_EQ(h.count(), 0u);
+
+  reg.set_enabled(true);
+  c.add(1);
+  EXPECT_EQ(c.value(), 8u);
+}
+
+TEST_F(MetricsTest, ScopedTimerObservesElapsedMs) {
+  Histogram& h = MetricsRegistry::instance().histogram("test.timer_hist");
+  {
+    obs::ScopedTimerMs timer(h);
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_GE(h.max(), 1.0);   // slept ~2 ms
+  EXPECT_LT(h.max(), 5e3);   // sanity: not wildly off
+}
+
+TEST_F(MetricsTest, JsonRoundTrip) {
+  MetricsRegistry& reg = MetricsRegistry::instance();
+  reg.counter("rt.counter").add(3);
+  reg.gauge("rt.gauge").set(2.5);
+  Histogram& h = reg.histogram("rt.hist");
+  h.observe(1.5);
+  h.observe(6.0);
+
+  const JsonValue doc = JsonParser::parse(reg.to_json());
+  ASSERT_TRUE(doc.is_object());
+  EXPECT_DOUBLE_EQ(doc.at("counters").num("rt.counter"), 3.0);
+  EXPECT_DOUBLE_EQ(doc.at("gauges").num("rt.gauge"), 2.5);
+  const JsonValue& hist = doc.at("histograms").at("rt.hist");
+  EXPECT_DOUBLE_EQ(hist.num("count"), 2.0);
+  EXPECT_DOUBLE_EQ(hist.num("sum"), 7.5);
+  EXPECT_DOUBLE_EQ(hist.num("min"), 1.5);
+  EXPECT_DOUBLE_EQ(hist.num("max"), 6.0);
+  // 1.5 lands in [1,2) (upper bound 2), 6.0 in [4,8) (upper bound 8).
+  EXPECT_DOUBLE_EQ(hist.at("buckets").num("2"), 1.0);
+  EXPECT_DOUBLE_EQ(hist.at("buckets").num("8"), 1.0);
+}
+
+TEST_F(MetricsTest, ResetZeroesEverything) {
+  MetricsRegistry& reg = MetricsRegistry::instance();
+  reg.counter("z.counter").add(5);
+  reg.gauge("z.gauge").set(5.0);
+  reg.histogram("z.hist").observe(5.0);
+  reg.reset();
+  EXPECT_EQ(reg.counter("z.counter").value(), 0u);
+  EXPECT_DOUBLE_EQ(reg.gauge("z.gauge").value(), 0.0);
+  EXPECT_EQ(reg.histogram("z.hist").count(), 0u);
+  EXPECT_DOUBLE_EQ(reg.histogram("z.hist").min(), 0.0);
+}
+
+}  // namespace
+}  // namespace dtp

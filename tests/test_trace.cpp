@@ -1,0 +1,146 @@
+// Tracer: span nesting, thread attribution, ring overflow, and Chrome
+// trace_event JSON that parses back cleanly.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <thread>
+
+#include "json_test_util.h"
+#include "obs/trace.h"
+
+namespace dtp {
+namespace {
+
+using obs::TraceEvent;
+using obs::Tracer;
+using test::JsonParser;
+using test::JsonValue;
+
+class TraceTest : public ::testing::Test {
+ protected:
+  void TearDown() override { Tracer::instance().disable(); }
+};
+
+TEST_F(TraceTest, DisabledRecordsNothing) {
+  Tracer::instance().disable();
+  { DTP_TRACE_SCOPE("ignored"); }
+  Tracer::instance().enable();
+  EXPECT_EQ(Tracer::instance().num_events(), 0u);
+}
+
+TEST_F(TraceTest, NestedScopesRecordContainedSpans) {
+  Tracer& tracer = Tracer::instance();
+  tracer.enable();
+  {
+    DTP_TRACE_SCOPE("outer");
+    {
+      DTP_TRACE_SCOPE("inner");
+    }
+  }
+  tracer.disable();
+
+  const auto events = tracer.events();
+  ASSERT_EQ(events.size(), 2u);
+  const auto inner = std::find_if(events.begin(), events.end(), [](auto& e) {
+    return std::string(e.name) == "inner";
+  });
+  const auto outer = std::find_if(events.begin(), events.end(), [](auto& e) {
+    return std::string(e.name) == "outer";
+  });
+  ASSERT_NE(inner, events.end());
+  ASSERT_NE(outer, events.end());
+  // The inner span is contained in the outer span's extent.
+  EXPECT_GE(inner->ts_us, outer->ts_us);
+  EXPECT_LE(inner->ts_us + inner->dur_us, outer->ts_us + outer->dur_us + 1e-3);
+  EXPECT_GE(outer->dur_us, inner->dur_us);
+}
+
+TEST_F(TraceTest, ThreadsGetDistinctAttribution) {
+  Tracer& tracer = Tracer::instance();
+  tracer.enable();
+  {
+    DTP_TRACE_SCOPE("main_thread");
+  }
+  std::thread t1([] { DTP_TRACE_SCOPE("worker_a"); });
+  std::thread t2([] { DTP_TRACE_SCOPE("worker_b"); });
+  t1.join();
+  t2.join();
+  tracer.disable();
+
+  const auto events = tracer.events();
+  ASSERT_EQ(events.size(), 3u);
+  std::set<uint32_t> tids;
+  for (const TraceEvent& e : events) tids.insert(e.tid);
+  EXPECT_EQ(tids.size(), 3u) << "each thread must get its own tid";
+}
+
+TEST_F(TraceTest, RingOverwritesOldestAndCountsDropped) {
+  Tracer& tracer = Tracer::instance();
+  tracer.enable(/*capacity=*/8);
+  for (int i = 0; i < 20; ++i) {
+    DTP_TRACE_SCOPE("span");
+  }
+  tracer.disable();
+  EXPECT_EQ(tracer.num_events(), 8u);
+  EXPECT_EQ(tracer.dropped(), 12u);
+  // Survivors are the most recent spans: timestamps strictly increase.
+  const auto events = tracer.events();
+  for (size_t i = 1; i < events.size(); ++i)
+    EXPECT_GE(events[i].ts_us, events[i - 1].ts_us);
+}
+
+TEST_F(TraceTest, JsonRoundTripsThroughAParser) {
+  Tracer& tracer = Tracer::instance();
+  tracer.enable();
+  {
+    DTP_TRACE_SCOPE("sta_forward");
+    DTP_TRACE_SCOPE("elmore_forward");
+  }
+  std::thread t([] { DTP_TRACE_SCOPE("worker"); });
+  t.join();
+  tracer.disable();
+
+  const JsonValue doc = JsonParser::parse(tracer.to_json());
+  ASSERT_TRUE(doc.is_object());
+  EXPECT_EQ(doc.str("displayTimeUnit"), "ms");
+  ASSERT_TRUE(doc.has("traceEvents"));
+  const JsonValue& events = doc.at("traceEvents");
+  ASSERT_TRUE(events.is_array());
+  ASSERT_EQ(events.array.size(), 3u);
+  std::set<std::string> names;
+  for (const JsonValue& e : events.array) {
+    ASSERT_TRUE(e.is_object());
+    // The Chrome trace_event contract Perfetto needs: complete events with
+    // name/ph/pid/tid/ts/dur.
+    EXPECT_EQ(e.str("ph"), "X");
+    EXPECT_TRUE(e.has("pid"));
+    EXPECT_TRUE(e.has("tid"));
+    EXPECT_GE(e.num("ts"), 0.0);
+    EXPECT_GE(e.num("dur"), 0.0);
+    names.insert(e.str("name"));
+  }
+  EXPECT_TRUE(names.count("sta_forward"));
+  EXPECT_TRUE(names.count("elmore_forward"));
+  EXPECT_TRUE(names.count("worker"));
+}
+
+TEST_F(TraceTest, ReenableStartsAFreshSession) {
+  Tracer& tracer = Tracer::instance();
+  tracer.enable();
+  {
+    DTP_TRACE_SCOPE("old_session");
+  }
+  tracer.disable();
+  tracer.enable();
+  {
+    DTP_TRACE_SCOPE("new_session");
+  }
+  tracer.disable();
+  const auto events = tracer.events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_STREQ(events[0].name, "new_session");
+}
+
+}  // namespace
+}  // namespace dtp

@@ -4,6 +4,7 @@
 //             [--mode wl|nw|dt] [--density 0.7] [--out <dir>]
 //             [--report <file>] [--svg <file>] [--max-iters N] [--seed N]
 //             [--legalize] [--detailed] [--verbose]
+//             [--trace-out <file>] [--metrics-out <file>] [--log-level L]
 //
 //   dtp_place --demo <cells>   # self-generate a design instead of reading files
 //
@@ -21,6 +22,9 @@
 
 #include "common/logger.h"
 #include "common/rng.h"
+#include "obs/jsonl.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "io/bookshelf.h"
 #include "io/sdc.h"
 #include "io/svg_plot.h"
@@ -29,6 +33,7 @@
 #include "liberty/synth_library.h"
 #include "placer/global_placer.h"
 #include "placer/legalizer.h"
+#include "placer/run_report.h"
 #include "sta/report.h"
 #include "workload/circuit_gen.h"
 
@@ -60,6 +65,11 @@ void usage() {
                "                 [--max-iters N] [--seed N] [--legalize]\n"
                "                 [--timing-dp [--tns-weight W]]\n"
                "                 [--detailed] [--verbose]\n"
+               "                 [--trace-out F.trace.json]  # Chrome trace "
+               "(chrome://tracing, Perfetto)\n"
+               "                 [--metrics-out F.jsonl]     # per-iteration "
+               "stream + F.summary.json\n"
+               "                 [--log-level debug|info|warn|error|silent]\n"
                "       dtp_place --demo CELLS [same output options]\n");
 }
 
@@ -73,6 +83,18 @@ int main(int argc, char** argv) {
   }
   if (arg_flag(argc, argv, "--verbose"))
     Logger::instance().set_level(LogLevel::Debug);
+  if (const char* level_name = arg_str(argc, argv, "--log-level", nullptr)) {
+    const auto level = parse_log_level(level_name);
+    if (!level) {
+      std::fprintf(stderr, "unknown --log-level %s\n", level_name);
+      return 1;
+    }
+    Logger::instance().set_level(*level);
+    Logger::instance().set_timestamps(true);
+  }
+  const char* trace_path = arg_str(argc, argv, "--trace-out", nullptr);
+  const char* metrics_path = arg_str(argc, argv, "--metrics-out", nullptr);
+  if (trace_path != nullptr) obs::Tracer::instance().enable();
 
   try {
     // ---- inputs ----
@@ -160,6 +182,19 @@ int main(int argc, char** argv) {
                 res.iterations, res.hpwl, res.overflow, res.runtime_sec,
                 res.sta_runtime_sec);
 
+    if (metrics_path != nullptr) {
+      const placer::RunMeta meta{design->name, mode};
+      obs::JsonlWriter jsonl;
+      if (!jsonl.open(metrics_path)) {
+        std::fprintf(stderr, "dtp_place: cannot write %s\n", metrics_path);
+        return 1;
+      }
+      placer::append_run_jsonl(jsonl, res, meta);
+      const std::string summary = placer::summary_path_for(metrics_path);
+      placer::write_summary_json(summary, {res}, {meta});
+      std::printf("wrote %s and %s\n", metrics_path, summary.c_str());
+    }
+
     if (arg_flag(argc, argv, "--legalize") || arg_flag(argc, argv, "--detailed")) {
       const auto lg = placer::legalize(*design, design->cell_x, design->cell_y);
       std::printf("legalization: %zu unplaced, avg displacement %.3f um\n",
@@ -210,6 +245,16 @@ int main(int argc, char** argv) {
       io::write_bookshelf(*design, out_dir);
       std::printf("wrote %s/%s.{aux,nodes,nets,pl,scl}\n", out_dir,
                   design->name.c_str());
+    }
+    if (trace_path != nullptr) {
+      obs::Tracer::instance().disable();
+      if (!obs::Tracer::instance().write_json(trace_path)) {
+        std::fprintf(stderr, "dtp_place: cannot write %s\n", trace_path);
+        return 1;
+      }
+      std::printf("wrote %s (%zu spans; open in chrome://tracing or "
+                  "ui.perfetto.dev)\n",
+                  trace_path, obs::Tracer::instance().num_events());
     }
     return 0;
   } catch (const std::exception& e) {
