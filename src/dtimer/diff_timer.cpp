@@ -8,6 +8,7 @@
 #include "dtimer/elmore_grad.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "robust/health_monitor.h"
 #include "sta/cell_arc_eval.h"
 
 namespace dtp::dtimer {
@@ -88,6 +89,7 @@ void DiffTimer::backward(double t1, double t2, double h1, double h2,
   const double gamma = timer_.options().gamma;
   DTP_ASSERT(grad_x.size() == nl.num_cells() && grad_y.size() == nl.num_cells());
 
+  last_backward_nonfinite_ = 0;
   const bool hold = (h1 != 0.0 || h2 != 0.0);
   DTP_ASSERT_MSG(!hold || options_.enable_early,
                  "hold gradients require DiffTimerOptions::enable_early");
@@ -376,6 +378,19 @@ void DiffTimer::backward(double t1, double t2, double h1, double h2,
       }
     }
   }
+
+  // Fault-injection hook: corrupt the pin-gradient accumulators as if the
+  // LUT-gradient path had produced garbage (robust-layer test harness).
+  if (fault_injector_ != nullptr)
+    fault_injector_->corrupt(robust::FaultSite::LutAdjoint, fault_tick_,
+                             pin_gx_, pin_gy_);
+
+  // Health signal for the graceful-degradation path: count non-finite pin
+  // gradients (cheap sum-poisoning fast path when everything is finite).
+  last_backward_nonfinite_ =
+      robust::HealthMonitor::all_finite(pin_gx_, pin_gy_)
+          ? 0
+          : robust::HealthMonitor::count_nonfinite(pin_gx_, pin_gy_);
 
   // ---- pins -> cells (pin offsets are rigid) ----
   for (size_t p = 0; p < nl.num_pins(); ++p) {

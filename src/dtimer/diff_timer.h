@@ -28,6 +28,7 @@
 #include <span>
 #include <vector>
 
+#include "robust/fault_injector.h"
 #include "sta/timer.h"
 
 namespace dtp::dtimer {
@@ -87,11 +88,27 @@ class DiffTimer {
   // Phase timings of the most recent forward().
   const ForwardBreakdown& last_forward() const { return last_forward_; }
 
+  // Fault-injection harness hook (DESIGN.md §7): when set, backward() runs
+  // the injector's `lut` site against the pin-gradient accumulators — the
+  // spot where degenerate LUT interpolation would first surface — keyed by
+  // the tick the caller provides (the placer iteration).  nullptr disables.
+  void set_fault_injection(robust::FaultInjector* injector, int tick) {
+    fault_injector_ = injector;
+    fault_tick_ = tick;
+  }
+
+  // Number of non-finite pin-gradient entries produced by the most recent
+  // backward() — the health signal behind graceful timing degradation.
+  size_t last_backward_nonfinite() const { return last_backward_nonfinite_; }
+
  private:
   sta::Timer timer_;
   DiffTimerOptions options_;
   int forward_calls_ = 0;
   ForwardBreakdown last_forward_;
+  robust::FaultInjector* fault_injector_ = nullptr;
+  int fault_tick_ = 0;
+  size_t last_backward_nonfinite_ = 0;
 
   // Backward state, sized once.
   std::vector<double> g_at_, g_slew_;               // late, [pin*2 + tr]

@@ -7,6 +7,7 @@
 #include "common/stopwatch.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "robust/validate.h"
 
 namespace dtp::placer {
 
@@ -15,6 +16,13 @@ using netlist::CellId;
 GlobalPlacer::GlobalPlacer(netlist::Design& design, const sta::TimingGraph& graph,
                            GlobalPlacerOptions options)
     : design_(&design), graph_(&graph), options_(options) {
+  if (options_.robust.enabled) {
+    robust::ValidationReport report = robust::validate(design);
+    if (!report.ok()) throw robust::ValidationError(std::move(report));
+    if (report.num_warnings() > 0)
+      DTP_LOG_DEBUG("design validation: %zu warning(s)\n%s",
+                    report.num_warnings(), report.to_string().c_str());
+  }
   wl_ = std::make_unique<WirelengthModel>(design, options_.ignore_net_degree);
   const int bins = options_.bins > 0 ? options_.bins : auto_bins();
   density_ = std::make_unique<DensityModel>(design, bins, options_.target_density);
@@ -99,11 +107,20 @@ PlaceResult GlobalPlacer::run() {
     }
   mean_area /= std::max<size_t>(1, n_mov);
 
+  PlaceResult result;
+  if (n_mov == 0) {
+    // All-fixed design: placement is a no-op.  Return instead of spinning
+    // min_iters through kernels that have nothing to move.
+    DTP_LOG_WARN("global placement: no movable cells, returning unchanged");
+    result.hpwl = wl_->hpwl_unweighted(x, y);
+    result.runtime_sec = total_clock.elapsed_sec();
+    return result;
+  }
+
   std::vector<double> g_wl_x(n), g_wl_y(n), g_den_x(n), g_den_y(n);
   std::vector<double> g_t_x(n), g_t_y(n), g_x(n), g_y(n);
   std::vector<double> precond = wl_->cell_incidence_weights();
 
-  PlaceResult result;
   double lambda = 0.0;
   bool timing_active = false;
   double t_mix = options_.t1;
@@ -116,9 +133,90 @@ PlaceResult GlobalPlacer::run() {
     return s;
   };
 
+  // ---- fault-tolerance layer (DESIGN.md §7) ----
+  // On a healthy run every guard is a pure observer (scans + snapshots), so
+  // the trajectory is bitwise-identical with guards on or off.
+  robust::RecoveryController rc(options_.robust);
+  const bool guards = options_.robust.enabled;
+  robust::FaultInjector* inj =
+      guards && rc.injector().armed() ? &rc.injector() : nullptr;
+  static obs::Counter& ckpt_count = registry.counter("robust.checkpoints");
+  robust::Checkpoint ckpt;
+  robust::StateBlob opt_blob;
+  int ckpt_ordinal = 0;
+
+  auto capture_checkpoint = [&](int at_iter) {
+    // Never snapshot poisoned coordinates (a position fault lands at the end
+    // of an iteration; the top-of-loop guard has not seen it yet).
+    if (!robust::HealthMonitor::all_finite(x, y)) return;
+    optimizer_->save_state(opt_blob);
+    const double scalars[4] = {lambda, t_mix, timing_scale,
+                               timing_active ? 1.0 : 0.0};
+    ckpt.capture(at_iter, x, y, scalars, opt_blob);
+    ckpt_count.add();
+    if (inj != nullptr)
+      inj->corrupt(robust::FaultSite::Checkpoint, ckpt_ordinal,
+                   ckpt.mutable_x());  // sealed payload: verify() now fails
+    ++ckpt_ordinal;
+  };
+
+  // Last-ditch recovery when no usable checkpoint exists: replace non-finite
+  // coordinates with the core center and restart the optimizer.
+  auto scrub_state = [&] {
+    const double cx = 0.5 * (core.xl + core.xh);
+    const double cy = 0.5 * (core.yl + core.yh);
+    for (size_t c = 0; c < n; ++c) {
+      if (!std::isfinite(x[c])) x[c] = cx;
+      if (!std::isfinite(y[c])) y[c] = cy;
+    }
+    optimizer_->reset();
+  };
+
+  // Handles a detected fault: rollback + step-halving while the retry budget
+  // lasts, clean abort (restore best-known state) once it is exhausted.
+  // Returns false when the run must stop.
+  auto handle_fault = [&](int at_iter, const char* kind,
+                          std::string detail) -> bool {
+    const auto action = rc.on_fault(at_iter, kind, std::move(detail));
+    double scalars[4] = {lambda, t_mix, timing_scale,
+                         timing_active ? 1.0 : 0.0};
+    const bool ckpt_ok =
+        ckpt.valid() && ckpt.restore(x, y, std::span<double>(scalars, 4),
+                                     opt_blob);
+    if (ckpt.valid() && !ckpt_ok) {
+      rc.note_checkpoint_corrupt(at_iter);
+      ckpt.invalidate();
+    }
+    if (action == robust::RecoveryController::Action::Abort) {
+      if (!ckpt_ok) scrub_state();
+      return false;
+    }
+    if (ckpt_ok) {
+      optimizer_->restore_state(opt_blob);
+      lambda = scalars[0];
+      t_mix = scalars[1];
+      timing_scale = scalars[2];
+      timing_active = scalars[3] != 0.0;
+    } else {
+      scrub_state();
+    }
+    optimizer_->set_step_scale(rc.step_scale());
+    rc.monitor().reset();
+    return true;
+  };
+
   int iter = 0;
   Stopwatch phase_clock;
   for (; iter < options_.max_iters; ++iter) {
+    // ---- guard: coordinates must be finite before the kernels index bins
+    // with them (a NaN position is undefined behaviour in the splatter) ----
+    if (guards && !robust::HealthMonitor::all_finite(x, y)) {
+      if (!handle_fault(iter, "nan_position", "non-finite cell coordinates"))
+        break;
+      continue;
+    }
+    if (guards && rc.should_checkpoint(iter)) capture_checkpoint(iter);
+
     IterationLog log;
     log.iter = iter;
 
@@ -172,7 +270,13 @@ PlaceResult GlobalPlacer::run() {
     std::fill(g_t_x.begin(), g_t_x.end(), 0.0);
     std::fill(g_t_y.begin(), g_t_y.end(), 0.0);
     bool precond_dirty = false;
-    if (timing_active && options_.mode == PlacerMode::DiffTiming) {
+    // Graceful degradation: while timing is suspended (repeated degenerate
+    // backward passes) the placer runs on pure wirelength+density forces and
+    // skips the timer entirely; the controller re-enables it after cooldown.
+    const bool timing_suspended =
+        guards && timing_active && rc.timing_suspended(iter);
+    if (timing_active && !timing_suspended &&
+        options_.mode == PlacerMode::DiffTiming) {
       Stopwatch sta_clock;
       if (options_.gamma_timing_final > 0.0) {
         // Geometric gamma annealing across the timing phase.
@@ -183,6 +287,7 @@ PlaceResult GlobalPlacer::run() {
                                   diff_timer_->timer().options().gamma * decay);
         diff_timer_->timer().set_gamma(g);
       }
+      if (inj != nullptr) diff_timer_->set_fault_injection(inj, iter);
       const auto tm = diff_timer_->forward(x, y);
       log.rsmt_ms = diff_timer_->last_forward().rsmt_ms;
       log.sta_fwd_ms = diff_timer_->last_forward().sta_ms();
@@ -193,33 +298,57 @@ PlaceResult GlobalPlacer::run() {
       log.wns = tm.wns;
       log.tns = tm.tns;
       log.has_timing = true;
+      if (inj != nullptr)
+        inj->corrupt(robust::FaultSite::TimingGrad, iter, g_t_x, g_t_y);
+      // Guard: a non-finite timing gradient is dropped (this iteration runs
+      // wirelength-only) and reported to the degradation tracker — it must
+      // never reach the combined gradient, where it would poison positions.
+      bool t_grad_ok = true;
+      if (guards && !robust::HealthMonitor::all_finite(g_t_x, g_t_y)) {
+        const size_t bad =
+            robust::HealthMonitor::count_nonfinite(g_t_x, g_t_y) +
+            diff_timer_->last_backward_nonfinite();
+        std::fill(g_t_x.begin(), g_t_x.end(), 0.0);
+        std::fill(g_t_y.begin(), g_t_y.end(), 0.0);
+        rc.on_timing_grad(iter, bad, 0, 0);
+        t_grad_ok = false;
+      }
       // Normalize timing-gradient magnitude against the wirelength gradient,
       // then mix with the growing weight.  In at-activation mode the scale is
       // frozen on the first timing iteration, so the timing force decays
       // naturally as violations shrink instead of being re-amplified.
-      const double t_norm = l1(g_t_x, g_t_y);
-      if (t_norm > 1e-30) {
-        if (!options_.timing_scale_at_activation || timing_scale < 0.0) {
-          const double wl_norm = l1(g_wl_x, g_wl_y);
-          timing_scale = wl_norm / t_norm;
-        }
-        const double scale = t_mix * timing_scale;
-        for (size_t c = 0; c < n; ++c) {
-          g_t_x[c] *= scale;
-          g_t_y[c] *= scale;
-        }
-        if (options_.t_clip > 0.0) {
-          for (size_t c = 0; c < n; ++c) {
-            const double bx =
-                options_.t_clip * (std::abs(g_wl_x[c]) + std::abs(g_den_x[c]));
-            const double by =
-                options_.t_clip * (std::abs(g_wl_y[c]) + std::abs(g_den_y[c]));
-            g_t_x[c] = std::clamp(g_t_x[c], -bx, bx);
-            g_t_y[c] = std::clamp(g_t_y[c], -by, by);
+      if (t_grad_ok) {
+        const double t_norm = l1(g_t_x, g_t_y);
+        if (t_norm > 1e-30) {
+          if (!options_.timing_scale_at_activation || timing_scale < 0.0) {
+            const double wl_norm = l1(g_wl_x, g_wl_y);
+            timing_scale = wl_norm / t_norm;
           }
+          const double scale = t_mix * timing_scale;
+          for (size_t c = 0; c < n; ++c) {
+            g_t_x[c] *= scale;
+            g_t_y[c] *= scale;
+          }
+          size_t clipped = 0, nonzero = 0;
+          if (options_.t_clip > 0.0) {
+            for (size_t c = 0; c < n; ++c) {
+              const double bx =
+                  options_.t_clip * (std::abs(g_wl_x[c]) + std::abs(g_den_x[c]));
+              const double by =
+                  options_.t_clip * (std::abs(g_wl_y[c]) + std::abs(g_den_y[c]));
+              nonzero += (g_t_x[c] != 0.0) + (g_t_y[c] != 0.0);
+              clipped += (g_t_x[c] < -bx || g_t_x[c] > bx) +
+                         (g_t_y[c] < -by || g_t_y[c] > by);
+              g_t_x[c] = std::clamp(g_t_x[c], -bx, bx);
+              g_t_y[c] = std::clamp(g_t_y[c], -by, by);
+            }
+          }
+          // Near-total clipping means the trust region is doing all the work
+          // — the timing model has degenerated; repeated reports degrade.
+          if (guards) rc.on_timing_grad(iter, 0, clipped, nonzero);
         }
+        t_mix = std::min(options_.t_max, t_mix * options_.t_growth);
       }
-      t_mix = std::min(options_.t_max, t_mix * options_.t_growth);
     } else if (timing_active && options_.mode == PlacerMode::NetWeighting &&
                (iter - options_.timing_start_iter) % options_.nw_period == 0) {
       Stopwatch sta_clock;
@@ -256,6 +385,13 @@ PlaceResult GlobalPlacer::run() {
       g_x[c] = (g_wl_x[c] + g_den_x[c] + g_t_x[c]) / p;
       g_y[c] = (g_wl_y[c] + g_den_y[c] + g_t_y[c]) / p;
     }
+    if (inj != nullptr)
+      inj->corrupt(robust::FaultSite::TotalGrad, iter, g_x, g_y);
+    // ---- guard: the combined gradient feeds the step directly ----
+    if (guards && !robust::HealthMonitor::all_finite(g_x, g_y)) {
+      if (!handle_fault(iter, "nan_grad", "non-finite descent gradient")) break;
+      continue;
+    }
     optimizer_->step(x, y, g_x, g_y);
 
     // Project into the core.
@@ -264,6 +400,8 @@ PlaceResult GlobalPlacer::run() {
       x[c] = std::clamp(x[c], core.xl, core.xh - width[c]);
       y[c] = std::clamp(y[c], core.yl, core.yh - height[c]);
     }
+    if (inj != nullptr)
+      inj->corrupt(robust::FaultSite::Position, iter, x, y);
 
     lambda *= options_.lambda_mu;
     log.step_ms = phase_clock.elapsed_ms();
@@ -282,6 +420,18 @@ PlaceResult GlobalPlacer::run() {
       DTP_LOG_INFO("iter %4d  hpwl %.4g  overflow %.3f  lambda %.3g", iter,
                    log.hpwl, ds.overflow, lambda);
 
+    // ---- guard: divergence vs the trailing window (HPWL blow-up or a
+    // sharp overflow rebound are both far outside healthy variation) ----
+    if (guards) {
+      const robust::Verdict verdict = rc.monitor().observe(log.hpwl, ds.overflow);
+      if (verdict != robust::Verdict::Healthy) {
+        if (!handle_fault(iter, "divergence",
+                          "hpwl/overflow blow-up vs trailing window"))
+          break;
+        continue;
+      }
+    }
+
     if (iter >= options_.min_iters && ds.overflow < options_.stop_overflow)
       break;
   }
@@ -297,6 +447,15 @@ PlaceResult GlobalPlacer::run() {
   result.phases.sta_forward_sec = 1e-3 * (h_sta_f.sum() - sum0[3]);
   result.phases.sta_backward_sec = 1e-3 * (h_sta_b.sum() - sum0[4]);
   result.phases.step_sec = 1e-3 * (h_step.sum() - sum0[5]);
+  result.health = rc.health();
+  result.rollbacks = rc.rollbacks();
+  result.timing_fallbacks = rc.timing_fallbacks();
+  result.recoveries = rc.take_events();
+  if (result.health != robust::RunHealth::Ok)
+    DTP_LOG_INFO("global placement finished %s: %d rollback(s), %d timing "
+                 "fallback(s), %zu recovery event(s)",
+                 robust::run_health_name(result.health), result.rollbacks,
+                 result.timing_fallbacks, result.recoveries.size());
   return result;
 }
 

@@ -33,6 +33,7 @@
 #include "placer/net_weighting.h"
 #include "placer/optimizer.h"
 #include "placer/wirelength.h"
+#include "robust/recovery.h"
 #include "sta/timer.h"
 
 namespace dtp::placer {
@@ -92,6 +93,12 @@ struct GlobalPlacerOptions {
   // Exact-STA probe for iteration curves (0 = off). Used by the Fig. 8 bench.
   int probe_timing_every = 0;
 
+  // Fault-tolerance layer (DESIGN.md §7): pre-flight validation, per-iteration
+  // numerical guards, checkpoint/rollback with a bounded retry budget, and
+  // graceful timing degradation.  Guards are pure observers on a healthy run —
+  // an un-faulted placement is bitwise-identical with them on or off.
+  robust::RecoveryOptions robust;
+
   bool verbose = false;
 };
 
@@ -132,6 +139,13 @@ struct PlaceResult {
   double sta_runtime_sec = 0.0; // time inside timing forward/backward
   PhaseBreakdown phases;
   std::vector<IterationLog> history;
+  // Fault-tolerance outcome (DESIGN.md §7): Ok when no fault was ever seen,
+  // Recovered/Degraded when guards fired, Failed when the retry budget ran
+  // out (positions hold the best-known checkpoint in that case).
+  robust::RunHealth health = robust::RunHealth::Ok;
+  int rollbacks = 0;
+  int timing_fallbacks = 0;
+  std::vector<robust::RecoveryEvent> recoveries;
 };
 
 class GlobalPlacer {

@@ -4,6 +4,8 @@
 #include <cmath>
 
 #include "common/assert.h"
+#include "common/logger.h"
+#include "obs/metrics.h"
 
 namespace dtp::placer {
 
@@ -35,9 +37,18 @@ double NesterovOptimizer::step(std::span<double> x, std::span<double> y,
       dg2 += dgx * dgx + dgy * dgy;
     }
     if (dg2 > 1e-30) eta = std::sqrt(dv2 / dg2);
-    // Guard against degenerate estimates.
-    if (!std::isfinite(eta) || eta <= 0.0) eta = initial_step_;
+    // Guard against degenerate estimates — counted so recoveries show up in
+    // run artifacts instead of being a silent reset.
+    if (!std::isfinite(eta) || eta <= 0.0) {
+      static obs::Counter& resets =
+          obs::MetricsRegistry::instance().counter("robust.step_resets");
+      resets.add();
+      DTP_LOG_DEBUG("Nesterov BB step degenerate (eta=%g), reset to %g", eta,
+                    initial_step_);
+      eta = initial_step_;
+    }
   }
+  eta *= step_scale_;
 
   for (size_t i = 0; i < n; ++i) {
     prev_vx_[i] = x[i];
@@ -69,6 +80,27 @@ void NesterovOptimizer::reset() {
   has_prev_ = false;
 }
 
+void NesterovOptimizer::save_state(robust::StateBlob& blob) const {
+  blob.scalars = {a_, has_prev_ ? 1.0 : 0.0, step_scale_};
+  blob.vectors = {ux_, uy_, prev_vx_, prev_vy_, prev_gx_, prev_gy_};
+}
+
+void NesterovOptimizer::restore_state(const robust::StateBlob& blob) {
+  if (blob.scalars.size() != 3 || blob.vectors.size() != 6) {
+    reset();
+    return;
+  }
+  a_ = blob.scalars[0];
+  has_prev_ = blob.scalars[1] != 0.0;
+  step_scale_ = blob.scalars[2];
+  ux_ = blob.vectors[0];
+  uy_ = blob.vectors[1];
+  prev_vx_ = blob.vectors[2];
+  prev_vy_ = blob.vectors[3];
+  prev_gx_ = blob.vectors[4];
+  prev_gy_ = blob.vectors[5];
+}
+
 double AdamOptimizer::step(std::span<double> x, std::span<double> y,
                            std::span<const double> gx,
                            std::span<const double> gy) {
@@ -80,6 +112,7 @@ double AdamOptimizer::step(std::span<double> x, std::span<double> y,
     vy_.assign(n, 0.0);
   }
   ++t_;
+  const double lr = lr_ * step_scale_;
   const double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
   const double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));
   for (size_t i = 0; i < n; ++i) {
@@ -87,10 +120,10 @@ double AdamOptimizer::step(std::span<double> x, std::span<double> y,
     my_[i] = beta1_ * my_[i] + (1.0 - beta1_) * gy[i];
     vx_[i] = beta2_ * vx_[i] + (1.0 - beta2_) * gx[i] * gx[i];
     vy_[i] = beta2_ * vy_[i] + (1.0 - beta2_) * gy[i] * gy[i];
-    x[i] -= lr_ * (mx_[i] / bc1) / (std::sqrt(vx_[i] / bc2) + eps_);
-    y[i] -= lr_ * (my_[i] / bc1) / (std::sqrt(vy_[i] / bc2) + eps_);
+    x[i] -= lr * (mx_[i] / bc1) / (std::sqrt(vx_[i] / bc2) + eps_);
+    y[i] -= lr * (my_[i] / bc1) / (std::sqrt(vy_[i] / bc2) + eps_);
   }
-  return lr_;
+  return lr;
 }
 
 void AdamOptimizer::reset() {
@@ -99,6 +132,24 @@ void AdamOptimizer::reset() {
   my_.clear();
   vx_.clear();
   vy_.clear();
+}
+
+void AdamOptimizer::save_state(robust::StateBlob& blob) const {
+  blob.scalars = {static_cast<double>(t_), step_scale_};
+  blob.vectors = {mx_, my_, vx_, vy_};
+}
+
+void AdamOptimizer::restore_state(const robust::StateBlob& blob) {
+  if (blob.scalars.size() != 2 || blob.vectors.size() != 4) {
+    reset();
+    return;
+  }
+  t_ = static_cast<long>(blob.scalars[0]);
+  step_scale_ = blob.scalars[1];
+  mx_ = blob.vectors[0];
+  my_ = blob.vectors[1];
+  vx_ = blob.vectors[2];
+  vy_ = blob.vectors[3];
 }
 
 }  // namespace dtp::placer

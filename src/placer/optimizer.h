@@ -12,6 +12,8 @@
 #include <span>
 #include <vector>
 
+#include "robust/checkpoint.h"
+
 namespace dtp::placer {
 
 class Optimizer {
@@ -22,6 +24,21 @@ class Optimizer {
   virtual double step(std::span<double> x, std::span<double> y,
                       std::span<const double> gx, std::span<const double> gy) = 0;
   virtual void reset() = 0;
+
+  // Serializes the full internal state into/out of an opaque blob, so the
+  // recovery layer can checkpoint and roll back the optimizer together with
+  // the iterate (restoring positions alone would leave momentum pointing at
+  // the faulted trajectory).
+  virtual void save_state(robust::StateBlob& blob) const = 0;
+  virtual void restore_state(const robust::StateBlob& blob) = 0;
+
+  // Global multiplier on the step size; the recovery layer halves it after
+  // each rollback.  1.0 (the default) is bitwise-neutral.
+  void set_step_scale(double s) { step_scale_ = s; }
+  double step_scale() const { return step_scale_; }
+
+ protected:
+  double step_scale_ = 1.0;
 };
 
 // Nesterov with BB step: the iterate exposed to the caller is the lookahead
@@ -34,6 +51,8 @@ class NesterovOptimizer final : public Optimizer {
   double step(std::span<double> x, std::span<double> y,
               std::span<const double> gx, std::span<const double> gy) override;
   void reset() override;
+  void save_state(robust::StateBlob& blob) const override;
+  void restore_state(const robust::StateBlob& blob) override;
 
  private:
   double initial_step_;
@@ -53,6 +72,8 @@ class AdamOptimizer final : public Optimizer {
   double step(std::span<double> x, std::span<double> y,
               std::span<const double> gx, std::span<const double> gy) override;
   void reset() override;
+  void save_state(robust::StateBlob& blob) const override;
+  void restore_state(const robust::StateBlob& blob) override;
 
  private:
   double lr_, beta1_, beta2_, eps_;

@@ -22,6 +22,12 @@ void meta_fields(JsonWriter& w, const RunMeta& meta) {
   w.key("mode").value(meta.mode);
 }
 
+void health_fields(JsonWriter& w, const PlaceResult& result) {
+  w.key("health").value(robust::run_health_name(result.health));
+  w.key("rollbacks").value(result.rollbacks);
+  w.key("timing_fallbacks").value(result.timing_fallbacks);
+}
+
 void phase_object(JsonWriter& w, const PhaseBreakdown& p) {
   w.begin_object();
   w.key("wirelength_sec").value(p.wirelength_sec);
@@ -59,6 +65,19 @@ void append_run_jsonl(obs::JsonlWriter& out, const PlaceResult& result,
     w.end_object();
     out.write_line(w.str());
   }
+  for (const robust::RecoveryEvent& ev : result.recoveries) {
+    JsonWriter w;
+    w.begin_object();
+    w.key("type").value("recovery");
+    meta_fields(w, meta);
+    w.key("iter").value(ev.iter);
+    w.key("kind").value(ev.kind);
+    w.key("action").value(ev.action);
+    w.key("step_scale").value(ev.step_scale);
+    if (!ev.detail.empty()) w.key("detail").value(ev.detail);
+    w.end_object();
+    out.write_line(w.str());
+  }
   JsonWriter w;
   w.begin_object();
   w.key("type").value("run_end");
@@ -68,6 +87,7 @@ void append_run_jsonl(obs::JsonlWriter& out, const PlaceResult& result,
   w.key("overflow").value(result.overflow);
   w.key("runtime_sec").value(result.runtime_sec);
   w.key("sta_runtime_sec").value(result.sta_runtime_sec);
+  health_fields(w, result);
   w.key("phases");
   phase_object(w, result.phases);
   w.end_object();
@@ -90,6 +110,7 @@ void run_summary_object(JsonWriter& w, const PlaceResult& result,
     w.key("wns").value(last_timed->wns);
     w.key("tns").value(last_timed->tns);
   }
+  health_fields(w, result);
   w.key("phases");
   phase_object(w, result.phases);
   w.end_object();

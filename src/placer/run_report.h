@@ -30,7 +30,8 @@ struct RunMeta {
 const char* mode_short_name(PlacerMode mode);
 
 // Appends one {"type":"iter",...} record per iteration of `result.history`,
-// then one {"type":"run_end",...} record with the final numbers.
+// one {"type":"recovery",...} record per fault-tolerance event (DESIGN.md §7),
+// then one {"type":"run_end",...} record with the final numbers and health.
 void append_run_jsonl(obs::JsonlWriter& out, const PlaceResult& result,
                       const RunMeta& meta);
 

@@ -1,0 +1,65 @@
+#include "robust/checkpoint.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace dtp::robust {
+
+uint64_t fnv1a64(const void* data, size_t bytes, uint64_t h) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < bytes; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+uint64_t hash_doubles(std::span<const double> v, uint64_t h) {
+  return fnv1a64(v.data(), v.size() * sizeof(double), h);
+}
+
+void Checkpoint::capture(int iter, std::span<const double> x,
+                         std::span<const double> y,
+                         std::span<const double> scalars,
+                         const StateBlob& opt) {
+  iter_ = iter;
+  x_.assign(x.begin(), x.end());
+  y_.assign(y.begin(), y.end());
+  scalars_.assign(scalars.begin(), scalars.end());
+  opt_ = opt;
+  checksum_ = compute_checksum();
+}
+
+uint64_t Checkpoint::compute_checksum() const {
+  uint64_t h = kFnvOffset;
+  h = fnv1a64(&iter_, sizeof(iter_), h);
+  h = hash_doubles(x_, h);
+  h = hash_doubles(y_, h);
+  h = hash_doubles(scalars_, h);
+  h = hash_doubles(opt_.scalars, h);
+  for (const auto& v : opt_.vectors) {
+    const size_t n = v.size();
+    h = fnv1a64(&n, sizeof(n), h);
+    h = hash_doubles(v, h);
+  }
+  return h;
+}
+
+bool Checkpoint::verify() const {
+  return valid() && compute_checksum() == checksum_;
+}
+
+bool Checkpoint::restore(std::span<double> x, std::span<double> y,
+                         std::span<double> scalars, StateBlob& opt) const {
+  if (!verify()) return false;
+  if (x.size() != x_.size() || y.size() != y_.size() ||
+      scalars.size() != scalars_.size())
+    return false;
+  std::copy(x_.begin(), x_.end(), x.begin());
+  std::copy(y_.begin(), y_.end(), y.begin());
+  std::copy(scalars_.begin(), scalars_.end(), scalars.begin());
+  opt = opt_;
+  return true;
+}
+
+}  // namespace dtp::robust

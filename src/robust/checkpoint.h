@@ -1,0 +1,68 @@
+// Checkpoint/rollback for the placement loop (DESIGN.md §7).
+//
+// A Checkpoint snapshots the full optimization state — cell coordinates, the
+// driver's scalar state (lambda, timing mix, ...), and an opaque optimizer
+// StateBlob — and seals it with an FNV-1a checksum over every payload byte.
+// restore() refuses a checkpoint whose checksum no longer matches (bit rot,
+// or the FaultInjector's `checkpoint` site), so a corrupted snapshot is
+// detected instead of silently resurrecting garbage.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace dtp::robust {
+
+// Opaque component state: scalars plus named-by-position vectors.  The
+// optimizers serialize into this so the checkpoint layer needs no knowledge
+// of Nesterov/Adam internals.
+struct StateBlob {
+  std::vector<double> scalars;
+  std::vector<std::vector<double>> vectors;
+
+  void clear() {
+    scalars.clear();
+    vectors.clear();
+  }
+};
+
+inline constexpr uint64_t kFnvOffset = 0xcbf29ce484222325ull;
+
+// FNV-1a over raw bytes; chainable via the running-hash argument.
+uint64_t fnv1a64(const void* data, size_t bytes, uint64_t h = kFnvOffset);
+uint64_t hash_doubles(std::span<const double> v, uint64_t h = kFnvOffset);
+
+class Checkpoint {
+ public:
+  bool valid() const { return iter_ >= 0; }
+  int iter() const { return iter_; }
+
+  // Copies the state and seals the checksum.
+  void capture(int iter, std::span<const double> x, std::span<const double> y,
+               std::span<const double> scalars, const StateBlob& opt);
+
+  // True iff the sealed checksum still matches the payload.
+  bool verify() const;
+
+  // Copies the state back out; false (and no writes) if invalid or corrupt.
+  // Output spans must match the captured sizes.
+  bool restore(std::span<double> x, std::span<double> y,
+               std::span<double> scalars, StateBlob& opt) const;
+
+  void invalidate() { iter_ = -1; }
+
+  // Direct payload access for the fault-injection harness (corrupting after
+  // seal makes verify() fail, which is the point).
+  std::vector<double>& mutable_x() { return x_; }
+
+ private:
+  uint64_t compute_checksum() const;
+
+  int iter_ = -1;
+  std::vector<double> x_, y_, scalars_;
+  StateBlob opt_;
+  uint64_t checksum_ = 0;
+};
+
+}  // namespace dtp::robust

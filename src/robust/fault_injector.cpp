@@ -1,0 +1,148 @@
+#include "robust/fault_injector.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace dtp::robust {
+
+namespace {
+
+// splitmix64: the stateless hash behind deterministic entry selection.
+uint64_t mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+uint64_t fault_hash(uint64_t seed, FaultSite site, int tick, uint64_t k) {
+  uint64_t h = mix64(seed ^ (static_cast<uint64_t>(site) << 56));
+  h = mix64(h ^ static_cast<uint64_t>(static_cast<int64_t>(tick)));
+  return mix64(h ^ k);
+}
+
+}  // namespace
+
+const char* fault_site_name(FaultSite site) {
+  switch (site) {
+    case FaultSite::TimingGrad: return "timing_grad";
+    case FaultSite::TotalGrad: return "total_grad";
+    case FaultSite::Position: return "position";
+    case FaultSite::LutAdjoint: return "lut";
+    case FaultSite::Checkpoint: return "checkpoint";
+  }
+  return "?";
+}
+
+std::optional<FaultSite> parse_fault_site(const std::string& name) {
+  if (name == "timing_grad") return FaultSite::TimingGrad;
+  if (name == "total_grad") return FaultSite::TotalGrad;
+  if (name == "position") return FaultSite::Position;
+  if (name == "lut") return FaultSite::LutAdjoint;
+  if (name == "checkpoint") return FaultSite::Checkpoint;
+  return std::nullopt;
+}
+
+FaultInjector FaultInjector::parse(const std::string& spec, uint64_t seed) {
+  FaultInjector inj(seed);
+  size_t pos = 0;
+  while (pos < spec.size()) {
+    size_t end = spec.find(';', pos);
+    if (end == std::string::npos) end = spec.size();
+    std::string item = spec.substr(pos, end - pos);
+    pos = end + 1;
+    const auto is_space = [](char c) { return c == ' ' || c == '\t'; };
+    while (!item.empty() && is_space(item.front())) item.erase(item.begin());
+    while (!item.empty() && is_space(item.back())) item.pop_back();
+    if (item.empty()) continue;
+
+    const size_t at = item.find('@');
+    if (at == std::string::npos)
+      throw std::runtime_error("fault spec '" + item + "': missing '@tick'");
+    const auto site = parse_fault_site(item.substr(0, at));
+    if (!site)
+      throw std::runtime_error("fault spec '" + item + "': unknown site '" +
+                               item.substr(0, at) + "'");
+    FaultSpec fs;
+    fs.site = *site;
+
+    std::string rest = item.substr(at + 1);
+    // Optional suffixes, in either order: +count (or +forever), *magnitude.
+    const size_t star = rest.find('*');
+    if (star != std::string::npos) {
+      fs.magnitude = std::strtod(rest.c_str() + star + 1, nullptr);
+      if (fs.magnitude == 0.0)
+        throw std::runtime_error("fault spec '" + item + "': bad magnitude");
+      rest = rest.substr(0, star);
+    }
+    const size_t plus = rest.find('+');
+    if (plus != std::string::npos) {
+      const std::string cnt = rest.substr(plus + 1);
+      if (cnt == "forever") {
+        fs.count = -1;
+      } else {
+        fs.count = std::atoi(cnt.c_str());
+        if (fs.count <= 0)
+          throw std::runtime_error("fault spec '" + item + "': bad count");
+      }
+      rest = rest.substr(0, plus);
+    }
+    char* parsed_end = nullptr;
+    fs.start = static_cast<int>(std::strtol(rest.c_str(), &parsed_end, 10));
+    if (parsed_end == rest.c_str() || fs.start < 0)
+      throw std::runtime_error("fault spec '" + item + "': bad tick '" + rest +
+                               "'");
+    inj.add(fs);
+  }
+  return inj;
+}
+
+std::optional<FaultInjector> FaultInjector::from_env() {
+  const char* spec = std::getenv("DTP_FAULTS");
+  if (spec == nullptr || spec[0] == '\0') return std::nullopt;
+  uint64_t seed = 1;
+  if (const char* s = std::getenv("DTP_FAULT_SEED"))
+    seed = std::strtoull(s, nullptr, 10);
+  return parse(spec, seed);
+}
+
+bool FaultInjector::fires(FaultSite site, int tick) const {
+  for (const FaultSpec& fs : specs_)
+    if (fs.site == site && fs.fires_at(tick)) return true;
+  return false;
+}
+
+size_t FaultInjector::corrupt(FaultSite site, int tick, std::span<double> a,
+                              std::span<double> b) {
+  const FaultSpec* active = nullptr;
+  for (const FaultSpec& fs : specs_)
+    if (fs.site == site && fs.fires_at(tick)) {
+      active = &fs;
+      break;
+    }
+  if (active == nullptr) return 0;
+
+  const size_t n = a.size() + b.size();
+  if (n == 0) return 0;
+  const size_t hits = std::max<size_t>(1, n / 64);
+  auto entry = [&](size_t i) -> double& {
+    return i < a.size() ? a[i] : b[i - a.size()];
+  };
+  size_t applied = 0;
+  for (size_t k = 0; k < hits; ++k) {
+    const size_t i =
+        static_cast<size_t>(fault_hash(seed_, site, tick, k) % n);
+    double& v = entry(i);
+    if (std::isnan(active->magnitude))
+      v = std::numeric_limits<double>::quiet_NaN();
+    else
+      v *= active->magnitude;
+    ++applied;
+  }
+  corruptions_ += applied;
+  return applied;
+}
+
+}  // namespace dtp::robust

@@ -1,0 +1,97 @@
+// Deterministic fault injection for the robustness test harness (DESIGN.md §7).
+//
+// A FaultInjector holds a list of FaultSpecs — (site, first tick, repeat
+// count, magnitude) — and, when asked, corrupts a deterministic subset of a
+// double array at that site/tick.  Determinism is stateless: which entries
+// are hit and what garbage they receive is a pure hash of (seed, site, tick,
+// index), so the same spec + seed reproduces the same fault no matter how
+// many unrelated injector calls happen in between (rollback re-execution,
+// multi-threaded phases, ...).
+//
+// Specs are parsed from a compact string (CLI --fault, or the DTP_FAULTS
+// environment variable):
+//
+//   site@tick[+count][*magnitude][;site@tick...]
+//
+//   timing_grad@120        flip timing gradients to NaN at iteration 120
+//   total_grad@50+3        NaN the combined gradient on iterations 50..52
+//   total_grad@90*1e4      multiply (not NaN) — a finite blow-up / divergence
+//   position@200           NaN cell positions after the step of iteration 200
+//   lut@70+forever         corrupt the timer's LUT-adjoint output from 70 on
+//   checkpoint@2           corrupt the 3rd checkpoint taken (tick = ordinal)
+//
+// The placer and the differentiable timer call corrupt() at the matching
+// injection points; a disarmed injector (no specs) is never consulted.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace dtp::robust {
+
+enum class FaultSite : uint8_t {
+  TimingGrad,  // placer: d(timing)/dx right after DiffTimer::backward
+  TotalGrad,   // placer: combined preconditioned gradient before the step
+  Position,    // placer: cell coordinates after step + projection
+  LutAdjoint,  // dtimer: pin-gradient accumulators inside backward (LUT path)
+  Checkpoint,  // robust: a sealed checkpoint's payload (tick = capture ordinal)
+};
+
+const char* fault_site_name(FaultSite site);
+std::optional<FaultSite> parse_fault_site(const std::string& name);
+
+struct FaultSpec {
+  FaultSite site = FaultSite::TotalGrad;
+  int start = 0;  // first tick (placer iteration, or checkpoint ordinal)
+  int count = 1;  // consecutive ticks; -1 = forever
+  // NaN (the default) flips entries to quiet NaN; a finite magnitude
+  // multiplies them instead (models a finite blow-up rather than a poison).
+  double magnitude = std::numeric_limits<double>::quiet_NaN();
+
+  bool fires_at(int tick) const {
+    return tick >= start && (count < 0 || tick < start + count);
+  }
+};
+
+class FaultInjector {
+ public:
+  FaultInjector() = default;
+  explicit FaultInjector(uint64_t seed) : seed_(seed) {}
+
+  void add(const FaultSpec& spec) { specs_.push_back(spec); }
+  bool armed() const { return !specs_.empty(); }
+  uint64_t seed() const { return seed_; }
+
+  // Parses the spec grammar above; throws std::runtime_error on a malformed
+  // spec.  An empty string yields a disarmed injector.
+  static FaultInjector parse(const std::string& spec, uint64_t seed = 1);
+
+  // Injector from the DTP_FAULTS environment variable (DTP_FAULT_SEED for the
+  // seed); nullopt when the variable is unset or empty.
+  static std::optional<FaultInjector> from_env();
+
+  // True if any spec targets `site` at `tick`.
+  bool fires(FaultSite site, int tick) const;
+
+  // Corrupts ~1/64 of the entries (at least one) across a and b when a spec
+  // fires; returns the number of entries corrupted (0 = no fault).
+  size_t corrupt(FaultSite site, int tick, std::span<double> a,
+                 std::span<double> b);
+  size_t corrupt(FaultSite site, int tick, std::span<double> a) {
+    return corrupt(site, tick, a, {});
+  }
+
+  // Total entries corrupted so far (test observability).
+  uint64_t total_corruptions() const { return corruptions_; }
+
+ private:
+  uint64_t seed_ = 1;
+  uint64_t corruptions_ = 0;
+  std::vector<FaultSpec> specs_;
+};
+
+}  // namespace dtp::robust

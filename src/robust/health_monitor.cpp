@@ -1,0 +1,65 @@
+#include "robust/health_monitor.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace dtp::robust {
+
+const char* verdict_name(Verdict v) {
+  switch (v) {
+    case Verdict::Healthy: return "healthy";
+    case Verdict::NonFinite: return "non_finite";
+    case Verdict::Diverged: return "diverged";
+  }
+  return "?";
+}
+
+HealthMonitor::HealthMonitor(HealthOptions options) : options_(options) {
+  ring_.resize(static_cast<size_t>(std::max(1, options_.window)));
+}
+
+bool HealthMonitor::all_finite(std::span<const double> a,
+                               std::span<const double> b) {
+  double s = 0.0;
+  for (const double v : a) s += v;
+  for (const double v : b) s += v;
+  if (std::isfinite(s)) return true;
+  // The sum of finite values can still overflow to Inf; confirm elementwise.
+  return count_nonfinite(a, b) == 0;
+}
+
+size_t HealthMonitor::count_nonfinite(std::span<const double> a,
+                                      std::span<const double> b) {
+  size_t bad = 0;
+  for (const double v : a) bad += !std::isfinite(v);
+  for (const double v : b) bad += !std::isfinite(v);
+  return bad;
+}
+
+Verdict HealthMonitor::observe(double hpwl, double overflow) {
+  if (!std::isfinite(hpwl) || !std::isfinite(overflow)) return Verdict::NonFinite;
+
+  if (size_ == ring_.size()) {  // window full: test against its minima
+    double min_hpwl = std::numeric_limits<double>::infinity();
+    double min_ovf = std::numeric_limits<double>::infinity();
+    for (size_t i = 0; i < size_; ++i) {
+      min_hpwl = std::min(min_hpwl, ring_[i].first);
+      min_ovf = std::min(min_ovf, ring_[i].second);
+    }
+    const bool hpwl_blew = min_hpwl > 0.0 && hpwl > options_.hpwl_blowup * min_hpwl;
+    const bool ovf_rose = overflow > min_ovf + options_.overflow_rise;
+    if (hpwl_blew || ovf_rose) return Verdict::Diverged;
+  }
+
+  ring_[head_] = {hpwl, overflow};
+  head_ = (head_ + 1) % ring_.size();
+  size_ = std::min(size_ + 1, ring_.size());
+  return Verdict::Healthy;
+}
+
+void HealthMonitor::reset() {
+  head_ = 0;
+  size_ = 0;
+}
+
+}  // namespace dtp::robust

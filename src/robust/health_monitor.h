@@ -1,0 +1,61 @@
+// Numerical health checks for the placement loop (DESIGN.md §7).
+//
+// Two kinds of checks, both designed to be near-free on the healthy path:
+//
+//  * non-finite detection over coordinate/gradient arrays.  The fast path
+//    sums the array and tests the single sum — NaN and Inf both poison a
+//    float sum, so one isfinite() covers the whole array; the O(n) element
+//    scan runs only when the sum is suspicious (which a finite-overflow
+//    false positive then clears).
+//
+//  * divergence detection against a trailing window of (HPWL, overflow)
+//    samples.  A healthy run's HPWL moves slowly within any 20-iteration
+//    window and overflow is (noisily) monotone decreasing; a corrupted step
+//    blows HPWL up by multiples or bounces overflow sharply upward.  Both
+//    thresholds are far outside healthy variation so the monitor never
+//    perturbs an un-faulted run.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+namespace dtp::robust {
+
+enum class Verdict : uint8_t { Healthy, NonFinite, Diverged };
+
+const char* verdict_name(Verdict v);
+
+struct HealthOptions {
+  int window = 20;              // trailing iterations for the divergence ref
+  double hpwl_blowup = 8.0;     // hpwl > blowup * window-min  -> Diverged
+  double overflow_rise = 0.25;  // overflow > window-min + rise -> Diverged
+};
+
+class HealthMonitor {
+ public:
+  explicit HealthMonitor(HealthOptions options = {});
+
+  // True iff every element of both spans is finite.  Fast path: one float
+  // sum + one isfinite.
+  static bool all_finite(std::span<const double> a, std::span<const double> b);
+  static bool all_finite(std::span<const double> a) { return all_finite(a, {}); }
+  static size_t count_nonfinite(std::span<const double> a,
+                                std::span<const double> b);
+
+  // Feeds one end-of-iteration sample and tests it against the trailing
+  // window.  Diverged samples are not added to the window (they would drag
+  // the reference up); the caller resets the window after a rollback.
+  Verdict observe(double hpwl, double overflow);
+  void reset();
+
+ private:
+  HealthOptions options_;
+  std::vector<std::pair<double, double>> ring_;  // (hpwl, overflow)
+  size_t head_ = 0;
+  size_t size_ = 0;
+};
+
+}  // namespace dtp::robust

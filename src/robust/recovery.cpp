@@ -1,0 +1,133 @@
+#include "robust/recovery.h"
+
+#include <algorithm>
+
+#include "common/logger.h"
+#include "obs/metrics.h"
+
+namespace dtp::robust {
+
+const char* run_health_name(RunHealth h) {
+  switch (h) {
+    case RunHealth::Ok: return "ok";
+    case RunHealth::Recovered: return "recovered";
+    case RunHealth::Degraded: return "degraded";
+    case RunHealth::Failed: return "failed";
+  }
+  return "?";
+}
+
+RecoveryController::RecoveryController(const RecoveryOptions& options)
+    : options_(options),
+      injector_(options.fault_seed),
+      monitor_(options.health),
+      faults_counter_(
+          obs::MetricsRegistry::instance().counter("robust.faults_detected")),
+      rollbacks_counter_(
+          obs::MetricsRegistry::instance().counter("robust.rollbacks")),
+      fallbacks_counter_(
+          obs::MetricsRegistry::instance().counter("robust.timing_fallbacks")),
+      ckpt_corrupt_counter_(
+          obs::MetricsRegistry::instance().counter("robust.checkpoint_corrupt")),
+      aborts_counter_(obs::MetricsRegistry::instance().counter("robust.aborts")) {
+  if (!options_.fault_spec.empty()) {
+    injector_ = FaultInjector::parse(options_.fault_spec, options_.fault_seed);
+  } else if (auto env = FaultInjector::from_env()) {
+    injector_ = *env;
+  }
+}
+
+RecoveryController::Action RecoveryController::on_fault(int iter,
+                                                        const char* kind,
+                                                        std::string detail) {
+  faults_counter_.add();
+  if (rollbacks_ >= options_.max_recoveries) {
+    aborts_counter_.add();
+    health_ = RunHealth::Failed;
+    DTP_LOG_ERROR(
+        "placer fault (%s) at iter %d with retry budget exhausted "
+        "(%d rollbacks): aborting to best checkpoint",
+        kind, iter, rollbacks_);
+    record({iter, "abort", "abort", step_scale_, std::move(detail)});
+    return Action::Abort;
+  }
+  ++rollbacks_;
+  rollbacks_counter_.add();
+  step_scale_ *= options_.step_halving;
+  raise_health(RunHealth::Recovered);
+  DTP_LOG_WARN(
+      "placer fault (%s) at iter %d: rolling back to last checkpoint, "
+      "step scale -> %.4g (%d/%d recoveries used)",
+      kind, iter, step_scale_, rollbacks_, options_.max_recoveries);
+  record({iter, kind, "rollback", step_scale_, std::move(detail)});
+  return Action::Rollback;
+}
+
+bool RecoveryController::on_timing_grad(int iter, size_t nonfinite,
+                                        size_t clipped, size_t nonzero) {
+  const bool clip_bad =
+      nonzero > 0 && static_cast<double>(clipped) >
+                         options_.clip_fraction_bad * static_cast<double>(nonzero);
+  const bool bad = nonfinite > 0 || clip_bad;
+  if (!bad) {
+    consecutive_bad_timing_ = 0;
+    return false;
+  }
+  ++consecutive_bad_timing_;
+  if (consecutive_bad_timing_ < options_.timing_fault_threshold) return false;
+
+  consecutive_bad_timing_ = 0;
+  ++timing_fallbacks_;
+  fallbacks_counter_.add();
+  std::string detail = nonfinite > 0
+                           ? std::to_string(nonfinite) + " non-finite entries"
+                           : std::to_string(clipped) + "/" +
+                                 std::to_string(nonzero) + " clipped";
+  if (timing_fallbacks_ >= options_.max_timing_fallbacks) {
+    timing_suspended_until_ = INT_MAX;
+    raise_health(RunHealth::Degraded);
+    DTP_LOG_WARN(
+        "timing gradients degenerate at iter %d (%s): disabling timing forces "
+        "for the rest of the run (fallback %d/%d)",
+        iter, detail.c_str(), timing_fallbacks_, options_.max_timing_fallbacks);
+    record({iter, "timing_grad", "degrade", step_scale_,
+            detail + "; permanent wirelength-only fallback"});
+  } else {
+    timing_suspended_until_ = iter + options_.timing_cooldown;
+    raise_health(RunHealth::Recovered);
+    DTP_LOG_WARN(
+        "timing gradients degenerate at iter %d (%s): wirelength-only forces "
+        "until iter %d (fallback %d/%d)",
+        iter, detail.c_str(), timing_suspended_until_, timing_fallbacks_,
+        options_.max_timing_fallbacks);
+    record({iter, "timing_grad", "degrade", step_scale_, std::move(detail)});
+  }
+  return true;
+}
+
+bool RecoveryController::timing_suspended(int iter) {
+  if (timing_suspended_until_ < 0) return false;
+  if (timing_suspended_until_ != INT_MAX && iter >= timing_suspended_until_) {
+    DTP_LOG_INFO("timing forces re-enabled at iter %d after cooldown", iter);
+    record({iter, "timing_restored", "resume", step_scale_, ""});
+    timing_suspended_until_ = -1;
+    return false;
+  }
+  return true;
+}
+
+void RecoveryController::note_checkpoint_corrupt(int iter) {
+  ckpt_corrupt_counter_.add();
+  raise_health(RunHealth::Recovered);
+  DTP_LOG_WARN(
+      "checkpoint checksum mismatch at iter %d: discarding snapshot, "
+      "continuing from scrubbed live state",
+      iter);
+  record({iter, "checkpoint_corrupt", "scrub", step_scale_, ""});
+}
+
+void RecoveryController::record(RecoveryEvent ev) {
+  events_.push_back(std::move(ev));
+}
+
+}  // namespace dtp::robust

@@ -1,0 +1,134 @@
+// Recovery policy for the placement loop (DESIGN.md §7).
+//
+// The RecoveryController owns the fault-tolerance state machine
+//
+//     healthy --fault--> retry (rollback + step-halving, bounded budget)
+//        |                  |
+//        |            budget exhausted
+//        v                  v
+//     degraded  <----  failed (clean abort)
+//
+// plus the *graceful timing degradation* track: when the differentiable
+// timer's backward pass produces non-finite (or pathologically clipped)
+// gradients on consecutive iterations, timing forces are suspended for a
+// cooldown window — the placer falls back to pure wirelength+density forces
+// instead of crashing or diverging — and re-enabled afterwards.  Repeated
+// degradations turn timing off for good and mark the run Degraded.
+//
+// The controller only decides; the GlobalPlacer loop performs the actual
+// rollback/suspension.  Every decision is counted in the metrics registry
+// (robust.*) and recorded as a RecoveryEvent for the JSONL run artifacts.
+#pragma once
+
+#include <algorithm>
+#include <climits>
+#include <string>
+#include <vector>
+
+#include "robust/fault_injector.h"
+#include "robust/health_monitor.h"
+
+namespace dtp::obs {
+class Counter;
+}
+
+namespace dtp::robust {
+
+enum class RunHealth : uint8_t {
+  Ok,         // no fault ever detected
+  Recovered,  // faults detected, all recovered; result is trustworthy
+  Degraded,   // finished, but timing forces were permanently disabled
+  Failed,     // retry budget exhausted; best-known state was restored
+};
+
+const char* run_health_name(RunHealth h);
+
+// One recovery decision, for the metrics registry / JSONL `recovery` records.
+struct RecoveryEvent {
+  int iter = 0;
+  std::string kind;    // nan_grad | nan_position | divergence | timing_grad |
+                       // checkpoint_corrupt | abort | timing_restored
+  std::string action;  // rollback | degrade | resume | scrub | abort
+  double step_scale = 1.0;
+  std::string detail;
+};
+
+struct RecoveryOptions {
+  bool enabled = true;          // master switch for all guards
+  int max_recoveries = 5;       // rollback budget before the run fails
+  bool timing_fallback = true;  // allow DiffTiming -> wirelength-only forces
+  int checkpoint_period = 20;   // snapshot every N healthy iterations
+  int timing_fault_threshold = 2;  // consecutive bad backward passes to degrade
+  int timing_cooldown = 50;        // iterations of WL-only forces per degrade
+  int max_timing_fallbacks = 3;    // then timing stays off (run Degraded)
+  double clip_fraction_bad = 0.95; // fraction of clipped nonzero timing grads
+                                   // that counts a backward pass as bad
+  double step_halving = 0.5;       // step-scale multiplier per rollback
+  HealthOptions health;
+  std::string fault_spec;  // FaultInjector::parse() grammar; "" = env/none
+  uint64_t fault_seed = 1;
+};
+
+class RecoveryController {
+ public:
+  enum class Action : uint8_t { Rollback, Abort };
+
+  explicit RecoveryController(const RecoveryOptions& options);
+
+  bool enabled() const { return options_.enabled; }
+  FaultInjector& injector() { return injector_; }
+  HealthMonitor& monitor() { return monitor_; }
+
+  // Snapshot on iteration 0 and every checkpoint_period-th iteration after.
+  bool should_checkpoint(int iter) const {
+    return iter % std::max(1, options_.checkpoint_period) == 0;
+  }
+
+  // A fault was detected at `iter`.  Burns one unit of the retry budget and
+  // halves the step scale; Abort once the budget is exhausted.
+  Action on_fault(int iter, const char* kind, std::string detail);
+
+  // Timing-gradient health, fed once per timing iteration.  Returns true if
+  // this report tripped a degradation (timing must be suspended).
+  bool on_timing_grad(int iter, size_t nonfinite, size_t clipped,
+                      size_t nonzero);
+
+  // True while timing forces are suspended; emits the resume event when the
+  // cooldown expires.
+  bool timing_suspended(int iter);
+
+  void note_checkpoint_corrupt(int iter);
+  void record(RecoveryEvent ev);
+
+  double step_scale() const { return step_scale_; }
+  int rollbacks() const { return rollbacks_; }
+  int timing_fallbacks() const { return timing_fallbacks_; }
+  RunHealth health() const { return health_; }
+  const std::vector<RecoveryEvent>& events() const { return events_; }
+  std::vector<RecoveryEvent> take_events() { return std::move(events_); }
+
+ private:
+  void raise_health(RunHealth h) {
+    if (static_cast<uint8_t>(h) > static_cast<uint8_t>(health_)) health_ = h;
+  }
+
+  RecoveryOptions options_;
+  FaultInjector injector_;
+  HealthMonitor monitor_;
+  std::vector<RecoveryEvent> events_;
+
+  RunHealth health_ = RunHealth::Ok;
+  double step_scale_ = 1.0;
+  int rollbacks_ = 0;
+  int timing_fallbacks_ = 0;
+  int consecutive_bad_timing_ = 0;
+  int timing_suspended_until_ = -1;  // exclusive; INT_MAX = permanent
+
+  obs::Counter& faults_counter_;
+  obs::Counter& rollbacks_counter_;
+  obs::Counter& fallbacks_counter_;
+  obs::Counter& ckpt_corrupt_counter_;
+  obs::Counter& aborts_counter_;
+};
+
+}  // namespace dtp::robust

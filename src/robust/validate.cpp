@@ -1,0 +1,149 @@
+#include "robust/validate.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dtp::robust {
+
+const char* validation_code_name(ValidationCode code) {
+  switch (code) {
+    case ValidationCode::PositionArraySize: return "position_array_size";
+    case ValidationCode::NonFinitePosition: return "non_finite_position";
+    case ValidationCode::EmptyCore: return "empty_core";
+    case ValidationCode::ZeroAreaCell: return "zero_area_cell";
+    case ValidationCode::FixedOutsideCore: return "fixed_outside_core";
+    case ValidationCode::DanglingPin: return "dangling_pin";
+    case ValidationCode::DegenerateNet: return "degenerate_net";
+    case ValidationCode::UndrivenNet: return "undriven_net";
+    case ValidationCode::NoMovableCells: return "no_movable_cells";
+    case ValidationCode::BadClockPeriod: return "bad_clock_period";
+  }
+  return "?";
+}
+
+std::string ValidationReport::to_string(size_t max_lines) const {
+  std::string out;
+  size_t shown = 0;
+  for (const ValidationIssue& issue : issues) {
+    if (shown++ == max_lines) {
+      out += "  ... and " + std::to_string(issues.size() - max_lines) +
+             " more issue(s)\n";
+      break;
+    }
+    out += std::string("  [") + (issue.fatal ? "error" : "warn") + "] " +
+           validation_code_name(issue.code) + ": " + issue.message + "\n";
+  }
+  return out;
+}
+
+namespace {
+
+void add(ValidationReport& report, ValidationCode code, bool fatal, int id,
+         std::string message) {
+  report.issues.push_back({code, fatal, id, std::move(message)});
+  if (fatal) ++report.num_fatal;
+}
+
+}  // namespace
+
+ValidationReport validate(const netlist::Design& design) {
+  ValidationReport report;
+  const netlist::Netlist& nl = design.netlist;
+  const size_t n = nl.num_cells();
+
+  if (design.cell_x.size() != n || design.cell_y.size() != n) {
+    add(report, ValidationCode::PositionArraySize, true, -1,
+        "cell_x/cell_y hold " + std::to_string(design.cell_x.size()) + "/" +
+            std::to_string(design.cell_y.size()) + " entries for " +
+            std::to_string(n) + " cells (init_positions() not called?)");
+    return report;  // later checks index the position arrays
+  }
+
+  const Rect& core = design.floorplan.core;
+  size_t movable = 0;
+  // Fixed cells (IO pads ringed on the boundary, macros) may legitimately
+  // touch or slightly overhang the core edge; flag only cells clearly lost
+  // in space — more than one core-margin away from the inflated core box.
+  const double margin =
+      std::max(design.floorplan.row_height,
+               0.05 * std::max(core.width(), core.height()));
+  for (size_t c = 0; c < n; ++c) {
+    const auto id = static_cast<netlist::CellId>(c);
+    const netlist::Cell& cell = nl.cell(id);
+    const liberty::LibCell& master = nl.lib_cell_of(id);
+    if (!std::isfinite(design.cell_x[c]) || !std::isfinite(design.cell_y[c])) {
+      add(report, ValidationCode::NonFinitePosition, true, static_cast<int>(c),
+          "cell '" + cell.name + "' has a non-finite initial coordinate");
+      continue;
+    }
+    if (cell.fixed) {
+      const double w = std::max(0.0, master.width);
+      const double h = std::max(0.0, master.height);
+      if (design.cell_x[c] + w < core.xl - margin ||
+          design.cell_x[c] > core.xh + margin ||
+          design.cell_y[c] + h < core.yl - margin ||
+          design.cell_y[c] > core.yh + margin) {
+        add(report, ValidationCode::FixedOutsideCore, true, static_cast<int>(c),
+            "fixed cell '" + cell.name + "' at (" +
+                std::to_string(design.cell_x[c]) + ", " +
+                std::to_string(design.cell_y[c]) + ") lies outside the core");
+      }
+    } else {
+      ++movable;
+      if (master.width <= 0.0 || master.height <= 0.0) {
+        add(report, ValidationCode::ZeroAreaCell, true, static_cast<int>(c),
+            "movable cell '" + cell.name + "' (master '" + master.name +
+                "') has non-positive dimensions " +
+                std::to_string(master.width) + " x " +
+                std::to_string(master.height));
+      }
+    }
+  }
+
+  if (movable > 0 && (core.width() <= 0.0 || core.height() <= 0.0)) {
+    add(report, ValidationCode::EmptyCore, true, -1,
+        "core region has non-positive area but the design has " +
+            std::to_string(movable) + " movable cells");
+  }
+  if (movable == 0 && n > 0) {
+    add(report, ValidationCode::NoMovableCells, false, -1,
+        "every cell is fixed; placement is a no-op");
+  }
+
+  for (size_t e = 0; e < nl.num_nets(); ++e) {
+    const netlist::Net& net = nl.net(static_cast<netlist::NetId>(e));
+    for (const netlist::PinId p : net.pins) {
+      if (p < 0 || static_cast<size_t>(p) >= nl.num_pins() ||
+          nl.pin(p).net != static_cast<netlist::NetId>(e)) {
+        add(report, ValidationCode::DanglingPin, true, static_cast<int>(e),
+            "net '" + net.name + "' lists a pin not connected back to it");
+        break;
+      }
+    }
+    if (net.pins.size() < 2) {
+      add(report, ValidationCode::DegenerateNet, false, static_cast<int>(e),
+          "net '" + net.name + "' has " + std::to_string(net.pins.size()) +
+              " pin(s)");
+    } else if (net.driver == netlist::kInvalidId) {
+      add(report, ValidationCode::UndrivenNet, false, static_cast<int>(e),
+          "net '" + net.name + "' has no driver pin");
+    }
+  }
+
+  if (!std::isfinite(design.constraints.clock_period) ||
+      design.constraints.clock_period <= 0.0) {
+    add(report, ValidationCode::BadClockPeriod, false, -1,
+        "clock period " + std::to_string(design.constraints.clock_period) +
+            " ns is not positive");
+  }
+
+  return report;
+}
+
+ValidationError::ValidationError(ValidationReport report)
+    : std::runtime_error("design validation failed (" +
+                         std::to_string(report.num_fatal) + " fatal issue(s)):\n" +
+                         report.to_string()),
+      report_(std::move(report)) {}
+
+}  // namespace dtp::robust

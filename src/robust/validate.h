@@ -1,0 +1,67 @@
+// Design pre-flight validation (DESIGN.md §7).
+//
+// validate() inspects a Design before it reaches the placement kernels and
+// returns *structured* issues instead of letting broken input assert deep in
+// a kernel (a NaN coordinate becomes undefined behaviour the moment the
+// density model casts it to a bin index).  Issues are split into fatal errors
+// — the placer refuses to run — and warnings (degenerate-but-survivable
+// shapes such as single-pin nets or an all-fixed design, which the placer
+// handles explicitly).
+//
+// dtp_place runs it up front for a clean one-line diagnostic + non-zero exit;
+// the GlobalPlacer constructor runs it again (guards enabled) and throws
+// ValidationError so library users get the same protection.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.h"
+
+namespace dtp::robust {
+
+enum class ValidationCode : uint8_t {
+  PositionArraySize,   // cell_x/cell_y not sized to the netlist (fatal)
+  NonFinitePosition,   // NaN/Inf initial coordinate (fatal)
+  EmptyCore,           // zero/negative-area core with movable cells (fatal)
+  ZeroAreaCell,        // movable cell with non-positive width/height (fatal)
+  FixedOutsideCore,    // fixed cell far outside the core region (fatal)
+  DanglingPin,         // net lists a pin not connected back to it (fatal)
+  DegenerateNet,       // net with fewer than two pins (warning)
+  UndrivenNet,         // net with sinks but no driver pin (warning)
+  NoMovableCells,      // every cell fixed: placement is a no-op (warning)
+  BadClockPeriod,      // non-positive or non-finite clock period (warning)
+};
+
+const char* validation_code_name(ValidationCode code);
+
+struct ValidationIssue {
+  ValidationCode code;
+  bool fatal = false;
+  int id = -1;  // offending cell/net id, -1 when design-wide
+  std::string message;
+};
+
+struct ValidationReport {
+  std::vector<ValidationIssue> issues;
+  size_t num_fatal = 0;
+
+  bool ok() const { return num_fatal == 0; }
+  size_t num_warnings() const { return issues.size() - num_fatal; }
+  // Human-readable summary, one issue per line (capped at max_lines).
+  std::string to_string(size_t max_lines = 10) const;
+};
+
+ValidationReport validate(const netlist::Design& design);
+
+class ValidationError : public std::runtime_error {
+ public:
+  explicit ValidationError(ValidationReport report);
+  const ValidationReport& report() const { return report_; }
+
+ private:
+  ValidationReport report_;
+};
+
+}  // namespace dtp::robust

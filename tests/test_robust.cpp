@@ -1,0 +1,415 @@
+// Fault-tolerance layer (DESIGN.md §7): unit tests for the fault injector,
+// health monitor, checkpoints and validation, plus end-to-end fault-injection
+// runs through GlobalPlacer demonstrating every recovery path — rollback +
+// step-halving, timing -> wirelength degradation, and clean abort once the
+// retry budget is exhausted.  All faults are deterministic (seeded), so these
+// scenarios reproduce bit-for-bit.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "liberty/synth_library.h"
+#include "placer/global_placer.h"
+#include "placer/optimizer.h"
+#include "robust/checkpoint.h"
+#include "robust/fault_injector.h"
+#include "robust/health_monitor.h"
+#include "robust/validate.h"
+#include "workload/circuit_gen.h"
+
+namespace dtp::robust {
+namespace {
+
+using netlist::Design;
+
+Design make_design(int cells, uint64_t seed, const liberty::CellLibrary& lib) {
+  workload::WorkloadOptions opts;
+  opts.num_cells = cells;
+  opts.seed = seed;
+  opts.levels = 14;
+  opts.clock_scale = 0.7;
+  return workload::generate_design(lib, opts);
+}
+
+placer::GlobalPlacerOptions fast_options() {
+  placer::GlobalPlacerOptions o;
+  o.max_iters = 500;
+  o.min_iters = 60;
+  o.bins = 32;
+  o.timing_start_iter = 60;
+  return o;
+}
+
+bool all_positions_finite(const Design& d) {
+  for (size_t c = 0; c < d.cell_x.size(); ++c)
+    if (!std::isfinite(d.cell_x[c]) || !std::isfinite(d.cell_y[c]))
+      return false;
+  return true;
+}
+
+// ---- fault injector ----
+
+TEST(FaultInjector, ParsesSpecGrammar) {
+  FaultInjector inj = FaultInjector::parse(
+      "timing_grad@120; total_grad@50+3*1e4; lut@70+forever; checkpoint@2");
+  EXPECT_TRUE(inj.armed());
+  EXPECT_TRUE(inj.fires(FaultSite::TimingGrad, 120));
+  EXPECT_FALSE(inj.fires(FaultSite::TimingGrad, 121));
+  EXPECT_TRUE(inj.fires(FaultSite::TotalGrad, 52));
+  EXPECT_FALSE(inj.fires(FaultSite::TotalGrad, 53));
+  EXPECT_TRUE(inj.fires(FaultSite::LutAdjoint, 100000));
+  EXPECT_FALSE(inj.fires(FaultSite::LutAdjoint, 69));
+  EXPECT_TRUE(inj.fires(FaultSite::Checkpoint, 2));
+  EXPECT_FALSE(inj.fires(FaultSite::Position, 120));
+
+  EXPECT_FALSE(FaultInjector::parse("").armed());
+  EXPECT_THROW(FaultInjector::parse("nonsense@5"), std::runtime_error);
+  EXPECT_THROW(FaultInjector::parse("total_grad"), std::runtime_error);
+  EXPECT_THROW(FaultInjector::parse("total_grad@"), std::runtime_error);
+}
+
+TEST(FaultInjector, CorruptionIsDeterministic) {
+  std::vector<double> a(512, 1.0), b(512, 1.0);
+  FaultInjector i1 = FaultInjector::parse("total_grad@7", 42);
+  FaultInjector i2 = FaultInjector::parse("total_grad@7", 42);
+  ASSERT_GT(i1.corrupt(FaultSite::TotalGrad, 7, a), 0u);
+  // Unrelated calls in between must not shift which entries get hit.
+  std::vector<double> junk(64, 0.0);
+  i2.corrupt(FaultSite::TotalGrad, 6, junk);  // wrong tick: no-op
+  ASSERT_GT(i2.corrupt(FaultSite::TotalGrad, 7, b), 0u);
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(std::isnan(a[i]), std::isnan(b[i])) << "entry " << i;
+  }
+  // A different seed must corrupt a different subset.
+  std::vector<double> c(512, 1.0);
+  FaultInjector i3 = FaultInjector::parse("total_grad@7", 43);
+  i3.corrupt(FaultSite::TotalGrad, 7, c);
+  bool same = true;
+  for (size_t i = 0; i < a.size(); ++i)
+    if (std::isnan(a[i]) != std::isnan(c[i])) same = false;
+  EXPECT_FALSE(same);
+}
+
+TEST(FaultInjector, MagnitudeMultipliesInsteadOfNan) {
+  std::vector<double> a(256, 2.0);
+  FaultInjector inj = FaultInjector::parse("position@3*100");
+  ASSERT_GT(inj.corrupt(FaultSite::Position, 3, a), 0u);
+  bool scaled = false;
+  for (double v : a) {
+    EXPECT_TRUE(std::isfinite(v));
+    if (v == 200.0) scaled = true;
+  }
+  EXPECT_TRUE(scaled);
+}
+
+// ---- health monitor ----
+
+TEST(HealthMonitor, DetectsNonFinite) {
+  std::vector<double> good(100, 1.5);
+  EXPECT_TRUE(HealthMonitor::all_finite(good, good));
+  std::vector<double> bad = good;
+  bad[57] = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_FALSE(HealthMonitor::all_finite(bad, good));
+  EXPECT_FALSE(HealthMonitor::all_finite(good, bad));
+  EXPECT_EQ(HealthMonitor::count_nonfinite(bad, good), 1u);
+  bad[3] = std::numeric_limits<double>::infinity();
+  EXPECT_EQ(HealthMonitor::count_nonfinite(bad, bad), 4u);
+  // Large-but-finite values must not trip the fast sum-poisoning path.
+  std::vector<double> big(100, 1e300);
+  EXPECT_TRUE(HealthMonitor::all_finite(big, big));
+}
+
+TEST(HealthMonitor, DetectsDivergence) {
+  HealthMonitor hm;
+  // A healthy plateau fills the window without tripping anything.
+  for (int i = 0; i < 30; ++i)
+    EXPECT_EQ(hm.observe(1000.0 + i, 0.5 - 0.005 * i), Verdict::Healthy);
+  // HPWL blow-up far beyond the trailing window.
+  EXPECT_EQ(hm.observe(1000.0 * 20, 0.35), Verdict::Diverged);
+  // The diverged sample was not absorbed: a healthy one still passes.
+  EXPECT_EQ(hm.observe(1031.0, 0.35), Verdict::Healthy);
+  // Overflow bouncing sharply upward also counts as divergence.
+  EXPECT_EQ(hm.observe(1032.0, 0.9), Verdict::Diverged);
+  hm.reset();
+  EXPECT_EQ(hm.observe(50000.0, 0.99), Verdict::Healthy);  // fresh window
+}
+
+// ---- checkpoint ----
+
+TEST(Checkpoint, RoundTripsAndDetectsCorruption) {
+  std::vector<double> x{1, 2, 3}, y{4, 5, 6}, scalars{0.25, 7.0};
+  StateBlob opt;
+  opt.scalars = {1.5};
+  opt.vectors = {{9, 8, 7}};
+  Checkpoint ckpt;
+  EXPECT_FALSE(ckpt.valid());
+  ckpt.capture(42, x, y, scalars, opt);
+  ASSERT_TRUE(ckpt.valid());
+  EXPECT_EQ(ckpt.iter(), 42);
+  EXPECT_TRUE(ckpt.verify());
+
+  std::vector<double> rx(3), ry(3), rs(2);
+  StateBlob ropt;
+  ASSERT_TRUE(ckpt.restore(rx, ry, rs, ropt));
+  EXPECT_EQ(rx, x);
+  EXPECT_EQ(ry, y);
+  EXPECT_EQ(rs, scalars);
+  ASSERT_EQ(ropt.vectors.size(), 1u);
+  EXPECT_EQ(ropt.vectors[0], opt.vectors[0]);
+
+  // Flip one payload bit: verify() and restore() must both refuse.
+  ckpt.mutable_x()[1] += 1e-9;
+  EXPECT_FALSE(ckpt.verify());
+  std::vector<double> untouched(3, -1.0);
+  EXPECT_FALSE(ckpt.restore(untouched, ry, rs, ropt));
+  EXPECT_EQ(untouched, std::vector<double>(3, -1.0));  // no partial writes
+}
+
+// ---- optimizer state round trip ----
+
+TEST(Optimizer, NesterovSaveRestoreReplaysIdentically) {
+  const size_t n = 16;
+  std::vector<double> x(n), y(n), gx(n), gy(n);
+  auto grad_at = [&](int k) {
+    for (size_t i = 0; i < n; ++i) {
+      gx[i] = 0.1 * static_cast<double>(i) - 0.05 * k;
+      gy[i] = -0.2 * static_cast<double>(i) + 0.01 * k;
+    }
+  };
+  placer::NesterovOptimizer opt(0.5);
+  for (size_t i = 0; i < n; ++i) x[i] = y[i] = static_cast<double>(i);
+  for (int k = 0; k < 5; ++k) {
+    grad_at(k);
+    opt.step(x, y, gx, gy);
+  }
+  StateBlob blob;
+  opt.save_state(blob);
+  const std::vector<double> x_at_save = x, y_at_save = y;
+
+  // Continue, then roll back and replay: trajectories must match bitwise.
+  for (int k = 5; k < 9; ++k) {
+    grad_at(k);
+    opt.step(x, y, gx, gy);
+  }
+  const std::vector<double> x_first = x, y_first = y;
+
+  opt.restore_state(blob);
+  x = x_at_save;
+  y = y_at_save;
+  for (int k = 5; k < 9; ++k) {
+    grad_at(k);
+    opt.step(x, y, gx, gy);
+  }
+  EXPECT_EQ(x, x_first);
+  EXPECT_EQ(y, y_first);
+}
+
+// ---- validation ----
+
+TEST(Validate, AcceptsHealthyDesignFlagsBrokenOnes) {
+  liberty::CellLibrary lib = liberty::make_synthetic_library();
+  Design d = make_design(200, 11, lib);
+  EXPECT_TRUE(validate(d).ok());
+
+  Design nan_pos = make_design(200, 11, lib);
+  nan_pos.cell_x[5] = std::numeric_limits<double>::quiet_NaN();
+  const ValidationReport r1 = validate(nan_pos);
+  EXPECT_FALSE(r1.ok());
+  EXPECT_FALSE(r1.to_string().empty());
+
+  Design short_arrays = make_design(200, 11, lib);
+  short_arrays.cell_x.pop_back();
+  EXPECT_FALSE(validate(short_arrays).ok());
+
+  Design no_core = make_design(200, 11, lib);
+  no_core.floorplan.core = Rect(0, 0, 0, 0);
+  EXPECT_FALSE(validate(no_core).ok());
+
+  Design pad_far_away = make_design(200, 11, lib);
+  for (size_t c = 0; c < pad_far_away.cell_x.size(); ++c) {
+    if (pad_far_away.netlist.cell(static_cast<int>(c)).fixed) {
+      pad_far_away.cell_x[c] = 1e9;
+      break;
+    }
+  }
+  EXPECT_FALSE(validate(pad_far_away).ok());
+}
+
+TEST(Validate, PlacerConstructorThrowsOnBrokenDesign) {
+  liberty::CellLibrary lib = liberty::make_synthetic_library();
+  Design d = make_design(200, 12, lib);
+  d.cell_y[3] = std::numeric_limits<double>::infinity();
+  sta::TimingGraph graph(d.netlist);
+  EXPECT_THROW(placer::GlobalPlacer(d, graph, fast_options()),
+               ValidationError);
+  // With guards off, the constructor performs no validation.
+  placer::GlobalPlacerOptions off = fast_options();
+  off.robust.enabled = false;
+  EXPECT_NO_THROW(placer::GlobalPlacer(d, graph, off));
+}
+
+TEST(Validate, AllFixedDesignRunsAsNoOp) {
+  liberty::CellLibrary lib = liberty::make_synthetic_library();
+  Design d = make_design(150, 13, lib);
+  for (size_t c = 0; c < d.cell_x.size(); ++c)
+    d.netlist.cell(static_cast<int>(c)).fixed = true;
+  sta::TimingGraph graph(d.netlist);
+  placer::GlobalPlacer placer(d, graph, fast_options());
+  const auto res = placer.run();
+  EXPECT_EQ(res.health, RunHealth::Ok);
+  EXPECT_EQ(res.iterations, 0);
+  EXPECT_TRUE(all_positions_finite(d));
+}
+
+// ---- end-to-end recovery paths ----
+
+TEST(Recovery, GuardsPreserveBitwiseTrajectory) {
+  liberty::CellLibrary lib = liberty::make_synthetic_library();
+  Design with_guards = make_design(400, 21, lib);
+  Design without = make_design(400, 21, lib);
+  sta::TimingGraph g1(with_guards.netlist), g2(without.netlist);
+
+  placer::GlobalPlacerOptions on = fast_options();
+  on.mode = placer::PlacerMode::DiffTiming;
+  placer::GlobalPlacerOptions off = on;
+  off.robust.enabled = false;
+
+  placer::GlobalPlacer p1(with_guards, g1, on);
+  const auto r1 = p1.run();
+  placer::GlobalPlacer p2(without, g2, off);
+  const auto r2 = p2.run();
+
+  EXPECT_EQ(r1.health, RunHealth::Ok);
+  EXPECT_EQ(r1.iterations, r2.iterations);
+  EXPECT_EQ(with_guards.cell_x, without.cell_x);  // bitwise, not approx
+  EXPECT_EQ(with_guards.cell_y, without.cell_y);
+}
+
+TEST(Recovery, RollsBackFromNanGradientAndConverges) {
+  liberty::CellLibrary lib = liberty::make_synthetic_library();
+  Design d = make_design(500, 22, lib);
+  sta::TimingGraph graph(d.netlist);
+  placer::GlobalPlacerOptions o = fast_options();
+  o.robust.fault_spec = "total_grad@80";
+  placer::GlobalPlacer placer(d, graph, o);
+  const auto res = placer.run();
+  EXPECT_EQ(res.health, RunHealth::Recovered);
+  EXPECT_GE(res.rollbacks, 1);
+  EXPECT_LT(res.overflow, 0.10);
+  EXPECT_TRUE(all_positions_finite(d));
+  ASSERT_FALSE(res.recoveries.empty());
+  EXPECT_EQ(res.recoveries[0].action, "rollback");
+}
+
+TEST(Recovery, RollsBackFromNanPositions) {
+  liberty::CellLibrary lib = liberty::make_synthetic_library();
+  Design d = make_design(500, 23, lib);
+  sta::TimingGraph graph(d.netlist);
+  placer::GlobalPlacerOptions o = fast_options();
+  o.robust.fault_spec = "position@90";
+  placer::GlobalPlacer placer(d, graph, o);
+  const auto res = placer.run();
+  EXPECT_EQ(res.health, RunHealth::Recovered);
+  EXPECT_GE(res.rollbacks, 1);
+  EXPECT_LT(res.overflow, 0.10);
+  EXPECT_TRUE(all_positions_finite(d));
+}
+
+TEST(Recovery, DetectsDivergenceAndRollsBack) {
+  liberty::CellLibrary lib = liberty::make_synthetic_library();
+  Design d = make_design(500, 24, lib);
+  sta::TimingGraph graph(d.netlist);
+  placer::GlobalPlacerOptions o = fast_options();
+  o.robust.fault_spec = "position@100*25";  // finite blow-up, no NaN
+  placer::GlobalPlacer placer(d, graph, o);
+  const auto res = placer.run();
+  EXPECT_EQ(res.health, RunHealth::Recovered);
+  EXPECT_GE(res.rollbacks, 1);
+  EXPECT_LT(res.overflow, 0.10);
+  bool saw_divergence = false;
+  for (const RecoveryEvent& ev : res.recoveries)
+    if (ev.kind == "divergence") saw_divergence = true;
+  EXPECT_TRUE(saw_divergence);
+}
+
+TEST(Recovery, DegradesTimingOnBadTimingGradients) {
+  liberty::CellLibrary lib = liberty::make_synthetic_library();
+  Design d = make_design(500, 25, lib);
+  sta::TimingGraph graph(d.netlist);
+  placer::GlobalPlacerOptions o = fast_options();
+  o.mode = placer::PlacerMode::DiffTiming;
+  o.timing_start_overflow = 1.0;  // activate timing at iter 60 regardless
+  o.robust.fault_spec = "timing_grad@80+4";
+  placer::GlobalPlacer placer(d, graph, o);
+  const auto res = placer.run();
+  EXPECT_GE(res.timing_fallbacks, 1);
+  EXPECT_EQ(res.rollbacks, 0);  // sanitized gradients never reach positions
+  EXPECT_EQ(res.health, RunHealth::Recovered);
+  EXPECT_LT(res.overflow, 0.10);
+  bool saw_degrade = false;
+  for (const RecoveryEvent& ev : res.recoveries)
+    if (ev.action == "degrade") saw_degrade = true;
+  EXPECT_TRUE(saw_degrade);
+}
+
+TEST(Recovery, DegradesTimingOnLutAdjointFault) {
+  liberty::CellLibrary lib = liberty::make_synthetic_library();
+  Design d = make_design(500, 26, lib);
+  sta::TimingGraph graph(d.netlist);
+  placer::GlobalPlacerOptions o = fast_options();
+  o.mode = placer::PlacerMode::DiffTiming;
+  o.timing_start_overflow = 1.0;  // activate timing at iter 60 regardless
+  o.robust.fault_spec = "lut@80+4";  // corrupts inside DiffTimer::backward
+  placer::GlobalPlacer placer(d, graph, o);
+  const auto res = placer.run();
+  EXPECT_GE(res.timing_fallbacks, 1);
+  EXPECT_LT(res.overflow, 0.10);
+  EXPECT_TRUE(all_positions_finite(d));
+}
+
+TEST(Recovery, AbortsCleanlyAfterBudgetExhausted) {
+  liberty::CellLibrary lib = liberty::make_synthetic_library();
+  Design d = make_design(500, 27, lib);
+  sta::TimingGraph graph(d.netlist);
+  placer::GlobalPlacerOptions o = fast_options();
+  o.robust.fault_spec = "total_grad@70+forever";
+  o.robust.max_recoveries = 3;
+  placer::GlobalPlacer placer(d, graph, o);
+  const auto res = placer.run();
+  EXPECT_EQ(res.health, RunHealth::Failed);
+  EXPECT_EQ(res.rollbacks, 3);
+  // Positions hold the best-known checkpoint: finite and inside the core.
+  EXPECT_TRUE(all_positions_finite(d));
+  const Rect& core = d.floorplan.core;
+  for (size_t c = 0; c < d.cell_x.size(); ++c) {
+    EXPECT_GE(d.cell_x[c], core.xl - 1e-9);
+    EXPECT_LE(d.cell_x[c], core.xh + 1e-9);
+  }
+  bool saw_abort = false;
+  for (const RecoveryEvent& ev : res.recoveries)
+    if (ev.action == "abort") saw_abort = true;
+  EXPECT_TRUE(saw_abort);
+}
+
+TEST(Recovery, FaultedRunsAreDeterministic) {
+  liberty::CellLibrary lib = liberty::make_synthetic_library();
+  placer::GlobalPlacerOptions o = fast_options();
+  o.robust.fault_spec = "total_grad@80";
+  o.robust.fault_seed = 7;
+
+  Design d1 = make_design(400, 28, lib);
+  sta::TimingGraph g1(d1.netlist);
+  const auto r1 = placer::GlobalPlacer(d1, g1, o).run();
+  Design d2 = make_design(400, 28, lib);
+  sta::TimingGraph g2(d2.netlist);
+  const auto r2 = placer::GlobalPlacer(d2, g2, o).run();
+
+  EXPECT_EQ(r1.iterations, r2.iterations);
+  EXPECT_EQ(r1.rollbacks, r2.rollbacks);
+  EXPECT_EQ(d1.cell_x, d2.cell_x);
+  EXPECT_EQ(d1.cell_y, d2.cell_y);
+}
+
+}  // namespace
+}  // namespace dtp::robust

@@ -34,6 +34,8 @@
 #include "placer/global_placer.h"
 #include "placer/legalizer.h"
 #include "placer/run_report.h"
+#include "robust/recovery.h"
+#include "robust/validate.h"
 #include "sta/report.h"
 #include "workload/circuit_gen.h"
 
@@ -70,7 +72,17 @@ void usage() {
                "                 [--metrics-out F.jsonl]     # per-iteration "
                "stream + F.summary.json\n"
                "                 [--log-level debug|info|warn|error|silent]\n"
-               "       dtp_place --demo CELLS [same output options]\n");
+               "                 [--max-recoveries N]   # rollback budget "
+               "(default 5)\n"
+               "                 [--no-timing-fallback] # fail instead of "
+               "degrading to wirelength forces\n"
+               "                 [--no-guards]          # disable the "
+               "fault-tolerance layer entirely\n"
+               "                 [--fault SPEC] [--fault-seed N]  # inject "
+               "faults, e.g. timing_grad@120+3\n"
+               "       dtp_place --demo CELLS [same output options]\n"
+               "exit codes: 0 ok, 1 usage/IO error, 2 invalid design, "
+               "3 placement failed (recovery budget exhausted)\n");
 }
 
 }  // namespace
@@ -159,6 +171,21 @@ int main(int argc, char** argv) {
                 design->name.c_str(), stats.num_std_cells, stats.num_nets,
                 stats.num_pins, design->constraints.clock_period);
 
+    // Pre-flight validation (DESIGN.md §7): refuse broken input with a clean
+    // diagnostic instead of asserting deep inside a placement kernel.
+    const bool guards = !arg_flag(argc, argv, "--no-guards");
+    if (guards) {
+      const robust::ValidationReport report = robust::validate(*design);
+      if (!report.ok()) {
+        std::fprintf(stderr, "dtp_place: invalid design (%zu fatal):\n%s",
+                     report.num_fatal, report.to_string().c_str());
+        return 2;
+      }
+      if (report.num_warnings() > 0)
+        DTP_LOG_WARN("design validation: %zu warning(s)\n%s",
+                     report.num_warnings(), report.to_string().c_str());
+    }
+
     // ---- placement ----
     sta::TimingGraph graph(design->netlist);
     placer::GlobalPlacerOptions popts;
@@ -175,12 +202,32 @@ int main(int argc, char** argv) {
     }
     popts.max_iters = arg_int(argc, argv, "--max-iters", popts.max_iters);
     popts.verbose = arg_flag(argc, argv, "--verbose");
+    popts.robust.enabled = guards;
+    popts.robust.max_recoveries =
+        arg_int(argc, argv, "--max-recoveries", popts.robust.max_recoveries);
+    popts.robust.timing_fallback = !arg_flag(argc, argv, "--no-timing-fallback");
+    popts.robust.fault_spec = arg_str(argc, argv, "--fault", "");
+    popts.robust.fault_seed = static_cast<uint64_t>(
+        arg_int(argc, argv, "--fault-seed",
+                static_cast<int>(popts.robust.fault_seed)));
     placer::GlobalPlacer gp(*design, graph, popts);
     const auto res = gp.run();
     std::printf("global placement: %d iterations, HPWL %.6g um, overflow %.3f, "
                 "%.1f s (timing engine %.1f s)\n",
                 res.iterations, res.hpwl, res.overflow, res.runtime_sec,
                 res.sta_runtime_sec);
+    if (res.health != robust::RunHealth::Ok)
+      std::printf("run health: %s (%d rollback(s), %d timing fallback(s))\n",
+                  robust::run_health_name(res.health), res.rollbacks,
+                  res.timing_fallbacks);
+    if (res.health == robust::RunHealth::Failed) {
+      std::fprintf(stderr,
+                   "dtp_place: placement failed: recovery budget exhausted "
+                   "after %d rollback(s); positions hold the best-known "
+                   "checkpoint\n",
+                   res.rollbacks);
+      return 3;
+    }
 
     if (metrics_path != nullptr) {
       const placer::RunMeta meta{design->name, mode};
@@ -257,8 +304,14 @@ int main(int argc, char** argv) {
                   trace_path, obs::Tracer::instance().num_events());
     }
     return 0;
+  } catch (const robust::ValidationError& e) {
+    std::fprintf(stderr, "dtp_place: invalid design: %s\n", e.what());
+    return 2;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "dtp_place: error: %s\n", e.what());
+    return 1;
+  } catch (...) {
+    std::fprintf(stderr, "dtp_place: error: unknown exception\n");
     return 1;
   }
 }
