@@ -1,0 +1,268 @@
+// Minimal recursive-descent JSON parser (no external deps, DESIGN.md §5).
+//
+// The production complement of JsonWriter: `dtp_report` parses the JSONL/JSON
+// run artifacts back, and the test suite validates every emitted artifact
+// through the same code path (tests/json_test_util.h is an alias of this
+// header).  Supports the full JSON value grammar; numbers are parsed as
+// double; \u escapes are decoded to UTF-8 (surrogate pairs included).
+//
+// Serialization policy for non-finite numbers (see JsonWriter::value(double)):
+// NaN and infinities are not representable in JSON and are *written* as
+// `null`, so a reader must treat a null where a number is expected as
+// "value was non-finite".  JsonValue::num_or() implements that convention.
+#pragma once
+
+#include <cctype>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace dtp {
+
+struct JsonValue {
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+  Kind kind = Kind::Null;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+
+  bool is_null() const { return kind == Kind::Null; }
+  bool is_object() const { return kind == Kind::Object; }
+  bool is_array() const { return kind == Kind::Array; }
+  bool is_number() const { return kind == Kind::Number; }
+  bool has(const std::string& key) const {
+    return is_object() && object.count(key) > 0;
+  }
+  const JsonValue& at(const std::string& key) const { return object.at(key); }
+  const JsonValue& at(size_t i) const { return array.at(i); }
+  double num(const std::string& key) const { return object.at(key).number; }
+  const std::string& str(const std::string& key) const {
+    return object.at(key).string;
+  }
+  // Number field with a default for missing keys *and* for null (the
+  // JsonWriter encoding of NaN/Inf).
+  double num_or(const std::string& key, double dflt) const {
+    if (!has(key)) return dflt;
+    const JsonValue& v = at(key);
+    return v.is_number() ? v.number : dflt;
+  }
+  std::string str_or(const std::string& key, const std::string& dflt) const {
+    if (!has(key)) return dflt;
+    const JsonValue& v = at(key);
+    return v.kind == Kind::String ? v.string : dflt;
+  }
+};
+
+class JsonParser {
+ public:
+  // Throws std::runtime_error on malformed input or trailing garbage.
+  static JsonValue parse(const std::string& text) {
+    JsonParser p(text);
+    JsonValue v = p.parse_value();
+    p.skip_ws();
+    if (p.pos_ != text.size()) p.fail("trailing characters");
+    return v;
+  }
+
+ private:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::runtime_error("JSON error at offset " + std::to_string(pos_) +
+                             ": " + what);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])))
+      ++pos_;
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume_literal(const char* lit) {
+    const size_t n = std::strlen(lit);
+    if (text_.compare(pos_, n, lit) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+
+  JsonValue parse_value() {
+    skip_ws();
+    const char c = peek();
+    JsonValue v;
+    if (c == '{') return parse_object();
+    if (c == '[') return parse_array();
+    if (c == '"') {
+      v.kind = JsonValue::Kind::String;
+      v.string = parse_string();
+      return v;
+    }
+    if (consume_literal("null")) return v;
+    if (consume_literal("true")) {
+      v.kind = JsonValue::Kind::Bool;
+      v.boolean = true;
+      return v;
+    }
+    if (consume_literal("false")) {
+      v.kind = JsonValue::Kind::Bool;
+      return v;
+    }
+    return parse_number();
+  }
+
+  JsonValue parse_object() {
+    JsonValue v;
+    v.kind = JsonValue::Kind::Object;
+    expect('{');
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    for (;;) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      v.object[key] = parse_value();
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return v;
+    }
+  }
+
+  JsonValue parse_array() {
+    JsonValue v;
+    v.kind = JsonValue::Kind::Array;
+    expect('[');
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    for (;;) {
+      v.array.push_back(parse_value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return v;
+    }
+  }
+
+  unsigned parse_hex4() {
+    if (pos_ + 4 > text_.size()) fail("bad \\u escape");
+    unsigned code = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char h = text_[pos_++];
+      code <<= 4;
+      if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+      else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+      else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+      else fail("bad \\u escape");
+    }
+    return code;
+  }
+
+  void append_utf8(std::string& out, unsigned cp) {
+    if (cp < 0x80) {
+      out += static_cast<char>(cp);
+    } else if (cp < 0x800) {
+      out += static_cast<char>(0xC0 | (cp >> 6));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else if (cp < 0x10000) {
+      out += static_cast<char>(0xE0 | (cp >> 12));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else {
+      out += static_cast<char>(0xF0 | (cp >> 18));
+      out += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) fail("bad escape");
+        const char e = text_[pos_++];
+        switch (e) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'u': {
+            unsigned cp = parse_hex4();
+            // Surrogate pair: a high surrogate must be followed by \uDC00-DFFF.
+            if (cp >= 0xD800 && cp <= 0xDBFF) {
+              if (pos_ + 2 > text_.size() || text_[pos_] != '\\' ||
+                  text_[pos_ + 1] != 'u')
+                fail("unpaired surrogate");
+              pos_ += 2;
+              const unsigned lo = parse_hex4();
+              if (lo < 0xDC00 || lo > 0xDFFF) fail("unpaired surrogate");
+              cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+            } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+              fail("unpaired surrogate");
+            }
+            append_utf8(out, cp);
+            break;
+          }
+          default: fail("unknown escape");
+        }
+      } else {
+        out += c;
+      }
+    }
+  }
+
+  JsonValue parse_number() {
+    const size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-'))
+      ++pos_;
+    if (pos_ == start) fail("expected a value");
+    JsonValue v;
+    v.kind = JsonValue::Kind::Number;
+    v.number = std::strtod(text_.substr(start, pos_ - start).c_str(), nullptr);
+    return v;
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace dtp

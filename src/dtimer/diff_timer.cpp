@@ -19,6 +19,7 @@ using netlist::PinId;
 using sta::Arc;
 using sta::ArcCandidate;
 using sta::ArcKind;
+using sta::LevelStat;
 
 DiffTimer::DiffTimer(const netlist::Design& design, const sta::TimingGraph& graph,
                      DiffTimerOptions options)
@@ -193,7 +194,15 @@ void DiffTimer::backward(double t1, double t2, double h1, double h2,
   std::vector<ArcCandidate> cands;
   std::vector<double> values, w_at, w_slew;
 
+  static obs::Histogram& bwd_level_hist =
+      obs::MetricsRegistry::instance().histogram("dtimer.bwd_level_ms");
+  if (profile_levels_ &&
+      bwd_level_profile_.size() < static_cast<size_t>(graph.num_levels()))
+    bwd_level_profile_.resize(static_cast<size_t>(graph.num_levels()));
+  Stopwatch level_clock;
+
   for (int l = graph.num_levels() - 1; l >= 0; --l) {
+    if (profile_levels_) level_clock.reset();
     for (const PinId v : graph.level(l)) {
       const auto fanin = graph.fanin(v);
       if (!fanin.empty()) {
@@ -376,6 +385,13 @@ void DiffTimer::backward(double t1, double t2, double h1, double h2,
           pin_gy_[yp] += scratch_gy_[node];
         }
       }
+    }
+    if (profile_levels_) {
+      const double ms = level_clock.elapsed_ms();
+      LevelStat& stat = bwd_level_profile_[static_cast<size_t>(l)];
+      ++stat.calls;
+      stat.ms += ms;
+      bwd_level_hist.observe(ms);
     }
   }
 

@@ -101,6 +101,23 @@ class DiffTimer {
   // backward() — the health signal behind graceful timing degradation.
   size_t last_backward_nonfinite() const { return last_backward_nonfinite_; }
 
+  // Per-level kernel profiling (DESIGN.md §8): enables the wrapped timer's
+  // forward-dispatch timing and, additionally, times each topological level
+  // of the adjoint sweep.  Pure observation — gradients are identical with
+  // profiling on or off.
+  void set_level_profiling(bool on) {
+    profile_levels_ = on;
+    timer_.set_level_profiling(on);
+  }
+  // Indexed by topological level, accumulated across backward() calls.
+  const std::vector<sta::LevelStat>& backward_level_profile() const {
+    return bwd_level_profile_;
+  }
+  void reset_level_profiles() {
+    bwd_level_profile_.clear();
+    timer_.reset_level_profile();
+  }
+
  private:
   sta::Timer timer_;
   DiffTimerOptions options_;
@@ -109,6 +126,8 @@ class DiffTimer {
   robust::FaultInjector* fault_injector_ = nullptr;
   int fault_tick_ = 0;
   size_t last_backward_nonfinite_ = 0;
+  bool profile_levels_ = false;
+  std::vector<sta::LevelStat> bwd_level_profile_;
 
   // Backward state, sized once.
   std::vector<double> g_at_, g_slew_;               // late, [pin*2 + tr]

@@ -1,0 +1,119 @@
+#include "obs/introspect/grad_attrib.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/json_writer.h"
+
+namespace dtp::obs {
+
+namespace {
+
+struct Accumulator {
+  double l1 = 0.0, l2sq = 0.0, max_abs = 0.0;
+  void add(double gx, double gy) {
+    const double ax = std::abs(gx);
+    const double ay = std::abs(gy);
+    l1 += ax + ay;
+    l2sq += gx * gx + gy * gy;
+    if (ax > max_abs) max_abs = ax;
+    if (ay > max_abs) max_abs = ay;
+  }
+  GradComponent finish() const {
+    return {l1, std::sqrt(l2sq), max_abs};
+  }
+};
+
+}  // namespace
+
+GradAttribution compute_grad_attribution(const GradArrays& g, int top_m) {
+  GradAttribution out;
+  const size_t n = g.total_x.size();
+  const double mean_area = g.mean_area > 0.0 ? g.mean_area : 1.0;
+
+  Accumulator wl, den, t, total;
+  double residual_sq = 0.0;
+  std::vector<TopCellGrad> timing_cells;
+  for (size_t c = 0; c < n; ++c) {
+    if (!g.movable.empty() && !g.movable[c]) continue;
+    // Same preconditioner formula the combine loop applies.
+    const double p =
+        std::max(1.0, g.precond[c] + g.lambda * g.area[c] / mean_area);
+    const double wlx = g.wl_x[c] / p, wly = g.wl_y[c] / p;
+    const double dx = g.den_x[c] / p, dy = g.den_y[c] / p;
+    const double tx = g.t_x[c] / p, ty = g.t_y[c] / p;
+    wl.add(wlx, wly);
+    den.add(dx, dy);
+    t.add(tx, ty);
+    total.add(g.total_x[c], g.total_y[c]);
+    const double rx = g.total_x[c] - (wlx + dx + tx);
+    const double ry = g.total_y[c] - (wly + dy + ty);
+    residual_sq += rx * rx + ry * ry;
+    const double mag = std::sqrt(tx * tx + ty * ty);
+    if (mag > 0.0)
+      timing_cells.push_back({static_cast<netlist::CellId>(c), tx, ty, mag});
+  }
+  out.wirelength = wl.finish();
+  out.density = den.finish();
+  out.timing = t.finish();
+  out.total = total.finish();
+  out.residual_l2 = std::sqrt(residual_sq);
+  out.accounted_fraction =
+      out.total.l2 > 0.0 ? 1.0 - out.residual_l2 / out.total.l2 : 1.0;
+
+  const size_t m = std::min<size_t>(
+      timing_cells.size(), top_m < 0 ? 0 : static_cast<size_t>(top_m));
+  std::partial_sort(timing_cells.begin(), timing_cells.begin() + m,
+                    timing_cells.end(),
+                    [](const TopCellGrad& a, const TopCellGrad& b) {
+                      if (a.mag != b.mag) return a.mag > b.mag;
+                      return a.cell < b.cell;  // deterministic tie-break
+                    });
+  timing_cells.resize(m);
+  out.top_timing_cells = std::move(timing_cells);
+  return out;
+}
+
+namespace {
+
+void component_object(JsonWriter& w, const GradComponent& c) {
+  w.begin_object();
+  w.key("l1").value(c.l1);
+  w.key("l2").value(c.l2);
+  w.key("max_abs").value(c.max_abs);
+  w.end_object();
+}
+
+}  // namespace
+
+void grad_attribution_fields(JsonWriter& w, const GradAttribution& a,
+                             const netlist::Netlist& nl) {
+  w.key("wirelength");
+  component_object(w, a.wirelength);
+  w.key("density");
+  component_object(w, a.density);
+  w.key("timing");
+  component_object(w, a.timing);
+  w.key("total");
+  component_object(w, a.total);
+  w.key("residual_l2").value(a.residual_l2);
+  w.key("accounted_fraction").value(a.accounted_fraction);
+  w.key("timing_clipped").value(static_cast<uint64_t>(a.timing_clipped));
+  w.key("timing_nonzero").value(static_cast<uint64_t>(a.timing_nonzero));
+  if (a.timing_nonzero > 0)
+    w.key("clip_fraction")
+        .value(static_cast<double>(a.timing_clipped) /
+               static_cast<double>(a.timing_nonzero));
+  w.key("top_timing_cells").begin_array();
+  for (const TopCellGrad& c : a.top_timing_cells) {
+    w.begin_object();
+    w.key("cell").value(nl.cell(c.cell).name);
+    w.key("gx").value(c.gx);
+    w.key("gy").value(c.gy);
+    w.key("mag").value(c.mag);
+    w.end_object();
+  }
+  w.end_array();
+}
+
+}  // namespace dtp::obs

@@ -1,0 +1,70 @@
+// Gradient attribution (DESIGN.md §8): per-iteration decomposition of the
+// descent gradient into its wirelength / density / timing components.
+//
+// The placer's combined gradient is g = (g_wl + g_den + g_t) / p per movable
+// cell (p the preconditioner).  Attribution computes the norms of each
+// preconditioned component, the norm of the combined gradient, and the
+// residual || g - (g_wl + g_den + g_t)/p ||_2 — zero up to rounding, so the
+// components provably account for the whole gradient budget (the acceptance
+// bar is >= 99.9%).  It also surfaces the top-M cells by timing-gradient
+// magnitude and the trust-region clip fraction, which is what makes the
+// robust layer's timing-degradation decisions explainable: a degradation
+// record cites the attribution of the iteration that tripped it.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "netlist/netlist.h"
+
+namespace dtp {
+class JsonWriter;
+}
+
+namespace dtp::obs {
+
+struct GradComponent {
+  double l1 = 0.0;
+  double l2 = 0.0;
+  double max_abs = 0.0;
+};
+
+struct TopCellGrad {
+  netlist::CellId cell = netlist::kInvalidId;
+  double gx = 0.0;  // preconditioned timing-gradient components
+  double gy = 0.0;
+  double mag = 0.0;
+};
+
+struct GradAttribution {
+  GradComponent wirelength, density, timing, total;
+  double residual_l2 = 0.0;        // || total - sum(components)/p ||_2
+  double accounted_fraction = 1.0; // 1 - residual_l2 / total.l2 (1 if total=0)
+  size_t timing_clipped = 0;       // trust-region clip stats of this iteration
+  size_t timing_nonzero = 0;
+  std::vector<TopCellGrad> top_timing_cells;  // magnitude-descending
+};
+
+// The placer's gradient state for one iteration.  All spans are per cell;
+// total_x/total_y hold the final combined (preconditioned, masked) gradient
+// that feeds the optimizer step.
+struct GradArrays {
+  std::span<const double> wl_x, wl_y;        // wirelength gradient
+  std::span<const double> den_x, den_y;      // density gradient (lambda-scaled)
+  std::span<const double> t_x, t_y;          // timing gradient (scaled+clipped)
+  std::span<const double> total_x, total_y;  // combined descent gradient
+  std::span<const double> precond;           // cell incidence weights
+  std::span<const double> area;              // cell areas
+  std::span<const char> movable;             // fixed cells carry no gradient
+  double lambda = 0.0;                       // density weight
+  double mean_area = 1.0;                    // movable mean area
+};
+
+GradAttribution compute_grad_attribution(const GradArrays& g, int top_m);
+
+// Serializes the attribution's fields (cell names resolved through `nl`) at
+// the writer's current position; the caller owns the enclosing object.
+void grad_attribution_fields(JsonWriter& w, const GradAttribution& a,
+                             const netlist::Netlist& nl);
+
+}  // namespace dtp::obs

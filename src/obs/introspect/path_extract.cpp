@@ -1,0 +1,158 @@
+#include "obs/introspect/path_extract.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/json_writer.h"
+#include "sta/cell_arc_eval.h"
+
+namespace dtp::obs {
+
+using netlist::NetId;
+using netlist::PinId;
+using sta::Arc;
+using sta::ArcCandidate;
+using sta::ArcKind;
+
+const char* stage_via_name(StageVia via) {
+  switch (via) {
+    case StageVia::Source: return "source";
+    case StageVia::Wire: return "wire";
+    case StageVia::Cell: return "cell";
+  }
+  return "?";
+}
+
+namespace {
+
+// Walks from `endpoint` back to a source along the hard-max fan-in, filling
+// stages endpoint-first (the caller reverses).
+std::vector<PathStage> walk_back(const sta::Timer& timer, PinId endpoint,
+                                 int tr) {
+  const sta::TimingGraph& graph = timer.graph();
+  std::vector<PathStage> rev;
+  std::vector<ArcCandidate> cands;
+  PinId p = endpoint;
+  for (;;) {
+    PathStage stage;
+    stage.pin = p;
+    stage.tr = tr;
+    stage.at = timer.at(p, tr);
+    stage.slew = timer.slew(p, tr);
+    stage.slack = timer.pin_slack(p);
+    const auto fanin = graph.fanin(p);
+    if (fanin.empty()) {
+      rev.push_back(stage);  // a source: keeps delay = 0, via = Source
+      return rev;
+    }
+    const Arc& first = graph.arcs()[static_cast<size_t>(fanin[0])];
+    if (first.kind == ArcKind::NetArc) {
+      // Single fan-in wire arc; the transition passes through unchanged.
+      stage.via = StageVia::Wire;
+      stage.delay = timer.net_timing(first.net)
+                        .used_delay[static_cast<size_t>(first.sink_index)];
+      rev.push_back(stage);
+      p = first.from;
+      continue;
+    }
+    // Cell arcs: re-derive the candidates and take the hard-max arrival, the
+    // exact choice the Hard-mode forward pass aggregated.
+    const NetId out_net = graph.driven_timing_net(p);
+    const double load =
+        out_net == netlist::kInvalidId
+            ? 0.0
+            : timer.net_timing(out_net).root_load();
+    cands.clear();
+    for (int ai : fanin)
+      gather_arc_candidates(graph.arcs()[static_cast<size_t>(ai)], tr,
+                            timer.at_data(), timer.slew_data(), load, cands);
+    if (cands.empty()) {
+      rev.push_back(stage);  // unreachable fan-in; treat as path start
+      return rev;
+    }
+    size_t best = 0;
+    for (size_t k = 1; k < cands.size(); ++k)
+      if (cands[k].at_value > cands[best].at_value) best = k;
+    stage.via = StageVia::Cell;
+    stage.delay = cands[best].delay_q.value;
+    rev.push_back(stage);
+    p = cands[best].from;
+    tr = cands[best].tr_in;
+  }
+}
+
+}  // namespace
+
+std::vector<PathRecord> extract_critical_paths(sta::Timer& timer, int top_k) {
+  const sta::TimingGraph& graph = timer.graph();
+  const auto& endpoints = graph.endpoints();
+  const auto& ep_slack = timer.endpoint_slack();
+  timer.update_required();  // per-pin slack columns for the stages
+
+  std::vector<size_t> order;
+  order.reserve(endpoints.size());
+  for (size_t e = 0; e < endpoints.size(); ++e)
+    if (std::isfinite(ep_slack[e])) order.push_back(e);
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    if (ep_slack[a] != ep_slack[b]) return ep_slack[a] < ep_slack[b];
+    return a < b;  // deterministic tie-break
+  });
+  if (top_k >= 0 && order.size() > static_cast<size_t>(top_k))
+    order.resize(static_cast<size_t>(top_k));
+
+  std::vector<PathRecord> records;
+  records.reserve(order.size());
+  for (const size_t e : order) {
+    PathRecord rec;
+    rec.endpoint_index = e;
+    rec.endpoint = endpoints[e].pin;
+    rec.slack = ep_slack[e];
+    // Worst transition: smallest per-transition setup slack with a finite
+    // arrival.
+    double worst = std::numeric_limits<double>::infinity();
+    rec.tr = sta::kRise;
+    for (int tr = 0; tr < 2; ++tr) {
+      const double at = timer.at(rec.endpoint, tr);
+      if (!std::isfinite(at)) continue;
+      const double s = timer.endpoint_setup_rat(e, tr).value - at;
+      if (s < worst) {
+        worst = s;
+        rec.tr = tr;
+      }
+    }
+    rec.arrival = timer.at(rec.endpoint, rec.tr);
+    rec.required = timer.endpoint_setup_rat(e, rec.tr).value;
+    if (!std::isfinite(rec.arrival)) continue;  // disconnected endpoint
+    std::vector<PathStage> rev = walk_back(timer, rec.endpoint, rec.tr);
+    rec.stages.assign(rev.rbegin(), rev.rend());
+    records.push_back(std::move(rec));
+  }
+  return records;
+}
+
+void path_record_fields(JsonWriter& w, const sta::Timer& timer,
+                        const PathRecord& record) {
+  const netlist::Netlist& nl = timer.design().netlist;
+  w.key("endpoint").value(nl.pin_full_name(record.endpoint));
+  w.key("endpoint_index").value(static_cast<uint64_t>(record.endpoint_index));
+  w.key("dir").value(record.tr == sta::kRise ? "rise" : "fall");
+  w.key("arrival").value(record.arrival);
+  w.key("required").value(record.required);
+  w.key("slack").value(record.slack);
+  w.key("stages").begin_array();
+  for (const PathStage& s : record.stages) {
+    w.begin_object();
+    w.key("pin").value(nl.pin_full_name(s.pin));
+    w.key("dir").value(s.tr == sta::kRise ? "rise" : "fall");
+    w.key("via").value(stage_via_name(s.via));
+    w.key("delay").value(s.delay);
+    w.key("at").value(s.at);
+    w.key("slew").value(s.slew);
+    w.key("slack").value(s.slack);
+    w.end_object();
+  }
+  w.end_array();
+}
+
+}  // namespace dtp::obs

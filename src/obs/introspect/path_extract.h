@@ -1,0 +1,67 @@
+// Top-K critical-path extraction (DESIGN.md §8).
+//
+// A backward walk from the worst-slack endpoints through the levelized
+// arrival-time graph, following at every cell the fan-in candidate that
+// produced the (hard) maximum arrival — the same walk trace_critical_path()
+// performs, but capturing the *per-stage arc data* a path report needs: arc
+// kind, arc delay, slew and per-pin slack at each stage.
+//
+// On a Hard-mode timer the captured delays are signoff-exact and telescope:
+//
+//     at(source) + sum(stage delays) == at(endpoint)
+//
+// which is the invariant tests/test_introspect.cpp enforces against the
+// reference forward pass.  On a Smooth-mode timer the walk still follows the
+// hard-max candidates but arrivals are LSE-smoothed, so the identity holds
+// only approximately; the placer therefore extracts paths from its exact
+// (hard) signoff timer, never from the differentiable one.
+#pragma once
+
+#include <vector>
+
+#include "sta/timer.h"
+
+namespace dtp {
+class JsonWriter;
+}
+
+namespace dtp::obs {
+
+// How the signal reached a stage's pin.
+enum class StageVia : uint8_t { Source, Wire, Cell };
+
+const char* stage_via_name(StageVia via);
+
+struct PathStage {
+  sta::PinId pin = netlist::kInvalidId;
+  int tr = 0;                        // sta::kRise / sta::kFall
+  StageVia via = StageVia::Source;   // arc kind into this pin
+  double delay = 0.0;                // delay of that arc (0 for the source)
+  double at = 0.0;                   // arrival at this pin, this transition
+  double slew = 0.0;
+  double slack = 0.0;                // RAT-based per-pin slack (worst tr)
+};
+
+struct PathRecord {
+  size_t endpoint_index = 0;         // index into graph.endpoints()
+  sta::PinId endpoint = netlist::kInvalidId;
+  int tr = 0;                        // worst transition at the endpoint
+  double arrival = 0.0;              // at(endpoint, tr)
+  double required = 0.0;             // setup requirement at (endpoint, tr)
+  double slack = 0.0;                // endpoint slack (aggregated over tr)
+  std::vector<PathStage> stages;     // source first, endpoint last
+};
+
+// Extracts the `top_k` worst-slack endpoint paths.  Requires a completed
+// propagate() + update_slacks(); runs update_required() itself so every stage
+// carries its per-pin slack.  Endpoints with non-finite slack (off any
+// constrained path) are skipped.
+std::vector<PathRecord> extract_critical_paths(sta::Timer& timer, int top_k);
+
+// Serializes the record's fields (names resolved through the timer's
+// netlist) at the writer's current position; the caller owns the enclosing
+// object and its meta fields (type/design/iter).
+void path_record_fields(JsonWriter& w, const sta::Timer& timer,
+                        const PathRecord& record);
+
+}  // namespace dtp::obs

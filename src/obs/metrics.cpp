@@ -26,11 +26,15 @@ void Histogram::observe(double v) {
   if (count_ == 0 || v > max_) max_ = v;
   ++count_;
   sum_ += v;
-  int k = 0;
+  // Signed bucket domain (see metrics.h): magnitudes < 1 land in the shared
+  // zero bucket; otherwise 1 + floor(log2(|v|)) picks the side's bucket.
   if (v >= 1.0) {
-    k = std::min(kBuckets - 1, 1 + static_cast<int>(std::log2(v)));
+    ++buckets_[std::min(kBuckets - 1, 1 + static_cast<int>(std::log2(v)))];
+  } else if (v <= -1.0) {
+    ++neg_buckets_[std::min(kBuckets - 1, 1 + static_cast<int>(std::log2(-v)))];
+  } else {
+    ++buckets_[0];
   }
-  ++buckets_[k];
 }
 
 void Histogram::reset() {
@@ -38,6 +42,7 @@ void Histogram::reset() {
   count_ = 0;
   sum_ = min_ = max_ = 0.0;
   for (auto& b : buckets_) b = 0;
+  for (auto& b : neg_buckets_) b = 0;
 }
 
 MetricsRegistry& MetricsRegistry::instance() {
@@ -97,8 +102,14 @@ std::string MetricsRegistry::to_json() const {
     w.key("min").value(h->min());
     w.key("max").value(h->max());
     w.key("mean").value(h->mean());
-    // Sparse bucket map: upper bound (2^k) -> count.
+    // Sparse bucket map keyed by the bound nearer zero's far side: positive
+    // buckets by upper bound (2^k), negative buckets by lower bound (-2^k).
     w.key("buckets").begin_object();
+    for (int k = Histogram::kBuckets - 1; k >= 1; --k) {
+      if (h->neg_bucket(k) == 0) continue;
+      w.key("-" + std::to_string(static_cast<long long>(1) << k))
+          .value(h->neg_bucket(k));
+    }
     for (int k = 0; k < Histogram::kBuckets; ++k) {
       if (h->bucket(k) == 0) continue;
       w.key(std::to_string(static_cast<long long>(1) << k)).value(h->bucket(k));

@@ -53,10 +53,19 @@ class Gauge {
   std::atomic<double> value_{0.0};
 };
 
-// Wall-time (or any nonnegative-valued) histogram.  Buckets are powers of two
-// of the unit: bucket k counts observations in [2^(k-1), 2^k) (k=0 catches
-// [0,1)).  Thread-safe via a per-histogram mutex — observations happen at
-// phase granularity, not per cell, so contention is nil.
+// General-purpose value histogram with a *signed* power-of-two bucket domain.
+// Wall-times feed the positive side; slack histograms (introspection records,
+// DESIGN.md §8) are signed with the interesting mass below zero, so the
+// boundaries are stable and symmetric by construction:
+//
+//   bucket(k), k >= 1      counts v in [2^(k-1), 2^k)
+//   bucket(0)              counts v in (-1, 1)        (the "zero" bucket)
+//   neg_bucket(k), k >= 1  counts v in (-2^k, -2^(k-1)]
+//
+// neg_bucket(0) is never used (the zero bucket owns (-1,1)).  Out-of-range
+// magnitudes clamp into the outermost bucket.  Thread-safe via a
+// per-histogram mutex — observations happen at phase granularity, not per
+// cell, so contention is nil.
 class Histogram {
  public:
   static constexpr int kBuckets = 40;
@@ -69,6 +78,7 @@ class Histogram {
   double max() const { return count_ ? max_ : 0.0; }
   double mean() const { return count_ ? sum_ / static_cast<double>(count_) : 0.0; }
   uint64_t bucket(int k) const { return buckets_[k]; }
+  uint64_t neg_bucket(int k) const { return neg_buckets_[k]; }
   void reset();
 
  private:
@@ -79,6 +89,7 @@ class Histogram {
   double min_ = 0.0;
   double max_ = 0.0;
   uint64_t buckets_[kBuckets] = {};
+  uint64_t neg_buckets_[kBuckets] = {};
 };
 
 class MetricsRegistry {

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
+#include <span>
+#include <string>
 
 #include "common/logger.h"
 #include "common/stopwatch.h"
@@ -40,11 +43,22 @@ GlobalPlacer::GlobalPlacer(netlist::Design& design, const sta::TimingGraph& grap
     dopts.wire_model = options_.wire_model;
     diff_timer_ = std::make_unique<dtimer::DiffTimer>(design, graph, dopts);
   }
+  // Path records come from an exact (hard) signoff timer — never the smoothed
+  // differentiable one — so introspection may need one even in modes that
+  // would not otherwise build it.
+  const bool want_paths = options_.introspect_sink != nullptr &&
+                          options_.introspect.paths_topk > 0;
   if (options_.mode == PlacerMode::NetWeighting ||
-      options_.probe_timing_every > 0) {
+      options_.probe_timing_every > 0 || want_paths) {
     exact_timer_ = std::make_unique<sta::Timer>(design, graph);
     if (options_.mode == PlacerMode::NetWeighting)
       net_weighting_ = std::make_unique<NetWeighting>(design, graph, options_.nw);
+  }
+  if (options_.introspect_sink != nullptr) {
+    // Per-level kernel profiling for the kernel_profile records.  Timing only;
+    // never observable in the placement trajectory.
+    if (diff_timer_ != nullptr) diff_timer_->set_level_profiling(true);
+    if (exact_timer_ != nullptr) exact_timer_->set_level_profiling(true);
   }
 }
 
@@ -205,6 +219,72 @@ PlaceResult GlobalPlacer::run() {
     return true;
   };
 
+  // ---- timing introspection (DESIGN.md §8) ----
+  // A pure observer: reads gradient/position state, runs the separate exact
+  // timer for path records.  Disabled (null/closed sink) and enabled runs
+  // produce bitwise-identical placements (tests/test_introspect.cpp).
+  obs::IntrospectionSink* sink = options_.introspect_sink != nullptr &&
+                                         options_.introspect_sink->is_open()
+                                     ? options_.introspect_sink
+                                     : nullptr;
+  if (sink != nullptr)
+    sink->set_meta(design_->name,
+                   options_.mode == PlacerMode::DiffTiming ? "diff_timing"
+                   : options_.mode == PlacerMode::NetWeighting
+                       ? "net_weighting"
+                       : "wirelength_only");
+  double combine_lambda = 0.0;  // the lambda the combine loop actually used
+  size_t clip_clipped = 0, clip_nonzero = 0;  // this iteration's trust region
+  std::string pending_trigger;  // robust-layer decision awaiting attribution
+  int last_emit_iter = -1;
+  double last_wns = 0.0, last_tns = 0.0;
+  bool seen_timing = false;
+
+  auto emit_attribution = [&](int at_iter, const std::string& trigger) {
+    if (sink == nullptr) return;
+    obs::GradArrays ga;
+    ga.wl_x = g_wl_x;
+    ga.wl_y = g_wl_y;
+    ga.den_x = g_den_x;
+    ga.den_y = g_den_y;
+    ga.t_x = g_t_x;
+    ga.t_y = g_t_y;
+    ga.total_x = g_x;
+    ga.total_y = g_y;
+    ga.precond = precond;
+    ga.area = area;
+    ga.movable = movable;
+    ga.lambda = combine_lambda;
+    ga.mean_area = mean_area;
+    obs::GradAttribution attrib =
+        obs::compute_grad_attribution(ga, options_.introspect.top_m_cells);
+    attrib.timing_clipped = clip_clipped;
+    attrib.timing_nonzero = clip_nonzero;
+    sink->write_grad_attribution(at_iter, attrib, nl, trigger);
+  };
+  auto emit_introspection = [&](int at_iter) {
+    if (sink == nullptr) return;
+    last_emit_iter = at_iter;
+    emit_attribution(at_iter, {});
+    if (options_.introspect.paths_topk > 0 && exact_timer_ != nullptr) {
+      exact_timer_->evaluate(x, y);  // hard-mode signoff pass for exact paths
+      sink->write_paths(at_iter, *exact_timer_, options_.introspect.paths_topk);
+    }
+    std::vector<size_t> level_sizes(static_cast<size_t>(graph_->num_levels()));
+    for (int l = 0; l < graph_->num_levels(); ++l)
+      level_sizes[static_cast<size_t>(l)] = graph_->level(l).size();
+    std::span<const sta::LevelStat> fwd, bwd;
+    if (diff_timer_ != nullptr) {
+      fwd = diff_timer_->timer().level_profile();
+      bwd = diff_timer_->backward_level_profile();
+    }
+    // Before timing activates the differentiable timer has not run; the exact
+    // signoff timer (which just timed the path pass) profiles instead.
+    if (fwd.empty() && exact_timer_ != nullptr)
+      fwd = exact_timer_->level_profile();
+    sink->write_kernel_profile(at_iter, level_sizes, fwd, bwd);
+  };
+
   int iter = 0;
   Stopwatch phase_clock;
   for (; iter < options_.max_iters; ++iter) {
@@ -269,6 +349,7 @@ PlaceResult GlobalPlacer::run() {
 
     std::fill(g_t_x.begin(), g_t_x.end(), 0.0);
     std::fill(g_t_y.begin(), g_t_y.end(), 0.0);
+    clip_clipped = clip_nonzero = 0;
     bool precond_dirty = false;
     // Graceful degradation: while timing is suspended (repeated degenerate
     // backward passes) the placer runs on pure wirelength+density forces and
@@ -310,7 +391,8 @@ PlaceResult GlobalPlacer::run() {
             diff_timer_->last_backward_nonfinite();
         std::fill(g_t_x.begin(), g_t_x.end(), 0.0);
         std::fill(g_t_y.begin(), g_t_y.end(), 0.0);
-        rc.on_timing_grad(iter, bad, 0, 0);
+        if (rc.on_timing_grad(iter, bad, 0, 0))
+          pending_trigger = "timing_degrade";
         t_grad_ok = false;
       }
       // Normalize timing-gradient magnitude against the wirelength gradient,
@@ -343,9 +425,12 @@ PlaceResult GlobalPlacer::run() {
               g_t_y[c] = std::clamp(g_t_y[c], -by, by);
             }
           }
+          clip_clipped = clipped;
+          clip_nonzero = nonzero;
           // Near-total clipping means the trust region is doing all the work
           // — the timing model has degenerated; repeated reports degrade.
-          if (guards) rc.on_timing_grad(iter, 0, clipped, nonzero);
+          if (guards && rc.on_timing_grad(iter, 0, clipped, nonzero))
+            pending_trigger = "timing_degrade";
         }
         t_mix = std::min(options_.t_max, t_mix * options_.t_growth);
       }
@@ -374,6 +459,7 @@ PlaceResult GlobalPlacer::run() {
     // ---- combine, precondition, mask, step ----
     phase_clock.reset();
     if (precond_dirty) precond = wl_->cell_incidence_weights();
+    combine_lambda = lambda;
     for (size_t c = 0; c < n; ++c) {
       if (!movable[c]) {
         g_x[c] = 0.0;
@@ -389,6 +475,9 @@ PlaceResult GlobalPlacer::run() {
       inj->corrupt(robust::FaultSite::TotalGrad, iter, g_x, g_y);
     // ---- guard: the combined gradient feeds the step directly ----
     if (guards && !robust::HealthMonitor::all_finite(g_x, g_y)) {
+      // Attribute the poisoned gradient (NaNs serialize as null) so the
+      // rollback decision is explainable from the artifact alone.
+      emit_attribution(iter, "nan_grad");
       if (!handle_fault(iter, "nan_grad", "non-finite descent gradient")) break;
       continue;
     }
@@ -419,12 +508,42 @@ PlaceResult GlobalPlacer::run() {
     if (options_.verbose && iter % 50 == 0)
       DTP_LOG_INFO("iter %4d  hpwl %.4g  overflow %.3f  lambda %.3g", iter,
                    log.hpwl, ds.overflow, lambda);
+    if (log.has_timing) {
+      last_wns = log.wns;
+      last_tns = log.tns;
+      seen_timing = true;
+    }
+    // Operator heartbeat: bypasses the logger so it survives --log-level off.
+    if (options_.progress_every > 0 && iter % options_.progress_every == 0) {
+      if (seen_timing)
+        std::fprintf(stderr,
+                     "[dtp] iter %4d  hpwl %.6g  overflow %.3f  wns %.4g  "
+                     "tns %.4g  health %s\n",
+                     iter, log.hpwl, ds.overflow, last_wns, last_tns,
+                     robust::run_health_name(rc.health()));
+      else
+        std::fprintf(stderr,
+                     "[dtp] iter %4d  hpwl %.6g  overflow %.3f  health %s\n",
+                     iter, log.hpwl, ds.overflow,
+                     robust::run_health_name(rc.health()));
+      std::fflush(stderr);
+    }
+    // Off-cadence attribution forced by a robust-layer decision this
+    // iteration, then the regular sampling cadence.
+    if (!pending_trigger.empty()) {
+      emit_attribution(iter, pending_trigger);
+      pending_trigger.clear();
+    }
+    if (sink != nullptr && options_.introspect.sample_period > 0 &&
+        iter % options_.introspect.sample_period == 0)
+      emit_introspection(iter);
 
     // ---- guard: divergence vs the trailing window (HPWL blow-up or a
     // sharp overflow rebound are both far outside healthy variation) ----
     if (guards) {
       const robust::Verdict verdict = rc.monitor().observe(log.hpwl, ds.overflow);
       if (verdict != robust::Verdict::Healthy) {
+        emit_attribution(iter, "divergence");
         if (!handle_fault(iter, "divergence",
                           "hpwl/overflow blow-up vs trailing window"))
           break;
@@ -435,6 +554,12 @@ PlaceResult GlobalPlacer::run() {
     if (iter >= options_.min_iters && ds.overflow < options_.stop_overflow)
       break;
   }
+
+  // Final introspection sample so the artifact always ends with the converged
+  // state (skipped if the cadence already emitted this iteration).
+  const int final_iter = std::min(iter, options_.max_iters - 1);
+  if (sink != nullptr && final_iter >= 0 && last_emit_iter != final_iter)
+    emit_introspection(final_iter);
 
   result.iterations = std::min(iter + 1, options_.max_iters);
   result.hpwl = wl_->hpwl_unweighted(x, y);

@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "dtimer/diff_timer.h"
+#include "obs/introspect/introspect.h"
 #include "placer/density.h"
 #include "placer/net_weighting.h"
 #include "placer/optimizer.h"
@@ -98,6 +99,19 @@ struct GlobalPlacerOptions {
   // graceful timing degradation.  Guards are pure observers on a healthy run —
   // an un-faulted placement is bitwise-identical with them on or off.
   robust::RecoveryOptions robust;
+
+  // Timing introspection (DESIGN.md §8): when `introspect_sink` points to an
+  // open sink, the run emits path / grad_attrib / kernel_profile records every
+  // `introspect.sample_period` iterations (and once at run end).  Robust-layer
+  // decisions additionally force an off-cadence attribution record tagged with
+  // the trigger.  The sink is a pure observer — positions are bitwise-
+  // identical with it attached or not (asserted by tests/test_introspect.cpp).
+  obs::IntrospectOptions introspect;
+  obs::IntrospectionSink* introspect_sink = nullptr;  // not owned
+
+  // One stderr progress line every N iterations (0 = off), independent of the
+  // log level — the operator's heartbeat for long runs.
+  int progress_every = 0;
 
   bool verbose = false;
 };

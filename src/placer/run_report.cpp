@@ -94,6 +94,20 @@ void append_run_jsonl(obs::JsonlWriter& out, const PlaceResult& result,
   out.write_line(w.str());
 }
 
+void append_abort_record(obs::JsonlWriter& out, const RunMeta& meta,
+                         const std::string& stage, const std::string& error,
+                         int exit_code) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("type").value("abort");
+  meta_fields(w, meta);
+  w.key("stage").value(stage);
+  w.key("error").value(error);
+  w.key("exit_code").value(exit_code);
+  w.end_object();
+  out.write_line(w.str());
+}
+
 void run_summary_object(JsonWriter& w, const PlaceResult& result,
                         const RunMeta& meta) {
   w.begin_object();

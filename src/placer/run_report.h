@@ -35,6 +35,13 @@ const char* mode_short_name(PlacerMode mode);
 void append_run_jsonl(obs::JsonlWriter& out, const PlaceResult& result,
                       const RunMeta& meta);
 
+// Appends one {"type":"abort",...} record — written on abnormal exit paths
+// (invalid design, recovery budget exhausted, uncaught exception) so even a
+// truncated stream records why the run stopped and with what exit code.
+void append_abort_record(obs::JsonlWriter& out, const RunMeta& meta,
+                         const std::string& stage, const std::string& error,
+                         int exit_code);
+
 // Serializes one run-summary object (final metrics + phase breakdown) at the
 // writer's current position.
 void run_summary_object(JsonWriter& w, const PlaceResult& result,

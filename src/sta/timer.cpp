@@ -7,7 +7,9 @@
 
 #include "common/assert.h"
 #include "common/smooth_math.h"
+#include "common/stopwatch.h"
 #include "common/thread_pool.h"
+#include "obs/metrics.h"
 #include "obs/trace.h"
 #include "sta/cell_arc_eval.h"
 
@@ -329,9 +331,25 @@ bool Timer::update_pin(PinId v, bool early) {
 
 void Timer::propagate_level(int level, bool early) {
   const auto& pins = graph_->level(level);
+  if (!profile_levels_) {
+    ThreadPool::global().parallel_for(
+        0, pins.size(), [&](size_t i) { update_pin(pins[i], early); },
+        /*grain=*/16);
+    return;
+  }
+  static obs::Histogram& dispatch_hist =
+      obs::MetricsRegistry::instance().histogram("sta.level_dispatch_ms");
+  Stopwatch clock;
   ThreadPool::global().parallel_for(
       0, pins.size(), [&](size_t i) { update_pin(pins[i], early); },
       /*grain=*/16);
+  const double ms = clock.elapsed_ms();
+  if (level_profile_.size() < static_cast<size_t>(graph_->num_levels()))
+    level_profile_.resize(static_cast<size_t>(graph_->num_levels()));
+  LevelStat& stat = level_profile_[static_cast<size_t>(level)];
+  ++stat.calls;
+  stat.ms += ms;
+  dispatch_hist.observe(ms);
 }
 
 TimingMetrics Timer::evaluate_incremental(std::span<const double> cell_x,

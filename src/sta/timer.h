@@ -43,6 +43,14 @@ struct TimerOptions {
   rsmt::RsmtOptions rsmt;
 };
 
+// Accumulated wall-clock of one topological level's dispatches — the CPU
+// analogue of per-kernel GPU timing (kernel profiling, DESIGN.md §8).  Shared
+// by the forward sweep (Timer) and the adjoint sweep (dtimer::DiffTimer).
+struct LevelStat {
+  uint64_t calls = 0;  // level dispatches accumulated
+  double ms = 0.0;     // accumulated wall-clock milliseconds
+};
+
 struct TimingMetrics {
   // Setup (late-mode) metrics; negative numbers are violations.
   double wns = 0.0;
@@ -183,6 +191,19 @@ class Timer {
     return net_pin_caps_[static_cast<size_t>(n)];
   }
 
+  // ---- per-level kernel profiling (DESIGN.md §8) ----
+  // When enabled, every propagate() level dispatch is individually timed and
+  // accumulated per level (and into the registry's sta.level_dispatch_ms
+  // histogram).  Off by default: the disabled path costs one branch, so the
+  // levelized hot loop is unchanged — and profiling never touches timing
+  // state, so results are identical either way.
+  void set_level_profiling(bool on) { profile_levels_ = on; }
+  bool level_profiling() const { return profile_levels_; }
+  // Indexed by topological level; stats accumulate across propagate() calls
+  // until reset_level_profile().  Empty until the first profiled dispatch.
+  const std::vector<LevelStat>& level_profile() const { return level_profile_; }
+  void reset_level_profile() { level_profile_.clear(); }
+
  private:
   void propagate_level(int level, bool early);
   void init_sources(bool early);
@@ -211,6 +232,9 @@ class Timer {
   std::vector<const liberty::Lut*> ep_setup_lut_;
   std::vector<const liberty::Lut*> ep_hold_lut_;
   TimingMetrics metrics_;
+
+  bool profile_levels_ = false;
+  std::vector<LevelStat> level_profile_;
 
   // Cached source initial conditions [pin*2+tr]; NaN for non-source pins.
   std::vector<double> src_at_, src_slew_;

@@ -1,207 +1,14 @@
-// Minimal recursive-descent JSON parser for tests: validates that the
-// observability artifacts are well-formed JSON and lets assertions navigate
-// the parsed document.  Supports the full JSON value grammar; numbers are
-// parsed as double.  Test-only — production code never parses JSON.
+// Test-side alias of the production JSON parser (src/common/json_parse.h).
+// Historically the parser lived here as a test-only utility; `dtp_report`
+// promoted it to production code, and tests keep validating the observability
+// artifacts through the very same code path the offline tooling uses.
 #pragma once
 
-#include <cctype>
-#include <cstdlib>
-#include <cstring>
-#include <map>
-#include <memory>
-#include <stdexcept>
-#include <string>
-#include <vector>
+#include "common/json_parse.h"
 
 namespace dtp::test {
 
-struct JsonValue {
-  enum class Kind { Null, Bool, Number, String, Array, Object };
-  Kind kind = Kind::Null;
-  bool boolean = false;
-  double number = 0.0;
-  std::string string;
-  std::vector<JsonValue> array;
-  std::map<std::string, JsonValue> object;
-
-  bool is_object() const { return kind == Kind::Object; }
-  bool is_array() const { return kind == Kind::Array; }
-  bool has(const std::string& key) const {
-    return is_object() && object.count(key) > 0;
-  }
-  const JsonValue& at(const std::string& key) const { return object.at(key); }
-  const JsonValue& at(size_t i) const { return array.at(i); }
-  double num(const std::string& key) const { return object.at(key).number; }
-  const std::string& str(const std::string& key) const {
-    return object.at(key).string;
-  }
-};
-
-class JsonParser {
- public:
-  // Throws std::runtime_error on malformed input or trailing garbage.
-  static JsonValue parse(const std::string& text) {
-    JsonParser p(text);
-    JsonValue v = p.parse_value();
-    p.skip_ws();
-    if (p.pos_ != text.size()) p.fail("trailing characters");
-    return v;
-  }
-
- private:
-  explicit JsonParser(const std::string& text) : text_(text) {}
-
-  [[noreturn]] void fail(const std::string& what) const {
-    throw std::runtime_error("JSON error at offset " + std::to_string(pos_) +
-                             ": " + what);
-  }
-
-  void skip_ws() {
-    while (pos_ < text_.size() &&
-           std::isspace(static_cast<unsigned char>(text_[pos_])))
-      ++pos_;
-  }
-
-  char peek() {
-    if (pos_ >= text_.size()) fail("unexpected end");
-    return text_[pos_];
-  }
-
-  void expect(char c) {
-    if (peek() != c) fail(std::string("expected '") + c + "'");
-    ++pos_;
-  }
-
-  bool consume_literal(const char* lit) {
-    const size_t n = std::strlen(lit);
-    if (text_.compare(pos_, n, lit) != 0) return false;
-    pos_ += n;
-    return true;
-  }
-
-  JsonValue parse_value() {
-    skip_ws();
-    const char c = peek();
-    JsonValue v;
-    if (c == '{') return parse_object();
-    if (c == '[') return parse_array();
-    if (c == '"') {
-      v.kind = JsonValue::Kind::String;
-      v.string = parse_string();
-      return v;
-    }
-    if (consume_literal("null")) return v;
-    if (consume_literal("true")) {
-      v.kind = JsonValue::Kind::Bool;
-      v.boolean = true;
-      return v;
-    }
-    if (consume_literal("false")) {
-      v.kind = JsonValue::Kind::Bool;
-      return v;
-    }
-    return parse_number();
-  }
-
-  JsonValue parse_object() {
-    JsonValue v;
-    v.kind = JsonValue::Kind::Object;
-    expect('{');
-    skip_ws();
-    if (peek() == '}') {
-      ++pos_;
-      return v;
-    }
-    for (;;) {
-      skip_ws();
-      std::string key = parse_string();
-      skip_ws();
-      expect(':');
-      v.object[key] = parse_value();
-      skip_ws();
-      if (peek() == ',') {
-        ++pos_;
-        continue;
-      }
-      expect('}');
-      return v;
-    }
-  }
-
-  JsonValue parse_array() {
-    JsonValue v;
-    v.kind = JsonValue::Kind::Array;
-    expect('[');
-    skip_ws();
-    if (peek() == ']') {
-      ++pos_;
-      return v;
-    }
-    for (;;) {
-      v.array.push_back(parse_value());
-      skip_ws();
-      if (peek() == ',') {
-        ++pos_;
-        continue;
-      }
-      expect(']');
-      return v;
-    }
-  }
-
-  std::string parse_string() {
-    expect('"');
-    std::string out;
-    for (;;) {
-      if (pos_ >= text_.size()) fail("unterminated string");
-      char c = text_[pos_++];
-      if (c == '"') return out;
-      if (c == '\\') {
-        if (pos_ >= text_.size()) fail("bad escape");
-        const char e = text_[pos_++];
-        switch (e) {
-          case '"': out += '"'; break;
-          case '\\': out += '\\'; break;
-          case '/': out += '/'; break;
-          case 'n': out += '\n'; break;
-          case 'r': out += '\r'; break;
-          case 't': out += '\t'; break;
-          case 'b': out += '\b'; break;
-          case 'f': out += '\f'; break;
-          case 'u': {
-            if (pos_ + 4 > text_.size()) fail("bad \\u escape");
-            const unsigned code = static_cast<unsigned>(
-                std::strtoul(text_.substr(pos_, 4).c_str(), nullptr, 16));
-            pos_ += 4;
-            // Tests only emit ASCII control characters via \u.
-            out += static_cast<char>(code);
-            break;
-          }
-          default: fail("unknown escape");
-        }
-      } else {
-        out += c;
-      }
-    }
-  }
-
-  JsonValue parse_number() {
-    const size_t start = pos_;
-    if (peek() == '-') ++pos_;
-    while (pos_ < text_.size() &&
-           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
-            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
-            text_[pos_] == '+' || text_[pos_] == '-'))
-      ++pos_;
-    if (pos_ == start) fail("expected a value");
-    JsonValue v;
-    v.kind = JsonValue::Kind::Number;
-    v.number = std::strtod(text_.substr(start, pos_ - start).c_str(), nullptr);
-    return v;
-  }
-
-  const std::string& text_;
-  size_t pos_ = 0;
-};
+using JsonValue = dtp::JsonValue;
+using JsonParser = dtp::JsonParser;
 
 }  // namespace dtp::test

@@ -1,0 +1,116 @@
+// JSON parser hardening (DESIGN.md §8): escaped strings, unicode (including
+// surrogate pairs), nested arrays, malformed input, and the writer/parser
+// round-trip contract for the NaN/Inf -> null serialization policy.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <string>
+
+#include "common/json_parse.h"
+#include "common/json_writer.h"
+
+namespace dtp {
+namespace {
+
+TEST(JsonParse, EscapedStrings) {
+  const JsonValue v = JsonParser::parse(
+      R"({"a":"line\nbreak","b":"tab\there","c":"quote\"back\\slash","d":"sol\/idus","e":"\b\f\r"})");
+  EXPECT_EQ(v.str("a"), "line\nbreak");
+  EXPECT_EQ(v.str("b"), "tab\there");
+  EXPECT_EQ(v.str("c"), "quote\"back\\slash");
+  EXPECT_EQ(v.str("d"), "sol/idus");
+  EXPECT_EQ(v.str("e"), "\b\f\r");
+}
+
+TEST(JsonParse, UnicodeEscapes) {
+  // BMP codepoints at the UTF-8 width boundaries.
+  EXPECT_EQ(JsonParser::parse(R"("A")").string, "A");
+  EXPECT_EQ(JsonParser::parse(R"("é")").string, "\xC3\xA9");      // é
+  EXPECT_EQ(JsonParser::parse(R"("€")").string, "\xE2\x82\xAC");  // €
+  // Surrogate pair -> astral plane (U+1F600).
+  EXPECT_EQ(JsonParser::parse(R"("😀")").string,
+            "\xF0\x9F\x98\x80");
+  // Raw UTF-8 passes through untouched.
+  EXPECT_EQ(JsonParser::parse("\"caf\xC3\xA9\"").string, "caf\xC3\xA9");
+}
+
+TEST(JsonParse, UnpairedSurrogatesRejected) {
+  EXPECT_THROW(JsonParser::parse(R"("\uD83D")"), std::runtime_error);
+  EXPECT_THROW(JsonParser::parse(R"("\uD83Dx")"), std::runtime_error);
+  EXPECT_THROW(JsonParser::parse(R"("\uD83DA")"), std::runtime_error);
+  EXPECT_THROW(JsonParser::parse(R"("\uDE00")"), std::runtime_error);
+}
+
+TEST(JsonParse, NestedArraysAndObjects) {
+  const JsonValue v = JsonParser::parse(
+      R"({"m":[[1,2],[3,[4,{"deep":[true,false,null]}]],[]],"empty":{}})");
+  const JsonValue& m = v.at("m");
+  ASSERT_TRUE(m.is_array());
+  ASSERT_EQ(m.array.size(), 3u);
+  EXPECT_EQ(m.at(0).at(1).number, 2.0);
+  const JsonValue& deep = m.at(1).at(1).at(1).at("deep");
+  ASSERT_EQ(deep.array.size(), 3u);
+  EXPECT_TRUE(deep.at(0).boolean);
+  EXPECT_FALSE(deep.at(1).boolean);
+  EXPECT_TRUE(deep.at(2).is_null());
+  EXPECT_TRUE(m.at(2).array.empty());
+  EXPECT_TRUE(v.at("empty").is_object());
+  EXPECT_TRUE(v.at("empty").object.empty());
+}
+
+TEST(JsonParse, Numbers) {
+  EXPECT_DOUBLE_EQ(JsonParser::parse("0").number, 0.0);
+  EXPECT_DOUBLE_EQ(JsonParser::parse("-17.25").number, -17.25);
+  EXPECT_DOUBLE_EQ(JsonParser::parse("6.02e23").number, 6.02e23);
+  EXPECT_DOUBLE_EQ(JsonParser::parse("-1E-3").number, -1e-3);
+  // Full round-trip precision through the writer's %.17g.
+  const double x = 0.1 + 0.2;
+  JsonWriter w;
+  w.begin_object().key("x").value(x).end_object();
+  EXPECT_EQ(JsonParser::parse(w.str()).num("x"), x);
+}
+
+TEST(JsonParse, MalformedInputThrows) {
+  for (const char* bad :
+       {"", "{", "[1,", "{\"a\":}", "{\"a\" 1}", "tru", "1 2", "{]",
+        "\"unterminated", "\"bad \\q escape\"", "nully"}) {
+    EXPECT_THROW(JsonParser::parse(bad), std::runtime_error) << bad;
+  }
+}
+
+// The serialization policy: JsonWriter emits NaN/Inf as null, and num_or()
+// reads that null back as "value was non-finite".
+TEST(JsonParse, NanInfPolicyRoundTrip) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("nan").value(std::nan(""));
+  w.key("inf").value(std::numeric_limits<double>::infinity());
+  w.key("ninf").value(-std::numeric_limits<double>::infinity());
+  w.key("ok").value(1.5);
+  w.end_object();
+  const JsonValue v = JsonParser::parse(w.str());
+  EXPECT_TRUE(v.at("nan").is_null());
+  EXPECT_TRUE(v.at("inf").is_null());
+  EXPECT_TRUE(v.at("ninf").is_null());
+  EXPECT_TRUE(std::isnan(v.num_or("nan", std::nan(""))));
+  EXPECT_DOUBLE_EQ(v.num_or("nan", -1.0), -1.0);
+  EXPECT_DOUBLE_EQ(v.num_or("ok", -1.0), 1.5);
+  EXPECT_DOUBLE_EQ(v.num_or("missing", 7.0), 7.0);
+}
+
+// Control characters below 0x20 are escaped by the writer and restored by the
+// parser (JSONL integrity: no raw newline can split a record).
+TEST(JsonParse, ControlCharacterRoundTrip) {
+  std::string s = "a";
+  s += '\x01';
+  s += '\n';
+  s += "z";
+  JsonWriter w;
+  w.begin_object().key("s").value(s).end_object();
+  EXPECT_EQ(w.str().find('\n'), std::string::npos);
+  EXPECT_EQ(JsonParser::parse(w.str()).str("s"), s);
+}
+
+}  // namespace
+}  // namespace dtp

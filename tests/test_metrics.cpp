@@ -71,6 +71,42 @@ TEST_F(MetricsTest, HistogramTracksMoments) {
   EXPECT_EQ(h.bucket(4), 1u);
 }
 
+TEST_F(MetricsTest, HistogramHandlesSignedDomains) {
+  // Slack histograms are signed with the violating mass below zero; the
+  // bucket boundaries must be stable on both sides (regression: negative
+  // observations used to collapse into bucket 0).
+  Histogram& h = MetricsRegistry::instance().histogram("test.signed_hist");
+  h.observe(-0.25);  // zero bucket (-1, 1)
+  h.observe(0.25);   // zero bucket (-1, 1)
+  h.observe(-1.0);   // neg bucket 1: (-2, -1]
+  h.observe(-3.0);   // neg bucket 2: (-4, -2]
+  h.observe(-10.0);  // neg bucket 4: (-16, -8]
+  h.observe(3.0);    // pos bucket 2: [2, 4)
+  EXPECT_EQ(h.count(), 6u);
+  EXPECT_DOUBLE_EQ(h.min(), -10.0);
+  EXPECT_DOUBLE_EQ(h.max(), 3.0);
+  EXPECT_DOUBLE_EQ(h.sum(), -11.0);
+  EXPECT_EQ(h.bucket(0), 2u);
+  EXPECT_EQ(h.neg_bucket(1), 1u);
+  EXPECT_EQ(h.neg_bucket(2), 1u);
+  EXPECT_EQ(h.neg_bucket(4), 1u);
+  EXPECT_EQ(h.bucket(2), 1u);
+
+  // JSON serialization keys negative buckets by their (negative) lower bound.
+  const JsonValue doc =
+      JsonParser::parse(MetricsRegistry::instance().to_json());
+  const JsonValue& hist = doc.at("histograms").at("test.signed_hist");
+  EXPECT_DOUBLE_EQ(hist.at("buckets").num("-2"), 1.0);
+  EXPECT_DOUBLE_EQ(hist.at("buckets").num("-4"), 1.0);
+  EXPECT_DOUBLE_EQ(hist.at("buckets").num("-16"), 1.0);
+  EXPECT_DOUBLE_EQ(hist.at("buckets").num("1"), 2.0);
+  EXPECT_DOUBLE_EQ(hist.at("buckets").num("4"), 1.0);
+
+  h.reset();
+  EXPECT_EQ(h.neg_bucket(2), 0u);
+  EXPECT_EQ(h.bucket(0), 0u);
+}
+
 TEST_F(MetricsTest, HistogramSumHelper) {
   MetricsRegistry& reg = MetricsRegistry::instance();
   EXPECT_DOUBLE_EQ(reg.histogram_sum("test.absent"), 0.0);

@@ -14,6 +14,7 @@
 // only, nw = momentum net weighting [24], dt = differentiable timing, the
 // default); optionally legalizes and detail-places; writes Bookshelf
 // placement, a timing report and a slack-colored SVG.
+#include <cctype>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -59,6 +60,18 @@ bool arg_flag(int argc, char** argv, const char* flag) {
     if (std::strcmp(argv[i], flag) == 0) return true;
   return false;
 }
+// A flag with an optional numeric value: absent -> 0, bare -> `bare_value`,
+// followed by a number -> that number.
+int arg_opt_int(int argc, char** argv, const char* flag, int bare_value) {
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], flag) == 0) {
+      if (i + 1 < argc &&
+          std::isdigit(static_cast<unsigned char>(argv[i + 1][0])))
+        return std::atoi(argv[i + 1]);
+      return bare_value;
+    }
+  return 0;
+}
 
 void usage() {
   std::fprintf(stderr,
@@ -71,6 +84,16 @@ void usage() {
                "(chrome://tracing, Perfetto)\n"
                "                 [--metrics-out F.jsonl]     # per-iteration "
                "stream + F.summary.json\n"
+               "                 [--paths-out F.jsonl]       # introspection "
+               "stream: path / grad_attrib / kernel_profile records\n"
+               "                 [--paths-topk K]       # paths per sample "
+               "(default 10)\n"
+               "                 [--introspect-every N] # sample period "
+               "(default 25 iterations)\n"
+               "                 [--attrib-top M]       # cells per "
+               "attribution record (default 10)\n"
+               "                 [--progress [N]]       # stderr heartbeat "
+               "every N iters (default 50), ignores --log-level\n"
                "                 [--log-level debug|info|warn|error|silent]\n"
                "                 [--max-recoveries N]   # rollback budget "
                "(default 5)\n"
@@ -106,7 +129,36 @@ int main(int argc, char** argv) {
   }
   const char* trace_path = arg_str(argc, argv, "--trace-out", nullptr);
   const char* metrics_path = arg_str(argc, argv, "--metrics-out", nullptr);
+  const char* paths_path = arg_str(argc, argv, "--paths-out", nullptr);
   if (trace_path != nullptr) obs::Tracer::instance().enable();
+
+  // Abnormal-exit artifact flushing: whatever was requested with --trace-out /
+  // --metrics-out / --paths-out must hold everything recorded up to the abort
+  // — a failed run is exactly the one worth analyzing.  The introspection
+  // stream is line-flushed and needs no action beyond closing.
+  std::string run_design = "?";
+  std::string run_mode = "?";
+  obs::IntrospectionSink introspect_sink;
+  auto flush_trace_quiet = [&] {
+    if (trace_path == nullptr) return;
+    obs::Tracer::instance().disable();
+    obs::Tracer::instance().write_json(trace_path);
+  };
+  // Abort record only (no placement result exists yet).
+  auto flush_abort = [&](const std::string& stage, const std::string& error,
+                         int code) {
+    if (metrics_path != nullptr) {
+      obs::JsonlWriter jsonl;
+      if (jsonl.open(metrics_path)) {
+        placer::append_abort_record(jsonl, {run_design, run_mode}, stage, error,
+                                    code);
+        placer::write_summary_json(placer::summary_path_for(metrics_path), {},
+                                   {});
+      }
+    }
+    flush_trace_quiet();
+    introspect_sink.close();
+  };
 
   try {
     // ---- inputs ----
@@ -167,6 +219,7 @@ int main(int argc, char** argv) {
     }
 
     const auto stats = design->netlist.stats();
+    run_design = design->name;
     std::printf("design %s: %zu std cells, %zu nets, %zu pins, clock %.4f ns\n",
                 design->name.c_str(), stats.num_std_cells, stats.num_nets,
                 stats.num_pins, design->constraints.clock_period);
@@ -179,6 +232,7 @@ int main(int argc, char** argv) {
       if (!report.ok()) {
         std::fprintf(stderr, "dtp_place: invalid design (%zu fatal):\n%s",
                      report.num_fatal, report.to_string().c_str());
+        flush_abort("validate", "invalid design: " + report.to_string(), 2);
         return 2;
       }
       if (report.num_warnings() > 0)
@@ -200,7 +254,20 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "unknown --mode %s\n", mode.c_str());
       return 1;
     }
+    run_mode = mode;
     popts.max_iters = arg_int(argc, argv, "--max-iters", popts.max_iters);
+    popts.progress_every = arg_opt_int(argc, argv, "--progress", 50);
+    if (paths_path != nullptr) {
+      if (!introspect_sink.open(paths_path)) {
+        std::fprintf(stderr, "dtp_place: cannot write %s\n", paths_path);
+        return 1;
+      }
+      popts.introspect_sink = &introspect_sink;
+      popts.introspect.paths_topk = arg_int(argc, argv, "--paths-topk", 10);
+      popts.introspect.sample_period =
+          arg_int(argc, argv, "--introspect-every", 25);
+      popts.introspect.top_m_cells = arg_int(argc, argv, "--attrib-top", 10);
+    }
     popts.verbose = arg_flag(argc, argv, "--verbose");
     popts.robust.enabled = guards;
     popts.robust.max_recoveries =
@@ -220,15 +287,15 @@ int main(int argc, char** argv) {
       std::printf("run health: %s (%d rollback(s), %d timing fallback(s))\n",
                   robust::run_health_name(res.health), res.rollbacks,
                   res.timing_fallbacks);
-    if (res.health == robust::RunHealth::Failed) {
-      std::fprintf(stderr,
-                   "dtp_place: placement failed: recovery budget exhausted "
-                   "after %d rollback(s); positions hold the best-known "
-                   "checkpoint\n",
-                   res.rollbacks);
-      return 3;
+    if (paths_path != nullptr) {
+      std::printf("wrote %s (%zu introspection records)\n", paths_path,
+                  introspect_sink.records_written());
+      introspect_sink.close();
     }
 
+    // Run artifacts are written before the failure exit below: a run that
+    // exhausted its recovery budget is exactly the one worth analyzing.
+    const bool run_failed = res.health == robust::RunHealth::Failed;
     if (metrics_path != nullptr) {
       const placer::RunMeta meta{design->name, mode};
       obs::JsonlWriter jsonl;
@@ -237,9 +304,21 @@ int main(int argc, char** argv) {
         return 1;
       }
       placer::append_run_jsonl(jsonl, res, meta);
+      if (run_failed)
+        placer::append_abort_record(jsonl, meta, "placement",
+                                    "recovery budget exhausted", 3);
       const std::string summary = placer::summary_path_for(metrics_path);
       placer::write_summary_json(summary, {res}, {meta});
       std::printf("wrote %s and %s\n", metrics_path, summary.c_str());
+    }
+    if (run_failed) {
+      std::fprintf(stderr,
+                   "dtp_place: placement failed: recovery budget exhausted "
+                   "after %d rollback(s); positions hold the best-known "
+                   "checkpoint\n",
+                   res.rollbacks);
+      flush_trace_quiet();
+      return 3;
     }
 
     if (arg_flag(argc, argv, "--legalize") || arg_flag(argc, argv, "--detailed")) {
@@ -306,12 +385,15 @@ int main(int argc, char** argv) {
     return 0;
   } catch (const robust::ValidationError& e) {
     std::fprintf(stderr, "dtp_place: invalid design: %s\n", e.what());
+    flush_abort("validate", e.what(), 2);
     return 2;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "dtp_place: error: %s\n", e.what());
+    flush_abort("run", e.what(), 1);
     return 1;
   } catch (...) {
     std::fprintf(stderr, "dtp_place: error: unknown exception\n");
+    flush_abort("run", "unknown exception", 1);
     return 1;
   }
 }

@@ -1,0 +1,452 @@
+// dtp_report: offline analysis of dtp_place run artifacts (DESIGN.md §8).
+//
+// Report mode — parse one run's JSONL streams (--metrics-out and/or
+// --paths-out files, in any combination) into a human-readable summary:
+//
+//   dtp_report [--require iter,run_end,path,...] run.jsonl run.paths.jsonl
+//
+// Diff mode — compare two runs as a bench regression gate:
+//
+//   dtp_report --diff a.jsonl[,a.paths.jsonl] b.jsonl[,b.paths.jsonl]
+//              [--threshold 0.05]
+//
+// Exit codes: 0 ok, 1 usage / IO / JSON parse error, 2 policy failure — a
+// --require record type is missing, or the diff found a regression beyond the
+// threshold (HPWL/overflow/WNS/TNS worse, or run health rank degraded).
+// Path churn and per-level kernel-runtime deltas are reported informationally.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/json_parse.h"
+
+namespace {
+
+using dtp::JsonParser;
+using dtp::JsonValue;
+
+struct RunData {
+  std::vector<JsonValue> iters, recoveries, paths, attribs, kernels, aborts;
+  JsonValue run_end;
+  bool has_run_end = false;
+  std::map<std::string, size_t> type_counts;
+  std::vector<std::string> files;
+};
+
+// Loads one JSONL file into `run`, classifying records by their "type" field.
+// Returns false (with a diagnostic on stderr) on IO or parse errors.
+bool load_file(const std::string& path, RunData& run) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "dtp_report: cannot read %s\n", path.c_str());
+    return false;
+  }
+  run.files.push_back(path);
+  std::string line;
+  size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    JsonValue v;
+    try {
+      v = JsonParser::parse(line);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "dtp_report: %s:%zu: %s\n", path.c_str(), lineno,
+                   e.what());
+      return false;
+    }
+    if (!v.is_object()) {
+      std::fprintf(stderr, "dtp_report: %s:%zu: record is not an object\n",
+                   path.c_str(), lineno);
+      return false;
+    }
+    const std::string type = v.str_or("type", "?");
+    ++run.type_counts[type];
+    if (type == "iter") run.iters.push_back(std::move(v));
+    else if (type == "recovery") run.recoveries.push_back(std::move(v));
+    else if (type == "path") run.paths.push_back(std::move(v));
+    else if (type == "grad_attrib") run.attribs.push_back(std::move(v));
+    else if (type == "kernel_profile") run.kernels.push_back(std::move(v));
+    else if (type == "abort") run.aborts.push_back(std::move(v));
+    else if (type == "run_end") {
+      run.run_end = std::move(v);
+      run.has_run_end = true;
+    }
+  }
+  return true;
+}
+
+bool load_files(const std::vector<std::string>& paths, RunData& run) {
+  for (const std::string& p : paths)
+    if (!load_file(p, run)) return false;
+  return true;
+}
+
+std::vector<std::string> split_commas(const std::string& s) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  for (;;) {
+    const size_t comma = s.find(',', start);
+    if (comma == std::string::npos) {
+      if (comma != start) out.push_back(s.substr(start));
+      break;
+    }
+    if (comma > start) out.push_back(s.substr(start, comma - start));
+    start = comma + 1;
+  }
+  return out;
+}
+
+// Last WNS/TNS seen in the iter stream (run_end does not carry them).
+bool final_timing(const RunData& run, double& wns, double& tns) {
+  for (auto it = run.iters.rbegin(); it != run.iters.rend(); ++it) {
+    if (it->has("wns")) {
+      wns = it->num_or("wns", 0.0);
+      tns = it->num_or("tns", 0.0);
+      return true;
+    }
+  }
+  return false;
+}
+
+int health_rank(const std::string& h) {
+  if (h == "ok") return 0;
+  if (h == "recovered") return 1;
+  if (h == "degraded") return 2;
+  return 3;  // failed / unknown
+}
+
+// Paths of the last sampled iteration (the converged state).
+std::vector<const JsonValue*> final_paths(const RunData& run) {
+  double last_iter = -1.0;
+  for (const JsonValue& p : run.paths)
+    last_iter = std::max(last_iter, p.num_or("iter", 0.0));
+  std::vector<const JsonValue*> out;
+  for (const JsonValue& p : run.paths)
+    if (p.num_or("iter", 0.0) == last_iter) out.push_back(&p);
+  return out;
+}
+
+const JsonValue* last_of(const std::vector<JsonValue>& v) {
+  return v.empty() ? nullptr : &v.back();
+}
+
+// ---------------------------------------------------------------- report ----
+
+void print_report(const RunData& run) {
+  std::printf("==== dtp_report ====\n");
+  for (const std::string& f : run.files)
+    std::printf("artifact: %s\n", f.c_str());
+  std::printf("records:");
+  for (const auto& [type, count] : run.type_counts)
+    std::printf("  %s=%zu", type.c_str(), count);
+  std::printf("\n");
+
+  for (const JsonValue& a : run.aborts)
+    std::printf("\n*** ABORTED at stage '%s' (exit %d): %s\n",
+                a.str_or("stage", "?").c_str(),
+                static_cast<int>(a.num_or("exit_code", 0.0)),
+                a.str_or("error", "?").c_str());
+
+  if (run.has_run_end) {
+    const JsonValue& e = run.run_end;
+    std::printf("\n-- overview --\n");
+    std::printf("design %s  mode %s  health %s\n",
+                e.str_or("design", "?").c_str(), e.str_or("mode", "?").c_str(),
+                e.str_or("health", "?").c_str());
+    std::printf("iterations %d  hpwl %.6g  overflow %.3f  runtime %.2fs "
+                "(timing engine %.2fs)\n",
+                static_cast<int>(e.num_or("iterations", 0.0)),
+                e.num_or("hpwl", 0.0), e.num_or("overflow", 0.0),
+                e.num_or("runtime_sec", 0.0), e.num_or("sta_runtime_sec", 0.0));
+    double wns = 0.0, tns = 0.0;
+    if (final_timing(run, wns, tns))
+      std::printf("final timing: WNS %.4f ns  TNS %.3f ns\n", wns, tns);
+    if (e.has("phases") && e.at("phases").is_object()) {
+      std::printf("phases:");
+      for (const auto& [name, sec] : e.at("phases").object)
+        if (sec.is_number() && sec.number > 0.0)
+          std::printf("  %s=%.3fs", name.c_str(), sec.number);
+      std::printf("\n");
+    }
+  }
+
+  if (!run.iters.empty()) {
+    std::printf("\n-- convergence (%zu iterations) --\n", run.iters.size());
+    const size_t n = run.iters.size();
+    const size_t step = std::max<size_t>(1, n / 8);
+    for (size_t i = 0; i < n; i += (i + step < n ? step : n - i ? n - 1 - i : 1)) {
+      const JsonValue& it = run.iters[i];
+      std::printf("iter %5d  hpwl %10.6g  overflow %.3f",
+                  static_cast<int>(it.num_or("iter", 0.0)),
+                  it.num_or("hpwl", 0.0), it.num_or("overflow", 0.0));
+      if (it.has("wns"))
+        std::printf("  wns %8.4f  tns %9.3f", it.num_or("wns", 0.0),
+                    it.num_or("tns", 0.0));
+      std::printf("\n");
+      if (i == n - 1) break;
+    }
+  }
+
+  if (!run.recoveries.empty()) {
+    std::printf("\n-- recoveries (%zu) --\n", run.recoveries.size());
+    for (const JsonValue& r : run.recoveries)
+      std::printf("iter %5d  %-14s action %-10s step_scale %.3f  %s\n",
+                  static_cast<int>(r.num_or("iter", 0.0)),
+                  r.str_or("kind", "?").c_str(),
+                  r.str_or("action", "?").c_str(), r.num_or("step_scale", 1.0),
+                  r.str_or("detail", "").c_str());
+  }
+
+  if (const JsonValue* a = last_of(run.attribs)) {
+    std::printf("\n-- gradient attribution (iter %d) --\n",
+                static_cast<int>(a->num_or("iter", 0.0)));
+    for (const char* comp : {"wirelength", "density", "timing", "total"})
+      if (a->has(comp) && a->at(comp).is_object())
+        std::printf("%-11s l2 %12.6g  max %12.6g\n", comp,
+                    a->at(comp).num_or("l2", 0.0),
+                    a->at(comp).num_or("max_abs", 0.0));
+    std::printf("accounted_fraction %.6f", a->num_or("accounted_fraction", 0.0));
+    if (a->has("clip_fraction"))
+      std::printf("  clip_fraction %.3f", a->num_or("clip_fraction", 0.0));
+    std::printf("\n");
+    if (a->has("top_timing_cells") && !a->at("top_timing_cells").array.empty()) {
+      std::printf("top timing cells:");
+      for (const JsonValue& c : a->at("top_timing_cells").array)
+        std::printf("  %s(%.3g)", c.str_or("cell", "?").c_str(),
+                    c.num_or("mag", 0.0));
+      std::printf("\n");
+    }
+    size_t triggered = 0;
+    for (const JsonValue& t : run.attribs)
+      if (t.has("trigger")) ++triggered;
+    if (triggered > 0) {
+      std::printf("robust-layer triggers (%zu):\n", triggered);
+      for (const JsonValue& t : run.attribs)
+        if (t.has("trigger"))
+          std::printf("  iter %5d  %s\n",
+                      static_cast<int>(t.num_or("iter", 0.0)),
+                      t.str_or("trigger", "?").c_str());
+    }
+  }
+
+  if (const JsonValue* k = last_of(run.kernels)) {
+    std::printf("\n-- kernel profile (iter %d) --\n",
+                static_cast<int>(k->num_or("iter", 0.0)));
+    for (const char* dir : {"forward", "backward"}) {
+      if (!k->has(dir) || k->at(dir).array.empty()) continue;
+      // Top levels by accumulated wall clock.
+      std::vector<const JsonValue*> lv;
+      double total = 0.0;
+      for (const JsonValue& l : k->at(dir).array) {
+        lv.push_back(&l);
+        total += l.num_or("ms", 0.0);
+      }
+      std::sort(lv.begin(), lv.end(), [](const JsonValue* a, const JsonValue* b) {
+        return a->num_or("ms", 0.0) > b->num_or("ms", 0.0);
+      });
+      std::printf("%s: %zu levels, %.3f ms total; hottest:", dir, lv.size(),
+                  total);
+      for (size_t i = 0; i < lv.size() && i < 5; ++i)
+        std::printf("  L%d %.3fms/%llu calls",
+                    static_cast<int>(lv[i]->num_or("level", 0.0)),
+                    lv[i]->num_or("ms", 0.0),
+                    static_cast<unsigned long long>(lv[i]->num_or("calls", 0.0)));
+      std::printf("\n");
+    }
+  }
+
+  const std::vector<const JsonValue*> paths = final_paths(run);
+  if (!paths.empty()) {
+    std::printf("\n-- critical paths (iter %d, %zu paths) --\n",
+                static_cast<int>(paths[0]->num_or("iter", 0.0)), paths.size());
+    for (const JsonValue* p : paths)
+      std::printf("slack %9.4f  arrival %8.4f  %2zu stages  %s (%s)\n",
+                  p->num_or("slack", 0.0), p->num_or("arrival", 0.0),
+                  p->has("stages") ? p->at("stages").array.size() : 0,
+                  p->str_or("endpoint", "?").c_str(),
+                  p->str_or("dir", "?").c_str());
+    // Stage-by-stage detail of the worst path.
+    const JsonValue* worst = paths[0];
+    for (const JsonValue* p : paths)
+      if (p->num_or("slack", 0.0) < worst->num_or("slack", 0.0)) worst = p;
+    if (worst->has("stages")) {
+      std::printf("worst path (%s):\n", worst->str_or("endpoint", "?").c_str());
+      for (const JsonValue& s : worst->at("stages").array)
+        std::printf("  %-28s %-4s via %-6s delay %8.4f  at %8.4f  slew %.4f\n",
+                    s.str_or("pin", "?").c_str(), s.str_or("dir", "?").c_str(),
+                    s.str_or("via", "?").c_str(), s.num_or("delay", 0.0),
+                    s.num_or("at", 0.0), s.num_or("slew", 0.0));
+    }
+  }
+  std::printf("\n");
+}
+
+// ------------------------------------------------------------------ diff ----
+
+struct MetricCheck {
+  const char* name;
+  double a, b;
+  bool regressed;
+  bool informational;
+};
+
+// Aggregate kernel wall clock of the final profile record, per direction.
+double kernel_total_ms(const RunData& run, const char* dir) {
+  const JsonValue* k = last_of(run.kernels);
+  if (k == nullptr || !k->has(dir)) return 0.0;
+  double total = 0.0;
+  for (const JsonValue& l : k->at(dir).array) total += l.num_or("ms", 0.0);
+  return total;
+}
+
+int run_diff(const RunData& a, const RunData& b, double threshold) {
+  if (!a.has_run_end || !b.has_run_end) {
+    std::fprintf(stderr,
+                 "dtp_report: --diff needs a run_end record on both sides "
+                 "(a:%s b:%s)\n",
+                 a.has_run_end ? "yes" : "no", b.has_run_end ? "yes" : "no");
+    return 1;
+  }
+  std::vector<MetricCheck> checks;
+  const double hpwl_a = a.run_end.num_or("hpwl", 0.0);
+  const double hpwl_b = b.run_end.num_or("hpwl", 0.0);
+  checks.push_back(
+      {"hpwl", hpwl_a, hpwl_b, hpwl_b > hpwl_a * (1.0 + threshold), false});
+  const double ovf_a = a.run_end.num_or("overflow", 0.0);
+  const double ovf_b = b.run_end.num_or("overflow", 0.0);
+  checks.push_back({"overflow", ovf_a, ovf_b, ovf_b > ovf_a + threshold, false});
+
+  double wns_a = 0.0, tns_a = 0.0, wns_b = 0.0, tns_b = 0.0;
+  const bool timed_a = final_timing(a, wns_a, tns_a);
+  const bool timed_b = final_timing(b, wns_b, tns_b);
+  if (timed_a && timed_b) {
+    // Timing regression margin scales with the baseline magnitude (floored so
+    // a near-zero baseline does not flag noise).
+    checks.push_back({"wns", wns_a, wns_b,
+                      wns_b < wns_a - threshold * std::max(std::abs(wns_a), 1e-3),
+                      false});
+    checks.push_back({"tns", tns_a, tns_b,
+                      tns_b < tns_a - threshold * std::max(std::abs(tns_a), 1e-3),
+                      false});
+  }
+  const std::string health_a = a.run_end.str_or("health", "?");
+  const std::string health_b = b.run_end.str_or("health", "?");
+  const bool health_regressed = health_rank(health_b) > health_rank(health_a);
+  checks.push_back({"health_rank", double(health_rank(health_a)),
+                    double(health_rank(health_b)), health_regressed, false});
+  checks.push_back({"runtime_sec", a.run_end.num_or("runtime_sec", 0.0),
+                    b.run_end.num_or("runtime_sec", 0.0), false, true});
+  for (const char* dir : {"forward", "backward"}) {
+    const double ka = kernel_total_ms(a, dir);
+    const double kb = kernel_total_ms(b, dir);
+    if (ka > 0.0 || kb > 0.0)
+      checks.push_back({dir == std::string("forward") ? "kernel_forward_ms"
+                                                      : "kernel_backward_ms",
+                        ka, kb, false, true});
+  }
+
+  std::printf("==== dtp_report --diff (threshold %.3g) ====\n", threshold);
+  std::printf("%-18s %14s %14s %9s\n", "metric", "a", "b", "verdict");
+  bool regression = false;
+  for (const MetricCheck& c : checks) {
+    const char* verdict =
+        c.regressed ? "REGRESSED" : (c.informational ? "info" : "ok");
+    std::printf("%-18s %14.6g %14.6g %9s\n", c.name, c.a, c.b, verdict);
+    regression = regression || c.regressed;
+  }
+
+  // Path churn: how much the set of critical endpoints moved between runs.
+  std::set<std::string> ep_a, ep_b;
+  for (const JsonValue* p : final_paths(a)) ep_a.insert(p->str_or("endpoint", ""));
+  for (const JsonValue* p : final_paths(b)) ep_b.insert(p->str_or("endpoint", ""));
+  if (!ep_a.empty() || !ep_b.empty()) {
+    size_t common = 0;
+    for (const std::string& e : ep_a) common += ep_b.count(e);
+    const size_t uni = ep_a.size() + ep_b.size() - common;
+    std::printf("path churn: %zu/%zu common endpoints (jaccard %.2f)\n", common,
+                uni, uni > 0 ? double(common) / double(uni) : 1.0);
+  }
+  if (regression) {
+    std::printf("RESULT: REGRESSION beyond threshold %.3g\n", threshold);
+    return 2;
+  }
+  std::printf("RESULT: ok\n");
+  return 0;
+}
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: dtp_report [--require TYPE[,TYPE...]] FILE.jsonl...\n"
+               "       dtp_report --diff A.jsonl[,A2.jsonl] B.jsonl[,B2.jsonl] "
+               "[--threshold 0.05]\n"
+               "exit codes: 0 ok, 1 usage/IO/parse error, 2 missing required "
+               "record type or diff regression\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> files;
+  std::string require;
+  bool diff = false;
+  std::vector<std::string> diff_args;
+  double threshold = 0.05;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help") {
+      usage();
+      return 0;
+    } else if (arg == "--require" && i + 1 < argc) {
+      require = argv[++i];
+    } else if (arg == "--threshold" && i + 1 < argc) {
+      threshold = std::atof(argv[++i]);
+    } else if (arg == "--diff") {
+      diff = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "dtp_report: unknown option %s\n", arg.c_str());
+      usage();
+      return 1;
+    } else if (diff) {
+      diff_args.push_back(arg);
+    } else {
+      files.push_back(arg);
+    }
+  }
+
+  if (diff) {
+    if (diff_args.size() != 2) {
+      usage();
+      return 1;
+    }
+    RunData a, b;
+    if (!load_files(split_commas(diff_args[0]), a) ||
+        !load_files(split_commas(diff_args[1]), b))
+      return 1;
+    return run_diff(a, b, threshold);
+  }
+
+  if (files.empty()) {
+    usage();
+    return 1;
+  }
+  RunData run;
+  if (!load_files(files, run)) return 1;
+  print_report(run);
+
+  int rc = 0;
+  for (const std::string& type : split_commas(require)) {
+    if (run.type_counts[type] == 0) {
+      std::fprintf(stderr, "dtp_report: required record type '%s' missing\n",
+                   type.c_str());
+      rc = 2;
+    }
+  }
+  return rc;
+}
