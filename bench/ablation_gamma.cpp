@@ -47,6 +47,7 @@ int main(int argc, char** argv) {
 
   // Part 2: end-to-end optimization outcome per gamma.
   {
+    bench::RunArtifacts artifacts(argc, argv);
     ConsoleTable t({"gamma(ns)", "final WNS", "final TNS", "HPWL", "iters"});
     for (double gamma : {0.2, 0.05, 0.01}) {
       placer::GlobalPlacerOptions popts;
@@ -55,9 +56,11 @@ int main(int argc, char** argv) {
       popts.timing_start_iter = 50;
       const auto res = bench::run_flow(lib, wopts, preset.name,
                                        placer::PlacerMode::DiffTiming, popts);
+      artifacts.add(res.place, preset.name, placer::PlacerMode::DiffTiming);
       t.add_row({fmt(gamma, 3), fmt(res.timing.wns, 4), fmt(res.timing.tns, 2),
                  fmt(res.place.hpwl * 1e-3, 3), fmt_int(res.place.iterations)});
     }
+    artifacts.finish();
     std::printf("-- placement outcome when optimizing with each gamma --\n");
     t.print();
     std::printf("(Too-large gamma blurs criticality; too-small gamma degrades "

@@ -18,6 +18,7 @@ int main(int argc, char** argv) {
 
   std::printf("Ablation: optimizer (Nesterov-BB vs Adam), %s 1/%d\n\n",
               preset.name, scale);
+  bench::RunArtifacts artifacts(argc, argv);
   ConsoleTable t({"optimizer", "mode", "final WNS", "final TNS", "HPWL",
                   "overflow", "iters", "sec"});
   for (int timing = 0; timing < 2; ++timing) {
@@ -26,11 +27,11 @@ int main(int argc, char** argv) {
       o.max_iters = iters;
       o.timing_start_iter = 50;
       o.use_adam = adam != 0;
-      const auto res = bench::run_flow(
-          lib, wopts, preset.name,
-          timing ? placer::PlacerMode::DiffTiming
-                 : placer::PlacerMode::WirelengthOnly,
-          o);
+      const placer::PlacerMode mode = timing
+                                          ? placer::PlacerMode::DiffTiming
+                                          : placer::PlacerMode::WirelengthOnly;
+      const auto res = bench::run_flow(lib, wopts, preset.name, mode, o);
+      artifacts.add(res.place, preset.name, mode);
       t.add_row({adam ? "Adam" : "Nesterov-BB",
                  timing ? "diff-timing" : "wirelength",
                  fmt(res.timing.wns, 4), fmt(res.timing.tns, 2),
@@ -39,5 +40,6 @@ int main(int argc, char** argv) {
     }
   }
   t.print();
+  artifacts.finish();
   return 0;
 }

@@ -28,11 +28,13 @@ int main(int argc, char** argv) {
               "(paper Sec. 5 future work), %s 1/%d\n\n", preset.name, scale);
 
   // Wirelength-only reference for the HPWL cost column.
+  bench::RunArtifacts artifacts(argc, argv);
   placer::GlobalPlacerOptions base;
   base.max_iters = iters;
   base.timing_start_iter = 50;
   const auto ref = bench::run_flow(lib, wopts, preset.name,
                                    placer::PlacerMode::WirelengthOnly, base);
+  artifacts.add(ref.place, preset.name, placer::PlacerMode::WirelengthOnly);
   std::printf("wirelength-only reference: WNS %.4f  TNS %.2f  HPWL %.3f\n\n",
               ref.timing.wns, ref.timing.tns, ref.place.hpwl * 1e-3);
 
@@ -45,6 +47,7 @@ int main(int argc, char** argv) {
       o.t_clip = clip;
       const auto res = bench::run_flow(lib, wopts, preset.name,
                                        placer::PlacerMode::DiffTiming, o);
+      artifacts.add(res.place, preset.name, placer::PlacerMode::DiffTiming);
       t.add_row({frozen ? "at-activation" : "per-iteration",
                  clip == 0.0 ? "off" : fmt(clip, 1), fmt(res.timing.wns, 4),
                  fmt(res.timing.tns, 2), fmt(res.place.hpwl * 1e-3, 3),
@@ -55,5 +58,6 @@ int main(int argc, char** argv) {
   t.print();
   std::printf("\n(Default shipped configuration: at-activation scaling with "
               "t_clip = 4 — the knee of this frontier on the miniblue suite.)\n");
+  artifacts.finish();
   return 0;
 }

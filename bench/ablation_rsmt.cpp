@@ -46,6 +46,7 @@ int main(int argc, char** argv) {
   const liberty::CellLibrary lib = liberty::make_synthetic_library();
   const auto preset = workload::miniblue_presets()[2];
   const auto wopts = workload::miniblue_options(preset, 400);
+  bench::RunArtifacts artifacts(argc, argv);
   ConsoleTable t2({"trees", "final WNS", "final TNS", "HPWL", "GP sec"});
   for (int refined = 1; refined >= 0; --refined) {
     placer::GlobalPlacerOptions o;
@@ -57,11 +58,13 @@ int main(int argc, char** argv) {
     sta::TimingGraph graph(design.netlist);
     placer::GlobalPlacer gp(design, graph, o);
     const auto res = gp.run();
+    artifacts.add(res, preset.name, placer::PlacerMode::DiffTiming);
     sta::Timer signoff(design, graph);
     const auto m = signoff.evaluate(design.cell_x, design.cell_y);
     t2.add_row({refined ? "1-Steiner refined" : "plain RMST", fmt(m.wns, 4),
                 fmt(m.tns, 2), fmt(res.hpwl * 1e-3, 3), fmt(res.runtime_sec, 2)});
   }
   t2.print();
+  artifacts.finish();
   return 0;
 }

@@ -23,6 +23,7 @@ int main(int argc, char** argv) {
   std::printf("period 1 = rebuild every iteration (no drag); larger periods "
               "drag Steiner points with their branch pins between rebuilds.\n\n");
 
+  bench::RunArtifacts artifacts(argc, argv);
   ConsoleTable t({"period", "final WNS", "final TNS", "HPWL", "GP sec",
                   "timing sec"});
   for (int period : {1, 2, 5, 10, 20, 40}) {
@@ -32,6 +33,7 @@ int main(int argc, char** argv) {
     popts.steiner_period = period;
     const auto res = bench::run_flow(lib, wopts, preset.name,
                                      placer::PlacerMode::DiffTiming, popts);
+    artifacts.add(res.place, preset.name, placer::PlacerMode::DiffTiming);
     t.add_row({fmt_int(period), fmt(res.timing.wns, 4), fmt(res.timing.tns, 2),
                fmt(res.place.hpwl * 1e-3, 3), fmt(res.runtime_sec, 2),
                fmt(res.place.sta_runtime_sec, 2)});
@@ -39,5 +41,6 @@ int main(int argc, char** argv) {
   t.print();
   std::printf("\n(The paper's period of 10 sits where quality is flat but the "
               "rebuild cost has collapsed.)\n");
+  artifacts.finish();
   return 0;
 }

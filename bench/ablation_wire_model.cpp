@@ -22,6 +22,7 @@ int main(int argc, char** argv) {
   std::printf("Ablation: differentiable wire delay model "
               "(paper Sec. 3.4.2 extensibility), %s 1/%d\n\n", preset.name, scale);
 
+  bench::RunArtifacts artifacts(argc, argv);
   ConsoleTable t({"optimized with", "WNS@Elmore", "TNS@Elmore", "WNS@D2M",
                   "TNS@D2M", "HPWL", "sec"});
   for (int model = 0; model < 2; ++model) {
@@ -37,6 +38,7 @@ int main(int argc, char** argv) {
     Stopwatch clock;
     const auto res = gp.run();
     const double secs = clock.elapsed_sec();
+    artifacts.add(res, preset.name, placer::PlacerMode::DiffTiming);
 
     sta::TimerOptions elm_opts;
     sta::Timer elm(design, graph, elm_opts);
@@ -55,5 +57,6 @@ int main(int argc, char** argv) {
               "both models.  D2M's smaller wire delays relax the apparent\n"
               "violations, so the D2M-driven flow concentrates effort on "
               "cell-delay-dominated paths.)\n");
+  artifacts.finish();
   return 0;
 }

@@ -4,6 +4,7 @@
 #include <cstring>
 #include <string>
 
+#include "common/cli.h"
 #include "common/stopwatch.h"
 #include "common/table.h"
 #include "liberty/synth_library.h"
@@ -42,32 +43,11 @@ inline FlowResult run_flow(const liberty::CellLibrary& lib,
   return result;
 }
 
-// Simple --flag value argument scanning.
-inline int arg_int(int argc, char** argv, const char* flag, int fallback) {
-  for (int i = 1; i + 1 < argc; ++i)
-    if (std::strcmp(argv[i], flag) == 0) return std::atoi(argv[i + 1]);
-  return fallback;
-}
-
-inline double arg_double(int argc, char** argv, const char* flag,
-                         double fallback) {
-  for (int i = 1; i + 1 < argc; ++i)
-    if (std::strcmp(argv[i], flag) == 0) return std::atof(argv[i + 1]);
-  return fallback;
-}
-
-inline bool arg_flag(int argc, char** argv, const char* flag) {
-  for (int i = 1; i < argc; ++i)
-    if (std::strcmp(argv[i], flag) == 0) return true;
-  return false;
-}
-
-inline const char* arg_str(int argc, char** argv, const char* flag,
-                          const char* fallback) {
-  for (int i = 1; i + 1 < argc; ++i)
-    if (std::strcmp(argv[i], flag) == 0) return argv[i + 1];
-  return fallback;
-}
+// --flag value argument scanning, shared with the CLI tools (common/cli.h).
+using cli::arg_double;
+using cli::arg_flag;
+using cli::arg_int;
+using cli::arg_str;
 
 // --trace-out / --metrics-out handling shared by the table/figure benches:
 // construct at startup (enables tracing if requested), call add() after each

@@ -5,6 +5,10 @@
 // efficiency from exactly these kernels (there as CUDA launches).
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <vector>
+
+#include "bench_util.h"
 #include "common/rng.h"
 #include "common/smooth_math.h"
 #include "dtimer/diff_timer.h"
@@ -182,4 +186,28 @@ BENCHMARK(BM_FullTimingIteration)->Arg(4000)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): peel off the repo's shared
+// artifact flags (--trace-out / --metrics-out, see bench_util.h) before
+// google-benchmark sees argv — it rejects flags it does not know — then
+// flush the trace + metrics-registry artifacts after the run.
+int main(int argc, char** argv) {
+  dtp::bench::RunArtifacts artifacts(argc, argv);
+  std::vector<char*> bench_argv;
+  for (int i = 0; i < argc; ++i) {
+    const bool artifact_flag = std::strcmp(argv[i], "--trace-out") == 0 ||
+                               std::strcmp(argv[i], "--metrics-out") == 0;
+    if (artifact_flag && i + 1 < argc) {
+      ++i;  // skip the flag's value too
+      continue;
+    }
+    bench_argv.push_back(argv[i]);
+  }
+  int bench_argc = static_cast<int>(bench_argv.size());
+  benchmark::Initialize(&bench_argc, bench_argv.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_argc, bench_argv.data()))
+    return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  artifacts.finish();
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Shared --flag value argument scanning for the CLI tools and benches.
+//
+// One hand-rolled parser instead of three: tools/dtp_place, tools/dtp_bench
+// and every bench binary scan argv through these helpers.  Flags are
+// position-independent, the last occurrence wins for scanners that return the
+// first match (callers pass argv once), and unknown flags are the caller's
+// problem — the tools that care run their own strict pass over argv.
+#pragma once
+
+#include <cctype>
+#include <cstdlib>
+#include <cstring>
+
+namespace dtp::cli {
+
+inline const char* arg_str(int argc, char** argv, const char* flag,
+                           const char* fallback) {
+  for (int i = 1; i + 1 < argc; ++i)
+    if (std::strcmp(argv[i], flag) == 0) return argv[i + 1];
+  return fallback;
+}
+
+inline int arg_int(int argc, char** argv, const char* flag, int fallback) {
+  const char* s = arg_str(argc, argv, flag, nullptr);
+  return s != nullptr ? std::atoi(s) : fallback;
+}
+
+inline double arg_double(int argc, char** argv, const char* flag,
+                         double fallback) {
+  const char* s = arg_str(argc, argv, flag, nullptr);
+  return s != nullptr ? std::atof(s) : fallback;
+}
+
+inline bool arg_flag(int argc, char** argv, const char* flag) {
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], flag) == 0) return true;
+  return false;
+}
+
+// A flag with an optional numeric value: absent -> 0, bare -> `bare_value`,
+// followed by a number -> that number.
+inline int arg_opt_int(int argc, char** argv, const char* flag, int bare_value) {
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], flag) == 0) {
+      if (i + 1 < argc &&
+          std::isdigit(static_cast<unsigned char>(argv[i + 1][0])))
+        return std::atoi(argv[i + 1]);
+      return bare_value;
+    }
+  return 0;
+}
+
+}  // namespace dtp::cli

@@ -1,15 +1,37 @@
-// Wall-clock stopwatch used by the placer driver and the benchmark harness.
+// Wall-clock + process-CPU stopwatch used by the placer driver and the
+// benchmark harness.
+//
+// Wall time is a steady_clock read.  CPU time is the process-wide
+// user+system time across *all* threads (CLOCK_PROCESS_CPUTIME_ID where
+// available), so for a phase that fans out over the thread pool
+// cpu_elapsed / elapsed approximates the effective parallelism, and
+// cpu >> wall flags a phase that is burning cores, while cpu << wall flags
+// one that is blocked (IO, lock convoy, starved workers).
 #pragma once
 
 #include <chrono>
+#include <ctime>
 
 namespace dtp {
 
+// Process-wide CPU seconds (user+sys, all threads) since an arbitrary epoch.
+inline double process_cpu_sec() {
+#if defined(CLOCK_PROCESS_CPUTIME_ID)
+  struct timespec ts;
+  if (clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &ts) == 0)
+    return static_cast<double>(ts.tv_sec) + 1e-9 * static_cast<double>(ts.tv_nsec);
+#endif
+  return static_cast<double>(std::clock()) / CLOCKS_PER_SEC;
+}
+
 class Stopwatch {
  public:
-  Stopwatch() : start_(Clock::now()) {}
+  Stopwatch() { reset(); }
 
-  void reset() { start_ = Clock::now(); }
+  void reset() {
+    start_ = Clock::now();
+    cpu_start_ = process_cpu_sec();
+  }
 
   double elapsed_sec() const {
     return std::chrono::duration<double>(Clock::now() - start_).count();
@@ -17,9 +39,15 @@ class Stopwatch {
 
   double elapsed_ms() const { return elapsed_sec() * 1e3; }
 
+  // Process CPU time accumulated since construction/reset().
+  double cpu_elapsed_sec() const { return process_cpu_sec() - cpu_start_; }
+
+  double cpu_elapsed_ms() const { return cpu_elapsed_sec() * 1e3; }
+
  private:
   using Clock = std::chrono::steady_clock;
   Clock::time_point start_;
+  double cpu_start_ = 0.0;
 };
 
 }  // namespace dtp

@@ -1,0 +1,172 @@
+#include "obs/prof/hw_counters.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/json_writer.h"
+
+#if defined(__linux__)
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
+namespace dtp::obs::prof {
+
+void counters_to_json(JsonWriter& w, const CounterSample& s) {
+  w.begin_object();
+  w.key("available").value(s.available);
+  if (!s.available) {
+    w.key("reason").value(s.unavailable_reason);
+    w.end_object();
+    return;
+  }
+  w.key("cycles").value(s.cycles);
+  w.key("instructions").value(s.instructions);
+  w.key("cache_references").value(s.cache_references);
+  w.key("cache_misses").value(s.cache_misses);
+  w.key("branch_misses").value(s.branch_misses);
+  w.key("ipc").value(s.ipc());
+  w.key("cache_miss_rate").value(s.cache_miss_rate());
+  w.key("running_fraction").value(s.running_fraction);
+  w.end_object();
+}
+
+#if defined(__linux__)
+
+namespace {
+
+// The group layout, leader first.  Order defines the read_format layout.
+struct EventDef {
+  uint32_t type;
+  uint64_t config;
+  const char* name;
+};
+constexpr EventDef kEvents[] = {
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_CPU_CYCLES, "cycles"},
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_INSTRUCTIONS, "instructions"},
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_CACHE_REFERENCES, "cache-references"},
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_CACHE_MISSES, "cache-misses"},
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_BRANCH_MISSES, "branch-misses"},
+};
+constexpr int kNumEvents = 5;
+
+int perf_open(const EventDef& ev, int group_fd) {
+  struct perf_event_attr attr;
+  std::memset(&attr, 0, sizeof(attr));
+  attr.size = sizeof(attr);
+  attr.type = ev.type;
+  attr.config = ev.config;
+  attr.disabled = group_fd < 0 ? 1 : 0;  // leader starts disabled
+  attr.exclude_kernel = 1;  // lowest perf_event_paranoid requirement
+  attr.exclude_hv = 1;
+  attr.read_format = PERF_FORMAT_GROUP | PERF_FORMAT_TOTAL_TIME_ENABLED |
+                     PERF_FORMAT_TOTAL_TIME_RUNNING;
+  return static_cast<int>(
+      syscall(SYS_perf_event_open, &attr, 0 /*this thread*/, -1 /*any cpu*/,
+              group_fd, 0));
+}
+
+}  // namespace
+
+HwCounters::HwCounters() {
+  if (const char* off = std::getenv("DTP_NO_PERF");
+      off != nullptr && off[0] != '\0' && off[0] != '0') {
+    reason_ = "disabled by DTP_NO_PERF";
+    return;
+  }
+  group_fd_ = perf_open(kEvents[0], -1);
+  if (group_fd_ < 0) {
+    reason_ = std::string("perf_event_open(cycles) failed: ") +
+              std::strerror(errno);
+    return;
+  }
+  for (int i = 1; i < kNumEvents; ++i) {
+    member_fds_[i - 1] = perf_open(kEvents[i], group_fd_);
+    if (member_fds_[i - 1] < 0) {
+      reason_ = std::string("perf_event_open(") + kEvents[i].name +
+                ") failed: " + std::strerror(errno);
+      for (int j = 0; j < i - 1; ++j) ::close(member_fds_[j]);
+      ::close(group_fd_);
+      group_fd_ = -1;
+      for (int& fd : member_fds_) fd = -1;
+      return;
+    }
+  }
+}
+
+HwCounters::~HwCounters() {
+  if (group_fd_ < 0) return;
+  for (int fd : member_fds_)
+    if (fd >= 0) ::close(fd);
+  ::close(group_fd_);
+}
+
+void HwCounters::start() {
+  if (group_fd_ < 0) return;
+  ioctl(group_fd_, PERF_EVENT_IOC_RESET, PERF_IOC_FLAG_GROUP);
+  ioctl(group_fd_, PERF_EVENT_IOC_ENABLE, PERF_IOC_FLAG_GROUP);
+}
+
+CounterSample HwCounters::read() const {
+  CounterSample s;
+  if (group_fd_ < 0) {
+    s.unavailable_reason = reason_;
+    return s;
+  }
+  // PERF_FORMAT_GROUP read layout:
+  //   u64 nr; u64 time_enabled; u64 time_running; u64 values[nr];
+  uint64_t buf[3 + kNumEvents] = {};
+  const ssize_t got = ::read(group_fd_, buf, sizeof(buf));
+  if (got < static_cast<ssize_t>((3 + kNumEvents) * sizeof(uint64_t)) ||
+      buf[0] != static_cast<uint64_t>(kNumEvents)) {
+    s.unavailable_reason = "grouped perf read returned a short record";
+    return s;
+  }
+  const uint64_t enabled = buf[1], running = buf[2];
+  // Scale for multiplexing: when the PMU ran the group only part of the
+  // interval, extrapolate counts to the full enabled window.
+  const double scale =
+      running > 0 ? static_cast<double>(enabled) / static_cast<double>(running)
+                  : 0.0;
+  auto scaled = [&](int i) {
+    return running > 0 ? static_cast<uint64_t>(
+                             static_cast<double>(buf[3 + i]) * scale)
+                       : 0;
+  };
+  s.available = true;
+  s.cycles = scaled(0);
+  s.instructions = scaled(1);
+  s.cache_references = scaled(2);
+  s.cache_misses = scaled(3);
+  s.branch_misses = scaled(4);
+  s.running_fraction =
+      enabled > 0 ? static_cast<double>(running) / static_cast<double>(enabled)
+                  : 0.0;
+  return s;
+}
+
+CounterSample HwCounters::stop() {
+  if (group_fd_ >= 0) ioctl(group_fd_, PERF_EVENT_IOC_DISABLE, PERF_IOC_FLAG_GROUP);
+  return read();
+}
+
+#else  // !__linux__
+
+HwCounters::HwCounters() {
+  reason_ = "perf_event_open is Linux-only; counters unavailable";
+}
+HwCounters::~HwCounters() = default;
+void HwCounters::start() {}
+CounterSample HwCounters::read() const {
+  CounterSample s;
+  s.unavailable_reason = reason_;
+  return s;
+}
+CounterSample HwCounters::stop() { return read(); }
+
+#endif
+
+}  // namespace dtp::obs::prof

@@ -1,0 +1,88 @@
+// Hardware performance counters over perf_event_open (DESIGN.md §9).
+//
+// HwCounters opens one perf event group on the calling thread — cycles
+// (leader), instructions, cache-references, cache-misses, branch-misses —
+// and reads all five atomically in a single grouped read, scaled by
+// time_enabled/time_running when the kernel multiplexed the group.  That is
+// the per-kernel counter data the runtime-optimization PRs need: IPC tells a
+// level-dispatch loop whether it is retiring work or stalled, and the
+// cache-miss rate tells whether it is memory-bound.
+//
+// Scope: the group counts the *calling thread* (pid=0, cpu=-1).  Grouped
+// reads are incompatible with inherit-to-children counting on Linux, so
+// worker-thread cycles are not included; the derived rates (IPC, miss rate)
+// remain representative of the kernels the driver thread executes, and the
+// thread-pool timeline covers the workers' side.
+//
+// Fallback contract: perf_event_open is routinely denied in containers and
+// CI sandboxes (perf_event_paranoid, seccomp).  Construction NEVER throws:
+// when the syscall is unavailable, available() is false, unavailable_reason()
+// says why, and read()/stop() return a sample with available=false that
+// serializes as {"available":false,"reason":...} — an explicit record, not a
+// silent zero.  Setting DTP_NO_PERF=1 forces this path (tests, A/B runs).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace dtp {
+class JsonWriter;
+}
+
+namespace dtp::obs::prof {
+
+// One grouped counter read (deltas since start()).
+struct CounterSample {
+  bool available = false;
+  std::string unavailable_reason;  // set when available is false
+  uint64_t cycles = 0;
+  uint64_t instructions = 0;
+  uint64_t cache_references = 0;
+  uint64_t cache_misses = 0;
+  uint64_t branch_misses = 0;
+  // Multiplexing telemetry: fraction of the measured interval the group was
+  // actually on a PMU (1.0 = no multiplexing; values are scaled regardless).
+  double running_fraction = 0.0;
+
+  double ipc() const {
+    return cycles > 0 ? static_cast<double>(instructions) /
+                            static_cast<double>(cycles)
+                      : 0.0;
+  }
+  double cache_miss_rate() const {
+    return cache_references > 0 ? static_cast<double>(cache_misses) /
+                                      static_cast<double>(cache_references)
+                                : 0.0;
+  }
+};
+
+// Serializes a sample as a JSON object at the writer's current position:
+// {"available":true,"cycles":...,"ipc":...} or
+// {"available":false,"reason":"..."}.
+void counters_to_json(JsonWriter& w, const CounterSample& s);
+
+class HwCounters {
+ public:
+  HwCounters();   // opens the group; never throws — check available()
+  ~HwCounters();
+  HwCounters(const HwCounters&) = delete;
+  HwCounters& operator=(const HwCounters&) = delete;
+
+  bool available() const { return group_fd_ >= 0; }
+  const std::string& unavailable_reason() const { return reason_; }
+
+  // Zeroes and enables the group.  No-op when unavailable.
+  void start();
+  // Disables the group and returns the deltas since start().  When
+  // unavailable, returns {available:false, reason}.
+  CounterSample stop();
+  // Reads without disabling (mid-interval probe).
+  CounterSample read() const;
+
+ private:
+  int group_fd_ = -1;    // leader (cycles); < 0 when unavailable
+  int member_fds_[4] = {-1, -1, -1, -1};
+  std::string reason_;
+};
+
+}  // namespace dtp::obs::prof

@@ -1,0 +1,148 @@
+#include "obs/prof/resource_sampler.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/json_writer.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
+namespace dtp::obs::prof {
+
+namespace {
+
+// Parses "VmRSS:   123456 kB" style lines from /proc/self/status.  Returns
+// 0.0 when the file or the key is missing (non-Linux).
+void proc_status_kb(double& vm_rss_kb, double& vm_hwm_kb) {
+  vm_rss_kb = 0.0;
+  vm_hwm_kb = 0.0;
+#if defined(__linux__)
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return;
+  char line[256];
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (std::strncmp(line, "VmRSS:", 6) == 0)
+      vm_rss_kb = std::atof(line + 6);
+    else if (std::strncmp(line, "VmHWM:", 6) == 0)
+      vm_hwm_kb = std::atof(line + 6);
+  }
+  std::fclose(f);
+#endif
+}
+
+}  // namespace
+
+ResourceSample sample_resources_now() {
+  ResourceSample s;
+  double rss_kb = 0.0, hwm_kb = 0.0;
+  proc_status_kb(rss_kb, hwm_kb);
+  s.rss_mb = rss_kb / 1024.0;
+  s.rss_hwm_mb = hwm_kb / 1024.0;
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage ru;
+  if (getrusage(RUSAGE_SELF, &ru) == 0) {
+    s.minor_faults = static_cast<uint64_t>(ru.ru_minflt);
+    s.major_faults = static_cast<uint64_t>(ru.ru_majflt);
+    s.vol_ctx_switches = static_cast<uint64_t>(ru.ru_nvcsw);
+    s.invol_ctx_switches = static_cast<uint64_t>(ru.ru_nivcsw);
+    s.user_cpu_sec = static_cast<double>(ru.ru_utime.tv_sec) +
+                     1e-6 * static_cast<double>(ru.ru_utime.tv_usec);
+    s.sys_cpu_sec = static_cast<double>(ru.ru_stime.tv_sec) +
+                    1e-6 * static_cast<double>(ru.ru_stime.tv_usec);
+    if (s.rss_hwm_mb == 0.0) {
+#if defined(__APPLE__)
+      s.rss_hwm_mb = static_cast<double>(ru.ru_maxrss) / (1024.0 * 1024.0);
+#else
+      s.rss_hwm_mb = static_cast<double>(ru.ru_maxrss) / 1024.0;  // kB
+#endif
+    }
+  }
+#endif
+  return s;
+}
+
+void resource_sample_to_json(JsonWriter& w, const ResourceSample& s) {
+  w.begin_object();
+  w.key("t_sec").value(s.t_sec);
+  w.key("rss_mb").value(s.rss_mb);
+  w.key("rss_hwm_mb").value(s.rss_hwm_mb);
+  w.key("minor_faults").value(s.minor_faults);
+  w.key("major_faults").value(s.major_faults);
+  w.key("vol_ctx_switches").value(s.vol_ctx_switches);
+  w.key("invol_ctx_switches").value(s.invol_ctx_switches);
+  w.key("user_cpu_sec").value(s.user_cpu_sec);
+  w.key("sys_cpu_sec").value(s.sys_cpu_sec);
+  w.end_object();
+}
+
+void ResourceSampler::start() {
+  if (running_) return;
+  stop_requested_ = false;
+  epoch_ = std::chrono::steady_clock::now();
+  running_ = true;
+  thread_ = std::thread([this] { loop(); });
+}
+
+void ResourceSampler::stop() {
+  if (!running_) return;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_requested_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+  running_ = false;
+}
+
+void ResourceSampler::loop() {
+  for (;;) {
+    ResourceSample s = sample_resources_now();
+    s.t_sec =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - epoch_)
+            .count();
+    std::unique_lock<std::mutex> lock(mutex_);
+    samples_.push_back(s);
+    if (stop_requested_) return;
+    cv_.wait_for(lock, std::chrono::milliseconds(period_ms_),
+                 [this] { return stop_requested_; });
+    if (stop_requested_) {
+      // Final sample so the series always covers the full interval.
+      lock.unlock();
+      ResourceSample last = sample_resources_now();
+      last.t_sec = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - epoch_)
+                       .count();
+      lock.lock();
+      samples_.push_back(last);
+      return;
+    }
+  }
+}
+
+void ResourceSampler::write_jsonl(JsonlWriter& out,
+                                  const std::string& tag) const {
+  const std::vector<ResourceSample> snap = samples();
+  for (const ResourceSample& s : snap) {
+    JsonWriter w;
+    w.begin_object();
+    w.key("type").value("resource");
+    if (!tag.empty()) w.key("tag").value(tag);
+    w.key("t_sec").value(s.t_sec);
+    w.key("rss_mb").value(s.rss_mb);
+    w.key("rss_hwm_mb").value(s.rss_hwm_mb);
+    w.key("minor_faults").value(s.minor_faults);
+    w.key("major_faults").value(s.major_faults);
+    w.key("vol_ctx_switches").value(s.vol_ctx_switches);
+    w.key("invol_ctx_switches").value(s.invol_ctx_switches);
+    w.key("user_cpu_sec").value(s.user_cpu_sec);
+    w.key("sys_cpu_sec").value(s.sys_cpu_sec);
+    w.end_object();
+    out.write_line(w.str());
+  }
+}
+
+}  // namespace dtp::obs::prof

@@ -1,0 +1,93 @@
+// Background OS-resource sampler (DESIGN.md §9).
+//
+// A dedicated thread snapshots the process's OS-level resource state on a
+// fixed period: resident set size and its high-water mark from
+// /proc/self/status (getrusage's ru_maxrss as the portable fallback),
+// minor/major page faults and voluntary/involuntary context switches from
+// getrusage, and user/system CPU seconds.  Samples accumulate in memory and
+// serialize as {"type":"resource",...} JSONL timeline records, so a
+// placement run's memory growth and scheduling pressure can be read next to
+// its per-iteration metrics stream.
+//
+// The sampler is a pure observer: it shares no state with the placer, so an
+// attached sampler leaves placement results bitwise identical.  stop() joins
+// the thread — no sample is appended after it returns — and timestamps are
+// monotonic (steady_clock since start()).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/jsonl.h"
+
+namespace dtp {
+class JsonWriter;
+}
+
+namespace dtp::obs::prof {
+
+struct ResourceSample {
+  double t_sec = 0.0;       // seconds since sampler start (monotonic)
+  double rss_mb = 0.0;      // current resident set (VmRSS), MiB
+  double rss_hwm_mb = 0.0;  // resident high-water mark (VmHWM / ru_maxrss), MiB
+  uint64_t minor_faults = 0;         // cumulative, process lifetime
+  uint64_t major_faults = 0;
+  uint64_t vol_ctx_switches = 0;
+  uint64_t invol_ctx_switches = 0;
+  double user_cpu_sec = 0.0;
+  double sys_cpu_sec = 0.0;
+};
+
+// One immediate snapshot (t_sec = 0); also the building block of the
+// background loop.
+ResourceSample sample_resources_now();
+
+// Serializes one sample as a JSON object at the writer's current position.
+void resource_sample_to_json(JsonWriter& w, const ResourceSample& s);
+
+class ResourceSampler {
+ public:
+  explicit ResourceSampler(int period_ms = 50) : period_ms_(period_ms) {}
+  ~ResourceSampler() { stop(); }
+  ResourceSampler(const ResourceSampler&) = delete;
+  ResourceSampler& operator=(const ResourceSampler&) = delete;
+
+  // Starts the background thread (idempotent).  The first sample is taken
+  // immediately, then one per period.
+  void start();
+  // Signals the thread, takes one final sample, and joins.  After stop()
+  // returns, samples() is stable — nothing is appended.  Idempotent.
+  void stop();
+  bool running() const { return running_; }
+
+  std::vector<ResourceSample> samples() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return samples_;
+  }
+  size_t num_samples() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return samples_.size();
+  }
+
+  // Appends one {"type":"resource",...} record per sample.  `tag` (e.g. the
+  // bench cell name) is stamped onto every record when non-empty.
+  void write_jsonl(JsonlWriter& out, const std::string& tag = {}) const;
+
+ private:
+  void loop();
+
+  const int period_ms_;
+  bool running_ = false;
+  std::thread thread_;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_requested_ = false;
+  std::vector<ResourceSample> samples_;
+  std::chrono::steady_clock::time_point epoch_;
+};
+
+}  // namespace dtp::obs::prof

@@ -287,6 +287,10 @@ PlaceResult GlobalPlacer::run() {
 
   int iter = 0;
   Stopwatch phase_clock;
+  // Process-CPU time per phase (same order as PhaseBreakdown: wl, density,
+  // rsmt, sta_fwd, sta_bwd, step).  Wall ms already flow through the metrics
+  // histograms; CPU seconds accumulate here directly.
+  double phase_cpu[6] = {0, 0, 0, 0, 0, 0};
   for (; iter < options_.max_iters; ++iter) {
     // ---- guard: coordinates must be finite before the kernels index bins
     // with them (a NaN position is undefined behaviour in the splatter) ----
@@ -304,6 +308,7 @@ PlaceResult GlobalPlacer::run() {
     phase_clock.reset();
     const DensityStats ds = density_->update(x, y);
     log.density_ms = phase_clock.elapsed_ms();
+    phase_cpu[1] += phase_clock.cpu_elapsed_sec();
     update_wl_gamma(ds.overflow);
 
     // ---- wirelength gradient ----
@@ -312,6 +317,7 @@ PlaceResult GlobalPlacer::run() {
     std::fill(g_wl_y.begin(), g_wl_y.end(), 0.0);
     wl_->value_and_gradient(x, y, g_wl_x, g_wl_y);
     log.wl_grad_ms = phase_clock.elapsed_ms();
+    phase_cpu[0] += phase_clock.cpu_elapsed_sec();
 
     // ---- density gradient (lambda-scaled inside) ----
     phase_clock.reset();
@@ -334,6 +340,7 @@ PlaceResult GlobalPlacer::run() {
       density_->add_gradient(x, y, lambda, g_den_x, g_den_y);
     }
     log.density_ms += phase_clock.elapsed_ms();
+    phase_cpu[1] += phase_clock.cpu_elapsed_sec();
 
     // ---- timing ----
     log.overflow = ds.overflow;
@@ -369,12 +376,21 @@ PlaceResult GlobalPlacer::run() {
         diff_timer_->timer().set_gamma(g);
       }
       if (inj != nullptr) diff_timer_->set_fault_injection(inj, iter);
+      phase_clock.reset();
       const auto tm = diff_timer_->forward(x, y);
+      const double fwd_cpu = phase_clock.cpu_elapsed_sec();
       log.rsmt_ms = diff_timer_->last_forward().rsmt_ms;
       log.sta_fwd_ms = diff_timer_->last_forward().sta_ms();
+      // Forward CPU split between rsmt and sta proportional to their wall
+      // share (the timer reports wall ms per sub-phase, not CPU).
+      const double fwd_wall = log.rsmt_ms + log.sta_fwd_ms;
+      const double rsmt_frac = fwd_wall > 0.0 ? log.rsmt_ms / fwd_wall : 0.0;
+      phase_cpu[2] += fwd_cpu * rsmt_frac;
+      phase_cpu[3] += fwd_cpu * (1.0 - rsmt_frac);
       phase_clock.reset();
       diff_timer_->backward(1.0, options_.t2_ratio, g_t_x, g_t_y);
       log.sta_bwd_ms = phase_clock.elapsed_ms();
+      phase_cpu[4] += phase_clock.cpu_elapsed_sec();
       sta_time += sta_clock.elapsed_sec();
       log.wns = tm.wns;
       log.tns = tm.tns;
@@ -440,6 +456,7 @@ PlaceResult GlobalPlacer::run() {
       const auto tm = exact_timer_->evaluate(x, y);
       net_weighting_->update(*exact_timer_, *wl_);
       log.sta_fwd_ms = sta_clock.elapsed_ms();
+      phase_cpu[3] += sta_clock.cpu_elapsed_sec();
       sta_time += sta_clock.elapsed_sec();
       log.wns = tm.wns;
       log.tns = tm.tns;
@@ -494,6 +511,7 @@ PlaceResult GlobalPlacer::run() {
 
     lambda *= options_.lambda_mu;
     log.step_ms = phase_clock.elapsed_ms();
+    phase_cpu[5] += phase_clock.cpu_elapsed_sec();
 
     iter_count.add();
     h_wl.observe(log.wl_grad_ms);
@@ -565,6 +583,7 @@ PlaceResult GlobalPlacer::run() {
   result.hpwl = wl_->hpwl_unweighted(x, y);
   result.overflow = result.history.empty() ? 0.0 : result.history.back().overflow;
   result.runtime_sec = total_clock.elapsed_sec();
+  result.cpu_runtime_sec = total_clock.cpu_elapsed_sec();
   result.sta_runtime_sec = sta_time;
   result.phases.wirelength_sec = 1e-3 * (h_wl.sum() - sum0[0]);
   result.phases.density_sec = 1e-3 * (h_den.sum() - sum0[1]);
@@ -572,6 +591,12 @@ PlaceResult GlobalPlacer::run() {
   result.phases.sta_forward_sec = 1e-3 * (h_sta_f.sum() - sum0[3]);
   result.phases.sta_backward_sec = 1e-3 * (h_sta_b.sum() - sum0[4]);
   result.phases.step_sec = 1e-3 * (h_step.sum() - sum0[5]);
+  result.phases.wirelength_cpu_sec = phase_cpu[0];
+  result.phases.density_cpu_sec = phase_cpu[1];
+  result.phases.rsmt_cpu_sec = phase_cpu[2];
+  result.phases.sta_forward_cpu_sec = phase_cpu[3];
+  result.phases.sta_backward_cpu_sec = phase_cpu[4];
+  result.phases.step_cpu_sec = phase_cpu[5];
   result.health = rc.health();
   result.rollbacks = rc.rollbacks();
   result.timing_fallbacks = rc.timing_fallbacks();

@@ -136,6 +136,8 @@ struct IterationLog {
 
 // Where the placement run's wall clock went, in seconds (summed over
 // iterations).  Populated from the metrics-registry histograms the run feeds.
+// The *_cpu_sec twins are process CPU time (all threads) over the same span,
+// so cpu/wall per phase shows which kernels actually parallelize.
 struct PhaseBreakdown {
   double wirelength_sec = 0.0;
   double density_sec = 0.0;
@@ -143,6 +145,12 @@ struct PhaseBreakdown {
   double sta_forward_sec = 0.0;
   double sta_backward_sec = 0.0;
   double step_sec = 0.0;
+  double wirelength_cpu_sec = 0.0;
+  double density_cpu_sec = 0.0;
+  double rsmt_cpu_sec = 0.0;
+  double sta_forward_cpu_sec = 0.0;
+  double sta_backward_cpu_sec = 0.0;
+  double step_cpu_sec = 0.0;
 };
 
 struct PlaceResult {
@@ -150,6 +158,7 @@ struct PlaceResult {
   double hpwl = 0.0;            // final unweighted HPWL
   double overflow = 0.0;
   double runtime_sec = 0.0;
+  double cpu_runtime_sec = 0.0; // process CPU time (all threads) for run()
   double sta_runtime_sec = 0.0; // time inside timing forward/backward
   PhaseBreakdown phases;
   std::vector<IterationLog> history;

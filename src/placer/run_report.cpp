@@ -36,6 +36,12 @@ void phase_object(JsonWriter& w, const PhaseBreakdown& p) {
   w.key("sta_forward_sec").value(p.sta_forward_sec);
   w.key("sta_backward_sec").value(p.sta_backward_sec);
   w.key("step_sec").value(p.step_sec);
+  w.key("wirelength_cpu_sec").value(p.wirelength_cpu_sec);
+  w.key("density_cpu_sec").value(p.density_cpu_sec);
+  w.key("rsmt_cpu_sec").value(p.rsmt_cpu_sec);
+  w.key("sta_forward_cpu_sec").value(p.sta_forward_cpu_sec);
+  w.key("sta_backward_cpu_sec").value(p.sta_backward_cpu_sec);
+  w.key("step_cpu_sec").value(p.step_cpu_sec);
   w.end_object();
 }
 
@@ -86,6 +92,7 @@ void append_run_jsonl(obs::JsonlWriter& out, const PlaceResult& result,
   w.key("hpwl").value(result.hpwl);
   w.key("overflow").value(result.overflow);
   w.key("runtime_sec").value(result.runtime_sec);
+  w.key("cpu_runtime_sec").value(result.cpu_runtime_sec);
   w.key("sta_runtime_sec").value(result.sta_runtime_sec);
   health_fields(w, result);
   w.key("phases");
@@ -116,6 +123,7 @@ void run_summary_object(JsonWriter& w, const PlaceResult& result,
   w.key("hpwl").value(result.hpwl);
   w.key("overflow").value(result.overflow);
   w.key("runtime_sec").value(result.runtime_sec);
+  w.key("cpu_runtime_sec").value(result.cpu_runtime_sec);
   w.key("sta_runtime_sec").value(result.sta_runtime_sec);
   const IterationLog* last_timed = nullptr;
   for (const IterationLog& log : result.history)

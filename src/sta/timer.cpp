@@ -242,6 +242,7 @@ void Timer::init_sources(bool early) {
 
 void Timer::propagate() {
   DTP_TRACE_SCOPE("sta_propagate");
+  ThreadPool::global().mark("sta.propagate");
   init_sources(/*early=*/false);
   for (int l = 1; l < graph_->num_levels(); ++l) propagate_level(l, false);
   if (options_.enable_early) {

@@ -1,0 +1,424 @@
+// Performance observability layer (DESIGN.md §9): HwCounters fallback
+// contract, ResourceSampler start/stop hygiene, per-worker timeline
+// accounting, the BENCH_*.json schema round-trip, the bench-diff regression
+// gate, and the pure-observer guarantee (sampling leaves placement results
+// bitwise identical).
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+#include "common/json_parse.h"
+#include "common/json_writer.h"
+#include "common/stopwatch.h"
+#include "common/thread_pool.h"
+#include "liberty/synth_library.h"
+#include "obs/prof/bench_json.h"
+#include "obs/prof/hw_counters.h"
+#include "obs/prof/resource_sampler.h"
+#include "placer/global_placer.h"
+#include "sta/timing_graph.h"
+#include "workload/circuit_gen.h"
+
+namespace dtp::obs::prof {
+namespace {
+
+// ---------------------------------------------------------- HwCounters ----
+
+// The graceful-fallback contract: whether or not perf_event_open is
+// permitted in this environment, construction/start/stop must not crash and
+// the sample must be explicit about availability.
+TEST(HwCounters, NeverCrashesAndReportsAvailability) {
+  HwCounters hc;
+  hc.start();
+  volatile double sink = 0.0;
+  for (int i = 0; i < 100000; ++i) sink = sink + 1.0 / (i + 1);
+  const CounterSample s = hc.stop();
+  EXPECT_EQ(s.available, hc.available());
+  if (s.available) {
+    EXPECT_GT(s.cycles, 0u);
+    EXPECT_GT(s.instructions, 0u);
+    EXPECT_GT(s.ipc(), 0.0);
+    EXPECT_GE(s.running_fraction, 0.0);
+    EXPECT_LE(s.running_fraction, 1.0 + 1e-9);
+  } else {
+    EXPECT_FALSE(hc.unavailable_reason().empty());
+    EXPECT_FALSE(s.unavailable_reason.empty());
+    EXPECT_EQ(s.cycles, 0u);
+  }
+}
+
+TEST(HwCounters, DtpNoPerfForcesExplicitFallback) {
+  ::setenv("DTP_NO_PERF", "1", 1);
+  HwCounters hc;
+  ::unsetenv("DTP_NO_PERF");
+  EXPECT_FALSE(hc.available());
+  hc.start();  // must be a no-op, not a crash
+  const CounterSample s = hc.stop();
+  EXPECT_FALSE(s.available);
+  EXPECT_NE(s.unavailable_reason.find("DTP_NO_PERF"), std::string::npos);
+
+  // The JSON record must carry the explicit available:false marker.
+  JsonWriter w;
+  counters_to_json(w, s);
+  const JsonValue v = JsonParser::parse(w.str());
+  ASSERT_TRUE(v.is_object());
+  EXPECT_FALSE(v.at("available").boolean);
+  EXPECT_FALSE(v.str_or("reason", "").empty());
+}
+
+TEST(HwCounters, AvailableSampleSerializesRates) {
+  CounterSample s;
+  s.available = true;
+  s.cycles = 2000;
+  s.instructions = 3000;
+  s.cache_references = 100;
+  s.cache_misses = 25;
+  s.branch_misses = 7;
+  s.running_fraction = 1.0;
+  JsonWriter w;
+  counters_to_json(w, s);
+  const JsonValue v = JsonParser::parse(w.str());
+  EXPECT_TRUE(v.at("available").boolean);
+  EXPECT_DOUBLE_EQ(v.num_or("ipc", 0.0), 1.5);
+  EXPECT_DOUBLE_EQ(v.num_or("cache_miss_rate", 0.0), 0.25);
+  EXPECT_EQ(v.num_or("branch_misses", 0.0), 7.0);
+}
+
+// ------------------------------------------------------ ResourceSampler ----
+
+TEST(ResourceSampler, StopJoinsAndNothingAppendsAfter) {
+  ResourceSampler sampler(/*period_ms=*/5);
+  sampler.start();
+  EXPECT_TRUE(sampler.running());
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  sampler.stop();
+  EXPECT_FALSE(sampler.running());
+  const size_t n = sampler.num_samples();
+  EXPECT_GE(n, 2u);  // at least the immediate first and the final sample
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  EXPECT_EQ(sampler.num_samples(), n);  // stable after stop()
+  sampler.stop();                       // idempotent
+  EXPECT_EQ(sampler.num_samples(), n);
+}
+
+TEST(ResourceSampler, TimestampsMonotonicAndFieldsSane) {
+  ResourceSampler sampler(/*period_ms=*/5);
+  sampler.start();
+  // Touch some memory so RSS/fault counters have something to report.
+  std::vector<double> ballast(1 << 16, 1.0);
+  std::this_thread::sleep_for(std::chrono::milliseconds(25));
+  sampler.stop();
+  const std::vector<ResourceSample> samples = sampler.samples();
+  ASSERT_GE(samples.size(), 2u);
+  for (size_t i = 1; i < samples.size(); ++i)
+    EXPECT_GE(samples[i].t_sec, samples[i - 1].t_sec);
+  const ResourceSample& last = samples.back();
+#if defined(__linux__)
+  EXPECT_GT(last.rss_mb, 0.0);
+  EXPECT_GE(last.rss_hwm_mb, last.rss_mb * 0.5);
+  EXPECT_GT(last.minor_faults, 0u);
+#endif
+  EXPECT_GE(last.user_cpu_sec + last.sys_cpu_sec, 0.0);
+  (void)ballast;
+}
+
+TEST(ResourceSampler, SnapshotNowIsStandalone) {
+  const ResourceSample s = sample_resources_now();
+  EXPECT_EQ(s.t_sec, 0.0);
+#if defined(__linux__)
+  EXPECT_GT(s.rss_mb, 0.0);
+#endif
+}
+
+// --------------------------------------------------- worker timelines ----
+
+TEST(ThreadPoolTimeline, SpanSumMatchesAggregateBusy) {
+  ThreadPool pool(4);
+  pool.set_timeline_enabled(true);
+  std::atomic<long> sink{0};
+  for (int round = 0; round < 4; ++round)
+    pool.parallel_for(
+        0, 4096,
+        [&](size_t i) {
+          long acc = 0;
+          for (int k = 0; k < 200; ++k) acc += static_cast<long>(i) * k;
+          sink += acc;
+        },
+        /*grain=*/64);
+  // Workers account busy time / spans just after signaling task completion,
+  // so let the accounting settle before snapshotting.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  pool.set_timeline_enabled(false);
+
+  const ThreadPoolStats stats = pool.stats();
+  ASSERT_GT(stats.tasks_executed, 0u);
+  const std::vector<WorkerSpan> spans = pool.timeline();
+  ASSERT_EQ(spans.size(), stats.tasks_executed);
+  double span_sum = 0.0;
+  for (const WorkerSpan& s : spans) {
+    EXPECT_GE(s.t1_sec, s.t0_sec);
+    EXPECT_LT(s.worker, 4u);
+    span_sum += s.t1_sec - s.t0_sec;
+  }
+  // Span ends are derived from the same ns-quantized busy time as the
+  // aggregate, so the sums agree to rounding.
+  EXPECT_NEAR(span_sum, stats.busy_sec, 1e-6);
+
+  // Per-worker aggregates sum to the same totals.
+  const std::vector<WorkerStat> workers = pool.worker_stats();
+  ASSERT_EQ(workers.size(), 4u);
+  uint64_t tasks = 0;
+  double busy = 0.0;
+  for (const WorkerStat& w : workers) {
+    tasks += w.tasks;
+    busy += w.busy_sec;
+  }
+  EXPECT_EQ(tasks, stats.tasks_executed);
+  EXPECT_NEAR(busy, stats.busy_sec, 1e-6);
+}
+
+TEST(ThreadPoolTimeline, MarksAndClearAndQueueDepth) {
+  ThreadPool pool(2);
+  pool.mark("ignored.disabled");  // timeline off: must not record
+  EXPECT_TRUE(pool.timeline_marks().empty());
+
+  pool.set_timeline_enabled(true);
+  pool.mark("phase.a");
+  pool.parallel_for(
+      0, 1024,
+      [](size_t) {
+        std::this_thread::sleep_for(std::chrono::microseconds(20));
+      },
+      /*grain=*/8);
+  pool.mark("phase.b");
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));  // settle spans
+  pool.set_timeline_enabled(false);
+
+  const std::vector<TimelineMark> marks = pool.timeline_marks();
+  ASSERT_EQ(marks.size(), 2u);
+  EXPECT_STREQ(marks[0].label, "phase.a");
+  EXPECT_STREQ(marks[1].label, "phase.b");
+  EXPECT_LE(marks[0].t_sec, marks[1].t_sec);
+  EXPECT_FALSE(pool.timeline().empty());
+  // 1024/8 chunk tasks through 2 workers must have queued at some point.
+  EXPECT_GT(pool.stats().queue_depth_max, 0u);
+  pool.reset_queue_depth_max();
+  EXPECT_EQ(pool.stats().queue_depth_max, 0u);
+
+  pool.clear_timeline();
+  EXPECT_TRUE(pool.timeline().empty());
+  EXPECT_TRUE(pool.timeline_marks().empty());
+}
+
+TEST(ThreadPoolTimeline, DisabledRecordsNoSpans) {
+  ThreadPool pool(2);
+  pool.parallel_for(0, 2048, [](size_t) {}, /*grain=*/8);
+  EXPECT_TRUE(pool.timeline().empty());
+  EXPECT_GT(pool.stats().tasks_executed, 0u);  // aggregates still accumulate
+}
+
+// ---------------------------------------------------- CPU-time stopwatch ----
+
+TEST(Stopwatch, CpuTimeTracksBusyWork) {
+  Stopwatch sw;
+  volatile double sink = 0.0;
+  for (int i = 0; i < 2000000; ++i) sink = sink + 1.0 / (i + 1);
+  const double cpu = sw.cpu_elapsed_sec();
+  const double wall = sw.elapsed_sec();
+  EXPECT_GT(cpu, 0.0);
+  EXPECT_GT(wall, 0.0);
+  // Single-threaded busy loop: CPU time cannot exceed wall by more than
+  // scheduler noise (other process threads are idle here).
+  EXPECT_LT(cpu, wall * 4.0 + 0.05);
+}
+
+// ----------------------------------------------------------- stats math ----
+
+TEST(BenchStats, OrderStatistics) {
+  const SeriesStats s = compute_stats({5.0, 1.0, 3.0, 2.0, 4.0});
+  EXPECT_EQ(s.n, 5u);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_DOUBLE_EQ(s.median, 3.0);
+  EXPECT_DOUBLE_EQ(s.p95, 5.0);
+  EXPECT_NEAR(s.stddev, 1.5811388, 1e-6);
+
+  const SeriesStats even = compute_stats({4.0, 1.0, 3.0, 2.0});
+  EXPECT_DOUBLE_EQ(even.median, 2.5);
+
+  const SeriesStats empty = compute_stats({});
+  EXPECT_EQ(empty.n, 0u);
+  EXPECT_DOUBLE_EQ(empty.median, 0.0);
+
+  const SeriesStats one = compute_stats({7.0});
+  EXPECT_DOUBLE_EQ(one.median, 7.0);
+  EXPECT_DOUBLE_EQ(one.p95, 7.0);
+  EXPECT_DOUBLE_EQ(one.stddev, 0.0);
+}
+
+// ------------------------------------------------- BENCH json round-trip ----
+
+BenchSuiteResult make_suite(double wall_scale) {
+  BenchSuiteResult suite;
+  suite.suite = "unit";
+  suite.repeats = 3;
+  suite.threads = 2;
+  suite.counter_probe.available = false;
+  suite.counter_probe.unavailable_reason = "unit test";
+  BenchCell cell;
+  cell.name = "s100/dt";
+  cell.design = "s100";
+  cell.mode = "dt";
+  cell.num_cells = 100;
+  for (int r = 0; r < 3; ++r) {
+    BenchRepeat rep;
+    rep.wall_sec = wall_scale * (1.0 + 0.01 * r);
+    rep.cpu_sec = rep.wall_sec * 0.9;
+    rep.hpwl = 1234.5;
+    rep.overflow = 0.07;
+    rep.iterations = 100;
+    rep.phases = {{"wirelength", {0.4 * rep.wall_sec, 0.36 * rep.wall_sec}},
+                  {"density", {0.6 * rep.wall_sec, 0.54 * rep.wall_sec}}};
+    rep.pool_busy_sec = 0.5 * rep.wall_sec;
+    rep.pool_utilization = 0.25;
+    rep.queue_depth_max = 4;
+    rep.workers = {{10, 0.25 * rep.wall_sec}, {12, 0.25 * rep.wall_sec}};
+    cell.repeats.push_back(rep);
+  }
+  suite.cells.push_back(cell);
+  return suite;
+}
+
+TEST(BenchJson, SchemaRoundTrip) {
+  const std::string doc = bench_json(make_suite(1.0));
+  const JsonValue v = JsonParser::parse(doc);
+  ASSERT_TRUE(v.is_object());
+  EXPECT_EQ(v.str_or("schema", ""), kBenchSchema);
+  EXPECT_EQ(v.str_or("suite", ""), "unit");
+  EXPECT_EQ(v.num_or("repeats", 0.0), 3.0);
+  EXPECT_EQ(v.num_or("threads", 0.0), 2.0);
+  EXPECT_FALSE(v.at("counters").at("available").boolean);
+  ASSERT_TRUE(v.at("cells").is_array());
+  const JsonValue& cell = v.at("cells").at(size_t{0});
+  EXPECT_EQ(cell.str_or("name", ""), "s100/dt");
+  EXPECT_EQ(cell.at("repeats").array.size(), 3u);
+  const JsonValue& st = cell.at("stats");
+  ASSERT_TRUE(st.has("wall_sec"));
+  EXPECT_DOUBLE_EQ(st.at("wall_sec").num_or("min", 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(st.at("wall_sec").num_or("median", 0.0), 1.01);
+  EXPECT_DOUBLE_EQ(st.at("wall_sec").num_or("p95", 0.0), 1.02);
+  EXPECT_GT(st.at("wall_sec").num_or("stddev", -1.0), 0.0);
+  // Counters unavailable on every repeat: no IPC series is fabricated.
+  EXPECT_FALSE(st.has("ipc"));
+  // Per-phase stats mirror the repeat phases.
+  ASSERT_TRUE(st.at("phases").has("wirelength"));
+  EXPECT_NEAR(st.at("phases").at("wirelength").at("wall_sec").num_or("median", 0.0),
+              0.4 * 1.01, 1e-12);
+  ASSERT_TRUE(st.at("phases").at("wirelength").has("cpu_sec"));
+  // Repeat records carry resources and pool accounting.
+  const JsonValue& rep = cell.at("repeats").at(size_t{0});
+  EXPECT_TRUE(rep.has("resources"));
+  EXPECT_EQ(rep.at("pool").num_or("queue_depth_max", 0.0), 4.0);
+  EXPECT_EQ(rep.at("pool").at("workers").array.size(), 2u);
+}
+
+// ----------------------------------------------------------- bench diff ----
+
+TEST(BenchDiff, SameFilePassesInjectedRegressionFails) {
+  const JsonValue base = JsonParser::parse(bench_json(make_suite(1.0)));
+  EXPECT_EQ(bench_diff(base, base, {}, nullptr), 0);
+
+  // +25% wall/CPU time: beyond the 15% default threshold -> exit 2.
+  const JsonValue slow = JsonParser::parse(bench_json(make_suite(1.25)));
+  EXPECT_EQ(bench_diff(base, slow, {}, nullptr), 2);
+
+  // +25% but a loose threshold tolerates it.
+  BenchDiffOptions loose;
+  loose.threshold = 0.5;
+  EXPECT_EQ(bench_diff(base, slow, loose, nullptr), 0);
+
+  // An improvement never regresses.
+  const JsonValue fast = JsonParser::parse(bench_json(make_suite(0.7)));
+  EXPECT_EQ(bench_diff(base, fast, {}, nullptr), 0);
+}
+
+TEST(BenchDiff, NoisyBaselineIsInformationalOnly) {
+  // Baseline cv ~0.5 (wildly noisy): a 2x "regression" must not gate.
+  BenchSuiteResult noisy = make_suite(1.0);
+  noisy.cells[0].repeats[0].wall_sec = 0.3;
+  noisy.cells[0].repeats[1].wall_sec = 1.0;
+  noisy.cells[0].repeats[2].wall_sec = 1.7;
+  const JsonValue a = JsonParser::parse(bench_json(noisy));
+  const JsonValue b = JsonParser::parse(bench_json(make_suite(2.0)));
+  EXPECT_EQ(bench_diff(a, b, {}, nullptr), 0);
+}
+
+TEST(BenchDiff, SubMillisecondBaselineNeverGates) {
+  const JsonValue tiny_a = JsonParser::parse(bench_json(make_suite(1e-5)));
+  const JsonValue tiny_b = JsonParser::parse(bench_json(make_suite(5e-5)));
+  EXPECT_EQ(bench_diff(tiny_a, tiny_b, {}, nullptr), 0);
+}
+
+TEST(BenchDiff, MalformedInputsExitOne) {
+  const JsonValue good = JsonParser::parse(bench_json(make_suite(1.0)));
+  const JsonValue not_bench = JsonParser::parse(R"({"type":"iter"})");
+  EXPECT_EQ(bench_diff(not_bench, good, {}, nullptr), 1);
+  EXPECT_EQ(bench_diff(good, not_bench, {}, nullptr), 1);
+
+  // Disjoint cell sets: nothing to compare is a usage error, not a pass.
+  BenchSuiteResult other = make_suite(1.0);
+  other.cells[0].name = "different/cell";
+  const JsonValue disjoint = JsonParser::parse(bench_json(other));
+  EXPECT_EQ(bench_diff(good, disjoint, {}, nullptr), 1);
+}
+
+// ----------------------------------------------- pure-observer guarantee ----
+
+placer::PlaceResult run_small_placement() {
+  const liberty::CellLibrary lib = liberty::make_synthetic_library();
+  workload::WorkloadOptions wopts;
+  wopts.seed = 3;
+  wopts.num_cells = 150;
+  netlist::Design design = workload::generate_design(lib, wopts, "probe");
+  sta::TimingGraph graph(design.netlist);
+  placer::GlobalPlacerOptions popts;
+  popts.mode = placer::PlacerMode::DiffTiming;
+  popts.max_iters = 40;
+  popts.min_iters = 10;
+  popts.timing_start_iter = 10;
+  popts.timing_start_overflow = 1.0;
+  placer::GlobalPlacer gp(design, graph, popts);
+  return gp.run();
+}
+
+TEST(ProfIsPureObserver, SamplingLeavesPlacementBitwiseIdentical) {
+  const placer::PlaceResult plain = run_small_placement();
+
+  ThreadPool::global().set_timeline_enabled(true);
+  HwCounters hc;
+  hc.start();
+  ResourceSampler sampler(/*period_ms=*/5);
+  sampler.start();
+  const placer::PlaceResult observed = run_small_placement();
+  sampler.stop();
+  hc.stop();
+  ThreadPool::global().set_timeline_enabled(false);
+  ThreadPool::global().clear_timeline();
+
+  EXPECT_EQ(plain.iterations, observed.iterations);
+  EXPECT_EQ(plain.hpwl, observed.hpwl);          // bitwise, not approximate
+  EXPECT_EQ(plain.overflow, observed.overflow);
+  ASSERT_EQ(plain.history.size(), observed.history.size());
+  for (size_t i = 0; i < plain.history.size(); ++i) {
+    EXPECT_EQ(plain.history[i].hpwl, observed.history[i].hpwl);
+    EXPECT_EQ(plain.history[i].wns, observed.history[i].wns);
+    EXPECT_EQ(plain.history[i].tns, observed.history[i].tns);
+  }
+}
+
+}  // namespace
+}  // namespace dtp::obs::prof

@@ -1,0 +1,286 @@
+// dtp_bench: the continuous-benchmarking suite runner (DESIGN.md §9).
+//
+// Runs a fixed grid of workload × placer-mode cells N times each and emits
+// BENCH_<suite>.json (schema dtp.bench.v1): min/median/p95/stddev of wall and
+// process-CPU time per cell and per kernel phase, grouped hardware counters
+// (IPC, cache-miss rate) when perf_event_open is permitted — an explicit
+// available:false record when it is not (containers, CI sandboxes) — plus an
+// OS-resource snapshot and thread-pool utilization per repeat.
+//
+//   dtp_bench --suite smoke --repeats 3
+//   dtp_report --bench-diff BENCH_smoke.baseline.json BENCH_smoke.json
+//
+// Flags:
+//   --suite NAME      smoke | small | medium | large (default smoke)
+//   --repeats N       timed repeats per cell (default 3)
+//   --out PATH        output path (default BENCH_<suite>.json)
+//   --sample-ms N     resource-sampler period (default 25)
+//   --timeline-out P  JSONL timeline: resource samples, per-worker busy
+//                     spans and pool marks, tagged by cell/repeat
+//   --list            print the suite grid and exit
+//
+// Every repeat regenerates the design from the same seed, so all repeats and
+// both sides of a bench diff start from the identical initial state; the
+// samplers are pure observers and do not perturb placement results.
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/cli.h"
+#include "common/json_writer.h"
+#include "common/thread_pool.h"
+#include "liberty/synth_library.h"
+#include "obs/jsonl.h"
+#include "obs/prof/bench_json.h"
+#include "obs/prof/hw_counters.h"
+#include "obs/prof/resource_sampler.h"
+#include "placer/global_placer.h"
+#include "placer/run_report.h"
+#include "sta/timing_graph.h"
+#include "workload/circuit_gen.h"
+
+using namespace dtp;
+using obs::prof::BenchCell;
+using obs::prof::BenchRepeat;
+using obs::prof::BenchSuiteResult;
+using obs::prof::ResourceSample;
+
+namespace {
+
+struct CellDef {
+  std::string name;
+  int num_cells;
+  int max_iters;
+  placer::PlacerMode mode;
+};
+
+std::vector<CellDef> suite_cells(const std::string& suite) {
+  using placer::PlacerMode;
+  struct Shape {
+    const char* tag;
+    int num_cells;
+    int max_iters;
+  };
+  std::vector<Shape> shapes;
+  std::vector<PlacerMode> modes;
+  if (suite == "smoke") {
+    shapes = {{"s300", 300, 100}};
+    modes = {PlacerMode::WirelengthOnly, PlacerMode::DiffTiming};
+  } else if (suite == "small") {
+    shapes = {{"s800", 800, 200}};
+    modes = {PlacerMode::WirelengthOnly, PlacerMode::NetWeighting,
+             PlacerMode::DiffTiming};
+  } else if (suite == "medium") {
+    shapes = {{"s3000", 3000, 300}};
+    modes = {PlacerMode::WirelengthOnly, PlacerMode::NetWeighting,
+             PlacerMode::DiffTiming};
+  } else if (suite == "large") {
+    shapes = {{"s10000", 10000, 400}};
+    modes = {PlacerMode::WirelengthOnly, PlacerMode::DiffTiming};
+  } else {
+    return {};
+  }
+  std::vector<CellDef> cells;
+  for (const Shape& sh : shapes)
+    for (PlacerMode m : modes)
+      cells.push_back(CellDef{std::string(sh.tag) + "/" +
+                                  placer::mode_short_name(m),
+                              sh.num_cells, sh.max_iters, m});
+  return cells;
+}
+
+workload::WorkloadOptions workload_for(const CellDef& cell) {
+  workload::WorkloadOptions w;
+  w.seed = 7;
+  w.num_cells = cell.num_cells;
+  return w;
+}
+
+// One timed repeat: fresh design, samplers attached, counters around gp.run()
+// only (design generation and signoff are not part of the measured kernel).
+BenchRepeat run_repeat(const liberty::CellLibrary& lib, const CellDef& cell,
+                       obs::prof::HwCounters& counters, int sample_ms,
+                       obs::JsonlWriter* timeline, const std::string& tag) {
+  netlist::Design design =
+      workload::generate_design(lib, workload_for(cell), cell.name);
+  sta::TimingGraph graph(design.netlist);
+  placer::GlobalPlacerOptions popts;
+  popts.mode = cell.mode;
+  popts.max_iters = cell.max_iters;
+  // Activate timing early so short cells still exercise the timer kernels
+  // (the default gate of iter>=100 && overflow<=0.5 would leave the smoke
+  // suite's dt cell measuring pure wirelength descent).
+  popts.timing_start_iter = std::min(20, cell.max_iters / 4);
+  popts.timing_start_overflow = 1.0;
+  placer::GlobalPlacer gp(design, graph, popts);
+
+  ThreadPool& pool = ThreadPool::global();
+  const ThreadPoolStats pool0 = pool.stats();
+  const std::vector<WorkerStat> workers0 = pool.worker_stats();
+  pool.reset_queue_depth_max();
+  if (timeline != nullptr) {
+    pool.clear_timeline();
+    pool.set_timeline_enabled(true);
+  }
+
+  obs::prof::ResourceSampler sampler(sample_ms);
+  sampler.start();
+  counters.start();
+  const placer::PlaceResult result = gp.run();
+  BenchRepeat rep;
+  rep.counters = counters.stop();
+  sampler.stop();
+  if (timeline != nullptr) pool.set_timeline_enabled(false);
+
+  rep.wall_sec = result.runtime_sec;
+  rep.cpu_sec = result.cpu_runtime_sec;
+  rep.hpwl = result.hpwl;
+  rep.overflow = result.overflow;
+  rep.iterations = result.iterations;
+  const placer::PhaseBreakdown& p = result.phases;
+  rep.phases = {
+      {"wirelength", {p.wirelength_sec, p.wirelength_cpu_sec}},
+      {"density", {p.density_sec, p.density_cpu_sec}},
+      {"rsmt", {p.rsmt_sec, p.rsmt_cpu_sec}},
+      {"sta_forward", {p.sta_forward_sec, p.sta_forward_cpu_sec}},
+      {"sta_backward", {p.sta_backward_sec, p.sta_backward_cpu_sec}},
+      {"step", {p.step_sec, p.step_cpu_sec}},
+  };
+
+  const std::vector<ResourceSample> samples = sampler.samples();
+  if (!samples.empty()) rep.resources = samples.back();
+  const ThreadPoolStats pool1 = pool.stats();
+  rep.pool_busy_sec = pool1.busy_sec - pool0.busy_sec;
+  const double elapsed = pool1.lifetime_sec - pool0.lifetime_sec;
+  const double capacity = elapsed * static_cast<double>(pool1.num_threads);
+  rep.pool_utilization = capacity > 0.0 ? rep.pool_busy_sec / capacity : 0.0;
+  rep.queue_depth_max = pool1.queue_depth_max;
+  const std::vector<WorkerStat> workers1 = pool.worker_stats();
+  for (size_t i = 0; i < workers1.size(); ++i) {
+    WorkerStat delta;
+    delta.tasks = workers1[i].tasks - (i < workers0.size() ? workers0[i].tasks : 0);
+    delta.busy_sec =
+        workers1[i].busy_sec - (i < workers0.size() ? workers0[i].busy_sec : 0.0);
+    rep.workers.push_back(delta);
+  }
+
+  if (timeline != nullptr) {
+    sampler.write_jsonl(*timeline, tag);
+    for (const WorkerSpan& span : pool.timeline()) {
+      JsonWriter w;
+      w.begin_object();
+      w.key("type").value("worker_span");
+      w.key("tag").value(tag);
+      w.key("worker").value(span.worker);
+      w.key("t0_sec").value(span.t0_sec);
+      w.key("t1_sec").value(span.t1_sec);
+      w.end_object();
+      timeline->write_line(w.str());
+    }
+    for (const TimelineMark& m : pool.timeline_marks()) {
+      JsonWriter w;
+      w.begin_object();
+      w.key("type").value("pool_mark");
+      w.key("tag").value(tag);
+      w.key("t_sec").value(m.t_sec);
+      w.key("label").value(m.label);
+      w.end_object();
+      timeline->write_line(w.str());
+    }
+    pool.clear_timeline();
+  }
+  return rep;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string suite = cli::arg_str(argc, argv, "--suite", "smoke");
+  const int repeats = cli::arg_int(argc, argv, "--repeats", 3);
+  const int sample_ms = cli::arg_int(argc, argv, "--sample-ms", 25);
+  const std::string out_path =
+      cli::arg_str(argc, argv, "--out", ("BENCH_" + suite + ".json").c_str());
+  const char* timeline_path = cli::arg_str(argc, argv, "--timeline-out", nullptr);
+
+  if (cli::arg_flag(argc, argv, "--list")) {
+    for (const char* s : {"smoke", "small", "medium", "large"}) {
+      std::printf("%s:\n", s);
+      for (const CellDef& c : suite_cells(s))
+        std::printf("  %-12s %6d cells, %d iters\n", c.name.c_str(),
+                    c.num_cells, c.max_iters);
+    }
+    return 0;
+  }
+
+  const std::vector<CellDef> cells = suite_cells(suite);
+  if (cells.empty() || repeats < 1) {
+    std::fprintf(stderr,
+                 "usage: dtp_bench --suite smoke|small|medium|large "
+                 "[--repeats N] [--out PATH] [--sample-ms N] "
+                 "[--timeline-out PATH] [--list]\n");
+    return 1;
+  }
+
+  obs::JsonlWriter timeline;
+  if (timeline_path != nullptr && !timeline.open(timeline_path)) {
+    std::fprintf(stderr, "cannot write %s\n", timeline_path);
+    return 1;
+  }
+  obs::JsonlWriter* timeline_ptr = timeline.is_open() ? &timeline : nullptr;
+
+  const liberty::CellLibrary lib = liberty::make_synthetic_library();
+  obs::prof::HwCounters counters;
+  if (!counters.available())
+    std::fprintf(stderr, "[dtp_bench] hw counters unavailable: %s\n",
+                 counters.unavailable_reason().c_str());
+
+  BenchSuiteResult suite_result;
+  suite_result.suite = suite;
+  suite_result.repeats = repeats;
+  suite_result.threads = ThreadPool::global().num_threads();
+  suite_result.counter_probe = counters.read();
+
+  for (const CellDef& cell : cells) {
+    BenchCell bc;
+    bc.name = cell.name;
+    bc.design = cell.name.substr(0, cell.name.find('/'));
+    bc.mode = placer::mode_short_name(cell.mode);
+    bc.num_cells = cell.num_cells;
+    // One untimed warm-up so first-touch page faults and lazy pool spin-up
+    // do not land in repeat 0's numbers.
+    std::fprintf(stderr, "[dtp_bench] %s: warm-up\n", cell.name.c_str());
+    {
+      obs::prof::HwCounters warm_counters;
+      run_repeat(lib, cell, warm_counters, sample_ms, nullptr, {});
+    }
+    for (int r = 0; r < repeats; ++r) {
+      const std::string tag = cell.name + "#" + std::to_string(r);
+      std::fprintf(stderr, "[dtp_bench] %s: repeat %d/%d\n", cell.name.c_str(),
+                   r + 1, repeats);
+      bc.repeats.push_back(
+          run_repeat(lib, cell, counters, sample_ms, timeline_ptr, tag));
+    }
+    const obs::prof::SeriesStats wall = obs::prof::compute_stats([&] {
+      std::vector<double> xs;
+      for (const BenchRepeat& rep : bc.repeats) xs.push_back(rep.wall_sec);
+      return xs;
+    }());
+    std::fprintf(stderr,
+                 "[dtp_bench] %s: wall median %.3fs  min %.3fs  p95 %.3fs\n",
+                 cell.name.c_str(), wall.median, wall.min, wall.p95);
+    suite_result.cells.push_back(std::move(bc));
+  }
+
+  if (timeline.is_open()) {
+    timeline.close();
+    std::fprintf(stderr, "wrote %s\n", timeline_path);
+  }
+  if (!obs::prof::write_bench_json(out_path, suite_result)) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "wrote %s (%zu cells x %d repeats)\n", out_path.c_str(),
+               suite_result.cells.size(), repeats);
+  return 0;
+}

@@ -21,6 +21,7 @@
 #include <fstream>
 #include <string>
 
+#include "common/cli.h"
 #include "common/logger.h"
 #include "common/rng.h"
 #include "obs/jsonl.h"
@@ -42,36 +43,11 @@
 
 namespace {
 
-const char* arg_str(int argc, char** argv, const char* flag, const char* dflt) {
-  for (int i = 1; i + 1 < argc; ++i)
-    if (std::strcmp(argv[i], flag) == 0) return argv[i + 1];
-  return dflt;
-}
-int arg_int(int argc, char** argv, const char* flag, int dflt) {
-  const char* s = arg_str(argc, argv, flag, nullptr);
-  return s ? std::atoi(s) : dflt;
-}
-double arg_double(int argc, char** argv, const char* flag, double dflt) {
-  const char* s = arg_str(argc, argv, flag, nullptr);
-  return s ? std::atof(s) : dflt;
-}
-bool arg_flag(int argc, char** argv, const char* flag) {
-  for (int i = 1; i < argc; ++i)
-    if (std::strcmp(argv[i], flag) == 0) return true;
-  return false;
-}
-// A flag with an optional numeric value: absent -> 0, bare -> `bare_value`,
-// followed by a number -> that number.
-int arg_opt_int(int argc, char** argv, const char* flag, int bare_value) {
-  for (int i = 1; i < argc; ++i)
-    if (std::strcmp(argv[i], flag) == 0) {
-      if (i + 1 < argc &&
-          std::isdigit(static_cast<unsigned char>(argv[i + 1][0])))
-        return std::atoi(argv[i + 1]);
-      return bare_value;
-    }
-  return 0;
-}
+using dtp::cli::arg_double;
+using dtp::cli::arg_flag;
+using dtp::cli::arg_int;
+using dtp::cli::arg_opt_int;
+using dtp::cli::arg_str;
 
 void usage() {
   std::fprintf(stderr,

@@ -10,9 +10,15 @@
 //   dtp_report --diff a.jsonl[,a.paths.jsonl] b.jsonl[,b.paths.jsonl]
 //              [--threshold 0.05]
 //
+// Bench-diff mode — compare two dtp_bench BENCH_*.json artifacts as a
+// noise-thresholded performance gate (see obs/prof/bench_json.h):
+//
+//   dtp_report --bench-diff OLD.json NEW.json [--threshold 0.15]
+//
 // Exit codes: 0 ok, 1 usage / IO / JSON parse error, 2 policy failure — a
 // --require record type is missing, or the diff found a regression beyond the
-// threshold (HPWL/overflow/WNS/TNS worse, or run health rank degraded).
+// threshold (HPWL/overflow/WNS/TNS worse, or run health rank degraded; for
+// --bench-diff, median wall/CPU time beyond the threshold).
 // Path churn and per-level kernel-runtime deltas are reported informationally.
 #include <algorithm>
 #include <cmath>
@@ -21,10 +27,12 @@
 #include <fstream>
 #include <map>
 #include <set>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "common/json_parse.h"
+#include "obs/prof/bench_json.h"
 
 namespace {
 
@@ -33,14 +41,46 @@ using dtp::JsonValue;
 
 struct RunData {
   std::vector<JsonValue> iters, recoveries, paths, attribs, kernels, aborts;
+  std::vector<JsonValue> benches;  // whole BENCH_*.json documents
   JsonValue run_end;
   bool has_run_end = false;
   std::map<std::string, size_t> type_counts;
   std::vector<std::string> files;
 };
 
+// A dtp_bench artifact is a single JSON document (not JSONL) carrying a
+// "schema":"dtp.bench.*" marker.
+bool is_bench_document(const JsonValue& v) {
+  return v.is_object() && v.str_or("schema", "").rfind("dtp.bench", 0) == 0;
+}
+
+// Loads an entire BENCH_*.json document.  Returns false on IO/parse errors.
+bool load_bench_file(const std::string& path, JsonValue& out) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "dtp_report: cannot read %s\n", path.c_str());
+    return false;
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  try {
+    out = JsonParser::parse(ss.str());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "dtp_report: %s: %s\n", path.c_str(), e.what());
+    return false;
+  }
+  if (!is_bench_document(out)) {
+    std::fprintf(stderr, "dtp_report: %s is not a dtp.bench document\n",
+                 path.c_str());
+    return false;
+  }
+  return true;
+}
+
 // Loads one JSONL file into `run`, classifying records by their "type" field.
-// Returns false (with a diagnostic on stderr) on IO or parse errors.
+// A whole-file dtp.bench document is recognized first and classified as one
+// "bench" record.  Returns false (with a diagnostic on stderr) on IO or parse
+// errors.
 bool load_file(const std::string& path, RunData& run) {
   std::ifstream in(path);
   if (!in) {
@@ -48,6 +88,22 @@ bool load_file(const std::string& path, RunData& run) {
     return false;
   }
   run.files.push_back(path);
+  {
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    try {
+      JsonValue whole = JsonParser::parse(ss.str());
+      if (is_bench_document(whole)) {
+        ++run.type_counts["bench"];
+        run.benches.push_back(std::move(whole));
+        return true;
+      }
+    } catch (const std::exception&) {
+      // Not a single JSON document — parse as JSONL below.
+    }
+    in.clear();
+    in.seekg(0);
+  }
   std::string line;
   size_t lineno = 0;
   while (std::getline(in, line)) {
@@ -147,6 +203,43 @@ void print_report(const RunData& run) {
   for (const auto& [type, count] : run.type_counts)
     std::printf("  %s=%zu", type.c_str(), count);
   std::printf("\n");
+
+  for (const JsonValue& bench : run.benches) {
+    std::printf("\n-- bench suite '%s' (%d repeats, %d threads, counters %s) "
+                "--\n",
+                bench.str_or("suite", "?").c_str(),
+                static_cast<int>(bench.num_or("repeats", 0.0)),
+                static_cast<int>(bench.num_or("threads", 0.0)),
+                bench.has("counters") &&
+                        bench.at("counters").is_object() &&
+                        bench.at("counters").has("available") &&
+                        bench.at("counters").at("available").boolean
+                    ? "available"
+                    : "unavailable");
+    if (!bench.has("cells") || !bench.at("cells").is_array()) continue;
+    std::printf("%-16s %10s %10s %10s %10s %8s\n", "cell", "wall med",
+                "wall p95", "cpu med", "stddev", "ipc");
+    for (const JsonValue& cell : bench.at("cells").array) {
+      if (!cell.has("stats") || !cell.at("stats").is_object()) continue;
+      const JsonValue& st = cell.at("stats");
+      const double wall_med =
+          st.has("wall_sec") ? st.at("wall_sec").num_or("median", 0.0) : 0.0;
+      const double wall_p95 =
+          st.has("wall_sec") ? st.at("wall_sec").num_or("p95", 0.0) : 0.0;
+      const double wall_sd =
+          st.has("wall_sec") ? st.at("wall_sec").num_or("stddev", 0.0) : 0.0;
+      const double cpu_med =
+          st.has("cpu_sec") ? st.at("cpu_sec").num_or("median", 0.0) : 0.0;
+      std::printf("%-16s %9.3fs %9.3fs %9.3fs %9.4fs",
+                  cell.str_or("name", "?").c_str(), wall_med, wall_p95, cpu_med,
+                  wall_sd);
+      if (st.has("ipc"))
+        std::printf(" %8.2f", st.at("ipc").num_or("median", 0.0));
+      else
+        std::printf(" %8s", "n/a");
+      std::printf("\n");
+    }
+  }
 
   for (const JsonValue& a : run.aborts)
     std::printf("\n*** ABORTED at stage '%s' (exit %d): %s\n",
@@ -386,6 +479,8 @@ void usage() {
                "usage: dtp_report [--require TYPE[,TYPE...]] FILE.jsonl...\n"
                "       dtp_report --diff A.jsonl[,A2.jsonl] B.jsonl[,B2.jsonl] "
                "[--threshold 0.05]\n"
+               "       dtp_report --bench-diff OLD.json NEW.json "
+               "[--threshold 0.15]\n"
                "exit codes: 0 ok, 1 usage/IO/parse error, 2 missing required "
                "record type or diff regression\n");
 }
@@ -396,8 +491,10 @@ int main(int argc, char** argv) {
   std::vector<std::string> files;
   std::string require;
   bool diff = false;
+  bool bench_diff_mode = false;
   std::vector<std::string> diff_args;
   double threshold = 0.05;
+  bool threshold_set = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--help") {
@@ -407,17 +504,34 @@ int main(int argc, char** argv) {
       require = argv[++i];
     } else if (arg == "--threshold" && i + 1 < argc) {
       threshold = std::atof(argv[++i]);
+      threshold_set = true;
     } else if (arg == "--diff") {
       diff = true;
+    } else if (arg == "--bench-diff") {
+      bench_diff_mode = true;
     } else if (!arg.empty() && arg[0] == '-') {
       std::fprintf(stderr, "dtp_report: unknown option %s\n", arg.c_str());
       usage();
       return 1;
-    } else if (diff) {
+    } else if (diff || bench_diff_mode) {
       diff_args.push_back(arg);
     } else {
       files.push_back(arg);
     }
+  }
+
+  if (bench_diff_mode) {
+    if (diff_args.size() != 2) {
+      usage();
+      return 1;
+    }
+    JsonValue old_doc, new_doc;
+    if (!load_bench_file(diff_args[0], old_doc) ||
+        !load_bench_file(diff_args[1], new_doc))
+      return 1;
+    dtp::obs::prof::BenchDiffOptions opts;
+    if (threshold_set) opts.threshold = threshold;
+    return dtp::obs::prof::bench_diff(old_doc, new_doc, opts, stdout);
   }
 
   if (diff) {
