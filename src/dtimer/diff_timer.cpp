@@ -11,6 +11,7 @@
 #include "obs/trace.h"
 #include "robust/health_monitor.h"
 #include "sta/cell_arc_eval.h"
+#include "sta/timing_workspace.h"
 
 namespace dtp::dtimer {
 
@@ -28,21 +29,7 @@ DiffTimer::DiffTimer(const netlist::Design& design, const sta::TimingGraph& grap
              sta::TimerOptions{sta::AggMode::Smooth, options.gamma,
                                options.enable_early, options.wire_model,
                                options.rsmt}),
-      options_(options) {
-  const size_t n_pins = design.netlist.num_pins();
-  const size_t n_nets = design.netlist.num_nets();
-  g_at_.assign(n_pins * 2, 0.0);
-  g_slew_.assign(n_pins * 2, 0.0);
-  if (options.enable_early) {
-    g_at_early_.assign(n_pins * 2, 0.0);
-    g_slew_early_.assign(n_pins * 2, 0.0);
-  }
-  g_load_.assign(n_nets, 0.0);
-  pin_gx_.assign(n_pins, 0.0);
-  pin_gy_.assign(n_pins, 0.0);
-  g_net_delay_.resize(n_nets);
-  g_net_imp2_.resize(n_nets);
-}
+      options_(options) {}
 
 sta::TimingMetrics DiffTimer::forward(std::span<const double> cell_x,
                                       std::span<const double> cell_y,
@@ -96,20 +83,19 @@ void DiffTimer::backward(double t1, double t2, double h1, double h2,
   const bool hold = (h1 != 0.0 || h2 != 0.0);
   DTP_ASSERT_MSG(!hold || options_.enable_early,
                  "hold gradients require DiffTimerOptions::enable_early");
-  std::fill(g_at_.begin(), g_at_.end(), 0.0);
-  std::fill(g_slew_.begin(), g_slew_.end(), 0.0);
+  sta::TimingWorkspace& ws = timer_.workspace();
+  std::fill(ws.g_at.begin(), ws.g_at.end(), 0.0);
+  std::fill(ws.g_slew.begin(), ws.g_slew.end(), 0.0);
   if (hold) {
-    std::fill(g_at_early_.begin(), g_at_early_.end(), 0.0);
-    std::fill(g_slew_early_.begin(), g_slew_early_.end(), 0.0);
+    std::fill(ws.g_at_early.begin(), ws.g_at_early.end(), 0.0);
+    std::fill(ws.g_slew_early.begin(), ws.g_slew_early.end(), 0.0);
   }
-  std::fill(g_load_.begin(), g_load_.end(), 0.0);
-  std::fill(pin_gx_.begin(), pin_gx_.end(), 0.0);
-  std::fill(pin_gy_.begin(), pin_gy_.end(), 0.0);
-  for (NetId n : graph.timing_nets()) {
-    const size_t m = timer_.net_timing(n).tree.num_nodes();
-    g_net_delay_[static_cast<size_t>(n)].assign(m, 0.0);
-    g_net_imp2_[static_cast<size_t>(n)].assign(m, 0.0);
-  }
+  std::fill(ws.g_load.begin(), ws.g_load.end(), 0.0);
+  std::fill(ws.pin_gx.begin(), ws.pin_gx.end(), 0.0);
+  std::fill(ws.pin_gy.begin(), ws.pin_gy.end(), 0.0);
+  // Per-net Elmore seeds: the whole node arenas (unused capacity stays zero).
+  std::fill(ws.g_net_delay.begin(), ws.g_net_delay.end(), 0.0);
+  std::fill(ws.g_net_imp2.begin(), ws.g_net_imp2.end(), 0.0);
 
   // ---- step 1+2: endpoint seeds ----
   const auto& endpoints = graph.endpoints();
@@ -117,9 +103,10 @@ void DiffTimer::backward(double t1, double t2, double h1, double h2,
   const auto& ep_tr_w = timer_.endpoint_tr_weights();
 
   // Softmin weights of WNS_gamma over reachable endpoints.
-  std::vector<double> finite_slacks;
-  std::vector<size_t> finite_idx;
-  finite_slacks.reserve(endpoints.size());
+  std::vector<double>& finite_slacks = ws.ep_finite;
+  std::vector<size_t>& finite_idx = ws.ep_finite_idx;
+  finite_slacks.clear();
+  finite_idx.clear();
   for (size_t e = 0; e < endpoints.size(); ++e) {
     if (std::isfinite(ep_slack[e])) {
       finite_slacks.push_back(ep_slack[e]);
@@ -127,10 +114,11 @@ void DiffTimer::backward(double t1, double t2, double h1, double h2,
     }
   }
   if (finite_slacks.empty()) return;
-  std::vector<double> wns_weights;
+  std::vector<double>& wns_weights = ws.ep_weights;
   smooth_min(finite_slacks, gamma, wns_weights);
 
-  std::vector<double> g_ep(endpoints.size(), 0.0);
+  std::vector<double>& g_ep = ws.ep_g;
+  std::fill(g_ep.begin(), g_ep.end(), 0.0);
   for (size_t k = 0; k < finite_idx.size(); ++k) {
     const size_t e = finite_idx[k];
     // loss = -t1*TNS - t2*WNS;  dTNS/ds = [s < 0],  dWNS/ds = softmin weight.
@@ -145,21 +133,24 @@ void DiffTimer::backward(double t1, double t2, double h1, double h2,
       // slack_tr = RAT(slew) - AT  =>  d(loss)/d(AT) = -g_ep * w_tr, and when
       // the setup constraint is a LUT, d(loss)/d(slew) = g_ep * w_tr * dRAT/dslew.
       const double w = ep_tr_w[e * 2 + static_cast<size_t>(tr)];
-      g_at_[static_cast<size_t>(p) * 2 + static_cast<size_t>(tr)] +=
+      ws.g_at[static_cast<size_t>(p) * 2 + static_cast<size_t>(tr)] +=
           -g_ep[e] * w;
       const auto req = timer_.endpoint_setup_rat(e, tr);
       if (req.d_dslew != 0.0)
-        g_slew_[static_cast<size_t>(p) * 2 + static_cast<size_t>(tr)] +=
+        ws.g_slew[static_cast<size_t>(p) * 2 + static_cast<size_t>(tr)] +=
             g_ep[e] * w * req.d_dslew;
     }
   }
 
   // Hold endpoint seeds: slack = AT_early - requirement => d(slack)/d(AT) = +1.
+  // The setup seeds above are final, so the endpoint scratch is reused.
   if (hold) {
     const auto& hold_slack = timer_.endpoint_hold_slack();
     const auto& hold_tr_w = timer_.endpoint_hold_tr_weights();
-    std::vector<double> finite_hold;
-    std::vector<size_t> finite_hold_idx;
+    std::vector<double>& finite_hold = ws.ep_finite;
+    std::vector<size_t>& finite_hold_idx = ws.ep_finite_idx;
+    finite_hold.clear();
+    finite_hold_idx.clear();
     for (size_t e = 0; e < endpoints.size(); ++e) {
       if (std::isfinite(hold_slack[e])) {
         finite_hold.push_back(hold_slack[e]);
@@ -167,7 +158,7 @@ void DiffTimer::backward(double t1, double t2, double h1, double h2,
       }
     }
     if (!finite_hold.empty()) {
-      std::vector<double> hold_wns_w;
+      std::vector<double>& hold_wns_w = ws.ep_weights;
       smooth_min(finite_hold, gamma, hold_wns_w);
       for (size_t k = 0; k < finite_hold_idx.size(); ++k) {
         const size_t e = finite_hold_idx[k];
@@ -179,22 +170,22 @@ void DiffTimer::backward(double t1, double t2, double h1, double h2,
           // slack = AT_early - req(slew_early): both arrival and (for LUT
           // constraints) the early slew carry gradient.
           const double w = hold_tr_w[e * 2 + static_cast<size_t>(tr)];
-          g_at_early_[static_cast<size_t>(p) * 2 + static_cast<size_t>(tr)] +=
+          ws.g_at_early[static_cast<size_t>(p) * 2 + static_cast<size_t>(tr)] +=
               g * w;
           const auto req = timer_.endpoint_hold_requirement(e, tr);
           if (req.d_dslew != 0.0)
-            g_slew_early_[static_cast<size_t>(p) * 2 +
-                          static_cast<size_t>(tr)] += -g * w * req.d_dslew;
+            ws.g_slew_early[static_cast<size_t>(p) * 2 +
+                            static_cast<size_t>(tr)] += -g * w * req.d_dslew;
         }
       }
     }
   }
 
   // ---- step 3+4: reverse level sweep ----
-  const double* at = timer_.at_data();
   const double* slew = timer_.slew_data();
-  std::vector<ArcCandidate> cands;
-  std::vector<double> values, w_at, w_slew;
+  std::vector<double>& values = ws.values;
+  std::vector<double>& w_at = ws.w_at;
+  std::vector<double>& w_slew = ws.w_slew;
 
   static obs::Histogram& bwd_level_hist =
       obs::MetricsRegistry::instance().histogram("dtimer.bwd_level_ms");
@@ -211,61 +202,62 @@ void DiffTimer::backward(double t1, double t2, double h1, double h2,
         const Arc& first = graph.arcs()[static_cast<size_t>(fanin[0])];
         if (first.kind == ArcKind::NetArc) {
           // Eq. 10: single fan-in wire arc.
-          const size_t node = static_cast<size_t>(first.sink_index);
-          auto& g_delay = g_net_delay_[static_cast<size_t>(first.net)];
-          auto& g_imp2 = g_net_imp2_[static_cast<size_t>(first.net)];
+          const size_t node =
+              static_cast<size_t>(ws.forest.node_offset(first.net)) +
+              static_cast<size_t>(first.sink_index);
           for (int tr = 0; tr < 2; ++tr) {
             const size_t vi = static_cast<size_t>(v) * 2 + static_cast<size_t>(tr);
             const size_t ui =
                 static_cast<size_t>(first.from) * 2 + static_cast<size_t>(tr);
-            const double gat = g_at_[vi];
-            const double gslew = g_slew_[vi];
+            const double gat = ws.g_at[vi];
+            const double gslew = ws.g_slew[vi];
             if (gat != 0.0) {
-              g_at_[ui] += gat;            // Eq. 10a
-              g_delay[node] += gat;        // Eq. 10b (delay shared across tr)
+              ws.g_at[ui] += gat;            // Eq. 10a
+              ws.g_net_delay[node] += gat;   // Eq. 10b (delay shared across tr)
             }
             if (gslew != 0.0 && std::isfinite(slew[vi]) && slew[vi] > 0.0) {
-              g_slew_[ui] += slew[ui] / slew[vi] * gslew;      // Eq. 10c
-              g_imp2[node] += gslew / (2.0 * slew[vi]);        // Eq. 10d
+              ws.g_slew[ui] += slew[ui] / slew[vi] * gslew;      // Eq. 10c
+              ws.g_net_imp2[node] += gslew / (2.0 * slew[vi]);   // Eq. 10d
             }
           }
         } else {
-          // Eq. 12: cell arcs; re-derive candidates and LSE softmax weights.
+          // Eq. 12: cell arcs.  Candidates and LUT gradients come from the
+          // workspace cache the forward sweep recorded for this pin — the
+          // forward gathers read finalized lower-level state, so the cached
+          // entries are bitwise what a re-gather would produce.
           const NetId out_net = graph.driven_timing_net(v);
-          const double load =
-              out_net == netlist::kInvalidId
-                  ? 0.0
-                  : timer_.net_timing(out_net).root_load();
           for (int tr_out = 0; tr_out < 2; ++tr_out) {
             const size_t vi =
                 static_cast<size_t>(v) * 2 + static_cast<size_t>(tr_out);
-            const double gat_out = g_at_[vi];
-            const double gslew_out = g_slew_[vi];
+            const double gat_out = ws.g_at[vi];
+            const double gslew_out = ws.g_slew[vi];
             if (gat_out == 0.0 && gslew_out == 0.0) continue;
-            cands.clear();
-            for (int ai : fanin)
-              gather_arc_candidates(graph.arcs()[static_cast<size_t>(ai)], tr_out,
-                                    at, slew, load, cands);
-            if (cands.empty()) continue;
-            values.resize(cands.size());
-            for (size_t k = 0; k < cands.size(); ++k) values[k] = cands[k].at_value;
+            const ArcCandidate* cands = ws.cand_ptr(v, tr_out);
+            const int count =
+                ws.cand_count[static_cast<size_t>(v) * 2 +
+                              static_cast<size_t>(tr_out)];
+            if (count == 0) continue;
+            values.resize(static_cast<size_t>(count));
+            for (int k = 0; k < count; ++k)
+              values[static_cast<size_t>(k)] = cands[k].at_value;
             smooth_max(values, timer_.options().gamma, w_at);
-            for (size_t k = 0; k < cands.size(); ++k)
-              values[k] = cands[k].slew_q.value;
+            for (int k = 0; k < count; ++k)
+              values[static_cast<size_t>(k)] = cands[k].slew_q.value;
             smooth_max(values, timer_.options().gamma, w_slew);
 
-            for (size_t k = 0; k < cands.size(); ++k) {
+            for (int k = 0; k < count; ++k) {
               const ArcCandidate& c = cands[k];
               const size_t ui = static_cast<size_t>(c.from) * 2 +
                                 static_cast<size_t>(c.tr_in);
-              const double g_at_cand = w_at[k] * gat_out;     // Eq. 12a
+              const double g_at_cand = w_at[static_cast<size_t>(k)] * gat_out;  // Eq. 12a
               const double g_delay_cand = g_at_cand;          // Eq. 12b
-              const double g_slew_cand = w_slew[k] * gslew_out;  // Eq. 12c
-              g_at_[ui] += g_at_cand;
-              g_slew_[ui] += c.delay_q.d_dx * g_delay_cand +
-                             c.slew_q.d_dx * g_slew_cand;     // Eq. 12d
+              const double g_slew_cand =
+                  w_slew[static_cast<size_t>(k)] * gslew_out;  // Eq. 12c
+              ws.g_at[ui] += g_at_cand;
+              ws.g_slew[ui] += c.delay_q.d_dx * g_delay_cand +
+                               c.slew_q.d_dx * g_slew_cand;     // Eq. 12d
               if (out_net != netlist::kInvalidId)
-                g_load_[static_cast<size_t>(out_net)] +=
+                ws.g_load[static_cast<size_t>(out_net)] +=
                     c.delay_q.d_dy * g_delay_cand +
                     c.slew_q.d_dy * g_slew_cand;              // Eq. 12e
             }
@@ -275,46 +267,48 @@ void DiffTimer::backward(double t1, double t2, double h1, double h2,
 
       // Hold corner: mirror the sweep on the early arrays (min-aggregation
       // softmin weights; same Elmore/load accumulators — the wire quantities
-      // are shared between corners).
+      // are shared between corners).  The cache holds the late candidates, so
+      // the early corner re-gathers against the early state.
       if (hold && !fanin.empty()) {
-        const double* at_e = g_at_early_.empty() ? nullptr : timer_.at_early_data();
+        const double* at_e = ws.g_at_early.empty() ? nullptr : timer_.at_early_data();
         const double* slew_e = timer_.slew_early_data();
         const Arc& first = graph.arcs()[static_cast<size_t>(fanin[0])];
         if (first.kind == ArcKind::NetArc) {
-          const size_t node = static_cast<size_t>(first.sink_index);
-          auto& g_delay = g_net_delay_[static_cast<size_t>(first.net)];
-          auto& g_imp2 = g_net_imp2_[static_cast<size_t>(first.net)];
+          const size_t node =
+              static_cast<size_t>(ws.forest.node_offset(first.net)) +
+              static_cast<size_t>(first.sink_index);
           for (int tr = 0; tr < 2; ++tr) {
             const size_t vi = static_cast<size_t>(v) * 2 + static_cast<size_t>(tr);
             const size_t ui =
                 static_cast<size_t>(first.from) * 2 + static_cast<size_t>(tr);
-            const double gat = g_at_early_[vi];
-            const double gslew = g_slew_early_[vi];
+            const double gat = ws.g_at_early[vi];
+            const double gslew = ws.g_slew_early[vi];
             if (gat != 0.0) {
-              g_at_early_[ui] += gat;
-              g_delay[node] += gat;
+              ws.g_at_early[ui] += gat;
+              ws.g_net_delay[node] += gat;
             }
             if (gslew != 0.0 && std::isfinite(slew_e[vi]) && slew_e[vi] > 0.0) {
-              g_slew_early_[ui] += slew_e[ui] / slew_e[vi] * gslew;
-              g_imp2[node] += gslew / (2.0 * slew_e[vi]);
+              ws.g_slew_early[ui] += slew_e[ui] / slew_e[vi] * gslew;
+              ws.g_net_imp2[node] += gslew / (2.0 * slew_e[vi]);
             }
           }
         } else {
           const NetId out_net = graph.driven_timing_net(v);
           const double load =
-              out_net == netlist::kInvalidId
-                  ? 0.0
-                  : timer_.net_timing(out_net).root_load();
+              out_net == netlist::kInvalidId ? 0.0 : ws.net_root_load(out_net);
+          std::vector<ArcCandidate>& cands = ws.cands;
           for (int tr_out = 0; tr_out < 2; ++tr_out) {
             const size_t vi =
                 static_cast<size_t>(v) * 2 + static_cast<size_t>(tr_out);
-            const double gat_out = g_at_early_[vi];
-            const double gslew_out = g_slew_early_[vi];
+            const double gat_out = ws.g_at_early[vi];
+            const double gslew_out = ws.g_slew_early[vi];
             if (gat_out == 0.0 && gslew_out == 0.0) continue;
             cands.clear();
-            for (int ai : fanin)
-              gather_arc_candidates(graph.arcs()[static_cast<size_t>(ai)],
+            for (int ai : fanin) {
+              const Arc& arc = graph.arcs()[static_cast<size_t>(ai)];
+              gather_arc_candidates(graph.lib_arc(arc.lib_arc), arc.from,
                                     tr_out, at_e, slew_e, load, cands);
+            }
             if (cands.empty()) continue;
             values.resize(cands.size());
             for (size_t k = 0; k < cands.size(); ++k)
@@ -330,11 +324,11 @@ void DiffTimer::backward(double t1, double t2, double h1, double h2,
               const double g_at_cand = w_at[k] * gat_out;
               const double g_delay_cand = g_at_cand;
               const double g_slew_cand = w_slew[k] * gslew_out;
-              g_at_early_[ui] += g_at_cand;
-              g_slew_early_[ui] += c.delay_q.d_dx * g_delay_cand +
-                                   c.slew_q.d_dx * g_slew_cand;
+              ws.g_at_early[ui] += g_at_cand;
+              ws.g_slew_early[ui] += c.delay_q.d_dx * g_delay_cand +
+                                     c.slew_q.d_dx * g_slew_cand;
               if (out_net != netlist::kInvalidId)
-                g_load_[static_cast<size_t>(out_net)] +=
+                ws.g_load[static_cast<size_t>(out_net)] +=
                     c.delay_q.d_dy * g_delay_cand +
                     c.slew_q.d_dy * g_slew_cand;
             }
@@ -347,17 +341,17 @@ void DiffTimer::backward(double t1, double t2, double h1, double h2,
       // v's own fan-in arcs just above): run the Elmore adjoint.
       const NetId driven = graph.driven_timing_net(v);
       if (driven != netlist::kInvalidId) {
-        const sta::NetTiming& nt = timer_.net_timing(driven);
+        const sta::NetTimingView nt = ws.net_view(driven);
         const size_t m = nt.tree.num_nodes();
-        scratch_gx_.assign(m, 0.0);
-        scratch_gy_.assign(m, 0.0);
-        auto& g_delay = g_net_delay_[static_cast<size_t>(driven)];
+        std::fill_n(ws.scratch_gx.begin(), m, 0.0);
+        std::fill_n(ws.scratch_gy.begin(), m, 0.0);
+        const std::span<double> g_delay = ws.net_g_delay(driven);
         std::span<const double> g_beta{};
         if (options_.wire_model == sta::WireDelayModel::D2M) {
           // The net-arc seeds landed on used_delay = ln2 * m1^2 / sqrt(m2);
           // convert to (m1, m2) = (delay, beta) seeds via the chain rule.
           // Degenerate nodes fell back to Elmore and pass through unchanged.
-          scratch_gbeta_.assign(m, 0.0);
+          std::fill_n(ws.scratch_gbeta.begin(), m, 0.0);
           for (size_t node = 0; node < m; ++node) {
             const double gu = g_delay[node];
             if (gu == 0.0 || nt.d2m_degenerate[node]) continue;
@@ -365,26 +359,31 @@ void DiffTimer::backward(double t1, double t2, double h1, double h2,
             const double b = nt.beta[node];
             const double sqrt_b = std::sqrt(b);
             g_delay[node] = gu * sta::kLn2 * 2.0 * d / sqrt_b;
-            scratch_gbeta_[node] = gu * sta::kLn2 * d * d * -0.5 / (b * sqrt_b);
+            ws.scratch_gbeta[node] = gu * sta::kLn2 * d * d * -0.5 / (b * sqrt_b);
           }
-          g_beta = scratch_gbeta_;
+          g_beta = std::span<const double>(ws.scratch_gbeta.data(), m);
         }
-        elmore_backward(nt, g_delay, g_net_imp2_[static_cast<size_t>(driven)],
-                        g_load_[static_cast<size_t>(driven)],
-                        timer_.design().constraints.wire_res,
-                        timer_.design().constraints.wire_cap, scratch_gx_,
-                        scratch_gy_, g_beta);
+        elmore_backward(
+            nt, g_delay, ws.net_g_imp2(driven),
+            ws.g_load[static_cast<size_t>(driven)],
+            timer_.design().constraints.wire_res,
+            timer_.design().constraints.wire_cap,
+            std::span<double>(ws.scratch_gx.data(), m),
+            std::span<double>(ws.scratch_gy.data(), m),
+            ElmoreScratch{ws.el_gbeta, ws.el_gldelay, ws.el_gdelay,
+                          ws.el_gload},
+            g_beta);
         // Fold node gradients onto pins: pin nodes directly, Steiner nodes via
         // their coordinate source pins (paper Fig. 4).
         const netlist::Net& net = nl.net(driven);
         for (size_t node = 0; node < m; ++node) {
-          const auto& tn = nt.tree.nodes[node];
+          const rsmt::SteinerNode& tn = nt.tree.nodes[node];
           const size_t xp = static_cast<size_t>(
               net.pins[static_cast<size_t>(tn.x_src)]);
           const size_t yp = static_cast<size_t>(
               net.pins[static_cast<size_t>(tn.y_src)]);
-          pin_gx_[xp] += scratch_gx_[node];
-          pin_gy_[yp] += scratch_gy_[node];
+          ws.pin_gx[xp] += ws.scratch_gx[node];
+          ws.pin_gy[yp] += ws.scratch_gy[node];
         }
       }
     }
@@ -401,21 +400,21 @@ void DiffTimer::backward(double t1, double t2, double h1, double h2,
   // LUT-gradient path had produced garbage (robust-layer test harness).
   if (fault_injector_ != nullptr)
     fault_injector_->corrupt(robust::FaultSite::LutAdjoint, fault_tick_,
-                             pin_gx_, pin_gy_);
+                             ws.pin_gx, ws.pin_gy);
 
   // Health signal for the graceful-degradation path: count non-finite pin
   // gradients (cheap sum-poisoning fast path when everything is finite).
   last_backward_nonfinite_ =
-      robust::HealthMonitor::all_finite(pin_gx_, pin_gy_)
+      robust::HealthMonitor::all_finite(ws.pin_gx, ws.pin_gy)
           ? 0
-          : robust::HealthMonitor::count_nonfinite(pin_gx_, pin_gy_);
+          : robust::HealthMonitor::count_nonfinite(ws.pin_gx, ws.pin_gy);
 
   // ---- pins -> cells (pin offsets are rigid) ----
   for (size_t p = 0; p < nl.num_pins(); ++p) {
-    if (pin_gx_[p] == 0.0 && pin_gy_[p] == 0.0) continue;
+    if (ws.pin_gx[p] == 0.0 && ws.pin_gy[p] == 0.0) continue;
     const CellId c = nl.pin(static_cast<PinId>(p)).cell;
-    grad_x[static_cast<size_t>(c)] += pin_gx_[p];
-    grad_y[static_cast<size_t>(c)] += pin_gy_[p];
+    grad_x[static_cast<size_t>(c)] += ws.pin_gx[p];
+    grad_y[static_cast<size_t>(c)] += ws.pin_gy[p];
   }
 }
 

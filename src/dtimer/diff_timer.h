@@ -21,6 +21,15 @@
 //      resulting Steiner-node coordinate gradients onto their source pins
 //      (Fig. 4), then pin gradients onto cells.
 //
+// All backward state — adjoint arrays, per-net seed arenas, endpoint and
+// Elmore scratch — lives in the wrapped timer's TimingWorkspace (DESIGN.md
+// §10), shared with the forward pass.  The late-corner cell-arc step reuses
+// the candidate cache the forward sweep recorded (same candidates by
+// construction: forward gathers read finalized lower-level state), so no LUT
+// is re-evaluated on the setup path; the optional hold corner re-gathers
+// against the early arrays.  A steady-state forward (drag path) + backward
+// pair performs zero heap allocations (tests/test_zero_alloc.cpp).
+//
 // Between full Steiner reconstructions the forward pass only drags Steiner
 // points along their source pins (§3.6); forward() manages the rebuild period.
 #pragma once
@@ -128,15 +137,6 @@ class DiffTimer {
   size_t last_backward_nonfinite_ = 0;
   bool profile_levels_ = false;
   std::vector<sta::LevelStat> bwd_level_profile_;
-
-  // Backward state, sized once.
-  std::vector<double> g_at_, g_slew_;               // late, [pin*2 + tr]
-  std::vector<double> g_at_early_, g_slew_early_;   // hold terms only
-  std::vector<double> g_load_;          // per net: root-load adjoint
-  std::vector<double> pin_gx_, pin_gy_; // per netlist pin
-  // Per-net Elmore seeds, allocated lazily per backward call.
-  std::vector<std::vector<double>> g_net_delay_, g_net_imp2_;
-  std::vector<double> scratch_gx_, scratch_gy_, scratch_gbeta_;
 };
 
 }  // namespace dtp::dtimer

@@ -7,18 +7,25 @@
 
 namespace dtp::dtimer {
 
-void elmore_backward(const sta::NetTiming& nt, std::span<const double> g_delay,
+void elmore_backward(const sta::NetTimingView& nt,
+                     std::span<const double> g_delay,
                      std::span<const double> g_imp2, double g_load_root,
                      double r_unit, double c_unit, std::span<double> gx,
-                     std::span<double> gy, std::span<const double> g_beta) {
-  const rsmt::SteinerTree& tree = nt.tree;
+                     std::span<double> gy, ElmoreScratch scratch,
+                     std::span<const double> g_beta) {
+  const rsmt::SteinerTreeView& tree = nt.tree;
   const size_t m = tree.num_nodes();
   DTP_ASSERT(g_delay.size() == m && g_imp2.size() == m);
   DTP_ASSERT(g_beta.empty() || g_beta.size() == m);
   DTP_ASSERT(gx.size() == m && gy.size() == m);
+  DTP_ASSERT(scratch.gbeta.size() >= m && scratch.gldelay.size() >= m &&
+             scratch.gdelay.size() >= m && scratch.gload.size() >= m);
   const auto& topo = tree.topo_order;
 
-  thread_local std::vector<double> gbeta, gldelay, gdelay, gload;
+  double* gbeta = scratch.gbeta.data();
+  double* gldelay = scratch.gldelay.data();
+  double* gdelay = scratch.gdelay.data();
+  double* gload = scratch.gload.data();
 
   // Effective gImp2 with the clamp mask applied.
   auto imp2_grad = [&](size_t v) -> double {
@@ -26,7 +33,6 @@ void elmore_backward(const sta::NetTiming& nt, std::span<const double> g_delay,
   };
 
   // R1 (bottom-up): gBeta.
-  gbeta.resize(m);
   for (size_t v = 0; v < m; ++v)
     gbeta[v] = 2.0 * imp2_grad(v) + (g_beta.empty() ? 0.0 : g_beta[v]);
   for (size_t k = m; k-- > 1;) {
@@ -36,7 +42,7 @@ void elmore_backward(const sta::NetTiming& nt, std::span<const double> g_delay,
   }
 
   // R2 (top-down): gLDelay.
-  gldelay.assign(m, 0.0);
+  for (size_t v = 0; v < m; ++v) gldelay[v] = 0.0;
   for (size_t k = 1; k < m; ++k) {
     const int v = topo[k];
     const int p = tree.nodes[static_cast<size_t>(v)].parent;
@@ -46,7 +52,6 @@ void elmore_backward(const sta::NetTiming& nt, std::span<const double> g_delay,
   }
 
   // R3 (bottom-up): gDelay.
-  gdelay.resize(m);
   for (size_t v = 0; v < m; ++v) {
     gdelay[v] = g_delay[v] + nt.node_cap[v] * gldelay[v] -
                 2.0 * nt.delay[v] * imp2_grad(v);
@@ -58,7 +63,7 @@ void elmore_backward(const sta::NetTiming& nt, std::span<const double> g_delay,
   }
 
   // R4 (top-down): gLoad.
-  gload.assign(m, 0.0);
+  for (size_t v = 0; v < m; ++v) gload[v] = 0.0;
   gload[static_cast<size_t>(tree.root)] = g_load_root;
   for (size_t k = 1; k < m; ++k) {
     const int v = topo[k];
@@ -85,6 +90,24 @@ void elmore_backward(const sta::NetTiming& nt, std::span<const double> g_delay,
     gy[v] += glen * sy;
     gy[p] -= glen * sy;
   }
+}
+
+void elmore_backward(const sta::NetTiming& nt, std::span<const double> g_delay,
+                     std::span<const double> g_imp2, double g_load_root,
+                     double r_unit, double c_unit, std::span<double> gx,
+                     std::span<double> gy, std::span<const double> g_beta) {
+  const size_t m = nt.tree.num_nodes();
+  thread_local std::vector<double> gbeta, gldelay, gdelay, gload;
+  gbeta.resize(m);
+  gldelay.resize(m);
+  gdelay.resize(m);
+  gload.resize(m);
+  // The owning NetTiming is forward state already sized to m; view it without
+  // resizing (const_cast is safe: the backward pass only reads it).
+  sta::NetTiming& mut = const_cast<sta::NetTiming&>(nt);
+  elmore_backward(sta::view_of(mut), g_delay, g_imp2, g_load_root, r_unit,
+                  c_unit, gx, gy, ElmoreScratch{gbeta, gldelay, gdelay, gload},
+                  g_beta);
 }
 
 }  // namespace dtp::dtimer

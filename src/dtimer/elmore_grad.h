@@ -35,11 +35,30 @@
 
 namespace dtp::dtimer {
 
+// Caller-provided adjoint scratch for the four reverse passes, each span
+// sized >= the tree's node count.  The hot path (DiffTimer::backward) slices
+// these out of the shared TimingWorkspace so the adjoint runs allocation-free.
+struct ElmoreScratch {
+  std::span<double> gbeta;
+  std::span<double> gldelay;
+  std::span<double> gdelay;
+  std::span<double> gload;
+};
+
 // Accumulates (+=) coordinate gradients into gx/gy (sized num_nodes).
 // g_imp2 entries on clamped nodes are ignored (the clamp breaks dependence).
 // g_beta carries direct objective seeds on Beta (empty span = all zero) —
 // used by two-moment wire delay models like D2M whose propagation delay
 // depends on m2 as well as m1.
+void elmore_backward(const sta::NetTimingView& nt,
+                     std::span<const double> g_delay,
+                     std::span<const double> g_imp2, double g_load_root,
+                     double r_unit, double c_unit, std::span<double> gx,
+                     std::span<double> gy, ElmoreScratch scratch,
+                     std::span<const double> g_beta = {});
+
+// Owning-storage adapter (tests/benches): runs the view pass over
+// thread_local scratch.
 void elmore_backward(const sta::NetTiming& nt, std::span<const double> g_delay,
                      std::span<const double> g_imp2, double g_load_root,
                      double r_unit, double c_unit, std::span<double> gx,

@@ -64,9 +64,11 @@ std::vector<PathStage> walk_back(const sta::Timer& timer, PinId endpoint,
             ? 0.0
             : timer.net_timing(out_net).root_load();
     cands.clear();
-    for (int ai : fanin)
-      gather_arc_candidates(graph.arcs()[static_cast<size_t>(ai)], tr,
+    for (int ai : fanin) {
+      const Arc& arc = graph.arcs()[static_cast<size_t>(ai)];
+      gather_arc_candidates(graph.lib_arc(arc.lib_arc), arc.from, tr,
                             timer.at_data(), timer.slew_data(), load, cands);
+    }
     if (cands.empty()) {
       rev.push_back(stage);  // unreachable fan-in; treat as path start
       return rev;

@@ -1,0 +1,35 @@
+#include "rsmt/steiner_forest.h"
+
+#include "common/assert.h"
+
+namespace dtp::rsmt {
+
+void SteinerForest::finalize() {
+  const size_t n = capacity_.size();
+  offset_.assign(n + 1, 0);
+  int total = 0;
+  for (size_t i = 0; i < n; ++i) {
+    offset_[i] = total;
+    total += capacity_[i];
+  }
+  offset_[n] = total;
+  nodes_.assign(static_cast<size_t>(total), SteinerNode{});
+  topo_.assign(static_cast<size_t>(total), 0);
+}
+
+void SteinerForest::assign(int net, const SteinerTree& tree) {
+  const size_t n = static_cast<size_t>(net);
+  const size_t m = tree.nodes.size();
+  DTP_ASSERT_MSG(m <= static_cast<size_t>(capacity_[n]),
+                 "Steiner tree exceeds its forest arena slot");
+  const size_t off = static_cast<size_t>(offset_[n]);
+  for (size_t k = 0; k < m; ++k) {
+    nodes_[off + k] = tree.nodes[k];
+    topo_[off + k] = tree.topo_order[k];
+  }
+  count_[n] = static_cast<int>(m);
+  num_pins_[n] = tree.num_pins;
+  root_[n] = tree.root;
+}
+
+}  // namespace dtp::rsmt

@@ -26,15 +26,17 @@
 
 namespace dtp::rsmt {
 
+struct SteinerNode {
+  Vec2 pos;
+  int parent = -1;   // node index; -1 for the root
+  // Coordinate provenance: pin node -> itself; Steiner node -> the pin
+  // (tree-pin index < num_pins) whose coordinate it copies.
+  int x_src = -1;
+  int y_src = -1;
+};
+
 struct SteinerTree {
-  struct Node {
-    Vec2 pos;
-    int parent = -1;   // node index; -1 for the root
-    // Coordinate provenance: pin node -> itself; Steiner node -> the pin
-    // (tree-pin index < num_pins) whose coordinate it copies.
-    int x_src = -1;
-    int y_src = -1;
-  };
+  using Node = SteinerNode;
 
   int num_pins = 0;  // nodes [0, num_pins) are pins
   int root = 0;      // node index of the net driver pin
@@ -59,6 +61,34 @@ struct SteinerTree {
     return total;
   }
 };
+
+// Non-owning view of one tree — either a SteinerForest arena slice or an
+// owning SteinerTree (via view_of).  Field names mirror SteinerTree so the
+// Elmore passes are written once against the view.
+struct SteinerTreeView {
+  int num_pins = 0;
+  int root = 0;
+  std::span<SteinerNode> nodes;
+  std::span<const int> topo_order;
+
+  size_t num_nodes() const { return nodes.size(); }
+  size_t num_steiner() const { return nodes.size() - static_cast<size_t>(num_pins); }
+  double edge_length(int node) const {
+    const SteinerNode& n = nodes[static_cast<size_t>(node)];
+    return n.parent < 0 ? 0.0
+                        : manhattan(n.pos, nodes[static_cast<size_t>(n.parent)].pos);
+  }
+  double length() const {
+    double total = 0.0;
+    for (size_t i = 0; i < nodes.size(); ++i)
+      total += edge_length(static_cast<int>(i));
+    return total;
+  }
+};
+
+inline SteinerTreeView view_of(SteinerTree& t) {
+  return {t.num_pins, t.root, t.nodes, t.topo_order};
+}
 
 // Refreshes node positions after pins moved: pin nodes take the new positions,
 // Steiner nodes are dragged along their source pins (paper Fig. 4 / §3.6).

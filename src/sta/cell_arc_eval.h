@@ -2,12 +2,18 @@
 //
 // A cell arc contributes, per output transition, one candidate per compatible
 // input transition (decided by unateness).  The forward pass aggregates the
-// candidates' arrival times and slews (hard max/min or LSE); the backward pass
-// re-derives the same candidates to compute softmax weights and LUT gradients
-// (Eq. 12).  Keeping the enumeration in one helper guarantees forward and
-// backward see identical candidate sets.
+// candidates' arrival times and slews (hard max/min or LSE) and records the
+// candidates in the workspace cache; the backward pass and the RAT sweep
+// reuse the cached candidates — identical by construction — instead of
+// re-running the LUT queries.  Keeping the enumeration in one helper
+// guarantees every consumer sees identical candidate sets.
+//
+// The liberty arc is passed resolved (the graph stores an index into its
+// liberty-arc table, not a pointer), so callers write
+//   gather_arc_candidates(graph.lib_arc(arc.lib_arc), arc.from, ...).
 #pragma once
 
+#include <cmath>
 #include <vector>
 
 #include "liberty/lut.h"
@@ -43,14 +49,15 @@ struct ArcCandidate {
   double at_value = 0.0;  // at(from, tr_in) + delay
 };
 
-// Appends the candidates of one cell arc for output transition `tr_out`.
-// `at` / `slew` are the [pin*2 + tr] state arrays; `load` is the driven net's
-// root load.  Candidates whose source AT is non-finite (unreachable pin) are
-// skipped.  `want_grad` controls whether LUT gradients are computed.
-inline void gather_arc_candidates(const Arc& arc, int tr_out, const double* at,
+// Appends the candidates of one cell arc for output transition `tr_out` into
+// `out` starting at `out[count]`, advancing `count` (allocation-free; the
+// caller guarantees capacity >= count + 2).  `at` / `slew` are the
+// [pin*2 + tr] state arrays; `load` is the driven net's root load.
+// Candidates whose source AT is non-finite (unreachable pin) are skipped.
+inline void gather_arc_candidates(const liberty::TimingArc& lib, PinId from,
+                                  int tr_out, const double* at,
                                   const double* slew, double load,
-                                  std::vector<ArcCandidate>& out) {
-  const liberty::TimingArc& lib = *arc.lib_arc;
+                                  ArcCandidate* out, int& count) {
   const liberty::Lut& delay_lut = (tr_out == kRise) ? lib.cell_rise : lib.cell_fall;
   const liberty::Lut& slew_lut =
       (tr_out == kRise) ? lib.rise_transition : lib.fall_transition;
@@ -58,17 +65,29 @@ inline void gather_arc_candidates(const Arc& arc, int tr_out, const double* at,
   const int n = input_transitions(lib.unate, tr_out, trs);
   for (int k = 0; k < n; ++k) {
     const int tr_in = trs[k];
-    const size_t idx = static_cast<size_t>(arc.from) * 2 + static_cast<size_t>(tr_in);
+    const size_t idx = static_cast<size_t>(from) * 2 + static_cast<size_t>(tr_in);
     const double at_u = at[idx];
     if (!std::isfinite(at_u)) continue;
-    ArcCandidate cand;
-    cand.from = arc.from;
+    ArcCandidate& cand = out[count++];
+    cand.from = from;
     cand.tr_in = tr_in;
     cand.delay_q = delay_lut.lookup_grad(slew[idx], load);
     cand.slew_q = slew_lut.lookup_grad(slew[idx], load);
     cand.at_value = at_u + cand.delay_q.value;
-    out.push_back(cand);
   }
+}
+
+// Vector-appending convenience (cold paths: path tracing, tests).
+inline void gather_arc_candidates(const liberty::TimingArc& lib, PinId from,
+                                  int tr_out, const double* at,
+                                  const double* slew, double load,
+                                  std::vector<ArcCandidate>& out) {
+  const size_t base = out.size();
+  out.resize(base + 2);
+  int count = 0;
+  gather_arc_candidates(lib, from, tr_out, at, slew, load, out.data() + base,
+                        count);
+  out.resize(base + static_cast<size_t>(count));
 }
 
 }  // namespace dtp::sta

@@ -6,15 +6,36 @@
 
 namespace dtp::sta {
 
-void elmore_forward(NetTiming& nt, std::span<const double> pin_caps,
+NetTimingView view_of(NetTiming& nt) {
+  const size_t m = nt.tree.num_nodes();
+  nt.edge_len.resize(m);
+  nt.edge_res.resize(m);
+  nt.node_cap.resize(m);
+  nt.load.resize(m);
+  nt.delay.resize(m);
+  nt.ldelay.resize(m);
+  nt.beta.resize(m);
+  nt.imp2.resize(m);
+  nt.imp2_clamped.resize(m);
+  nt.used_delay.resize(m);
+  nt.d2m_degenerate.resize(m);
+  return {rsmt::view_of(nt.tree), nt.edge_len, nt.edge_res, nt.node_cap,
+          nt.load,                nt.delay,    nt.ldelay,   nt.beta,
+          nt.imp2,                nt.imp2_clamped, nt.used_delay,
+          nt.d2m_degenerate};
+}
+
+void elmore_forward(const NetTimingView& nt, std::span<const double> pin_caps,
                     double r_unit, double c_unit, WireDelayModel model) {
-  const rsmt::SteinerTree& tree = nt.tree;
+  const rsmt::SteinerTreeView& tree = nt.tree;
   const size_t m = tree.num_nodes();
   DTP_ASSERT(pin_caps.size() == static_cast<size_t>(tree.num_pins));
 
-  nt.edge_len.assign(m, 0.0);
-  nt.edge_res.assign(m, 0.0);
-  nt.node_cap.assign(m, 0.0);
+  for (size_t v = 0; v < m; ++v) {
+    nt.edge_len[v] = 0.0;
+    nt.edge_res[v] = 0.0;
+    nt.node_cap[v] = 0.0;
+  }
   for (size_t v = 0; v < m; ++v) {
     const int p = tree.nodes[v].parent;
     if (p < 0) continue;
@@ -30,7 +51,7 @@ void elmore_forward(NetTiming& nt, std::span<const double> pin_caps,
   const auto& topo = tree.topo_order;
 
   // Pass 1 (bottom-up): Load(u) = Cap(u) + sum_child Load(v).       (Eq. 7a)
-  nt.load = nt.node_cap;
+  for (size_t v = 0; v < m; ++v) nt.load[v] = nt.node_cap[v];
   for (size_t k = m; k-- > 1;) {
     const int v = topo[k];
     const int p = tree.nodes[static_cast<size_t>(v)].parent;
@@ -38,7 +59,7 @@ void elmore_forward(NetTiming& nt, std::span<const double> pin_caps,
   }
 
   // Pass 2 (top-down): Delay(u) = Delay(fa) + Res(fa->u)*Load(u).   (Eq. 7b)
-  nt.delay.assign(m, 0.0);
+  for (size_t v = 0; v < m; ++v) nt.delay[v] = 0.0;
   for (size_t k = 1; k < m; ++k) {
     const int v = topo[k];
     const int p = tree.nodes[static_cast<size_t>(v)].parent;
@@ -48,7 +69,6 @@ void elmore_forward(NetTiming& nt, std::span<const double> pin_caps,
   }
 
   // Pass 3 (bottom-up): LDelay(u) = Cap(u)*Delay(u) + sum LDelay(v). (Eq. 7c)
-  nt.ldelay.resize(m);
   for (size_t v = 0; v < m; ++v) nt.ldelay[v] = nt.node_cap[v] * nt.delay[v];
   for (size_t k = m; k-- > 1;) {
     const int v = topo[k];
@@ -57,7 +77,7 @@ void elmore_forward(NetTiming& nt, std::span<const double> pin_caps,
   }
 
   // Pass 4 (top-down): Beta(u) = Beta(fa) + Res(fa->u)*LDelay(u).   (Eq. 7d)
-  nt.beta.assign(m, 0.0);
+  for (size_t v = 0; v < m; ++v) nt.beta[v] = 0.0;
   for (size_t k = 1; k < m; ++k) {
     const int v = topo[k];
     const int p = tree.nodes[static_cast<size_t>(v)].parent;
@@ -67,8 +87,6 @@ void elmore_forward(NetTiming& nt, std::span<const double> pin_caps,
   }
 
   // Impulse^2 = 2*Beta - Delay^2, clamped for sqrt/division safety.  (Eq. 7e)
-  nt.imp2.resize(m);
-  nt.imp2_clamped.assign(m, 0);
   for (size_t v = 0; v < m; ++v) {
     const double raw = 2.0 * nt.beta[v] - nt.delay[v] * nt.delay[v];
     if (raw < kImpulseFloor) {
@@ -76,16 +94,17 @@ void elmore_forward(NetTiming& nt, std::span<const double> pin_caps,
       nt.imp2_clamped[v] = 1;
     } else {
       nt.imp2[v] = raw;
+      nt.imp2_clamped[v] = 0;
     }
   }
 
   // Propagation delay under the selected wire model.
   if (model == WireDelayModel::Elmore) {
-    nt.used_delay = nt.delay;
-    nt.d2m_degenerate.assign(m, 1);  // "degenerate" == plain Elmore seeds
+    for (size_t v = 0; v < m; ++v) {
+      nt.used_delay[v] = nt.delay[v];
+      nt.d2m_degenerate[v] = 1;  // "degenerate" == plain Elmore seeds
+    }
   } else {
-    nt.used_delay.resize(m);
-    nt.d2m_degenerate.assign(m, 0);
     for (size_t v = 0; v < m; ++v) {
       if (nt.beta[v] < kD2mBetaFloor) {
         nt.used_delay[v] = nt.delay[v];  // zero-length geometry: m2 ~ 0
@@ -93,9 +112,15 @@ void elmore_forward(NetTiming& nt, std::span<const double> pin_caps,
       } else {
         nt.used_delay[v] =
             kLn2 * nt.delay[v] * nt.delay[v] / std::sqrt(nt.beta[v]);
+        nt.d2m_degenerate[v] = 0;
       }
     }
   }
+}
+
+void elmore_forward(NetTiming& nt, std::span<const double> pin_caps,
+                    double r_unit, double c_unit, WireDelayModel model) {
+  elmore_forward(view_of(nt), pin_caps, r_unit, c_unit, model);
 }
 
 }  // namespace dtp::sta

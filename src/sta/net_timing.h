@@ -59,10 +59,41 @@ struct NetTiming {
   double root_load() const { return load[static_cast<size_t>(tree.root)]; }
 };
 
+// Non-owning slice of the shared timing data plane for one net: the tree view
+// plus per-node state spans into the TimingWorkspace arenas (DESIGN.md §10).
+// Field names mirror NetTiming so the Elmore passes and their consumers are
+// written once; spans are mutable — the forward pass fills them in place.
+struct NetTimingView {
+  rsmt::SteinerTreeView tree;
+  std::span<double> edge_len;
+  std::span<double> edge_res;
+  std::span<double> node_cap;
+  std::span<double> load;
+  std::span<double> delay;
+  std::span<double> ldelay;
+  std::span<double> beta;
+  std::span<double> imp2;
+  std::span<char> imp2_clamped;
+  std::span<double> used_delay;
+  std::span<char> d2m_degenerate;
+
+  double root_load() const { return load[static_cast<size_t>(tree.root)]; }
+};
+
+// Builds a view over an owning NetTiming, resizing its state vectors to the
+// tree's node count (adapter for tests/benches that keep per-net objects).
+NetTimingView view_of(NetTiming& nt);
+
 // Recomputes edge lengths/parasitics and runs the 4 Elmore passes, then
 // derives `used_delay` for the selected wire model.
 // `pin_caps[k]` is the input capacitance of tree pin k (0 for the driver).
-// Assumes tree topology and node positions are current.
+// Assumes tree topology and node positions are current.  Allocation-free:
+// writes only through the view's pre-sized spans.
+void elmore_forward(const NetTimingView& nt, std::span<const double> pin_caps,
+                    double r_unit, double c_unit,
+                    WireDelayModel model = WireDelayModel::Elmore);
+
+// Owning-storage adapter: resizes nt's vectors and runs the view pass.
 void elmore_forward(NetTiming& nt, std::span<const double> pin_caps,
                     double r_unit, double c_unit,
                     WireDelayModel model = WireDelayModel::Elmore);

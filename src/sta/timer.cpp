@@ -1,6 +1,7 @@
 #include "sta/timer.h"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 #include <limits>
 #include <queue>
@@ -19,6 +20,10 @@ namespace {
 constexpr double kNegInf = -std::numeric_limits<double>::infinity();
 constexpr double kPosInf = std::numeric_limits<double>::infinity();
 
+// Levels smaller than this are fused with their neighbours into one serial
+// pass; larger levels get their own parallel dispatch with this grain.
+constexpr size_t kLevelGrain = 64;
+
 double lookup_override(const std::unordered_map<std::string, double>& overrides,
                        const std::string& key, double fallback) {
   const auto it = overrides.find(key);
@@ -30,37 +35,12 @@ Timer::Timer(const netlist::Design& design, const TimingGraph& graph,
              TimerOptions options)
     : design_(&design), graph_(&graph), options_(options) {
   const netlist::Netlist& nl = design.netlist;
-  const size_t n_pins = nl.num_pins();
-  pin_pos_.resize(n_pins);
-  net_timing_.resize(nl.num_nets());
-  at_.assign(n_pins * 2, kNegInf);
-  slew_.assign(n_pins * 2, nl.library().default_slew);
-  if (options_.enable_early) {
-    at_early_.assign(n_pins * 2, kPosInf);
-    slew_early_.assign(n_pins * 2, nl.library().default_slew);
-  }
-
-  // Per-net sink pin caps (PO pads add the constraint's output load).
-  const netlist::Constraints& con = design.constraints;
-  net_pin_caps_.resize(nl.num_nets());
-  for (NetId n : graph.timing_nets()) {
-    const netlist::Net& net = nl.net(n);
-    auto& caps = net_pin_caps_[static_cast<size_t>(n)];
-    caps.resize(net.pins.size(), 0.0);
-    for (size_t k = 0; k < net.pins.size(); ++k) {
-      const PinId p = net.pins[k];
-      double cap = nl.pin_cap(p);
-      const CellId c = nl.pin(p).cell;
-      if (nl.lib_cell_of(c).kind == liberty::CellKind::PortOut)
-        cap += lookup_override(con.output_load_override, nl.cell(c).name,
-                               con.output_load);
-      caps[k] = cap;
-    }
-  }
+  ws_ = std::make_unique<TimingWorkspace>(design, graph, options_.enable_early,
+                                          options_.rsmt,
+                                          ThreadPool::global().num_slots());
 
   // Source initial conditions.
-  src_at_.assign(n_pins * 2, kNegInf);
-  src_slew_.assign(n_pins * 2, nl.library().default_slew);
+  const netlist::Constraints& con = design.constraints;
   if (graph.num_levels() > 0) {
     for (PinId p : graph.level(0)) {
       double at0 = kNegInf;
@@ -77,9 +57,28 @@ Timer::Timer(const netlist::Design& design, const TimingGraph& graph,
         }
       }
       for (int tr = 0; tr < 2; ++tr) {
-        src_at_[static_cast<size_t>(p) * 2 + static_cast<size_t>(tr)] = at0;
-        src_slew_[static_cast<size_t>(p) * 2 + static_cast<size_t>(tr)] = slew0;
+        ws_->src_at[static_cast<size_t>(p) * 2 + static_cast<size_t>(tr)] = at0;
+        ws_->src_slew[static_cast<size_t>(p) * 2 + static_cast<size_t>(tr)] =
+            slew0;
       }
+    }
+  }
+
+  // Fused level schedule (levels 1..L-1): runs of consecutive small levels
+  // become one serial group over the contiguous flat schedule — serial
+  // execution in flat (level-major, pin-ascending) order is exactly the
+  // per-level order, since update_pin only reads strictly lower levels.
+  const auto offsets = graph.level_offsets();
+  for (int l = 1; l < graph.num_levels(); ++l) {
+    const size_t b = static_cast<size_t>(offsets[static_cast<size_t>(l)]);
+    const size_t e = static_cast<size_t>(offsets[static_cast<size_t>(l) + 1]);
+    if (e - b >= kLevelGrain) {
+      level_groups_.push_back({b, e, /*serial=*/false});
+    } else if (!level_groups_.empty() && level_groups_.back().serial &&
+               level_groups_.back().end == b) {
+      level_groups_.back().end = e;
+    } else {
+      level_groups_.push_back({b, e, /*serial=*/true});
     }
   }
 
@@ -132,10 +131,10 @@ Timer::EndpointReq Timer::endpoint_hold_requirement(size_t e, int tr) const {
   EndpointReq req;
   if (const liberty::Lut* lut = ep_hold_lut_[e]) {
     const PinId p = graph_->endpoints()[e].pin;
-    const double sl = slew_early_.empty()
+    const double sl = ws_->slew_early.empty()
                           ? design_->netlist.library().default_slew
-                          : slew_early_[static_cast<size_t>(p) * 2 +
-                                        static_cast<size_t>(tr)];
+                          : ws_->slew_early[static_cast<size_t>(p) * 2 +
+                                            static_cast<size_t>(tr)];
     const auto q = lut->lookup_grad(sl, design_->constraints.clock_slew);
     req.value = q.value;
     req.d_dslew = q.d_dx;
@@ -163,8 +162,8 @@ void Timer::update_positions(std::span<const double> cell_x,
   for (size_t p = 0; p < nl.num_pins(); ++p) {
     const netlist::Pin& pin = nl.pin(static_cast<PinId>(p));
     const Vec2 off = nl.pin_offset(static_cast<PinId>(p));
-    pin_pos_[p] = {cell_x[static_cast<size_t>(pin.cell)] + off.x,
-                   cell_y[static_cast<size_t>(pin.cell)] + off.y};
+    ws_->pin_pos[p] = {cell_x[static_cast<size_t>(pin.cell)] + off.x,
+                       cell_y[static_cast<size_t>(pin.cell)] + off.y};
   }
 }
 
@@ -180,11 +179,10 @@ void Timer::build_trees() {
         std::vector<Vec2> pts(net.pins.size());
         int driver_idx = 0;
         for (size_t k = 0; k < net.pins.size(); ++k) {
-          pts[k] = pin_pos_[static_cast<size_t>(net.pins[k])];
+          pts[k] = ws_->pin_pos[static_cast<size_t>(net.pins[k])];
           if (net.pins[k] == net.driver) driver_idx = static_cast<int>(k);
         }
-        net_timing_[static_cast<size_t>(n)].tree =
-            rsmt::build_rsmt(pts, driver_idx, options_.rsmt);
+        ws_->forest.assign(n, rsmt::build_rsmt(pts, driver_idx, options_.rsmt));
       },
       /*grain=*/8);
   trees_built_ = true;
@@ -200,10 +198,18 @@ void Timer::drag_trees() {
       [&](size_t i) {
         const NetId n = nets[i];
         const netlist::Net& net = nl.net(n);
-        std::vector<Vec2> pts(net.pins.size());
-        for (size_t k = 0; k < net.pins.size(); ++k)
-          pts[k] = pin_pos_[static_cast<size_t>(net.pins[k])];
-        rsmt::update_positions(net_timing_[static_cast<size_t>(n)].tree, pts);
+        // In-place drag (paper §3.6): pin nodes take the fresh pin positions,
+        // Steiner nodes copy their source pins' coordinates (Fig. 4).
+        rsmt::SteinerTreeView t = ws_->forest.tree(n);
+        for (int k = 0; k < t.num_pins; ++k)
+          t.nodes[static_cast<size_t>(k)].pos =
+              ws_->pin_pos[static_cast<size_t>(net.pins[static_cast<size_t>(k)])];
+        for (size_t k = static_cast<size_t>(t.num_pins); k < t.nodes.size();
+             ++k) {
+          rsmt::SteinerNode& node = t.nodes[k];
+          node.pos.x = t.nodes[static_cast<size_t>(node.x_src)].pos.x;
+          node.pos.y = t.nodes[static_cast<size_t>(node.y_src)].pos.y;
+        }
       },
       /*grain=*/32);
 }
@@ -216,26 +222,25 @@ void Timer::run_elmore() {
       0, nets.size(),
       [&](size_t i) {
         const NetId n = nets[i];
-        elmore_forward(net_timing_[static_cast<size_t>(n)],
-                       net_pin_caps_[static_cast<size_t>(n)], con.wire_res,
+        elmore_forward(ws_->net_view(n), ws_->net_pin_caps(n), con.wire_res,
                        con.wire_cap, options_.wire_model);
       },
       /*grain=*/32);
 }
 
 void Timer::init_sources(bool early) {
-  const size_t n = at_.size();
+  const size_t n = ws_->at.size();
   if (!early) {
     for (size_t i = 0; i < n; ++i) {
-      at_[i] = src_at_[i];
-      slew_[i] = src_slew_[i];
+      ws_->at[i] = ws_->src_at[i];
+      ws_->slew[i] = ws_->src_slew[i];
     }
   } else {
     for (size_t i = 0; i < n; ++i) {
       // Early arrival of a source equals its (single) arrival time; pins that
       // are not sources start at +inf so min-aggregation works.
-      at_early_[i] = std::isfinite(src_at_[i]) ? src_at_[i] : kPosInf;
-      slew_early_[i] = src_slew_[i];
+      ws_->at_early[i] = std::isfinite(ws_->src_at[i]) ? ws_->src_at[i] : kPosInf;
+      ws_->slew_early[i] = ws_->src_slew[i];
     }
   }
 }
@@ -244,16 +249,38 @@ void Timer::propagate() {
   DTP_TRACE_SCOPE("sta_propagate");
   ThreadPool::global().mark("sta.propagate");
   init_sources(/*early=*/false);
-  for (int l = 1; l < graph_->num_levels(); ++l) propagate_level(l, false);
+  sweep_levels(/*early=*/false);
   if (options_.enable_early) {
     init_sources(/*early=*/true);
-    for (int l = 1; l < graph_->num_levels(); ++l) propagate_level(l, true);
+    sweep_levels(/*early=*/true);
   }
 }
 
-bool Timer::update_pin(PinId v, bool early) {
-  double* at = early ? at_early_.data() : at_.data();
-  double* slew = early ? slew_early_.data() : slew_.data();
+void Timer::sweep_levels(bool early) {
+  if (profile_levels_) {
+    // Per-level dispatches so each level's wall-clock is attributable.
+    for (int l = 1; l < graph_->num_levels(); ++l) propagate_level(l, early);
+    return;
+  }
+  ThreadPool& pool = ThreadPool::global();
+  const auto pins = graph_->level_pins();
+  for (const LevelGroup& g : level_groups_) {
+    if (g.serial) {
+      const size_t slot = pool.caller_slot();
+      for (size_t i = g.begin; i < g.end; ++i) update_pin(pins[i], early, slot);
+    } else {
+      pool.parallel_for_slotted(
+          g.begin, g.end,
+          [&](size_t slot, size_t i) { update_pin(pins[i], early, slot); },
+          kLevelGrain);
+    }
+  }
+}
+
+bool Timer::update_pin(PinId v, bool early, size_t slot) {
+  TimingWorkspace& ws = *ws_;
+  double* at = early ? ws.at_early.data() : ws.at.data();
+  double* slew = early ? ws.slew_early.data() : ws.slew.data();
   const bool smooth = options_.mode == AggMode::Smooth;
   const double gamma = options_.gamma;
 
@@ -271,11 +298,12 @@ bool Timer::update_pin(PinId v, bool early) {
   if (first.kind == ArcKind::NetArc) {
     // Exactly one fan-in net arc per pin (Eq. 9): no aggregation needed.
     DTP_ASSERT(fanin.size() == 1);
-    const NetTiming& nt = net_timing_[static_cast<size_t>(first.net)];
     // Tree pin index == net-pin index of the sink.
-    const size_t node = static_cast<size_t>(first.sink_index);
-    const double d = nt.used_delay[node];
-    const double imp2 = nt.imp2[node];
+    const size_t node =
+        static_cast<size_t>(ws.forest.node_offset(first.net)) +
+        static_cast<size_t>(first.sink_index);
+    const double d = ws.used_delay[node];
+    const double imp2 = ws.imp2[node];
     for (int tr = 0; tr < 2; ++tr) {
       const size_t vi = static_cast<size_t>(v) * 2 + static_cast<size_t>(tr);
       const size_t ui = static_cast<size_t>(first.from) * 2 + static_cast<size_t>(tr);
@@ -285,29 +313,50 @@ bool Timer::update_pin(PinId v, bool early) {
     return changed;
   }
 
-  // Cell arcs: aggregate candidates per output transition (Eq. 11).
+  // Cell arcs: aggregate candidates per output transition (Eq. 11).  The late
+  // corner writes its candidates into the workspace cache, where the backward
+  // pass and the RAT sweep re-read them; the early corner gathers into
+  // per-slot scratch.
   const NetId out_net = graph_->driven_timing_net(v);
-  const double load = out_net == netlist::kInvalidId
-                          ? 0.0
-                          : net_timing_[static_cast<size_t>(out_net)].root_load();
-  thread_local std::vector<ArcCandidate> cands;
-  thread_local std::vector<double> values;
-  thread_local std::vector<double> weights;
+  const double load =
+      out_net == netlist::kInvalidId ? 0.0 : ws.net_root_load(out_net);
+  LevelScratch& scratch = ws.slots[slot];
+  std::vector<double>& values = scratch.values;
+  std::vector<double>& weights = scratch.weights;
   for (int tr_out = 0; tr_out < 2; ++tr_out) {
-    cands.clear();
-    for (int ai : fanin) {
-      const Arc& arc = graph_->arcs()[static_cast<size_t>(ai)];
-      DTP_ASSERT(arc.kind == ArcKind::CellArc);
-      gather_arc_candidates(arc, tr_out, at, slew, load, cands);
+    const ArcCandidate* cands = nullptr;
+    int count = 0;
+    if (!early) {
+      ArcCandidate* out = ws.cand_ptr(v, tr_out);
+      for (int ai : fanin) {
+        const Arc& arc = graph_->arcs()[static_cast<size_t>(ai)];
+        DTP_ASSERT(arc.kind == ArcKind::CellArc);
+        gather_arc_candidates(graph_->lib_arc(arc.lib_arc), arc.from, tr_out,
+                              at, slew, load, out, count);
+      }
+      ws.cand_count[static_cast<size_t>(v) * 2 + static_cast<size_t>(tr_out)] =
+          count;
+      cands = out;
+    } else {
+      scratch.cands.clear();
+      for (int ai : fanin) {
+        const Arc& arc = graph_->arcs()[static_cast<size_t>(ai)];
+        DTP_ASSERT(arc.kind == ArcKind::CellArc);
+        gather_arc_candidates(graph_->lib_arc(arc.lib_arc), arc.from, tr_out,
+                              at, slew, load, scratch.cands);
+      }
+      cands = scratch.cands.data();
+      count = static_cast<int>(scratch.cands.size());
     }
     const size_t vi = static_cast<size_t>(v) * 2 + static_cast<size_t>(tr_out);
-    if (cands.empty()) {
+    if (count == 0) {
       store(vi, early ? kPosInf : kNegInf, at);
       continue;
     }
     // Arrival time aggregation.
-    values.resize(cands.size());
-    for (size_t k = 0; k < cands.size(); ++k) values[k] = cands[k].at_value;
+    values.resize(static_cast<size_t>(count));
+    for (int k = 0; k < count; ++k)
+      values[static_cast<size_t>(k)] = cands[k].at_value;
     double agg;
     if (early)
       agg = smooth ? smooth_min(values, gamma, weights)
@@ -318,7 +367,8 @@ bool Timer::update_pin(PinId v, bool early) {
     store(vi, agg, at);
     // Slew aggregation (Eq. 11d): late takes the worst (max) slew, early the
     // best (min).
-    for (size_t k = 0; k < cands.size(); ++k) values[k] = cands[k].slew_q.value;
+    for (int k = 0; k < count; ++k)
+      values[static_cast<size_t>(k)] = cands[k].slew_q.value;
     if (early)
       agg = smooth ? smooth_min(values, gamma, weights)
                    : hard_min(values, weights);
@@ -332,18 +382,13 @@ bool Timer::update_pin(PinId v, bool early) {
 
 void Timer::propagate_level(int level, bool early) {
   const auto& pins = graph_->level(level);
-  if (!profile_levels_) {
-    ThreadPool::global().parallel_for(
-        0, pins.size(), [&](size_t i) { update_pin(pins[i], early); },
-        /*grain=*/16);
-    return;
-  }
   static obs::Histogram& dispatch_hist =
       obs::MetricsRegistry::instance().histogram("sta.level_dispatch_ms");
   Stopwatch clock;
-  ThreadPool::global().parallel_for(
-      0, pins.size(), [&](size_t i) { update_pin(pins[i], early); },
-      /*grain=*/16);
+  ThreadPool::global().parallel_for_slotted(
+      0, pins.size(),
+      [&](size_t slot, size_t i) { update_pin(pins[i], early, slot); },
+      kLevelGrain);
   const double ms = clock.elapsed_ms();
   if (level_profile_.size() < static_cast<size_t>(graph_->num_levels()))
     level_profile_.resize(static_cast<size_t>(graph_->num_levels()));
@@ -366,8 +411,9 @@ TimingMetrics Timer::evaluate_incremental(std::span<const double> cell_x,
     for (int k = 0; k < cell.num_pins; ++k) {
       const PinId p = cell.first_pin + k;
       const Vec2 off = nl.pin_offset(p);
-      pin_pos_[static_cast<size_t>(p)] = {cell_x[static_cast<size_t>(c)] + off.x,
-                                          cell_y[static_cast<size_t>(c)] + off.y};
+      ws_->pin_pos[static_cast<size_t>(p)] = {
+          cell_x[static_cast<size_t>(c)] + off.x,
+          cell_y[static_cast<size_t>(c)] + off.y};
     }
   }
 
@@ -379,7 +425,7 @@ TimingMetrics Timer::evaluate_incremental(std::span<const double> cell_x,
     for (int k = 0; k < cell.num_pins; ++k) {
       const NetId n = nl.pin(cell.first_pin + k).net;
       if (n == netlist::kInvalidId || graph_->is_clock_net(n)) continue;
-      if (net_timing_[static_cast<size_t>(n)].tree.num_nodes() == 0) continue;
+      if (!ws_->forest.has_tree(n)) continue;
       nets.push_back(n);
     }
   }
@@ -402,25 +448,27 @@ TimingMetrics Timer::evaluate_incremental(std::span<const double> cell_x,
     std::vector<Vec2> pts(net.pins.size());
     int driver_idx = 0;
     for (size_t k = 0; k < net.pins.size(); ++k) {
-      pts[k] = pin_pos_[static_cast<size_t>(net.pins[k])];
+      pts[k] = ws_->pin_pos[static_cast<size_t>(net.pins[k])];
       if (net.pins[k] == net.driver) driver_idx = static_cast<int>(k);
     }
-    NetTiming& nt = net_timing_[static_cast<size_t>(n)];
-    nt.tree = rsmt::build_rsmt(pts, driver_idx, options_.rsmt);
-    elmore_forward(nt, net_pin_caps_[static_cast<size_t>(n)], con.wire_res,
+    ws_->forest.assign(n, rsmt::build_rsmt(pts, driver_idx, options_.rsmt));
+    elmore_forward(ws_->net_view(n), ws_->net_pin_caps(n), con.wire_res,
                    con.wire_cap, options_.wire_model);
     // Seeds: sinks (net delay changed) and the driver (its load changed).
     for (const PinId p : net.pins)
       if (graph_->in_graph(p)) enqueue(p);
   }
 
-  // 3. Cone propagation in level order; unchanged pins cut the cone.
+  // 3. Cone propagation in level order; unchanged pins cut the cone.  Every
+  // recomputed pin refreshes its candidate-cache region, so the cache stays
+  // consistent with the incremental state.
+  const size_t slot = ThreadPool::global().caller_slot();
   while (!worklist.empty()) {
     const PinId v = worklist.top().second;
     worklist.pop();
     queued[static_cast<size_t>(v)] = 0;
-    bool changed = update_pin(v, /*early=*/false);
-    if (options_.enable_early) changed |= update_pin(v, /*early=*/true);
+    bool changed = update_pin(v, /*early=*/false, slot);
+    if (options_.enable_early) changed |= update_pin(v, /*early=*/true, slot);
     if (!changed) continue;
     for (const int ai : graph_->fanout(v))
       enqueue(graph_->arcs()[static_cast<size_t>(ai)].to);
@@ -442,14 +490,13 @@ void Timer::update_slacks() {
   m.wns_smooth = kPosInf;
   m.hold_wns = kPosInf;
 
-  thread_local std::vector<double> slacks2;
-  thread_local std::vector<double> weights;
-  std::vector<double> smooth_ep_slacks;
-  smooth_ep_slacks.reserve(endpoints.size());
+  std::array<double, 2> slacks2;
+  std::vector<double>& weights = ws_->w_at;
+  std::vector<double>& smooth_ep_slacks = ws_->ep_scratch;
+  smooth_ep_slacks.clear();
 
   for (size_t e = 0; e < endpoints.size(); ++e) {
     const Endpoint& ep = endpoints[e];
-    slacks2.resize(2);
     bool reachable = false;
     for (int tr = 0; tr < 2; ++tr) {
       const double a = at(ep.pin, tr);
@@ -494,14 +541,14 @@ void Timer::update_slacks() {
   }
 
   // Hold metrics from early arrivals (hold slack = at_early - requirement;
-  // smooth mode also fills the smoothed aggregates and seed weights).
+  // smooth mode also fills the smoothed aggregates and seed weights).  The
+  // setup aggregates above are final, so the endpoint scratch is reused.
   if (options_.enable_early) {
     m.hold_wns = kPosInf;
-    std::vector<double> smooth_hold_slacks;
-    smooth_hold_slacks.reserve(endpoints.size());
+    std::vector<double>& smooth_hold_slacks = ws_->ep_scratch;
+    smooth_hold_slacks.clear();
     for (size_t e = 0; e < endpoints.size(); ++e) {
       const Endpoint& ep = endpoints[e];
-      slacks2.resize(2);
       bool reachable = false;
       for (int tr = 0; tr < 2; ++tr) {
         const double a = at_early(ep.pin, tr);
@@ -550,53 +597,52 @@ void Timer::update_slacks() {
 }
 
 void Timer::update_required() {
-  const netlist::Netlist& nl = design_->netlist;
-  rat_.assign(nl.num_pins() * 2, kPosInf);
+  TimingWorkspace& ws = *ws_;
+  std::fill(ws.rat.begin(), ws.rat.end(), kPosInf);
+  std::vector<double>& rat = ws.rat;
 
   // Seed endpoints.
   const auto& endpoints = graph_->endpoints();
   for (size_t e = 0; e < endpoints.size(); ++e) {
     const PinId p = endpoints[e].pin;
     for (int tr = 0; tr < 2; ++tr)
-      rat_[static_cast<size_t>(p) * 2 + static_cast<size_t>(tr)] =
-          std::min(rat_[static_cast<size_t>(p) * 2 + static_cast<size_t>(tr)],
+      rat[static_cast<size_t>(p) * 2 + static_cast<size_t>(tr)] =
+          std::min(rat[static_cast<size_t>(p) * 2 + static_cast<size_t>(tr)],
                    endpoint_setup_rat(e, tr).value);
   }
 
   // Sweep levels in reverse, relaxing RAT(from) from each fan-in arc of the
-  // current pin (every arc is visited exactly once this way).
-  thread_local std::vector<ArcCandidate> cands;
+  // current pin (every arc is visited exactly once this way).  Cell-arc
+  // delays come from the candidate cache the forward sweep recorded.
   for (int l = graph_->num_levels() - 1; l >= 1; --l) {
     for (const PinId v : graph_->level(l)) {
       const auto fanin = graph_->fanin(v);
       if (fanin.empty()) continue;
       const Arc& first = graph_->arcs()[static_cast<size_t>(fanin[0])];
       if (first.kind == ArcKind::NetArc) {
-        const sta::NetTiming& nt = net_timing_[static_cast<size_t>(first.net)];
-        const double d = nt.used_delay[static_cast<size_t>(first.sink_index)];
+        const size_t node =
+            static_cast<size_t>(ws.forest.node_offset(first.net)) +
+            static_cast<size_t>(first.sink_index);
+        const double d = ws.used_delay[node];
         for (int tr = 0; tr < 2; ++tr) {
           const size_t vi = static_cast<size_t>(v) * 2 + static_cast<size_t>(tr);
           const size_t ui =
               static_cast<size_t>(first.from) * 2 + static_cast<size_t>(tr);
-          rat_[ui] = std::min(rat_[ui], rat_[vi] - d);
+          rat[ui] = std::min(rat[ui], rat[vi] - d);
         }
       } else {
-        const NetId out_net = graph_->driven_timing_net(v);
-        const double load =
-            out_net == netlist::kInvalidId
-                ? 0.0
-                : net_timing_[static_cast<size_t>(out_net)].root_load();
         for (int tr_out = 0; tr_out < 2; ++tr_out) {
           const size_t vi = static_cast<size_t>(v) * 2 + static_cast<size_t>(tr_out);
-          if (!std::isfinite(rat_[vi])) continue;
-          cands.clear();
-          for (int ai : fanin)
-            gather_arc_candidates(graph_->arcs()[static_cast<size_t>(ai)], tr_out,
-                                  at_.data(), slew_.data(), load, cands);
-          for (const ArcCandidate& c : cands) {
+          if (!std::isfinite(rat[vi])) continue;
+          const ArcCandidate* cands = ws.cand_ptr(v, tr_out);
+          const int count =
+              ws.cand_count[static_cast<size_t>(v) * 2 +
+                            static_cast<size_t>(tr_out)];
+          for (int k = 0; k < count; ++k) {
+            const ArcCandidate& c = cands[k];
             const size_t ui =
                 static_cast<size_t>(c.from) * 2 + static_cast<size_t>(c.tr_in);
-            rat_[ui] = std::min(rat_[ui], rat_[vi] - c.delay_q.value);
+            rat[ui] = std::min(rat[ui], rat[vi] - c.delay_q.value);
           }
         }
       }
@@ -608,8 +654,8 @@ double Timer::pin_slack(PinId p) const {
   double worst = kPosInf;
   for (int tr = 0; tr < 2; ++tr) {
     const size_t i = static_cast<size_t>(p) * 2 + static_cast<size_t>(tr);
-    if (std::isfinite(rat_[i]) && std::isfinite(at_[i]))
-      worst = std::min(worst, rat_[i] - at_[i]);
+    if (std::isfinite(ws_->rat[i]) && std::isfinite(ws_->at[i]))
+      worst = std::min(worst, ws_->rat[i] - ws_->at[i]);
   }
   return worst;
 }
@@ -630,13 +676,14 @@ std::vector<Timer::PathNode> Timer::trace_critical_path(PinId endpoint) const {
     }
     // Pick the cell-arc candidate with the largest arrival.
     const NetId out_net = graph_->driven_timing_net(p);
-    const double load = out_net == netlist::kInvalidId
-                            ? 0.0
-                            : net_timing_[static_cast<size_t>(out_net)].root_load();
+    const double load =
+        out_net == netlist::kInvalidId ? 0.0 : ws_->net_root_load(out_net);
     std::vector<ArcCandidate> cands;
-    for (int ai : fanin)
-      gather_arc_candidates(graph_->arcs()[static_cast<size_t>(ai)], tr, at_.data(),
-                            slew_.data(), load, cands);
+    for (int ai : fanin) {
+      const Arc& arc = graph_->arcs()[static_cast<size_t>(ai)];
+      gather_arc_candidates(graph_->lib_arc(arc.lib_arc), arc.from, tr,
+                            ws_->at.data(), ws_->slew.data(), load, cands);
+    }
     if (cands.empty()) break;
     size_t best = 0;
     for (size_t k = 1; k < cands.size(); ++k)

@@ -17,11 +17,18 @@
 // differentiable too.  The paper's experiments optimize setup only; the hold
 // objective is this repo's extension.
 //
-// All state lives in flat [pin*2 + transition] arrays; level sweeps dispatch
-// pins of one level through ThreadPool::parallel_for, the CPU analogue of the
-// paper's per-level CUDA kernels.
+// All mutable state lives in a TimingWorkspace (DESIGN.md §10): flat
+// [pin*2 + transition] sweep arrays, the Steiner forest + per-node net arenas,
+// the cell-arc candidate cache the forward sweep fills and the backward/RAT
+// sweeps reuse, and per-slot scratch.  Level sweeps dispatch the CSR level
+// schedule through ThreadPool::parallel_for_slotted — the CPU analogue of the
+// paper's per-level CUDA kernels — with consecutive small levels fused into
+// one serial pass over the flat schedule (same pin order, fewer dispatches).
+// The drag-path forward (no tree rebuild) and the slack update are
+// allocation-free at steady state.
 #pragma once
 
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -30,6 +37,7 @@
 #include "rsmt/rsmt_builder.h"
 #include "sta/net_timing.h"
 #include "sta/timing_graph.h"
+#include "sta/timing_workspace.h"
 
 namespace dtp::sta {
 
@@ -113,34 +121,36 @@ class Timer {
   // min), independent of the forward aggregation mode; call after propagate()
   // + update_slacks().  Fills rat()/pin_slack() for every pin, which is what
   // net-criticality extraction (the net-weighting baseline [24]) and timing
-  // reports consume.
+  // reports consume.  Cell-arc delays come from the candidate cache the
+  // forward sweep recorded — no LUT re-evaluation.
   void update_required();
   double rat(PinId p, int tr) const {
-    return rat_[static_cast<size_t>(p) * 2 + static_cast<size_t>(tr)];
+    return ws_->rat[static_cast<size_t>(p) * 2 + static_cast<size_t>(tr)];
   }
   // Worst (over transitions) setup slack at a pin; +inf off any constrained
   // path. Valid after update_required().
   double pin_slack(PinId p) const;
 
   // ---- state access (backward pass, reports, tests) ----
-  const std::vector<Vec2>& pin_positions() const { return pin_pos_; }
-  const NetTiming& net_timing(NetId n) const {
-    return net_timing_[static_cast<size_t>(n)];
-  }
-  NetTiming& mutable_net_timing(NetId n) { return net_timing_[static_cast<size_t>(n)]; }
+  const std::vector<Vec2>& pin_positions() const { return ws_->pin_pos; }
+  // Non-owning view of one net's slice of the timing data plane.
+  NetTimingView net_timing(NetId n) const { return ws_->net_view(n); }
   double at(PinId p, int tr) const {
-    return at_[static_cast<size_t>(p) * 2 + static_cast<size_t>(tr)];
+    return ws_->at[static_cast<size_t>(p) * 2 + static_cast<size_t>(tr)];
   }
   double slew(PinId p, int tr) const {
-    return slew_[static_cast<size_t>(p) * 2 + static_cast<size_t>(tr)];
+    return ws_->slew[static_cast<size_t>(p) * 2 + static_cast<size_t>(tr)];
   }
   double at_early(PinId p, int tr) const {
-    return at_early_[static_cast<size_t>(p) * 2 + static_cast<size_t>(tr)];
+    return ws_->at_early[static_cast<size_t>(p) * 2 + static_cast<size_t>(tr)];
   }
-  const double* at_data() const { return at_.data(); }
-  const double* slew_data() const { return slew_.data(); }
-  const double* at_early_data() const { return at_early_.data(); }
-  const double* slew_early_data() const { return slew_early_.data(); }
+  const double* at_data() const { return ws_->at.data(); }
+  const double* slew_data() const { return ws_->slew.data(); }
+  const double* at_early_data() const { return ws_->at_early.data(); }
+  const double* slew_early_data() const { return ws_->slew_early.data(); }
+  // The shared forward/backward data plane (DiffTimer borrows it).
+  TimingWorkspace& workspace() { return *ws_; }
+  const TimingWorkspace& workspace() const { return *ws_; }
   // Per-endpoint setup slack (aggregated over transitions; smooth mode uses
   // smooth-min), aligned with graph().endpoints().
   const std::vector<double>& endpoint_slack() const { return endpoint_slack_; }
@@ -188,15 +198,15 @@ class Timer {
 
   // Per-net pin caps (aligned with net.pins) — sinks' input caps plus PO load.
   std::span<const double> net_pin_caps(NetId n) const {
-    return net_pin_caps_[static_cast<size_t>(n)];
+    return ws_->net_pin_caps(n);
   }
 
   // ---- per-level kernel profiling (DESIGN.md §8) ----
   // When enabled, every propagate() level dispatch is individually timed and
   // accumulated per level (and into the registry's sta.level_dispatch_ms
-  // histogram).  Off by default: the disabled path costs one branch, so the
-  // levelized hot loop is unchanged — and profiling never touches timing
-  // state, so results are identical either way.
+  // histogram).  Off by default: the disabled path runs the fused-group
+  // schedule instead — profiling never touches timing state, so results are
+  // identical either way.
   void set_level_profiling(bool on) { profile_levels_ = on; }
   bool level_profiling() const { return profile_levels_; }
   // Indexed by topological level; stats accumulate across propagate() calls
@@ -205,23 +215,30 @@ class Timer {
   void reset_level_profile() { level_profile_.clear(); }
 
  private:
-  void propagate_level(int level, bool early);
+  // One batch of the level schedule: either a single large level dispatched in
+  // parallel, or a run of consecutive small levels fused into one serial pass
+  // over the flat schedule (same per-pin order, fewer dispatches).
+  struct LevelGroup {
+    size_t begin = 0;  // flat range into graph().level_pins()
+    size_t end = 0;
+    bool serial = false;
+  };
+
+  void propagate_level(int level, bool early);  // profiled (unfused) path
+  void sweep_levels(bool early);                // fused-group path
   void init_sources(bool early);
   // Recomputes at/slew of one pin from its fan-in; returns true if changed.
-  bool update_pin(PinId v, bool early);
+  // `slot` addresses per-slot scratch (ThreadPool slot of the executor).
+  bool update_pin(PinId v, bool early, size_t slot);
 
   const netlist::Design* design_;
   const TimingGraph* graph_;
   TimerOptions options_;
 
-  std::vector<Vec2> pin_pos_;
-  std::vector<NetTiming> net_timing_;       // indexed by NetId
-  std::vector<std::vector<double>> net_pin_caps_;
+  std::unique_ptr<TimingWorkspace> ws_;
   bool trees_built_ = false;
+  std::vector<LevelGroup> level_groups_;
 
-  std::vector<double> at_, slew_;            // late, [pin*2+tr]
-  std::vector<double> at_early_, slew_early_;
-  std::vector<double> rat_;                  // late required times, [pin*2+tr]
   std::vector<double> endpoint_slack_;
   std::vector<double> endpoint_tr_weights_;
   std::vector<double> endpoint_rat_;
@@ -235,9 +252,6 @@ class Timer {
 
   bool profile_levels_ = false;
   std::vector<LevelStat> level_profile_;
-
-  // Cached source initial conditions [pin*2+tr]; NaN for non-source pins.
-  std::vector<double> src_at_, src_slew_;
 };
 
 }  // namespace dtp::sta

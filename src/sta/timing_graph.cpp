@@ -48,11 +48,15 @@ TimingGraph::TimingGraph(const netlist::Netlist& nl) : nl_(&nl) {
     }
   }
 
-  // Cell arcs.
+  // Cell arcs.  The NLDM tables are referenced through the deduplicated
+  // (lib cell, arc) table — one entry per library arc in use, shared by every
+  // instance of the master.
+  std::vector<int> master_first_entry(nl.library().size(), -1);
   for (size_t c = 0; c < nl.num_cells(); ++c) {
     const netlist::Cell& cell = nl.cell(static_cast<CellId>(c));
     const liberty::LibCell& master = nl.lib_cell_of(static_cast<CellId>(c));
-    for (const liberty::TimingArc& lib_arc : master.arcs) {
+    for (size_t a = 0; a < master.arcs.size(); ++a) {
+      const liberty::TimingArc& lib_arc = master.arcs[a];
       const PinId from = cell.first_pin + lib_arc.from_pin;
       const PinId to = cell.first_pin + lib_arc.to_pin;
       // Both endpoints must be electrically meaningful: the output must drive
@@ -64,15 +68,22 @@ TimingGraph::TimingGraph(const netlist::Netlist& nl) : nl_(&nl) {
       if (!clocked &&
           (in_net == netlist::kInvalidId || is_clock_net_[static_cast<size_t>(in_net)]))
         continue;
+      int& first_entry = master_first_entry[static_cast<size_t>(cell.lib_cell)];
+      if (first_entry < 0) {
+        first_entry = static_cast<int>(lib_arc_keys_.size());
+        for (size_t k = 0; k < master.arcs.size(); ++k)
+          lib_arc_keys_.emplace_back(cell.lib_cell, static_cast<int>(k));
+      }
       Arc arc;
       arc.from = from;
       arc.to = to;
       arc.kind = ArcKind::CellArc;
-      arc.lib_arc = &lib_arc;
+      arc.lib_arc = first_entry + static_cast<int>(a);
       arcs_.push_back(arc);
       if (clocked) is_clock_source_[static_cast<size_t>(from)] = 1;
     }
   }
+  rebind_library(nl.library());
 
   // Fan-in CSR and Kahn levelization (longest-path levels).
   std::vector<int> fanin_count(n_pins, 0);
@@ -81,42 +92,39 @@ TimingGraph::TimingGraph(const netlist::Netlist& nl) : nl_(&nl) {
     ++fanin_count[static_cast<size_t>(a.to)];
     ++fanout_count[static_cast<size_t>(a.from)];
   }
-  fanin_range_.resize(n_pins);
+  fanin_offsets_.assign(n_pins + 1, 0);
   {
     int offset = 0;
     for (size_t p = 0; p < n_pins; ++p) {
-      fanin_range_[p] = {offset, 0};
+      fanin_offsets_[p] = offset;
       offset += fanin_count[p];
     }
+    fanin_offsets_[n_pins] = offset;
     fanin_arcs_.resize(static_cast<size_t>(offset));
+    std::vector<int> cursor(fanin_offsets_.begin(), fanin_offsets_.end() - 1);
     for (size_t ai = 0; ai < arcs_.size(); ++ai) {
-      auto& range = fanin_range_[static_cast<size_t>(arcs_[ai].to)];
-      fanin_arcs_[static_cast<size_t>(range.first + range.second)] =
-          static_cast<int>(ai);
-      ++range.second;
+      int& c = cursor[static_cast<size_t>(arcs_[ai].to)];
+      fanin_arcs_[static_cast<size_t>(c)] = static_cast<int>(ai);
+      ++c;
     }
   }
 
-  // Fan-out CSR (kept for incremental cone propagation) + adjacency view.
-  fanout_range_.resize(n_pins);
+  // Fan-out CSR (kept for incremental cone propagation).
+  fanout_offsets_.assign(n_pins + 1, 0);
   {
     int offset = 0;
     for (size_t p = 0; p < n_pins; ++p) {
-      fanout_range_[p] = {offset, 0};
+      fanout_offsets_[p] = offset;
       offset += fanout_count[p];
     }
+    fanout_offsets_[n_pins] = offset;
     fanout_arcs_.resize(static_cast<size_t>(offset));
+    std::vector<int> cursor(fanout_offsets_.begin(), fanout_offsets_.end() - 1);
     for (size_t ai = 0; ai < arcs_.size(); ++ai) {
-      auto& range = fanout_range_[static_cast<size_t>(arcs_[ai].from)];
-      fanout_arcs_[static_cast<size_t>(range.first + range.second)] =
-          static_cast<int>(ai);
-      ++range.second;
+      int& c = cursor[static_cast<size_t>(arcs_[ai].from)];
+      fanout_arcs_[static_cast<size_t>(c)] = static_cast<int>(ai);
+      ++c;
     }
-  }
-  std::vector<std::vector<int>> fanout(n_pins);
-  for (size_t p = 0; p < n_pins; ++p) {
-    const auto span = this->fanout(static_cast<PinId>(p));
-    fanout[p].assign(span.begin(), span.end());
   }
 
   size_t in_graph_pins = 0;
@@ -138,7 +146,7 @@ TimingGraph::TimingGraph(const netlist::Netlist& nl) : nl_(&nl) {
     ready.pop();
     ++processed;
     const int lu = level_of_pin_[static_cast<size_t>(u)];
-    for (int ai : fanout[static_cast<size_t>(u)]) {
+    for (int ai : fanout(u)) {
       const PinId v = arcs_[static_cast<size_t>(ai)].to;
       level_of_pin_[static_cast<size_t>(v)] =
           std::max(level_of_pin_[static_cast<size_t>(v)], lu + 1);
@@ -148,13 +156,28 @@ TimingGraph::TimingGraph(const netlist::Netlist& nl) : nl_(&nl) {
   if (processed != in_graph_pins)
     throw std::runtime_error("timing graph has a combinational cycle");
 
+  // CSR level schedule: counting sort of in-graph pins by level, ascending
+  // pin id within a level (the iteration order every sweep preserves).
   int max_level = -1;
   for (size_t p = 0; p < n_pins; ++p)
     max_level = std::max(max_level, level_of_pin_[p]);
-  levels_.resize(static_cast<size_t>(max_level + 1));
+  const size_t n_levels = static_cast<size_t>(max_level + 1);
+  level_offsets_.assign(n_levels + 1, 0);
   for (size_t p = 0; p < n_pins; ++p)
     if (level_of_pin_[p] >= 0)
-      levels_[static_cast<size_t>(level_of_pin_[p])].push_back(static_cast<PinId>(p));
+      ++level_offsets_[static_cast<size_t>(level_of_pin_[p]) + 1];
+  for (size_t l = 1; l <= n_levels; ++l)
+    level_offsets_[l] += level_offsets_[l - 1];
+  level_pins_.resize(static_cast<size_t>(level_offsets_[n_levels]));
+  {
+    std::vector<int> cursor(level_offsets_.begin(), level_offsets_.end() - 1);
+    for (size_t p = 0; p < n_pins; ++p) {
+      if (level_of_pin_[p] < 0) continue;
+      int& c = cursor[static_cast<size_t>(level_of_pin_[p])];
+      level_pins_[static_cast<size_t>(c)] = static_cast<PinId>(p);
+      ++c;
+    }
+  }
 
   // Endpoints: data pins of sequential cells + primary-output pads.
   for (size_t c = 0; c < nl.num_cells(); ++c) {
@@ -175,6 +198,17 @@ TimingGraph::TimingGraph(const netlist::Netlist& nl) : nl_(&nl) {
       if (!in_graph(p)) continue;
       endpoints_.push_back({p, EndpointKind::PrimaryOutput, 0.0, 0.0});
     }
+  }
+}
+
+void TimingGraph::rebind_library(const liberty::CellLibrary& lib) {
+  lib_arc_ptrs_.resize(lib_arc_keys_.size());
+  for (size_t i = 0; i < lib_arc_keys_.size(); ++i) {
+    const auto& [cell_idx, arc_idx] = lib_arc_keys_[i];
+    const liberty::LibCell& master = lib.cell(cell_idx);
+    DTP_ASSERT_MSG(static_cast<size_t>(arc_idx) < master.arcs.size(),
+                   "rebind_library: library arc table shrank");
+    lib_arc_ptrs_[i] = &master.arcs[static_cast<size_t>(arc_idx)];
   }
 }
 

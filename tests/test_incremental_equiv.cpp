@@ -1,0 +1,129 @@
+// Bitwise equivalence of the incremental dirty-net path against a full
+// rebuild (DESIGN.md §10).  Stronger than tests/test_incremental_sta.cpp's
+// tolerance checks: after random cell moves, every arrival, slew and RAT —
+// and therefore the candidate cache the backward pass and update_required()
+// consume — must match a from-scratch Timer exactly, not just to 1e-9.
+// Trees for unchanged nets are reused, so this pins down that the arena
+// forest + workspace refactor keeps recomputed cones byte-for-byte equal to
+// fresh computation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.h"
+#include "liberty/synth_library.h"
+#include "sta/timer.h"
+#include "workload/circuit_gen.h"
+
+namespace dtp::sta {
+namespace {
+
+using netlist::CellId;
+using netlist::Design;
+using netlist::PinId;
+
+Design make(const liberty::CellLibrary& lib, int cells, uint64_t seed) {
+  workload::WorkloadOptions opts;
+  opts.num_cells = cells;
+  opts.seed = seed;
+  opts.clock_scale = 0.6;
+  return workload::generate_design(lib, opts);
+}
+
+std::vector<CellId> movable_cells(const Design& d) {
+  std::vector<CellId> out;
+  for (size_t c = 0; c < d.netlist.num_cells(); ++c)
+    if (!d.netlist.cell(static_cast<CellId>(c)).fixed)
+      out.push_back(static_cast<CellId>(c));
+  return out;
+}
+
+void expect_state_bitwise_equal(const Timer& inc, const Timer& full,
+                                const TimingGraph& g,
+                                const netlist::Netlist& nl) {
+  for (int l = 0; l < g.num_levels(); ++l) {
+    for (PinId p : g.level(l)) {
+      for (int tr = 0; tr < 2; ++tr) {
+        // -inf == -inf holds, so disconnected pins compare fine; only a NaN
+        // (which must not occur) or a real divergence fails.
+        ASSERT_EQ(inc.at(p, tr), full.at(p, tr))
+            << "at " << nl.pin_full_name(p) << " tr " << tr;
+        ASSERT_EQ(inc.slew(p, tr), full.slew(p, tr))
+            << "slew " << nl.pin_full_name(p) << " tr " << tr;
+        ASSERT_EQ(inc.rat(p, tr), full.rat(p, tr))
+            << "rat " << nl.pin_full_name(p) << " tr " << tr;
+      }
+    }
+  }
+}
+
+class IncrementalEquiv : public ::testing::TestWithParam<int> {};
+
+TEST_P(IncrementalEquiv, BitwiseMatchesFullRebuildAfterRandomMoves) {
+  const liberty::CellLibrary lib = liberty::make_synthetic_library();
+  Design d = make(lib, 320, static_cast<uint64_t>(4000 + GetParam()));
+  const TimingGraph graph(d.netlist);
+  Timer inc(d, graph);
+  inc.evaluate(d.cell_x, d.cell_y);
+
+  Rng rng(static_cast<uint64_t>(100 + GetParam()));
+  const auto movers = movable_cells(d);
+  for (int batch = 0; batch < 4; ++batch) {
+    std::vector<CellId> moved;
+    const int k = 1 + static_cast<int>(rng.uniform_int(0, 6));
+    for (int i = 0; i < k; ++i) {
+      const CellId c = movers[static_cast<size_t>(
+          rng.uniform_int(0, static_cast<int64_t>(movers.size()) - 1))];
+      d.cell_x[static_cast<size_t>(c)] += rng.uniform(-25.0, 25.0);
+      d.cell_y[static_cast<size_t>(c)] += rng.uniform(-25.0, 25.0);
+      moved.push_back(c);
+    }
+    const auto m_inc = inc.evaluate_incremental(d.cell_x, d.cell_y, moved);
+    inc.update_required();
+
+    Timer full(d, graph);
+    const auto m_full = full.evaluate(d.cell_x, d.cell_y);
+    full.update_required();
+
+    ASSERT_EQ(m_inc.wns, m_full.wns) << "batch " << batch;
+    ASSERT_EQ(m_inc.tns, m_full.tns) << "batch " << batch;
+    ASSERT_EQ(m_inc.num_violations, m_full.num_violations) << "batch " << batch;
+    expect_state_bitwise_equal(inc, full, graph, d.netlist);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Random, IncrementalEquiv, ::testing::Range(0, 6));
+
+TEST(IncrementalEquiv, SmoothModeBitwiseMatchesFullRebuild) {
+  const liberty::CellLibrary lib = liberty::make_synthetic_library();
+  Design d = make(lib, 280, 4700);
+  const TimingGraph graph(d.netlist);
+  TimerOptions opts;
+  opts.mode = AggMode::Smooth;
+  opts.gamma = 0.05;
+  Timer inc(d, graph, opts);
+  inc.evaluate(d.cell_x, d.cell_y);
+
+  Rng rng(55);
+  const auto movers = movable_cells(d);
+  std::vector<CellId> moved;
+  for (int i = 0; i < 5; ++i) {
+    const CellId c = movers[static_cast<size_t>(
+        rng.uniform_int(0, static_cast<int64_t>(movers.size()) - 1))];
+    d.cell_x[static_cast<size_t>(c)] += rng.uniform(-20.0, 20.0);
+    d.cell_y[static_cast<size_t>(c)] += rng.uniform(-20.0, 20.0);
+    moved.push_back(c);
+  }
+  const auto m_inc = inc.evaluate_incremental(d.cell_x, d.cell_y, moved);
+
+  Timer full(d, graph, opts);
+  const auto m_full = full.evaluate(d.cell_x, d.cell_y);
+  EXPECT_EQ(m_inc.wns_smooth, m_full.wns_smooth);
+  EXPECT_EQ(m_inc.tns_smooth, m_full.tns_smooth);
+  EXPECT_EQ(m_inc.wns, m_full.wns);
+  EXPECT_EQ(m_inc.tns, m_full.tns);
+}
+
+}  // namespace
+}  // namespace dtp::sta

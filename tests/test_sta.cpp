@@ -63,7 +63,7 @@ TEST(Sta, ChainArrivalTimesHandComputed) {
 
   // Net n0: 2-pin Elmore.
   const NetId n0 = nl.find_net("n0");
-  const NetTiming& nt0 = timer.net_timing(n0);
+  const auto nt0 = timer.net_timing(n0);
   const netlist::PinId u0_a = nl.pin_of_cell(cd.u0, "A");
   const size_t sink0 = nl.net(n0).pins[1] == u0_a ? 1 : 0;
   const double at_u0a = con.input_delay + nt0.delay[sink0];

@@ -66,7 +66,7 @@ class ReferenceTimer {
     const Arc& first = graph_->arcs()[static_cast<size_t>(fanin[0])];
     if (first.kind == ArcKind::NetArc) {
       const Value& u = eval(first.from);
-      const NetTiming& nt = timer_->net_timing(first.net);
+      const auto nt = timer_->net_timing(first.net);
       const size_t node = static_cast<size_t>(first.sink_index);
       for (int tr = 0; tr < 2; ++tr) {
         v.at[tr] = u.at[tr] + nt.delay[node];
@@ -82,7 +82,7 @@ class ReferenceTimer {
       double best_at = kNegInf, best_slew = kNegInf;
       for (int ai : fanin) {
         const Arc& arc = graph_->arcs()[static_cast<size_t>(ai)];
-        const liberty::TimingArc& lib = *arc.lib_arc;
+        const liberty::TimingArc& lib = graph_->lib_arc(arc.lib_arc);
         int trs[2];
         const int n = input_transitions(lib.unate, tr_out, trs);
         const Value& u = eval(arc.from);
@@ -118,10 +118,10 @@ class ReferenceTimer {
       const Arc& arc = graph_->arcs()[ai];
       if (arc.from != p) continue;
       if (arc.kind == ArcKind::NetArc) {
-        const NetTiming& nt = timer_->net_timing(arc.net);
+        const auto nt = timer_->net_timing(arc.net);
         r = std::min(r, rat(arc.to, tr) - nt.delay[static_cast<size_t>(arc.sink_index)]);
       } else {
-        const liberty::TimingArc& lib = *arc.lib_arc;
+        const liberty::TimingArc& lib = graph_->lib_arc(arc.lib_arc);
         const netlist::NetId out_net = graph_->driven_timing_net(arc.to);
         const double load = out_net == netlist::kInvalidId
                                 ? 0.0

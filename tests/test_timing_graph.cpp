@@ -112,7 +112,30 @@ TEST(TimingGraph, FaninCsrIsConsistent) {
   for (int ai : g.fanin(nl.pin_of_cell(s.u2, "Z"))) {
     const Arc& arc = g.arcs()[static_cast<size_t>(ai)];
     EXPECT_EQ(arc.kind, ArcKind::CellArc);
-    EXPECT_NE(arc.lib_arc, nullptr);
+    EXPECT_GE(arc.lib_arc, 0);
+    EXPECT_LT(static_cast<size_t>(arc.lib_arc), g.num_lib_arcs());
+  }
+}
+
+TEST(TimingGraph, RebindLibraryReattachesLutTables) {
+  SmallDesign s;
+  auto& nl = s.design.netlist;
+  const TimingGraph g(nl);
+  // Simulate a library reload: a deep copy at a different address.  After
+  // rebind_library the indexed arc table must resolve into the copy, and the
+  // resolved tables must match the originals value-for-value.
+  const liberty::CellLibrary copy = nl.library();
+  TimingGraph g2(nl);
+  g2.rebind_library(copy);
+  ASSERT_EQ(g.num_lib_arcs(), g2.num_lib_arcs());
+  for (size_t i = 0; i < g.num_lib_arcs(); ++i) {
+    const liberty::TimingArc& a = g.lib_arc(static_cast<int>(i));
+    const liberty::TimingArc& b = g2.lib_arc(static_cast<int>(i));
+    EXPECT_NE(&a, &b);  // resolved into distinct library objects
+    EXPECT_EQ(a.from_pin, b.from_pin);
+    EXPECT_EQ(a.to_pin, b.to_pin);
+    EXPECT_EQ(a.unate, b.unate);
+    EXPECT_EQ(a.cell_rise.lookup(0.05, 0.01), b.cell_rise.lookup(0.05, 0.01));
   }
 }
 

@@ -1,0 +1,145 @@
+// Zero-allocation contract of the steady-state timing hot loop (DESIGN.md
+// §10): once warmed up, a drag-path forward() plus backward() on the shared
+// TimingWorkspace must not touch the heap at all.  Enforced by replacing the
+// global allocation functions with counting versions — any vector growth,
+// std::function capture, or temporary container in the hot loop fails the
+// test, keeping the contract honest under refactors.
+//
+// Excluded by design (and by this test): the first forward() (arena sizing,
+// RSMT construction), full Steiner rebuilds, evaluate_incremental's worklist,
+// and one extra warm-up round for lazily-initialized statics (metrics
+// registration, thread_local smoothing scratch).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+#include "dtimer/diff_timer.h"
+#include "liberty/synth_library.h"
+#include "sta/timing_graph.h"
+#include "workload/circuit_gen.h"
+
+namespace {
+std::atomic<long> g_alloc_count{0};
+
+void* counted_alloc(std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+
+void* counted_alloc_aligned(std::size_t size, std::size_t align) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  void* p = nullptr;
+  if (align < sizeof(void*)) align = sizeof(void*);
+  if (posix_memalign(&p, align, size ? size : align) != 0)
+    throw std::bad_alloc();
+  return p;
+}
+}  // namespace
+
+void* operator new(std::size_t size) { return counted_alloc(size); }
+void* operator new[](std::size_t size) { return counted_alloc(size); }
+void* operator new(std::size_t size, std::align_val_t al) {
+  return counted_alloc_aligned(size, static_cast<std::size_t>(al));
+}
+void* operator new[](std::size_t size, std::align_val_t al) {
+  return counted_alloc_aligned(size, static_cast<std::size_t>(al));
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
+namespace dtp {
+namespace {
+
+void nudge(const netlist::Design& design, std::vector<double>& x,
+           std::vector<double>& y, int round) {
+  for (size_t c = 0; c < x.size(); ++c) {
+    if (design.netlist.cell(static_cast<netlist::CellId>(c)).fixed) continue;
+    x[c] += 0.1 * (static_cast<double>((c + static_cast<size_t>(round)) % 5) - 2.0);
+    y[c] += 0.1 * (static_cast<double>((c + 2 * static_cast<size_t>(round)) % 7) - 3.0);
+  }
+}
+
+TEST(ZeroAlloc, SteadyStateForwardBackwardIsAllocationFree) {
+  const liberty::CellLibrary lib = liberty::make_synthetic_library();
+  workload::WorkloadOptions opts;
+  opts.num_cells = 400;
+  opts.seed = 17;
+  const netlist::Design design = workload::generate_design(lib, opts);
+  const sta::TimingGraph graph(design.netlist);
+
+  dtimer::DiffTimerOptions dopts;
+  dopts.steiner_rebuild_period = 0;  // drag-only after the first build
+  dtimer::DiffTimer dt(design, graph, dopts);
+
+  const size_t nc = design.netlist.num_cells();
+  std::vector<double> x(design.cell_x.begin(), design.cell_x.end());
+  std::vector<double> y(design.cell_y.begin(), design.cell_y.end());
+  std::vector<double> gx(nc, 0.0), gy(nc, 0.0);
+
+  // Warm-up: first call builds the forest and sizes every arena; the second
+  // exercises the drag path itself plus any first-use statics.
+  dt.forward(x, y, /*force_rebuild=*/true);
+  dt.backward(1.0, 1.0, gx, gy);
+  nudge(design, x, y, 0);
+  dt.forward(x, y, /*force_rebuild=*/false);
+  dt.backward(0.6, 0.4, gx, gy);
+
+  for (int round = 1; round <= 3; ++round) {
+    nudge(design, x, y, round);
+    const long before = g_alloc_count.load(std::memory_order_relaxed);
+    dt.forward(x, y, /*force_rebuild=*/false);
+    dt.backward(0.5, 0.5, gx, gy);
+    const long after = g_alloc_count.load(std::memory_order_relaxed);
+    EXPECT_EQ(after - before, 0L) << "heap allocation in steady-state round "
+                                  << round;
+  }
+}
+
+TEST(ZeroAlloc, HoldCornerSteadyStateIsAllocationFree) {
+  const liberty::CellLibrary lib = liberty::make_synthetic_library();
+  workload::WorkloadOptions opts;
+  opts.num_cells = 250;
+  opts.seed = 23;
+  const netlist::Design design = workload::generate_design(lib, opts);
+  const sta::TimingGraph graph(design.netlist);
+
+  dtimer::DiffTimerOptions dopts;
+  dopts.steiner_rebuild_period = 0;
+  dopts.enable_early = true;
+  dtimer::DiffTimer dt(design, graph, dopts);
+
+  const size_t nc = design.netlist.num_cells();
+  std::vector<double> x(design.cell_x.begin(), design.cell_x.end());
+  std::vector<double> y(design.cell_y.begin(), design.cell_y.end());
+  std::vector<double> gx(nc, 0.0), gy(nc, 0.0);
+
+  dt.forward(x, y, /*force_rebuild=*/true);
+  dt.backward(0.5, 0.5, 0.5, 0.5, gx, gy);
+  nudge(design, x, y, 0);
+  dt.forward(x, y, /*force_rebuild=*/false);
+  dt.backward(0.5, 0.5, 0.5, 0.5, gx, gy);
+
+  nudge(design, x, y, 1);
+  const long before = g_alloc_count.load(std::memory_order_relaxed);
+  dt.forward(x, y, /*force_rebuild=*/false);
+  dt.backward(0.4, 0.3, 0.2, 0.1, gx, gy);
+  const long after = g_alloc_count.load(std::memory_order_relaxed);
+  EXPECT_EQ(after - before, 0L);
+}
+
+}  // namespace
+}  // namespace dtp
