@@ -1,0 +1,115 @@
+// P² (piecewise-parabolic) streaming quantile estimator — Jain & Chlamtac,
+// CACM 1985.  Tracks one quantile of a stream in O(1) memory with five
+// markers whose heights are adjusted by a parabolic (fallback: linear)
+// interpolation as observations arrive.  No heap allocation, ever — the
+// estimator is a fixed-size value type, which is what lets it live inside
+// the timing hot loop's activity sketches (DESIGN.md §11) and inside
+// obs::Histogram without breaking the zero-allocation contract of §10.
+//
+// Accuracy: exact until five observations have been seen (the markers are
+// the sorted sample), then an estimate whose error shrinks as the stream
+// grows; for the slowly-drifting per-iteration distributions it sketches
+// here the estimate tracks the true quantile to a few percent.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+
+namespace dtp {
+
+class P2Quantile {
+ public:
+  explicit P2Quantile(double p = 0.5) { reset(p); }
+
+  double quantile() const { return p_; }
+  uint64_t count() const { return count_; }
+
+  void reset() { reset(p_); }
+  void reset(double p) {
+    p_ = p;
+    count_ = 0;
+    // Marker positions are 1-based as in the paper; desired positions start
+    // at their steady-state pattern and advance by dn each observation.
+    pos_ = {1.0, 2.0, 3.0, 4.0, 5.0};
+    desired_ = {1.0, 1.0 + 2.0 * p, 1.0 + 4.0 * p, 3.0 + 2.0 * p, 5.0};
+    dn_ = {0.0, p / 2.0, p, (1.0 + p) / 2.0, 1.0};
+    q_ = {0.0, 0.0, 0.0, 0.0, 0.0};
+  }
+
+  void observe(double x) {
+    if (count_ < 5) {
+      q_[count_++] = x;
+      if (count_ == 5) std::sort(q_.begin(), q_.end());
+      return;
+    }
+    // Find the marker cell containing x, clamping the extremes.
+    int k;
+    if (x < q_[0]) {
+      q_[0] = x;
+      k = 0;
+    } else if (x >= q_[4]) {
+      q_[4] = std::max(q_[4], x);
+      k = 3;
+    } else {
+      k = 0;
+      while (k < 3 && x >= q_[static_cast<size_t>(k) + 1]) ++k;
+    }
+    ++count_;
+    for (int i = k + 1; i < 5; ++i) pos_[static_cast<size_t>(i)] += 1.0;
+    for (int i = 0; i < 5; ++i)
+      desired_[static_cast<size_t>(i)] += dn_[static_cast<size_t>(i)];
+
+    // Adjust the three interior markers toward their desired positions.
+    for (int i = 1; i <= 3; ++i) {
+      const size_t si = static_cast<size_t>(i);
+      const double d = desired_[si] - pos_[si];
+      const double gap_up = pos_[si + 1] - pos_[si];
+      const double gap_dn = pos_[si - 1] - pos_[si];
+      if ((d >= 1.0 && gap_up > 1.0) || (d <= -1.0 && gap_dn < -1.0)) {
+        const double s = d >= 1.0 ? 1.0 : -1.0;
+        const double qp = parabolic(si, s);
+        if (q_[si - 1] < qp && qp < q_[si + 1])
+          q_[si] = qp;
+        else
+          q_[si] = linear(si, s);
+        pos_[si] += s;
+      }
+    }
+  }
+
+  // Current estimate of the tracked quantile.  Exact while fewer than five
+  // observations have been seen (nearest-rank over the sorted sample).
+  double value() const {
+    if (count_ == 0) return 0.0;
+    if (count_ < 5) {
+      std::array<double, 5> s = q_;
+      std::sort(s.begin(), s.begin() + static_cast<long>(count_));
+      const double rank = p_ * static_cast<double>(count_ - 1);
+      const size_t idx = static_cast<size_t>(rank + 0.5);
+      return s[std::min(idx, static_cast<size_t>(count_ - 1))];
+    }
+    return q_[2];
+  }
+
+ private:
+  double parabolic(size_t i, double s) const {
+    const double np = pos_[i + 1], n0 = pos_[i], nm = pos_[i - 1];
+    return q_[i] + s / (np - nm) *
+                       ((n0 - nm + s) * (q_[i + 1] - q_[i]) / (np - n0) +
+                        (np - n0 - s) * (q_[i] - q_[i - 1]) / (n0 - nm));
+  }
+  double linear(size_t i, double s) const {
+    const size_t j = s > 0.0 ? i + 1 : i - 1;
+    return q_[i] + s * (q_[j] - q_[i]) / (pos_[j] - pos_[i]);
+  }
+
+  double p_ = 0.5;
+  uint64_t count_ = 0;
+  std::array<double, 5> q_{};        // marker heights
+  std::array<double, 5> pos_{};      // marker positions (1-based)
+  std::array<double, 5> desired_{};  // desired positions
+  std::array<double, 5> dn_{};       // desired-position increments
+};
+
+}  // namespace dtp

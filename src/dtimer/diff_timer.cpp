@@ -7,6 +7,7 @@
 #include "common/stopwatch.h"
 #include "common/thread_pool.h"
 #include "dtimer/elmore_grad.h"
+#include "obs/activity/activity_tracker.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "robust/health_monitor.h"
@@ -395,6 +396,11 @@ void DiffTimer::backward(double t1, double t2, double h1, double h2,
       bwd_level_hist.observe(ms);
     }
   }
+
+  // Post-sweep activity scan: the AT/slew adjoint planes are final here
+  // (pins the sweep skipped hold their zero fill).  Read-only observer.
+  if (activity_ != nullptr)
+    activity_->record_backward(ws.g_at.data(), ws.g_slew.data());
 
   // Fault-injection hook: corrupt the pin-gradient accumulators as if the
   // LUT-gradient path had produced garbage (robust-layer test harness).

@@ -127,6 +127,14 @@ class DiffTimer {
     timer_.reset_level_profile();
   }
 
+  // Timing-activity tracking (DESIGN.md §11): attaches the tracker to the
+  // wrapped timer's forward pass and, after every backward(), scans the
+  // AT/slew adjoint planes for live pins.  Pure observer; nullptr detaches.
+  void set_activity_tracker(obs::ActivityTracker* tracker) {
+    activity_ = tracker;
+    timer_.set_activity_tracker(tracker);
+  }
+
  private:
   sta::Timer timer_;
   DiffTimerOptions options_;
@@ -137,6 +145,7 @@ class DiffTimer {
   size_t last_backward_nonfinite_ = 0;
   bool profile_levels_ = false;
   std::vector<sta::LevelStat> bwd_level_profile_;
+  obs::ActivityTracker* activity_ = nullptr;
 };
 
 }  // namespace dtp::dtimer

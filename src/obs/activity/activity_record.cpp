@@ -1,0 +1,154 @@
+#include "obs/activity/activity_record.h"
+
+#include <algorithm>
+
+namespace dtp::obs {
+
+double predicted_incremental_speedup(double active_fraction) {
+  const double frac = std::clamp(active_fraction, 1e-3, 1.0);
+  return 1.0 / frac;
+}
+
+void ActivitySummaryAccum::observe(int iter, double fwd_frac, double bwd_frac,
+                                   double churn, double wns,
+                                   double slack_p50) {
+  if (samples_ == 0) {
+    first_iter_ = iter;
+    first_wns_ = wns;
+  }
+  ++samples_;
+  last_iter_ = iter;
+  fwd_p50_.observe(fwd_frac);
+  fwd_p95_.observe(fwd_frac);
+  bwd_p50_.observe(bwd_frac);
+  churn_p50_.observe(churn);
+  fwd_min_ = std::min(fwd_min_, fwd_frac);
+  fwd_last_ = fwd_frac;
+  bwd_last_ = bwd_frac;
+  churn_last_ = churn;
+  last_wns_ = wns;
+  last_slack_p50_ = slack_p50;
+}
+
+namespace {
+
+void level_counts_array(JsonWriter& w, const char* key,
+                        const ActivityTracker& tracker, bool forward) {
+  w.key(key).begin_array();
+  for (const ActivityLevelCounts& lc : tracker.levels()) {
+    const size_t n = forward ? lc.fwd_active : lc.bwd_live;
+    if (n == 0) continue;  // elide quiet levels; pins_total fixes the frame
+    w.begin_object();
+    w.key("level").value(lc.level);
+    w.key("pins").value(static_cast<uint64_t>(lc.pins));
+    w.key(forward ? "active" : "live").value(static_cast<uint64_t>(n));
+    w.end_object();
+  }
+  w.end_array();
+}
+
+}  // namespace
+
+void append_activity_json(JsonWriter& w, int iter,
+                          const ActivityTracker& tracker,
+                          const SlackSketch& sketch,
+                          const ChurnTracker& churn) {
+  w.key("iter").value(iter);
+  w.key("pins_total").value(static_cast<uint64_t>(tracker.pins_total()));
+  w.key("levels").value(static_cast<uint64_t>(tracker.num_levels()));
+
+  w.key("forward").begin_object();
+  w.key("evals").value(tracker.forward_evals());
+  w.key("active").value(static_cast<uint64_t>(tracker.fwd_active_total()));
+  w.key("frac").value(tracker.fwd_active_fraction());
+  w.key("at_epsilon").value(tracker.at_epsilon());
+  w.key("slew_epsilon").value(tracker.slew_epsilon());
+  level_counts_array(w, "by_level", tracker, /*forward=*/true);
+  w.end_object();
+
+  w.key("backward").begin_object();
+  w.key("evals").value(tracker.backward_evals());
+  w.key("live").value(static_cast<uint64_t>(tracker.bwd_live_total()));
+  w.key("frac").value(tracker.bwd_live_fraction());
+  w.key("adjoint_epsilon").value(tracker.adjoint_epsilon());
+  level_counts_array(w, "by_level", tracker, /*forward=*/false);
+  w.end_object();
+
+  if (tracker.incremental_evals() > 0) {
+    w.key("incremental").begin_object();
+    w.key("evals").value(tracker.incremental_evals());
+    w.key("visited").value(
+        static_cast<uint64_t>(tracker.last_incremental_visited()));
+    w.key("changed").value(
+        static_cast<uint64_t>(tracker.last_incremental_changed()));
+    w.end_object();
+  }
+
+  w.key("slack").begin_object();
+  w.key("endpoints").value(sketch.count());
+  w.key("violating").value(sketch.violating());
+  w.key("wns").value(sketch.wns());
+  w.key("p1").value(sketch.p1());
+  w.key("p10").value(sketch.p10());
+  w.key("p50").value(sketch.p50());
+  w.key("max").value(sketch.max_slack());
+  w.key("band_width").value(sketch.band_width());
+  w.key("bands").begin_array();
+  for (int k = 0; k < SlackSketch::kBands; ++k) w.value(sketch.band(k));
+  w.end_array();
+  w.end_object();
+
+  w.key("churn").begin_object();
+  w.key("top_k").value(static_cast<uint64_t>(churn.top_k()));
+  w.key("set_size").value(static_cast<uint64_t>(churn.set_size()));
+  w.key("jaccard").value(churn.jaccard());
+  w.key("entered").value(static_cast<uint64_t>(churn.entered()));
+  w.key("left").value(static_cast<uint64_t>(churn.left()));
+  w.end_object();
+}
+
+void append_activity_summary_json(JsonWriter& w,
+                                  const ActivitySummaryAccum& accum,
+                                  const ActivityTracker& tracker,
+                                  const SlackSketch& final_sketch) {
+  w.key("samples").value(accum.samples());
+  w.key("first_iter").value(accum.first_iter());
+  w.key("last_iter").value(accum.last_iter());
+  w.key("pins_total").value(static_cast<uint64_t>(tracker.pins_total()));
+  w.key("forward_evals").value(tracker.forward_evals());
+  w.key("backward_evals").value(tracker.backward_evals());
+
+  w.key("fwd_frac").begin_object();
+  w.key("p50").value(accum.fwd_frac_p50());
+  w.key("p95").value(accum.fwd_frac_p95());
+  w.key("min").value(accum.fwd_frac_min());
+  w.key("last").value(accum.fwd_frac_last());
+  w.end_object();
+
+  w.key("bwd_frac").begin_object();
+  w.key("p50").value(accum.bwd_frac_p50());
+  w.key("last").value(accum.bwd_frac_last());
+  w.end_object();
+
+  w.key("churn").begin_object();
+  w.key("jaccard_p50").value(accum.churn_p50());
+  w.key("jaccard_last").value(accum.churn_last());
+  w.end_object();
+
+  w.key("slack").begin_object();
+  w.key("first_wns").value(accum.first_wns());
+  w.key("wns").value(accum.last_wns());
+  w.key("p1").value(final_sketch.p1());
+  w.key("p10").value(final_sketch.p10());
+  w.key("p50").value(final_sketch.p50());
+  w.key("violating").value(final_sketch.violating());
+  w.end_object();
+
+  w.key("headroom").begin_object();
+  w.key("median_active_frac").value(accum.fwd_frac_p50());
+  w.key("predicted_speedup")
+      .value(predicted_incremental_speedup(accum.fwd_frac_p50()));
+  w.end_object();
+}
+
+}  // namespace dtp::obs

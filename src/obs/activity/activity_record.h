@@ -1,0 +1,89 @@
+// Activity-record assembly (DESIGN.md §11).
+//
+// Options for the activity layer, the run-end summary accumulator, and the
+// JSON serialization shared by the introspection sink and dtp_report.  The
+// serializers append keys into an already-open JSON object so the sink owns
+// the envelope (type/design/mode) and the flush discipline.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+#include "common/json_writer.h"
+#include "common/p2_quantile.h"
+#include "obs/activity/activity_tracker.h"
+#include "obs/activity/churn_tracker.h"
+#include "obs/activity/slack_sketch.h"
+
+namespace dtp::obs {
+
+struct ActivityOptions {
+  int sample_period = 25;          // emit every N timing iterations; <=0 off
+  double at_epsilon = 1e-6;        // forward AT change threshold
+  double slew_epsilon = 1e-6;      // forward slew change threshold
+  double adjoint_epsilon = 1e-12;  // backward live-adjoint threshold
+  int churn_top_k = 32;            // near-critical endpoint set size
+  double band_width = 0.05;        // slack-band width, in slack units
+};
+
+// Predicted speedup of an incremental timing kernel that only visits the
+// active fraction of pins: ~1/frac, floored at 0.1% activity so a nearly
+// frozen graph reports a finite (≤1000×) bound rather than infinity.
+double predicted_incremental_speedup(double active_fraction);
+
+// Run-end aggregation over the emitted activity records: quantiles of the
+// per-iteration activity fractions and churn series, plus the trajectory's
+// endpoints.  O(1) state; feeds the `activity_summary` record.
+class ActivitySummaryAccum {
+ public:
+  void observe(int iter, double fwd_frac, double bwd_frac, double churn,
+               double wns, double slack_p50);
+
+  uint64_t samples() const { return samples_; }
+  int first_iter() const { return first_iter_; }
+  int last_iter() const { return last_iter_; }
+  double fwd_frac_p50() const { return fwd_p50_.value(); }
+  double fwd_frac_p95() const { return fwd_p95_.value(); }
+  double fwd_frac_min() const { return samples_ > 0 ? fwd_min_ : 0.0; }
+  double fwd_frac_last() const { return fwd_last_; }
+  double bwd_frac_p50() const { return bwd_p50_.value(); }
+  double bwd_frac_last() const { return bwd_last_; }
+  double churn_p50() const { return churn_p50_.value(); }
+  double churn_last() const { return churn_last_; }
+  double first_wns() const { return first_wns_; }
+  double last_wns() const { return last_wns_; }
+  double last_slack_p50() const { return last_slack_p50_; }
+
+ private:
+  uint64_t samples_ = 0;
+  int first_iter_ = -1;
+  int last_iter_ = -1;
+  P2Quantile fwd_p50_{0.50};
+  P2Quantile fwd_p95_{0.95};
+  P2Quantile bwd_p50_{0.50};
+  P2Quantile churn_p50_{0.50};
+  double fwd_min_ = std::numeric_limits<double>::infinity();
+  double fwd_last_ = 0.0;
+  double bwd_last_ = 0.0;
+  double churn_last_ = 1.0;
+  double first_wns_ = 0.0;
+  double last_wns_ = 0.0;
+  double last_slack_p50_ = 0.0;
+};
+
+// Appends the per-iteration record body: "iter", "forward", "backward",
+// "slack", "churn" sections.  Levels with zero activity on both sides are
+// elided from the per-level arrays to keep records compact.
+void append_activity_json(JsonWriter& w, int iter,
+                          const ActivityTracker& tracker,
+                          const SlackSketch& sketch,
+                          const ChurnTracker& churn);
+
+// Appends the run-end summary body, including the headroom estimate derived
+// from the median forward-active fraction.
+void append_activity_summary_json(JsonWriter& w,
+                                  const ActivitySummaryAccum& accum,
+                                  const ActivityTracker& tracker,
+                                  const SlackSketch& final_sketch);
+
+}  // namespace dtp::obs

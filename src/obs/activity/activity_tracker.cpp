@@ -1,0 +1,86 @@
+#include "obs/activity/activity_tracker.h"
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+namespace dtp::obs {
+
+void ActivityTracker::configure(std::span<const int> level_offsets,
+                                std::span<const int> level_pins,
+                                size_t num_pins) {
+  num_pins_ = num_pins;
+  level_offsets_.assign(level_offsets.begin(), level_offsets.end());
+  level_pins_.assign(level_pins.begin(), level_pins.end());
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  prev_at_.assign(num_pins * 2, nan);
+  prev_slew_.assign(num_pins * 2, nan);
+
+  const size_t n_levels =
+      level_offsets_.empty() ? 0 : level_offsets_.size() - 1;
+  levels_.assign(n_levels, ActivityLevelCounts{});
+  for (size_t l = 0; l < n_levels; ++l) {
+    levels_[l].level = static_cast<int>(l);
+    levels_[l].pins =
+        static_cast<size_t>(level_offsets_[l + 1] - level_offsets_[l]);
+  }
+  fwd_active_total_ = 0;
+  bwd_live_total_ = 0;
+  fwd_evals_ = bwd_evals_ = inc_evals_ = 0;
+  last_inc_visited_ = last_inc_changed_ = 0;
+}
+
+bool ActivityTracker::moved(double a, double b, double eps) {
+  if (a == b) return false;  // fast path; also handles ±0 and equal infs
+  if (std::isnan(a) && std::isnan(b)) return false;  // still unreachable
+  if (!std::isfinite(a) || !std::isfinite(b)) return true;
+  return std::abs(a - b) > eps;
+}
+
+void ActivityTracker::record_forward(const double* at, const double* slew) {
+  fwd_active_total_ = 0;
+  const size_t n_levels = levels_.size();
+  for (size_t l = 0; l < n_levels; ++l) {
+    size_t active = 0;
+    const int begin = level_offsets_[l];
+    const int end = level_offsets_[l + 1];
+    for (int i = begin; i < end; ++i) {
+      const size_t p = static_cast<size_t>(level_pins_[static_cast<size_t>(i)]);
+      const size_t s = p * 2;
+      const bool changed = moved(at[s], prev_at_[s], at_eps_) ||
+                           moved(at[s + 1], prev_at_[s + 1], at_eps_) ||
+                           moved(slew[s], prev_slew_[s], slew_eps_) ||
+                           moved(slew[s + 1], prev_slew_[s + 1], slew_eps_);
+      active += changed ? 1 : 0;
+    }
+    levels_[l].fwd_active = active;
+    fwd_active_total_ += active;
+  }
+  std::memcpy(prev_at_.data(), at, prev_at_.size() * sizeof(double));
+  std::memcpy(prev_slew_.data(), slew, prev_slew_.size() * sizeof(double));
+  ++fwd_evals_;
+}
+
+void ActivityTracker::record_backward(const double* g_at,
+                                      const double* g_slew) {
+  bwd_live_total_ = 0;
+  const size_t n_levels = levels_.size();
+  for (size_t l = 0; l < n_levels; ++l) {
+    size_t live = 0;
+    const int begin = level_offsets_[l];
+    const int end = level_offsets_[l + 1];
+    for (int i = begin; i < end; ++i) {
+      const size_t p = static_cast<size_t>(level_pins_[static_cast<size_t>(i)]);
+      const size_t s = p * 2;
+      const double m =
+          std::max(std::max(std::abs(g_at[s]), std::abs(g_at[s + 1])),
+                   std::max(std::abs(g_slew[s]), std::abs(g_slew[s + 1])));
+      live += m > adjoint_eps_ ? 1 : 0;
+    }
+    levels_[l].bwd_live = live;
+    bwd_live_total_ += live;
+  }
+  ++bwd_evals_;
+}
+
+}  // namespace dtp::obs

@@ -1,0 +1,118 @@
+// Per-level timing-activity counters (DESIGN.md §11).
+//
+// Measures, from outside the timing kernels, how much of the graph actually
+// changes per placer iteration: after each forward pass, the fraction of pins
+// per CSR level whose arrival time or slew moved beyond an epsilon since the
+// previous pass (the dirty frontier an incremental forward sweep would have
+// to visit); after each backward pass, the fraction of pins per level whose
+// adjoints are meaningfully non-zero (the live cone an endpoint-pruned
+// backward sweep would have to traverse).  Everything else is headroom.
+//
+// The tracker is shape-based on purpose: it sees only the level schedule
+// (CSR offsets + pin order) and flat [pin*2+tr] value arrays, never sta
+// types, so dtp_sta can link it without a dependency cycle.  It is a pure
+// observer — record_* never writes anything the timers read — and all
+// buffers are allocated in configure(); the record paths are allocation-free
+// so the PR 5 steady-state zero-allocation contract holds with the tracker
+// attached.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace dtp::obs {
+
+struct ActivityLevelCounts {
+  int level = 0;
+  size_t pins = 0;        // pins scheduled in this level
+  size_t fwd_active = 0;  // AT/slew changed beyond epsilon in last forward
+  size_t bwd_live = 0;    // |adjoint| above epsilon in last backward
+};
+
+class ActivityTracker {
+ public:
+  // Change thresholds.  A pin counts as forward-active when any of its four
+  // slots (early/late AT, early/late slew) moves by more than the matching
+  // epsilon — or transitions between finite and non-finite, so the first
+  // pass after configure() (previous snapshot = NaN) counts every reachable
+  // pin active.  NaN -> NaN is not a change: a permanently unreachable pin
+  // must not inflate the active fraction every pass.
+  void set_epsilons(double at_eps, double slew_eps, double adjoint_eps) {
+    at_eps_ = at_eps;
+    slew_eps_ = slew_eps;
+    adjoint_eps_ = adjoint_eps;
+  }
+  double at_epsilon() const { return at_eps_; }
+  double slew_epsilon() const { return slew_eps_; }
+  double adjoint_epsilon() const { return adjoint_eps_; }
+
+  // Copies the level schedule and sizes every buffer.  The only method that
+  // allocates.  `level_pins` holds pin ids grouped by level; `level_offsets`
+  // is the CSR directory over it (size num_levels+1).
+  void configure(std::span<const int> level_offsets,
+                 std::span<const int> level_pins, size_t num_pins);
+  bool configured() const { return num_pins_ > 0; }
+
+  // Post-pass scans.  `at`/`slew` and `g_at`/`g_slew` are the workspace's
+  // flat [pin*2+tr] arrays (2*num_pins doubles each).  Allocation-free.
+  void record_forward(const double* at, const double* slew);
+  void record_backward(const double* g_at, const double* g_slew);
+
+  // Reported by Timer::evaluate_incremental: how many pins the worklist
+  // visited and how many of those actually changed.
+  void record_incremental(size_t visited, size_t changed) {
+    last_inc_visited_ = visited;
+    last_inc_changed_ = changed;
+    ++inc_evals_;
+  }
+
+  size_t num_levels() const { return levels_.size(); }
+  size_t pins_total() const { return num_pins_; }
+  std::span<const ActivityLevelCounts> levels() const { return levels_; }
+
+  // Totals over the most recent pass of each kind.
+  size_t fwd_active_total() const { return fwd_active_total_; }
+  size_t bwd_live_total() const { return bwd_live_total_; }
+  double fwd_active_fraction() const {
+    return num_pins_ > 0
+               ? static_cast<double>(fwd_active_total_) /
+                     static_cast<double>(num_pins_)
+               : 0.0;
+  }
+  double bwd_live_fraction() const {
+    return num_pins_ > 0 ? static_cast<double>(bwd_live_total_) /
+                               static_cast<double>(num_pins_)
+                         : 0.0;
+  }
+
+  uint64_t forward_evals() const { return fwd_evals_; }
+  uint64_t backward_evals() const { return bwd_evals_; }
+  uint64_t incremental_evals() const { return inc_evals_; }
+  size_t last_incremental_visited() const { return last_inc_visited_; }
+  size_t last_incremental_changed() const { return last_inc_changed_; }
+
+ private:
+  static bool moved(double a, double b, double eps);
+
+  double at_eps_ = 1e-6;
+  double slew_eps_ = 1e-6;
+  double adjoint_eps_ = 1e-12;
+
+  size_t num_pins_ = 0;
+  std::vector<int> level_offsets_;  // CSR into level_pins_, size levels+1
+  std::vector<int> level_pins_;     // pin ids grouped by level
+  std::vector<double> prev_at_;     // [pin*2+tr] snapshot of last forward
+  std::vector<double> prev_slew_;
+  std::vector<ActivityLevelCounts> levels_;
+
+  size_t fwd_active_total_ = 0;
+  size_t bwd_live_total_ = 0;
+  uint64_t fwd_evals_ = 0;
+  uint64_t bwd_evals_ = 0;
+  uint64_t inc_evals_ = 0;
+  size_t last_inc_visited_ = 0;
+  size_t last_inc_changed_ = 0;
+};
+
+}  // namespace dtp::obs

@@ -1,0 +1,71 @@
+#include "obs/activity/churn_tracker.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dtp::obs {
+
+void ChurnTracker::configure(size_t num_endpoints, size_t top_k) {
+  top_k_ = top_k;
+  epochs_ = 0;
+  jaccard_ = 1.0;
+  entered_ = left_ = 0;
+  idx_.clear();
+  idx_.reserve(num_endpoints);
+  cur_.clear();
+  cur_.reserve(top_k);
+  prev_.clear();
+  prev_.reserve(top_k);
+}
+
+void ChurnTracker::observe(std::span<const double> endpoint_slack) {
+  idx_.clear();
+  const int n = static_cast<int>(endpoint_slack.size());
+  for (int e = 0; e < n; ++e)
+    if (std::isfinite(endpoint_slack[static_cast<size_t>(e)]))
+      idx_.push_back(e);
+
+  const size_t k = std::min(top_k_, idx_.size());
+  // Same ordering as the path extractor's endpoint ranking: slack ascending,
+  // index as the deterministic tie-break.
+  const auto worse = [&endpoint_slack](int a, int b) {
+    const double sa = endpoint_slack[static_cast<size_t>(a)];
+    const double sb = endpoint_slack[static_cast<size_t>(b)];
+    if (sa != sb) return sa < sb;
+    return a < b;
+  };
+  if (k < idx_.size())
+    std::nth_element(idx_.begin(), idx_.begin() + static_cast<long>(k),
+                     idx_.end(), worse);
+  cur_.assign(idx_.begin(), idx_.begin() + static_cast<long>(k));
+  std::sort(cur_.begin(), cur_.end());  // index order for the merge walk
+
+  if (epochs_ == 0) {
+    jaccard_ = 1.0;
+    entered_ = cur_.size();
+    left_ = 0;
+  } else {
+    size_t inter = 0;
+    size_t i = 0, j = 0;
+    while (i < cur_.size() && j < prev_.size()) {
+      if (cur_[i] == prev_[j]) {
+        ++inter;
+        ++i;
+        ++j;
+      } else if (cur_[i] < prev_[j]) {
+        ++i;
+      } else {
+        ++j;
+      }
+    }
+    const size_t uni = cur_.size() + prev_.size() - inter;
+    jaccard_ = uni > 0 ? static_cast<double>(inter) / static_cast<double>(uni)
+                       : 1.0;
+    entered_ = cur_.size() - inter;
+    left_ = prev_.size() - inter;
+  }
+  std::swap(prev_, cur_);
+  ++epochs_;
+}
+
+}  // namespace dtp::obs

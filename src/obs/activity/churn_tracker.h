@@ -1,0 +1,46 @@
+// Criticality-churn tracker (DESIGN.md §11).
+//
+// Each iteration, ranks endpoints by slack exactly as the path extractor
+// does (finite slacks ascending, endpoint index as tie-break), takes the
+// top-K near-critical set, and reports its Jaccard similarity against the
+// previous iteration's set plus how many endpoints entered and left.  A
+// stable set (Jaccard → 1) means a criticality-pruned backward pass could
+// cache its endpoint selection across iterations; a churning set means the
+// selection must be refreshed every pass.  All buffers are sized in
+// configure(); observe() is allocation-free.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace dtp::obs {
+
+class ChurnTracker {
+ public:
+  void configure(size_t num_endpoints, size_t top_k);
+  bool configured() const { return top_k_ > 0; }
+  size_t top_k() const { return top_k_; }
+
+  // `endpoint_slack[e]` is the slack of endpoint e; non-finite entries are
+  // unconstrained endpoints and never enter the set.
+  void observe(std::span<const double> endpoint_slack);
+
+  uint64_t epochs() const { return epochs_; }
+  double jaccard() const { return jaccard_; }  // vs previous epoch; 1.0 first
+  size_t entered() const { return entered_; }
+  size_t left() const { return left_; }
+  size_t set_size() const { return prev_.size(); }  // current set, post-swap
+
+ private:
+  size_t top_k_ = 0;
+  uint64_t epochs_ = 0;
+  double jaccard_ = 1.0;
+  size_t entered_ = 0;
+  size_t left_ = 0;
+  std::vector<int> idx_;   // finite-slack endpoint indices, scratch
+  std::vector<int> cur_;   // this epoch's top-K, sorted by index
+  std::vector<int> prev_;  // last epoch's top-K, sorted by index
+};
+
+}  // namespace dtp::obs

@@ -1,0 +1,46 @@
+#include "obs/activity/slack_sketch.h"
+
+#include <cmath>
+#include <limits>
+
+namespace dtp::obs {
+
+void SlackSketch::observe_epoch(std::span<const double> endpoint_slack) {
+  count_ = 0;
+  violating_ = 0;
+  wns_ = std::numeric_limits<double>::infinity();
+  max_ = -std::numeric_limits<double>::infinity();
+  bands_.fill(0);
+  p1_.reset();
+  p10_.reset();
+  p50_.reset();
+
+  // Pass 1: exact extremes, so band edges are anchored at this epoch's WNS.
+  for (double s : endpoint_slack) {
+    if (!std::isfinite(s)) continue;
+    ++count_;
+    if (s < 0.0) ++violating_;
+    if (s < wns_) wns_ = s;
+    if (s > max_) max_ = s;
+  }
+  if (count_ == 0) {
+    wns_ = 0.0;
+    max_ = 0.0;
+    ++epochs_;
+    return;
+  }
+
+  // Pass 2: quantile estimators and near-critical band populations.
+  for (double s : endpoint_slack) {
+    if (!std::isfinite(s)) continue;
+    p1_.observe(s);
+    p10_.observe(s);
+    p50_.observe(s);
+    const double rel = s - wns_;
+    const int k = static_cast<int>(rel / band_width_);
+    if (k >= 0 && k < kBands) ++bands_[static_cast<size_t>(k)];
+  }
+  ++epochs_;
+}
+
+}  // namespace dtp::obs

@@ -1,0 +1,56 @@
+// Streaming endpoint-slack sketch (DESIGN.md §11).
+//
+// One call per iteration with the endpoint-slack span; keeps O(1) state:
+// exact WNS/max/violating counts plus P²-estimated p1/p10/p50 quantiles and
+// fixed near-critical band populations (band k counts endpoints with slack
+// in [wns + k·w, wns + (k+1)·w), w = band_width — the candidate pruning
+// bands of the planned endpoint-pruned backward pass).  The quantile
+// estimators are reset each epoch, so every record describes that
+// iteration's distribution, not a running mixture.  observe_epoch() is
+// allocation-free.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+#include "common/p2_quantile.h"
+
+namespace dtp::obs {
+
+class SlackSketch {
+ public:
+  static constexpr int kBands = 4;
+
+  void set_band_width(double w) { band_width_ = w > 0.0 ? w : 0.05; }
+  double band_width() const { return band_width_; }
+
+  // Sketches one iteration's endpoint-slack distribution.  Non-finite slacks
+  // (unconstrained endpoints) are skipped, matching the path extractor's
+  // finite-slack endpoint ranking.
+  void observe_epoch(std::span<const double> endpoint_slack);
+
+  uint64_t epochs() const { return epochs_; }
+  uint64_t count() const { return count_; }       // finite slacks last epoch
+  uint64_t violating() const { return violating_; }  // slack < 0 last epoch
+  double wns() const { return wns_; }
+  double max_slack() const { return max_; }
+  double p1() const { return p1_.value(); }
+  double p10() const { return p10_.value(); }
+  double p50() const { return p50_.value(); }
+  uint64_t band(int k) const { return bands_[static_cast<size_t>(k)]; }
+
+ private:
+  double band_width_ = 0.05;
+  uint64_t epochs_ = 0;
+  uint64_t count_ = 0;
+  uint64_t violating_ = 0;
+  double wns_ = 0.0;
+  double max_ = 0.0;
+  P2Quantile p1_{0.01};
+  P2Quantile p10_{0.10};
+  P2Quantile p50_{0.50};
+  std::array<uint64_t, kBands> bands_{};
+};
+
+}  // namespace dtp::obs

@@ -1,6 +1,7 @@
 #include "obs/introspect/introspect.h"
 
 #include "common/json_writer.h"
+#include "obs/activity/activity_record.h"
 #include "obs/metrics.h"
 
 namespace dtp::obs {
@@ -81,6 +82,52 @@ void IntrospectionSink::write_kernel_profile(
   w.key("iter").value(iter);
   level_profile_array(w, "forward", level_sizes, forward);
   level_profile_array(w, "backward", level_sizes, backward);
+  finish_record(w);
+}
+
+void IntrospectionSink::write_activity(int iter,
+                                       const ActivityTracker& tracker,
+                                       const SlackSketch& sketch,
+                                       const ChurnTracker& churn) {
+  if (!is_open()) return;
+  MetricsRegistry& reg = MetricsRegistry::instance();
+  reg.histogram("activity.fwd_active_pct")
+      .observe(100.0 * tracker.fwd_active_fraction());
+  reg.histogram("activity.bwd_live_pct")
+      .observe(100.0 * tracker.bwd_live_fraction());
+  JsonWriter w;
+  w.begin_object();
+  w.key("type").value("activity");
+  w.key("design").value(design_);
+  w.key("mode").value(mode_);
+  append_activity_json(w, iter, tracker, sketch, churn);
+  finish_record(w);
+}
+
+void IntrospectionSink::write_activity_summary(
+    const ActivitySummaryAccum& accum, const ActivityTracker& tracker,
+    const SlackSketch& final_sketch) {
+  if (!is_open()) return;
+  JsonWriter w;
+  w.begin_object();
+  w.key("type").value("activity_summary");
+  w.key("design").value(design_);
+  w.key("mode").value(mode_);
+  append_activity_summary_json(w, accum, tracker, final_sketch);
+  finish_record(w);
+}
+
+void IntrospectionSink::write_abort(const std::string& stage,
+                                    const std::string& error, int exit_code) {
+  if (!is_open()) return;
+  JsonWriter w;
+  w.begin_object();
+  w.key("type").value("abort");
+  w.key("design").value(design_);
+  w.key("mode").value(mode_);
+  w.key("stage").value(stage);
+  w.key("error").value(error);
+  w.key("exit_code").value(exit_code);
   finish_record(w);
 }
 

@@ -26,6 +26,11 @@
 
 namespace dtp::obs {
 
+class ActivityTracker;
+class ActivitySummaryAccum;
+class ChurnTracker;
+class SlackSketch;
+
 struct IntrospectOptions {
   int paths_topk = 10;     // paths per sample; 0 disables path records
   int sample_period = 25;  // emit every N iterations (and at run end); <=0 off
@@ -65,6 +70,25 @@ class IntrospectionSink {
   void write_kernel_profile(int iter, std::span<const size_t> level_sizes,
                             std::span<const sta::LevelStat> forward,
                             std::span<const sta::LevelStat> backward);
+
+  // Writes one `type:"activity"` record from the activity layer's trackers
+  // (DESIGN.md §11).  The per-iteration activity fractions additionally feed
+  // the registry's `activity.fwd_active_pct` / `activity.bwd_live_pct`
+  // histograms so the run summary carries their p50/p95.
+  void write_activity(int iter, const ActivityTracker& tracker,
+                      const SlackSketch& sketch, const ChurnTracker& churn);
+
+  // Writes the run-end `type:"activity_summary"` record, including the
+  // incremental-headroom estimate.
+  void write_activity_summary(const ActivitySummaryAccum& accum,
+                              const ActivityTracker& tracker,
+                              const SlackSketch& final_sketch);
+
+  // Writes an abort record into this stream mirroring the run-report abort
+  // artifact (PR 3 contract), so an abnormal exit leaves the activity stream
+  // terminated by an explicit marker rather than just truncated.
+  void write_abort(const std::string& stage, const std::string& error,
+                   int exit_code);
 
   size_t records_written() const { return records_; }
 

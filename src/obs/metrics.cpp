@@ -35,6 +35,18 @@ void Histogram::observe(double v) {
   } else {
     ++buckets_[0];
   }
+  p50_est_.observe(v);
+  p95_est_.observe(v);
+}
+
+double Histogram::p50() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return p50_est_.value();
+}
+
+double Histogram::p95() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return p95_est_.value();
 }
 
 void Histogram::reset() {
@@ -43,6 +55,8 @@ void Histogram::reset() {
   sum_ = min_ = max_ = 0.0;
   for (auto& b : buckets_) b = 0;
   for (auto& b : neg_buckets_) b = 0;
+  p50_est_.reset();
+  p95_est_.reset();
 }
 
 MetricsRegistry& MetricsRegistry::instance() {
@@ -102,6 +116,8 @@ std::string MetricsRegistry::to_json() const {
     w.key("min").value(h->min());
     w.key("max").value(h->max());
     w.key("mean").value(h->mean());
+    w.key("p50").value(h->p50());
+    w.key("p95").value(h->p95());
     // Sparse bucket map keyed by the bound nearer zero's far side: positive
     // buckets by upper bound (2^k), negative buckets by lower bound (-2^k).
     w.key("buckets").begin_object();

@@ -29,6 +29,8 @@
 #include <mutex>
 #include <string>
 
+#include "common/p2_quantile.h"
+
 namespace dtp::obs {
 
 class MetricsRegistry;
@@ -79,6 +81,10 @@ class Histogram {
   double mean() const { return count_ ? sum_ / static_cast<double>(count_) : 0.0; }
   uint64_t bucket(int k) const { return buckets_[k]; }
   uint64_t neg_bucket(int k) const { return neg_buckets_[k]; }
+  // Streaming P² estimates over all observations since the last reset
+  // (exact below five observations); 0.0 when empty.
+  double p50() const;
+  double p95() const;
   void reset();
 
  private:
@@ -90,6 +96,8 @@ class Histogram {
   double max_ = 0.0;
   uint64_t buckets_[kBuckets] = {};
   uint64_t neg_buckets_[kBuckets] = {};
+  P2Quantile p50_est_{0.50};
+  P2Quantile p95_est_{0.95};
 };
 
 class MetricsRegistry {

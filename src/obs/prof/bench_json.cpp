@@ -152,6 +152,8 @@ std::string bench_json(const BenchSuiteResult& suite) {
   w.key("suite").value(suite.suite);
   w.key("repeats").value(suite.repeats);
   w.key("threads").value(static_cast<uint64_t>(suite.threads));
+  if (!suite.commit.empty()) w.key("commit").value(suite.commit);
+  if (!suite.label.empty()) w.key("label").value(suite.label);
   w.key("counters");
   w.begin_object();
   w.key("available").value(suite.counter_probe.available);
@@ -240,6 +242,7 @@ int bench_diff(const JsonValue& a, const JsonValue& b,
                  "old", "new", "ratio", "verdict");
   }
   bool regression = false;
+  std::vector<std::string> regressions;  // "cell/metric", for the verdict line
   size_t matched = 0;
   for (const auto& [name, cell_a] : cells_a) {
     const auto it = cells_b.find(name);
@@ -282,6 +285,7 @@ int bench_diff(const JsonValue& a, const JsonValue& b,
       const bool regressed =
           r.gates && r.va > 0.0 && r.vb > r.va * (1.0 + opts.threshold);
       regression = regression || regressed;
+      if (regressed) regressions.push_back(name + "/" + r.metric);
       if (out != nullptr) {
         const char* verdict = regressed          ? "REGRESSED"
                               : !r.gates && noisy ? "noisy"
@@ -297,9 +301,20 @@ int bench_diff(const JsonValue& a, const JsonValue& b,
       std::fprintf(out, "bench-diff: no common cells between the two files\n");
     return 1;
   }
-  if (out != nullptr)
+  if (out != nullptr) {
     std::fprintf(out, "RESULT: %s\n",
                  regression ? "REGRESSION beyond threshold" : "ok");
+    // Final single-line machine-readable verdict, so CI parses the outcome
+    // instead of scraping the table.
+    JsonWriter verdict;
+    verdict.begin_object();
+    verdict.key("ok").value(!regression);
+    verdict.key("regressions").begin_array();
+    for (const std::string& r : regressions) verdict.value(r);
+    verdict.end_array();
+    verdict.end_object();
+    std::fprintf(out, "%s\n", verdict.str().c_str());
+  }
   return regression ? 2 : 0;
 }
 

@@ -80,6 +80,11 @@ struct BenchSuiteResult {
   std::string suite;
   int repeats = 0;
   size_t threads = 1;
+  // Provenance stamps (`dtp_bench --commit <sha> --label <str>`): emitted in
+  // the header when non-empty, so a directory of BENCH_*.json files forms a
+  // comparable, attributable trajectory.
+  std::string commit;
+  std::string label;
   CounterSample counter_probe;  // availability probe recorded in the header
   std::vector<BenchCell> cells;
 };

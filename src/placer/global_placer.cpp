@@ -60,6 +60,24 @@ GlobalPlacer::GlobalPlacer(netlist::Design& design, const sta::TimingGraph& grap
     if (diff_timer_ != nullptr) diff_timer_->set_level_profiling(true);
     if (exact_timer_ != nullptr) exact_timer_->set_level_profiling(true);
   }
+  if (options_.activity_sink != nullptr && options_.activity_sink->is_open() &&
+      options_.activity.sample_period > 0) {
+    // Activity layer (DESIGN.md §11): tracker on the timer the mode actually
+    // descends with — the smooth timer in DiffTiming (forward + backward
+    // adjoints), the exact timer in NetWeighting (forward only).
+    activity_tracker_ = std::make_unique<obs::ActivityTracker>();
+    activity_tracker_->set_epsilons(options_.activity.at_epsilon,
+                                    options_.activity.slew_epsilon,
+                                    options_.activity.adjoint_epsilon);
+    if (diff_timer_ != nullptr)
+      diff_timer_->set_activity_tracker(activity_tracker_.get());
+    else if (exact_timer_ != nullptr)
+      exact_timer_->set_activity_tracker(activity_tracker_.get());
+    slack_sketch_.set_band_width(options_.activity.band_width);
+    churn_tracker_.configure(
+        graph.endpoints().size(),
+        static_cast<size_t>(std::max(1, options_.activity.churn_top_k)));
+  }
 }
 
 int GlobalPlacer::auto_bins() const {
@@ -227,12 +245,38 @@ PlaceResult GlobalPlacer::run() {
                                          options_.introspect_sink->is_open()
                                      ? options_.introspect_sink
                                      : nullptr;
-  if (sink != nullptr)
-    sink->set_meta(design_->name,
-                   options_.mode == PlacerMode::DiffTiming ? "diff_timing"
-                   : options_.mode == PlacerMode::NetWeighting
-                       ? "net_weighting"
-                       : "wirelength_only");
+  const std::string mode_name =
+      options_.mode == PlacerMode::DiffTiming      ? "diff_timing"
+      : options_.mode == PlacerMode::NetWeighting ? "net_weighting"
+                                                  : "wirelength_only";
+  if (sink != nullptr) sink->set_meta(design_->name, mode_name);
+
+  // ---- timing-activity telemetry (DESIGN.md §11) ----
+  // Also a pure observer; the tracker was attached to the mode's timer in the
+  // constructor and only ever reads the finished AT/slew/adjoint planes.
+  obs::IntrospectionSink* asink =
+      options_.activity_sink != nullptr && options_.activity_sink->is_open() &&
+              activity_tracker_ != nullptr
+          ? options_.activity_sink
+          : nullptr;
+  if (asink != nullptr && asink != sink) asink->set_meta(design_->name, mode_name);
+  int last_activity_iter = -1;
+  auto emit_activity = [&](int at_iter) {
+    if (asink == nullptr || !activity_tracker_->configured() ||
+        activity_tracker_->forward_evals() == 0)
+      return;
+    const sta::Timer& at_timer =
+        diff_timer_ != nullptr ? diff_timer_->timer() : *exact_timer_;
+    slack_sketch_.observe_epoch(at_timer.endpoint_slack());
+    churn_tracker_.observe(at_timer.endpoint_slack());
+    asink->write_activity(at_iter, *activity_tracker_, slack_sketch_,
+                          churn_tracker_);
+    activity_accum_.observe(at_iter, activity_tracker_->fwd_active_fraction(),
+                            activity_tracker_->bwd_live_fraction(),
+                            churn_tracker_.jaccard(), slack_sketch_.wns(),
+                            slack_sketch_.p50());
+    last_activity_iter = at_iter;
+  };
   double combine_lambda = 0.0;  // the lambda the combine loop actually used
   size_t clip_clipped = 0, clip_nonzero = 0;  // this iteration's trust region
   std::string pending_trigger;  // robust-layer decision awaiting attribution
@@ -552,6 +596,12 @@ PlaceResult GlobalPlacer::run() {
       emit_attribution(iter, pending_trigger);
       pending_trigger.clear();
     }
+    // Activity cadence: only iterations that actually ran the timer have a
+    // fresh forward/backward pass to describe.
+    if (asink != nullptr && log.has_timing &&
+        options_.activity.sample_period > 0 &&
+        iter % options_.activity.sample_period == 0)
+      emit_activity(iter);
     if (sink != nullptr && options_.introspect.sample_period > 0 &&
         iter % options_.introspect.sample_period == 0)
       emit_introspection(iter);
@@ -578,6 +628,13 @@ PlaceResult GlobalPlacer::run() {
   const int final_iter = std::min(iter, options_.max_iters - 1);
   if (sink != nullptr && final_iter >= 0 && last_emit_iter != final_iter)
     emit_introspection(final_iter);
+  // Final activity sample (if the cadence missed the last timing iteration)
+  // and the run-end summary with the incremental-headroom estimate.
+  if (asink != nullptr && final_iter >= 0 && last_activity_iter != final_iter)
+    emit_activity(final_iter);
+  if (asink != nullptr && activity_accum_.samples() > 0)
+    asink->write_activity_summary(activity_accum_, *activity_tracker_,
+                                  slack_sketch_);
 
   result.iterations = std::min(iter + 1, options_.max_iters);
   result.hpwl = wl_->hpwl_unweighted(x, y);

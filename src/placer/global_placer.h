@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "dtimer/diff_timer.h"
+#include "obs/activity/activity_record.h"
 #include "obs/introspect/introspect.h"
 #include "placer/density.h"
 #include "placer/net_weighting.h"
@@ -108,6 +109,16 @@ struct GlobalPlacerOptions {
   // identical with it attached or not (asserted by tests/test_introspect.cpp).
   obs::IntrospectOptions introspect;
   obs::IntrospectionSink* introspect_sink = nullptr;  // not owned
+
+  // Timing-activity telemetry (DESIGN.md §11): when `activity_sink` points to
+  // an open sink, an ActivityTracker is attached to the run's timer and
+  // `type:"activity"` records (slack sketch, per-level activity, criticality
+  // churn) are emitted every `activity.sample_period` timing iterations, plus
+  // one run-end `type:"activity_summary"`.  May alias `introspect_sink` to
+  // share one stream.  Pure observer: placements are bitwise-identical with
+  // it attached or not (asserted by tests/test_golden_plane.cpp).
+  obs::ActivityOptions activity;
+  obs::IntrospectionSink* activity_sink = nullptr;  // not owned
 
   // One stderr progress line every N iterations (0 = off), independent of the
   // log level — the operator's heartbeat for long runs.
@@ -195,6 +206,11 @@ class GlobalPlacer {
   std::unique_ptr<dtimer::DiffTimer> diff_timer_;  // DiffTiming mode
   std::unique_ptr<sta::Timer> exact_timer_;        // NetWeighting + probes
   std::unique_ptr<NetWeighting> net_weighting_;
+  // Activity layer (created when options_.activity_sink is an open sink).
+  std::unique_ptr<obs::ActivityTracker> activity_tracker_;
+  obs::SlackSketch slack_sketch_;
+  obs::ChurnTracker churn_tracker_;
+  obs::ActivitySummaryAccum activity_accum_;
 };
 
 }  // namespace dtp::placer

@@ -10,6 +10,7 @@
 #include "common/smooth_math.h"
 #include "common/stopwatch.h"
 #include "common/thread_pool.h"
+#include "obs/activity/activity_tracker.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "sta/cell_arc_eval.h"
@@ -245,6 +246,13 @@ void Timer::init_sources(bool early) {
   }
 }
 
+void Timer::set_activity_tracker(obs::ActivityTracker* tracker) {
+  activity_ = tracker;
+  if (tracker != nullptr && !tracker->configured())
+    tracker->configure(graph_->level_offsets(), graph_->level_pins(),
+                       design_->netlist.num_pins());
+}
+
 void Timer::propagate() {
   DTP_TRACE_SCOPE("sta_propagate");
   ThreadPool::global().mark("sta.propagate");
@@ -254,6 +262,10 @@ void Timer::propagate() {
     init_sources(/*early=*/true);
     sweep_levels(/*early=*/true);
   }
+  // Post-pass activity scan (late plane) — a read-only observer, so the
+  // sweep results above are untouched.
+  if (activity_ != nullptr)
+    activity_->record_forward(ws_->at.data(), ws_->slew.data());
 }
 
 void Timer::sweep_levels(bool early) {
@@ -463,16 +475,21 @@ TimingMetrics Timer::evaluate_incremental(std::span<const double> cell_x,
   // recomputed pin refreshes its candidate-cache region, so the cache stays
   // consistent with the incremental state.
   const size_t slot = ThreadPool::global().caller_slot();
+  size_t visited = 0;
+  size_t num_changed = 0;
   while (!worklist.empty()) {
     const PinId v = worklist.top().second;
     worklist.pop();
     queued[static_cast<size_t>(v)] = 0;
+    ++visited;
     bool changed = update_pin(v, /*early=*/false, slot);
     if (options_.enable_early) changed |= update_pin(v, /*early=*/true, slot);
     if (!changed) continue;
+    ++num_changed;
     for (const int ai : graph_->fanout(v))
       enqueue(graph_->arcs()[static_cast<size_t>(ai)].to);
   }
+  if (activity_ != nullptr) activity_->record_incremental(visited, num_changed);
 
   // 4. Refresh slacks/metrics (O(endpoints)).
   update_slacks();

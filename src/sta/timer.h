@@ -39,6 +39,10 @@
 #include "sta/timing_graph.h"
 #include "sta/timing_workspace.h"
 
+namespace dtp::obs {
+class ActivityTracker;
+}
+
 namespace dtp::sta {
 
 enum class AggMode : uint8_t { Hard, Smooth };
@@ -214,6 +218,16 @@ class Timer {
   const std::vector<LevelStat>& level_profile() const { return level_profile_; }
   void reset_level_profile() { level_profile_.clear(); }
 
+  // ---- timing-activity tracking (DESIGN.md §11) ----
+  // Attaches an activity tracker: after every propagate() the tracker scans
+  // the late AT/slew plane for pins that moved beyond its epsilons, and
+  // evaluate_incremental() reports its visited/changed worklist counts.  The
+  // tracker is configured with this timer's level schedule on attach.  A pure
+  // observer — the sweeps never read tracker state, so results with a tracker
+  // attached are bitwise-identical to without.  Pass nullptr to detach.
+  void set_activity_tracker(obs::ActivityTracker* tracker);
+  obs::ActivityTracker* activity_tracker() const { return activity_; }
+
  private:
   // One batch of the level schedule: either a single large level dispatched in
   // parallel, or a run of consecutive small levels fused into one serial pass
@@ -252,6 +266,7 @@ class Timer {
 
   bool profile_levels_ = false;
   std::vector<LevelStat> level_profile_;
+  obs::ActivityTracker* activity_ = nullptr;
 };
 
 }  // namespace dtp::sta

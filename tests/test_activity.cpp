@@ -1,0 +1,428 @@
+// Timing-activity & convergence observability (DESIGN.md §11): the P²
+// streaming quantile estimator, per-level activity counters, slack sketch,
+// criticality-churn tracker, record serialization, and the end-to-end
+// activity JSONL artifact emitted by the placer.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <fstream>
+#include <limits>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/json_writer.h"
+#include "common/p2_quantile.h"
+#include "json_test_util.h"
+#include "liberty/synth_library.h"
+#include "obs/activity/activity_record.h"
+#include "obs/activity/activity_tracker.h"
+#include "obs/activity/churn_tracker.h"
+#include "obs/activity/slack_sketch.h"
+#include "obs/introspect/introspect.h"
+#include "placer/global_placer.h"
+#include "sta/timing_graph.h"
+#include "workload/circuit_gen.h"
+
+namespace dtp::obs {
+namespace {
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// ----------------------------------------------------------- P2Quantile ----
+
+TEST(P2Quantile, ExactBelowFiveObservations) {
+  P2Quantile q(0.5);
+  EXPECT_EQ(q.value(), 0.0);  // empty
+  q.observe(3.0);
+  EXPECT_DOUBLE_EQ(q.value(), 3.0);
+  q.observe(1.0);
+  q.observe(2.0);
+  EXPECT_EQ(q.count(), 3u);
+  EXPECT_DOUBLE_EQ(q.value(), 2.0);  // nearest-rank median of {1,2,3}
+}
+
+TEST(P2Quantile, TracksUniformStreamQuantiles) {
+  // Deterministic LCG stream, uniform in [0,1): each estimate must land
+  // within a couple percent of the true quantile.
+  P2Quantile p10(0.10), p50(0.50), p95(0.95);
+  uint64_t s = 12345;
+  for (int i = 0; i < 20000; ++i) {
+    s = s * 6364136223846793005ULL + 1442695040888963407ULL;
+    const double x =
+        static_cast<double>(s >> 11) / static_cast<double>(1ULL << 53);
+    p10.observe(x);
+    p50.observe(x);
+    p95.observe(x);
+  }
+  EXPECT_NEAR(p10.value(), 0.10, 0.02);
+  EXPECT_NEAR(p50.value(), 0.50, 0.02);
+  EXPECT_NEAR(p95.value(), 0.95, 0.02);
+}
+
+TEST(P2Quantile, ResetRetargets) {
+  P2Quantile q(0.5);
+  for (int i = 0; i < 100; ++i) q.observe(static_cast<double>(i));
+  q.reset(0.9);
+  EXPECT_EQ(q.count(), 0u);
+  EXPECT_DOUBLE_EQ(q.quantile(), 0.9);
+  EXPECT_EQ(q.value(), 0.0);
+}
+
+// ------------------------------------------------------- ActivityTracker ----
+
+// Two CSR levels: level 0 = pins {0,1}, level 1 = pin {2}.
+void configure_small(ActivityTracker& t) {
+  static constexpr std::array<int, 3> offsets = {0, 2, 3};
+  static constexpr std::array<int, 3> pins = {0, 1, 2};
+  t.configure(std::span<const int>(offsets), std::span<const int>(pins), 3);
+}
+
+TEST(ActivityTracker, CountsChangedPinsPerLevel) {
+  ActivityTracker t;
+  t.set_epsilons(1e-3, 1e-3, 1e-9);
+  configure_small(t);
+  ASSERT_TRUE(t.configured());
+  EXPECT_EQ(t.num_levels(), 2u);
+  EXPECT_EQ(t.pins_total(), 3u);
+
+  std::array<double, 6> at = {1.0, 1.1, 2.0, 2.1, 3.0, 3.1};
+  std::array<double, 6> slew = {0.1, 0.1, 0.2, 0.2, 0.3, 0.3};
+  // First pass: previous snapshot is NaN, so every pin counts as active.
+  t.record_forward(at.data(), slew.data());
+  EXPECT_EQ(t.forward_evals(), 1u);
+  EXPECT_EQ(t.fwd_active_total(), 3u);
+  EXPECT_DOUBLE_EQ(t.fwd_active_fraction(), 1.0);
+
+  // Identical pass: nothing active.
+  t.record_forward(at.data(), slew.data());
+  EXPECT_EQ(t.fwd_active_total(), 0u);
+  EXPECT_DOUBLE_EQ(t.fwd_active_fraction(), 0.0);
+
+  // Sub-epsilon wiggle on pin 0 doesn't count; real moves on pins 1 and 2 do.
+  at[0] += 1e-4;            // below at_eps
+  slew[1 * 2 + 1] += 2e-3;  // pin 1 fall slew, above slew_eps
+  at[2 * 2] += 0.5;         // pin 2 rise AT
+  t.record_forward(at.data(), slew.data());
+  EXPECT_EQ(t.fwd_active_total(), 2u);
+  EXPECT_EQ(t.levels()[0].pins, 2u);
+  EXPECT_EQ(t.levels()[0].fwd_active, 1u);
+  EXPECT_EQ(t.levels()[1].fwd_active, 1u);
+
+  // Finite -> NaN is a change; NaN -> NaN is not.
+  at[0] = kNaN;
+  t.record_forward(at.data(), slew.data());
+  EXPECT_EQ(t.fwd_active_total(), 1u);
+  t.record_forward(at.data(), slew.data());
+  EXPECT_EQ(t.fwd_active_total(), 0u);
+}
+
+TEST(ActivityTracker, BackwardCountsLiveAdjoints) {
+  ActivityTracker t;
+  t.set_epsilons(1e-6, 1e-6, 1e-9);
+  configure_small(t);
+  // Pin 1's adjoint is below the epsilon, pin 2's is live.
+  const std::array<double, 6> g_at = {0.0, 0.0, 1e-15, 0.0, 0.5, 0.0};
+  const std::array<double, 6> g_slew = {};
+  t.record_backward(g_at.data(), g_slew.data());
+  EXPECT_EQ(t.backward_evals(), 1u);
+  EXPECT_EQ(t.bwd_live_total(), 1u);
+  EXPECT_EQ(t.levels()[0].bwd_live, 0u);
+  EXPECT_EQ(t.levels()[1].bwd_live, 1u);
+  EXPECT_DOUBLE_EQ(t.bwd_live_fraction(), 1.0 / 3.0);
+}
+
+TEST(ActivityTracker, RecordsIncrementalCounts) {
+  ActivityTracker t;
+  configure_small(t);
+  EXPECT_EQ(t.incremental_evals(), 0u);
+  t.record_incremental(7, 3);
+  EXPECT_EQ(t.incremental_evals(), 1u);
+  EXPECT_EQ(t.last_incremental_visited(), 7u);
+  EXPECT_EQ(t.last_incremental_changed(), 3u);
+}
+
+// ----------------------------------------------------------- SlackSketch ----
+
+TEST(SlackSketch, ExactCountsBandsAndQuantiles) {
+  SlackSketch sk;
+  sk.set_band_width(0.5);
+  const std::array<double, 6> slack = {-1.0, -0.2, 0.3, 1.4, kInf, kNaN};
+  sk.observe_epoch(std::span<const double>(slack));
+  EXPECT_EQ(sk.epochs(), 1u);
+  EXPECT_EQ(sk.count(), 4u);  // non-finite entries skipped
+  EXPECT_EQ(sk.violating(), 2u);
+  EXPECT_DOUBLE_EQ(sk.wns(), -1.0);
+  EXPECT_DOUBLE_EQ(sk.max_slack(), 1.4);
+  // Bands anchored at WNS, width 0.5: [-1,-0.5) -> {-1.0}, [-0.5,0) ->
+  // {-0.2}, [0,0.5) -> {0.3}, [0.5,1.0) -> empty (1.4 is past the last band).
+  EXPECT_EQ(sk.band(0), 1u);
+  EXPECT_EQ(sk.band(1), 1u);
+  EXPECT_EQ(sk.band(2), 1u);
+  EXPECT_EQ(sk.band(3), 0u);
+  // Exact (< 5 samples) nearest-rank median of {-1.0,-0.2,0.3,1.4}.
+  EXPECT_DOUBLE_EQ(sk.p50(), 0.3);
+
+  // Each epoch describes only itself — no running mixture.
+  const std::array<double, 2> slack2 = {0.1, 0.2};
+  sk.observe_epoch(std::span<const double>(slack2));
+  EXPECT_EQ(sk.epochs(), 2u);
+  EXPECT_EQ(sk.count(), 2u);
+  EXPECT_EQ(sk.violating(), 0u);
+  EXPECT_DOUBLE_EQ(sk.wns(), 0.1);
+}
+
+TEST(SlackSketch, AllUnconstrainedEpochIsWellDefined) {
+  SlackSketch sk;
+  const std::array<double, 3> slack = {kInf, kNaN, kInf};
+  sk.observe_epoch(std::span<const double>(slack));
+  EXPECT_EQ(sk.epochs(), 1u);
+  EXPECT_EQ(sk.count(), 0u);
+  EXPECT_EQ(sk.violating(), 0u);
+  EXPECT_DOUBLE_EQ(sk.wns(), 0.0);
+}
+
+// ---------------------------------------------------------- ChurnTracker ----
+
+TEST(ChurnTracker, JaccardOverTopKSets) {
+  ChurnTracker c;
+  c.configure(6, 3);
+  ASSERT_TRUE(c.configured());
+  std::array<double, 6> s = {0.9, 0.1, 0.5, 0.2, 0.8, kNaN};
+  // Top-3 by slack ascending: {1, 3, 2}.
+  c.observe(std::span<const double>(s));
+  EXPECT_EQ(c.epochs(), 1u);
+  EXPECT_DOUBLE_EQ(c.jaccard(), 1.0);  // first epoch is stable by definition
+  EXPECT_EQ(c.set_size(), 3u);
+  EXPECT_EQ(c.entered(), 3u);
+  EXPECT_EQ(c.left(), 0u);
+
+  // Endpoint 4 turns critical and displaces 2: top-3 = {1, 4, 3}.
+  s[4] = 0.15;
+  c.observe(std::span<const double>(s));
+  EXPECT_DOUBLE_EQ(c.jaccard(), 0.5);  // |{1,3}| / |{1,2,3,4}|
+  EXPECT_EQ(c.entered(), 1u);
+  EXPECT_EQ(c.left(), 1u);
+
+  // Identical epoch: fully stable.
+  c.observe(std::span<const double>(s));
+  EXPECT_DOUBLE_EQ(c.jaccard(), 1.0);
+  EXPECT_EQ(c.entered(), 0u);
+  EXPECT_EQ(c.left(), 0u);
+}
+
+TEST(ChurnTracker, TiesBreakByEndpointIndex) {
+  // Equal slacks: the path extractor's ranking keeps the lower index, so the
+  // set must be {0, 1} and stay stable.
+  ChurnTracker c;
+  c.configure(4, 2);
+  const std::array<double, 4> s = {0.5, 0.5, 0.5, 0.5};
+  c.observe(std::span<const double>(s));
+  c.observe(std::span<const double>(s));
+  EXPECT_DOUBLE_EQ(c.jaccard(), 1.0);
+  EXPECT_EQ(c.set_size(), 2u);
+}
+
+TEST(ChurnTracker, FewerFiniteEndpointsThanTopK) {
+  ChurnTracker c;
+  c.configure(5, 4);
+  const std::array<double, 5> s = {kNaN, 0.3, kInf, 0.1, kNaN};
+  c.observe(std::span<const double>(s));
+  EXPECT_EQ(c.set_size(), 2u);  // only the finite endpoints qualify
+  EXPECT_EQ(c.entered(), 2u);
+}
+
+// -------------------------------------------------------- record assembly ----
+
+TEST(ActivityRecord, HeadroomSpeedupIsClampedInverse) {
+  EXPECT_DOUBLE_EQ(predicted_incremental_speedup(0.5), 2.0);
+  EXPECT_DOUBLE_EQ(predicted_incremental_speedup(1.0), 1.0);
+  EXPECT_DOUBLE_EQ(predicted_incremental_speedup(2.0), 1.0);     // over-full
+  EXPECT_DOUBLE_EQ(predicted_incremental_speedup(0.0), 1000.0);  // floor
+  EXPECT_DOUBLE_EQ(predicted_incremental_speedup(1e-6), 1000.0);
+}
+
+TEST(ActivityRecord, SerializesAllSections) {
+  ActivityTracker t;
+  t.set_epsilons(1e-3, 1e-3, 1e-9);
+  configure_small(t);
+  const std::array<double, 6> at = {1.0, 1.1, 2.0, 2.1, 3.0, 3.1};
+  const std::array<double, 6> slew = {0.1, 0.1, 0.2, 0.2, 0.3, 0.3};
+  t.record_forward(at.data(), slew.data());  // all 3 pins active
+  const std::array<double, 6> g_at = {0.0, 0.0, 0.0, 0.0, 0.5, 0.0};
+  const std::array<double, 6> g_slew = {};
+  t.record_backward(g_at.data(), g_slew.data());
+  t.record_incremental(5, 2);
+
+  SlackSketch sk;
+  sk.set_band_width(0.5);
+  const std::array<double, 3> slack = {-0.4, 0.1, 0.6};
+  sk.observe_epoch(std::span<const double>(slack));
+  ChurnTracker c;
+  c.configure(3, 2);
+  c.observe(std::span<const double>(slack));
+
+  JsonWriter w;
+  w.begin_object();
+  w.key("type").value("activity");
+  append_activity_json(w, 42, t, sk, c);
+  w.end_object();
+  const test::JsonValue v = test::JsonParser::parse(w.str());
+  EXPECT_EQ(v.str_or("type", "?"), "activity");
+  EXPECT_DOUBLE_EQ(v.num_or("iter", -1.0), 42.0);
+  EXPECT_DOUBLE_EQ(v.num_or("pins_total", 0.0), 3.0);
+
+  ASSERT_TRUE(v.has("forward"));
+  EXPECT_DOUBLE_EQ(v.at("forward").num_or("active", 0.0), 3.0);
+  EXPECT_DOUBLE_EQ(v.at("forward").num_or("frac", 0.0), 1.0);
+  ASSERT_TRUE(v.at("forward").has("by_level"));
+  EXPECT_EQ(v.at("forward").at("by_level").array.size(), 2u);
+
+  ASSERT_TRUE(v.has("backward"));
+  EXPECT_DOUBLE_EQ(v.at("backward").num_or("live", 0.0), 1.0);
+
+  ASSERT_TRUE(v.has("incremental"));
+  EXPECT_DOUBLE_EQ(v.at("incremental").num_or("visited", 0.0), 5.0);
+  EXPECT_DOUBLE_EQ(v.at("incremental").num_or("changed", 0.0), 2.0);
+
+  ASSERT_TRUE(v.has("slack"));
+  EXPECT_DOUBLE_EQ(v.at("slack").num_or("endpoints", 0.0), 3.0);
+  EXPECT_DOUBLE_EQ(v.at("slack").num_or("violating", 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(v.at("slack").num_or("wns", 0.0), -0.4);
+
+  ASSERT_TRUE(v.has("churn"));
+  EXPECT_DOUBLE_EQ(v.at("churn").num_or("jaccard", 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(v.at("churn").num_or("set_size", 0.0), 2.0);
+}
+
+TEST(ActivityRecord, SummaryAggregatesAndEstimatesHeadroom) {
+  ActivitySummaryAccum acc;
+  acc.observe(10, 1.0, 0.8, 1.0, -1.0, -0.1);
+  acc.observe(20, 0.2, 0.1, 0.9, -0.5, 0.0);
+  acc.observe(30, 0.1, 0.05, 0.95, -0.3, 0.1);
+  EXPECT_EQ(acc.samples(), 3u);
+  EXPECT_EQ(acc.first_iter(), 10);
+  EXPECT_EQ(acc.last_iter(), 30);
+  EXPECT_DOUBLE_EQ(acc.fwd_frac_min(), 0.1);
+  EXPECT_DOUBLE_EQ(acc.fwd_frac_last(), 0.1);
+  EXPECT_DOUBLE_EQ(acc.fwd_frac_p50(), 0.2);  // exact (< 5 samples)
+  EXPECT_DOUBLE_EQ(acc.first_wns(), -1.0);
+  EXPECT_DOUBLE_EQ(acc.last_wns(), -0.3);
+  EXPECT_DOUBLE_EQ(acc.last_slack_p50(), 0.1);
+
+  ActivityTracker t;
+  configure_small(t);
+  SlackSketch sk;
+  const std::array<double, 3> slack = {-0.3, 0.1, 0.6};
+  sk.observe_epoch(std::span<const double>(slack));
+
+  JsonWriter w;
+  w.begin_object();
+  w.key("type").value("activity_summary");
+  append_activity_summary_json(w, acc, t, sk);
+  w.end_object();
+  const test::JsonValue v = test::JsonParser::parse(w.str());
+  EXPECT_DOUBLE_EQ(v.num_or("samples", 0.0), 3.0);
+  ASSERT_TRUE(v.has("headroom"));
+  EXPECT_DOUBLE_EQ(v.at("headroom").num_or("median_active_frac", 0.0), 0.2);
+  EXPECT_DOUBLE_EQ(v.at("headroom").num_or("predicted_speedup", 0.0), 5.0);
+  ASSERT_TRUE(v.has("slack"));
+  EXPECT_DOUBLE_EQ(v.at("slack").num_or("first_wns", 0.0), -1.0);
+  EXPECT_DOUBLE_EQ(v.at("slack").num_or("wns", 0.0), -0.3);
+}
+
+// ------------------------------------------------------- placer artifact ----
+
+netlist::Design make_design(int cells, uint64_t seed,
+                            const liberty::CellLibrary& lib) {
+  workload::WorkloadOptions opts;
+  opts.num_cells = cells;
+  opts.seed = seed;
+  opts.levels = 12;
+  opts.clock_scale = 0.7;
+  return workload::generate_design(lib, opts);
+}
+
+std::string temp_path(const char* name) {
+  return std::string(::testing::TempDir()) + name;
+}
+
+TEST(ActivityStream, PlacerEmitsParseableActivityRecords) {
+  liberty::CellLibrary lib = liberty::make_synthetic_library();
+  netlist::Design d = make_design(350, 75, lib);
+  const std::string path = temp_path("activity_records.jsonl");
+  {
+    IntrospectionSink sink;
+    ASSERT_TRUE(sink.open(path));
+    placer::GlobalPlacerOptions o;
+    o.mode = placer::PlacerMode::DiffTiming;
+    o.max_iters = 90;
+    o.min_iters = 40;
+    o.bins = 32;
+    o.timing_start_iter = 40;
+    o.timing_start_overflow = 1.0;
+    o.activity_sink = &sink;
+    o.activity.sample_period = 10;
+    o.activity.churn_top_k = 16;
+    sta::TimingGraph graph(d.netlist);
+    placer::GlobalPlacer gp(d, graph, o);
+    gp.run();
+    EXPECT_GT(sink.records_written(), 0u);
+  }
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.is_open());
+  std::string line;
+  size_t n_activity = 0, n_summary = 0;
+  int last_iter = -1;
+  while (std::getline(in, line)) {
+    ASSERT_FALSE(line.empty());
+    test::JsonValue v;
+    ASSERT_NO_THROW(v = test::JsonParser::parse(line)) << line;
+    ASSERT_TRUE(v.is_object());
+    EXPECT_EQ(v.str_or("design", "?"), "synthetic");
+    EXPECT_EQ(v.str_or("mode", "?"), "diff_timing");
+    const std::string type = v.str_or("type", "?");
+    if (type == "activity") {
+      ++n_activity;
+      const int iter = static_cast<int>(v.num_or("iter", -1.0));
+      EXPECT_GT(iter, last_iter);  // strictly advancing sample iterations
+      last_iter = iter;
+      ASSERT_TRUE(v.has("forward"));
+      const double frac = v.at("forward").num_or("frac", -1.0);
+      EXPECT_GE(frac, 0.0);
+      EXPECT_LE(frac, 1.0);
+      EXPECT_GE(v.at("forward").num_or("evals", 0.0), 1.0);
+      ASSERT_TRUE(v.has("backward"));
+      EXPECT_GE(v.at("backward").num_or("evals", 0.0), 1.0);
+      ASSERT_TRUE(v.has("slack"));
+      EXPECT_GT(v.at("slack").num_or("endpoints", 0.0), 0.0);
+      EXPECT_LE(v.at("slack").num_or("wns", 1.0),
+                v.at("slack").num_or("p50", 0.0) + 1e-12);
+      ASSERT_TRUE(v.has("churn"));
+      const double j = v.at("churn").num_or("jaccard", -1.0);
+      EXPECT_GE(j, 0.0);
+      EXPECT_LE(j, 1.0);
+    } else if (type == "activity_summary") {
+      ++n_summary;
+      EXPECT_GE(v.num_or("samples", 0.0), 1.0);
+      ASSERT_TRUE(v.has("fwd_frac"));
+      ASSERT_TRUE(v.has("headroom"));
+      EXPECT_GE(v.at("headroom").num_or("predicted_speedup", 0.0), 1.0);
+      EXPECT_DOUBLE_EQ(
+          predicted_incremental_speedup(
+              v.at("headroom").num_or("median_active_frac", 0.0)),
+          v.at("headroom").num_or("predicted_speedup", -1.0));
+    } else {
+      FAIL() << "unexpected record type " << type;
+    }
+  }
+  EXPECT_GE(n_activity, 2u);
+  EXPECT_EQ(n_summary, 1u);
+}
+
+}  // namespace
+}  // namespace dtp::obs

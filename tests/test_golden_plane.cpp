@@ -17,6 +17,7 @@
 
 #include "dtimer/diff_timer.h"
 #include "liberty/synth_library.h"
+#include "obs/introspect/introspect.h"
 #include "placer/global_placer.h"
 #include "sta/timing_graph.h"
 #include "workload/circuit_gen.h"
@@ -112,6 +113,39 @@ TEST(GoldenPlane, PlacerRunBitwiseIdentical) {
   popts.timing_start_overflow = 1.0;
   placer::GlobalPlacer gp(design, graph, popts);
   const placer::PlaceResult r = gp.run();
+
+  sta::Timer timer(design, graph, {});
+  const sta::TimingMetrics fm = timer.evaluate(design.cell_x, design.cell_y);
+  EXPECT_EQ(r.iterations, 60);
+  EXPECT_EQ(r.hpwl, 2840.6107604040371);
+  EXPECT_EQ(fm.wns, -0.49260237254498884);
+  EXPECT_EQ(fm.tns, -5.6065482582971482);
+}
+
+TEST(GoldenPlane, PlacerRunBitwiseIdenticalWithActivityTracking) {
+  // The activity layer is a pure observer: the exact same run with the
+  // tracker attached and activity records streaming must land on the
+  // identical placement and timing, bit for bit (same constants as above).
+  liberty::CellLibrary lib = liberty::make_synthetic_library();
+  workload::WorkloadOptions wopts;
+  wopts.seed = 7;
+  wopts.num_cells = 300;
+  netlist::Design design = workload::generate_design(lib, wopts, "golden300");
+  sta::TimingGraph graph(design.netlist);
+
+  obs::IntrospectionSink sink;
+  ASSERT_TRUE(
+      sink.open(std::string(::testing::TempDir()) + "golden_activity.jsonl"));
+  placer::GlobalPlacerOptions popts;
+  popts.mode = placer::PlacerMode::DiffTiming;
+  popts.max_iters = 60;
+  popts.timing_start_iter = 15;
+  popts.timing_start_overflow = 1.0;
+  popts.activity_sink = &sink;
+  popts.activity.sample_period = 10;
+  placer::GlobalPlacer gp(design, graph, popts);
+  const placer::PlaceResult r = gp.run();
+  EXPECT_GT(sink.records_written(), 0u);
 
   sta::Timer timer(design, graph, {});
   const sta::TimingMetrics fm = timer.evaluate(design.cell_x, design.cell_y);

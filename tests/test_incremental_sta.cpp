@@ -4,6 +4,7 @@
 
 #include "common/rng.h"
 #include "liberty/synth_library.h"
+#include "obs/activity/activity_tracker.h"
 #include "workload/circuit_gen.h"
 #include "sta/timer.h"
 
@@ -102,6 +103,78 @@ TEST(IncrementalSta, MovingIsolatedCellOnlyTouchesItsCone) {
   const auto m1 = t.evaluate_incremental(d.cell_x, d.cell_y, {{movers[3]}});
   EXPECT_NEAR(m0.wns, m1.wns, 1e-12);
   EXPECT_NEAR(m0.tns, m1.tns, 1e-12);
+}
+
+TEST(IncrementalSta, EmptyMoveSetRecordsZeroActivity) {
+  // The activity cross-check of the no-op edge case: an empty moved set must
+  // visit no pins and change nothing, and the attached tracker must observe
+  // exactly that.
+  const liberty::CellLibrary lib = liberty::make_synthetic_library();
+  Design d = make(lib, 200, 3400);
+  const TimingGraph graph(d.netlist);
+  Timer t(d, graph);
+  obs::ActivityTracker tracker;
+  t.set_activity_tracker(&tracker);
+  ASSERT_TRUE(tracker.configured());
+  const auto m0 = t.evaluate(d.cell_x, d.cell_y);
+  EXPECT_EQ(tracker.forward_evals(), 1u);
+  EXPECT_EQ(tracker.incremental_evals(), 0u);
+
+  const auto m1 = t.evaluate_incremental(d.cell_x, d.cell_y, {});
+  EXPECT_EQ(m0.wns, m1.wns);
+  EXPECT_EQ(m0.tns, m1.tns);
+  EXPECT_EQ(tracker.incremental_evals(), 1u);
+  EXPECT_EQ(tracker.last_incremental_visited(), 0u);
+  EXPECT_EQ(tracker.last_incremental_changed(), 0u);
+}
+
+TEST(IncrementalSta, AllCellsMovedMatchesFullEvaluationBitwise) {
+  // The other extreme: declaring every cell moved must reproduce a
+  // from-scratch evaluation bit for bit (the per-net rebuild and level-order
+  // cone sweep retime every reachable pin through the same code as the full
+  // pass), and the tracker's worklist counts must cover the whole graph.
+  const liberty::CellLibrary lib = liberty::make_synthetic_library();
+  Design d = make(lib, 300, 3500);
+  const TimingGraph graph(d.netlist);
+  Timer inc(d, graph);
+  inc.evaluate(d.cell_x, d.cell_y);
+
+  // Deterministic move of every movable cell.
+  const auto movers = movable_cells(d);
+  for (const CellId c : movers) {
+    d.cell_x[static_cast<size_t>(c)] += 0.5 * (static_cast<double>(c % 9) - 4.0);
+    d.cell_y[static_cast<size_t>(c)] += 0.5 * (static_cast<double>(c % 6) - 2.5);
+  }
+  std::vector<CellId> all_cells;
+  for (size_t c = 0; c < d.netlist.num_cells(); ++c)
+    all_cells.push_back(static_cast<CellId>(c));
+
+  obs::ActivityTracker tracker;
+  inc.set_activity_tracker(&tracker);
+  const auto m_inc = inc.evaluate_incremental(d.cell_x, d.cell_y, all_cells);
+
+  Timer full(d, graph);
+  const auto m_full = full.evaluate(d.cell_x, d.cell_y);
+  EXPECT_EQ(m_inc.wns, m_full.wns);
+  EXPECT_EQ(m_inc.tns, m_full.tns);
+  for (int l = 0; l < graph.num_levels(); ++l)
+    for (netlist::PinId p : graph.level(l))
+      for (int tr = 0; tr < 2; ++tr) {
+        const double a = inc.at(p, tr), b = full.at(p, tr);
+        if (std::isfinite(a) || std::isfinite(b)) {
+          ASSERT_EQ(a, b) << d.netlist.pin_full_name(p) << " tr " << tr;
+          ASSERT_EQ(inc.slew(p, tr), full.slew(p, tr))
+              << d.netlist.pin_full_name(p) << " tr " << tr;
+        }
+      }
+
+  // Activity cross-check: one incremental evaluation whose worklist visited
+  // a meaningful share of the graph, with changed <= visited.
+  EXPECT_EQ(tracker.incremental_evals(), 1u);
+  EXPECT_GT(tracker.last_incremental_visited(), 0u);
+  EXPECT_LE(tracker.last_incremental_changed(),
+            tracker.last_incremental_visited());
+  EXPECT_GT(tracker.last_incremental_changed(), 0u);
 }
 
 TEST(IncrementalSta, WorksWithEarlyModeEnabled) {

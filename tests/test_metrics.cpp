@@ -107,6 +107,38 @@ TEST_F(MetricsTest, HistogramHandlesSignedDomains) {
   EXPECT_EQ(h.bucket(0), 0u);
 }
 
+TEST_F(MetricsTest, HistogramStreamingQuantiles) {
+  Histogram& h = MetricsRegistry::instance().histogram("test.quant_hist");
+  // Exact below five observations: nearest-rank median of {0.5, 3, 10}.
+  h.observe(0.5);
+  h.observe(3.0);
+  h.observe(10.0);
+  EXPECT_DOUBLE_EQ(h.p50(), 3.0);
+
+  // Long pseudo-random uniform stream in [0, 100): the P² estimates must
+  // track the true quantiles within a few percent.
+  h.reset();
+  uint64_t s = 99;
+  for (int i = 0; i < 20000; ++i) {
+    s = s * 6364136223846793005ULL + 1442695040888963407ULL;
+    h.observe(100.0 * static_cast<double>(s >> 11) /
+              static_cast<double>(1ULL << 53));
+  }
+  EXPECT_NEAR(h.p50(), 50.0, 3.0);
+  EXPECT_NEAR(h.p95(), 95.0, 3.0);
+
+  // Quantiles ride along in the JSON serialization.
+  const JsonValue doc =
+      JsonParser::parse(MetricsRegistry::instance().to_json());
+  const JsonValue& hist = doc.at("histograms").at("test.quant_hist");
+  EXPECT_NEAR(hist.num("p50"), 50.0, 3.0);
+  EXPECT_NEAR(hist.num("p95"), 95.0, 3.0);
+
+  h.reset();
+  EXPECT_DOUBLE_EQ(h.p50(), 0.0);
+  EXPECT_DOUBLE_EQ(h.p95(), 0.0);
+}
+
 TEST_F(MetricsTest, HistogramSumHelper) {
   MetricsRegistry& reg = MetricsRegistry::instance();
   EXPECT_DOUBLE_EQ(reg.histogram_sum("test.absent"), 0.0);

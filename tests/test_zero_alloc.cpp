@@ -18,6 +18,9 @@
 
 #include "dtimer/diff_timer.h"
 #include "liberty/synth_library.h"
+#include "obs/activity/activity_tracker.h"
+#include "obs/activity/churn_tracker.h"
+#include "obs/activity/slack_sketch.h"
 #include "sta/timing_graph.h"
 #include "workload/circuit_gen.h"
 
@@ -107,6 +110,60 @@ TEST(ZeroAlloc, SteadyStateForwardBackwardIsAllocationFree) {
     EXPECT_EQ(after - before, 0L) << "heap allocation in steady-state round "
                                   << round;
   }
+}
+
+TEST(ZeroAlloc, SteadyStateWithActivityTrackingIsAllocationFree) {
+  // The activity layer's contract (DESIGN.md §11): with the tracker attached
+  // and the slack sketch + churn tracker observing every round, the steady
+  // state must still be allocation-free — all buffers are sized in
+  // configure(), and record/observe paths never touch the heap.
+  const liberty::CellLibrary lib = liberty::make_synthetic_library();
+  workload::WorkloadOptions opts;
+  opts.num_cells = 400;
+  opts.seed = 17;
+  const netlist::Design design = workload::generate_design(lib, opts);
+  const sta::TimingGraph graph(design.netlist);
+
+  dtimer::DiffTimerOptions dopts;
+  dopts.steiner_rebuild_period = 0;
+  dtimer::DiffTimer dt(design, graph, dopts);
+
+  obs::ActivityTracker tracker;
+  dt.set_activity_tracker(&tracker);
+  ASSERT_TRUE(tracker.configured());
+  obs::SlackSketch sketch;
+  obs::ChurnTracker churn;
+  churn.configure(graph.endpoints().size(), 32);
+
+  const size_t nc = design.netlist.num_cells();
+  std::vector<double> x(design.cell_x.begin(), design.cell_x.end());
+  std::vector<double> y(design.cell_y.begin(), design.cell_y.end());
+  std::vector<double> gx(nc, 0.0), gy(nc, 0.0);
+
+  dt.forward(x, y, /*force_rebuild=*/true);
+  dt.backward(1.0, 1.0, gx, gy);
+  sketch.observe_epoch(dt.timer().endpoint_slack());
+  churn.observe(dt.timer().endpoint_slack());
+  nudge(design, x, y, 0);
+  dt.forward(x, y, /*force_rebuild=*/false);
+  dt.backward(0.6, 0.4, gx, gy);
+  sketch.observe_epoch(dt.timer().endpoint_slack());
+  churn.observe(dt.timer().endpoint_slack());
+
+  for (int round = 1; round <= 3; ++round) {
+    nudge(design, x, y, round);
+    const long before = g_alloc_count.load(std::memory_order_relaxed);
+    dt.forward(x, y, /*force_rebuild=*/false);
+    dt.backward(0.5, 0.5, gx, gy);
+    sketch.observe_epoch(dt.timer().endpoint_slack());
+    churn.observe(dt.timer().endpoint_slack());
+    const long after = g_alloc_count.load(std::memory_order_relaxed);
+    EXPECT_EQ(after - before, 0L)
+        << "heap allocation in tracked steady-state round " << round;
+  }
+  EXPECT_GE(tracker.forward_evals(), 5u);
+  EXPECT_GE(tracker.backward_evals(), 5u);
+  EXPECT_GT(tracker.fwd_active_total(), 0u);  // nudges really moved timing
 }
 
 TEST(ZeroAlloc, HoldCornerSteadyStateIsAllocationFree) {

@@ -202,6 +202,10 @@ int main(int argc, char** argv) {
   const std::string out_path =
       cli::arg_str(argc, argv, "--out", ("BENCH_" + suite + ".json").c_str());
   const char* timeline_path = cli::arg_str(argc, argv, "--timeline-out", nullptr);
+  // Provenance stamps: recorded in the dtp.bench.v1 header so BENCH files in
+  // a directory form a labeled, attributable trajectory.
+  const std::string commit = cli::arg_str(argc, argv, "--commit", "");
+  const std::string label = cli::arg_str(argc, argv, "--label", "");
 
   if (cli::arg_flag(argc, argv, "--list")) {
     for (const char* s : {"smoke", "small", "medium", "large"}) {
@@ -218,7 +222,8 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: dtp_bench --suite smoke|small|medium|large "
                  "[--repeats N] [--out PATH] [--sample-ms N] "
-                 "[--timeline-out PATH] [--list]\n");
+                 "[--timeline-out PATH] [--commit SHA] [--label STR] "
+                 "[--list]\n");
     return 1;
   }
 
@@ -239,6 +244,8 @@ int main(int argc, char** argv) {
   suite_result.suite = suite;
   suite_result.repeats = repeats;
   suite_result.threads = ThreadPool::global().num_threads();
+  suite_result.commit = commit;
+  suite_result.label = label;
   suite_result.counter_probe = counters.read();
 
   for (const CellDef& cell : cells) {

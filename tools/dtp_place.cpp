@@ -68,6 +68,12 @@ void usage() {
                "(default 25 iterations)\n"
                "                 [--attrib-top M]       # cells per "
                "attribution record (default 10)\n"
+               "                 [--activity-out F.jsonl]  # timing-activity "
+               "stream: activity / activity_summary records\n"
+               "                 [--activity-every N]   # activity sample "
+               "period (default 25; with --paths-out and no --activity-out,\n"
+               "                                        # records share the "
+               "introspection stream)\n"
                "                 [--progress [N]]       # stderr heartbeat "
                "every N iters (default 50), ignores --log-level\n"
                "                 [--log-level debug|info|warn|error|silent]\n"
@@ -115,6 +121,10 @@ int main(int argc, char** argv) {
   std::string run_design = "?";
   std::string run_mode = "?";
   obs::IntrospectionSink introspect_sink;
+  obs::IntrospectionSink activity_sink;
+  // Points at whichever sink carries activity records: the dedicated
+  // --activity-out stream, or the shared --paths-out stream.
+  obs::IntrospectionSink* act_sink = nullptr;
   auto flush_trace_quiet = [&] {
     if (trace_path == nullptr) return;
     obs::Tracer::instance().disable();
@@ -132,8 +142,13 @@ int main(int argc, char** argv) {
                                    {});
       }
     }
+    // The activity stream ends with an explicit abort marker (PR 3 contract):
+    // a crashed run's trajectory stays parseable and self-describing.
+    if (act_sink != nullptr && act_sink->is_open())
+      act_sink->write_abort(stage, error, code);
     flush_trace_quiet();
     introspect_sink.close();
+    activity_sink.close();
   };
 
   try {
@@ -244,6 +259,30 @@ int main(int argc, char** argv) {
           arg_int(argc, argv, "--introspect-every", 25);
       popts.introspect.top_m_cells = arg_int(argc, argv, "--attrib-top", 10);
     }
+    // Timing-activity telemetry (DESIGN.md §11): its own stream, or piggyback
+    // on the introspection stream when only a cadence was requested.
+    const char* activity_path = arg_str(argc, argv, "--activity-out", nullptr);
+    const int activity_every = arg_int(argc, argv, "--activity-every", 25);
+    if (activity_path != nullptr) {
+      if (!activity_sink.open(activity_path)) {
+        std::fprintf(stderr, "dtp_place: cannot write %s\n", activity_path);
+        return 1;
+      }
+      activity_sink.set_meta(design->name, mode);
+      act_sink = &activity_sink;
+    } else if (cli::arg_str(argc, argv, "--activity-every", nullptr) != nullptr) {
+      if (paths_path == nullptr) {
+        std::fprintf(stderr,
+                     "dtp_place: --activity-every needs --activity-out or "
+                     "--paths-out for a stream\n");
+        return 1;
+      }
+      act_sink = &introspect_sink;
+    }
+    if (act_sink != nullptr) {
+      popts.activity_sink = act_sink;
+      popts.activity.sample_period = activity_every;
+    }
     popts.verbose = arg_flag(argc, argv, "--verbose");
     popts.robust.enabled = guards;
     popts.robust.max_recoveries =
@@ -263,15 +302,22 @@ int main(int argc, char** argv) {
       std::printf("run health: %s (%d rollback(s), %d timing fallback(s))\n",
                   robust::run_health_name(res.health), res.rollbacks,
                   res.timing_fallbacks);
+    // Run artifacts are written before the failure exit below: a run that
+    // exhausted its recovery budget is exactly the one worth analyzing.
+    const bool run_failed = res.health == robust::RunHealth::Failed;
+    if (act_sink != nullptr && run_failed)
+      act_sink->write_abort("placement", "recovery budget exhausted", 3);
     if (paths_path != nullptr) {
       std::printf("wrote %s (%zu introspection records)\n", paths_path,
                   introspect_sink.records_written());
       introspect_sink.close();
     }
-
-    // Run artifacts are written before the failure exit below: a run that
-    // exhausted its recovery budget is exactly the one worth analyzing.
-    const bool run_failed = res.health == robust::RunHealth::Failed;
+    if (activity_sink.is_open()) {
+      std::printf("wrote %s (%zu activity-stream records)\n",
+                  arg_str(argc, argv, "--activity-out", "?"),
+                  activity_sink.records_written());
+      activity_sink.close();
+    }
     if (metrics_path != nullptr) {
       const placer::RunMeta meta{design->name, mode};
       obs::JsonlWriter jsonl;

@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "common/json_parse.h"
+#include "common/json_writer.h"
 #include "obs/prof/bench_json.h"
 
 namespace {
@@ -41,6 +42,7 @@ using dtp::JsonValue;
 
 struct RunData {
   std::vector<JsonValue> iters, recoveries, paths, attribs, kernels, aborts;
+  std::vector<JsonValue> activities, activity_summaries;
   std::vector<JsonValue> benches;  // whole BENCH_*.json documents
   JsonValue run_end;
   bool has_run_end = false;
@@ -129,6 +131,9 @@ bool load_file(const std::string& path, RunData& run) {
     else if (type == "path") run.paths.push_back(std::move(v));
     else if (type == "grad_attrib") run.attribs.push_back(std::move(v));
     else if (type == "kernel_profile") run.kernels.push_back(std::move(v));
+    else if (type == "activity") run.activities.push_back(std::move(v));
+    else if (type == "activity_summary")
+      run.activity_summaries.push_back(std::move(v));
     else if (type == "abort") run.aborts.push_back(std::move(v));
     else if (type == "run_end") {
       run.run_end = std::move(v);
@@ -381,6 +386,120 @@ void print_report(const RunData& run) {
   std::printf("\n");
 }
 
+// -------------------------------------------------------------- activity ----
+
+double median_of(std::vector<double> xs) {
+  if (xs.empty()) return 0.0;
+  std::sort(xs.begin(), xs.end());
+  const size_t n = xs.size();
+  return n % 2 == 1 ? xs[n / 2] : 0.5 * (xs[n / 2 - 1] + xs[n / 2]);
+}
+
+// The --activity section: convergence-activity trajectory from the "activity"
+// record stream plus the incremental-headroom estimate.  The headroom comes
+// from the run-end "activity_summary" when present; otherwise it is
+// reconstructed as the median forward-active fraction over the second half of
+// the trajectory (the settled regime).
+void print_activity(const RunData& run) {
+  if (run.activities.empty() && run.activity_summaries.empty()) {
+    std::printf("\n-- activity --\n");
+    std::printf("no activity records (run dtp_place with --activity-every N "
+                "[--activity-out FILE])\n");
+    return;
+  }
+
+  if (!run.activities.empty()) {
+    std::printf("\n-- activity trajectory (%zu samples) --\n",
+                run.activities.size());
+    std::printf("%6s %9s %9s %8s %6s %6s %10s %10s\n", "iter", "fwd act",
+                "bwd live", "churn", "in", "out", "wns", "slack p50");
+    for (const JsonValue& a : run.activities) {
+      const double fwd =
+          a.has("forward") ? a.at("forward").num_or("frac", 0.0) : 0.0;
+      const double bwd =
+          a.has("backward") ? a.at("backward").num_or("frac", 0.0) : 0.0;
+      double churn = 1.0, entered = 0.0, left = 0.0;
+      if (a.has("churn")) {
+        churn = a.at("churn").num_or("jaccard", 1.0);
+        entered = a.at("churn").num_or("entered", 0.0);
+        left = a.at("churn").num_or("left", 0.0);
+      }
+      double wns = 0.0, p50 = 0.0;
+      if (a.has("slack")) {
+        wns = a.at("slack").num_or("wns", 0.0);
+        p50 = a.at("slack").num_or("p50", 0.0);
+      }
+      std::printf("%6d %8.1f%% %8.1f%% %8.3f %6d %6d %10.4f %10.4f",
+                  static_cast<int>(a.num_or("iter", 0.0)), 100.0 * fwd,
+                  100.0 * bwd, churn, static_cast<int>(entered),
+                  static_cast<int>(left), wns, p50);
+      if (a.has("incremental") && a.at("incremental").is_object())
+        std::printf("  inc %d/%d",
+                    static_cast<int>(
+                        a.at("incremental").num_or("changed", 0.0)),
+                    static_cast<int>(
+                        a.at("incremental").num_or("visited", 0.0)));
+      std::printf("\n");
+    }
+  }
+
+  double median_frac = 0.0, speedup = 0.0;
+  int after_iter = 0;
+  bool have_headroom = false;
+  if (const JsonValue* s = last_of(run.activity_summaries)) {
+    std::printf("\n-- activity summary (%d samples) --\n",
+                static_cast<int>(s->num_or("samples", 0.0)));
+    if (s->has("fwd_frac") && s->at("fwd_frac").is_object()) {
+      const JsonValue& f = s->at("fwd_frac");
+      std::printf("forward active: p50 %.1f%%  p95 %.1f%%  min %.1f%%  "
+                  "last %.1f%%\n",
+                  100.0 * f.num_or("p50", 0.0), 100.0 * f.num_or("p95", 0.0),
+                  100.0 * f.num_or("min", 0.0), 100.0 * f.num_or("last", 0.0));
+    }
+    if (s->has("bwd_frac") && s->at("bwd_frac").is_object())
+      std::printf("backward live:  p50 %.1f%%  last %.1f%%\n",
+                  100.0 * s->at("bwd_frac").num_or("p50", 0.0),
+                  100.0 * s->at("bwd_frac").num_or("last", 0.0));
+    if (s->has("churn") && s->at("churn").is_object())
+      std::printf("criticality churn: jaccard p50 %.3f  last %.3f\n",
+                  s->at("churn").num_or("jaccard_p50", 1.0),
+                  s->at("churn").num_or("jaccard_last", 1.0));
+    if (s->has("slack") && s->at("slack").is_object()) {
+      const JsonValue& sl = s->at("slack");
+      std::printf("slack: WNS %.4f -> %.4f  p1 %.4f  p10 %.4f  p50 %.4f  "
+                  "%d violating endpoints\n",
+                  sl.num_or("first_wns", 0.0), sl.num_or("wns", 0.0),
+                  sl.num_or("p1", 0.0), sl.num_or("p10", 0.0),
+                  sl.num_or("p50", 0.0),
+                  static_cast<int>(sl.num_or("violating", 0.0)));
+    }
+    if (s->has("headroom") && s->at("headroom").is_object()) {
+      median_frac = s->at("headroom").num_or("median_active_frac", 0.0);
+      speedup = s->at("headroom").num_or("predicted_speedup", 0.0);
+      after_iter = static_cast<int>(s->num_or("first_iter", 0.0));
+      have_headroom = true;
+    }
+  }
+  if (!have_headroom && !run.activities.empty()) {
+    std::vector<double> xs;
+    const size_t n = run.activities.size();
+    for (size_t i = n / 2; i < n; ++i)
+      if (run.activities[i].has("forward"))
+        xs.push_back(run.activities[i].at("forward").num_or("frac", 0.0));
+    if (!xs.empty()) {
+      median_frac = median_of(std::move(xs));
+      after_iter =
+          static_cast<int>(run.activities[n / 2].num_or("iter", 0.0));
+      speedup = 1.0 / std::clamp(median_frac, 1e-3, 1.0);
+      have_headroom = true;
+    }
+  }
+  if (have_headroom)
+    std::printf("headroom: median %.1f%% of pins active after iter %d; "
+                "predicted incremental speedup ~%.1fx\n",
+                100.0 * median_frac, after_iter, speedup);
+}
+
 // ------------------------------------------------------------------ diff ----
 
 struct MetricCheck {
@@ -466,17 +585,28 @@ int run_diff(const RunData& a, const RunData& b, double threshold) {
     std::printf("path churn: %zu/%zu common endpoints (jaccard %.2f)\n", common,
                 uni, uni > 0 ? double(common) / double(uni) : 1.0);
   }
-  if (regression) {
+  if (regression)
     std::printf("RESULT: REGRESSION beyond threshold %.3g\n", threshold);
-    return 2;
-  }
-  std::printf("RESULT: ok\n");
-  return 0;
+  else
+    std::printf("RESULT: ok\n");
+  // Final single-line machine-readable verdict, so CI parses the outcome
+  // instead of scraping the table (mirrors --bench-diff).
+  dtp::JsonWriter verdict;
+  verdict.begin_object();
+  verdict.key("ok").value(!regression);
+  verdict.key("regressions").begin_array();
+  for (const MetricCheck& c : checks)
+    if (c.regressed) verdict.value(std::string(c.name));
+  verdict.end_array();
+  verdict.end_object();
+  std::printf("%s\n", verdict.str().c_str());
+  return regression ? 2 : 0;
 }
 
 void usage() {
   std::fprintf(stderr,
-               "usage: dtp_report [--require TYPE[,TYPE...]] FILE.jsonl...\n"
+               "usage: dtp_report [--require TYPE[,TYPE...]] [--activity] "
+               "FILE.jsonl...\n"
                "       dtp_report --diff A.jsonl[,A2.jsonl] B.jsonl[,B2.jsonl] "
                "[--threshold 0.05]\n"
                "       dtp_report --bench-diff OLD.json NEW.json "
@@ -492,6 +622,7 @@ int main(int argc, char** argv) {
   std::string require;
   bool diff = false;
   bool bench_diff_mode = false;
+  bool activity_section = false;
   std::vector<std::string> diff_args;
   double threshold = 0.05;
   bool threshold_set = false;
@@ -509,6 +640,8 @@ int main(int argc, char** argv) {
       diff = true;
     } else if (arg == "--bench-diff") {
       bench_diff_mode = true;
+    } else if (arg == "--activity") {
+      activity_section = true;
     } else if (!arg.empty() && arg[0] == '-') {
       std::fprintf(stderr, "dtp_report: unknown option %s\n", arg.c_str());
       usage();
@@ -553,6 +686,7 @@ int main(int argc, char** argv) {
   RunData run;
   if (!load_files(files, run)) return 1;
   print_report(run);
+  if (activity_section) print_activity(run);
 
   int rc = 0;
   for (const std::string& type : split_commas(require)) {
