@@ -1,5 +1,6 @@
 #include "liberty/liberty_io.h"
 
+#include <algorithm>
 #include <cctype>
 #include <fstream>
 #include <iomanip>
@@ -231,7 +232,13 @@ struct Group {
   }
   double attr_double(const std::string& name, double fallback) const {
     const std::string* s = attr(name);
-    return s ? std::stod(*s) : fallback;
+    if (!s) return fallback;
+    try {
+      return std::stod(*s);
+    } catch (const std::exception&) {
+      throw std::runtime_error("malformed numeric attribute '" + name +
+                               "': '" + *s + "'");
+    }
   }
 };
 
@@ -271,11 +278,19 @@ class Parser {
     }
     advance();  // ')'
     expect_punct("{");
-    parse_body(*g);
+    parse_body(*g, 0);
     return g;
   }
 
-  void parse_body(Group& g) {
+  // Real Liberty nests a handful of levels (library/cell/pin/timing/table);
+  // anything deeper is malformed or hostile input, and the recursion must be
+  // refused with a diagnostic before it can overflow the stack.
+  static constexpr int kMaxGroupDepth = 64;
+
+  void parse_body(Group& g, int depth) {
+    if (depth > kMaxGroupDepth)
+      lex_.fail("group nesting deeper than " +
+                std::to_string(kMaxGroupDepth) + " levels");
     for (;;) {
       if (cur_.kind == Token::Punct && cur_.text == "}") {
         advance();
@@ -318,7 +333,7 @@ class Parser {
           auto sub = std::make_unique<Group>();
           sub->type = name;
           sub->args = std::move(args);
-          parse_body(*sub);
+          parse_body(*sub, depth + 1);
           g.groups.push_back(std::move(sub));
         } else {
           expect_punct(";");
@@ -343,7 +358,13 @@ std::vector<double> parse_number_list(const std::string& s) {
     size_t b = token.find_first_not_of(" \t\n\r");
     if (b == std::string::npos) continue;
     size_t e = token.find_last_not_of(" \t\n\r");
-    out.push_back(std::stod(token.substr(b, e - b + 1)));
+    // std::stod throws logic_error-family exceptions; re-map everything to
+    // the parser's runtime_error contract so hostile input cannot escape it.
+    try {
+      out.push_back(std::stod(token.substr(b, e - b + 1)));
+    } catch (const std::exception&) {
+      throw std::runtime_error("malformed number in list: '" + token + "'");
+    }
   }
   return out;
 }
@@ -362,6 +383,17 @@ Lut parse_lut_group(const Group& g) {
     }
   }
   if (vals.empty()) vals.assign(xs.size() * ys.size(), 0.0);
+  // The Lut constructor asserts these invariants (they hold by construction
+  // everywhere else); file input must reject them as parse errors instead.
+  if (xs.empty() || ys.empty())
+    throw std::runtime_error("lut with an empty index axis");
+  if (vals.size() != xs.size() * ys.size())
+    throw std::runtime_error(
+        "lut value count " + std::to_string(vals.size()) + " != " +
+        std::to_string(xs.size()) + "x" + std::to_string(ys.size()));
+  if (!std::is_sorted(xs.begin(), xs.end()) ||
+      !std::is_sorted(ys.begin(), ys.end()))
+    throw std::runtime_error("lut index axes must be ascending");
   return Lut(std::move(xs), std::move(ys), std::move(vals));
 }
 

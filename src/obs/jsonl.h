@@ -18,9 +18,11 @@ class JsonlWriter {
   JsonlWriter(const JsonlWriter&) = delete;
   JsonlWriter& operator=(const JsonlWriter&) = delete;
 
-  bool open(const std::string& path) {
+  // append=true reopens an existing stream without truncating it — the
+  // multi-attempt per-job streams and the dtp_serve journal depend on it.
+  bool open(const std::string& path, bool append = false) {
     close();
-    file_ = std::fopen(path.c_str(), "w");
+    file_ = std::fopen(path.c_str(), append ? "a" : "w");
     return file_ != nullptr;
   }
   bool is_open() const { return file_ != nullptr; }

@@ -74,13 +74,37 @@ class Histogram {
 
   void observe(double v);
 
-  uint64_t count() const { return count_; }
-  double sum() const { return sum_; }
-  double min() const { return count_ ? min_ : 0.0; }
-  double max() const { return count_ ? max_ : 0.0; }
-  double mean() const { return count_ ? sum_ / static_cast<double>(count_) : 0.0; }
-  uint64_t bucket(int k) const { return buckets_[k]; }
-  uint64_t neg_bucket(int k) const { return neg_buckets_[k]; }
+  // Readers take the same per-histogram mutex as observe(): registry
+  // histograms are shared across worker threads (dtp_serve runs one placer
+  // per worker), so unguarded reads would race with concurrent observes.
+  uint64_t count() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return count_;
+  }
+  double sum() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return sum_;
+  }
+  double min() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return count_ ? min_ : 0.0;
+  }
+  double max() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return count_ ? max_ : 0.0;
+  }
+  double mean() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return count_ ? sum_ / static_cast<double>(count_) : 0.0;
+  }
+  uint64_t bucket(int k) const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return buckets_[k];
+  }
+  uint64_t neg_bucket(int k) const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return neg_buckets_[k];
+  }
   // Streaming P² estimates over all observations since the last reset
   // (exact below five observations); 0.0 when empty.
   double p50() const;

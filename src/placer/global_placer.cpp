@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstdio>
 #include <span>
+#include <stdexcept>
 #include <string>
 
 #include "common/logger.h"
@@ -15,6 +16,18 @@
 namespace dtp::placer {
 
 using netlist::CellId;
+
+const char* stop_reason_name(StopReason r) {
+  switch (r) {
+    case StopReason::Converged: return "converged";
+    case StopReason::MaxIters: return "max_iters";
+    case StopReason::Cancelled: return "cancelled";
+    case StopReason::Paused: return "paused";
+    case StopReason::TimeBudget: return "time_budget";
+    case StopReason::Aborted: return "aborted";
+  }
+  return "?";
+}
 
 GlobalPlacer::GlobalPlacer(netlist::Design& design, const sta::TimingGraph& graph,
                            GlobalPlacerOptions options)
@@ -177,6 +190,31 @@ PlaceResult GlobalPlacer::run() {
   robust::StateBlob opt_blob;
   int ckpt_ordinal = 0;
 
+  // ---- resume from a sealed checkpoint (DESIGN.md §12) ----
+  // The checkpoint carries positions, the four driver scalars, and the opaque
+  // optimizer blob; the descent continues from the checkpointed iteration.
+  int start_iter = 0;
+  if (options_.resume_from != nullptr) {
+    const robust::Checkpoint& rck = *options_.resume_from;
+    if (!rck.verify())
+      throw std::runtime_error(
+          "resume checkpoint failed checksum verification");
+    double scalars[4] = {0.0, 0.0, 0.0, 0.0};
+    robust::StateBlob blob;
+    if (rck.num_cells() != n || rck.num_scalars() != 4 ||
+        !rck.restore(x, y, std::span<double>(scalars, 4), blob))
+      throw std::runtime_error(
+          "resume checkpoint does not match this design (size mismatch)");
+    optimizer_->restore_state(blob);
+    lambda = scalars[0];
+    t_mix = scalars[1];
+    timing_scale = scalars[2];
+    timing_active = scalars[3] != 0.0;
+    start_iter = std::max(0, rck.iter());
+    DTP_LOG_INFO("resuming placement from checkpoint at iteration %d",
+                 start_iter);
+  }
+
   auto capture_checkpoint = [&](int at_iter) {
     // Never snapshot poisoned coordinates (a position fault lands at the end
     // of an iteration; the top-of-loop guard has not seen it yet).
@@ -329,18 +367,67 @@ PlaceResult GlobalPlacer::run() {
     sink->write_kernel_profile(at_iter, level_sizes, fwd, bwd);
   };
 
-  int iter = 0;
+  int iter = start_iter;
+  StopReason stop_reason = StopReason::MaxIters;
+  // Set once the wall-clock budget (or an external degrade request) cuts
+  // timing forces for the remainder of the run — cheaper iterations so the
+  // run lands inside its budget with a valid placement.
+  bool timing_cut = false;
   Stopwatch phase_clock;
   // Process-CPU time per phase (same order as PhaseBreakdown: wl, density,
   // rsmt, sta_fwd, sta_bwd, step).  Wall ms already flow through the metrics
   // histograms; CPU seconds accumulate here directly.
   double phase_cpu[6] = {0, 0, 0, 0, 0, 0};
   for (; iter < options_.max_iters; ++iter) {
+    // ---- control plane: poll external requests between iterations, where
+    // no kernel is mid-flight and state is consistent (DESIGN.md §12) ----
+    if (options_.control != nullptr) {
+      PlacerControl& ctl = *options_.control;
+      ctl.current_iter.store(iter, std::memory_order_relaxed);
+      if (ctl.cancel_at_iter >= 0 && iter >= ctl.cancel_at_iter)
+        ctl.request_cancel();
+      if (ctl.pause_at_iter >= 0 && iter >= ctl.pause_at_iter)
+        ctl.request_pause();
+      const uint32_t req = ctl.request.load(std::memory_order_acquire);
+      if (req & PlacerControl::kCancel) {
+        stop_reason = StopReason::Cancelled;
+        break;
+      }
+      if (req & PlacerControl::kPause) {
+        stop_reason = StopReason::Paused;
+        break;
+      }
+      if ((req & PlacerControl::kDegradeTiming) && !timing_cut) {
+        timing_cut = true;
+        rc.record({iter, "timing_cut", "degrade", rc.step_scale(),
+                   "external degrade request: timing forces dropped"});
+      }
+    }
+    // ---- wall-clock budget: degrade, then stop — never a hard kill ----
+    if (options_.time_budget_sec > 0.0) {
+      const double elapsed = total_clock.elapsed_sec();
+      if (elapsed >= options_.time_budget_sec) {
+        stop_reason = StopReason::TimeBudget;
+        rc.record({iter, "time_budget", "stop", rc.step_scale(),
+                   "wall-clock budget exhausted; stopping with a valid "
+                   "placement"});
+        break;
+      }
+      if (!timing_cut && options_.mode != PlacerMode::WirelengthOnly &&
+          elapsed >=
+              options_.time_budget_degrade_frac * options_.time_budget_sec) {
+        timing_cut = true;
+        rc.record({iter, "time_budget", "degrade", rc.step_scale(),
+                   "timing forces dropped to meet the wall-clock budget"});
+      }
+    }
     // ---- guard: coordinates must be finite before the kernels index bins
     // with them (a NaN position is undefined behaviour in the splatter) ----
     if (guards && !robust::HealthMonitor::all_finite(x, y)) {
-      if (!handle_fault(iter, "nan_position", "non-finite cell coordinates"))
+      if (!handle_fault(iter, "nan_position", "non-finite cell coordinates")) {
+        stop_reason = StopReason::Aborted;
         break;
+      }
       continue;
     }
     if (guards && rc.should_checkpoint(iter)) capture_checkpoint(iter);
@@ -406,7 +493,7 @@ PlaceResult GlobalPlacer::run() {
     // backward passes) the placer runs on pure wirelength+density forces and
     // skips the timer entirely; the controller re-enables it after cooldown.
     const bool timing_suspended =
-        guards && timing_active && rc.timing_suspended(iter);
+        (guards && timing_active && rc.timing_suspended(iter)) || timing_cut;
     if (timing_active && !timing_suspended &&
         options_.mode == PlacerMode::DiffTiming) {
       Stopwatch sta_clock;
@@ -494,7 +581,8 @@ PlaceResult GlobalPlacer::run() {
         }
         t_mix = std::min(options_.t_max, t_mix * options_.t_growth);
       }
-    } else if (timing_active && options_.mode == PlacerMode::NetWeighting &&
+    } else if (timing_active && !timing_cut &&
+               options_.mode == PlacerMode::NetWeighting &&
                (iter - options_.timing_start_iter) % options_.nw_period == 0) {
       Stopwatch sta_clock;
       const auto tm = exact_timer_->evaluate(x, y);
@@ -539,7 +627,10 @@ PlaceResult GlobalPlacer::run() {
       // Attribute the poisoned gradient (NaNs serialize as null) so the
       // rollback decision is explainable from the artifact alone.
       emit_attribution(iter, "nan_grad");
-      if (!handle_fault(iter, "nan_grad", "non-finite descent gradient")) break;
+      if (!handle_fault(iter, "nan_grad", "non-finite descent gradient")) {
+        stop_reason = StopReason::Aborted;
+        break;
+      }
       continue;
     }
     optimizer_->step(x, y, g_x, g_y);
@@ -613,14 +704,18 @@ PlaceResult GlobalPlacer::run() {
       if (verdict != robust::Verdict::Healthy) {
         emit_attribution(iter, "divergence");
         if (!handle_fault(iter, "divergence",
-                          "hpwl/overflow blow-up vs trailing window"))
+                          "hpwl/overflow blow-up vs trailing window")) {
+          stop_reason = StopReason::Aborted;
           break;
+        }
         continue;
       }
     }
 
-    if (iter >= options_.min_iters && ds.overflow < options_.stop_overflow)
+    if (iter >= options_.min_iters && ds.overflow < options_.stop_overflow) {
+      stop_reason = StopReason::Converged;
       break;
+    }
   }
 
   // Final introspection sample so the artifact always ends with the converged
@@ -636,7 +731,32 @@ PlaceResult GlobalPlacer::run() {
     asink->write_activity_summary(activity_accum_, *activity_tracker_,
                                   slack_sketch_);
 
-  result.iterations = std::min(iter + 1, options_.max_iters);
+  // A loop that stopped at its top (pause/cancel/budget poll) never executed
+  // `iter`; every other exit completed it.
+  const bool stopped_at_top = stop_reason == StopReason::Cancelled ||
+                              stop_reason == StopReason::Paused ||
+                              stop_reason == StopReason::TimeBudget;
+  result.iterations =
+      std::min(stopped_at_top ? iter : iter + 1, options_.max_iters);
+  result.start_iter = start_iter;
+  result.stop_reason = stop_reason;
+  // Seal the final optimization state for pause/resume and --ckpt-out.  The
+  // checkpointed iteration is where a resumed run continues: the *next*
+  // iteration after a completed one, the interrupted iteration itself when
+  // the loop stopped at its top (pause/cancel/budget see the state the
+  // iteration would have started from).
+  if (options_.checkpoint_out != nullptr) {
+    if (robust::HealthMonitor::all_finite(x, y)) {
+      const int resume_iter =
+          std::min(stopped_at_top ? iter : iter + 1, options_.max_iters);
+      optimizer_->save_state(opt_blob);
+      const double scalars[4] = {lambda, t_mix, timing_scale,
+                                 timing_active ? 1.0 : 0.0};
+      options_.checkpoint_out->capture(resume_iter, x, y, scalars, opt_blob);
+    } else {
+      options_.checkpoint_out->invalidate();
+    }
+  }
   result.hpwl = wl_->hpwl_unweighted(x, y);
   result.overflow = result.history.empty() ? 0.0 : result.history.back().overflow;
   result.runtime_sec = total_clock.elapsed_sec();

@@ -24,6 +24,7 @@
 // flung across the die).  Defaults below are calibrated on the miniblue suite.
 #pragma once
 
+#include <atomic>
 #include <functional>
 #include <memory>
 #include <vector>
@@ -41,6 +42,46 @@
 namespace dtp::placer {
 
 enum class PlacerMode : uint8_t { WirelengthOnly, NetWeighting, DiffTiming };
+
+// Why the descent loop stopped (DESIGN.md §12).  Everything except Aborted
+// leaves a valid (finite, in-core) placement in the design.
+enum class StopReason : uint8_t {
+  Converged,   // overflow target reached
+  MaxIters,    // iteration budget exhausted
+  Cancelled,   // PlacerControl cancel request honoured
+  Paused,      // PlacerControl pause request honoured (checkpoint captured)
+  TimeBudget,  // wall-clock budget expired (graceful early stop)
+  Aborted,     // recovery budget exhausted (health == Failed)
+};
+
+const char* stop_reason_name(StopReason r);
+
+// Cooperative control plane for a running placement (DESIGN.md §12): another
+// thread (a daemon scheduler, a signal handler) sets requests; the run loop
+// polls them once per iteration, so every honour point sits between kernels
+// where state is consistent.  The *_at_iter hooks fire the matching request
+// from inside the loop at a fixed iteration — the deterministic counterpart
+// used by the fault-injection soak tests.
+struct PlacerControl {
+  static constexpr uint32_t kCancel = 1u;
+  static constexpr uint32_t kPause = 2u;
+  static constexpr uint32_t kDegradeTiming = 4u;
+
+  std::atomic<uint32_t> request{0};
+  // Progress mirror: last iteration the loop started (read-only observability
+  // for watchdogs; -1 until the loop runs).
+  std::atomic<int> current_iter{-1};
+  // Deterministic trigger points; -1 disables.  Set before run() starts.
+  int cancel_at_iter = -1;
+  int pause_at_iter = -1;
+
+  void request_cancel() { request.fetch_or(kCancel, std::memory_order_release); }
+  void request_pause() { request.fetch_or(kPause, std::memory_order_release); }
+  void request_degrade_timing() {
+    request.fetch_or(kDegradeTiming, std::memory_order_release);
+  }
+  void clear() { request.store(0, std::memory_order_release); }
+};
 
 struct GlobalPlacerOptions {
   PlacerMode mode = PlacerMode::WirelengthOnly;
@@ -124,6 +165,27 @@ struct GlobalPlacerOptions {
   // log level — the operator's heartbeat for long runs.
   int progress_every = 0;
 
+  // Cooperative control plane (DESIGN.md §12).  Not owned; may be shared with
+  // a scheduler thread or a signal handler.  nullptr = uncontrolled run.
+  PlacerControl* control = nullptr;
+
+  // Wall-clock budget in seconds (0 = none).  Crossing
+  // time_budget_degrade_frac of the budget permanently drops timing forces
+  // (cheap WL+density iterations for the remainder); crossing the budget
+  // stops the run with StopReason::TimeBudget and a valid placement — never
+  // a hard kill mid-kernel.
+  double time_budget_sec = 0.0;
+  double time_budget_degrade_frac = 0.7;
+
+  // Resume support (DESIGN.md §12): start the descent from a verified
+  // checkpoint instead of the initial positions.  The checkpoint must come
+  // from a run over the same design (sizes are enforced).  Not owned.
+  const robust::Checkpoint* resume_from = nullptr;
+  // When set, run() seals the final optimization state into this checkpoint
+  // on every exit path with finite coordinates — the pause/preemption and
+  // --ckpt-out hook.  Not owned.
+  robust::Checkpoint* checkpoint_out = nullptr;
+
   bool verbose = false;
 };
 
@@ -166,6 +228,8 @@ struct PhaseBreakdown {
 
 struct PlaceResult {
   int iterations = 0;
+  int start_iter = 0;           // first executed iteration (resume offset)
+  StopReason stop_reason = StopReason::Converged;
   double hpwl = 0.0;            // final unweighted HPWL
   double overflow = 0.0;
   double runtime_sec = 0.0;

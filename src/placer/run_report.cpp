@@ -84,10 +84,23 @@ void append_run_jsonl(obs::JsonlWriter& out, const PlaceResult& result,
     w.end_object();
     out.write_line(w.str());
   }
+  // A budget-stopped run carries an explicit timeout record so the stream is
+  // self-describing even when read without the run_end (DESIGN.md §12).
+  if (result.stop_reason == StopReason::TimeBudget) {
+    JsonWriter w;
+    w.begin_object();
+    w.key("type").value("timeout");
+    meta_fields(w, meta);
+    w.key("iterations").value(result.iterations);
+    w.key("runtime_sec").value(result.runtime_sec);
+    w.end_object();
+    out.write_line(w.str());
+  }
   JsonWriter w;
   w.begin_object();
   w.key("type").value("run_end");
   meta_fields(w, meta);
+  w.key("stop_reason").value(stop_reason_name(result.stop_reason));
   w.key("iterations").value(result.iterations);
   w.key("hpwl").value(result.hpwl);
   w.key("overflow").value(result.overflow);
@@ -119,6 +132,7 @@ void run_summary_object(JsonWriter& w, const PlaceResult& result,
                         const RunMeta& meta) {
   w.begin_object();
   meta_fields(w, meta);
+  w.key("stop_reason").value(stop_reason_name(result.stop_reason));
   w.key("iterations").value(result.iterations);
   w.key("hpwl").value(result.hpwl);
   w.key("overflow").value(result.overflow);

@@ -1,6 +1,7 @@
 #include "robust/checkpoint.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <cstring>
 
 namespace dtp::robust {
@@ -59,6 +60,94 @@ bool Checkpoint::restore(std::span<double> x, std::span<double> y,
   std::copy(y_.begin(), y_.end(), y.begin());
   std::copy(scalars_.begin(), scalars_.end(), scalars.begin());
   opt = opt_;
+  return true;
+}
+
+namespace {
+
+// On-disk layout: magic, version, iter, five section counts, per-vector
+// lengths, then every payload double in capture order, then the sealed
+// checksum.  Little-endian native doubles — the artifact resumes on the
+// machine (or an identical one) that wrote it, not across architectures.
+constexpr char kMagic[8] = {'D', 'T', 'P', 'C', 'K', 'P', '0', '1'};
+// A section length beyond this is a corrupt/hostile header, not a real
+// checkpoint: refuse before std::vector::resize turns it into an OOM.
+constexpr uint64_t kMaxSection = 1ull << 32;
+
+bool write_u64(std::FILE* f, uint64_t v) {
+  return std::fwrite(&v, sizeof(v), 1, f) == 1;
+}
+bool read_u64(std::FILE* f, uint64_t* v) {
+  return std::fread(v, sizeof(*v), 1, f) == 1;
+}
+bool write_doubles(std::FILE* f, const std::vector<double>& v) {
+  return v.empty() || std::fwrite(v.data(), sizeof(double), v.size(), f) == v.size();
+}
+bool read_doubles(std::FILE* f, std::vector<double>& v, uint64_t n) {
+  if (n > kMaxSection) return false;
+  v.resize(static_cast<size_t>(n));
+  return n == 0 || std::fread(v.data(), sizeof(double), v.size(), f) == v.size();
+}
+
+}  // namespace
+
+bool Checkpoint::save_file(const std::string& path) const {
+  if (!valid()) return false;
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  bool ok = std::fwrite(kMagic, sizeof(kMagic), 1, f) == 1;
+  ok = ok && write_u64(f, 1);  // version
+  ok = ok && write_u64(f, static_cast<uint64_t>(iter_));
+  ok = ok && write_u64(f, x_.size()) && write_u64(f, y_.size()) &&
+       write_u64(f, scalars_.size()) && write_u64(f, opt_.scalars.size()) &&
+       write_u64(f, opt_.vectors.size());
+  for (const auto& v : opt_.vectors) ok = ok && write_u64(f, v.size());
+  ok = ok && write_doubles(f, x_) && write_doubles(f, y_) &&
+       write_doubles(f, scalars_) && write_doubles(f, opt_.scalars);
+  for (const auto& v : opt_.vectors) ok = ok && write_doubles(f, v);
+  ok = ok && write_u64(f, checksum_);
+  ok = (std::fclose(f) == 0) && ok;
+  return ok;
+}
+
+bool Checkpoint::load_file(const std::string& path, std::string* error) {
+  auto fail = [&](const std::string& why) {
+    if (error != nullptr) *error = why;
+    invalidate();
+    return false;
+  };
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return fail("cannot open " + path);
+  char magic[8];
+  uint64_t version = 0, iter = 0;
+  uint64_t nx = 0, ny = 0, nsc = 0, nos = 0, nov = 0;
+  bool ok = std::fread(magic, sizeof(magic), 1, f) == 1 &&
+            std::memcmp(magic, kMagic, sizeof(kMagic)) == 0;
+  if (!ok) {
+    std::fclose(f);
+    return fail(path + " is not a dtp checkpoint (bad magic)");
+  }
+  ok = read_u64(f, &version) && version == 1;
+  ok = ok && read_u64(f, &iter) && read_u64(f, &nx) && read_u64(f, &ny) &&
+       read_u64(f, &nsc) && read_u64(f, &nos) && read_u64(f, &nov);
+  ok = ok && nx <= kMaxSection && ny <= kMaxSection && nsc <= kMaxSection &&
+       nos <= kMaxSection && nov <= 1024;
+  std::vector<uint64_t> vec_sizes;
+  if (ok) {
+    vec_sizes.resize(static_cast<size_t>(nov));
+    for (auto& n : vec_sizes) ok = ok && read_u64(f, &n);
+  }
+  ok = ok && read_doubles(f, x_, nx) && read_doubles(f, y_, ny) &&
+       read_doubles(f, scalars_, nsc) && read_doubles(f, opt_.scalars, nos);
+  if (ok) {
+    opt_.vectors.resize(vec_sizes.size());
+    for (size_t i = 0; i < vec_sizes.size(); ++i)
+      ok = ok && read_doubles(f, opt_.vectors[i], vec_sizes[i]);
+  }
+  ok = ok && read_u64(f, &checksum_);
+  std::fclose(f);
+  if (!ok) return fail(path + " is truncated or has an implausible header");
+  iter_ = static_cast<int>(iter);
   return true;
 }
 

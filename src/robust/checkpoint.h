@@ -6,10 +6,17 @@
 // restore() refuses a checkpoint whose checksum no longer matches (bit rot,
 // or the FaultInjector's `checkpoint` site), so a corrupted snapshot is
 // detected instead of silently resurrecting garbage.
+//
+// save_file()/load_file() persist a sealed checkpoint as a small binary
+// artifact (magic + sizes + raw doubles + the sealed checksum), which is what
+// `dtp_place --resume` and the dtp_serve job journal recover from.  load_file
+// restores the *stored* checksum, so a file corrupted on disk loads fine but
+// fails verify() — the same detection path as in-memory corruption.
 #pragma once
 
 #include <cstdint>
 #include <span>
+#include <string>
 #include <vector>
 
 namespace dtp::robust {
@@ -51,6 +58,20 @@ class Checkpoint {
                std::span<double> scalars, StateBlob& opt) const;
 
   void invalidate() { iter_ = -1; }
+
+  // Captured payload sizes, for callers that must pre-size restore() spans
+  // (resume paths where the design is reconstructed before the restore).
+  size_t num_cells() const { return x_.size(); }
+  size_t num_scalars() const { return scalars_.size(); }
+  uint64_t checksum() const { return checksum_; }
+
+  // Persists the sealed checkpoint; false on any IO failure.
+  bool save_file(const std::string& path) const;
+  // Loads a checkpoint from disk.  Returns false (with a diagnostic in
+  // `error`) on IO failure, bad magic, or implausible/truncated payload; a
+  // bit-rotted payload *loads* but fails verify(), exactly like in-memory
+  // corruption, so callers distinguish "unreadable" from "checksum mismatch".
+  bool load_file(const std::string& path, std::string* error = nullptr);
 
   // Direct payload access for the fault-injection harness (corrupting after
   // seal makes verify() fail, which is the point).

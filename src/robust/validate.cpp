@@ -7,6 +7,7 @@ namespace dtp::robust {
 
 const char* validation_code_name(ValidationCode code) {
   switch (code) {
+    case ValidationCode::EmptyNetlist: return "empty_netlist";
     case ValidationCode::PositionArraySize: return "position_array_size";
     case ValidationCode::NonFinitePosition: return "non_finite_position";
     case ValidationCode::EmptyCore: return "empty_core";
@@ -51,6 +52,13 @@ ValidationReport validate(const netlist::Design& design) {
   const netlist::Netlist& nl = design.netlist;
   const size_t n = nl.num_cells();
 
+  if (n == 0) {
+    // Downstream stages size grids and arrays from the cell count; an empty
+    // netlist (typically a parse that matched nothing) must stop here.
+    add(report, ValidationCode::EmptyNetlist, true, -1,
+        "netlist has no cells; nothing to place");
+    return report;
+  }
   if (design.cell_x.size() != n || design.cell_y.size() != n) {
     add(report, ValidationCode::PositionArraySize, true, -1,
         "cell_x/cell_y hold " + std::to_string(design.cell_x.size()) + "/" +

@@ -22,6 +22,7 @@
 namespace dtp::robust {
 
 enum class ValidationCode : uint8_t {
+  EmptyNetlist,        // no cells at all: nothing to place (fatal)
   PositionArraySize,   // cell_x/cell_y not sized to the netlist (fatal)
   NonFinitePosition,   // NaN/Inf initial coordinate (fatal)
   EmptyCore,           // zero/negative-area core with movable cells (fatal)

@@ -1,0 +1,136 @@
+#include "serve/job.h"
+
+#include <stdexcept>
+
+#include "common/json_writer.h"
+
+namespace dtp::serve {
+
+const char* job_state_name(JobState s) {
+  switch (s) {
+    case JobState::Queued: return "queued";
+    case JobState::Running: return "running";
+    case JobState::Paused: return "paused";
+    case JobState::Done: return "done";
+    case JobState::Failed: return "failed";
+    case JobState::TimedOut: return "timeout";
+    case JobState::Cancelled: return "cancelled";
+    case JobState::Rejected: return "rejected";
+  }
+  return "?";
+}
+
+bool job_state_is_terminal(JobState s) {
+  switch (s) {
+    case JobState::Done:
+    case JobState::Failed:
+    case JobState::TimedOut:
+    case JobState::Cancelled:
+    case JobState::Rejected:
+      return true;
+    case JobState::Queued:
+    case JobState::Running:
+    case JobState::Paused:
+      return false;
+  }
+  return false;
+}
+
+void JobSpec::to_json(JsonWriter& w) const {
+  w.begin_object();
+  w.key("demo_cells").value(demo_cells);
+  w.key("seed").value(seed);
+  if (!lib_path.empty()) w.key("lib").value(lib_path);
+  if (!netlist_path.empty()) w.key("netlist").value(netlist_path);
+  if (!sdc_path.empty()) w.key("sdc").value(sdc_path);
+  w.key("density").value(density);
+  w.key("mode").value(mode);
+  w.key("max_iters").value(max_iters);
+  w.key("client").value(client);
+  w.key("priority").value(priority);
+  w.key("deadline_sec").value(deadline_sec);
+  w.key("time_budget_sec").value(time_budget_sec);
+  w.key("max_retries").value(max_retries);
+  if (!fault_spec.empty()) {
+    w.key("fault").value(fault_spec);
+    w.key("fault_seed").value(fault_seed);
+  }
+  if (cancel_at_iter >= 0) w.key("cancel_at_iter").value(cancel_at_iter);
+  if (pause_at_iter >= 0) w.key("pause_at_iter").value(pause_at_iter);
+  w.end_object();
+}
+
+JobSpec JobSpec::from_json(const JsonValue& v) {
+  if (!v.is_object()) throw std::runtime_error("job spec must be an object");
+  JobSpec s;
+  s.demo_cells = static_cast<int>(v.num_or("demo_cells", 0));
+  s.seed = static_cast<uint64_t>(v.num_or("seed", 1));
+  s.lib_path = v.str_or("lib", "");
+  s.netlist_path = v.str_or("netlist", "");
+  s.sdc_path = v.str_or("sdc", "");
+  s.density = v.num_or("density", 0.7);
+  s.mode = v.str_or("mode", "dt");
+  s.max_iters = static_cast<int>(v.num_or("max_iters", 600));
+  s.client = v.str_or("client", "anon");
+  s.priority = static_cast<int>(v.num_or("priority", 0));
+  s.deadline_sec = v.num_or("deadline_sec", 0.0);
+  s.time_budget_sec = v.num_or("time_budget_sec", 0.0);
+  s.max_retries = static_cast<int>(v.num_or("max_retries", 2));
+  s.fault_spec = v.str_or("fault", "");
+  s.fault_seed = static_cast<uint64_t>(v.num_or("fault_seed", 1));
+  s.cancel_at_iter = static_cast<int>(v.num_or("cancel_at_iter", -1));
+  s.pause_at_iter = static_cast<int>(v.num_or("pause_at_iter", -1));
+  return s;
+}
+
+std::string JobSpec::validate() const {
+  const bool demo = demo_cells > 0;
+  const bool files = !lib_path.empty() && !netlist_path.empty();
+  if (!demo && !files)
+    return "spec needs demo_cells > 0 or lib+netlist paths";
+  if (demo && files) return "spec has both demo_cells and input files";
+  if (demo_cells < 0 || demo_cells > 2000000)
+    return "demo_cells out of range [1, 2e6]";
+  if (mode != "wl" && mode != "nw" && mode != "dt")
+    return "mode must be wl, nw or dt";
+  if (max_iters < 1 || max_iters > 100000)
+    return "max_iters out of range [1, 1e5]";
+  if (priority < -100 || priority > 100)
+    return "priority out of range [-100, 100]";
+  if (deadline_sec < 0.0 || time_budget_sec < 0.0)
+    return "deadline_sec/time_budget_sec must be >= 0";
+  if (max_retries < 0 || max_retries > 16)
+    return "max_retries out of range [0, 16]";
+  if (density <= 0.0 || density > 1.0) return "density out of range (0, 1]";
+  return "";
+}
+
+void JobRecord::to_json(JsonWriter& w) const {
+  w.begin_object();
+  w.key("id").value(id);
+  w.key("state").value(job_state_name(state));
+  if (!detail.empty()) w.key("detail").value(detail);
+  w.key("attempts").value(attempts);
+  w.key("retries").value(retries);
+  w.key("preemptions").value(preemptions);
+  w.key("degraded").value(degraded);
+  w.key("recovered").value(recovered);
+  w.key("wait_sec").value(wait_sec);
+  w.key("run_sec").value(run_sec);
+  if (job_state_is_terminal(state) || state == JobState::Paused) {
+    w.key("outcome").begin_object();
+    w.key("iterations").value(outcome.iterations);
+    w.key("hpwl").value(outcome.hpwl);
+    w.key("overflow").value(outcome.overflow);
+    w.key("runtime_sec").value(outcome.runtime_sec);
+    if (!outcome.health.empty()) w.key("health").value(outcome.health);
+    if (!outcome.stop_reason.empty())
+      w.key("stop_reason").value(outcome.stop_reason);
+    w.end_object();
+  }
+  w.key("spec");
+  spec.to_json(w);
+  w.end_object();
+}
+
+}  // namespace dtp::serve

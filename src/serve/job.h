@@ -1,0 +1,112 @@
+// Job model for the placement service (DESIGN.md §12).
+//
+// A JobSpec is what a client submits over the wire (or what the journal
+// replays after a restart): the workload, the placement mode, and the job's
+// scheduling envelope — priority, relative deadline, per-attempt wall budget,
+// retry budget — plus the deterministic control hooks the soak tests use.
+//
+// Job lifecycle:
+//
+//   submit ──> Queued ──> Running ──> Done | Failed | TimedOut | Cancelled
+//     │          ^           │
+//     │          └──────── Paused   (preemption / client pause / drain;
+//     │                              re-enters Queued with a checkpoint)
+//     └──> Rejected                 (admission control: overload, invalid
+//                                    spec, or draining — never enqueued)
+//
+// Every *accepted* job reaches exactly one terminal state; Rejected is the
+// only answer a job can get without being accepted.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/json_parse.h"
+
+namespace dtp {
+class JsonWriter;
+}
+
+namespace dtp::serve {
+
+enum class JobState : uint8_t {
+  Queued,
+  Running,
+  Paused,
+  Done,
+  Failed,
+  TimedOut,
+  Cancelled,
+  Rejected,
+};
+
+const char* job_state_name(JobState s);
+bool job_state_is_terminal(JobState s);
+
+struct JobSpec {
+  // Workload: either a synthetic demo design (demo_cells > 0) or input files.
+  int demo_cells = 0;
+  uint64_t seed = 1;
+  std::string lib_path;
+  std::string netlist_path;
+  std::string sdc_path;
+  double density = 0.7;  // floorplan utilization for file-based jobs
+
+  std::string mode = "dt";  // wl | nw | dt
+  int max_iters = 600;
+
+  // Scheduling envelope.
+  std::string client = "anon";   // fair-share identity
+  int priority = 0;              // higher runs first (and may preempt lower)
+  double deadline_sec = 0.0;     // relative to accept; 0 = none.  EDF tiebreak
+                                 // in the queue + watchdog timeout once passed.
+  double time_budget_sec = 0.0;  // per-attempt wall budget (graceful degrade)
+  int max_retries = 2;           // recoverable-failure restarts before fallback
+
+  // Fault-containment drills (same grammar as dtp_place --fault).
+  std::string fault_spec;
+  uint64_t fault_seed = 1;
+
+  // Deterministic control hooks for the soak tests: fire the matching
+  // PlacerControl request at a fixed iteration.  -1 disables.
+  int cancel_at_iter = -1;
+  int pause_at_iter = -1;
+
+  void to_json(JsonWriter& w) const;
+  // Tolerant field-wise parse (missing fields keep defaults); throws
+  // std::runtime_error only if `v` is not an object.
+  static JobSpec from_json(const JsonValue& v);
+  // "" when the spec is runnable; otherwise the rejection reason.
+  std::string validate() const;
+};
+
+// Final numbers of the (last) placement attempt.
+struct JobOutcome {
+  int iterations = 0;
+  double hpwl = 0.0;
+  double overflow = 0.0;
+  double runtime_sec = 0.0;
+  std::string health;       // robust::run_health_name
+  std::string stop_reason;  // placer::stop_reason_name
+};
+
+// The manager's per-job control block, snapshotted for status responses and
+// journal terminal events.
+struct JobRecord {
+  uint64_t id = 0;
+  JobSpec spec;
+  JobState state = JobState::Queued;
+  std::string detail;    // human-readable reason for the current state
+  int attempts = 0;      // placement attempts started
+  int retries = 0;       // recoverable-failure restarts consumed
+  int preemptions = 0;   // times kicked back to the queue by a higher-prio job
+  bool degraded = false;   // WL-only fallback engaged
+  bool recovered = false;  // re-admitted from the journal after a restart
+  double wait_sec = 0.0;   // cumulative time spent queued
+  double run_sec = 0.0;    // cumulative time spent running
+  JobOutcome outcome;
+
+  void to_json(JsonWriter& w) const;
+};
+
+}  // namespace dtp::serve

@@ -1,0 +1,499 @@
+#include "serve/manager.h"
+
+#include <filesystem>
+#include <fstream>
+
+#include "common/json_parse.h"
+#include "common/json_writer.h"
+#include "common/logger.h"
+#include "obs/metrics.h"
+
+namespace dtp::serve {
+
+namespace {
+
+void bump(const char* name) {
+  obs::MetricsRegistry::instance().counter(name).add();
+}
+
+}  // namespace
+
+JobManager::JobManager(ManagerOptions opts)
+    : opts_(std::move(opts)),
+      runner_(libs_, {opts_.artifact_dir, opts_.backoff_base_ms}),
+      queue_(opts_.queue_capacity),
+      epoch_(std::chrono::steady_clock::now()) {
+  if (opts_.workers < 1) opts_.workers = 1;
+  if (!opts_.artifact_dir.empty()) {
+    std::filesystem::create_directories(opts_.artifact_dir);
+    recover_from_journal();
+  }
+  workers_.reserve(static_cast<size_t>(opts_.workers));
+  for (int i = 0; i < opts_.workers; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+  watchdog_ = std::thread([this] { watchdog_loop(); });
+}
+
+JobManager::~JobManager() { drain(); }
+
+double JobManager::now_sec() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       epoch_)
+      .count();
+}
+
+// ---------------------------------------------------------------- journal --
+
+void JobManager::journal_accept(const Job& job) {
+  if (!journal_.is_open()) return;
+  JsonWriter w;
+  w.begin_object();
+  w.key("ev").value("accept");
+  w.key("id").value(job.rec.id);
+  w.key("spec");
+  job.rec.spec.to_json(w);
+  w.end_object();
+  journal_.write_line(w.str());
+}
+
+void JobManager::journal_ckpt(Job& job) {
+  if (!journal_.is_open() || !job.ckpt.valid()) return;
+  const std::string file = "job-" + std::to_string(job.rec.id) + ".ckpt";
+  if (!job.ckpt.save_file(opts_.artifact_dir + "/" + file)) return;
+  JsonWriter w;
+  w.begin_object();
+  w.key("ev").value("ckpt");
+  w.key("id").value(job.rec.id);
+  w.key("iter").value(job.ckpt.iter());
+  w.key("file").value(file);
+  w.end_object();
+  journal_.write_line(w.str());
+}
+
+void JobManager::journal_terminal(const Job& job) {
+  if (!journal_.is_open()) return;
+  JsonWriter w;
+  w.begin_object();
+  w.key("ev").value("terminal");
+  w.key("id").value(job.rec.id);
+  w.key("state").value(job_state_name(job.rec.state));
+  if (!job.rec.detail.empty()) w.key("detail").value(job.rec.detail);
+  w.end_object();
+  journal_.write_line(w.str());
+}
+
+void JobManager::recover_from_journal() {
+  const std::string path = opts_.artifact_dir + "/journal.jsonl";
+  struct Entry {
+    JobSpec spec;
+    std::string ckpt_file;
+    bool terminal = false;
+  };
+  std::map<uint64_t, Entry> seen;
+  std::vector<uint64_t> order;
+  {
+    std::ifstream in(path);
+    std::string line;
+    while (in && std::getline(in, line)) {
+      if (line.empty()) continue;
+      JsonValue v;
+      try {
+        v = JsonParser::parse(line);
+      } catch (const std::exception&) {
+        continue;  // a torn final line from a crash is expected
+      }
+      if (!v.is_object()) continue;
+      const std::string ev = v.str_or("ev", "");
+      const uint64_t id = static_cast<uint64_t>(v.num_or("id", 0));
+      if (id == 0) continue;
+      if (ev == "accept" && v.has("spec")) {
+        try {
+          seen[id].spec = JobSpec::from_json(v.at("spec"));
+          order.push_back(id);
+        } catch (const std::exception&) {
+          continue;
+        }
+      } else if (ev == "ckpt") {
+        seen[id].ckpt_file = v.str_or("file", "");
+      } else if (ev == "terminal") {
+        seen[id].terminal = true;
+      }
+    }
+  }
+  // Compact: the fresh journal re-asserts only the jobs being re-admitted.
+  journal_.open(path, /*append=*/false);
+  for (uint64_t id : order) {
+    const Entry& e = seen.at(id);
+    next_id_ = std::max(next_id_, id + 1);
+    if (e.terminal) continue;
+    auto job = std::make_unique<Job>();
+    job->rec.id = id;
+    job->rec.spec = e.spec;
+    job->rec.state = JobState::Queued;
+    job->rec.recovered = true;
+    job->rec.detail = "recovered from journal";
+    job->enqueue_time = now_sec();
+    if (e.spec.deadline_sec > 0.0)
+      job->deadline_abs = now_sec() + e.spec.deadline_sec;
+    job->seq = next_seq_++;
+    if (!e.ckpt_file.empty()) {
+      std::string err;
+      if (job->ckpt.load_file(opts_.artifact_dir + "/" + e.ckpt_file, &err) &&
+          job->ckpt.verify()) {
+        DTP_LOG_INFO("serve: job %llu resumes from iter %d",
+                     static_cast<unsigned long long>(id), job->ckpt.iter());
+      } else {
+        job->ckpt.invalidate();  // corrupt checkpoint: restart from scratch
+        DTP_LOG_WARN("serve: job %llu checkpoint unusable (%s); restarting",
+                     static_cast<unsigned long long>(id), err.c_str());
+      }
+    }
+    journal_accept(*job);
+    journal_ckpt(*job);
+    queue_.push({id, job->rec.spec.priority, job->rec.spec.client,
+                 job->deadline_abs, job->seq},
+                /*force=*/true);
+    jobs_.emplace(id, std::move(job));
+    ++tally_.recovered;
+    bump("serve.recovered");
+  }
+}
+
+// ------------------------------------------------------------- scheduling --
+
+std::map<std::string, int> JobManager::running_per_client() const {
+  std::map<std::string, int> load;
+  for (const auto& [id, job] : jobs_)
+    if (job->rec.state == JobState::Running) ++load[job->rec.spec.client];
+  return load;
+}
+
+void JobManager::maybe_preempt(const Job& incoming) {
+  if (!opts_.preemption) return;
+  if (running_ < opts_.workers) return;  // an idle worker will pick it up
+  Job* victim = nullptr;
+  for (const auto& [id, job] : jobs_) {
+    if (job->rec.state != JobState::Running) continue;
+    if (job->ctl.preempt.load()) continue;  // already being preempted
+    if (victim == nullptr ||
+        job->rec.spec.priority < victim->rec.spec.priority)
+      victim = job.get();
+  }
+  if (victim != nullptr &&
+      victim->rec.spec.priority < incoming.rec.spec.priority) {
+    victim->ctl.preempt.store(true);
+    victim->ctl.placer.request_pause();
+  }
+}
+
+void JobManager::update_gauges() {
+  auto& reg = obs::MetricsRegistry::instance();
+  reg.gauge("serve.queue_depth").set(static_cast<double>(queue_.size()));
+  reg.gauge("serve.running").set(static_cast<double>(running_));
+}
+
+SubmitResult JobManager::submit(const JobSpec& spec) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++tally_.submitted;
+  bump("serve.submitted");
+  const uint64_t id = next_id_++;
+  auto job = std::make_unique<Job>();
+  job->rec.id = id;
+  job->rec.spec = spec;
+  auto reject = [&](const std::string& reason) {
+    job->rec.state = JobState::Rejected;
+    job->rec.detail = reason;
+    jobs_.emplace(id, std::move(job));
+    ++tally_.rejected;
+    bump("serve.rejected");
+    return SubmitResult{false, id, reason};
+  };
+  const std::string invalid = spec.validate();
+  if (!invalid.empty()) return reject("rejected:invalid: " + invalid);
+  if (draining_ || stopped_) return reject("rejected:draining");
+  if (queue_.full()) return reject("rejected:overload");
+
+  job->rec.state = JobState::Queued;
+  job->enqueue_time = now_sec();
+  if (spec.deadline_sec > 0.0)
+    job->deadline_abs = now_sec() + spec.deadline_sec;
+  job->seq = next_seq_++;
+  queue_.push({id, spec.priority, spec.client, job->deadline_abs, job->seq});
+  journal_accept(*job);
+  Job& ref = *job;
+  jobs_.emplace(id, std::move(job));
+  ++tally_.accepted;
+  bump("serve.accepted");
+  update_gauges();
+  maybe_preempt(ref);
+  cv_work_.notify_one();
+  return {true, id, ""};
+}
+
+bool JobManager::cancel(uint64_t id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = jobs_.find(id);
+  if (it == jobs_.end()) return false;
+  Job& job = *it->second;
+  switch (job.rec.state) {
+    case JobState::Queued:
+      queue_.remove(id);
+      job.rec.state = JobState::Cancelled;
+      job.rec.detail = "cancelled while queued";
+      finalize_terminal(job);
+      update_gauges();
+      cv_idle_.notify_all();
+      return true;
+    case JobState::Running:
+      job.ctl.placer.request_cancel();  // honoured at the next iteration
+      return true;
+    case JobState::Paused:
+      job.rec.state = JobState::Cancelled;
+      job.rec.detail = "cancelled while paused";
+      finalize_terminal(job);
+      cv_idle_.notify_all();
+      return true;
+    default:
+      return false;  // already terminal
+  }
+}
+
+bool JobManager::pause(uint64_t id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = jobs_.find(id);
+  if (it == jobs_.end()) return false;
+  Job& job = *it->second;
+  if (job.rec.state == JobState::Running) {
+    job.ctl.preempt.store(false);
+    job.ctl.placer.request_pause();
+    return true;
+  }
+  if (job.rec.state == JobState::Queued) {
+    queue_.remove(id);
+    job.rec.state = JobState::Paused;
+    job.rec.detail = "paused while queued";
+    update_gauges();
+    cv_idle_.notify_all();
+    return true;
+  }
+  return false;
+}
+
+bool JobManager::resume(uint64_t id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = jobs_.find(id);
+  if (it == jobs_.end()) return false;
+  Job& job = *it->second;
+  if (job.rec.state != JobState::Paused) return false;
+  job.rec.state = JobState::Queued;
+  job.rec.detail = "resumed";
+  job.enqueue_time = now_sec();
+  job.seq = next_seq_++;
+  queue_.push({id, job.rec.spec.priority, job.rec.spec.client,
+               job.deadline_abs, job.seq},
+              /*force=*/true);
+  update_gauges();
+  cv_work_.notify_one();
+  return true;
+}
+
+// ---------------------------------------------------------------- workers --
+
+void JobManager::finalize_terminal(Job& job) {
+  journal_terminal(job);
+  tally_.retries += static_cast<uint64_t>(job.rec.retries);
+  switch (job.rec.state) {
+    case JobState::Done: ++tally_.done; bump("serve.done"); break;
+    case JobState::Failed: ++tally_.failed; bump("serve.failed"); break;
+    case JobState::TimedOut: ++tally_.timeout; bump("serve.timeout"); break;
+    case JobState::Cancelled:
+      ++tally_.cancelled;
+      bump("serve.cancelled");
+      break;
+    default: break;
+  }
+}
+
+void JobManager::worker_loop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    cv_work_.wait(lock, [&] {
+      return stopped_ || (!draining_ && !queue_.empty());
+    });
+    if (stopped_) return;
+    QueueEntry entry;
+    if (!queue_.pick(running_per_client(), &entry)) continue;
+    Job& job = *jobs_.at(entry.id);
+    job.rec.state = JobState::Running;
+    job.rec.detail = "";
+    const double waited = now_sec() - job.enqueue_time;
+    job.rec.wait_sec += waited;
+    obs::MetricsRegistry::instance()
+        .histogram("serve.wait_ms")
+        .observe(waited * 1e3);
+    job.ctl.preempt.store(false);
+    job.ctl.placer.clear();
+    ++running_;
+    update_gauges();
+    const double t_start = now_sec();
+
+    // The runner works on a private copy so status()/snapshot() can keep
+    // reading the live record under the lock while the job executes; the
+    // results merge back atomically once the attempt ends.
+    JobRecord scratch = job.rec;
+    lock.unlock();
+    runner_.run(scratch, job.ctl, job.ckpt);
+    lock.lock();
+    job.rec = std::move(scratch);
+
+    --running_;
+    job.rec.run_sec += now_sec() - t_start;
+    if (job.rec.state == JobState::Paused) {
+      journal_ckpt(job);  // resumable across a restart
+      if (!draining_ && job.ctl.preempt.load()) {
+        ++job.rec.preemptions;
+        ++tally_.preemptions;
+        bump("serve.preemptions");
+        job.rec.state = JobState::Queued;
+        job.enqueue_time = now_sec();
+        job.seq = next_seq_++;
+        queue_.push({job.rec.id, job.rec.spec.priority, job.rec.spec.client,
+                     job.deadline_abs, job.seq},
+                    /*force=*/true);
+        cv_work_.notify_one();
+      }
+      // Otherwise parked: client pause (until resume()) or drain (journaled).
+    } else {
+      obs::MetricsRegistry::instance()
+          .histogram("serve.service_ms")
+          .observe((now_sec() - t_start) * 1e3);
+      finalize_terminal(job);
+    }
+    update_gauges();
+    cv_idle_.notify_all();
+  }
+}
+
+void JobManager::watchdog_loop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    cv_work_.wait_for(
+        lock,
+        std::chrono::duration<double>(opts_.watchdog_period_sec),
+        [&] { return stopped_; });
+    if (stopped_) return;
+    const double now = now_sec();
+    std::vector<uint64_t> expired_queued;
+    for (const auto& [id, job] : jobs_) {
+      if (job->deadline_abs <= 0.0 || now <= job->deadline_abs) continue;
+      if (job->rec.state == JobState::Running &&
+          !job->ctl.deadline_exceeded.load()) {
+        job->ctl.deadline_exceeded.store(true);
+        job->ctl.placer.request_cancel();
+      } else if (job->rec.state == JobState::Queued) {
+        expired_queued.push_back(id);
+      }
+    }
+    for (uint64_t id : expired_queued) {
+      Job& job = *jobs_.at(id);
+      queue_.remove(id);
+      job.rec.state = JobState::TimedOut;
+      job.rec.detail = "deadline expired in queue";
+      finalize_terminal(job);
+    }
+    if (!expired_queued.empty()) {
+      update_gauges();
+      cv_idle_.notify_all();
+    }
+  }
+}
+
+// ------------------------------------------------------------------ query --
+
+std::optional<JobRecord> JobManager::status(uint64_t id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = jobs_.find(id);
+  if (it == jobs_.end()) return std::nullopt;
+  JobRecord rec = it->second->rec;
+  // The runner works on a private copy while an attempt executes, so surface
+  // live progress for running jobs from the placer's iteration mirror.
+  if (rec.state == JobState::Running) {
+    const int live = it->second->ctl.placer.current_iter.load();
+    if (live >= 0) rec.outcome.iterations = live;
+  }
+  return rec;
+}
+
+std::vector<JobRecord> JobManager::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<JobRecord> out;
+  out.reserve(jobs_.size());
+  for (const auto& [id, job] : jobs_) out.push_back(job->rec);
+  return out;
+}
+
+ManagerStats JobManager::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ManagerStats s = tally_;
+  s.queue_depth = queue_.size();
+  s.running = running_;
+  s.draining = draining_;
+  return s;
+}
+
+std::string JobManager::stats_json() const {
+  const ManagerStats s = stats();
+  JsonWriter w;
+  w.begin_object();
+  w.key("queue_depth").value(static_cast<uint64_t>(s.queue_depth));
+  w.key("running").value(s.running);
+  w.key("workers").value(opts_.workers);
+  w.key("queue_capacity").value(static_cast<uint64_t>(opts_.queue_capacity));
+  w.key("submitted").value(s.submitted);
+  w.key("accepted").value(s.accepted);
+  w.key("rejected").value(s.rejected);
+  w.key("done").value(s.done);
+  w.key("failed").value(s.failed);
+  w.key("timeout").value(s.timeout);
+  w.key("cancelled").value(s.cancelled);
+  w.key("retries").value(s.retries);
+  w.key("preemptions").value(s.preemptions);
+  w.key("recovered").value(s.recovered);
+  w.key("draining").value(s.draining);
+  w.end_object();
+  return w.str();
+}
+
+bool JobManager::wait_idle(double timeout_sec) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  return cv_idle_.wait_for(
+      lock, std::chrono::duration<double>(timeout_sec),
+      [&] { return queue_.empty() && running_ == 0; });
+}
+
+bool JobManager::draining() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return draining_;
+}
+
+void JobManager::drain() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (stopped_) return;
+  draining_ = true;
+  for (const auto& [id, job] : jobs_) {
+    if (job->rec.state == JobState::Running) {
+      job->ctl.preempt.store(false);  // drain parks, it does not requeue
+      job->ctl.placer.request_pause();
+    }
+  }
+  cv_work_.notify_all();
+  cv_idle_.wait(lock, [&] { return running_ == 0; });
+  stopped_ = true;
+  cv_work_.notify_all();
+  lock.unlock();
+  for (std::thread& t : workers_) t.join();
+  if (watchdog_.joinable()) watchdog_.join();
+  workers_.clear();
+}
+
+}  // namespace dtp::serve

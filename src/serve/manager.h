@@ -1,0 +1,155 @@
+// Placement-as-a-service job manager (DESIGN.md §12).
+//
+// Owns the admission queue, M worker threads that execute jobs through the
+// JobRunner containment harness, a deadline watchdog, and the crash-safety
+// journal.  The socket server and the tests drive it through the same
+// thread-safe API, so the soak test exercises the real scheduler in-process
+// with no sockets involved.
+//
+// Guarantees:
+//   * Admission control — a submit against a full queue (or a draining
+//     manager) is Rejected immediately, never silently dropped.
+//   * Every accepted job reaches exactly one terminal state: done, failed,
+//     timeout or cancelled.  Preemption and drain park jobs with a sealed
+//     checkpoint; they either resume in-process or are journaled for the
+//     next process to finish.
+//   * Preemption — a higher-priority submit pauses the lowest-priority
+//     running job (checkpoint + requeue) when no worker is idle.
+//   * Graceful drain — drain() stops admission, checkpoints in-flight jobs,
+//     journals the queue and joins all threads; a subsequent construction
+//     over the same artifact directory re-admits every unfinished job and
+//     resumes from its checkpoint.
+//
+// Journal format (<artifacts>/journal.jsonl, one JSON object per line):
+//   {"ev":"accept","id":N,"spec":{...}}     job admitted
+//   {"ev":"ckpt","id":N,"iter":I,"file":F}  resumable checkpoint on disk
+//   {"ev":"terminal","id":N,"state":S,...}  job finished
+// Recovery replays the journal: accepted jobs without a terminal event are
+// re-admitted (resuming from their checkpoint file when it verifies) and the
+// journal is compacted.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/jsonl.h"
+#include "robust/checkpoint.h"
+#include "serve/job.h"
+#include "serve/queue.h"
+#include "serve/runner.h"
+
+namespace dtp::serve {
+
+struct ManagerOptions {
+  int workers = 2;
+  size_t queue_capacity = 8;
+  std::string artifact_dir;  // journal + per-job streams; "" = in-memory only
+  int backoff_base_ms = 50;
+  double watchdog_period_sec = 0.02;
+  bool preemption = true;
+};
+
+struct SubmitResult {
+  bool accepted = false;
+  uint64_t id = 0;        // assigned even for rejected jobs (status queries)
+  std::string reason;     // rejection reason ("" when accepted)
+};
+
+struct ManagerStats {
+  size_t queue_depth = 0;
+  int running = 0;
+  uint64_t submitted = 0;
+  uint64_t accepted = 0;
+  uint64_t rejected = 0;
+  uint64_t done = 0;
+  uint64_t failed = 0;
+  uint64_t timeout = 0;
+  uint64_t cancelled = 0;
+  uint64_t retries = 0;
+  uint64_t preemptions = 0;
+  uint64_t recovered = 0;
+  bool draining = false;
+};
+
+class JobManager {
+ public:
+  explicit JobManager(ManagerOptions opts);
+  ~JobManager();  // drains if the caller has not
+
+  JobManager(const JobManager&) = delete;
+  JobManager& operator=(const JobManager&) = delete;
+
+  SubmitResult submit(const JobSpec& spec);
+  // Cancel works in any non-terminal state (queued, running, paused).
+  bool cancel(uint64_t id);
+  // Pause a running job (checkpoint + park); resume re-queues a parked job.
+  bool pause(uint64_t id);
+  bool resume(uint64_t id);
+
+  std::optional<JobRecord> status(uint64_t id) const;
+  std::vector<JobRecord> snapshot() const;
+  ManagerStats stats() const;
+  std::string stats_json() const;
+
+  // Blocks until no job is queued or running (paused jobs park), or the
+  // timeout expires.  Returns true when idle.
+  bool wait_idle(double timeout_sec);
+
+  // Graceful shutdown: reject new work, pause running jobs to checkpoints,
+  // journal everything unfinished, join all threads.  Idempotent.
+  void drain();
+  bool draining() const;
+
+ private:
+  struct Job {
+    JobRecord rec;
+    JobCtl ctl;
+    robust::Checkpoint ckpt;
+    double enqueue_time = 0.0;  // manager-clock seconds, for wait_sec
+    double deadline_abs = 0.0;  // 0 = none
+    uint64_t seq = 0;
+  };
+
+  void worker_loop();
+  void watchdog_loop();
+  double now_sec() const;
+  // All journal_* and finalize_* helpers expect mutex_ held.
+  void journal_accept(const Job& job);
+  void journal_ckpt(Job& job);
+  void journal_terminal(const Job& job);
+  void finalize_terminal(Job& job);
+  void recover_from_journal();
+  std::map<std::string, int> running_per_client() const;
+  void maybe_preempt(const Job& incoming);
+  void update_gauges();
+
+  ManagerOptions opts_;
+  LibraryCache libs_;
+  JobRunner runner_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_work_;   // queue became non-empty / stopping
+  std::condition_variable cv_idle_;   // a job left Running / queue drained
+  std::map<uint64_t, std::unique_ptr<Job>> jobs_;
+  JobQueue queue_;
+  obs::JsonlWriter journal_;
+  uint64_t next_id_ = 1;
+  uint64_t next_seq_ = 1;
+  int running_ = 0;
+  bool draining_ = false;
+  bool stopped_ = false;  // workers must exit
+  ManagerStats tally_;
+
+  std::chrono::steady_clock::time_point epoch_;
+  std::vector<std::thread> workers_;
+  std::thread watchdog_;
+};
+
+}  // namespace dtp::serve

@@ -1,0 +1,125 @@
+#include "serve/protocol.h"
+
+#include "common/json_parse.h"
+#include "common/json_writer.h"
+#include "serve/manager.h"
+
+namespace dtp::serve {
+
+namespace {
+
+std::string error_response(const std::string& what) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("ok").value(false);
+  w.key("error").value(what);
+  w.end_object();
+  return w.str();
+}
+
+std::string ack_response() {
+  JsonWriter w;
+  w.begin_object();
+  w.key("ok").value(true);
+  w.end_object();
+  return w.str();
+}
+
+}  // namespace
+
+std::string handle_request(JobManager& manager, const std::string& line,
+                           bool* drain_requested) {
+  if (drain_requested != nullptr) *drain_requested = false;
+  JsonValue req;
+  try {
+    req = JsonParser::parse(line);
+  } catch (const std::exception& e) {
+    return error_response(std::string("bad request: ") + e.what());
+  }
+  if (!req.is_object()) return error_response("bad request: not an object");
+  const std::string cmd = req.str_or("cmd", "");
+
+  try {
+    if (cmd == "ping") {
+      JsonWriter w;
+      w.begin_object();
+      w.key("ok").value(true);
+      w.key("pong").value(true);
+      w.end_object();
+      return w.str();
+    }
+    if (cmd == "submit") {
+      if (!req.has("spec")) return error_response("submit needs a spec");
+      JobSpec spec;
+      try {
+        spec = JobSpec::from_json(req.at("spec"));
+      } catch (const std::exception& e) {
+        return error_response(std::string("bad spec: ") + e.what());
+      }
+      const SubmitResult r = manager.submit(spec);
+      JsonWriter w;
+      w.begin_object();
+      w.key("ok").value(r.accepted);
+      w.key("id").value(r.id);
+      if (!r.accepted) w.key("error").value(r.reason);
+      w.end_object();
+      return w.str();
+    }
+    if (cmd == "status" || cmd == "cancel" || cmd == "pause" ||
+        cmd == "resume") {
+      if (!req.has("id") || !req.at("id").is_number())
+        return error_response(cmd + " needs an id");
+      const uint64_t id = static_cast<uint64_t>(req.num("id"));
+      if (cmd == "status") {
+        const auto rec = manager.status(id);
+        if (!rec) return error_response("unknown job");
+        JsonWriter w;
+        w.begin_object();
+        w.key("ok").value(true);
+        w.key("job");
+        rec->to_json(w);
+        w.end_object();
+        return w.str();
+      }
+      const bool ok = cmd == "cancel"   ? manager.cancel(id)
+                      : cmd == "pause"  ? manager.pause(id)
+                                        : manager.resume(id);
+      return ok ? ack_response()
+                : error_response(cmd + " not applicable to job state");
+    }
+    if (cmd == "list") {
+      JsonWriter w;
+      w.begin_object();
+      w.key("ok").value(true);
+      w.key("jobs").begin_array();
+      for (const JobRecord& rec : manager.snapshot()) rec.to_json(w);
+      w.end_array();
+      w.end_object();
+      return w.str();
+    }
+    if (cmd == "stats") {
+      JsonWriter w;
+      w.begin_object();
+      w.key("ok").value(true);
+      w.key("stats").raw(manager.stats_json());
+      w.end_object();
+      return w.str();
+    }
+    if (cmd == "drain") {
+      if (drain_requested != nullptr) *drain_requested = true;
+      JsonWriter w;
+      w.begin_object();
+      w.key("ok").value(true);
+      w.key("draining").value(true);
+      w.end_object();
+      return w.str();
+    }
+  } catch (const std::exception& e) {
+    // Containment of last resort: a bug below must answer, not kill the
+    // connection (let alone the daemon).
+    return error_response(std::string("internal: ") + e.what());
+  }
+  return error_response("unknown cmd: " + cmd);
+}
+
+}  // namespace dtp::serve

@@ -1,0 +1,35 @@
+// Wire protocol of the placement service: newline-delimited JSON over a
+// local stream socket (DESIGN.md §12).
+//
+// Each request is one JSON object on one line; each response is one JSON
+// object on one line.  Requests:
+//
+//   {"cmd":"ping"}                         -> {"ok":true,"pong":true}
+//   {"cmd":"submit","spec":{...}}          -> {"ok":true,"id":N}
+//                                          |  {"ok":false,"id":N,"error":
+//                                             "rejected:overload"}
+//   {"cmd":"status","id":N}                -> {"ok":true,"job":{...}}
+//   {"cmd":"list"}                         -> {"ok":true,"jobs":[...]}
+//   {"cmd":"cancel"|"pause"|"resume","id":N} -> {"ok":true}
+//   {"cmd":"stats"}                        -> {"ok":true,"stats":{...}}
+//   {"cmd":"drain"}                        -> {"ok":true,"draining":true}
+//
+// Malformed input of any kind (junk bytes, valid JSON of the wrong shape,
+// unknown cmd) earns an {"ok":false,"error":...} response — never a crash,
+// never a dropped connection.  The dispatch is a pure function of
+// (manager, request line), so the protocol tests run without sockets.
+#pragma once
+
+#include <string>
+
+namespace dtp::serve {
+
+class JobManager;
+
+// Handles one request line; returns the response line (no trailing newline).
+// Sets *drain_requested on {"cmd":"drain"} so the server can exit its loop
+// after flushing the response.
+std::string handle_request(JobManager& manager, const std::string& line,
+                           bool* drain_requested);
+
+}  // namespace dtp::serve

@@ -1,0 +1,57 @@
+#include "serve/queue.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace dtp::serve {
+
+bool JobQueue::push(const QueueEntry& e, bool force) {
+  if (full() && !force) return false;
+  entries_.push_back(e);
+  return true;
+}
+
+bool JobQueue::pick(const std::map<std::string, int>& running_per_client,
+                    QueueEntry* out) {
+  if (entries_.empty()) return false;
+  auto load_of = [&](const QueueEntry& e) {
+    const auto it = running_per_client.find(e.client);
+    return it == running_per_client.end() ? 0 : it->second;
+  };
+  auto deadline_of = [](const QueueEntry& e) {
+    return e.deadline_abs > 0.0 ? e.deadline_abs
+                                : std::numeric_limits<double>::infinity();
+  };
+  auto better = [&](const QueueEntry& a, const QueueEntry& b) {
+    if (a.priority != b.priority) return a.priority > b.priority;
+    const int la = load_of(a), lb = load_of(b);
+    if (la != lb) return la < lb;
+    const double da = deadline_of(a), db = deadline_of(b);
+    if (da != db) return da < db;
+    return a.seq < b.seq;
+  };
+  auto best = std::min_element(
+      entries_.begin(), entries_.end(),
+      [&](const QueueEntry& a, const QueueEntry& b) { return better(a, b); });
+  *out = *best;
+  entries_.erase(best);
+  return true;
+}
+
+bool JobQueue::remove(uint64_t id) {
+  for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+    if (it->id == id) {
+      entries_.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+bool JobQueue::contains(uint64_t id) const {
+  for (const QueueEntry& e : entries_)
+    if (e.id == id) return true;
+  return false;
+}
+
+}  // namespace dtp::serve

@@ -1,0 +1,64 @@
+// Bounded admission queue with a deterministic scheduling policy
+// (DESIGN.md §12).
+//
+// The queue itself is a passive, unsynchronized structure — the JobManager
+// serializes access under its own mutex, which keeps the scheduling policy a
+// pure function that the unit tests can drive directly.
+//
+// pick() order (first rule that discriminates wins):
+//   1. priority, descending            — urgent work first;
+//   2. client running load, ascending  — fair share: the client with the
+//      fewest jobs currently on a worker goes first among equals;
+//   3. absolute deadline, ascending    — EDF among fair equals (no deadline
+//      sorts last);
+//   4. submission sequence, ascending  — FIFO as the final tiebreak, so the
+//      whole policy is a strict weak order and scheduling is deterministic.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace dtp::serve {
+
+struct QueueEntry {
+  uint64_t id = 0;
+  int priority = 0;
+  std::string client;
+  double deadline_abs = 0.0;  // seconds on the manager clock; 0 = none
+  uint64_t seq = 0;           // admission order
+};
+
+class JobQueue {
+ public:
+  explicit JobQueue(size_t capacity) : capacity_(capacity) {}
+
+  size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+  size_t capacity() const { return capacity_; }
+  bool full() const { return entries_.size() >= capacity_; }
+
+  // Admission: false when the queue is at capacity (the caller sheds the
+  // job).  force=true bypasses the cap — requeues of already-admitted jobs
+  // (preemption, resume) must never be shed by their own admission control.
+  bool push(const QueueEntry& e, bool force = false);
+
+  // Removes and returns the best runnable entry per the policy above.
+  // `running_per_client` maps client -> number of currently running jobs.
+  // Returns false when empty.
+  bool pick(const std::map<std::string, int>& running_per_client,
+            QueueEntry* out);
+
+  // Removes a specific job (cancel / deadline-expired-in-queue).
+  bool remove(uint64_t id);
+  bool contains(uint64_t id) const;
+
+  const std::vector<QueueEntry>& entries() const { return entries_; }
+
+ private:
+  size_t capacity_;
+  std::vector<QueueEntry> entries_;
+};
+
+}  // namespace dtp::serve

@@ -1,0 +1,267 @@
+#include "serve/runner.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <thread>
+
+#include "common/rng.h"
+#include "io/sdc.h"
+#include "io/verilog.h"
+#include "liberty/liberty_io.h"
+#include "liberty/synth_library.h"
+#include "obs/jsonl.h"
+#include "placer/run_report.h"
+#include "robust/validate.h"
+#include "sta/timing_graph.h"
+#include "workload/circuit_gen.h"
+
+namespace dtp::serve {
+
+std::shared_ptr<const liberty::CellLibrary> LibraryCache::synthetic() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!synthetic_) {
+    synthetic_ = std::make_shared<const liberty::CellLibrary>(
+        liberty::make_synthetic_library());
+  }
+  return synthetic_;
+}
+
+std::shared_ptr<const liberty::CellLibrary> LibraryCache::file(
+    const std::string& path) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = by_path_.find(path);
+    if (it != by_path_.end()) return it->second;
+  }
+  // Parse outside the lock: a slow parse must not stall workers that only
+  // need an already-cached library.
+  auto lib = std::make_shared<const liberty::CellLibrary>(
+      liberty::parse_liberty_file(path));
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto [it, inserted] = by_path_.emplace(path, std::move(lib));
+  return it->second;
+}
+
+namespace {
+
+// Builds the job's design: a deterministic synthetic workload for demo jobs,
+// or parsed inputs with the dtp_place square-core floorplan for file jobs.
+// Throws std::runtime_error / robust::ValidationError on bad input.
+std::unique_ptr<netlist::Design> build_design(
+    LibraryCache& libs, const JobSpec& spec, uint64_t job_id,
+    std::shared_ptr<const liberty::CellLibrary>* lib_out) {
+  if (spec.demo_cells > 0) {
+    *lib_out = libs.synthetic();
+    workload::WorkloadOptions wopts;
+    wopts.num_cells = spec.demo_cells;
+    wopts.seed = spec.seed;
+    return std::make_unique<netlist::Design>(workload::generate_design(
+        **lib_out, wopts, "job-" + std::to_string(job_id)));
+  }
+  *lib_out = libs.file(spec.lib_path);
+  auto design = std::make_unique<netlist::Design>(
+      io::read_verilog_file(**lib_out, spec.netlist_path));
+  if (!spec.sdc_path.empty())
+    io::read_sdc_file(spec.sdc_path, design->constraints);
+  double area = 0.0, row_h = 2.0;
+  for (size_t c = 0; c < design->netlist.num_cells(); ++c) {
+    const auto& m = design->netlist.lib_cell_of(static_cast<int>(c));
+    area += m.width * m.height;
+    if (!m.is_port()) row_h = m.height;
+  }
+  const double side =
+      std::ceil(std::sqrt(area / spec.density) / row_h) * row_h;
+  design->floorplan.core = Rect(0, 0, side, side);
+  design->floorplan.row_height = row_h;
+  design->floorplan.site_width = 0.5;
+  Rng rng(spec.seed);
+  size_t pad_i = 0, pad_n = 0;
+  for (size_t c = 0; c < design->netlist.num_cells(); ++c)
+    if (design->netlist.cell(static_cast<int>(c)).fixed) ++pad_n;
+  for (size_t c = 0; c < design->netlist.num_cells(); ++c) {
+    if (design->netlist.cell(static_cast<int>(c)).fixed) {
+      const double t = 4.0 * static_cast<double>(pad_i++) /
+                       static_cast<double>(std::max<size_t>(1, pad_n));
+      design->cell_x[c] =
+          t < 1 ? t * side : (t < 2 ? side : (t < 3 ? (3 - t) * side : 0.0));
+      design->cell_y[c] =
+          t < 1 ? 0.0
+                : (t < 2 ? (t - 1) * side : (t < 3 ? side : (4 - t) * side));
+    } else {
+      design->cell_x[c] =
+          std::clamp(side * 0.5 + rng.normal(0, side * 0.06), 0.0, side - 2);
+      design->cell_y[c] =
+          std::clamp(side * 0.5 + rng.normal(0, side * 0.06), 0.0, side - 2);
+    }
+  }
+  return design;
+}
+
+placer::PlacerMode parse_mode(const std::string& mode) {
+  if (mode == "wl") return placer::PlacerMode::WirelengthOnly;
+  if (mode == "nw") return placer::PlacerMode::NetWeighting;
+  return placer::PlacerMode::DiffTiming;
+}
+
+}  // namespace
+
+void JobRunner::run(JobRecord& rec, JobCtl& ctl, robust::Checkpoint& ckpt) {
+  const JobSpec& spec = rec.spec;
+  const std::string job_name = "job-" + std::to_string(rec.id);
+
+  obs::JsonlWriter jsonl;
+  std::string jsonl_path;
+  if (!opts_.artifact_dir.empty()) {
+    jsonl_path = opts_.artifact_dir + "/" + job_name + ".jsonl";
+    jsonl.open(jsonl_path, /*append=*/true);
+  }
+  auto abort_record = [&](const std::string& stage, const std::string& error) {
+    if (jsonl.is_open())
+      placer::append_abort_record(jsonl, {job_name, spec.mode}, stage, error,
+                                  2);
+  };
+
+  // ---- input stage: anything thrown here is a definite, unretryable Failed.
+  std::shared_ptr<const liberty::CellLibrary> lib;
+  std::unique_ptr<netlist::Design> design;
+  try {
+    design = build_design(*libs_, spec, rec.id, &lib);
+  } catch (const std::exception& e) {
+    rec.state = JobState::Failed;
+    rec.detail = std::string("input: ") + e.what();
+    abort_record("input", e.what());
+    return;
+  }
+  {
+    const robust::ValidationReport report = robust::validate(*design);
+    if (!report.ok()) {
+      rec.state = JobState::Failed;
+      rec.detail = "invalid design: " + report.to_string();
+      abort_record("validate", report.to_string());
+      return;
+    }
+  }
+  sta::TimingGraph graph(design->netlist);
+
+  // ---- attempt loop: retry w/ backoff, then WL-only fallback, then Failed.
+  for (;;) {
+    // A cancel/deadline that lands between attempts is honoured here, not
+    // only inside the descent loop.
+    const uint32_t req =
+        ctl.placer.request.load(std::memory_order_acquire);
+    if ((req & placer::PlacerControl::kCancel) != 0u) {
+      const bool deadline = ctl.deadline_exceeded.load();
+      rec.state = deadline ? JobState::TimedOut : JobState::Cancelled;
+      rec.detail =
+          deadline ? "deadline exceeded between attempts" : "cancelled";
+      ckpt.invalidate();
+      return;
+    }
+
+    const std::string mode = rec.degraded ? "wl" : spec.mode;
+    placer::GlobalPlacerOptions popts;
+    popts.mode = parse_mode(mode);
+    popts.max_iters = spec.max_iters;
+    popts.robust.fault_spec = spec.fault_spec;
+    popts.robust.fault_seed = spec.fault_seed;
+    popts.control = &ctl.placer;
+    popts.time_budget_sec = spec.time_budget_sec;
+    // The deterministic hooks fire with `iter >= hook`, so a resumed or
+    // retried attempt would re-trigger them forever: arm them only on the
+    // job's very first attempt.
+    const bool first_attempt = rec.attempts == 0 && !ckpt.verify();
+    ctl.placer.cancel_at_iter = first_attempt ? spec.cancel_at_iter : -1;
+    ctl.placer.pause_at_iter = first_attempt ? spec.pause_at_iter : -1;
+    robust::Checkpoint attempt_ckpt;
+    popts.checkpoint_out = &attempt_ckpt;
+    if (ckpt.verify()) popts.resume_from = &ckpt;
+
+    ++rec.attempts;
+    placer::PlaceResult res;
+    bool threw = false;
+    std::string threw_what;
+    try {
+      placer::GlobalPlacer gp(*design, graph, popts);
+      res = gp.run();
+    } catch (const std::exception& e) {
+      threw = true;
+      threw_what = e.what();
+    }
+
+    if (!threw) {
+      rec.outcome.iterations = res.iterations;
+      rec.outcome.hpwl = res.hpwl;
+      rec.outcome.overflow = res.overflow;
+      rec.outcome.runtime_sec += res.runtime_sec;
+      rec.outcome.health = robust::run_health_name(res.health);
+      rec.outcome.stop_reason = placer::stop_reason_name(res.stop_reason);
+      if (jsonl.is_open())
+        placer::append_run_jsonl(jsonl, res, {job_name, mode});
+
+      switch (res.stop_reason) {
+        case placer::StopReason::Paused:
+          if (attempt_ckpt.verify()) {
+            ckpt = attempt_ckpt;
+          } else {
+            ckpt.invalidate();  // un-resumable pause restarts from scratch
+          }
+          rec.state = JobState::Paused;
+          rec.detail = ctl.preempt.load() ? "preempted" : "paused";
+          return;
+        case placer::StopReason::Cancelled: {
+          const bool deadline = ctl.deadline_exceeded.load();
+          rec.state = deadline ? JobState::TimedOut : JobState::Cancelled;
+          rec.detail = deadline ? "deadline exceeded while running"
+                                : "cancelled";
+          ckpt.invalidate();
+          return;
+        }
+        case placer::StopReason::TimeBudget:
+          rec.state = JobState::TimedOut;
+          rec.detail = "time budget exhausted; valid placement retained";
+          ckpt.invalidate();
+          return;
+        case placer::StopReason::Converged:
+        case placer::StopReason::MaxIters:
+        case placer::StopReason::Aborted:
+          if (res.health != robust::RunHealth::Failed) {
+            rec.state = JobState::Done;
+            rec.detail = res.stop_reason == placer::StopReason::Converged
+                             ? "converged"
+                             : "iteration budget reached";
+            if (rec.degraded) rec.detail += " (wirelength-only fallback)";
+            ckpt.invalidate();
+            return;
+          }
+          break;  // recovery budget exhausted: fall through to retry
+      }
+    }
+
+    // ---- recoverable failure path ----
+    const std::string why =
+        threw ? threw_what : "recovery budget exhausted";
+    ckpt.invalidate();  // a failed attempt's state is not trustworthy
+    if (rec.retries < spec.max_retries) {
+      ++rec.retries;
+      if (opts_.backoff_base_ms > 0) {
+        const int shift = std::min(rec.retries - 1, 6);
+        const int ms =
+            std::min(opts_.backoff_base_ms << shift, 2000);
+        std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+      }
+      continue;
+    }
+    if (!rec.degraded && spec.mode != "wl") {
+      rec.degraded = true;  // last resort: timing faults cannot reach WL mode
+      continue;
+    }
+    rec.state = JobState::Failed;
+    rec.detail = why + " after " + std::to_string(rec.retries) + " retries" +
+                 (rec.degraded ? " and wirelength-only fallback" : "");
+    abort_record("placement", rec.detail);
+    return;
+  }
+}
+
+}  // namespace dtp::serve

@@ -1,0 +1,188 @@
+#include "serve/server.h"
+
+#include <errno.h>
+#include <poll.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "serve/protocol.h"
+
+namespace dtp::serve {
+
+namespace {
+
+bool fill_addr(const std::string& path, sockaddr_un* addr, std::string* err) {
+  if (path.size() >= sizeof(addr->sun_path)) {
+    if (err != nullptr) *err = "socket path too long: " + path;
+    return false;
+  }
+  memset(addr, 0, sizeof(*addr));
+  addr->sun_family = AF_UNIX;
+  memcpy(addr->sun_path, path.c_str(), path.size() + 1);
+  return true;
+}
+
+// Writes the whole buffer, riding out EINTR/short writes.
+bool write_all(int fd, const std::string& data) {
+  size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::write(fd, data.data() + off, data.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+SocketServer::~SocketServer() { close_all(); }
+
+bool SocketServer::listen_on(const std::string& path, std::string* err) {
+  sockaddr_un addr;
+  if (!fill_addr(path, &addr, err)) return false;
+  ::unlink(path.c_str());  // a stale socket from a crashed daemon
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    if (err != nullptr) *err = std::string("socket: ") + strerror(errno);
+    return false;
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+          0 ||
+      ::listen(listen_fd_, 16) < 0) {
+    if (err != nullptr)
+      *err = std::string("bind/listen ") + path + ": " + strerror(errno);
+    close_all();
+    return false;
+  }
+  path_ = path;
+  return true;
+}
+
+size_t SocketServer::serve(const std::atomic<bool>& stop) {
+  size_t handled = 0;
+  std::map<int, std::string> buffers;  // connection fd -> partial input
+  bool drain = false;
+  while (!stop.load(std::memory_order_acquire) && !drain &&
+         listen_fd_ >= 0) {
+    std::vector<pollfd> fds;
+    fds.push_back({listen_fd_, POLLIN, 0});
+    for (const auto& [fd, buf] : buffers) fds.push_back({fd, POLLIN, 0});
+    const int rc = ::poll(fds.data(), fds.size(), /*timeout_ms=*/100);
+    if (rc < 0) {
+      if (errno == EINTR) continue;  // signal: loop re-checks the stop flag
+      break;
+    }
+    if (rc == 0) continue;
+
+    if ((fds[0].revents & POLLIN) != 0) {
+      for (;;) {
+        const int cfd = ::accept(listen_fd_, nullptr, nullptr);
+        if (cfd < 0) break;
+        buffers.emplace(cfd, std::string());
+        break;  // accept one per poll round; the loop is hot enough
+      }
+    }
+    std::vector<int> closed;
+    for (size_t i = 1; i < fds.size(); ++i) {
+      if ((fds[i].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
+      const int fd = fds[i].fd;
+      char chunk[4096];
+      const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+      if (n <= 0) {
+        closed.push_back(fd);
+        continue;
+      }
+      std::string& buf = buffers[fd];
+      buf.append(chunk, static_cast<size_t>(n));
+      // A client flooding without newlines is shed, not buffered forever.
+      if (buf.size() > (1u << 20)) {
+        closed.push_back(fd);
+        continue;
+      }
+      size_t start = 0;
+      for (;;) {
+        const size_t nl = buf.find('\n', start);
+        if (nl == std::string::npos) break;
+        const std::string line = buf.substr(start, nl - start);
+        start = nl + 1;
+        if (line.empty()) continue;
+        bool drain_req = false;
+        const std::string resp = handle_request(*manager_, line, &drain_req);
+        ++handled;
+        if (!write_all(fd, resp + "\n")) closed.push_back(fd);
+        if (drain_req) drain = true;
+      }
+      buf.erase(0, start);
+    }
+    for (int fd : closed) {
+      ::close(fd);
+      buffers.erase(fd);
+    }
+  }
+  for (const auto& [fd, buf] : buffers) ::close(fd);
+  return handled;
+}
+
+void SocketServer::close_all() {
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  if (!path_.empty()) {
+    ::unlink(path_.c_str());
+    path_.clear();
+  }
+}
+
+bool send_request(const std::string& socket_path, const std::string& line,
+                  std::string* response, std::string* err) {
+  sockaddr_un addr;
+  if (!fill_addr(socket_path, &addr, err)) return false;
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    if (err != nullptr) *err = std::string("socket: ") + strerror(errno);
+    return false;
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    if (err != nullptr)
+      *err = std::string("connect ") + socket_path + ": " + strerror(errno);
+    ::close(fd);
+    return false;
+  }
+  if (!write_all(fd, line + "\n")) {
+    if (err != nullptr) *err = std::string("write: ") + strerror(errno);
+    ::close(fd);
+    return false;
+  }
+  std::string buf;
+  char chunk[4096];
+  for (;;) {
+    const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;
+    buf.append(chunk, static_cast<size_t>(n));
+    const size_t nl = buf.find('\n');
+    if (nl != std::string::npos) {
+      buf.resize(nl);
+      break;
+    }
+  }
+  ::close(fd);
+  if (buf.empty()) {
+    if (err != nullptr) *err = "no response";
+    return false;
+  }
+  if (response != nullptr) *response = buf;
+  return true;
+}
+
+}  // namespace dtp::serve

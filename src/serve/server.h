@@ -1,0 +1,49 @@
+// AF_UNIX stream server for the placement service (DESIGN.md §12).
+//
+// A single poll() loop multiplexes the listen socket and every connected
+// client; requests are newline-delimited JSON handled by handle_request().
+// Protocol work is cheap (submit is an enqueue), so one thread serves all
+// clients; placement itself happens on the JobManager's workers.
+//
+// The loop exits on: stop flag (the daemon's SIGTERM/SIGINT handler), or a
+// client drain request.  Either way the caller still owns the graceful
+// drain of the JobManager.
+#pragma once
+
+#include <atomic>
+#include <string>
+
+namespace dtp::serve {
+
+class JobManager;
+
+class SocketServer {
+ public:
+  explicit SocketServer(JobManager& manager) : manager_(&manager) {}
+  ~SocketServer();
+
+  SocketServer(const SocketServer&) = delete;
+  SocketServer& operator=(const SocketServer&) = delete;
+
+  // Binds and listens; removes a stale socket file first.  False + *err on
+  // failure.
+  bool listen_on(const std::string& path, std::string* err);
+
+  // Serves until `stop` becomes true or a drain request arrives.  Returns
+  // the number of requests handled.
+  size_t serve(const std::atomic<bool>& stop);
+
+  void close_all();
+
+ private:
+  JobManager* manager_;
+  std::string path_;
+  int listen_fd_ = -1;
+};
+
+// One-shot client: connect, send one request line, read one response line.
+// False + *err on any transport failure.
+bool send_request(const std::string& socket_path, const std::string& line,
+                  std::string* response, std::string* err);
+
+}  // namespace dtp::serve

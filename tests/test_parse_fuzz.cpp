@@ -1,0 +1,237 @@
+// Fuzz-style robustness tests for every front-end parser (DESIGN.md §12):
+// bookshelf .pl, structural verilog, SDC and Liberty.  The contract under
+// test is narrow but absolute: on arbitrary malformed input a parser either
+// succeeds or throws std::runtime_error with a diagnostic — it never
+// crashes, never loops, and (under the sanitizer CI jobs) never touches
+// memory out of bounds.  Mutations are driven by the repo's deterministic
+// Rng so failures replay exactly.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/rng.h"
+#include "io/bookshelf.h"
+#include "io/sdc.h"
+#include "io/verilog.h"
+#include "liberty/liberty_io.h"
+#include "liberty/synth_library.h"
+#include "workload/circuit_gen.h"
+
+using namespace dtp;
+
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+// Valid seed documents, produced by the matching writers so the fuzzer
+// starts from inputs that exercise every grammar production.
+struct Seeds {
+  liberty::CellLibrary lib;
+  netlist::Design design;
+  std::string liberty_text;
+  std::string verilog_text;
+  std::string sdc_text;
+
+  Seeds()
+      : lib(liberty::make_synthetic_library()),
+        design([this] {
+          workload::WorkloadOptions w;
+          w.num_cells = 60;
+          w.seed = 11;
+          return workload::generate_design(lib, w, "fuzz_seed");
+        }()) {
+    std::ostringstream os;
+    liberty::write_liberty(lib, os);
+    liberty_text = os.str();
+    os.str("");
+    io::write_verilog(design, os);
+    verilog_text = os.str();
+    os.str("");
+    io::write_sdc(design.constraints, os);
+    sdc_text = os.str();
+  }
+};
+
+Seeds& seeds() {
+  static Seeds s;
+  return s;
+}
+
+// One deterministic mutation: truncate, splice junk, flip bytes, or
+// duplicate a slice.  Returns a corrupted copy of `text`.
+std::string mutate(const std::string& text, Rng& rng) {
+  std::string out = text;
+  switch (rng.next_u64() % 4) {
+    case 0:  // truncate mid-token
+      out.resize(out.size() * rng.uniform(0.0, 0.98));
+      break;
+    case 1: {  // splice raw junk bytes
+      const size_t at = static_cast<size_t>(rng.uniform(0.0, 1.0) * out.size());
+      std::string junk;
+      const int n = 1 + static_cast<int>(rng.next_u64() % 24);
+      for (int i = 0; i < n; ++i)
+        junk.push_back(static_cast<char>(rng.next_u64() % 256));
+      out.insert(std::min(at, out.size()), junk);
+      break;
+    }
+    case 2: {  // flip bytes in place
+      const int n = 1 + static_cast<int>(rng.next_u64() % 16);
+      for (int i = 0; i < n && !out.empty(); ++i) {
+        const size_t at = rng.next_u64() % out.size();
+        out[at] = static_cast<char>(out[at] ^ (1u << (rng.next_u64() % 8)));
+      }
+      break;
+    }
+    default: {  // duplicate a random slice somewhere else
+      if (out.size() > 4) {
+        const size_t a = rng.next_u64() % (out.size() / 2);
+        const size_t len = 1 + rng.next_u64() % (out.size() - a - 1);
+        const size_t at = rng.next_u64() % out.size();
+        out.insert(at, out.substr(a, std::min<size_t>(len, 200)));
+      }
+      break;
+    }
+  }
+  return out;
+}
+
+// Runs `parse` over `rounds` deterministic corruptions of `text`; the parse
+// must finish (either outcome) without escaping as a non-standard exception.
+template <typename Fn>
+void fuzz_document(const std::string& text, uint64_t seed, int rounds,
+                   Fn parse) {
+  Rng rng(seed);
+  for (int i = 0; i < rounds; ++i) {
+    const std::string corrupted = mutate(text, rng);
+    try {
+      parse(corrupted);
+    } catch (const std::runtime_error&) {
+      // expected containment path
+    } catch (const std::exception& e) {
+      FAIL() << "round " << i << ": non-runtime_error escaped: " << e.what();
+    }
+  }
+}
+
+}  // namespace
+
+TEST(ParseFuzz, LibertySurvivesCorruption) {
+  fuzz_document(seeds().liberty_text, 101, 120, [](const std::string& doc) {
+    std::istringstream in(doc);
+    (void)liberty::parse_liberty(in);
+  });
+}
+
+TEST(ParseFuzz, VerilogSurvivesCorruption) {
+  fuzz_document(seeds().verilog_text, 202, 120, [](const std::string& doc) {
+    std::istringstream in(doc);
+    (void)io::read_verilog(seeds().lib, in);
+  });
+}
+
+TEST(ParseFuzz, SdcSurvivesCorruption) {
+  fuzz_document(seeds().sdc_text, 303, 120, [](const std::string& doc) {
+    std::istringstream in(doc);
+    netlist::Constraints c;
+    (void)io::read_sdc(in, c);
+  });
+}
+
+TEST(ParseFuzz, BookshelfPlacementSurvivesCorruption) {
+  // Produce a valid .pl via the writer, then fuzz the file contents.
+  const std::string dir = temp_path("dtp_fuzz_bookshelf");
+  std::filesystem::create_directories(dir);
+  io::write_bookshelf(seeds().design, dir);
+  const std::string pl = dir + "/fuzz_seed.pl";
+  std::ifstream in(pl);
+  ASSERT_TRUE(in.good());
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const std::string text = buf.str();
+
+  const std::string mutant = temp_path("dtp_fuzz_mutant.pl");
+  fuzz_document(text, 404, 80, [&](const std::string& doc) {
+    {
+      std::ofstream f(mutant, std::ios::binary);
+      f << doc;
+    }
+    netlist::Design copy = seeds().design;
+    (void)io::read_placement(copy, mutant);
+  });
+  std::remove(mutant.c_str());
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ParseFuzz, LibertyNestingBombHitsTheDepthCap) {
+  // A hostile file with 4000 nested groups must fail via the recursion cap,
+  // not via stack exhaustion.
+  std::string bomb = "library (bomb) {\n";
+  for (int i = 0; i < 4000; ++i)
+    bomb += "g" + std::to_string(i) + " (x) {\n";
+  // No closers needed: the parser must bail long before EOF handling.
+  std::istringstream in(bomb);
+  try {
+    (void)liberty::parse_liberty(in);
+    FAIL() << "nesting bomb parsed successfully";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("nesting"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(ParseFuzz, EmptyAndBinaryInputsAreContained) {
+  for (const std::string& doc :
+       {std::string(""), std::string("\0\0\xff\xfe garbage \0", 14),
+        std::string(4096, '{'), std::string(4096, '"')}) {
+    std::istringstream l(doc), v(doc), s(doc);
+    EXPECT_THROW((void)liberty::parse_liberty(l), std::runtime_error);
+    EXPECT_THROW((void)io::read_verilog(seeds().lib, v), std::runtime_error);
+    netlist::Constraints c;
+    try {
+      (void)io::read_sdc(s, c);  // SDC skips unknown commands by design
+    } catch (const std::runtime_error&) {
+    }
+  }
+}
+
+#ifdef DTP_PLACE_PATH
+// End-to-end exit-code contract: dtp_place must answer malformed inputs with
+// exit 2 (invalid input), never a crash (which the shell reports as >=128).
+TEST(ParseFuzz, CliRejectsMalformedInputsWithExitTwo) {
+  const std::string place = DTP_PLACE_PATH;
+  if (!std::filesystem::exists(place)) GTEST_SKIP() << "dtp_place not built";
+
+  const std::string lib = temp_path("dtp_fuzz_cli.lib");
+  const std::string vlog = temp_path("dtp_fuzz_cli.v");
+  {
+    std::ofstream f(lib);
+    f << "library (broken) { cell (INV_X1) { pin (A) { direction";  // cut off
+  }
+  {
+    std::ofstream f(vlog);
+    f << "module busted (a; wire ???";
+  }
+  const auto run = [](const std::string& cmd) {
+    const int raw = std::system((cmd + " >/dev/null 2>&1").c_str());
+    return WIFEXITED(raw) ? WEXITSTATUS(raw) : 128 + WTERMSIG(raw);
+  };
+  EXPECT_EQ(run(place + " --lib " + lib + " --netlist " + vlog), 2);
+  // Valid liberty, broken netlist: still a clean exit 2.
+  {
+    std::ofstream f(lib);
+    liberty::write_liberty(seeds().lib, f);
+  }
+  EXPECT_EQ(run(place + " --lib " + lib + " --netlist " + vlog), 2);
+  // Missing file is an IO/usage failure, not a crash.
+  const int missing = run(place + " --lib " + lib + " --netlist /nonexistent.v");
+  EXPECT_TRUE(missing == 1 || missing == 2) << missing;
+  std::remove(lib.c_str());
+  std::remove(vlog.c_str());
+}
+#endif

@@ -1,0 +1,278 @@
+// Checkpoint persistence + placer control plane (DESIGN.md §12):
+//   * binary checkpoint round-trip, bad-magic / truncation / bit-rot
+//     detection (load succeeds, verify() fails — same path as in-memory
+//     corruption),
+//   * cooperative cancel / pause hooks and the sealed pause checkpoint,
+//   * resume: a paused-then-resumed descent reproduces the uninterrupted
+//     run's final placement,
+//   * wall-clock budget: graceful stop with a valid placement and a
+//     `type:"timeout"` record in the run stream.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "liberty/synth_library.h"
+#include "obs/jsonl.h"
+#include "placer/global_placer.h"
+#include "placer/run_report.h"
+#include "robust/checkpoint.h"
+#include "sta/timing_graph.h"
+#include "workload/circuit_gen.h"
+
+using namespace dtp;
+
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+robust::Checkpoint sample_checkpoint() {
+  std::vector<double> x = {1.0, 2.5, -3.0}, y = {0.5, -1.5, 9.0};
+  std::vector<double> scalars = {0.1, 0.2, 0.3, 1.0};
+  robust::StateBlob blob;
+  blob.scalars = {7.0, 8.0};
+  blob.vectors = {{1.0, 2.0, 3.0}, {4.0}};
+  robust::Checkpoint ck;
+  ck.capture(42, x, y, scalars, blob);
+  return ck;
+}
+
+struct Bench {
+  liberty::CellLibrary lib;
+  netlist::Design design;
+  sta::TimingGraph graph;
+
+  explicit Bench(int cells, uint64_t seed = 3)
+      : lib(liberty::make_synthetic_library()),
+        design([&] {
+          workload::WorkloadOptions w;
+          w.num_cells = cells;
+          w.seed = seed;
+          return workload::generate_design(lib, w, "resume_bench");
+        }()),
+        graph(design.netlist) {}
+
+  placer::PlaceResult run(placer::GlobalPlacerOptions opts) {
+    placer::GlobalPlacer gp(design, graph, opts);
+    return gp.run();
+  }
+};
+
+placer::GlobalPlacerOptions wl_options(int max_iters) {
+  placer::GlobalPlacerOptions o;
+  o.mode = placer::PlacerMode::WirelengthOnly;
+  o.max_iters = max_iters;
+  o.min_iters = max_iters;  // fixed-length runs make trajectories comparable
+  o.stop_overflow = 0.0;
+  return o;
+}
+
+}  // namespace
+
+TEST(CheckpointFile, RoundTrip) {
+  const robust::Checkpoint ck = sample_checkpoint();
+  const std::string path = temp_path("dtp_ckpt_roundtrip.ckpt");
+  ASSERT_TRUE(ck.save_file(path));
+
+  robust::Checkpoint loaded;
+  std::string err;
+  ASSERT_TRUE(loaded.load_file(path, &err)) << err;
+  EXPECT_TRUE(loaded.verify());
+  EXPECT_EQ(loaded.iter(), 42);
+  EXPECT_EQ(loaded.num_cells(), 3u);
+  EXPECT_EQ(loaded.checksum(), ck.checksum());
+
+  std::vector<double> x(3), y(3), scalars(4);
+  robust::StateBlob blob;
+  ASSERT_TRUE(loaded.restore(x, y, scalars, blob));
+  EXPECT_DOUBLE_EQ(x[1], 2.5);
+  EXPECT_DOUBLE_EQ(y[2], 9.0);
+  EXPECT_DOUBLE_EQ(scalars[3], 1.0);
+  ASSERT_EQ(blob.vectors.size(), 2u);
+  EXPECT_DOUBLE_EQ(blob.vectors[0][2], 3.0);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointFile, RejectsBadMagic) {
+  const std::string path = temp_path("dtp_ckpt_badmagic.ckpt");
+  {
+    std::ofstream f(path, std::ios::binary);
+    f << "this is not a checkpoint at all, not even close";
+  }
+  robust::Checkpoint ck;
+  std::string err;
+  EXPECT_FALSE(ck.load_file(path, &err));
+  EXPECT_NE(err.find("not a dtp checkpoint"), std::string::npos) << err;
+  EXPECT_FALSE(ck.valid());
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointFile, RejectsTruncation) {
+  const robust::Checkpoint ck = sample_checkpoint();
+  const std::string path = temp_path("dtp_ckpt_trunc.ckpt");
+  ASSERT_TRUE(ck.save_file(path));
+  const auto full = std::filesystem::file_size(path);
+  std::filesystem::resize_file(path, full / 2);
+
+  robust::Checkpoint loaded;
+  std::string err;
+  EXPECT_FALSE(loaded.load_file(path, &err));
+  EXPECT_NE(err.find("truncated"), std::string::npos) << err;
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointFile, BitRotLoadsButFailsVerify) {
+  const robust::Checkpoint ck = sample_checkpoint();
+  const std::string path = temp_path("dtp_ckpt_bitrot.ckpt");
+  ASSERT_TRUE(ck.save_file(path));
+  {
+    // Flip one payload byte in the middle of the doubles, past the header.
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(16 + 8 * 8 + 4);
+    char b = 0;
+    f.read(&b, 1);
+    f.seekp(-1, std::ios::cur);
+    b = static_cast<char>(b ^ 0x40);
+    f.write(&b, 1);
+  }
+  robust::Checkpoint loaded;
+  std::string err;
+  ASSERT_TRUE(loaded.load_file(path, &err)) << err;  // structurally fine...
+  EXPECT_FALSE(loaded.verify());                     // ...but detected
+  std::remove(path.c_str());
+}
+
+TEST(PlacerControl, CancelHookStopsTheRun) {
+  Bench b(200);
+  placer::PlacerControl ctl;
+  ctl.cancel_at_iter = 25;
+  auto opts = wl_options(200);
+  opts.control = &ctl;
+  const auto res = b.run(opts);
+  EXPECT_EQ(res.stop_reason, placer::StopReason::Cancelled);
+  EXPECT_EQ(res.iterations, 25);
+  for (double v : b.design.cell_x) ASSERT_TRUE(std::isfinite(v));
+}
+
+TEST(PlacerControl, PauseSealsAResumableCheckpoint) {
+  Bench b(200);
+  placer::PlacerControl ctl;
+  ctl.pause_at_iter = 30;
+  robust::Checkpoint ckpt;
+  auto opts = wl_options(120);
+  opts.control = &ctl;
+  opts.checkpoint_out = &ckpt;
+  const auto res = b.run(opts);
+  EXPECT_EQ(res.stop_reason, placer::StopReason::Paused);
+  ASSERT_TRUE(ckpt.verify());
+  EXPECT_EQ(ckpt.iter(), 30);  // the next iteration to execute
+  EXPECT_EQ(ckpt.num_cells(), b.design.netlist.num_cells());
+}
+
+TEST(PlacerControl, ResumeMatchesUninterruptedRun) {
+  const int kIters = 90;
+  Bench uninterrupted(240);
+  const auto ref = uninterrupted.run(wl_options(kIters));
+
+  // Same design, paused at 40 and resumed through a checkpoint *file*.
+  Bench twophase(240);
+  placer::PlacerControl ctl;
+  ctl.pause_at_iter = 40;
+  robust::Checkpoint ckpt;
+  auto opts = wl_options(kIters);
+  opts.control = &ctl;
+  opts.checkpoint_out = &ckpt;
+  const auto first = twophase.run(opts);
+  ASSERT_EQ(first.stop_reason, placer::StopReason::Paused);
+  ASSERT_TRUE(ckpt.verify());
+
+  const std::string path = temp_path("dtp_ckpt_resume.ckpt");
+  ASSERT_TRUE(ckpt.save_file(path));
+  robust::Checkpoint loaded;
+  ASSERT_TRUE(loaded.load_file(path));
+  ASSERT_TRUE(loaded.verify());
+  std::remove(path.c_str());
+
+  auto opts2 = wl_options(kIters);
+  opts2.resume_from = &loaded;
+  const auto second = twophase.run(opts2);
+  EXPECT_EQ(second.start_iter, 40);
+  EXPECT_EQ(second.iterations, kIters);
+
+  ASSERT_EQ(twophase.design.cell_x.size(), uninterrupted.design.cell_x.size());
+  double max_dx = 0.0;
+  for (size_t i = 0; i < twophase.design.cell_x.size(); ++i) {
+    max_dx = std::max(max_dx, std::abs(twophase.design.cell_x[i] -
+                                       uninterrupted.design.cell_x[i]));
+    max_dx = std::max(max_dx, std::abs(twophase.design.cell_y[i] -
+                                       uninterrupted.design.cell_y[i]));
+  }
+  // The checkpoint restores positions, driver scalars and the optimizer
+  // blob, so the resumed trajectory retraces the uninterrupted one.
+  EXPECT_LT(max_dx, 1e-6) << "resume diverged from the uninterrupted run";
+  EXPECT_NEAR(second.hpwl, ref.hpwl, std::abs(ref.hpwl) * 1e-9 + 1e-9);
+}
+
+TEST(PlacerControl, ResumeRejectsWrongDesign) {
+  Bench small(150);
+  robust::Checkpoint ckpt;
+  auto opts = wl_options(20);
+  opts.checkpoint_out = &ckpt;
+  small.run(opts);
+  ASSERT_TRUE(ckpt.verify());
+
+  Bench other(300, /*seed=*/9);
+  auto opts2 = wl_options(20);
+  opts2.resume_from = &ckpt;
+  EXPECT_THROW(other.run(opts2), std::runtime_error);
+}
+
+TEST(PlacerControl, TimeBudgetStopsGracefullyAndLogsTimeout) {
+  Bench b(300);
+  auto opts = wl_options(100000);
+  opts.time_budget_sec = 0.05;
+  const auto res = b.run(opts);
+  EXPECT_EQ(res.stop_reason, placer::StopReason::TimeBudget);
+  EXPECT_LT(res.iterations, 100000);
+  for (double v : b.design.cell_x) ASSERT_TRUE(std::isfinite(v));
+
+  // The run stream carries an explicit timeout record plus the stop reason.
+  const std::string path = temp_path("dtp_timeout_stream.jsonl");
+  {
+    obs::JsonlWriter jsonl;
+    ASSERT_TRUE(jsonl.open(path));
+    placer::append_run_jsonl(jsonl, res, {"budget_bench", "wl"});
+  }
+  std::ifstream in(path);
+  std::string line;
+  bool saw_timeout = false, saw_reason = false;
+  while (std::getline(in, line)) {
+    if (line.find("\"type\":\"timeout\"") != std::string::npos)
+      saw_timeout = true;
+    if (line.find("\"type\":\"run_end\"") != std::string::npos &&
+        line.find("\"stop_reason\":\"time_budget\"") != std::string::npos)
+      saw_reason = true;
+  }
+  EXPECT_TRUE(saw_timeout);
+  EXPECT_TRUE(saw_reason);
+  std::remove(path.c_str());
+}
+
+TEST(PlacerControl, ExternalDegradeRequestIsHonoured) {
+  Bench b(200);
+  placer::PlacerControl ctl;
+  ctl.request_degrade_timing();
+  placer::GlobalPlacerOptions opts;
+  opts.mode = placer::PlacerMode::DiffTiming;
+  opts.max_iters = 60;
+  opts.min_iters = 60;
+  opts.stop_overflow = 0.0;
+  opts.control = &ctl;
+  const auto res = b.run(opts);
+  EXPECT_EQ(res.iterations, 60);
+  // Timing forces were cut before they ever activated: no timing samples.
+  for (const auto& log : res.history) EXPECT_FALSE(log.has_timing);
+}

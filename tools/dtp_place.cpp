@@ -15,11 +15,14 @@
 // default); optionally legalizes and detail-places; writes Bookshelf
 // placement, a timing report and a slack-colored SVG.
 #include <cctype>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <string>
+
+#include "robust/checkpoint.h"
 
 #include "common/cli.h"
 #include "common/logger.h"
@@ -48,6 +51,14 @@ using dtp::cli::arg_flag;
 using dtp::cli::arg_int;
 using dtp::cli::arg_opt_int;
 using dtp::cli::arg_str;
+
+// SIGINT/SIGTERM land here: request a cooperative cancel so the run loop
+// stops between iterations, the requested artifacts (metrics/activity/trace
+// JSONL, final checkpoint) are flushed through the normal exit paths, and the
+// process still reports what happened.  atomic fetch_or is async-signal-safe.
+dtp::placer::PlacerControl g_control;
+
+void on_signal(int) { g_control.request_cancel(); }
 
 void usage() {
   std::fprintf(stderr,
@@ -85,7 +96,15 @@ void usage() {
                "fault-tolerance layer entirely\n"
                "                 [--fault SPEC] [--fault-seed N]  # inject "
                "faults, e.g. timing_grad@120+3\n"
+               "                 [--ckpt-out F.ckpt]    # seal the final "
+               "optimizer state to a resumable checkpoint\n"
+               "                 [--resume F.ckpt]      # continue the "
+               "descent from a checkpoint (same design + seed)\n"
+               "                 [--time-budget SEC]    # wall-clock watchdog:"
+               " degrade, then stop with a valid placement\n"
                "       dtp_place --demo CELLS [same output options]\n"
+               "SIGINT/SIGTERM stop the run between iterations and still "
+               "flush every requested artifact.\n"
                "exit codes: 0 ok, 1 usage/IO error, 2 invalid design, "
                "3 placement failed (recovery budget exhausted)\n");
 }
@@ -170,10 +189,20 @@ int main(int argc, char** argv) {
         usage();
         return 1;
       }
-      lib = liberty::parse_liberty_file(lib_path);
-      design = std::make_unique<netlist::Design>(io::read_verilog_file(lib, v_path));
-      if (const char* sdc = arg_str(argc, argv, "--sdc", nullptr))
-        io::read_sdc_file(sdc, design->constraints);
+      // Input parsing gets its own containment: malformed files are invalid
+      // input (exit 2, with an abort record in the artifacts), never a crash
+      // and never conflated with internal errors (exit 1).
+      try {
+        lib = liberty::parse_liberty_file(lib_path);
+        design = std::make_unique<netlist::Design>(
+            io::read_verilog_file(lib, v_path));
+        if (const char* sdc = arg_str(argc, argv, "--sdc", nullptr))
+          io::read_sdc_file(sdc, design->constraints);
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "dtp_place: invalid input: %s\n", e.what());
+        flush_abort("input", e.what(), 2);
+        return 2;
+      }
 
       // Floorplan: square core at the requested utilization, pads ringed.
       const double density = arg_double(argc, argv, "--density", 0.7);
@@ -292,8 +321,64 @@ int main(int argc, char** argv) {
     popts.robust.fault_seed = static_cast<uint64_t>(
         arg_int(argc, argv, "--fault-seed",
                 static_cast<int>(popts.robust.fault_seed)));
+
+    // Control plane (DESIGN.md §12): wall-clock budget, resume, checkpoint
+    // out, and a cooperative SIGINT/SIGTERM cancel.
+    popts.time_budget_sec = arg_double(argc, argv, "--time-budget", 0.0);
+    popts.control = &g_control;
+    std::signal(SIGINT, on_signal);
+    std::signal(SIGTERM, on_signal);
+    robust::Checkpoint resume_ckpt;
+    if (const char* resume_path = arg_str(argc, argv, "--resume", nullptr)) {
+      std::string err;
+      if (!resume_ckpt.load_file(resume_path, &err)) {
+        std::fprintf(stderr, "dtp_place: cannot resume: %s\n", err.c_str());
+        flush_abort("resume", err, 2);
+        return 2;
+      }
+      if (!resume_ckpt.verify()) {
+        std::fprintf(stderr,
+                     "dtp_place: cannot resume: %s failed checksum "
+                     "verification (corrupt or tampered checkpoint)\n",
+                     resume_path);
+        flush_abort("resume", "checkpoint checksum mismatch", 2);
+        return 2;
+      }
+      if (resume_ckpt.num_cells() != design->netlist.num_cells()) {
+        std::fprintf(stderr,
+                     "dtp_place: cannot resume: checkpoint holds %zu cells, "
+                     "design has %zu (wrong design or seed)\n",
+                     resume_ckpt.num_cells(), design->netlist.num_cells());
+        flush_abort("resume", "checkpoint/design size mismatch", 2);
+        return 2;
+      }
+      popts.resume_from = &resume_ckpt;
+      std::printf("resuming from %s (iteration %d)\n", resume_path,
+                  resume_ckpt.iter());
+    }
+    robust::Checkpoint final_ckpt;
+    const char* ckpt_out_path = arg_str(argc, argv, "--ckpt-out", nullptr);
+    if (ckpt_out_path != nullptr) popts.checkpoint_out = &final_ckpt;
+
     placer::GlobalPlacer gp(*design, graph, popts);
     const auto res = gp.run();
+    if (res.stop_reason == placer::StopReason::Cancelled)
+      std::fprintf(stderr,
+                   "dtp_place: interrupted at iteration %d; flushing "
+                   "artifacts\n",
+                   res.iterations);
+    if (res.stop_reason == placer::StopReason::TimeBudget)
+      std::fprintf(stderr,
+                   "dtp_place: wall-clock budget exhausted at iteration %d; "
+                   "placement is valid\n",
+                   res.iterations);
+    if (ckpt_out_path != nullptr) {
+      if (final_ckpt.valid() && final_ckpt.save_file(ckpt_out_path))
+        std::printf("wrote %s (checkpoint at iteration %d)\n", ckpt_out_path,
+                    final_ckpt.iter());
+      else
+        std::fprintf(stderr, "dtp_place: cannot write %s\n", ckpt_out_path);
+    }
     std::printf("global placement: %d iterations, HPWL %.6g um, overflow %.3f, "
                 "%.1f s (timing engine %.1f s)\n",
                 res.iterations, res.hpwl, res.overflow, res.runtime_sec,

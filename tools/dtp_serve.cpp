@@ -1,0 +1,131 @@
+// dtp_serve: fault-contained placement-as-a-service daemon (DESIGN.md §12).
+//
+// Daemon:
+//   dtp_serve --socket /tmp/dtp.sock [--workers N] [--queue-cap N]
+//             [--artifacts DIR] [--backoff-ms N] [--no-preempt]
+//             [--log-level L]
+//
+//   Accepts newline-delimited JSON requests on a local stream socket (see
+//   src/serve/protocol.h for the grammar), runs each accepted job through the
+//   JobRunner containment harness on a pool of placer workers, and journals
+//   every accepted job to <artifacts>/journal.jsonl.  SIGTERM/SIGINT (or a
+//   {"cmd":"drain"} request) triggers a graceful drain: admission stops,
+//   in-flight jobs are checkpointed, the queue is journaled, and the daemon
+//   exits 0.  A restart over the same --artifacts directory re-admits every
+//   unfinished job and resumes from its checkpoint.
+//
+// Client (one-shot, for scripts and the CI smoke test):
+//   dtp_serve --socket /tmp/dtp.sock --request '{"cmd":"submit","spec":{...}}'
+//
+//   Prints the response line on stdout.  Exit 0 when the response has
+//   "ok":true, 2 when the service answered "ok":false, 1 on transport error.
+#include <atomic>
+#include <csignal>
+#include <cstdio>
+#include <string>
+
+#include "common/cli.h"
+#include "common/json_parse.h"
+#include "common/logger.h"
+#include "serve/manager.h"
+#include "serve/server.h"
+
+namespace {
+
+using dtp::cli::arg_flag;
+using dtp::cli::arg_int;
+using dtp::cli::arg_str;
+
+std::atomic<bool> g_stop{false};
+
+void on_signal(int) { g_stop.store(true, std::memory_order_release); }
+
+void usage() {
+  std::fprintf(
+      stderr,
+      "usage: dtp_serve --socket PATH [--workers N] [--queue-cap N]\n"
+      "                 [--artifacts DIR] [--backoff-ms N] [--no-preempt]\n"
+      "                 [--log-level debug|info|warn|error|silent]\n"
+      "       dtp_serve --socket PATH --request 'JSON'   # one-shot client\n"
+      "exit codes (daemon): 0 clean drain, 1 setup error\n"
+      "exit codes (client): 0 ok:true, 1 transport error, 2 ok:false\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace dtp;
+  if (argc < 2 || arg_flag(argc, argv, "--help")) {
+    usage();
+    return argc < 2 ? 1 : 0;
+  }
+  if (const char* level_name = arg_str(argc, argv, "--log-level", nullptr)) {
+    const auto level = parse_log_level(level_name);
+    if (!level) {
+      std::fprintf(stderr, "unknown --log-level %s\n", level_name);
+      return 1;
+    }
+    Logger::instance().set_level(*level);
+    Logger::instance().set_timestamps(true);
+  }
+  const char* socket_path = arg_str(argc, argv, "--socket", nullptr);
+  if (socket_path == nullptr) {
+    usage();
+    return 1;
+  }
+
+  // ---- one-shot client mode ----
+  if (const char* request = arg_str(argc, argv, "--request", nullptr)) {
+    std::string response, err;
+    if (!serve::send_request(socket_path, request, &response, &err)) {
+      std::fprintf(stderr, "dtp_serve: %s\n", err.c_str());
+      return 1;
+    }
+    std::printf("%s\n", response.c_str());
+    try {
+      const JsonValue v = JsonParser::parse(response);
+      if (v.is_object() && v.has("ok") && v.at("ok").boolean) return 0;
+    } catch (const std::exception&) {
+    }
+    return 2;
+  }
+
+  // ---- daemon mode ----
+  serve::ManagerOptions mopts;
+  mopts.workers = arg_int(argc, argv, "--workers", 2);
+  mopts.queue_capacity =
+      static_cast<size_t>(arg_int(argc, argv, "--queue-cap", 8));
+  mopts.artifact_dir = arg_str(argc, argv, "--artifacts", "");
+  mopts.backoff_base_ms = arg_int(argc, argv, "--backoff-ms", 50);
+  mopts.preemption = !arg_flag(argc, argv, "--no-preempt");
+
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
+  std::signal(SIGPIPE, SIG_IGN);  // a client gone mid-response is their loss
+
+  serve::JobManager manager(mopts);
+  const auto boot = manager.stats();
+  serve::SocketServer server(manager);
+  std::string err;
+  if (!server.listen_on(socket_path, &err)) {
+    std::fprintf(stderr, "dtp_serve: %s\n", err.c_str());
+    return 1;
+  }
+  std::printf("dtp_serve: listening on %s (%d workers, queue %zu%s)\n",
+              socket_path, mopts.workers, mopts.queue_capacity,
+              mopts.artifact_dir.empty()
+                  ? ""
+                  : (", artifacts " + mopts.artifact_dir).c_str());
+  if (boot.recovered > 0)
+    std::printf("dtp_serve: recovered %llu journaled job(s)\n",
+                static_cast<unsigned long long>(boot.recovered));
+  std::fflush(stdout);
+
+  const size_t handled = server.serve(g_stop);
+  server.close_all();  // stop accepting before the drain starts
+  std::printf("dtp_serve: draining (%zu request(s) handled)\n", handled);
+  std::fflush(stdout);
+  manager.drain();
+  std::printf("dtp_serve: drained: %s\n", manager.stats_json().c_str());
+  return 0;
+}
