@@ -1,0 +1,53 @@
+// Shared wall-clock / sequence stamping for multi-stream artifacts
+// (DESIGN.md §13).
+//
+// The daemon writes several concurrent record streams — the crash-safety
+// journal, the telemetry event ring, per-job JSONL runs, the merged Chrome
+// trace — and offline tooling wants to splice them onto ONE timeline.  Every
+// stream therefore stamps each record with:
+//
+//   ts_ms  wall-clock milliseconds since the Unix epoch (merge key across
+//          processes and machines; coarse but monotone enough at record
+//          granularity), and
+//   seq    a monotonic sequence number (total order within one process for
+//          records that share a Sequencer, tie-break when ts_ms collides).
+//
+// journal_seq() is the process-wide sequencer the journal uses; bounded rings
+// that need *contiguous* numbering for cursor/gap semantics own a private
+// Sequencer instead (a shared counter would make their seqs sparse and turn
+// every interleaved journal write into a phantom "gap").
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace dtp {
+
+// Milliseconds since the Unix epoch.
+inline int64_t wall_time_ms() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+// Monotonic record numbering; thread-safe, starts at 1.
+class Sequencer {
+ public:
+  uint64_t next() { return next_.fetch_add(1, std::memory_order_relaxed); }
+  // The most recently issued seq (0 when none yet).
+  uint64_t last() const {
+    return next_.load(std::memory_order_relaxed) - 1;
+  }
+
+ private:
+  std::atomic<uint64_t> next_{1};
+};
+
+// Process-wide sequencer for journal-style streams.
+inline Sequencer& journal_seq() {
+  static Sequencer* seq = new Sequencer();
+  return *seq;
+}
+
+}  // namespace dtp

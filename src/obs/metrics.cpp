@@ -1,5 +1,6 @@
 #include "obs/metrics.h"
 
+#include <algorithm>
 #include <cmath>
 #include <fstream>
 
@@ -136,6 +137,84 @@ std::string MetricsRegistry::to_json() const {
   w.end_object();
   w.end_object();
   return w.str();
+}
+
+std::string MetricsRegistry::sanitize_name(const std::string& name) {
+  std::string out;
+  out.reserve(name.size());
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+namespace {
+
+void prom_head(std::string& out, const std::string& series,
+               const std::string& source, const char* type) {
+  out += "# HELP " + series + " dtp metric " + source + "\n";
+  out += "# TYPE " + series + " " + type + "\n";
+}
+
+std::string prom_num(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string MetricsRegistry::to_prometheus(const std::string& prefix) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string out;
+  for (const auto& [name, c] : counters_) {
+    const std::string series = prefix + sanitize_name(name) + "_total";
+    prom_head(out, series, name, "counter");
+    out += series + " " + std::to_string(c->value()) + "\n";
+  }
+  for (const auto& [name, g] : gauges_) {
+    const std::string series = prefix + sanitize_name(name);
+    prom_head(out, series, name, "gauge");
+    out += series + " " + prom_num(g->value()) + "\n";
+  }
+  for (const auto& [name, h] : histograms_) {
+    const std::string series = prefix + sanitize_name(name);
+    prom_head(out, series, name, "histogram");
+    // Cumulative buckets over the signed power-of-two domain (metrics.h):
+    // walk boundaries from the most negative upward so counts only grow.
+    // neg_bucket(k) covers (-2^k, -2^(k-1)] -> boundary le=-2^(k-1);
+    // bucket(0) covers (-1,1) -> folded into le=1 with bucket(1) ([1,2) ->
+    // le=2, and so on).  Empty outer buckets are skipped to keep the
+    // exposition compact; le="+Inf" always closes the series.
+    uint64_t cum = 0;
+    int lo_neg = 0, hi_pos = 0;
+    for (int k = 1; k < Histogram::kBuckets; ++k) {
+      if (h->neg_bucket(k) != 0) lo_neg = std::max(lo_neg, k);
+      if (h->bucket(k) != 0) hi_pos = std::max(hi_pos, k);
+    }
+    for (int k = lo_neg; k >= 1; --k) {
+      cum += h->neg_bucket(k);
+      out += series + "_bucket{le=\"-" +
+             std::to_string(static_cast<long long>(1) << (k - 1)) + "\"} " +
+             std::to_string(cum) + "\n";
+    }
+    cum += h->bucket(0);
+    if (lo_neg > 0 || h->bucket(0) != 0 || hi_pos > 0) {
+      out += series + "_bucket{le=\"1\"} " + std::to_string(cum) + "\n";
+    }
+    for (int k = 1; k <= hi_pos; ++k) {
+      cum += h->bucket(k);
+      out += series + "_bucket{le=\"" +
+             std::to_string(static_cast<long long>(1) << k) + "\"} " +
+             std::to_string(cum) + "\n";
+    }
+    out += series + "_bucket{le=\"+Inf\"} " + std::to_string(h->count()) + "\n";
+    out += series + "_sum " + prom_num(h->sum()) + "\n";
+    out += series + "_count " + std::to_string(h->count()) + "\n";
+  }
+  return out;
 }
 
 bool MetricsRegistry::write_json(const std::string& path) const {

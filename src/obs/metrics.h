@@ -152,6 +152,21 @@ class MetricsRegistry {
   std::string to_json() const;
   bool write_json(const std::string& path) const;
 
+  // Prometheus text exposition (format version 0.0.4) of every registered
+  // metric.  Dotted registry names are sanitized to the Prometheus grammar
+  // ("serve.wait_ms" -> "dtp_serve_wait_ms"), counters get the conventional
+  // `_total` suffix, and histograms translate into cumulative `_bucket`
+  // series over the signed power-of-two boundaries plus `_sum`/`_count`.
+  // Exactly one HELP and one TYPE line per series family.  `prefix` guards
+  // against cross-exporter collisions; callers append their own labeled
+  // series (e.g. dtp_serve_job_state) after this block.
+  std::string to_prometheus(const std::string& prefix = "dtp_") const;
+
+  // "a.b-c d" -> "a_b_c_d": the Prometheus metric-name charset is
+  // [a-zA-Z0-9_:]; anything else becomes '_'.  Shared with callers that emit
+  // labeled series of their own so naming stays uniform.
+  static std::string sanitize_name(const std::string& name);
+
  private:
   MetricsRegistry() = default;
 

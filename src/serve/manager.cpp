@@ -6,6 +6,7 @@
 #include "common/json_parse.h"
 #include "common/json_writer.h"
 #include "common/logger.h"
+#include "common/wallclock.h"
 #include "obs/metrics.h"
 
 namespace dtp::serve {
@@ -16,11 +17,19 @@ void bump(const char* name) {
   obs::MetricsRegistry::instance().counter(name).add();
 }
 
+// Every journal record carries the shared timeline stamp (DESIGN.md §13).
+void stamp(JsonWriter& w) {
+  w.key("ts_ms").value(wall_time_ms());
+  w.key("seq").value(journal_seq().next());
+}
+
 }  // namespace
 
 JobManager::JobManager(ManagerOptions opts)
     : opts_(std::move(opts)),
-      runner_(libs_, {opts_.artifact_dir, opts_.backoff_base_ms}),
+      events_(opts_.event_capacity),
+      spans_(opts_.span_capacity),
+      runner_(libs_, {opts_.artifact_dir, opts_.backoff_base_ms, &spans_}),
       queue_(opts_.queue_capacity),
       epoch_(std::chrono::steady_clock::now()) {
   if (opts_.workers < 1) opts_.workers = 1;
@@ -50,8 +59,21 @@ void JobManager::journal_accept(const Job& job) {
   w.begin_object();
   w.key("ev").value("accept");
   w.key("id").value(job.rec.id);
+  stamp(w);
   w.key("spec");
   job.rec.spec.to_json(w);
+  w.end_object();
+  journal_.write_line(w.str());
+}
+
+void JobManager::journal_reject(const Job& job) {
+  if (!journal_.is_open()) return;
+  JsonWriter w;
+  w.begin_object();
+  w.key("ev").value("reject");
+  w.key("id").value(job.rec.id);
+  stamp(w);
+  w.key("reason").value(job.rec.detail);
   w.end_object();
   journal_.write_line(w.str());
 }
@@ -59,11 +81,15 @@ void JobManager::journal_accept(const Job& job) {
 void JobManager::journal_ckpt(Job& job) {
   if (!journal_.is_open() || !job.ckpt.valid()) return;
   const std::string file = "job-" + std::to_string(job.rec.id) + ".ckpt";
+  const double t0 = spans_.now_sec();
   if (!job.ckpt.save_file(opts_.artifact_dir + "/" + file)) return;
+  spans_.span("checkpoint", job.rec.id, t0, spans_.now_sec(),
+              "iter " + std::to_string(job.ckpt.iter()));
   JsonWriter w;
   w.begin_object();
   w.key("ev").value("ckpt");
   w.key("id").value(job.rec.id);
+  stamp(w);
   w.key("iter").value(job.ckpt.iter());
   w.key("file").value(file);
   w.end_object();
@@ -76,8 +102,17 @@ void JobManager::journal_terminal(const Job& job) {
   w.begin_object();
   w.key("ev").value("terminal");
   w.key("id").value(job.rec.id);
+  stamp(w);
   w.key("state").value(job_state_name(job.rec.state));
   if (!job.rec.detail.empty()) w.key("detail").value(job.rec.detail);
+  // Session bookkeeping for dtp_report --serve: the offline accumulator
+  // replays exactly what the live one saw (session_stats.h).
+  w.key("wait_sec").value(job.rec.wait_sec);
+  w.key("run_sec").value(job.rec.run_sec);
+  w.key("retries").value(job.rec.retries);
+  w.key("preemptions").value(job.rec.preemptions);
+  w.key("recovered").value(job.rec.recovered);
+  w.key("attempts").value(job.rec.attempts);
   w.end_object();
   journal_.write_line(w.str());
 }
@@ -118,6 +153,7 @@ void JobManager::recover_from_journal() {
       } else if (ev == "terminal") {
         seen[id].terminal = true;
       }
+      // Other kinds ("reject" and future records) are report-only.
     }
   }
   // Compact: the fresh journal re-asserts only the jobs being re-admitted.
@@ -153,10 +189,12 @@ void JobManager::recover_from_journal() {
     queue_.push({id, job->rec.spec.priority, job->rec.spec.client,
                  job->deadline_abs, job->seq},
                 /*force=*/true);
+    events_.push("recover", id, "queued", "recovered from journal");
     jobs_.emplace(id, std::move(job));
     ++tally_.recovered;
     bump("serve.recovered");
   }
+  update_gauges();
 }
 
 // ------------------------------------------------------------- scheduling --
@@ -183,13 +221,35 @@ void JobManager::maybe_preempt(const Job& incoming) {
       victim->rec.spec.priority < incoming.rec.spec.priority) {
     victim->ctl.preempt.store(true);
     victim->ctl.placer.request_pause();
+    const std::string why = "preempted by job " +
+                            std::to_string(incoming.rec.id) + " (prio " +
+                            std::to_string(incoming.rec.spec.priority) + ")";
+    spans_.instant("preempt", victim->rec.id, spans_.now_sec(), why);
+    events_.push("preempt", victim->rec.id, "running", why);
+    bump("serve.preempt_requests");
   }
 }
 
 void JobManager::update_gauges() {
   auto& reg = obs::MetricsRegistry::instance();
+  int paused = 0;
+  for (const auto& [id, job] : jobs_)
+    if (job->rec.state == JobState::Paused) ++paused;
   reg.gauge("serve.queue_depth").set(static_cast<double>(queue_.size()));
   reg.gauge("serve.running").set(static_cast<double>(running_));
+  reg.gauge("serve.paused").set(static_cast<double>(paused));
+  reg.gauge("serve.draining").set(draining_ ? 1.0 : 0.0);
+}
+
+void JobManager::set_state(Job& job, JobState state,
+                           const std::string& detail) {
+  job.rec.state = state;
+  job.rec.detail = detail;
+  // Terminal transitions are announced by finalize_terminal() (one event
+  // per terminal state, carrying the tallies); lifecycle hops announce here.
+  if (!job_state_is_terminal(state))
+    events_.push("state", job.rec.id, job_state_name(state), detail);
+  update_gauges();
 }
 
 SubmitResult JobManager::submit(const JobSpec& spec) {
@@ -203,9 +263,13 @@ SubmitResult JobManager::submit(const JobSpec& spec) {
   auto reject = [&](const std::string& reason) {
     job->rec.state = JobState::Rejected;
     job->rec.detail = reason;
+    events_.push("reject", id, "rejected", reason);
+    journal_reject(*job);
+    session_.add_terminal("rejected", 0.0, 0.0, 0, 0, false);
     jobs_.emplace(id, std::move(job));
     ++tally_.rejected;
     bump("serve.rejected");
+    update_gauges();
     return SubmitResult{false, id, reason};
   };
   const std::string invalid = spec.validate();
@@ -220,6 +284,9 @@ SubmitResult JobManager::submit(const JobSpec& spec) {
   job->seq = next_seq_++;
   queue_.push({id, spec.priority, spec.client, job->deadline_abs, job->seq});
   journal_accept(*job);
+  events_.push("accept", id, "queued",
+               spec.client + " " + spec.mode + " prio " +
+                   std::to_string(spec.priority));
   Job& ref = *job;
   jobs_.emplace(id, std::move(job));
   ++tally_.accepted;
@@ -238,18 +305,15 @@ bool JobManager::cancel(uint64_t id) {
   switch (job.rec.state) {
     case JobState::Queued:
       queue_.remove(id);
-      job.rec.state = JobState::Cancelled;
-      job.rec.detail = "cancelled while queued";
+      set_state(job, JobState::Cancelled, "cancelled while queued");
       finalize_terminal(job);
-      update_gauges();
       cv_idle_.notify_all();
       return true;
     case JobState::Running:
       job.ctl.placer.request_cancel();  // honoured at the next iteration
       return true;
     case JobState::Paused:
-      job.rec.state = JobState::Cancelled;
-      job.rec.detail = "cancelled while paused";
+      set_state(job, JobState::Cancelled, "cancelled while paused");
       finalize_terminal(job);
       cv_idle_.notify_all();
       return true;
@@ -270,9 +334,7 @@ bool JobManager::pause(uint64_t id) {
   }
   if (job.rec.state == JobState::Queued) {
     queue_.remove(id);
-    job.rec.state = JobState::Paused;
-    job.rec.detail = "paused while queued";
-    update_gauges();
+    set_state(job, JobState::Paused, "paused while queued");
     cv_idle_.notify_all();
     return true;
   }
@@ -285,14 +347,13 @@ bool JobManager::resume(uint64_t id) {
   if (it == jobs_.end()) return false;
   Job& job = *it->second;
   if (job.rec.state != JobState::Paused) return false;
-  job.rec.state = JobState::Queued;
-  job.rec.detail = "resumed";
   job.enqueue_time = now_sec();
   job.seq = next_seq_++;
   queue_.push({id, job.rec.spec.priority, job.rec.spec.client,
                job.deadline_abs, job.seq},
               /*force=*/true);
-  update_gauges();
+  // After the push, so the gauge refresh inside sees the new queue depth.
+  set_state(job, JobState::Queued, "resumed");
   cv_work_.notify_one();
   return true;
 }
@@ -301,6 +362,11 @@ bool JobManager::resume(uint64_t id) {
 
 void JobManager::finalize_terminal(Job& job) {
   journal_terminal(job);
+  events_.push("terminal", job.rec.id, job_state_name(job.rec.state),
+               job.rec.detail);
+  session_.add_terminal(job_state_name(job.rec.state), job.rec.wait_sec,
+                        job.rec.run_sec, job.rec.retries, job.rec.preemptions,
+                        job.rec.recovered);
   tally_.retries += static_cast<uint64_t>(job.rec.retries);
   switch (job.rec.state) {
     case JobState::Done: ++tally_.done; bump("serve.done"); break;
@@ -312,6 +378,7 @@ void JobManager::finalize_terminal(Job& job) {
       break;
     default: break;
   }
+  update_gauges();
 }
 
 void JobManager::worker_loop() {
@@ -324,18 +391,20 @@ void JobManager::worker_loop() {
     QueueEntry entry;
     if (!queue_.pick(running_per_client(), &entry)) continue;
     Job& job = *jobs_.at(entry.id);
-    job.rec.state = JobState::Running;
-    job.rec.detail = "";
+    set_state(job, JobState::Running, "");
     const double waited = now_sec() - job.enqueue_time;
     job.rec.wait_sec += waited;
     obs::MetricsRegistry::instance()
         .histogram("serve.wait_ms")
         .observe(waited * 1e3);
+    const double span_now = spans_.now_sec();
+    spans_.span("queue_wait", job.rec.id, span_now - waited, span_now);
     job.ctl.preempt.store(false);
     job.ctl.placer.clear();
     ++running_;
     update_gauges();
     const double t_start = now_sec();
+    const double span_run0 = spans_.now_sec();
 
     // The runner works on a private copy so status()/snapshot() can keep
     // reading the live record under the lock while the job executes; the
@@ -348,18 +417,21 @@ void JobManager::worker_loop() {
 
     --running_;
     job.rec.run_sec += now_sec() - t_start;
+    spans_.span("run", job.rec.id, span_run0, spans_.now_sec(),
+                job_state_name(job.rec.state));
     if (job.rec.state == JobState::Paused) {
+      set_state(job, JobState::Paused, job.rec.detail);  // event + gauges
       journal_ckpt(job);  // resumable across a restart
       if (!draining_ && job.ctl.preempt.load()) {
         ++job.rec.preemptions;
         ++tally_.preemptions;
         bump("serve.preemptions");
-        job.rec.state = JobState::Queued;
         job.enqueue_time = now_sec();
         job.seq = next_seq_++;
         queue_.push({job.rec.id, job.rec.spec.priority, job.rec.spec.client,
                      job.deadline_abs, job.seq},
                     /*force=*/true);
+        set_state(job, JobState::Queued, "requeued after preemption");
         cv_work_.notify_one();
       }
       // Otherwise parked: client pause (until resume()) or drain (journaled).
@@ -390,6 +462,11 @@ void JobManager::watchdog_loop() {
           !job->ctl.deadline_exceeded.load()) {
         job->ctl.deadline_exceeded.store(true);
         job->ctl.placer.request_cancel();
+        spans_.instant("deadline", id, spans_.now_sec(),
+                       "watchdog cancel: deadline exceeded mid-run");
+        events_.push("watchdog", id, "running",
+                     "deadline exceeded; cancel requested");
+        bump("serve.watchdog_fires");
       } else if (job->rec.state == JobState::Queued) {
         expired_queued.push_back(id);
       }
@@ -397,14 +474,12 @@ void JobManager::watchdog_loop() {
     for (uint64_t id : expired_queued) {
       Job& job = *jobs_.at(id);
       queue_.remove(id);
-      job.rec.state = JobState::TimedOut;
-      job.rec.detail = "deadline expired in queue";
+      events_.push("watchdog", id, "queued", "deadline expired in queue");
+      bump("serve.watchdog_fires");
+      set_state(job, JobState::TimedOut, "deadline expired in queue");
       finalize_terminal(job);
     }
-    if (!expired_queued.empty()) {
-      update_gauges();
-      cv_idle_.notify_all();
-    }
+    if (!expired_queued.empty()) cv_idle_.notify_all();
   }
 }
 
@@ -442,26 +517,52 @@ ManagerStats JobManager::stats() const {
 }
 
 std::string JobManager::stats_json() const {
-  const ManagerStats s = stats();
+  std::lock_guard<std::mutex> lock(mutex_);
   JsonWriter w;
   w.begin_object();
-  w.key("queue_depth").value(static_cast<uint64_t>(s.queue_depth));
-  w.key("running").value(s.running);
+  w.key("queue_depth").value(static_cast<uint64_t>(queue_.size()));
+  w.key("running").value(running_);
   w.key("workers").value(opts_.workers);
   w.key("queue_capacity").value(static_cast<uint64_t>(opts_.queue_capacity));
-  w.key("submitted").value(s.submitted);
-  w.key("accepted").value(s.accepted);
-  w.key("rejected").value(s.rejected);
-  w.key("done").value(s.done);
-  w.key("failed").value(s.failed);
-  w.key("timeout").value(s.timeout);
-  w.key("cancelled").value(s.cancelled);
-  w.key("retries").value(s.retries);
-  w.key("preemptions").value(s.preemptions);
-  w.key("recovered").value(s.recovered);
-  w.key("draining").value(s.draining);
+  w.key("submitted").value(tally_.submitted);
+  w.key("accepted").value(tally_.accepted);
+  w.key("rejected").value(tally_.rejected);
+  w.key("done").value(tally_.done);
+  w.key("failed").value(tally_.failed);
+  w.key("timeout").value(tally_.timeout);
+  w.key("cancelled").value(tally_.cancelled);
+  w.key("retries").value(tally_.retries);
+  w.key("preemptions").value(tally_.preemptions);
+  w.key("recovered").value(tally_.recovered);
+  w.key("draining").value(draining_);
+  w.key("events_seq").value(events_.last_seq());
+  w.key("session");
+  session_.to_json(w);
   w.end_object();
   return w.str();
+}
+
+std::string JobManager::prometheus() const {
+  std::string out = obs::MetricsRegistry::instance().to_prometheus("dtp_");
+  // Live job-state distribution as a labeled series (always all states, so
+  // scrapers see explicit zeros instead of gaps).
+  uint64_t counts[8] = {};
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& [id, job] : jobs_)
+      ++counts[static_cast<size_t>(job->rec.state)];
+  }
+  out += "# HELP dtp_serve_job_state Jobs currently in each lifecycle state\n";
+  out += "# TYPE dtp_serve_job_state gauge\n";
+  for (int s = 0; s < 8; ++s) {
+    out += "dtp_serve_job_state{state=\"";
+    out += job_state_name(static_cast<JobState>(s));
+    out += "\"} " + std::to_string(counts[s]) + "\n";
+  }
+  out += "# HELP dtp_serve_up Daemon liveness (1 until drained)\n";
+  out += "# TYPE dtp_serve_up gauge\n";
+  out += std::string("dtp_serve_up ") + (draining() ? "0" : "1") + "\n";
+  return out;
 }
 
 bool JobManager::wait_idle(double timeout_sec) {
@@ -480,6 +581,8 @@ void JobManager::drain() {
   std::unique_lock<std::mutex> lock(mutex_);
   if (stopped_) return;
   draining_ = true;
+  events_.push("drain", 0, "", "drain requested");
+  update_gauges();
   for (const auto& [id, job] : jobs_) {
     if (job->rec.state == JobState::Running) {
       job->ctl.preempt.store(false);  // drain parks, it does not requeue
@@ -494,6 +597,10 @@ void JobManager::drain() {
   for (std::thread& t : workers_) t.join();
   if (watchdog_.joinable()) watchdog_.join();
   workers_.clear();
+  if (!opts_.trace_out.empty()) {
+    if (!write_trace(opts_.trace_out))
+      DTP_LOG_WARN("serve: cannot write trace to %s", opts_.trace_out.c_str());
+  }
 }
 
 }  // namespace dtp::serve

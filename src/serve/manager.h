@@ -20,13 +20,18 @@
 //     over the same artifact directory re-admits every unfinished job and
 //     resumes from its checkpoint.
 //
-// Journal format (<artifacts>/journal.jsonl, one JSON object per line):
+// Journal format (<artifacts>/journal.jsonl, one JSON object per line, every
+// record stamped with wall-clock "ts_ms" + monotonic "seq" — see
+// common/wallclock.h — so journals, event rings and traces merge on one
+// timeline):
 //   {"ev":"accept","id":N,"spec":{...}}     job admitted
+//   {"ev":"reject","id":N,"reason":R}       submission shed (report-only)
 //   {"ev":"ckpt","id":N,"iter":I,"file":F}  resumable checkpoint on disk
-//   {"ev":"terminal","id":N,"state":S,...}  job finished
+//   {"ev":"terminal","id":N,"state":S,      job finished; wait/run/retry
+//    "wait_sec":..,"run_sec":..,...}        fields feed dtp_report --serve
 // Recovery replays the journal: accepted jobs without a terminal event are
 // re-admitted (resuming from their checkpoint file when it verifies) and the
-// journal is compacted.
+// journal is compacted.  Unknown "ev" kinds are skipped by recovery.
 #pragma once
 
 #include <chrono>
@@ -44,6 +49,8 @@
 #include "serve/job.h"
 #include "serve/queue.h"
 #include "serve/runner.h"
+#include "serve/session_stats.h"
+#include "serve/telemetry.h"
 
 namespace dtp::serve {
 
@@ -54,6 +61,9 @@ struct ManagerOptions {
   int backoff_base_ms = 50;
   double watchdog_period_sec = 0.02;
   bool preemption = true;
+  size_t event_capacity = 256;   // telemetry event ring (DESIGN.md §13)
+  size_t span_capacity = 1 << 16;  // cross-job span log
+  std::string trace_out;  // merged Chrome trace written on drain; "" = off
 };
 
 struct SubmitResult {
@@ -98,6 +108,26 @@ class JobManager {
   ManagerStats stats() const;
   std::string stats_json() const;
 
+  // Prometheus text exposition: every registry metric (dtp_ prefix) plus the
+  // dtp_serve_job_state{state=...} labeled series computed from the live job
+  // table.  Scrape via {"cmd":"metrics"} or `dtp_serve --scrape`.
+  std::string prometheus() const;
+
+  // Incremental event tail for {"cmd":"events","since":SEQ}; see
+  // serve/telemetry.h for the cursor/gap semantics.
+  std::vector<ServeEvent> events_since(uint64_t since_seq, uint64_t* next,
+                                       uint64_t* gap) const {
+    return events_.since(since_seq, next, gap);
+  }
+  const EventRing& events() const { return events_; }
+  const SpanLog& spans() const { return spans_; }
+
+  // Merged daemon-lifetime Chrome trace (one track per job).  drain() calls
+  // this automatically when opts.trace_out is set.
+  bool write_trace(const std::string& path) const {
+    return spans_.write_json(path);
+  }
+
   // Blocks until no job is queued or running (paused jobs park), or the
   // timeout expires.  Returns true when idle.
   bool wait_idle(double timeout_sec);
@@ -120,10 +150,15 @@ class JobManager {
   void worker_loop();
   void watchdog_loop();
   double now_sec() const;
-  // All journal_* and finalize_* helpers expect mutex_ held.
+  // All journal_*, set_state and finalize_* helpers expect mutex_ held.
   void journal_accept(const Job& job);
+  void journal_reject(const Job& job);
   void journal_ckpt(Job& job);
   void journal_terminal(const Job& job);
+  // The single state-transition choke point: updates the record, pushes the
+  // matching event-ring record, and refreshes every gauge — so scrapes
+  // between submits always see current queue_depth/running/paused.
+  void set_state(Job& job, JobState state, const std::string& detail);
   void finalize_terminal(Job& job);
   void recover_from_journal();
   std::map<std::string, int> running_per_client() const;
@@ -132,6 +167,8 @@ class JobManager {
 
   ManagerOptions opts_;
   LibraryCache libs_;
+  EventRing events_;
+  SpanLog spans_;
   JobRunner runner_;
 
   mutable std::mutex mutex_;
@@ -146,6 +183,7 @@ class JobManager {
   bool draining_ = false;
   bool stopped_ = false;  // workers must exit
   ManagerStats tally_;
+  SessionAccum session_;  // same accumulator dtp_report --serve replays
 
   std::chrono::steady_clock::time_point epoch_;
   std::vector<std::thread> workers_;

@@ -105,6 +105,45 @@ std::string handle_request(JobManager& manager, const std::string& line,
       w.end_object();
       return w.str();
     }
+    if (cmd == "metrics") {
+      JsonWriter w;
+      w.begin_object();
+      w.key("ok").value(true);
+      w.key("format").value("prometheus");
+      w.key("text").value(manager.prometheus());
+      w.end_object();
+      return w.str();
+    }
+    if (cmd == "events") {
+      uint64_t since = 0;
+      if (req.has("since")) {
+        if (!req.at("since").is_number() || req.num("since") < 0)
+          return error_response("events: since must be a non-negative number");
+        since = static_cast<uint64_t>(req.num("since"));
+      }
+      uint64_t next = 0, gap = 0;
+      const std::vector<ServeEvent> evs =
+          manager.events_since(since, &next, &gap);
+      JsonWriter w;
+      w.begin_object();
+      w.key("ok").value(true);
+      w.key("events").begin_array();
+      for (const ServeEvent& e : evs) {
+        w.begin_object();
+        w.key("seq").value(e.seq);
+        w.key("ts_ms").value(e.ts_ms);
+        w.key("kind").value(e.kind);
+        if (e.job != 0) w.key("job").value(e.job);
+        if (!e.state.empty()) w.key("state").value(e.state);
+        if (!e.detail.empty()) w.key("detail").value(e.detail);
+        w.end_object();
+      }
+      w.end_array();
+      w.key("next_since").value(next);
+      w.key("gap").value(gap);
+      w.end_object();
+      return w.str();
+    }
     if (cmd == "drain") {
       if (drain_requested != nullptr) *drain_requested = true;
       JsonWriter w;

@@ -12,6 +12,14 @@
 //   {"cmd":"list"}                         -> {"ok":true,"jobs":[...]}
 //   {"cmd":"cancel"|"pause"|"resume","id":N} -> {"ok":true}
 //   {"cmd":"stats"}                        -> {"ok":true,"stats":{...}}
+//   {"cmd":"metrics"}                      -> {"ok":true,"format":
+//                                             "prometheus","text":"..."}
+//   {"cmd":"events","since":SEQ}           -> {"ok":true,"events":[...],
+//                                             "next_since":N,"gap":K}
+//                                             (since defaults to 0 = all the
+//                                              ring still holds; gap > 0
+//                                              means the ring overflowed past
+//                                              the cursor)
 //   {"cmd":"drain"}                        -> {"ok":true,"draining":true}
 //
 // Malformed input of any kind (junk bytes, valid JSON of the wrong shape,

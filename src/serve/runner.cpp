@@ -181,12 +181,21 @@ void JobRunner::run(JobRecord& rec, JobCtl& ctl, robust::Checkpoint& ckpt) {
     placer::PlaceResult res;
     bool threw = false;
     std::string threw_what;
+    const double span_t0 = opts_.spans ? opts_.spans->now_sec() : 0.0;
     try {
       placer::GlobalPlacer gp(*design, graph, popts);
       res = gp.run();
     } catch (const std::exception& e) {
       threw = true;
       threw_what = e.what();
+    }
+    if (opts_.spans) {
+      opts_.spans->span(
+          "attempt", rec.id, span_t0, opts_.spans->now_sec(),
+          mode + " #" + std::to_string(rec.attempts) +
+              (threw ? " threw"
+                     : std::string(" ") +
+                           placer::stop_reason_name(res.stop_reason)));
     }
 
     if (!threw) {
@@ -248,7 +257,11 @@ void JobRunner::run(JobRecord& rec, JobCtl& ctl, robust::Checkpoint& ckpt) {
         const int shift = std::min(rec.retries - 1, 6);
         const int ms =
             std::min(opts_.backoff_base_ms << shift, 2000);
+        const double b0 = opts_.spans ? opts_.spans->now_sec() : 0.0;
         std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+        if (opts_.spans)
+          opts_.spans->span("backoff", rec.id, b0, opts_.spans->now_sec(),
+                            "retry " + std::to_string(rec.retries));
       }
       continue;
     }

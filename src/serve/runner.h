@@ -35,6 +35,7 @@
 #include "placer/global_placer.h"
 #include "robust/checkpoint.h"
 #include "serve/job.h"
+#include "serve/telemetry.h"
 
 namespace dtp::serve {
 
@@ -68,6 +69,8 @@ class LibraryCache {
 struct RunnerOptions {
   std::string artifact_dir;  // "" = no per-job JSONL streams
   int backoff_base_ms = 50;  // doubles per retry, capped at 2 s; 0 = no sleep
+  SpanLog* spans = nullptr;  // cross-job span log; attempt/backoff spans land
+                             // on the job-id track (null = no tracing)
 };
 
 class JobRunner {

@@ -1,0 +1,112 @@
+// Daemon-session accumulator shared by the live manager and the offline
+// journal report (DESIGN.md §13).
+//
+// One accumulator, two feeders: JobManager::finalize_terminal() feeds it as
+// jobs end (so {"cmd":"stats"} and dtp_top show live wait/service
+// percentiles), and `dtp_report --serve journal.jsonl` replays the journal's
+// terminal records through the exact same code — the live and post-hoc views
+// of a session cannot drift because they are the same arithmetic.
+//
+// Header-only on purpose: dtp_report links only dtp_common/dtp_prof and must
+// not pull the placer stack in through dtp_serve_lib.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <string>
+
+#include "common/json_writer.h"
+#include "common/p2_quantile.h"
+
+namespace dtp::serve {
+
+class SessionAccum {
+ public:
+  // One terminal record: the job's final state name ("done", "failed",
+  // "timeout", "cancelled" — or "rejected" for shed submissions, which carry
+  // no wait/service sample).
+  void add_terminal(const std::string& state, double wait_sec, double run_sec,
+                    int retries, int preemptions, bool recovered) {
+    ++by_state_[state];
+    if (state == "rejected") return;
+    ++terminals_;
+    retries_ += static_cast<uint64_t>(retries > 0 ? retries : 0);
+    preemptions_ += static_cast<uint64_t>(preemptions > 0 ? preemptions : 0);
+    if (recovered) ++recovered_;
+    wait_sum_sec_ += wait_sec;
+    run_sum_sec_ += run_sec;
+    wait_p50_.observe(wait_sec * 1e3);
+    wait_p95_.observe(wait_sec * 1e3);
+    service_p50_.observe(run_sec * 1e3);
+    service_p95_.observe(run_sec * 1e3);
+  }
+
+  uint64_t terminals() const { return terminals_; }
+  uint64_t count(const std::string& state) const {
+    const auto it = by_state_.find(state);
+    return it == by_state_.end() ? 0 : it->second;
+  }
+  uint64_t retries() const { return retries_; }
+  uint64_t preemptions() const { return preemptions_; }
+  uint64_t recovered() const { return recovered_; }
+  double wait_p50_ms() const { return wait_p50_.value(); }
+  double wait_p95_ms() const { return wait_p95_.value(); }
+  double service_p50_ms() const { return service_p50_.value(); }
+  double service_p95_ms() const { return service_p95_.value(); }
+
+  // {"jobs":{state:n,...},"wait_ms":{p50,p95,sum_sec},...} — spliced into
+  // stats_json() by the manager and printed by dtp_report --serve.
+  void to_json(JsonWriter& w) const {
+    w.begin_object();
+    w.key("jobs").begin_object();
+    for (const auto& [state, n] : by_state_) w.key(state).value(n);
+    w.end_object();
+    w.key("wait_ms").begin_object();
+    w.key("p50").value(wait_p50_ms());
+    w.key("p95").value(wait_p95_ms());
+    w.key("sum_sec").value(wait_sum_sec_);
+    w.end_object();
+    w.key("service_ms").begin_object();
+    w.key("p50").value(service_p50_ms());
+    w.key("p95").value(service_p95_ms());
+    w.key("sum_sec").value(run_sum_sec_);
+    w.end_object();
+    w.key("retries").value(retries_);
+    w.key("preemptions").value(preemptions_);
+    w.key("recovered").value(recovered_);
+    w.end_object();
+  }
+
+  void print(std::FILE* f) const {
+    std::fprintf(f, "jobs by terminal state:");
+    for (const auto& [state, n] : by_state_)
+      std::fprintf(f, "  %s=%llu", state.c_str(),
+                   static_cast<unsigned long long>(n));
+    std::fprintf(f, "\n");
+    std::fprintf(f,
+                 "wait    p50 %8.1f ms  p95 %8.1f ms  (total %.2fs)\n"
+                 "service p50 %8.1f ms  p95 %8.1f ms  (total %.2fs)\n",
+                 wait_p50_ms(), wait_p95_ms(), wait_sum_sec_, service_p50_ms(),
+                 service_p95_ms(), run_sum_sec_);
+    std::fprintf(f, "retries %llu  preemptions %llu  recovered %llu\n",
+                 static_cast<unsigned long long>(retries_),
+                 static_cast<unsigned long long>(preemptions_),
+                 static_cast<unsigned long long>(recovered_));
+  }
+
+ private:
+  std::map<std::string, uint64_t> by_state_;
+  uint64_t terminals_ = 0;
+  uint64_t retries_ = 0;
+  uint64_t preemptions_ = 0;
+  uint64_t recovered_ = 0;
+  double wait_sum_sec_ = 0.0;
+  double run_sum_sec_ = 0.0;
+  P2Quantile wait_p50_{0.50};
+  P2Quantile wait_p95_{0.95};
+  P2Quantile service_p50_{0.50};
+  P2Quantile service_p95_{0.95};
+};
+
+}  // namespace dtp::serve

@@ -1,0 +1,181 @@
+#include "serve/telemetry.h"
+
+#include <algorithm>
+#include <fstream>
+#include <set>
+
+#include "common/json_writer.h"
+#include "common/wallclock.h"
+
+namespace dtp::serve {
+
+// -------------------------------------------------------------- EventRing --
+
+EventRing::EventRing(size_t capacity)
+    : capacity_(std::max<size_t>(1, capacity)) {
+  ring_.resize(capacity_);
+}
+
+uint64_t EventRing::push(const std::string& kind, uint64_t job,
+                         const std::string& state, const std::string& detail) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const uint64_t seq = next_seq_++;
+  ServeEvent& slot = ring_[seq % capacity_];
+  slot.seq = seq;
+  slot.ts_ms = wall_time_ms();
+  slot.kind = kind;
+  slot.job = job;
+  slot.state = state;
+  slot.detail = detail;
+  return seq;
+}
+
+std::vector<ServeEvent> EventRing::since(uint64_t since_seq,
+                                         uint64_t* next_since,
+                                         uint64_t* gap) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const uint64_t last = next_seq_ - 1;
+  // Oldest seq still held: the ring keeps the most recent capacity_ events.
+  const uint64_t oldest = last >= capacity_ ? last - capacity_ + 1 : 1;
+  uint64_t from = since_seq + 1;
+  uint64_t lost = 0;
+  if (from < oldest) {
+    lost = oldest - from;  // overflowed past the cursor
+    from = oldest;
+  }
+  std::vector<ServeEvent> out;
+  for (uint64_t s = from; s <= last; ++s) out.push_back(ring_[s % capacity_]);
+  if (next_since != nullptr) *next_since = last >= since_seq ? last : since_seq;
+  if (gap != nullptr) *gap = lost;
+  return out;
+}
+
+uint64_t EventRing::last_seq() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return next_seq_ - 1;
+}
+
+// ---------------------------------------------------------------- SpanLog --
+
+SpanLog::SpanLog(size_t capacity)
+    : capacity_(std::max<size_t>(1, capacity)),
+      epoch_(std::chrono::steady_clock::now()),
+      epoch_wall_ms_(wall_time_ms()) {}
+
+double SpanLog::now_sec() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       epoch_)
+      .count();
+}
+
+void SpanLog::record(JobSpan s) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (spans_.size() >= capacity_) {
+    ++dropped_;  // keep the session's beginning; a trace cut short still
+    return;      // explains where the time went
+  }
+  spans_.push_back(std::move(s));
+}
+
+void SpanLog::span(const std::string& name, uint64_t track, double t0_sec,
+                   double t1_sec, const std::string& detail) {
+  record({name, track, t0_sec, std::max(0.0, t1_sec - t0_sec), false, detail});
+}
+
+void SpanLog::instant(const std::string& name, uint64_t track, double t_sec,
+                      const std::string& detail) {
+  record({name, track, t_sec, 0.0, true, detail});
+}
+
+size_t SpanLog::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return spans_.size();
+}
+
+size_t SpanLog::dropped() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return dropped_;
+}
+
+std::vector<JobSpan> SpanLog::spans() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return spans_;
+}
+
+size_t SpanLog::num_tracks() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::set<uint64_t> tracks;
+  for (const JobSpan& s : spans_) tracks.insert(s.track);
+  return tracks.size();
+}
+
+std::string SpanLog::to_chrome_json() const {
+  std::vector<JobSpan> snap = spans();
+  std::sort(snap.begin(), snap.end(),
+            [](const JobSpan& a, const JobSpan& b) {
+              return a.ts_sec < b.ts_sec;
+            });
+  std::set<uint64_t> tracks;
+  for (const JobSpan& s : snap) tracks.insert(s.track);
+
+  JsonWriter w;
+  w.begin_object();
+  w.key("displayTimeUnit").value("ms");
+  w.key("otherData").begin_object();
+  w.key("epoch_wall_ms").value(epoch_wall_ms());
+  w.key("dropped_spans").value(static_cast<uint64_t>(dropped()));
+  w.end_object();
+  w.key("traceEvents").begin_array();
+  // Track naming metadata first: the daemon process and one named row per
+  // job, so the flame view reads "job-7" instead of a bare tid.
+  w.begin_object();
+  w.key("name").value("process_name");
+  w.key("ph").value("M");
+  w.key("pid").value(1);
+  w.key("tid").value(0);
+  w.key("args").begin_object().key("name").value("dtp_serve").end_object();
+  w.end_object();
+  for (uint64_t t : tracks) {
+    w.begin_object();
+    w.key("name").value("thread_name");
+    w.key("ph").value("M");
+    w.key("pid").value(1);
+    w.key("tid").value(t);
+    w.key("args").begin_object();
+    w.key("name").value(t == 0 ? std::string("daemon")
+                               : "job-" + std::to_string(t));
+    w.end_object();
+    w.end_object();
+  }
+  for (const JobSpan& s : snap) {
+    w.begin_object();
+    w.key("name").value(s.name);
+    w.key("ph").value(s.instant ? "i" : "X");
+    w.key("pid").value(1);
+    w.key("tid").value(s.track);
+    w.key("ts").value(s.ts_sec * 1e6);
+    if (s.instant) {
+      w.key("s").value("t");  // instant scoped to its thread/track
+    } else {
+      w.key("dur").value(s.dur_sec * 1e6);
+    }
+    if (!s.detail.empty()) {
+      w.key("args").begin_object();
+      w.key("detail").value(s.detail);
+      w.end_object();
+    }
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+bool SpanLog::write_json(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f) return false;
+  f << to_chrome_json() << "\n";
+  return static_cast<bool>(f);
+}
+
+}  // namespace dtp::serve

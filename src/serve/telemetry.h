@@ -1,0 +1,122 @@
+// Live-daemon telemetry plane: the event ring and the cross-job span log
+// (DESIGN.md §13).
+//
+// The daemon's own observability is split from the placer's (obs/trace.h):
+// placer spans are per-thread string-literal rings tuned for kernel hot
+// paths, while the serve plane needs *job-tracked* records with dynamic
+// names and a stable cursor for remote tailing.  Two structures:
+//
+//   EventRing — a bounded ring of daemon lifecycle events (admissions,
+//     rejections, preemptions, recoveries, terminal states, watchdog fires).
+//     Each event is stamped with a wall clock ts_ms and a ring-local
+//     *contiguous* seq, so {"cmd":"events","since":SEQ} tailing is
+//     incremental and an overflow past the client's cursor is reported as an
+//     explicit gap instead of silently skipped records.
+//
+//   SpanLog — the cross-job span store: queue-wait/run/checkpoint/attempt
+//     spans and preempt/deadline instants, each on the owning job's id as
+//     its track.  to_chrome_json() merges a whole multi-tenant daemon
+//     session into one Chrome trace_event file (chrome://tracing,
+//     ui.perfetto.dev): pid 1 = the daemon, tid = job id, thread_name
+//     metadata names each track "job-N" (track 0 is the daemon itself).
+//
+// Both are bounded (events overwrite oldest, spans drop newest past the cap
+// with a counter) and thread-safe behind their own mutexes, so recording
+// from the manager's locked regions and reading from the protocol thread
+// never interleave badly.  Neither touches placement math: the bitwise
+// identity of results with the plane attached is covered by the golden
+// tests.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace dtp::serve {
+
+struct ServeEvent {
+  uint64_t seq = 0;    // ring-local, contiguous from 1
+  int64_t ts_ms = 0;   // wall clock (common/wallclock.h)
+  std::string kind;    // accept|reject|state|preempt|recover|watchdog|
+                       // terminal|drain
+  uint64_t job = 0;    // 0 = daemon-level event
+  std::string state;   // job_state_name() when the event carries one
+  std::string detail;
+};
+
+class EventRing {
+ public:
+  explicit EventRing(size_t capacity);
+
+  // Stamps seq + ts_ms and appends, overwriting the oldest when full.
+  // Returns the assigned seq.
+  uint64_t push(const std::string& kind, uint64_t job,
+                const std::string& state = "", const std::string& detail = "");
+
+  // Events with seq > since, oldest first.  *next_since is the cursor for
+  // the following call (== since when nothing new); *gap counts events that
+  // overflowed past the cursor (client missed them — ring too small or
+  // tailing too slowly).
+  std::vector<ServeEvent> since(uint64_t since_seq, uint64_t* next_since,
+                                uint64_t* gap) const;
+
+  uint64_t last_seq() const;
+  size_t capacity() const { return capacity_; }
+
+ private:
+  mutable std::mutex mutex_;
+  size_t capacity_;
+  std::vector<ServeEvent> ring_;  // ring_[seq % capacity_]
+  uint64_t next_seq_ = 1;
+};
+
+struct JobSpan {
+  std::string name;
+  uint64_t track = 0;     // job id, 0 = daemon
+  double ts_sec = 0.0;    // start, seconds since the log's epoch
+  double dur_sec = 0.0;   // 0 duration = instant event
+  bool instant = false;
+  std::string detail;     // -> args.detail in the trace file
+};
+
+class SpanLog {
+ public:
+  explicit SpanLog(size_t capacity = 1 << 16);
+
+  // Seconds since this log's construction — the shared clock every recorder
+  // (manager, runner) uses so spans in the merged file line up.
+  double now_sec() const;
+  // Wall-clock ms of the epoch, emitted into the trace metadata so the file
+  // can be merged with ts_ms-stamped JSONL streams.
+  int64_t epoch_wall_ms() const { return epoch_wall_ms_; }
+
+  void span(const std::string& name, uint64_t track, double t0_sec,
+            double t1_sec, const std::string& detail = "");
+  void instant(const std::string& name, uint64_t track, double t_sec,
+               const std::string& detail = "");
+
+  size_t size() const;
+  size_t dropped() const;
+  std::vector<JobSpan> spans() const;
+  // Distinct tracks seen (jobs + daemon), for the ≥2-tracks CI assertion.
+  size_t num_tracks() const;
+
+  // One Chrome trace_event document for the whole daemon session: complete
+  // ("X") and instant ("i") events plus process/thread_name metadata.
+  std::string to_chrome_json() const;
+  bool write_json(const std::string& path) const;
+
+ private:
+  void record(JobSpan s);
+
+  mutable std::mutex mutex_;
+  size_t capacity_;
+  std::vector<JobSpan> spans_;
+  size_t dropped_ = 0;
+  std::chrono::steady_clock::time_point epoch_;
+  int64_t epoch_wall_ms_ = 0;
+};
+
+}  // namespace dtp::serve

@@ -217,5 +217,92 @@ TEST_F(MetricsTest, ResetZeroesEverything) {
   EXPECT_DOUBLE_EQ(reg.histogram("z.hist").min(), 0.0);
 }
 
+
+// ---- Prometheus text exposition (to_prometheus) ----
+
+namespace {
+
+// Collects the sample lines of one series family, in emission order.
+std::vector<std::string> prom_lines(const std::string& text,
+                                    const std::string& series) {
+  std::vector<std::string> out;
+  size_t pos = 0;
+  while (pos < text.size()) {
+    size_t eol = text.find('\n', pos);
+    if (eol == std::string::npos) eol = text.size();
+    const std::string line = text.substr(pos, eol - pos);
+    if (line.rfind(series, 0) == 0) out.push_back(line);
+    pos = eol + 1;
+  }
+  return out;
+}
+
+double prom_value(const std::string& line) {
+  return std::atof(line.substr(line.rfind(' ') + 1).c_str());
+}
+
+}  // namespace
+
+TEST_F(MetricsTest, SanitizeNameMapsToPrometheusCharset) {
+  EXPECT_EQ(MetricsRegistry::sanitize_name("serve.wait_ms"), "serve_wait_ms");
+  EXPECT_EQ(MetricsRegistry::sanitize_name("a.b-c d"), "a_b_c_d");
+  EXPECT_EQ(MetricsRegistry::sanitize_name("already_ok:series9"),
+            "already_ok:series9");
+}
+
+TEST_F(MetricsTest, PrometheusCountersAndGaugesExpose) {
+  MetricsRegistry& reg = MetricsRegistry::instance();
+  reg.counter("prom.test_counter").add(7);
+  reg.gauge("prom.test_gauge").set(-2.5);
+  const std::string text = reg.to_prometheus("dtp_");
+  EXPECT_NE(text.find("# TYPE dtp_prom_test_counter_total counter\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("dtp_prom_test_counter_total 7\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE dtp_prom_test_gauge gauge\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("dtp_prom_test_gauge -2.5\n"), std::string::npos);
+  // Exactly one HELP and one TYPE line per family.
+  EXPECT_EQ(prom_lines(text, "# HELP dtp_prom_test_counter_total ").size(),
+            1u);
+  EXPECT_EQ(prom_lines(text, "# TYPE dtp_prom_test_counter_total ").size(),
+            1u);
+}
+
+TEST_F(MetricsTest, PrometheusHistogramBucketsAreCumulative) {
+  MetricsRegistry& reg = MetricsRegistry::instance();
+  Histogram& h = reg.histogram("prom.test_hist");
+  // One observation per region: negative, zero bucket, [1,2), [2,4), far out.
+  h.observe(-3.0);
+  h.observe(0.25);
+  h.observe(1.5);
+  h.observe(3.0);
+  h.observe(1000.0);
+  const std::string text = reg.to_prometheus("dtp_");
+  const auto buckets = prom_lines(text, "dtp_prom_test_hist_bucket{");
+  ASSERT_GE(buckets.size(), 4u);
+  // Boundaries walk upward and counts only grow.
+  double prev = -1.0;
+  for (const std::string& line : buckets) {
+    const double v = prom_value(line);
+    EXPECT_GE(v, prev) << line;
+    prev = v;
+  }
+  // -3 falls in (-4,-2] -> the le="-2" boundary holds exactly one.
+  EXPECT_NE(text.find("dtp_prom_test_hist_bucket{le=\"-2\"} 1\n"),
+            std::string::npos);
+  // The zero bucket folds into le="1": -3 and 0.25 are both <= 1.
+  EXPECT_NE(text.find("dtp_prom_test_hist_bucket{le=\"1\"} 2\n"),
+            std::string::npos);
+  // +Inf always closes the family at the full count.
+  EXPECT_EQ(prom_value(buckets.back()), 5.0);
+  EXPECT_NE(buckets.back().find("le=\"+Inf\""), std::string::npos);
+  const auto count_lines = prom_lines(text, "dtp_prom_test_hist_count ");
+  ASSERT_EQ(count_lines.size(), 1u);
+  EXPECT_EQ(prom_value(count_lines[0]), 5.0);
+  const auto sum_lines = prom_lines(text, "dtp_prom_test_hist_sum ");
+  ASSERT_EQ(sum_lines.size(), 1u);
+  EXPECT_NEAR(prom_value(sum_lines[0]), 1001.75, 1e-9);
+}
+
 }  // namespace
 }  // namespace dtp

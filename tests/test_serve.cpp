@@ -11,13 +11,17 @@
 #include <chrono>
 #include <filesystem>
 #include <fstream>
+#include <set>
+#include <sstream>
 #include <thread>
 
 #include "common/json_parse.h"
 #include "common/json_writer.h"
+#include "obs/metrics.h"
 #include "serve/manager.h"
 #include "serve/protocol.h"
 #include "serve/queue.h"
+#include "serve/telemetry.h"
 
 using namespace dtp;
 using namespace dtp::serve;
@@ -74,6 +78,28 @@ JobState wait_state(JobManager& mgr, uint64_t id, JobState want,
       return rec ? rec->state : JobState::Rejected;
     std::this_thread::sleep_for(std::chrono::milliseconds(2));
   }
+}
+
+std::vector<std::string> prom_split(const std::string& text) {
+  std::vector<std::string> lines;
+  size_t pos = 0;
+  while (pos < text.size()) {
+    size_t eol = text.find('\n', pos);
+    if (eol == std::string::npos) eol = text.size();
+    if (eol > pos) lines.push_back(text.substr(pos, eol - pos));
+    pos = eol + 1;
+  }
+  return lines;
+}
+
+// Value of the first sample line whose name (incl. any label block) matches
+// `series` exactly; -1 when the series is absent.
+double prom_sample(const std::string& text, const std::string& series) {
+  for (const std::string& line : prom_split(text)) {
+    if (line.rfind(series + " ", 0) == 0)
+      return std::atof(line.substr(series.size() + 1).c_str());
+  }
+  return -1.0;
 }
 
 }  // namespace
@@ -293,6 +319,10 @@ TEST(Soak, SixteenJobsWithFaultsAllReachTerminalStates) {
   EXPECT_EQ(wait_state(mgr, ids[10], JobState::Paused), JobState::Paused);
   EXPECT_TRUE(mgr.resume(ids[10]));
 
+  // Scrape #1 while the soak is still churning; compared against the
+  // post-drain scrape below, every terminal counter must be monotone.
+  const std::string scrape_mid = mgr.prometheus();
+
   ASSERT_TRUE(mgr.wait_idle(120.0)) << mgr.stats_json();
 
   // Every accepted job reached a definite terminal state.
@@ -323,9 +353,56 @@ TEST(Soak, SixteenJobsWithFaultsAllReachTerminalStates) {
   const ManagerStats st = mgr.stats();
   EXPECT_EQ(st.accepted, ids.size());
   EXPECT_EQ(st.rejected, 0u);
+  EXPECT_EQ(st.submitted, st.accepted + st.rejected);
   EXPECT_EQ(st.done + st.failed + st.timeout + st.cancelled, st.accepted);
   EXPECT_EQ(st.queue_depth, 0u);
   EXPECT_EQ(st.running, 0);
+
+  // Scrape #2: the exposition stayed parseable under load and every counter
+  // only moved forward between the two scrapes.
+  const std::string scrape_end = mgr.prometheus();
+  for (const char* series :
+       {"dtp_serve_submitted_total", "dtp_serve_accepted_total",
+        "dtp_serve_done_total", "dtp_serve_failed_total",
+        "dtp_serve_timeout_total", "dtp_serve_cancelled_total",
+        "dtp_serve_preemptions_total"}) {
+    const double before = prom_sample(scrape_mid, series);
+    const double after = prom_sample(scrape_end, series);
+    EXPECT_GE(after, before) << series << " went backwards";
+  }
+  // The gauges are fresh after the last transition, not stuck at submit time.
+  EXPECT_EQ(prom_sample(scrape_end, "dtp_serve_queue_depth"), 0.0);
+  EXPECT_EQ(prom_sample(scrape_end, "dtp_serve_running"), 0.0);
+
+  // The event ring saw every accepted job through to a terminal event.
+  {
+    uint64_t next = 0, gap = 0;
+    const auto evs = mgr.events_since(0, &next, &gap);
+    EXPECT_EQ(gap, 0u);  // default capacity comfortably holds the soak
+    std::set<uint64_t> terminal_jobs;
+    for (const ServeEvent& e : evs)
+      if (e.kind == "terminal") terminal_jobs.insert(e.job);
+    for (uint64_t id : ids)
+      EXPECT_EQ(terminal_jobs.count(id), 1u)
+          << "job " << id << " has no terminal event";
+  }
+
+  // The merged trace carries spans from many distinct job tracks.
+  {
+    const std::string trace_path = art + "/trace.json";
+    ASSERT_TRUE(mgr.write_trace(trace_path));
+    std::ifstream in(trace_path);
+    ASSERT_TRUE(in.good());
+    std::stringstream ss;
+    ss << in.rdbuf();
+    const JsonValue doc = JsonParser::parse(ss.str());
+    std::set<double> job_tracks;
+    for (const JsonValue& e : doc.at("traceEvents").array)
+      if (e.str_or("ph", "") == "X" && e.num_or("tid", 0) > 0)
+        job_tracks.insert(e.num("tid"));
+    EXPECT_GE(job_tracks.size(), 2u);
+    EXPECT_GE(mgr.spans().num_tracks(), 2u);
+  }
 
   // Per-job artifact streams exist and end with a run_end record.
   for (uint64_t id : {ids[0], ids[10]}) {
@@ -475,4 +552,276 @@ TEST(Soak, DrainCheckpointsJournalsAndRestartRecovers) {
       EXPECT_TRUE(job_state_is_terminal(mgr.status(id)->state))
           << "job " << id << ": " << job_state_name(mgr.status(id)->state);
   }
+}
+
+// -------------------------------------------------------------- telemetry --
+
+TEST(Telemetry, EventRingSinceCursorSemantics) {
+  EventRing ring(8);
+  uint64_t next = 99, gap = 99;
+  EXPECT_TRUE(ring.since(0, &next, &gap).empty());
+  EXPECT_EQ(next, 0u);
+  EXPECT_EQ(gap, 0u);
+
+  ring.push("accept", 1, "queued", "ci wl prio 0");
+  ring.push("state", 1, "running");
+  auto evs = ring.since(0, &next, &gap);
+  ASSERT_EQ(evs.size(), 2u);
+  EXPECT_EQ(evs[0].seq, 1u);
+  EXPECT_EQ(evs[0].kind, "accept");
+  EXPECT_EQ(evs[0].job, 1u);
+  EXPECT_GT(evs[0].ts_ms, 0);
+  EXPECT_EQ(evs[1].seq, 2u);
+  EXPECT_EQ(next, 2u);
+  EXPECT_EQ(gap, 0u);
+
+  // Tailing from the returned cursor is incremental: nothing new -> empty,
+  // cursor unchanged; one more push -> exactly that event.
+  EXPECT_TRUE(ring.since(next, &next, &gap).empty());
+  EXPECT_EQ(next, 2u);
+  ring.push("terminal", 1, "done");
+  evs = ring.since(next, &next, &gap);
+  ASSERT_EQ(evs.size(), 1u);
+  EXPECT_EQ(evs[0].kind, "terminal");
+  EXPECT_EQ(next, 3u);
+}
+
+TEST(Telemetry, EventRingOverflowReportsExplicitGap) {
+  EventRing ring(4);
+  for (uint64_t i = 1; i <= 10; ++i) ring.push("state", i);
+  uint64_t next = 0, gap = 0;
+  auto evs = ring.since(0, &next, &gap);
+  // Only the newest `capacity` events survive; the 6 lost ones are counted,
+  // not silently skipped.
+  ASSERT_EQ(evs.size(), 4u);
+  EXPECT_EQ(gap, 6u);
+  EXPECT_EQ(evs.front().seq, 7u);
+  EXPECT_EQ(evs.back().seq, 10u);
+  EXPECT_EQ(next, 10u);
+  // A cursor inside the retained window reads gap-free.
+  evs = ring.since(8, &next, &gap);
+  EXPECT_EQ(evs.size(), 2u);
+  EXPECT_EQ(gap, 0u);
+}
+
+TEST(Telemetry, SpanLogMergesTracksIntoOneChromeTrace) {
+  SpanLog log(8);
+  log.span("run", 1, 0.0, 0.5, "wl");
+  log.span("run", 2, 0.1, 0.2);
+  log.instant("preempt", 1, 0.3, "by job 2");
+  EXPECT_EQ(log.num_tracks(), 2u);
+
+  const JsonValue doc = JsonParser::parse(log.to_chrome_json());
+  ASSERT_TRUE(doc.at("traceEvents").is_array());
+  size_t meta = 0, complete = 0, instants = 0;
+  std::set<double> tids;
+  for (const JsonValue& e : doc.at("traceEvents").array) {
+    const std::string ph = e.str("ph");
+    if (ph == "M") {
+      ++meta;
+    } else if (ph == "X") {
+      ++complete;
+      tids.insert(e.num("tid"));
+      EXPECT_GE(e.num("dur"), 0.0);
+    } else if (ph == "i") {
+      ++instants;
+      EXPECT_EQ(e.str("s"), "t");
+    }
+    EXPECT_EQ(e.num("pid"), 1.0);  // one daemon process
+  }
+  EXPECT_EQ(meta, 3u);  // process_name + thread_name per track
+  EXPECT_EQ(complete, 2u);
+  EXPECT_EQ(instants, 1u);
+  EXPECT_EQ(tids.size(), 2u);
+
+  // The cap drops the newest span (keeps the session's beginning) and counts.
+  SpanLog tiny(1);
+  tiny.span("a", 1, 0.0, 1.0);
+  tiny.span("b", 1, 1.0, 2.0);
+  EXPECT_EQ(tiny.size(), 1u);
+  EXPECT_EQ(tiny.dropped(), 1u);
+  EXPECT_EQ(tiny.spans()[0].name, "a");
+}
+
+TEST(Telemetry, PrometheusExpositionIsWellFormed) {
+  JobManager mgr(fast_opts());
+  const SubmitResult r = mgr.submit(demo_spec(150, 30));
+  ASSERT_TRUE(r.accepted);
+  EXPECT_EQ(wait_terminal(mgr, r.id), JobState::Done);
+  const std::string text = mgr.prometheus();
+
+  // Structural validation: every line is a HELP/TYPE comment or a
+  // "name[{labels}] value" sample, one HELP + one TYPE per family, and the
+  // family's TYPE precedes its first sample.
+  std::map<std::string, int> helps, types;
+  std::set<std::string> sampled;
+  for (const std::string& line : prom_split(text)) {
+    if (line.rfind("# HELP ", 0) == 0 || line.rfind("# TYPE ", 0) == 0) {
+      const std::string rest = line.substr(7);
+      const std::string family = rest.substr(0, rest.find(' '));
+      ASSERT_FALSE(family.empty()) << line;
+      if (line[2] == 'H') {
+        EXPECT_EQ(++helps[family], 1) << "duplicate HELP: " << family;
+      } else {
+        EXPECT_EQ(++types[family], 1) << "duplicate TYPE: " << family;
+        EXPECT_EQ(sampled.count(family), 0u)
+            << "TYPE after samples: " << family;
+      }
+      continue;
+    }
+    const size_t sp = line.rfind(' ');
+    ASSERT_NE(sp, std::string::npos) << line;
+    std::string name = line.substr(0, sp);
+    const size_t brace = name.find('{');
+    if (brace != std::string::npos) name = name.substr(0, brace);
+    EXPECT_EQ(name.find_first_not_of(
+                  "abcdefghijklmnopqrstuvwxyz"
+                  "ABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_:"),
+              std::string::npos)
+        << "bad metric name: " << name;
+    sampled.insert(name);
+  }
+
+  // The serve series the dashboards scrape are all present.
+  EXPECT_GE(prom_sample(text, "dtp_serve_submitted_total"), 1.0);
+  EXPECT_GE(prom_sample(text, "dtp_serve_done_total"), 1.0);
+  EXPECT_EQ(prom_sample(text, "dtp_serve_queue_depth"), 0.0);
+  EXPECT_EQ(prom_sample(text, "dtp_serve_running"), 0.0);
+  EXPECT_EQ(prom_sample(text, "dtp_serve_up"), 1.0);
+  // This manager's live job table: exactly the one done job.
+  EXPECT_EQ(prom_sample(text, "dtp_serve_job_state{state=\"done\"}"), 1.0);
+  EXPECT_EQ(prom_sample(text, "dtp_serve_job_state{state=\"queued\"}"), 0.0);
+
+  // Histogram families close with le="+Inf" equal to _count, and bucket
+  // counts are cumulative (non-decreasing in emission order).
+  for (const char* fam : {"dtp_serve_wait_ms", "dtp_serve_service_ms"}) {
+    const std::string prefix = std::string(fam) + "_bucket{";
+    double prev = -1.0, last = -1.0;
+    for (const std::string& line : prom_split(text)) {
+      if (line.rfind(prefix, 0) != 0) continue;
+      const double v = std::atof(line.substr(line.rfind(' ') + 1).c_str());
+      EXPECT_GE(v, prev) << line;
+      prev = last = v;
+    }
+    ASSERT_GE(last, 0.0) << fam << " has no buckets";
+    EXPECT_EQ(last, prom_sample(text, std::string(fam) + "_count"));
+  }
+}
+
+TEST(Telemetry, ManagerEventsAndJournalShareTheTimeline) {
+  const std::string art = fresh_dir("dtp_serve_timeline");
+  JobManager mgr(fast_opts(art));
+  const SubmitResult r = mgr.submit(demo_spec(150, 25));
+  ASSERT_TRUE(r.accepted);
+  EXPECT_EQ(wait_terminal(mgr, r.id), JobState::Done);
+
+  // The ring tells the job's whole story: accept -> running -> terminal.
+  uint64_t next = 0, gap = 0;
+  const auto evs = mgr.events_since(0, &next, &gap);
+  EXPECT_EQ(gap, 0u);
+  std::vector<std::string> kinds;
+  for (const ServeEvent& e : evs)
+    if (e.job == r.id) kinds.push_back(e.kind);
+  ASSERT_GE(kinds.size(), 3u);
+  EXPECT_EQ(kinds.front(), "accept");
+  EXPECT_EQ(kinds.back(), "terminal");
+  int64_t prev_ts = 0;
+  for (const ServeEvent& e : evs) {
+    EXPECT_GE(e.ts_ms, prev_ts);  // wall clock is monotone within the ring
+    prev_ts = e.ts_ms;
+  }
+
+  // Every journal record is stamped with ts_ms and a strictly increasing
+  // process-wide seq, so offline tools can merge streams on one timeline.
+  std::ifstream in(art + "/journal.jsonl");
+  ASSERT_TRUE(in.good());
+  std::string line;
+  double prev_seq = 0.0;
+  size_t records = 0;
+  bool saw_terminal = false;
+  while (std::getline(in, line)) {
+    const JsonValue v = JsonParser::parse(line);
+    ++records;
+    EXPECT_GT(v.num_or("ts_ms", 0), 0.0) << line;
+    EXPECT_GT(v.num_or("seq", 0), prev_seq) << line;
+    prev_seq = v.num_or("seq", 0);
+    if (v.str_or("ev", "") == "terminal") {
+      saw_terminal = true;
+      // The extended terminal record carries the session-report fields.
+      EXPECT_TRUE(v.has("wait_sec")) << line;
+      EXPECT_TRUE(v.has("run_sec")) << line;
+      EXPECT_TRUE(v.has("retries")) << line;
+    }
+  }
+  EXPECT_GE(records, 2u);
+  EXPECT_TRUE(saw_terminal);
+}
+
+TEST(Telemetry, ProtocolMetricsAndEventsVerbs) {
+  JobManager mgr(fast_opts());
+  const SubmitResult r = mgr.submit(demo_spec(150, 25));
+  ASSERT_TRUE(r.accepted);
+  EXPECT_EQ(wait_terminal(mgr, r.id), JobState::Done);
+
+  bool drain = false;
+  const JsonValue m =
+      JsonParser::parse(handle_request(mgr, R"({"cmd":"metrics"})", &drain));
+  ASSERT_TRUE(m.at("ok").boolean);
+  EXPECT_EQ(m.str("format"), "prometheus");
+  EXPECT_NE(m.str("text").find("dtp_serve_submitted_total"),
+            std::string::npos);
+
+  const JsonValue e = JsonParser::parse(
+      handle_request(mgr, R"({"cmd":"events","since":0})", &drain));
+  ASSERT_TRUE(e.at("ok").boolean);
+  ASSERT_TRUE(e.at("events").is_array());
+  ASSERT_GE(e.at("events").array.size(), 3u);
+  EXPECT_EQ(e.num("gap"), 0.0);
+  const double cursor = e.num("next_since");
+  EXPECT_GT(cursor, 0.0);
+  for (const JsonValue& ev : e.at("events").array) {
+    EXPECT_GT(ev.num("seq"), 0.0);
+    EXPECT_GT(ev.num("ts_ms"), 0.0);
+    EXPECT_FALSE(ev.str("kind").empty());
+  }
+
+  // Cursor resumes cleanly; junk cursors answer with a diagnostic.
+  const JsonValue e2 = JsonParser::parse(handle_request(
+      mgr,
+      R"({"cmd":"events","since":)" + std::to_string(int64_t(cursor)) + "}",
+      &drain));
+  ASSERT_TRUE(e2.at("ok").boolean);
+  EXPECT_TRUE(e2.at("events").array.empty());
+  const JsonValue bad = JsonParser::parse(
+      handle_request(mgr, R"({"cmd":"events","since":"x"})", &drain));
+  EXPECT_FALSE(bad.at("ok").boolean);
+}
+
+TEST(Telemetry, GaugesTrackEveryTransitionNotJustSubmit) {
+  ManagerOptions opts = fast_opts();
+  opts.workers = 1;
+  JobManager mgr(opts);
+  auto& reg = dtp::obs::MetricsRegistry::instance();
+
+  const SubmitResult runs = mgr.submit(demo_spec(300, 100000, "wl", "a"));
+  ASSERT_TRUE(runs.accepted);
+  EXPECT_EQ(wait_state(mgr, runs.id, JobState::Running), JobState::Running);
+  const SubmitResult waits = mgr.submit(demo_spec(150, 20, "wl", "b"));
+  ASSERT_TRUE(waits.accepted);
+  EXPECT_EQ(reg.gauge("serve.queue_depth").value(), 1.0);
+  EXPECT_EQ(reg.gauge("serve.running").value(), 1.0);
+
+  // Pausing the queued job must refresh queue_depth without a submit.
+  ASSERT_TRUE(mgr.pause(waits.id));
+  EXPECT_EQ(reg.gauge("serve.queue_depth").value(), 0.0);
+  EXPECT_EQ(reg.gauge("serve.paused").value(), 1.0);
+  ASSERT_TRUE(mgr.resume(waits.id));
+  EXPECT_EQ(reg.gauge("serve.queue_depth").value(), 1.0);
+  EXPECT_EQ(reg.gauge("serve.paused").value(), 0.0);
+
+  mgr.cancel(runs.id);
+  mgr.cancel(waits.id);
+  ASSERT_TRUE(mgr.wait_idle(60.0));
+  EXPECT_EQ(reg.gauge("serve.queue_depth").value(), 0.0);
+  EXPECT_EQ(reg.gauge("serve.running").value(), 0.0);
 }

@@ -15,6 +15,16 @@
 //
 //   dtp_report --bench-diff OLD.json NEW.json [--threshold 0.15]
 //
+// Serve mode — post-hoc report over a dtp_serve session journal:
+//
+//   dtp_report --serve artifacts/journal.jsonl
+//
+//   Replays the journal's accept/reject/ckpt/terminal records through the
+//   same SessionAccum the live daemon feeds (serve/session_stats.h), so the
+//   printed percentiles agree with what {"cmd":"stats"} reported while the
+//   session ran, and lists any job accepted but never finished (parked by a
+//   drain, or lost to a crash).
+//
 // Exit codes: 0 ok, 1 usage / IO / JSON parse error, 2 policy failure — a
 // --require record type is missing, or the diff found a regression beyond the
 // threshold (HPWL/overflow/WNS/TNS worse, or run health rank degraded; for
@@ -34,6 +44,7 @@
 #include "common/json_parse.h"
 #include "common/json_writer.h"
 #include "obs/prof/bench_json.h"
+#include "serve/session_stats.h"
 
 namespace {
 
@@ -603,6 +614,81 @@ int run_diff(const RunData& a, const RunData& b, double threshold) {
   return regression ? 2 : 0;
 }
 
+// ---- serve mode: replay a dtp_serve journal through the live session
+// accumulator (serve/session_stats.h) ----
+int run_serve_report(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "dtp_report: cannot open %s\n", path.c_str());
+    return 1;
+  }
+  dtp::serve::SessionAccum accum;
+  std::map<uint64_t, std::string> open_jobs;  // id -> client/mode summary
+  size_t accepts = 0, rejects = 0, ckpts = 0, terminals = 0, bad_lines = 0;
+  int64_t first_ts = 0, last_ts = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    JsonValue v;
+    try {
+      v = JsonParser::parse(line);
+    } catch (const std::exception&) {
+      ++bad_lines;  // a torn final line from a crash is expected
+      continue;
+    }
+    if (!v.is_object()) {
+      ++bad_lines;
+      continue;
+    }
+    const std::string ev = v.str_or("ev", "");
+    const uint64_t id = static_cast<uint64_t>(v.num_or("id", 0));
+    const int64_t ts = static_cast<int64_t>(v.num_or("ts_ms", 0));
+    if (ts > 0) {
+      if (first_ts == 0) first_ts = ts;
+      last_ts = ts;
+    }
+    if (ev == "accept") {
+      ++accepts;
+      std::string what;
+      if (v.has("spec") && v.at("spec").is_object()) {
+        const JsonValue& spec = v.at("spec");
+        what = spec.str_or("client", "anon") + " " + spec.str_or("mode", "dt");
+      }
+      open_jobs[id] = what;
+    } else if (ev == "reject") {
+      ++rejects;
+      accum.add_terminal("rejected", 0.0, 0.0, 0, 0, false);
+    } else if (ev == "ckpt") {
+      ++ckpts;
+    } else if (ev == "terminal") {
+      ++terminals;
+      open_jobs.erase(id);
+      accum.add_terminal(v.str_or("state", "unknown"), v.num_or("wait_sec", 0),
+                         v.num_or("run_sec", 0),
+                         static_cast<int>(v.num_or("retries", 0)),
+                         static_cast<int>(v.num_or("preemptions", 0)),
+                         v.has("recovered") && v.at("recovered").boolean);
+    }
+  }
+  std::printf("==== dtp_report --serve: %s ====\n", path.c_str());
+  std::printf("records: %zu accepts, %zu rejects, %zu checkpoints, "
+              "%zu terminals",
+              accepts, rejects, ckpts, terminals);
+  if (bad_lines > 0) std::printf(", %zu unparseable line(s)", bad_lines);
+  std::printf("\n");
+  if (first_ts > 0 && last_ts >= first_ts)
+    std::printf("session span: %.1f s of journal activity\n",
+                static_cast<double>(last_ts - first_ts) / 1e3);
+  accum.print(stdout);
+  if (!open_jobs.empty()) {
+    std::printf("unfinished (accepted, no terminal — parked or lost):\n");
+    for (const auto& [id, what] : open_jobs)
+      std::printf("  job %llu%s%s\n", static_cast<unsigned long long>(id),
+                  what.empty() ? "" : "  ", what.c_str());
+  }
+  return 0;
+}
+
 void usage() {
   std::fprintf(stderr,
                "usage: dtp_report [--require TYPE[,TYPE...]] [--activity] "
@@ -611,6 +697,7 @@ void usage() {
                "[--threshold 0.05]\n"
                "       dtp_report --bench-diff OLD.json NEW.json "
                "[--threshold 0.15]\n"
+               "       dtp_report --serve artifacts/journal.jsonl\n"
                "exit codes: 0 ok, 1 usage/IO/parse error, 2 missing required "
                "record type or diff regression\n");
 }
@@ -623,6 +710,7 @@ int main(int argc, char** argv) {
   bool diff = false;
   bool bench_diff_mode = false;
   bool activity_section = false;
+  std::string serve_journal;
   std::vector<std::string> diff_args;
   double threshold = 0.05;
   bool threshold_set = false;
@@ -640,6 +728,8 @@ int main(int argc, char** argv) {
       diff = true;
     } else if (arg == "--bench-diff") {
       bench_diff_mode = true;
+    } else if (arg == "--serve" && i + 1 < argc) {
+      serve_journal = argv[++i];
     } else if (arg == "--activity") {
       activity_section = true;
     } else if (!arg.empty() && arg[0] == '-') {
@@ -652,6 +742,8 @@ int main(int argc, char** argv) {
       files.push_back(arg);
     }
   }
+
+  if (!serve_journal.empty()) return run_serve_report(serve_journal);
 
   if (bench_diff_mode) {
     if (diff_args.size() != 2) {

@@ -16,9 +16,13 @@
 //
 // Client (one-shot, for scripts and the CI smoke test):
 //   dtp_serve --socket /tmp/dtp.sock --request '{"cmd":"submit","spec":{...}}'
+//   dtp_serve --socket /tmp/dtp.sock --scrape
 //
-//   Prints the response line on stdout.  Exit 0 when the response has
-//   "ok":true, 2 when the service answered "ok":false, 1 on transport error.
+//   --request prints the response line on stdout.  Exit 0 when the response
+//   has "ok":true, 2 when the service answered "ok":false, 1 on transport
+//   error.  --scrape asks for {"cmd":"metrics"} and prints the raw Prometheus
+//   exposition text (same exit codes), so `dtp_serve --socket S --scrape`
+//   replaces curl against daemons that speak no HTTP.
 #include <atomic>
 #include <csignal>
 #include <cstdio>
@@ -45,8 +49,10 @@ void usage() {
       stderr,
       "usage: dtp_serve --socket PATH [--workers N] [--queue-cap N]\n"
       "                 [--artifacts DIR] [--backoff-ms N] [--no-preempt]\n"
+      "                 [--trace-out FILE] [--events-cap N]\n"
       "                 [--log-level debug|info|warn|error|silent]\n"
       "       dtp_serve --socket PATH --request 'JSON'   # one-shot client\n"
+      "       dtp_serve --socket PATH --scrape  # print Prometheus metrics\n"
       "exit codes (daemon): 0 clean drain, 1 setup error\n"
       "exit codes (client): 0 ok:true, 1 transport error, 2 ok:false\n");
 }
@@ -74,7 +80,27 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  // ---- one-shot client mode ----
+  // ---- one-shot client modes ----
+  if (arg_flag(argc, argv, "--scrape")) {
+    std::string response, err;
+    if (!serve::send_request(socket_path, R"({"cmd":"metrics"})", &response,
+                             &err)) {
+      std::fprintf(stderr, "dtp_serve: %s\n", err.c_str());
+      return 1;
+    }
+    try {
+      const JsonValue v = JsonParser::parse(response);
+      if (v.is_object() && v.has("ok") && v.at("ok").boolean &&
+          v.has("text")) {
+        std::fputs(v.at("text").string.c_str(), stdout);
+        return 0;
+      }
+    } catch (const std::exception&) {
+    }
+    std::fprintf(stderr, "dtp_serve: bad metrics response: %s\n",
+                 response.c_str());
+    return 2;
+  }
   if (const char* request = arg_str(argc, argv, "--request", nullptr)) {
     std::string response, err;
     if (!serve::send_request(socket_path, request, &response, &err)) {
@@ -98,6 +124,9 @@ int main(int argc, char** argv) {
   mopts.artifact_dir = arg_str(argc, argv, "--artifacts", "");
   mopts.backoff_base_ms = arg_int(argc, argv, "--backoff-ms", 50);
   mopts.preemption = !arg_flag(argc, argv, "--no-preempt");
+  mopts.trace_out = arg_str(argc, argv, "--trace-out", "");
+  mopts.event_capacity =
+      static_cast<size_t>(arg_int(argc, argv, "--events-cap", 256));
 
   std::signal(SIGINT, on_signal);
   std::signal(SIGTERM, on_signal);

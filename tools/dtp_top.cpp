@@ -1,0 +1,202 @@
+// dtp_top: live terminal view of a running dtp_serve daemon (DESIGN.md §13).
+//
+//   dtp_top --socket /tmp/dtp.sock [--interval SEC] [--once] [--events N]
+//
+// Polls the daemon's stats/list/events protocol verbs on a refresh loop and
+// renders queue depth, per-state job counts, wait/service latency
+// percentiles, the job table and the most recent lifecycle events — a
+// single-screen answer to "what is the daemon doing right now" with no
+// dependencies beyond the daemon's own socket.
+//
+//   --once      render one frame and exit (scripts, CI)
+//   --interval  refresh period in seconds (default 1.0)
+//   --events    number of recent events to keep on screen (default 10)
+//
+// Exit codes: 0 after a clean frame (--once) or SIGINT, 1 on transport error,
+// 2 on a malformed response.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdint>
+#include <cstdio>
+#include <ctime>
+#include <deque>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/cli.h"
+#include "common/json_parse.h"
+#include "serve/server.h"
+
+namespace {
+
+using dtp::JsonParser;
+using dtp::JsonValue;
+using dtp::cli::arg_double;
+using dtp::cli::arg_flag;
+using dtp::cli::arg_int;
+using dtp::cli::arg_str;
+
+std::atomic<bool> g_stop{false};
+void on_signal(int) { g_stop.store(true); }
+
+// One protocol round-trip; returns false (with *err set) on transport
+// failure, throws std::runtime_error on malformed JSON.
+bool ask(const std::string& socket, const std::string& request, JsonValue* out,
+         std::string* err) {
+  std::string response;
+  if (!dtp::serve::send_request(socket, request, &response, err)) return false;
+  *out = JsonParser::parse(response);
+  return true;
+}
+
+std::string fmt_clock(int64_t ts_ms) {
+  const std::time_t t = static_cast<std::time_t>(ts_ms / 1000);
+  std::tm tm_buf{};
+  localtime_r(&t, &tm_buf);
+  char buf[16];
+  std::strftime(buf, sizeof(buf), "%H:%M:%S", &tm_buf);
+  return std::string(buf) + "." + std::to_string((ts_ms % 1000) / 100);
+}
+
+struct EventLine {
+  uint64_t seq = 0;
+  std::string text;
+};
+
+void render(const std::string& socket, const JsonValue& stats,
+            const JsonValue& jobs, const std::deque<EventLine>& events,
+            uint64_t total_gap) {
+  const JsonValue& s = stats.at("stats");
+  std::printf("dtp_serve @ %s%s\n", socket.c_str(),
+              s.num_or("draining", 0) != 0 ? "   [DRAINING]" : "");
+  std::printf(
+      "queue %2.0f/%-2.0f  running %2.0f/%-2.0f  submitted %.0f  accepted %.0f"
+      "  rejected %.0f\n",
+      s.num_or("queue_depth", 0), s.num_or("queue_capacity", 0),
+      s.num_or("running", 0), s.num_or("workers", 0),
+      s.num_or("submitted", 0), s.num_or("accepted", 0),
+      s.num_or("rejected", 0));
+  std::printf(
+      "done %.0f  failed %.0f  timeout %.0f  cancelled %.0f  retries %.0f"
+      "  preemptions %.0f  recovered %.0f\n",
+      s.num_or("done", 0), s.num_or("failed", 0), s.num_or("timeout", 0),
+      s.num_or("cancelled", 0), s.num_or("retries", 0),
+      s.num_or("preemptions", 0), s.num_or("recovered", 0));
+  if (s.has("session") && s.at("session").is_object()) {
+    const JsonValue& sess = s.at("session");
+    if (sess.has("wait_ms") && sess.has("service_ms")) {
+      std::printf(
+          "wait    p50 %8.1f ms   p95 %8.1f ms\n"
+          "service p50 %8.1f ms   p95 %8.1f ms\n",
+          sess.at("wait_ms").num_or("p50", 0),
+          sess.at("wait_ms").num_or("p95", 0),
+          sess.at("service_ms").num_or("p50", 0),
+          sess.at("service_ms").num_or("p95", 0));
+    }
+  }
+
+  std::printf("\n%4s %-9s %-10s %4s %-4s %6s %8s %8s  %s\n", "ID", "STATE",
+              "CLIENT", "PRIO", "MODE", "ITER", "WAIT(s)", "RUN(s)", "DETAIL");
+  for (const JsonValue& j : jobs.at("jobs").array) {
+    const JsonValue& spec = j.at("spec");
+    std::string detail = j.str_or("detail", "");
+    if (detail.size() > 46) detail = detail.substr(0, 43) + "...";
+    const double iters =
+        j.has("outcome") ? j.at("outcome").num_or("iterations", 0) : 0;
+    std::printf("%4.0f %-9s %-10s %4.0f %-4s %6.0f %8.2f %8.2f  %s\n",
+                j.num_or("id", 0), j.str_or("state", "?").c_str(),
+                spec.str_or("client", "?").c_str(), spec.num_or("priority", 0),
+                spec.str_or("mode", "?").c_str(), iters,
+                j.num_or("wait_sec", 0), j.num_or("run_sec", 0),
+                detail.c_str());
+  }
+
+  std::printf("\nevents (ring cursor %llu%s):\n",
+              static_cast<unsigned long long>(
+                  events.empty() ? 0 : events.back().seq),
+              total_gap > 0
+                  ? (", " + std::to_string(total_gap) + " lost to overflow")
+                        .c_str()
+                  : "");
+  for (const EventLine& e : events) std::printf("  %s\n", e.text.c_str());
+  std::fflush(stdout);
+}
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: dtp_top --socket PATH [--interval SEC] [--once]"
+               " [--events N]\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2 || arg_flag(argc, argv, "--help")) {
+    usage();
+    return argc < 2 ? 1 : 0;
+  }
+  const char* socket_arg = arg_str(argc, argv, "--socket", nullptr);
+  if (socket_arg == nullptr) {
+    usage();
+    return 1;
+  }
+  const std::string socket = socket_arg;
+  const bool once = arg_flag(argc, argv, "--once");
+  const double interval = arg_double(argc, argv, "--interval", 1.0);
+  const size_t keep =
+      static_cast<size_t>(std::max(1, arg_int(argc, argv, "--events", 10)));
+
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGPIPE, SIG_IGN);
+
+  uint64_t cursor = 0;
+  uint64_t total_gap = 0;
+  std::deque<EventLine> events;
+
+  while (!g_stop.load()) {
+    JsonValue stats, jobs, evresp;
+    std::string err;
+    try {
+      if (!ask(socket, R"({"cmd":"stats"})", &stats, &err) ||
+          !ask(socket, R"({"cmd":"list"})", &jobs, &err) ||
+          !ask(socket,
+               R"({"cmd":"events","since":)" + std::to_string(cursor) + "}",
+               &evresp, &err)) {
+        std::fprintf(stderr, "dtp_top: %s\n", err.c_str());
+        return 1;
+      }
+      if (!stats.is_object() || !stats.has("stats") || !jobs.has("jobs") ||
+          !evresp.has("events")) {
+        std::fprintf(stderr, "dtp_top: malformed response\n");
+        return 2;
+      }
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "dtp_top: %s\n", e.what());
+      return 2;
+    }
+
+    cursor = static_cast<uint64_t>(evresp.num_or("next_since", cursor));
+    total_gap += static_cast<uint64_t>(evresp.num_or("gap", 0));
+    for (const JsonValue& e : evresp.at("events").array) {
+      std::string text = fmt_clock(static_cast<int64_t>(e.num_or("ts_ms", 0)));
+      text += " " + e.str_or("kind", "?");
+      if (e.has("job"))
+        text += " job " + std::to_string(
+                              static_cast<uint64_t>(e.num_or("job", 0)));
+      if (e.has("state")) text += " [" + e.str_or("state", "") + "]";
+      const std::string detail = e.str_or("detail", "");
+      if (!detail.empty()) text += " — " + detail;
+      events.push_back({static_cast<uint64_t>(e.num_or("seq", 0)), text});
+    }
+    while (events.size() > keep) events.pop_front();
+
+    if (!once) std::printf("\033[H\033[2J");  // home + clear between frames
+    render(socket, stats, jobs, events, total_gap);
+    if (once) return 0;
+    std::this_thread::sleep_for(std::chrono::duration<double>(interval));
+  }
+  return 0;
+}
