@@ -24,6 +24,24 @@ using sta::ArcCandidate;
 using sta::ArcKind;
 using sta::LevelStat;
 
+namespace {
+// Live-span labels for the reverse level sweep; the profiler stores the
+// pointer, so these must be string literals (overflow bucket for deep graphs).
+constexpr int kNumBwdLevelLabels = 24;
+const char* const kBwdLevelLabels[kNumBwdLevelLabels] = {
+    "sta_bwd_L0",  "sta_bwd_L1",  "sta_bwd_L2",  "sta_bwd_L3",
+    "sta_bwd_L4",  "sta_bwd_L5",  "sta_bwd_L6",  "sta_bwd_L7",
+    "sta_bwd_L8",  "sta_bwd_L9",  "sta_bwd_L10", "sta_bwd_L11",
+    "sta_bwd_L12", "sta_bwd_L13", "sta_bwd_L14", "sta_bwd_L15",
+    "sta_bwd_L16", "sta_bwd_L17", "sta_bwd_L18", "sta_bwd_L19",
+    "sta_bwd_L20", "sta_bwd_L21", "sta_bwd_L22", "sta_bwd_L23"};
+
+const char* bwd_level_label(int level) {
+  return (level >= 0 && level < kNumBwdLevelLabels) ? kBwdLevelLabels[level]
+                                                    : "sta_bwd_Lhi";
+}
+}  // namespace
+
 DiffTimer::DiffTimer(const netlist::Design& design, const sta::TimingGraph& graph,
                      DiffTimerOptions options)
     : timer_(design, graph,
@@ -196,6 +214,7 @@ void DiffTimer::backward(double t1, double t2, double h1, double h2,
   Stopwatch level_clock;
 
   for (int l = graph.num_levels() - 1; l >= 0; --l) {
+    DTP_PROF_SCOPE(bwd_level_label(l));
     if (profile_levels_) level_clock.reset();
     for (const PinId v : graph.level(l)) {
       const auto fanin = graph.fanin(v);

@@ -140,6 +140,11 @@ void cell_object(JsonWriter& w, const BenchCell& cell) {
   w.end_object();
   w.end_object();
 
+  // Sampling-profiler attribution across the cell's timed repeats
+  // (dtp.profile.v1, pre-serialized).  Optional: absent when the profiler
+  // was disabled, so dtp.bench.v1 readers stay compatible.
+  if (!cell.profile_json.empty()) w.key("profile").raw(cell.profile_json);
+
   w.end_object();
 }
 
@@ -175,6 +180,49 @@ bool write_bench_json(const std::string& path, const BenchSuiteResult& suite) {
   std::fputc('\n', f);
   std::fclose(f);
   return true;
+}
+
+std::string bench_history_line(const JsonValue& doc) {
+  if (!doc.is_object() ||
+      doc.str_or("schema", "").rfind("dtp.bench", 0) != 0 ||
+      !doc.has("cells") || !doc.at("cells").is_array())
+    return "";
+  JsonWriter w;
+  w.begin_object();
+  w.key("type").value("bench_run");
+  w.key("schema").value(doc.str_or("schema", ""));
+  w.key("suite").value(doc.str_or("suite", "?"));
+  const std::string commit = doc.str_or("commit", "");
+  if (!commit.empty()) w.key("commit").value(commit);
+  const std::string label = doc.str_or("label", "");
+  if (!label.empty()) w.key("label").value(label);
+  w.key("threads")
+      .value(static_cast<uint64_t>(doc.num_or("threads", 0.0)));
+  bool counters_available = false;
+  if (doc.has("counters") && doc.at("counters").is_object()) {
+    const JsonValue& c = doc.at("counters");
+    counters_available = c.has("available") && c.at("available").boolean;
+  }
+  w.key("counters_available").value(counters_available);
+  w.key("cells").begin_array();
+  for (const JsonValue& cell : doc.at("cells").array) {
+    w.begin_object();
+    w.key("name").value(cell.str_or("name", "?"));
+    double wall_median = 0.0, cpu_median = 0.0;
+    if (cell.has("stats") && cell.at("stats").is_object()) {
+      const JsonValue& st = cell.at("stats");
+      if (st.has("wall_sec"))
+        wall_median = st.at("wall_sec").num_or("median", 0.0);
+      if (st.has("cpu_sec"))
+        cpu_median = st.at("cpu_sec").num_or("median", 0.0);
+    }
+    w.key("wall_median_sec").value(wall_median);
+    w.key("cpu_median_sec").value(cpu_median);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.str();
 }
 
 // ------------------------------------------------------------------ diff ----

@@ -74,6 +74,10 @@ struct BenchCell {
   std::string mode;    // "wl" | "nw" | "dt"
   int num_cells = 0;
   std::vector<BenchRepeat> repeats;
+  // Serialized dtp.profile.v1 document covering the cell's timed repeats
+  // (sampling-profiler hot-spot attribution); spliced verbatim into the cell
+  // object under "profile" when non-empty.
+  std::string profile_json;
 };
 
 struct BenchSuiteResult {
@@ -112,5 +116,13 @@ struct BenchDiffOptions {
 };
 int bench_diff(const JsonValue& a, const JsonValue& b,
                const BenchDiffOptions& opts, std::FILE* out);
+
+// One-line per-run summary of a parsed dtp.bench document for the running
+// BENCH_history.jsonl trajectory (`dtp_report --history`):
+//   {"type":"bench_run","suite":...,"commit":...,"label":...,"threads":N,
+//    "counters_available":b,"cells":[{"name":...,"wall_median_sec":...,
+//    "cpu_median_sec":...},...]}
+// Returns "" when the document is not a dtp.bench document.
+std::string bench_history_line(const JsonValue& doc);
 
 }  // namespace dtp::obs::prof

@@ -4,10 +4,11 @@
 #include <fstream>
 
 #include "common/json_writer.h"
+#include "obs/metrics.h"
 
 namespace dtp::obs {
 
-std::atomic<bool> Tracer::enabled_flag_{false};
+std::atomic<uint32_t> Tracer::mode_flags_{0};
 
 // Per-thread ring buffer.  Owned by the Tracer registry and reset lazily when
 // the thread first records into a new session; the thread_local pointer below
@@ -22,6 +23,21 @@ struct Tracer::ThreadBuffer {
   uint32_t tid = 0;
 };
 
+// Per-thread live-span slot (DESIGN.md §14).  The owning thread is the only
+// writer; the sampler thread reads under the seqlock: seq is bumped to odd
+// before a mutation of (depth, frames) and back to even after, with release
+// ordering on the final store so a reader that sees matching even values on
+// both sides of its data loads observed a consistent stack.  Data fields are
+// relaxed atomics: the fences order them, and plain loads racing plain stores
+// would be data races under the C++ memory model (and TSan).
+struct Tracer::LiveSlot {
+  std::atomic<uint32_t> seq{0};
+  std::atomic<uint32_t> depth{0};
+  std::atomic<const char*> frames[kMaxLiveDepth] = {};
+  std::atomic<uint32_t> truncated{0};  // pushes beyond kMaxLiveDepth
+  uint32_t tid = 0;                    // UINT32_MAX: table was full
+};
+
 Tracer& Tracer::instance() {
   static Tracer* tracer = new Tracer();  // leaked: see ThreadBuffer comment
   return *tracer;
@@ -32,10 +48,24 @@ void Tracer::enable(size_t capacity) {
   capacity_ = std::max<size_t>(1, capacity);
   ++session_;
   epoch_ = std::chrono::steady_clock::now();
-  enabled_flag_.store(true, std::memory_order_release);
+  mode_flags_.fetch_or(kTraceBit, std::memory_order_release);
 }
 
-void Tracer::disable() { enabled_flag_.store(false, std::memory_order_release); }
+void Tracer::disable() {
+  mode_flags_.fetch_and(~kTraceBit, std::memory_order_release);
+}
+
+void Tracer::enable_live() {
+  std::lock_guard<std::mutex> lock(registry_mutex_);
+  if (++live_refs_ == 1)
+    mode_flags_.fetch_or(kLiveBit, std::memory_order_release);
+}
+
+void Tracer::disable_live() {
+  std::lock_guard<std::mutex> lock(registry_mutex_);
+  if (live_refs_ > 0 && --live_refs_ == 0)
+    mode_flags_.fetch_and(~kLiveBit, std::memory_order_release);
+}
 
 double Tracer::now_us() const {
   return std::chrono::duration<double, std::micro>(
@@ -54,6 +84,114 @@ Tracer::ThreadBuffer& Tracer::local_buffer() {
   return *buf;
 }
 
+Tracer::LiveSlot& Tracer::live_slot() {
+  thread_local LiveSlot* slot = nullptr;
+  if (slot == nullptr) {
+    Tracer& t = instance();
+    std::lock_guard<std::mutex> lock(t.registry_mutex_);
+    slot = new LiveSlot();  // leaked, like ThreadBuffer
+    const size_t n = t.live_count_.load(std::memory_order_relaxed);
+    if (n < static_cast<size_t>(kMaxLiveThreads)) {
+      slot->tid = static_cast<uint32_t>(n);
+      t.live_slots_[n] = slot;
+      // Release-publish the count: the sampler's acquire load of live_count_
+      // makes the slot pointer (and tid) visible.
+      t.live_count_.store(n + 1, std::memory_order_release);
+    } else {
+      slot->tid = UINT32_MAX;  // invisible to the sampler, push/pop still safe
+      t.live_unregistered_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  return *slot;
+}
+
+uint32_t Tracer::live_thread_id() { return live_slot().tid; }
+
+void Tracer::live_push(const char* name) {
+  LiveSlot& s = live_slot();
+  const uint32_t d = s.depth.load(std::memory_order_relaxed);
+  if (d >= static_cast<uint32_t>(kMaxLiveDepth)) {
+    // Beyond the published window: the visible stack (frames[0..max)) is
+    // unchanged, so no seqlock round-trip is needed — just track depth so
+    // pops stay symmetric, and tally the lost label.
+    s.truncated.fetch_add(1, std::memory_order_relaxed);
+    s.depth.store(d + 1, std::memory_order_relaxed);
+    return;
+  }
+  const uint32_t q = s.seq.load(std::memory_order_relaxed);
+  s.seq.store(q + 1, std::memory_order_relaxed);
+  std::atomic_thread_fence(std::memory_order_release);
+  s.frames[d].store(name, std::memory_order_relaxed);
+  s.depth.store(d + 1, std::memory_order_relaxed);
+  s.seq.store(q + 2, std::memory_order_release);
+}
+
+void Tracer::live_pop() {
+  LiveSlot& s = live_slot();
+  const uint32_t d = s.depth.load(std::memory_order_relaxed);
+  if (d == 0) return;  // unbalanced pop (live mode toggled mid-span): ignore
+  if (d > static_cast<uint32_t>(kMaxLiveDepth)) {
+    s.depth.store(d - 1, std::memory_order_relaxed);  // still above the window
+    return;
+  }
+  const uint32_t q = s.seq.load(std::memory_order_relaxed);
+  s.seq.store(q + 1, std::memory_order_relaxed);
+  std::atomic_thread_fence(std::memory_order_release);
+  s.depth.store(d - 1, std::memory_order_relaxed);
+  s.seq.store(q + 2, std::memory_order_release);
+}
+
+size_t Tracer::sample_live(LiveSample* out, size_t max_out,
+                           size_t* torn) const {
+  const size_t n = std::min(live_count_.load(std::memory_order_acquire),
+                            static_cast<size_t>(kMaxLiveThreads));
+  size_t written = 0;
+  size_t torn_count = 0;
+  for (size_t i = 0; i < n && written < max_out; ++i) {
+    const LiveSlot* s = live_slots_[i];
+    LiveSample smp;
+    bool consistent = false;
+    // Bounded retries: a slot whose owner keeps mutating mid-read is skipped
+    // for this tick rather than stalling the sampler.
+    for (int attempt = 0; attempt < 8; ++attempt) {
+      const uint32_t q1 = s->seq.load(std::memory_order_acquire);
+      if ((q1 & 1u) != 0) continue;  // writer mid-update
+      uint32_t d = s->depth.load(std::memory_order_relaxed);
+      if (d > static_cast<uint32_t>(kMaxLiveDepth))
+        d = static_cast<uint32_t>(kMaxLiveDepth);
+      for (uint32_t f = 0; f < d; ++f)
+        smp.frames[f] = s->frames[f].load(std::memory_order_relaxed);
+      std::atomic_thread_fence(std::memory_order_acquire);
+      if (s->seq.load(std::memory_order_relaxed) != q1) continue;
+      smp.depth = d;
+      smp.tid = s->tid;
+      consistent = true;
+      break;
+    }
+    if (!consistent) {
+      ++torn_count;
+      continue;
+    }
+    if (smp.depth == 0) continue;  // idle thread: no sample
+    out[written++] = smp;
+  }
+  if (torn != nullptr) *torn = torn_count;
+  return written;
+}
+
+size_t Tracer::live_truncated() const {
+  const size_t n = std::min(live_count_.load(std::memory_order_acquire),
+                            static_cast<size_t>(kMaxLiveThreads));
+  size_t total = 0;
+  for (size_t i = 0; i < n; ++i)
+    total += live_slots_[i]->truncated.load(std::memory_order_relaxed);
+  return total;
+}
+
+size_t Tracer::live_unregistered() const {
+  return live_unregistered_.load(std::memory_order_relaxed);
+}
+
 void Tracer::record(const char* name, double ts_us, double dur_us) {
   ThreadBuffer& buf = local_buffer();
   if (buf.session != session_) {
@@ -64,7 +202,12 @@ void Tracer::record(const char* name, double ts_us, double dur_us) {
     buf.dropped = 0;
     buf.session = session_;
   }
-  if (buf.count == buf.ring.size()) ++buf.dropped;
+  if (buf.count == buf.ring.size()) {
+    ++buf.dropped;
+    static Counter& dropped_spans =
+        MetricsRegistry::instance().counter("obs.trace.dropped_spans");
+    dropped_spans.add(1);
+  }
   buf.ring[buf.head] = TraceEvent{name, ts_us, dur_us, buf.tid};
   buf.head = (buf.head + 1) % buf.ring.size();
   buf.count = std::min(buf.count + 1, buf.ring.size());
@@ -103,6 +246,15 @@ std::vector<TraceEvent> Tracer::events() const {
   return out;
 }
 
+std::vector<std::pair<uint32_t, size_t>> Tracer::per_thread_dropped() const {
+  std::lock_guard<std::mutex> lock(registry_mutex_);
+  std::vector<std::pair<uint32_t, size_t>> out;
+  for (const ThreadBuffer* b : buffers_)
+    if (b->session == session_ && b->dropped > 0)
+      out.emplace_back(b->tid, b->dropped);
+  return out;
+}
+
 std::string Tracer::to_json() const {
   JsonWriter w;
   w.begin_object();
@@ -119,6 +271,24 @@ std::string Tracer::to_json() const {
     w.end_object();
   }
   w.end_array();
+  // Ring-overflow accounting: total and per-thread dropped spans, so a
+  // truncated trace is detectable from the artifact alone.  Extra top-level
+  // keys are legal in the Chrome trace format.
+  const std::vector<std::pair<uint32_t, size_t>> per_thread =
+      per_thread_dropped();
+  size_t total_dropped = 0;
+  for (const auto& [tid, n] : per_thread) total_dropped += n;
+  w.key("metadata").begin_object();
+  w.key("dropped_spans").value(static_cast<uint64_t>(total_dropped));
+  w.key("per_thread_dropped").begin_array();
+  for (const auto& [tid, n] : per_thread) {
+    w.begin_object();
+    w.key("tid").value(static_cast<uint64_t>(tid));
+    w.key("dropped").value(static_cast<uint64_t>(n));
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
   w.end_object();
   return w.str();
 }

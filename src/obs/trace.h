@@ -1,4 +1,5 @@
-// Scoped-span tracer exporting Chrome trace_event JSON (DESIGN.md §6).
+// Scoped-span tracer exporting Chrome trace_event JSON (DESIGN.md §6) plus
+// the live-span publication layer the sampling profiler reads (DESIGN.md §14).
 //
 // Usage: wrap a phase in DTP_TRACE_SCOPE("sta_forward"); when tracing is
 // enabled the scope's wall-clock extent is recorded as a complete ("ph":"X")
@@ -6,16 +7,26 @@
 // session in the Chrome trace_event format, viewable in chrome://tracing or
 // Perfetto (ui.perfetto.dev).
 //
+// Live-span mode is orthogonal to ring tracing: when a SamplingProfiler is
+// attached (Tracer::enable_live()), every open span additionally publishes
+// its label onto a per-thread seqlock-protected stack that the profiler's
+// sampler thread snapshots without locks (sample_live()).  DTP_PROF_SCOPE
+// spans publish *only* to the live stack — no clock reads, no ring slot — so
+// hot inner loops (per-level dispatch, LUT interpolation) can carry labels
+// without flooding Chrome traces.
+//
 // Cost model: the hot path is the *disabled* case — a single relaxed atomic
 // load and branch, no clock reads, no allocation — so instrumentation can
 // stay compiled into release kernels (<1% on kernels_bench, the acceptance
-// bar).  When enabled, a scope costs two steady_clock reads and one ring
-// slot; buffers are thread-local, so worker threads never contend.  Rings
-// overwrite their oldest events when full (dropped() reports how many), which
-// bounds memory on arbitrarily long runs.
+// bar).  Trace and live enablement share one flag word, so the disabled cost
+// is unchanged.  When enabled, a trace scope costs two steady_clock reads and
+// one ring slot; a live publish is a handful of relaxed stores and a release
+// fence.  Buffers and slots are thread-local, so worker threads never
+// contend.  Rings overwrite their oldest events when full (dropped() reports
+// how many), which bounds memory on arbitrarily long runs.
 //
 // Span names must be string literals (or otherwise outlive the tracer): the
-// ring stores the pointer, not a copy.
+// ring and the live stack store the pointer, not a copy.
 #pragma once
 
 #include <atomic>
@@ -36,6 +47,17 @@ struct TraceEvent {
 
 class Tracer {
  public:
+  // Bits in the mode word.  One relaxed load answers both "is the ring
+  // recording" and "is a profiler attached".
+  static constexpr uint32_t kTraceBit = 1u;
+  static constexpr uint32_t kLiveBit = 2u;
+
+  // Live-span stack geometry.  Deeper nesting than kMaxLiveDepth is counted
+  // (live_truncated()) but not published; threads beyond kMaxLiveThreads are
+  // invisible to the sampler (counted in live_unregistered()).
+  static constexpr int kMaxLiveDepth = 16;
+  static constexpr int kMaxLiveThreads = 256;
+
   static Tracer& instance();
 
   // Starts a tracing session: resets the epoch, clears previous events and
@@ -43,9 +65,47 @@ class Tracer {
   void enable(size_t capacity = kDefaultCapacity);
   void disable();
 
-  static bool enabled() {
-    return enabled_flag_.load(std::memory_order_relaxed);
-  }
+  static uint32_t mode() { return mode_flags_.load(std::memory_order_relaxed); }
+  static bool enabled() { return (mode() & kTraceBit) != 0; }
+  static bool live_enabled() { return (mode() & kLiveBit) != 0; }
+
+  // Live-span publication on/off.  Refcounted so multiple profilers (e.g. a
+  // daemon-wide profiler plus a per-job one) compose; the kLiveBit is set
+  // while any reference is held.
+  void enable_live();
+  void disable_live();
+
+  // Publishes / retracts the top of the calling thread's live-span stack.
+  // Publisher side of the seqlock: a few relaxed stores plus a release fence
+  // (compiler-only on x86).  name must be a string literal.
+  static void live_push(const char* name);
+  static void live_pop();
+
+  // Registers the calling thread's live slot (if not yet) and returns its
+  // dense id — the same id sample_live() reports.  Used by the profiler to
+  // attribute driver-thread hw-counter deltas.  Returns UINT32_MAX when the
+  // slot table is full.
+  static uint32_t live_thread_id();
+
+  // One thread's published stack, snapshotted consistently.
+  struct LiveSample {
+    uint32_t tid = 0;
+    uint32_t depth = 0;
+    const char* frames[kMaxLiveDepth];  // outermost first, [0..depth)
+  };
+
+  // Snapshots every registered thread's live stack (seqlock reader side).
+  // Returns the number of non-empty stacks written to out (at most max_out);
+  // threads whose slot could not be read consistently within a bounded number
+  // of retries are skipped and counted in *torn (when non-null).  Lock-free;
+  // safe to call at sampling rates from a dedicated thread.
+  size_t sample_live(LiveSample* out, size_t max_out,
+                     size_t* torn = nullptr) const;
+
+  // Pushes that exceeded kMaxLiveDepth (label lost, depth still tracked) and
+  // threads that could not register a slot, summed across the process.
+  size_t live_truncated() const;
+  size_t live_unregistered() const;
 
   // Records a completed span on the calling thread.  Called by TraceScope;
   // exposed for events whose extent is not a C++ scope.
@@ -60,8 +120,13 @@ class Tracer {
   size_t num_events() const;
   size_t dropped() const;
   std::vector<TraceEvent> events() const;
+  // Per-thread (tid, dropped) pairs for the current session; nonzero entries
+  // only.  Feeds the trace JSON metadata block.
+  std::vector<std::pair<uint32_t, size_t>> per_thread_dropped() const;
 
-  // Chrome trace_event JSON: {"traceEvents":[...],"displayTimeUnit":"ms"}.
+  // Chrome trace_event JSON: {"traceEvents":[...],"displayTimeUnit":"ms",
+  // "metadata":{"dropped_spans":N,...}}.  The metadata block makes ring
+  // truncation detectable from the artifact alone.
   std::string to_json() const;
   bool write_json(const std::string& path) const;
 
@@ -71,8 +136,10 @@ class Tracer {
   Tracer() = default;
   struct ThreadBuffer;
   ThreadBuffer& local_buffer();
+  struct LiveSlot;
+  static LiveSlot& live_slot();
 
-  static std::atomic<bool> enabled_flag_;
+  static std::atomic<uint32_t> mode_flags_;
   std::chrono::steady_clock::time_point epoch_;
   // Bumped by enable(); rings stamped with an older session are skipped.
   // Atomic: record() reads these off the registry lock.
@@ -83,14 +150,28 @@ class Tracer {
   // them must stay valid across sessions), reset lazily per session.
   mutable std::vector<ThreadBuffer*> buffers_;  // guarded by registry_mutex_
   mutable std::mutex registry_mutex_;
+
+  // Live-slot table: appended under registry_mutex_, read lock-free by the
+  // sampler via the acquire-published count.  Slots leak like ThreadBuffers.
+  LiveSlot* live_slots_[kMaxLiveThreads] = {};
+  std::atomic<size_t> live_count_{0};
+  std::atomic<size_t> live_unregistered_{0};
+  int live_refs_ = 0;  // guarded by registry_mutex_
 };
 
 // RAII span: stamps the start on construction, records on destruction.
 // Nesting works naturally (inner scopes close first; Perfetto stacks them).
+// Publishes to the live-span stack as well when a profiler is attached.
 class TraceScope {
  public:
   explicit TraceScope(const char* name) {
-    if (Tracer::enabled()) {
+    const uint32_t m = Tracer::mode();
+    if (m == 0) return;
+    if ((m & Tracer::kLiveBit) != 0) {
+      Tracer::live_push(name);
+      pushed_ = true;
+    }
+    if ((m & Tracer::kTraceBit) != 0) {
       name_ = name;
       start_us_ = Tracer::instance().now_us();
     }
@@ -100,6 +181,7 @@ class TraceScope {
       Tracer& t = Tracer::instance();
       t.record(name_, start_us_, t.now_us() - start_us_);
     }
+    if (pushed_) Tracer::live_pop();
   }
   TraceScope(const TraceScope&) = delete;
   TraceScope& operator=(const TraceScope&) = delete;
@@ -107,11 +189,35 @@ class TraceScope {
  private:
   const char* name_ = nullptr;
   double start_us_ = 0.0;
+  bool pushed_ = false;
+};
+
+// Live-stack-only span: visible to the sampling profiler, never recorded in
+// the trace ring and never reads a clock.  For spans too hot or too numerous
+// for Chrome traces (per-level dispatch, per-pin LUT interpolation).
+class ProfScope {
+ public:
+  explicit ProfScope(const char* name) {
+    if (Tracer::live_enabled()) {
+      Tracer::live_push(name);
+      pushed_ = true;
+    }
+  }
+  ~ProfScope() {
+    if (pushed_) Tracer::live_pop();
+  }
+  ProfScope(const ProfScope&) = delete;
+  ProfScope& operator=(const ProfScope&) = delete;
+
+ private:
+  bool pushed_ = false;
 };
 
 #define DTP_TRACE_CONCAT2(a, b) a##b
 #define DTP_TRACE_CONCAT(a, b) DTP_TRACE_CONCAT2(a, b)
 #define DTP_TRACE_SCOPE(name) \
   ::dtp::obs::TraceScope DTP_TRACE_CONCAT(dtp_trace_scope_, __LINE__)(name)
+#define DTP_PROF_SCOPE(name) \
+  ::dtp::obs::ProfScope DTP_TRACE_CONCAT(dtp_prof_scope_, __LINE__)(name)
 
 }  // namespace dtp::obs

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/assert.h"
+#include "obs/trace.h"
 #include "placer/fft.h"
 
 namespace dtp::placer {
@@ -11,6 +12,7 @@ namespace {
 constexpr double kPi = 3.14159265358979323846;
 
 void transpose(int m, const std::vector<double>& src, std::vector<double>& dst) {
+  DTP_TRACE_SCOPE("pois_transpose");
   dst.resize(src.size());
   for (int i = 0; i < m; ++i)
     for (int j = 0; j < m; ++j)
@@ -55,65 +57,87 @@ void PoissonSolver::solve(const std::vector<double>& rho, std::vector<double>& p
 
   // coef[u][v] = sum_{x,y} rho[x][y] C_u(x) C_v(y): contract x, then y.
   transpose(m, rho, a);  // a[y][x]
-  for (int y = 0; y < m; ++y)
-    im.rows.dct2(a.data() + static_cast<size_t>(y) * m,
-                 b.data() + static_cast<size_t>(y) * m);  // b[y][u]
+  {
+    DTP_TRACE_SCOPE("pois_dct_rows");
+    for (int y = 0; y < m; ++y)
+      im.rows.dct2(a.data() + static_cast<size_t>(y) * m,
+                   b.data() + static_cast<size_t>(y) * m);  // b[y][u]
+  }
   transpose(m, b, a);  // a[u][y]
-  for (int u = 0; u < m; ++u)
-    im.rows.dct2(a.data() + static_cast<size_t>(u) * m,
-                 coef.data() + static_cast<size_t>(u) * m);  // coef[u][v]
+  {
+    DTP_TRACE_SCOPE("pois_dct_cols");
+    for (int u = 0; u < m; ++u)
+      im.rows.dct2(a.data() + static_cast<size_t>(u) * m,
+                   coef.data() + static_cast<size_t>(u) * m);  // coef[u][v]
+  }
 
   // Series coefficients alpha_u alpha_v / (k_u^2 + k_v^2), DC dropped.
-  for (int u = 0; u < m; ++u) {
-    const double ku = u * wu_scale_x_;
-    const double au = (u == 0 ? 1.0 : 2.0) / m;
-    for (int v = 0; v < m; ++v) {
-      const double kv = v * wu_scale_y_;
-      const double av = (v == 0 ? 1.0 : 2.0) / m;
-      const size_t i = static_cast<size_t>(u) * m + v;
-      coef[i] = (u == 0 && v == 0)
-                    ? 0.0
-                    : coef[i] * au * av / (ku * ku + kv * kv);
+  {
+    DTP_TRACE_SCOPE("pois_spectral_scale");
+    for (int u = 0; u < m; ++u) {
+      const double ku = u * wu_scale_x_;
+      const double au = (u == 0 ? 1.0 : 2.0) / m;
+      for (int v = 0; v < m; ++v) {
+        const double kv = v * wu_scale_y_;
+        const double av = (v == 0 ? 1.0 : 2.0) / m;
+        const size_t i = static_cast<size_t>(u) * m + v;
+        coef[i] = (u == 0 && v == 0)
+                      ? 0.0
+                      : coef[i] * au * av / (ku * ku + kv * kv);
+      }
     }
   }
 
   // tmp2[u][y] = sum_v coef[u][v] C_v(y).
-  for (int u = 0; u < m; ++u)
-    im.rows.eval_cos(coef.data() + static_cast<size_t>(u) * m,
-                     tmp2.data() + static_cast<size_t>(u) * m);
+  {
+    DTP_TRACE_SCOPE("pois_idct_rows");
+    for (int u = 0; u < m; ++u)
+      im.rows.eval_cos(coef.data() + static_cast<size_t>(u) * m,
+                       tmp2.data() + static_cast<size_t>(u) * m);
+  }
 
   // psi[x][y] = sum_u tmp2[u][y] C_u(x).
   transpose(m, tmp2, a);  // a[y][u]
-  for (int y = 0; y < m; ++y)
-    im.rows.eval_cos(a.data() + static_cast<size_t>(y) * m,
-                     b.data() + static_cast<size_t>(y) * m);  // b[y][x]
+  {
+    DTP_TRACE_SCOPE("pois_idct_cols");
+    for (int y = 0; y < m; ++y)
+      im.rows.eval_cos(a.data() + static_cast<size_t>(y) * m,
+                       b.data() + static_cast<size_t>(y) * m);  // b[y][x]
+  }
   transpose(m, b, psi);
 
   // field_x[x][y] = sum_u k_u tmp2[u][y] S_u(x).
-  for (int u = 0; u < m; ++u) {
-    const double ku = u * wu_scale_x_;
+  {
+    DTP_TRACE_SCOPE("pois_idst_fieldx");
+    for (int u = 0; u < m; ++u) {
+      const double ku = u * wu_scale_x_;
+      for (int y = 0; y < m; ++y)
+        b[static_cast<size_t>(u) * m + y] =
+            ku * tmp2[static_cast<size_t>(u) * m + y];
+    }
+    transpose(m, b, a);  // a[y][u]
     for (int y = 0; y < m; ++y)
-      b[static_cast<size_t>(u) * m + y] = ku * tmp2[static_cast<size_t>(u) * m + y];
+      im.rows.eval_sin(a.data() + static_cast<size_t>(y) * m,
+                       b.data() + static_cast<size_t>(y) * m);  // b[y][x]
+    transpose(m, b, field_x);
   }
-  transpose(m, b, a);  // a[y][u]
-  for (int y = 0; y < m; ++y)
-    im.rows.eval_sin(a.data() + static_cast<size_t>(y) * m,
-                     b.data() + static_cast<size_t>(y) * m);  // b[y][x]
-  transpose(m, b, field_x);
 
   // field_y[x][y] = sum_u C_u(x) sum_v k_v coef[u][v] S_v(y).
-  for (int u = 0; u < m; ++u)
-    for (int v = 0; v < m; ++v)
-      a[static_cast<size_t>(u) * m + v] =
-          coef[static_cast<size_t>(u) * m + v] * (v * wu_scale_y_);
-  for (int u = 0; u < m; ++u)
-    im.rows.eval_sin(a.data() + static_cast<size_t>(u) * m,
-                     b.data() + static_cast<size_t>(u) * m);  // b[u][y]
-  transpose(m, b, a);  // a[y][u]
-  for (int y = 0; y < m; ++y)
-    im.rows.eval_cos(a.data() + static_cast<size_t>(y) * m,
-                     b.data() + static_cast<size_t>(y) * m);  // b[y][x]
-  transpose(m, b, field_y);
+  {
+    DTP_TRACE_SCOPE("pois_idst_fieldy");
+    for (int u = 0; u < m; ++u)
+      for (int v = 0; v < m; ++v)
+        a[static_cast<size_t>(u) * m + v] =
+            coef[static_cast<size_t>(u) * m + v] * (v * wu_scale_y_);
+    for (int u = 0; u < m; ++u)
+      im.rows.eval_sin(a.data() + static_cast<size_t>(u) * m,
+                       b.data() + static_cast<size_t>(u) * m);  // b[u][y]
+    transpose(m, b, a);  // a[y][u]
+    for (int y = 0; y < m; ++y)
+      im.rows.eval_cos(a.data() + static_cast<size_t>(y) * m,
+                       b.data() + static_cast<size_t>(y) * m);  // b[y][x]
+    transpose(m, b, field_y);
+  }
 }
 
 double PoissonSolver::energy(const std::vector<double>& rho,

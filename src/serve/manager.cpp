@@ -37,6 +37,12 @@ JobManager::JobManager(ManagerOptions opts)
     std::filesystem::create_directories(opts_.artifact_dir);
     recover_from_journal();
   }
+  if (opts_.profile_hz > 0.0) {
+    obs::prof::SamplingProfiler::Options popts;
+    popts.hz = opts_.profile_hz;
+    profiler_ = std::make_unique<obs::prof::SamplingProfiler>(popts);
+    profiler_->start();
+  }
   workers_.reserve(static_cast<size_t>(opts_.workers));
   for (int i = 0; i < opts_.workers; ++i)
     workers_.emplace_back([this] { worker_loop(); });
@@ -542,6 +548,16 @@ std::string JobManager::stats_json() const {
   return w.str();
 }
 
+std::string JobManager::profile_json(double window_sec) const {
+  if (profiler_ == nullptr) return "";
+  return profiler_->summary_json(window_sec);
+}
+
+std::string JobManager::profile_collapsed() const {
+  if (profiler_ == nullptr) return "";
+  return profiler_->collapsed();
+}
+
 std::string JobManager::prometheus() const {
   std::string out = obs::MetricsRegistry::instance().to_prometheus("dtp_");
   // Live job-state distribution as a labeled series (always all states, so
@@ -597,6 +613,10 @@ void JobManager::drain() {
   for (std::thread& t : workers_) t.join();
   if (watchdog_.joinable()) watchdog_.join();
   workers_.clear();
+  // Join the sampler thread after the workers: the final profile then covers
+  // every span the daemon ever ran, and SIGTERM-driven drains leave no
+  // background thread behind.
+  if (profiler_ != nullptr) profiler_->stop();
   if (!opts_.trace_out.empty()) {
     if (!write_trace(opts_.trace_out))
       DTP_LOG_WARN("serve: cannot write trace to %s", opts_.trace_out.c_str());

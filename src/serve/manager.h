@@ -45,6 +45,7 @@
 #include <vector>
 
 #include "obs/jsonl.h"
+#include "obs/prof/sampling_profiler.h"
 #include "robust/checkpoint.h"
 #include "serve/job.h"
 #include "serve/queue.h"
@@ -64,6 +65,9 @@ struct ManagerOptions {
   size_t event_capacity = 256;   // telemetry event ring (DESIGN.md §13)
   size_t span_capacity = 1 << 16;  // cross-job span log
   std::string trace_out;  // merged Chrome trace written on drain; "" = off
+  // Daemon-wide sampling profiler (DESIGN.md §14): hot-spot attribution
+  // across all jobs, queried live via {"cmd":"profile"}.  0 disables it.
+  double profile_hz = 997.0;
 };
 
 struct SubmitResult {
@@ -112,6 +116,13 @@ class JobManager {
   // dtp_serve_job_state{state=...} labeled series computed from the live job
   // table.  Scrape via {"cmd":"metrics"} or `dtp_serve --scrape`.
   std::string prometheus() const;
+
+  // Live hot-spot attribution ({"cmd":"profile"}): dtp.profile.v1 summary of
+  // the daemon-wide sampling profiler.  window_sec > 0 restricts it to
+  // roughly the last window_sec seconds (checkpoint granularity).
+  bool profiling() const { return profiler_ != nullptr; }
+  std::string profile_json(double window_sec = 0.0) const;
+  std::string profile_collapsed() const;
 
   // Incremental event tail for {"cmd":"events","since":SEQ}; see
   // serve/telemetry.h for the cursor/gap semantics.
@@ -170,6 +181,9 @@ class JobManager {
   EventRing events_;
   SpanLog spans_;
   JobRunner runner_;
+  // Daemon-wide sampling profiler; started in the constructor, stopped in
+  // drain().  Null when opts.profile_hz == 0.
+  std::unique_ptr<obs::prof::SamplingProfiler> profiler_;
 
   mutable std::mutex mutex_;
   std::condition_variable cv_work_;   // queue became non-empty / stopping

@@ -114,6 +114,23 @@ std::string handle_request(JobManager& manager, const std::string& line,
       w.end_object();
       return w.str();
     }
+    if (cmd == "profile") {
+      if (!manager.profiling())
+        return error_response("profile: profiler disabled (--profile-hz 0)");
+      double window = 0.0;
+      if (req.has("window_sec")) {
+        if (!req.at("window_sec").is_number() || req.num("window_sec") < 0)
+          return error_response(
+              "profile: window_sec must be a non-negative number");
+        window = req.num("window_sec");
+      }
+      JsonWriter w;
+      w.begin_object();
+      w.key("ok").value(true);
+      w.key("profile").raw(manager.profile_json(window));
+      w.end_object();
+      return w.str();
+    }
     if (cmd == "events") {
       uint64_t since = 0;
       if (req.has("since")) {

@@ -14,6 +14,13 @@
 //   {"cmd":"stats"}                        -> {"ok":true,"stats":{...}}
 //   {"cmd":"metrics"}                      -> {"ok":true,"format":
 //                                             "prometheus","text":"..."}
+//   {"cmd":"profile","window_sec":S}       -> {"ok":true,"profile":{...}}
+//                                             (dtp.profile.v1 hot-spot
+//                                              summary; window_sec > 0
+//                                              restricts it to roughly the
+//                                              last S seconds; error when
+//                                              the daemon runs with
+//                                              --profile-hz 0)
 //   {"cmd":"events","since":SEQ}           -> {"ok":true,"events":[...],
 //                                             "next_since":N,"gap":K}
 //                                             (since defaults to 0 = all the

@@ -30,6 +30,23 @@ double lookup_override(const std::unordered_map<std::string, double>& overrides,
   const auto it = overrides.find(key);
   return it == overrides.end() ? fallback : it->second;
 }
+
+// Live-span labels for per-level forward dispatches.  The profiler's live
+// stack stores the pointer, so labels must be string literals — hence a
+// static table with an overflow bucket for very deep graphs.
+constexpr int kNumLevelLabels = 24;
+const char* const kFwdLevelLabels[kNumLevelLabels] = {
+    "sta_fwd_L0",  "sta_fwd_L1",  "sta_fwd_L2",  "sta_fwd_L3",
+    "sta_fwd_L4",  "sta_fwd_L5",  "sta_fwd_L6",  "sta_fwd_L7",
+    "sta_fwd_L8",  "sta_fwd_L9",  "sta_fwd_L10", "sta_fwd_L11",
+    "sta_fwd_L12", "sta_fwd_L13", "sta_fwd_L14", "sta_fwd_L15",
+    "sta_fwd_L16", "sta_fwd_L17", "sta_fwd_L18", "sta_fwd_L19",
+    "sta_fwd_L20", "sta_fwd_L21", "sta_fwd_L22", "sta_fwd_L23"};
+
+const char* fwd_level_label(int level) {
+  return (level >= 0 && level < kNumLevelLabels) ? kFwdLevelLabels[level]
+                                                 : "sta_fwd_Lhi";
+}
 }  // namespace
 
 Timer::Timer(const netlist::Design& design, const TimingGraph& graph,
@@ -278,9 +295,11 @@ void Timer::sweep_levels(bool early) {
   const auto pins = graph_->level_pins();
   for (const LevelGroup& g : level_groups_) {
     if (g.serial) {
+      DTP_PROF_SCOPE("sta_levels_fused");
       const size_t slot = pool.caller_slot();
       for (size_t i = g.begin; i < g.end; ++i) update_pin(pins[i], early, slot);
     } else {
+      DTP_PROF_SCOPE("sta_level_par");
       pool.parallel_for_slotted(
           g.begin, g.end,
           [&](size_t slot, size_t i) { update_pin(pins[i], early, slot); },
@@ -329,6 +348,9 @@ bool Timer::update_pin(PinId v, bool early, size_t slot) {
   // corner writes its candidates into the workspace cache, where the backward
   // pass and the RAT sweep re-read them; the early corner gathers into
   // per-slot scratch.
+  // Live-stack-only label: per-pin, far too hot for the trace ring, but the
+  // sampler sees worker threads inside the LUT-gather/aggregate section.
+  DTP_PROF_SCOPE("lut_interp");
   const NetId out_net = graph_->driven_timing_net(v);
   const double load =
       out_net == netlist::kInvalidId ? 0.0 : ws.net_root_load(out_net);
@@ -393,6 +415,7 @@ bool Timer::update_pin(PinId v, bool early, size_t slot) {
 }
 
 void Timer::propagate_level(int level, bool early) {
+  DTP_PROF_SCOPE(fwd_level_label(level));
   const auto& pins = graph_->level(level);
   static obs::Histogram& dispatch_hist =
       obs::MetricsRegistry::instance().histogram("sta.level_dispatch_ms");

@@ -326,6 +326,57 @@ TEST(BenchJson, SchemaRoundTrip) {
   EXPECT_EQ(rep.at("pool").at("workers").array.size(), 2u);
 }
 
+TEST(BenchJson, EmbeddedProfileSplicesIntoCell) {
+  BenchSuiteResult suite = make_suite(1.0);
+  suite.cells[0].profile_json =
+      R"({"schema":"dtp.profile.v1","hz":997,"samples":10,)"
+      R"("labels":[{"label":"lut_interp","self":10,"self_pct":100.0}]})";
+  const JsonValue v = JsonParser::parse(bench_json(suite));
+  const JsonValue& cell = v.at("cells").at(size_t{0});
+  ASSERT_TRUE(cell.has("profile"));
+  EXPECT_EQ(cell.at("profile").str_or("schema", ""), "dtp.profile.v1");
+  EXPECT_EQ(cell.at("profile").num_or("samples", 0.0), 10.0);
+  EXPECT_EQ(cell.at("profile").at("labels").array.size(), 1u);
+  // Absent when the profiler was off: readers of the old schema see no change.
+  const JsonValue plain = JsonParser::parse(bench_json(make_suite(1.0)));
+  EXPECT_FALSE(plain.at("cells").at(size_t{0}).has("profile"));
+}
+
+// ---------------------------------------------------------- history line ----
+
+TEST(BenchHistory, SummarizesOneRunPerLine) {
+  BenchSuiteResult suite = make_suite(2.0);
+  suite.commit = "abc1234";
+  suite.label = "nightly";
+  const JsonValue doc = JsonParser::parse(bench_json(suite));
+  const std::string line = bench_history_line(doc);
+  ASSERT_FALSE(line.empty());
+  const JsonValue v = JsonParser::parse(line);
+  EXPECT_EQ(v.str_or("type", ""), "bench_run");
+  EXPECT_EQ(v.str_or("suite", ""), "unit");
+  EXPECT_EQ(v.str_or("commit", ""), "abc1234");
+  EXPECT_EQ(v.str_or("label", ""), "nightly");
+  EXPECT_EQ(v.num_or("threads", 0.0), 2.0);
+  EXPECT_FALSE(v.at("counters_available").boolean);
+  ASSERT_EQ(v.at("cells").array.size(), 1u);
+  const JsonValue& cell = v.at("cells").at(size_t{0});
+  EXPECT_EQ(cell.str_or("name", ""), "s100/dt");
+  EXPECT_DOUBLE_EQ(cell.num_or("wall_median_sec", 0.0), 2.0 * 1.01);
+  EXPECT_GT(cell.num_or("cpu_median_sec", 0.0), 0.0);
+}
+
+TEST(BenchHistory, OmitsEmptyProvenanceAndRejectsNonBenchDocs) {
+  const JsonValue doc = JsonParser::parse(bench_json(make_suite(1.0)));
+  const JsonValue v = JsonParser::parse(bench_history_line(doc));
+  EXPECT_FALSE(v.has("commit"));
+  EXPECT_FALSE(v.has("label"));
+  EXPECT_EQ(bench_history_line(JsonParser::parse("{}")), "");
+  EXPECT_EQ(bench_history_line(
+                JsonParser::parse(R"({"schema":"dtp.profile.v1"})")),
+            "");
+  EXPECT_EQ(bench_history_line(JsonParser::parse("[1,2]")), "");
+}
+
 // ----------------------------------------------------------- bench diff ----
 
 TEST(BenchDiff, SameFilePassesInjectedRegressionFails) {

@@ -1,0 +1,320 @@
+// Sampling profiler (DESIGN.md §14): deterministic fake-clock accumulation,
+// the Σself == samples accounting identity, empty/zero-sample edges,
+// start/stop lifecycle, daemon drain hygiene, the bitwise no-perturbation
+// contract against placement results, and a (generously margined) overhead
+// bound at the default rate.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "json_test_util.h"
+#include "liberty/synth_library.h"
+#include "obs/prof/sampling_profiler.h"
+#include "obs/trace.h"
+#include "placer/global_placer.h"
+#include "serve/manager.h"
+#include "sta/timing_graph.h"
+#include "workload/circuit_gen.h"
+
+namespace dtp {
+namespace {
+
+using obs::Tracer;
+using obs::prof::SamplingProfiler;
+using test::JsonParser;
+using test::JsonValue;
+
+// Fake-clock tests publish spans themselves, so they own live-mode refs.
+class SamplingProfilerTest : public ::testing::Test {
+ protected:
+  void TearDown() override { Tracer::instance().disable(); }
+};
+
+SamplingProfiler::Options no_counters(double hz = 100.0) {
+  SamplingProfiler::Options o;
+  o.hz = hz;
+  o.counters = false;
+  return o;
+}
+
+TEST_F(SamplingProfilerTest, EmptyProfileIsWellFormed) {
+  SamplingProfiler prof(no_counters());
+  EXPECT_EQ(prof.ticks(), 0u);
+  EXPECT_EQ(prof.samples(), 0u);
+  EXPECT_EQ(prof.collapsed(), "");
+  const JsonValue doc = JsonParser::parse(prof.summary_json());
+  EXPECT_EQ(doc.str("schema"), "dtp.profile.v1");
+  EXPECT_EQ(doc.num("samples"), 0.0);
+  EXPECT_EQ(doc.num("ticks"), 0.0);
+  ASSERT_TRUE(doc.has("labels"));
+  EXPECT_TRUE(doc.at("labels").array.empty());
+}
+
+TEST_F(SamplingProfilerTest, IdleTicksCountNoSamples) {
+  Tracer::instance().enable_live();
+  SamplingProfiler prof(no_counters());
+  for (int i = 0; i < 5; ++i) prof.sample_now();
+  Tracer::instance().disable_live();
+  EXPECT_EQ(prof.ticks(), 5u);
+  EXPECT_EQ(prof.samples(), 0u);
+  EXPECT_EQ(prof.collapsed(), "");
+  const JsonValue doc = JsonParser::parse(prof.summary_json());
+  EXPECT_EQ(doc.num("ticks"), 5.0);
+  EXPECT_EQ(doc.num("samples"), 0.0);
+}
+
+// Drives the profiler with the fake clock over a scripted span sequence and
+// checks the folded output byte for byte — the accumulation is required to be
+// a pure function of the observed stacks.
+TEST_F(SamplingProfilerTest, FakeClockFoldedStacksAreDeterministic) {
+  auto run_script = [](SamplingProfiler& prof) {
+    {
+      DTP_PROF_SCOPE("place");
+      {
+        DTP_PROF_SCOPE("density");
+        for (int i = 0; i < 3; ++i) prof.sample_now();
+      }
+      {
+        DTP_PROF_SCOPE("sta");
+        for (int i = 0; i < 2; ++i) prof.sample_now();
+      }
+      prof.sample_now();
+    }
+  };
+  Tracer::instance().enable_live();
+  SamplingProfiler a(no_counters()), b(no_counters());
+  run_script(a);
+  run_script(b);
+  Tracer::instance().disable_live();
+
+  EXPECT_EQ(a.collapsed(),
+            "place 1\n"
+            "place;density 3\n"
+            "place;sta 2\n");
+  EXPECT_EQ(a.collapsed(), b.collapsed());
+  EXPECT_EQ(a.samples(), 6u);
+  EXPECT_EQ(a.ticks(), 6u);
+
+  // Per-label accounting: Σself == samples, and total counts the label
+  // anywhere on the stack.
+  const JsonValue doc = JsonParser::parse(a.summary_json());
+  double self_sum = 0.0, pct_sum = 0.0;
+  for (const JsonValue& l : doc.at("labels").array) {
+    self_sum += l.num("self");
+    pct_sum += l.num("self_pct");
+    if (l.str("label") == "place") {
+      EXPECT_EQ(l.num("self"), 1.0);
+      EXPECT_EQ(l.num("total"), 6.0);
+      EXPECT_NEAR(l.num("total_pct"), 100.0, 1e-9);
+    }
+    if (l.str("label") == "density") {
+      EXPECT_EQ(l.num("self"), 3.0);
+      EXPECT_EQ(l.num("total"), 3.0);
+    }
+  }
+  EXPECT_EQ(self_sum, 6.0);
+  EXPECT_NEAR(pct_sum, 100.0, 1e-9);
+  // Labels are ranked by self count descending.
+  EXPECT_EQ(doc.at("labels").array.front().str("label"), "density");
+}
+
+TEST_F(SamplingProfilerTest, WindowedSummaryDropsOldCheckpoints) {
+  // 10 Hz fake clock, 1 s checkpoints: phase A covers t=0.1..3.0, phase B
+  // covers t=3.1..6.0.  A 2-second window at t=6.0 must exclude phase A.
+  SamplingProfiler::Options opts = no_counters(10.0);
+  SamplingProfiler prof(opts);
+  Tracer::instance().enable_live();
+  {
+    DTP_PROF_SCOPE("phase_a");
+    for (int i = 0; i < 30; ++i) prof.sample_now();
+  }
+  {
+    DTP_PROF_SCOPE("phase_b");
+    for (int i = 0; i < 30; ++i) prof.sample_now();
+  }
+  Tracer::instance().disable_live();
+
+  const JsonValue full = JsonParser::parse(prof.summary_json());
+  double full_a = 0.0, full_b = 0.0;
+  for (const JsonValue& l : full.at("labels").array) {
+    if (l.str("label") == "phase_a") full_a = l.num("self");
+    if (l.str("label") == "phase_b") full_b = l.num("self");
+  }
+  EXPECT_EQ(full_a, 30.0);
+  EXPECT_EQ(full_b, 30.0);
+
+  const JsonValue win = JsonParser::parse(prof.summary_json(2.0));
+  double win_a = 0.0, win_b = 0.0;
+  for (const JsonValue& l : win.at("labels").array) {
+    if (l.str("label") == "phase_a") win_a = l.num("self");
+    if (l.str("label") == "phase_b") win_b = l.num("self");
+  }
+  EXPECT_EQ(win_a, 0.0);
+  EXPECT_GT(win_b, 0.0);
+  EXPECT_LE(win_b, 30.0);
+  // The windowed view keeps checkpoint granularity: at most ~3 s of phase B.
+  EXPECT_LT(win.num("samples"), full.num("samples"));
+}
+
+TEST_F(SamplingProfilerTest, StartStopLifecycleIsIdempotent) {
+  SamplingProfiler prof(no_counters(500.0));
+  EXPECT_FALSE(prof.running());
+  prof.stop();  // stop before start is a no-op
+  prof.start();
+  EXPECT_TRUE(prof.running());
+  prof.start();  // double start is a no-op
+  EXPECT_TRUE(prof.running());
+  prof.stop();
+  EXPECT_FALSE(prof.running());
+  prof.stop();  // double stop is a no-op
+  const JsonValue doc = JsonParser::parse(prof.summary_json());
+  EXPECT_GE(doc.num("duration_sec"), 0.0);
+  // Restart resets the accumulators for a fresh session.
+  prof.start();
+  prof.stop();
+  EXPECT_EQ(JsonParser::parse(prof.summary_json()).num("samples"),
+            prof.samples());
+}
+
+TEST_F(SamplingProfilerTest, WriteArtifactsRoundTrip) {
+  Tracer::instance().enable_live();
+  SamplingProfiler prof(no_counters());
+  {
+    DTP_PROF_SCOPE("leaf");
+    prof.sample_now();
+  }
+  Tracer::instance().disable_live();
+  const std::string dir = ::testing::TempDir();
+  ASSERT_TRUE(prof.write_collapsed(dir + "/p.folded"));
+  ASSERT_TRUE(prof.write_summary(dir + "/p.json"));
+  std::ifstream folded(dir + "/p.folded");
+  std::string line;
+  ASSERT_TRUE(std::getline(folded, line));
+  EXPECT_EQ(line, "leaf 1");
+  std::ifstream summary(dir + "/p.json");
+  std::stringstream ss;
+  ss << summary.rdbuf();
+  EXPECT_EQ(JsonParser::parse(ss.str()).str("schema"), "dtp.profile.v1");
+}
+
+// The no-perturbation contract: a placement run with the profiler attached
+// must produce bit-for-bit the positions of an unprofiled run.
+TEST(SamplingProfilerGolden, PlacementBitwiseIdenticalUnderProfiling) {
+  const liberty::CellLibrary lib = liberty::make_synthetic_library();
+  auto place = [&](bool profiled, std::vector<double>& x,
+                   std::vector<double>& y, double& hpwl) {
+    workload::WorkloadOptions wopts;
+    wopts.seed = 7;
+    wopts.num_cells = 400;
+    netlist::Design design = workload::generate_design(lib, wopts, "golden");
+    sta::TimingGraph graph(design.netlist);
+    placer::GlobalPlacerOptions popts;
+    popts.mode = placer::PlacerMode::DiffTiming;
+    popts.max_iters = 60;
+    popts.timing_start_iter = 10;
+    popts.timing_start_overflow = 1.0;
+    placer::GlobalPlacer gp(design, graph, popts);
+    SamplingProfiler prof;  // counters on: the default production setup
+    if (profiled) prof.start();
+    const placer::PlaceResult res = gp.run();
+    if (profiled) prof.stop();
+    x.assign(design.cell_x.begin(), design.cell_x.end());
+    y.assign(design.cell_y.begin(), design.cell_y.end());
+    hpwl = res.hpwl;
+  };
+  std::vector<double> x0, y0, x1, y1;
+  double hpwl0 = 0.0, hpwl1 = 0.0;
+  place(false, x0, y0, hpwl0);
+  place(true, x1, y1, hpwl1);
+  EXPECT_EQ(hpwl0, hpwl1);
+  ASSERT_EQ(x0.size(), x1.size());
+  for (size_t i = 0; i < x0.size(); ++i) {
+    ASSERT_EQ(x0[i], x1[i]) << "cell " << i;
+    ASSERT_EQ(y0[i], y1[i]) << "cell " << i;
+  }
+}
+
+// Daemon drain hygiene: the manager owns a profiler for its whole lifetime,
+// serves it live, stops it exactly once on drain, and stays queryable after.
+TEST(SamplingProfilerServe, ManagerDrainStopsSamplerCleanly) {
+  serve::ManagerOptions opts;
+  opts.workers = 2;
+  opts.profile_hz = 499.0;
+  serve::JobManager mgr(opts);
+  ASSERT_TRUE(mgr.profiling());
+
+  serve::JobSpec spec;
+  spec.demo_cells = 300;
+  spec.max_iters = 120;
+  spec.mode = "wl";
+  const serve::SubmitResult sub = mgr.submit(spec);
+  ASSERT_TRUE(sub.accepted);
+  mgr.wait_idle(30.0);
+
+  const JsonValue live = JsonParser::parse(mgr.profile_json());
+  EXPECT_EQ(live.str("schema"), "dtp.profile.v1");
+  EXPECT_GT(live.num("ticks"), 0.0);
+
+  mgr.drain();
+  mgr.drain();  // idempotent: the second drain must not double-stop
+
+  // Post-drain the accumulated profile stays readable and consistent.
+  const JsonValue post = JsonParser::parse(mgr.profile_json());
+  EXPECT_EQ(post.str("schema"), "dtp.profile.v1");
+  double self_sum = 0.0;
+  for (const JsonValue& l : post.at("labels").array) self_sum += l.num("self");
+  EXPECT_EQ(self_sum, post.num("samples"));
+  EXPECT_FALSE(mgr.profile_collapsed().empty());
+}
+
+TEST(SamplingProfilerServe, ManagerProfilingCanBeDisabled) {
+  serve::ManagerOptions opts;
+  opts.workers = 1;
+  opts.profile_hz = 0.0;
+  serve::JobManager mgr(opts);
+  EXPECT_FALSE(mgr.profiling());
+  EXPECT_EQ(mgr.profile_json(), "");
+  mgr.drain();
+}
+
+// Overhead bound, with a deliberately generous CI margin: the acceptance
+// criterion (<2% at 997 Hz) is checked on quiet hardware; shared CI runners
+// jitter far more than 2%, so this guards against gross regressions (a lock
+// on the publish path, a blocking sampler) rather than re-measuring the
+// fine bound every run.
+TEST(SamplingProfilerOverhead, PublishPathStaysCheapUnderSampling) {
+  const liberty::CellLibrary lib = liberty::make_synthetic_library();
+  workload::WorkloadOptions wopts;
+  wopts.seed = 11;
+  wopts.num_cells = 300;
+
+  auto run_once = [&](bool profiled) {
+    netlist::Design design = workload::generate_design(lib, wopts, "ovh");
+    sta::TimingGraph graph(design.netlist);
+    placer::GlobalPlacerOptions popts;
+    popts.mode = placer::PlacerMode::WirelengthOnly;
+    popts.max_iters = 120;
+    placer::GlobalPlacer gp(design, graph, popts);
+    SamplingProfiler prof(SamplingProfiler::Options{});
+    if (profiled) prof.start();
+    const placer::PlaceResult res = gp.run();
+    if (profiled) prof.stop();
+    return res.runtime_sec;
+  };
+
+  run_once(false);  // warm-up
+  double base = 1e99, prof = 1e99;
+  for (int i = 0; i < 3; ++i) {
+    base = std::min(base, run_once(false));
+    prof = std::min(prof, run_once(true));
+  }
+  EXPECT_LT(prof, base * 1.5 + 0.05)
+      << "profiled min " << prof << "s vs baseline min " << base << "s";
+}
+
+}  // namespace
+}  // namespace dtp

@@ -242,6 +242,41 @@ TEST(Protocol, SubmitStatusStatsDrain) {
   EXPECT_TRUE(drain);
 }
 
+TEST(Protocol, ProfileVerbServesRollingWindowSummary) {
+  JobManager mgr(fast_opts());
+  bool drain = false;
+  const JsonValue whole =
+      JsonParser::parse(handle_request(mgr, "{\"cmd\":\"profile\"}", &drain));
+  ASSERT_TRUE(whole.at("ok").boolean);
+  EXPECT_EQ(whole.at("profile").str("schema"), "dtp.profile.v1");
+
+  const JsonValue windowed = JsonParser::parse(handle_request(
+      mgr, "{\"cmd\":\"profile\",\"window_sec\":5}", &drain));
+  ASSERT_TRUE(windowed.at("ok").boolean);
+  EXPECT_LE(windowed.at("profile").num("window_sec"),
+            whole.at("profile").num("duration_sec") + 5.0 + 1.0);
+
+  const JsonValue bad = JsonParser::parse(handle_request(
+      mgr, "{\"cmd\":\"profile\",\"window_sec\":\"soon\"}", &drain));
+  EXPECT_FALSE(bad.at("ok").boolean);
+  const JsonValue negative = JsonParser::parse(handle_request(
+      mgr, "{\"cmd\":\"profile\",\"window_sec\":-1}", &drain));
+  EXPECT_FALSE(negative.at("ok").boolean);
+  mgr.drain();
+}
+
+TEST(Protocol, ProfileVerbRefusesWhenProfilerDisabled) {
+  ManagerOptions opts = fast_opts();
+  opts.profile_hz = 0.0;
+  JobManager mgr(opts);
+  bool drain = false;
+  const JsonValue v =
+      JsonParser::parse(handle_request(mgr, "{\"cmd\":\"profile\"}", &drain));
+  EXPECT_FALSE(v.at("ok").boolean);
+  EXPECT_NE(v.str("error").find("profile"), std::string::npos);
+  mgr.drain();
+}
+
 // ------------------------------------------------------------------- soak --
 
 TEST(Soak, SixteenJobsWithFaultsAllReachTerminalStates) {

@@ -7,6 +7,7 @@
 #include <thread>
 
 #include "json_test_util.h"
+#include "obs/metrics.h"
 #include "obs/trace.h"
 
 namespace dtp {
@@ -123,6 +124,158 @@ TEST_F(TraceTest, JsonRoundTripsThroughAParser) {
   EXPECT_TRUE(names.count("sta_forward"));
   EXPECT_TRUE(names.count("elmore_forward"));
   EXPECT_TRUE(names.count("worker"));
+}
+
+TEST_F(TraceTest, OverflowFeedsMetadataAndCounter) {
+  Tracer& tracer = Tracer::instance();
+  obs::Counter& dropped_metric =
+      obs::MetricsRegistry::instance().counter("obs.trace.dropped_spans");
+  const uint64_t metric_before = dropped_metric.value();
+  tracer.enable(/*capacity=*/4);
+  for (int i = 0; i < 11; ++i) {
+    DTP_TRACE_SCOPE("overflow");
+  }
+  std::thread t([] {
+    for (int i = 0; i < 6; ++i) {
+      DTP_TRACE_SCOPE("worker_overflow");
+    }
+  });
+  t.join();
+  tracer.disable();
+
+  // Capacity is per-thread: each ring keeps its newest 4 spans and counts
+  // the rest as dropped (7 on the main thread, 2 on the worker).
+  EXPECT_EQ(tracer.dropped(), (11u - 4u) + (6u - 4u));
+  EXPECT_EQ(dropped_metric.value() - metric_before, tracer.dropped());
+
+  // The per-thread breakdown reaches the Chrome trace metadata, so a capped
+  // trace file still reports exactly what it lost and where.
+  const JsonValue doc = JsonParser::parse(tracer.to_json());
+  ASSERT_TRUE(doc.has("metadata"));
+  const JsonValue& meta = doc.at("metadata");
+  EXPECT_EQ(meta.num("dropped_spans"), 9.0);
+  ASSERT_TRUE(meta.has("per_thread_dropped"));
+  uint64_t sum = 0;
+  std::set<double> drops;
+  for (const JsonValue& row : meta.at("per_thread_dropped").array) {
+    EXPECT_TRUE(row.has("tid"));
+    sum += static_cast<uint64_t>(row.num("dropped"));
+    drops.insert(row.num("dropped"));
+  }
+  EXPECT_EQ(sum, 9u);
+  EXPECT_TRUE(drops.count(7.0));
+  EXPECT_TRUE(drops.count(2.0));
+}
+
+TEST_F(TraceTest, MetadataOmitsDroplessThreads) {
+  Tracer& tracer = Tracer::instance();
+  tracer.enable(/*capacity=*/8);
+  {
+    DTP_TRACE_SCOPE("fits");
+  }
+  tracer.disable();
+  const JsonValue doc = JsonParser::parse(tracer.to_json());
+  ASSERT_TRUE(doc.has("metadata"));
+  EXPECT_EQ(doc.at("metadata").num("dropped_spans"), 0.0);
+  EXPECT_TRUE(doc.at("metadata").at("per_thread_dropped").array.empty());
+}
+
+class LiveStackTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    Tracer::instance().disable_live();
+    Tracer::instance().disable();
+  }
+};
+
+TEST_F(LiveStackTest, SampleSeesOpenSpans) {
+  Tracer& tracer = Tracer::instance();
+  tracer.enable_live();
+  Tracer::LiveSample samples[Tracer::kMaxLiveThreads];
+  {
+    DTP_PROF_SCOPE("outer");
+    DTP_PROF_SCOPE("inner");
+    const size_t n =
+        tracer.sample_live(samples, Tracer::kMaxLiveThreads, nullptr);
+    bool found = false;
+    for (size_t i = 0; i < n; ++i) {
+      if (samples[i].tid != Tracer::live_thread_id()) continue;
+      found = true;
+      ASSERT_EQ(samples[i].depth, 2u);
+      EXPECT_STREQ(samples[i].frames[0], "outer");
+      EXPECT_STREQ(samples[i].frames[1], "inner");
+    }
+    EXPECT_TRUE(found);
+  }
+  // Both spans closed: this thread has no published stack anymore.
+  const size_t n =
+      tracer.sample_live(samples, Tracer::kMaxLiveThreads, nullptr);
+  for (size_t i = 0; i < n; ++i)
+    EXPECT_NE(samples[i].tid, Tracer::live_thread_id());
+}
+
+TEST_F(LiveStackTest, ProfScopeIsInvisibleToTheRing) {
+  Tracer& tracer = Tracer::instance();
+  tracer.enable();  // ring on, live off
+  {
+    DTP_PROF_SCOPE("prof_only");
+    DTP_TRACE_SCOPE("ring_span");
+  }
+  tracer.disable();
+  const auto events = tracer.events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_STREQ(events[0].name, "ring_span");
+}
+
+TEST_F(LiveStackTest, TraceScopePublishesToBothWhenBothEnabled) {
+  Tracer& tracer = Tracer::instance();
+  tracer.enable();
+  tracer.enable_live();
+  {
+    DTP_TRACE_SCOPE("both");
+    Tracer::LiveSample samples[Tracer::kMaxLiveThreads];
+    const size_t n =
+        tracer.sample_live(samples, Tracer::kMaxLiveThreads, nullptr);
+    bool found = false;
+    for (size_t i = 0; i < n; ++i)
+      if (samples[i].tid == Tracer::live_thread_id() &&
+          samples[i].depth >= 1 &&
+          std::string(samples[i].frames[0]) == "both")
+        found = true;
+    EXPECT_TRUE(found);
+  }
+  tracer.disable_live();
+  tracer.disable();
+  EXPECT_EQ(tracer.num_events(), 1u);
+}
+
+TEST_F(LiveStackTest, DeepNestingTruncatesWithoutCorruption) {
+  Tracer& tracer = Tracer::instance();
+  tracer.enable_live();
+  const size_t truncated_before = tracer.live_truncated();
+  // Open kMaxLiveDepth + 4 spans by hand; the visible window must stay at the
+  // first kMaxLiveDepth frames and the overflow must be counted.
+  constexpr size_t kDeep = Tracer::kMaxLiveDepth + 4;
+  for (size_t i = 0; i < kDeep; ++i) Tracer::live_push("deep");
+  EXPECT_EQ(tracer.live_truncated() - truncated_before, 4u);
+  Tracer::LiveSample samples[Tracer::kMaxLiveThreads];
+  size_t torn = 0;
+  const size_t n =
+      tracer.sample_live(samples, Tracer::kMaxLiveThreads, &torn);
+  bool found = false;
+  for (size_t i = 0; i < n; ++i)
+    if (samples[i].tid == Tracer::live_thread_id()) {
+      found = true;
+      EXPECT_EQ(samples[i].depth, Tracer::kMaxLiveDepth);
+    }
+  EXPECT_TRUE(found);
+  EXPECT_EQ(torn, 0u);
+  // Unwind completely; the slot must end balanced at depth zero.
+  for (size_t i = 0; i < kDeep; ++i) Tracer::live_pop();
+  const size_t m =
+      tracer.sample_live(samples, Tracer::kMaxLiveThreads, nullptr);
+  for (size_t i = 0; i < m; ++i)
+    EXPECT_NE(samples[i].tid, Tracer::live_thread_id());
 }
 
 TEST_F(TraceTest, ReenableStartsAFreshSession) {

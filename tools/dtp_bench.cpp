@@ -17,6 +17,8 @@
 //   --sample-ms N     resource-sampler period (default 25)
 //   --timeline-out P  JSONL timeline: resource samples, per-worker busy
 //                     spans and pool marks, tagged by cell/repeat
+//   --profile-hz HZ   sampling-profiler rate for the per-cell "profile"
+//                     block (default 997; 0 disables the profiler)
 //   --list            print the suite grid and exit
 //
 // Every repeat regenerates the design from the same seed, so all repeats and
@@ -35,6 +37,7 @@
 #include "obs/prof/bench_json.h"
 #include "obs/prof/hw_counters.h"
 #include "obs/prof/resource_sampler.h"
+#include "obs/prof/sampling_profiler.h"
 #include "placer/global_placer.h"
 #include "placer/run_report.h"
 #include "sta/timing_graph.h"
@@ -199,6 +202,7 @@ int main(int argc, char** argv) {
   const std::string suite = cli::arg_str(argc, argv, "--suite", "smoke");
   const int repeats = cli::arg_int(argc, argv, "--repeats", 3);
   const int sample_ms = cli::arg_int(argc, argv, "--sample-ms", 25);
+  const double profile_hz = cli::arg_double(argc, argv, "--profile-hz", 997.0);
   const std::string out_path =
       cli::arg_str(argc, argv, "--out", ("BENCH_" + suite + ".json").c_str());
   const char* timeline_path = cli::arg_str(argc, argv, "--timeline-out", nullptr);
@@ -222,8 +226,8 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: dtp_bench --suite smoke|small|medium|large "
                  "[--repeats N] [--out PATH] [--sample-ms N] "
-                 "[--timeline-out PATH] [--commit SHA] [--label STR] "
-                 "[--list]\n");
+                 "[--timeline-out PATH] [--profile-hz HZ] "
+                 "[--commit SHA] [--label STR] [--list]\n");
     return 1;
   }
 
@@ -261,12 +265,23 @@ int main(int argc, char** argv) {
       obs::prof::HwCounters warm_counters;
       run_repeat(lib, cell, warm_counters, sample_ms, nullptr, {});
     }
+    // Hot-spot attribution across the cell's timed repeats (the warm-up is
+    // excluded).  The profiler only reads the live-span slots, so placement
+    // results are untouched; overhead sits inside the <2% acceptance bound.
+    obs::prof::SamplingProfiler::Options prof_opts;
+    prof_opts.hz = profile_hz;
+    obs::prof::SamplingProfiler profiler(prof_opts);
+    if (profile_hz > 0.0) profiler.start();
     for (int r = 0; r < repeats; ++r) {
       const std::string tag = cell.name + "#" + std::to_string(r);
       std::fprintf(stderr, "[dtp_bench] %s: repeat %d/%d\n", cell.name.c_str(),
                    r + 1, repeats);
       bc.repeats.push_back(
           run_repeat(lib, cell, counters, sample_ms, timeline_ptr, tag));
+    }
+    if (profile_hz > 0.0) {
+      profiler.stop();
+      bc.profile_json = profiler.summary_json();
     }
     const obs::prof::SeriesStats wall = obs::prof::compute_stats([&] {
       std::vector<double> xs;

@@ -29,6 +29,7 @@
 #include "common/rng.h"
 #include "obs/jsonl.h"
 #include "obs/metrics.h"
+#include "obs/prof/sampling_profiler.h"
 #include "obs/trace.h"
 #include "io/bookshelf.h"
 #include "io/sdc.h"
@@ -71,6 +72,12 @@ void usage() {
                "(chrome://tracing, Perfetto)\n"
                "                 [--metrics-out F.jsonl]     # per-iteration "
                "stream + F.summary.json\n"
+               "                 [--profile-out F.folded]    # sampling "
+               "profiler: collapsed stacks (flamegraph.pl/speedscope)\n"
+               "                                             # + "
+               "F.folded.summary.json (dtp.profile.v1)\n"
+               "                 [--profile-hz HZ]      # sampling rate "
+               "(default 997)\n"
                "                 [--paths-out F.jsonl]       # introspection "
                "stream: path / grad_attrib / kernel_profile records\n"
                "                 [--paths-topk K]       # paths per sample "
@@ -133,6 +140,14 @@ int main(int argc, char** argv) {
   const char* paths_path = arg_str(argc, argv, "--paths-out", nullptr);
   if (trace_path != nullptr) obs::Tracer::instance().enable();
 
+  // Sampling profiler (DESIGN.md §14): attached for the whole run, stopped
+  // and flushed on every exit path so a failed run still yields its profile.
+  const char* profile_path = arg_str(argc, argv, "--profile-out", nullptr);
+  obs::prof::SamplingProfiler::Options prof_opts;
+  prof_opts.hz = arg_double(argc, argv, "--profile-hz", prof_opts.hz);
+  obs::prof::SamplingProfiler profiler(prof_opts);
+  if (profile_path != nullptr) profiler.start();
+
   // Abnormal-exit artifact flushing: whatever was requested with --trace-out /
   // --metrics-out / --paths-out must hold everything recorded up to the abort
   // — a failed run is exactly the one worth analyzing.  The introspection
@@ -148,6 +163,12 @@ int main(int argc, char** argv) {
     if (trace_path == nullptr) return;
     obs::Tracer::instance().disable();
     obs::Tracer::instance().write_json(trace_path);
+  };
+  auto flush_profile_quiet = [&] {
+    if (profile_path == nullptr) return;
+    profiler.stop();
+    profiler.write_collapsed(profile_path);
+    profiler.write_summary(std::string(profile_path) + ".summary.json");
   };
   // Abort record only (no placement result exists yet).
   auto flush_abort = [&](const std::string& stage, const std::string& error,
@@ -166,6 +187,7 @@ int main(int argc, char** argv) {
     if (act_sink != nullptr && act_sink->is_open())
       act_sink->write_abort(stage, error, code);
     flush_trace_quiet();
+    flush_profile_quiet();
     introspect_sink.close();
     activity_sink.close();
   };
@@ -425,6 +447,7 @@ int main(int argc, char** argv) {
                    "checkpoint\n",
                    res.rollbacks);
       flush_trace_quiet();
+      flush_profile_quiet();
       return 3;
     }
 
@@ -488,6 +511,21 @@ int main(int argc, char** argv) {
       std::printf("wrote %s (%zu spans; open in chrome://tracing or "
                   "ui.perfetto.dev)\n",
                   trace_path, obs::Tracer::instance().num_events());
+    }
+    if (profile_path != nullptr) {
+      profiler.stop();
+      if (!profiler.write_collapsed(profile_path)) {
+        std::fprintf(stderr, "dtp_place: cannot write %s\n", profile_path);
+        return 1;
+      }
+      const std::string summary_path =
+          std::string(profile_path) + ".summary.json";
+      profiler.write_summary(summary_path);
+      std::printf("wrote %s and %s (%llu samples at %.0f Hz; feed the "
+                  "collapsed stacks to flamegraph.pl or speedscope)\n",
+                  profile_path, summary_path.c_str(),
+                  static_cast<unsigned long long>(profiler.samples()),
+                  prof_opts.hz);
     }
     return 0;
   } catch (const robust::ValidationError& e) {

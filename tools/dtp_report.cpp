@@ -19,6 +19,16 @@
 //
 //   dtp_report --serve artifacts/journal.jsonl
 //
+// History mode — append dtp_bench artifacts to a running BENCH_history.jsonl
+// trajectory and print it, one summary line per recorded run:
+//
+//   dtp_report --history BENCH_history.jsonl [BENCH_*.json...]
+//
+// Profile sections — dtp.profile.v1 documents (dtp_place --profile-out's
+// .summary.json sidecar) passed as inputs are summarized as a top-N self-time
+// table; --profile additionally expands the per-cell profiles embedded in
+// dtp_bench artifacts.
+//
 //   Replays the journal's accept/reject/ckpt/terminal records through the
 //   same SessionAccum the live daemon feeds (serve/session_stats.h), so the
 //   printed percentiles agree with what {"cmd":"stats"} reported while the
@@ -54,7 +64,8 @@ using dtp::JsonValue;
 struct RunData {
   std::vector<JsonValue> iters, recoveries, paths, attribs, kernels, aborts;
   std::vector<JsonValue> activities, activity_summaries;
-  std::vector<JsonValue> benches;  // whole BENCH_*.json documents
+  std::vector<JsonValue> benches;   // whole BENCH_*.json documents
+  std::vector<JsonValue> profiles;  // whole dtp.profile.v1 documents
   JsonValue run_end;
   bool has_run_end = false;
   std::map<std::string, size_t> type_counts;
@@ -65,6 +76,12 @@ struct RunData {
 // "schema":"dtp.bench.*" marker.
 bool is_bench_document(const JsonValue& v) {
   return v.is_object() && v.str_or("schema", "").rfind("dtp.bench", 0) == 0;
+}
+
+// A sampling-profiler summary (dtp_place --profile-out's .summary.json
+// sidecar, or a daemon {"cmd":"profile"} response body saved to disk).
+bool is_profile_document(const JsonValue& v) {
+  return v.is_object() && v.str_or("schema", "").rfind("dtp.profile", 0) == 0;
 }
 
 // Loads an entire BENCH_*.json document.  Returns false on IO/parse errors.
@@ -109,6 +126,11 @@ bool load_file(const std::string& path, RunData& run) {
       if (is_bench_document(whole)) {
         ++run.type_counts["bench"];
         run.benches.push_back(std::move(whole));
+        return true;
+      }
+      if (is_profile_document(whole)) {
+        ++run.type_counts["profile"];
+        run.profiles.push_back(std::move(whole));
         return true;
       }
     } catch (const std::exception&) {
@@ -166,7 +188,7 @@ std::vector<std::string> split_commas(const std::string& s) {
   for (;;) {
     const size_t comma = s.find(',', start);
     if (comma == std::string::npos) {
-      if (comma != start) out.push_back(s.substr(start));
+      if (start < s.size()) out.push_back(s.substr(start));
       break;
     }
     if (comma > start) out.push_back(s.substr(start, comma - start));
@@ -221,17 +243,25 @@ void print_report(const RunData& run) {
   std::printf("\n");
 
   for (const JsonValue& bench : run.benches) {
-    std::printf("\n-- bench suite '%s' (%d repeats, %d threads, counters %s) "
+    // Counter availability with the recorded reason, so a CI log reads
+    // "counters: unavailable (perf_event_open ... EACCES)" instead of leaving
+    // the reader to guess at sandbox policy.
+    std::string counters = "unavailable";
+    if (bench.has("counters") && bench.at("counters").is_object()) {
+      const JsonValue& c = bench.at("counters");
+      if (c.has("available") && c.at("available").boolean) {
+        counters = "available";
+      } else {
+        const std::string reason = c.str_or("reason", "");
+        if (!reason.empty()) counters += " (" + reason + ")";
+      }
+    }
+    std::printf("\n-- bench suite '%s' (%d repeats, %d threads, counters: %s) "
                 "--\n",
                 bench.str_or("suite", "?").c_str(),
                 static_cast<int>(bench.num_or("repeats", 0.0)),
                 static_cast<int>(bench.num_or("threads", 0.0)),
-                bench.has("counters") &&
-                        bench.at("counters").is_object() &&
-                        bench.at("counters").has("available") &&
-                        bench.at("counters").at("available").boolean
-                    ? "available"
-                    : "unavailable");
+                counters.c_str());
     if (!bench.has("cells") || !bench.at("cells").is_array()) continue;
     std::printf("%-16s %10s %10s %10s %10s %8s\n", "cell", "wall med",
                 "wall p95", "cpu med", "stddev", "ipc");
@@ -395,6 +425,58 @@ void print_report(const RunData& run) {
     }
   }
   std::printf("\n");
+}
+
+// --------------------------------------------------------------- profile ----
+
+// Top-N self-time table of one dtp.profile.v1 document.  The labels array
+// arrives sorted by self-time descending, so this is a straight prefix.
+void print_profile_table(const JsonValue& p, const std::string& title) {
+  std::printf("\n-- profile %s --\n", title.c_str());
+  std::printf("%.0f Hz for %.2fs: %.0f samples over %.0f ticks",
+              p.num_or("hz", 0.0), p.num_or("duration_sec", 0.0),
+              p.num_or("samples", 0.0), p.num_or("ticks", 0.0));
+  const double torn = p.num_or("torn", 0.0);
+  if (torn > 0.0) std::printf("  (%.0f torn reads)", torn);
+  std::printf("\n");
+  if (p.has("counters") && p.at("counters").is_object()) {
+    const JsonValue& c = p.at("counters");
+    if (!(c.has("available") && c.at("available").boolean))
+      std::printf("counters: unavailable (%s)\n",
+                  c.str_or("reason", "unknown").c_str());
+  }
+  if (!p.has("labels") || !p.at("labels").is_array() ||
+      p.at("labels").array.empty()) {
+    std::printf("no samples attributed (run too short, or spans disabled)\n");
+    return;
+  }
+  std::printf("%-24s %9s %7s %9s %7s\n", "label", "self", "self%", "total",
+              "total%");
+  size_t shown = 0;
+  for (const JsonValue& l : p.at("labels").array) {
+    if (shown++ == 12) {
+      std::printf("(%zu more labels)\n", p.at("labels").array.size() - 12);
+      break;
+    }
+    std::printf("%-24s %9.0f %6.1f%% %9.0f %6.1f%%\n",
+                l.str_or("label", "?").c_str(), l.num_or("self", 0.0),
+                l.num_or("self_pct", 0.0), l.num_or("total", 0.0),
+                l.num_or("total_pct", 0.0));
+  }
+}
+
+// Standalone dtp.profile.v1 inputs always print; --profile additionally
+// expands the per-cell profiles embedded in dtp_bench artifacts.
+void print_profiles(const RunData& run, bool expand_bench) {
+  for (const JsonValue& p : run.profiles) print_profile_table(p, "");
+  if (!expand_bench) return;
+  for (const JsonValue& bench : run.benches) {
+    if (!bench.has("cells") || !bench.at("cells").is_array()) continue;
+    for (const JsonValue& cell : bench.at("cells").array)
+      if (cell.has("profile") && is_profile_document(cell.at("profile")))
+        print_profile_table(cell.at("profile"),
+                            "cell " + cell.str_or("name", "?"));
+  }
 }
 
 // -------------------------------------------------------------- activity ----
@@ -689,15 +771,89 @@ int run_serve_report(const std::string& path) {
   return 0;
 }
 
+// ---- history mode: append dtp_bench artifacts to BENCH_history.jsonl and
+// print the trajectory, one line per recorded run ----
+int run_history(const std::string& hist_path,
+                const std::vector<std::string>& bench_files) {
+  size_t appended = 0;
+  if (!bench_files.empty()) {
+    std::ofstream out(hist_path, std::ios::app);
+    if (!out) {
+      std::fprintf(stderr, "dtp_report: cannot append to %s\n",
+                   hist_path.c_str());
+      return 1;
+    }
+    for (const std::string& f : bench_files) {
+      JsonValue doc;
+      if (!load_bench_file(f, doc)) return 1;
+      const std::string line = dtp::obs::prof::bench_history_line(doc);
+      if (line.empty()) {
+        std::fprintf(stderr, "dtp_report: %s has no summarizable cells\n",
+                     f.c_str());
+        return 1;
+      }
+      out << line << "\n";
+      ++appended;
+    }
+  }
+
+  std::ifstream in(hist_path);
+  if (!in) {
+    std::fprintf(stderr, "dtp_report: cannot read %s\n", hist_path.c_str());
+    return 1;
+  }
+  std::printf("==== dtp_report --history: %s ====\n", hist_path.c_str());
+  size_t runs = 0, bad = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    JsonValue v;
+    try {
+      v = JsonParser::parse(line);
+    } catch (const std::exception&) {
+      ++bad;
+      continue;
+    }
+    if (!v.is_object() || v.str_or("type", "") != "bench_run") {
+      ++bad;
+      continue;
+    }
+    ++runs;
+    std::printf("#%-3zu %-8s", runs, v.str_or("suite", "?").c_str());
+    const std::string commit = v.str_or("commit", "");
+    std::printf(" %-10s", commit.empty() ? "-" : commit.substr(0, 10).c_str());
+    const std::string label = v.str_or("label", "");
+    if (!label.empty()) std::printf(" [%s]", label.c_str());
+    std::printf(" threads %d  counters %s  |",
+                static_cast<int>(v.num_or("threads", 0.0)),
+                v.has("counters_available") &&
+                        v.at("counters_available").boolean
+                    ? "yes"
+                    : "no");
+    if (v.has("cells") && v.at("cells").is_array())
+      for (const JsonValue& c : v.at("cells").array)
+        std::printf("  %s %.3fs", c.str_or("name", "?").c_str(),
+                    c.num_or("wall_median_sec", 0.0));
+    std::printf("\n");
+  }
+  std::printf("%zu run(s) in trajectory", runs);
+  if (appended > 0) std::printf(" (%zu appended now)", appended);
+  if (bad > 0) std::printf(", %zu unrecognized line(s)", bad);
+  std::printf("\n");
+  return 0;
+}
+
 void usage() {
   std::fprintf(stderr,
                "usage: dtp_report [--require TYPE[,TYPE...]] [--activity] "
-               "FILE.jsonl...\n"
+               "[--profile] FILE.jsonl...\n"
                "       dtp_report --diff A.jsonl[,A2.jsonl] B.jsonl[,B2.jsonl] "
                "[--threshold 0.05]\n"
                "       dtp_report --bench-diff OLD.json NEW.json "
                "[--threshold 0.15]\n"
                "       dtp_report --serve artifacts/journal.jsonl\n"
+               "       dtp_report --history BENCH_history.jsonl "
+               "[BENCH_*.json...]\n"
                "exit codes: 0 ok, 1 usage/IO/parse error, 2 missing required "
                "record type or diff regression\n");
 }
@@ -710,7 +866,9 @@ int main(int argc, char** argv) {
   bool diff = false;
   bool bench_diff_mode = false;
   bool activity_section = false;
+  bool profile_section = false;
   std::string serve_journal;
+  std::string history_path;
   std::vector<std::string> diff_args;
   double threshold = 0.05;
   bool threshold_set = false;
@@ -730,8 +888,12 @@ int main(int argc, char** argv) {
       bench_diff_mode = true;
     } else if (arg == "--serve" && i + 1 < argc) {
       serve_journal = argv[++i];
+    } else if (arg == "--history" && i + 1 < argc) {
+      history_path = argv[++i];
     } else if (arg == "--activity") {
       activity_section = true;
+    } else if (arg == "--profile") {
+      profile_section = true;
     } else if (!arg.empty() && arg[0] == '-') {
       std::fprintf(stderr, "dtp_report: unknown option %s\n", arg.c_str());
       usage();
@@ -744,6 +906,7 @@ int main(int argc, char** argv) {
   }
 
   if (!serve_journal.empty()) return run_serve_report(serve_journal);
+  if (!history_path.empty()) return run_history(history_path, files);
 
   if (bench_diff_mode) {
     if (diff_args.size() != 2) {
@@ -778,6 +941,7 @@ int main(int argc, char** argv) {
   RunData run;
   if (!load_files(files, run)) return 1;
   print_report(run);
+  print_profiles(run, profile_section);
   if (activity_section) print_activity(run);
 
   int rc = 0;

@@ -50,6 +50,8 @@ void usage() {
       "usage: dtp_serve --socket PATH [--workers N] [--queue-cap N]\n"
       "                 [--artifacts DIR] [--backoff-ms N] [--no-preempt]\n"
       "                 [--trace-out FILE] [--events-cap N]\n"
+      "                 [--profile-hz HZ]  # sampling profiler ({\"cmd\":"
+      "\"profile\"}); 0 disables (default 997)\n"
       "                 [--log-level debug|info|warn|error|silent]\n"
       "       dtp_serve --socket PATH --request 'JSON'   # one-shot client\n"
       "       dtp_serve --socket PATH --scrape  # print Prometheus metrics\n"
@@ -127,6 +129,8 @@ int main(int argc, char** argv) {
   mopts.trace_out = arg_str(argc, argv, "--trace-out", "");
   mopts.event_capacity =
       static_cast<size_t>(arg_int(argc, argv, "--events-cap", 256));
+  mopts.profile_hz =
+      cli::arg_double(argc, argv, "--profile-hz", mopts.profile_hz);
 
   std::signal(SIGINT, on_signal);
   std::signal(SIGTERM, on_signal);

@@ -2,15 +2,17 @@
 //
 //   dtp_top --socket /tmp/dtp.sock [--interval SEC] [--once] [--events N]
 //
-// Polls the daemon's stats/list/events protocol verbs on a refresh loop and
-// renders queue depth, per-state job counts, wait/service latency
-// percentiles, the job table and the most recent lifecycle events — a
-// single-screen answer to "what is the daemon doing right now" with no
-// dependencies beyond the daemon's own socket.
+// Polls the daemon's stats/list/events/profile protocol verbs on a refresh
+// loop and renders queue depth, per-state job counts, wait/service latency
+// percentiles, the job table, the sampling-profiler hot spots over a rolling
+// window and the most recent lifecycle events — a single-screen answer to
+// "what is the daemon doing right now" with no dependencies beyond the
+// daemon's own socket.
 //
-//   --once      render one frame and exit (scripts, CI)
-//   --interval  refresh period in seconds (default 1.0)
-//   --events    number of recent events to keep on screen (default 10)
+//   --once            render one frame and exit (scripts, CI)
+//   --interval        refresh period in seconds (default 1.0)
+//   --events          number of recent events to keep on screen (default 10)
+//   --profile-window  rolling hot-spot window in seconds (default 30)
 //
 // Exit codes: 0 after a clean frame (--once) or SIGINT, 1 on transport error,
 // 2 on a malformed response.
@@ -66,8 +68,41 @@ struct EventLine {
   std::string text;
 };
 
+// Hot-spots pane: top labels by self-time share over the daemon's rolling
+// profile window.  `profile` is the raw response of {"cmd":"profile"} — an
+// ok:false response (profiler disabled, or an older daemon without the verb)
+// degrades to a one-line notice instead of failing the frame.
+void render_profile(const JsonValue& profile, double window_sec) {
+  if (!profile.is_object() || !profile.has("ok") ||
+      !profile.at("ok").boolean || !profile.has("profile")) {
+    std::printf("\nhot spots: unavailable (%s)\n",
+                profile.is_object()
+                    ? profile.str_or("error", "no profile in response").c_str()
+                    : "malformed response");
+    return;
+  }
+  const JsonValue& p = profile.at("profile");
+  const double samples = p.num_or("samples", 0);
+  std::printf("\nhot spots (last ~%.0fs, %.0f samples at %.0f Hz):\n",
+              window_sec, samples, p.num_or("hz", 0));
+  if (!p.has("labels") || !p.at("labels").is_array() ||
+      p.at("labels").array.empty()) {
+    std::printf("  (no samples yet — daemon idle)\n");
+    return;
+  }
+  // Labels arrive sorted by self-time descending; show the top five.
+  size_t shown = 0;
+  for (const JsonValue& l : p.at("labels").array) {
+    if (shown++ == 5) break;
+    std::printf("  %5.1f%% self  %5.1f%% total  %s\n",
+                l.num_or("self_pct", 0), l.num_or("total_pct", 0),
+                l.str_or("label", "?").c_str());
+  }
+}
+
 void render(const std::string& socket, const JsonValue& stats,
-            const JsonValue& jobs, const std::deque<EventLine>& events,
+            const JsonValue& jobs, const JsonValue& profile,
+            double profile_window, const std::deque<EventLine>& events,
             uint64_t total_gap) {
   const JsonValue& s = stats.at("stats");
   std::printf("dtp_serve @ %s%s\n", socket.c_str(),
@@ -114,6 +149,8 @@ void render(const std::string& socket, const JsonValue& stats,
                 detail.c_str());
   }
 
+  render_profile(profile, profile_window);
+
   std::printf("\nevents (ring cursor %llu%s):\n",
               static_cast<unsigned long long>(
                   events.empty() ? 0 : events.back().seq),
@@ -128,7 +165,7 @@ void render(const std::string& socket, const JsonValue& stats,
 void usage() {
   std::fprintf(stderr,
                "usage: dtp_top --socket PATH [--interval SEC] [--once]"
-               " [--events N]\n");
+               " [--events N] [--profile-window SEC]\n");
 }
 
 }  // namespace
@@ -148,6 +185,8 @@ int main(int argc, char** argv) {
   const double interval = arg_double(argc, argv, "--interval", 1.0);
   const size_t keep =
       static_cast<size_t>(std::max(1, arg_int(argc, argv, "--events", 10)));
+  const double profile_window =
+      arg_double(argc, argv, "--profile-window", 30.0);
 
   std::signal(SIGINT, on_signal);
   std::signal(SIGPIPE, SIG_IGN);
@@ -157,7 +196,7 @@ int main(int argc, char** argv) {
   std::deque<EventLine> events;
 
   while (!g_stop.load()) {
-    JsonValue stats, jobs, evresp;
+    JsonValue stats, jobs, evresp, profile;
     std::string err;
     try {
       if (!ask(socket, R"({"cmd":"stats"})", &stats, &err) ||
@@ -165,6 +204,16 @@ int main(int argc, char** argv) {
           !ask(socket,
                R"({"cmd":"events","since":)" + std::to_string(cursor) + "}",
                &evresp, &err)) {
+        std::fprintf(stderr, "dtp_top: %s\n", err.c_str());
+        return 1;
+      }
+      // The profile verb may legitimately answer ok:false (profiler disabled,
+      // pre-profiler daemon); render_profile degrades, so only transport
+      // failures are fatal here.
+      std::string profile_req = R"({"cmd":"profile","window_sec":)";
+      profile_req += std::to_string(profile_window);
+      profile_req += "}";
+      if (!ask(socket, profile_req, &profile, &err)) {
         std::fprintf(stderr, "dtp_top: %s\n", err.c_str());
         return 1;
       }
@@ -194,7 +243,7 @@ int main(int argc, char** argv) {
     while (events.size() > keep) events.pop_front();
 
     if (!once) std::printf("\033[H\033[2J");  // home + clear between frames
-    render(socket, stats, jobs, events, total_gap);
+    render(socket, stats, jobs, profile, profile_window, events, total_gap);
     if (once) return 0;
     std::this_thread::sleep_for(std::chrono::duration<double>(interval));
   }
