@@ -1,0 +1,61 @@
+#include "kernels/fft.h"
+
+#include <cmath>
+#include <utility>
+
+#include "common/assert.h"
+
+namespace dtp::kernels {
+
+namespace {
+constexpr double kPi = 3.14159265358979323846;
+}
+
+Fft::Fft(size_t n) : n_(n) {
+  DTP_ASSERT_MSG(is_power_of_two(n), "FFT size must be a power of two");
+  bit_reverse_.resize(n);
+  size_t bits = 0;
+  while ((size_t{1} << bits) < n) ++bits;
+  for (size_t i = 0; i < n; ++i) {
+    size_t r = 0;
+    for (size_t b = 0; b < bits; ++b)
+      if (i & (size_t{1} << b)) r |= size_t{1} << (bits - 1 - b);
+    bit_reverse_[i] = r;
+  }
+  tw_re_.resize(n / 2);
+  tw_im_.resize(n / 2);
+  for (size_t k = 0; k < n / 2; ++k) {
+    tw_re_[k] = std::cos(2.0 * kPi * static_cast<double>(k) / static_cast<double>(n));
+    tw_im_[k] = -std::sin(2.0 * kPi * static_cast<double>(k) / static_cast<double>(n));
+  }
+}
+
+void Fft::transform(double* re, double* im, bool invert) const {
+  for (size_t i = 0; i < n_; ++i) {
+    const size_t j = bit_reverse_[i];
+    if (i < j) {
+      std::swap(re[i], re[j]);
+      std::swap(im[i], im[j]);
+    }
+  }
+  for (size_t len = 2; len <= n_; len <<= 1) {
+    const size_t step = n_ / len;
+    for (size_t block = 0; block < n_; block += len) {
+      for (size_t k = 0; k < len / 2; ++k) {
+        const size_t t = k * step;
+        const double wr = tw_re_[t];
+        const double wi = invert ? -tw_im_[t] : tw_im_[t];
+        const size_t a = block + k;
+        const size_t b = a + len / 2;
+        const double xr = re[b] * wr - im[b] * wi;
+        const double xi = re[b] * wi + im[b] * wr;
+        re[b] = re[a] - xr;
+        im[b] = im[a] - xi;
+        re[a] += xr;
+        im[a] += xi;
+      }
+    }
+  }
+}
+
+}  // namespace dtp::kernels

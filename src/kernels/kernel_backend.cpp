@@ -1,0 +1,74 @@
+#include "kernels/kernel_backend.h"
+
+#include <atomic>
+#include <cstdlib>
+
+#include "common/logger.h"
+
+namespace dtp::kernels {
+
+// Defined in scalar_backend.cpp / simd_backend.cpp.
+const KernelBackend& scalar_backend();
+const KernelBackend& simd_backend();
+
+namespace {
+
+struct Entry {
+  const char* name;
+  const KernelBackend& (*get)();
+};
+
+// Selection-priority order; scalar first so it is the default everywhere.
+constexpr Entry kRegistry[] = {
+    {"scalar", scalar_backend},
+    {"simd", simd_backend},
+};
+
+std::atomic<const KernelBackend*> g_current{nullptr};
+
+const KernelBackend* resolve_env() {
+  const char* env = std::getenv("DTP_KERNEL_BACKEND");
+  if (env != nullptr && env[0] != '\0') {
+    for (const Entry& e : kRegistry)
+      if (e.name == std::string(env)) return &e.get();
+    DTP_LOG_WARN("unknown DTP_KERNEL_BACKEND '%s'; using scalar", env);
+  }
+  return &kRegistry[0].get();
+}
+
+}  // namespace
+
+const KernelBackend& backend() {
+  const KernelBackend* cur = g_current.load(std::memory_order_relaxed);
+  if (cur == nullptr) {
+    // First use: latch the environment selection.  A concurrent first call
+    // resolves to the same pointer, so the race is benign.
+    cur = resolve_env();
+    g_current.store(cur, std::memory_order_relaxed);
+  }
+  return *cur;
+}
+
+bool set_backend(const std::string& name) {
+  for (const Entry& e : kRegistry) {
+    if (name == e.name) {
+      g_current.store(&e.get(), std::memory_order_relaxed);
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<std::string> backend_names() {
+  std::vector<std::string> out;
+  for (const Entry& e : kRegistry) out.emplace_back(e.name);
+  return out;
+}
+
+const KernelBackend* find_backend(const std::string& name) {
+  for (const Entry& e : kRegistry)
+    if (name == e.name) return &e.get();
+  return nullptr;
+}
+
+}  // namespace dtp::kernels

@@ -1,0 +1,123 @@
+// Kernel-backend seam (DESIGN.md §15): one dispatch layer for every hot loop
+// in the placer's inner iteration — Poisson spectral transforms + transposes,
+// density scatter/gather, the weighted-average wirelength gradient, and the
+// Liberty NLDM bilinear LUT interpolation pair.
+//
+// In the spirit of DG-RePlAce's dataflow-oriented kernels (PAPERS.md, arXiv
+// 2404.13049), callers never name an implementation: they fetch the process
+// backend with kernels::backend() and invoke virtual entry points.  Two
+// implementations register at startup:
+//
+//   scalar — the bitwise-golden default.  Results are pinned, bit for bit,
+//            by the golden placement tests; numeric changes here require
+//            re-capturing the golden constants.
+//   simd   — the same entry points compiled for auto-vectorization
+//            (restrict-qualified loops, -O3, optionally -march=native via
+//            -DDTP_SIMD_NATIVE=ON).  Validated by tolerance-equivalence
+//            tests against scalar, never by the golden suite.
+//
+// Selection: `--kernel-backend NAME` on the tools, or the DTP_KERNEL_BACKEND
+// environment variable (read once, on first use); scalar wins ties.  The
+// current backend is a single relaxed atomic pointer — swap it before
+// spawning placement work, not mid-solve.
+//
+// Contracts every backend must honor:
+//  * no allocation in any entry point (steady-state zero-alloc, DESIGN.md
+//    §10) — scratch lives in the DctPlan or is passed in by the caller;
+//  * every entry point publishes a DTP_PROF_SCOPE span so the sampling
+//    profiler (DESIGN.md §14) attributes time to the kernel layer;
+//  * scalar must keep the exact operation order the golden constants pin.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "kernels/transform.h"
+#include "liberty/lut.h"
+
+namespace dtp::kernels {
+
+// Bin-grid geometry for the density kernels (mirrors DensityModel).
+struct DensityGrid {
+  int m = 0;                        // bins per dimension
+  double bin_w = 0.0, bin_h = 0.0;  // bin extent in microns
+  double core_xl = 0.0, core_yl = 0.0;
+  double core_w = 0.0, core_h = 0.0;
+};
+
+// Borrowed SoA view of the cell population (caller owns the arrays).
+struct DensityCells {
+  const double* w = nullptr;     // cell widths
+  const double* h = nullptr;     // cell heights
+  const double* area = nullptr;  // w*h, 0 for pads
+  const char* movable = nullptr;
+  size_t n = 0;
+};
+
+class KernelBackend {
+ public:
+  virtual ~KernelBackend() = default;
+  virtual const char* name() const = 0;
+
+  // ---- Poisson transform family (power-of-two fast path) ----------------
+  // `rows` contiguous rows of length plan.size(); in/out must not overlap.
+  virtual void dct2_rows(const DctPlan& plan, const double* in, double* out,
+                         size_t rows) const = 0;
+  virtual void idct_rows(const DctPlan& plan, const double* in, double* out,
+                         size_t rows) const = 0;
+  // Sine synthesis rows; when col_scale != nullptr, element v of every input
+  // row is scaled by col_scale[v] first (fused into the coefficient pack).
+  virtual void idst_rows(const DctPlan& plan, const double* in,
+                         const double* col_scale, double* out,
+                         size_t rows) const = 0;
+  // Cache-blocked square transpose: dst[j*m+i] = src[i*m+j].
+  virtual void transpose(size_t m, const double* src, double* dst) const = 0;
+  // Fused twiddle+transpose: dst[j*m+i] = src[i*m+j] * row_scale[i].
+  virtual void transpose_scaled(size_t m, const double* src,
+                                const double* row_scale, double* dst) const = 0;
+
+  // ---- density scatter / gather -----------------------------------------
+  // Splat (+=) each movable cell's inflated footprint into rho (caller
+  // zeroes rho first).
+  virtual void density_scatter(const DensityGrid& grid,
+                               const DensityCells& cells, const double* x,
+                               const double* y, double* rho) const = 0;
+  // Accumulate (+=) -lambda * charge-weighted field into gx/gy.
+  virtual void density_gather(const DensityGrid& grid,
+                              const DensityCells& cells, const double* x,
+                              const double* y, const double* field_x,
+                              const double* field_y, double lambda, double* gx,
+                              double* gy) const = 0;
+
+  // ---- wirelength -------------------------------------------------------
+  // Per-axis weighted-average value and gradient for one net; grads is
+  // overwritten.  ep/em are caller-provided scratch of size n.
+  virtual double wa_axis(const double* coords, size_t n, double gamma,
+                         double* grads, double* ep, double* em) const = 0;
+
+  // ---- Liberty LUT pair -------------------------------------------------
+  // Delay + output-slew bilinear interpolation of one cell arc at the same
+  // (input slew, load) query point (the gather_arc_candidates inner loop).
+  virtual void lut_pair(const liberty::Lut& delay, const liberty::Lut& slew,
+                        double slew_in, double load,
+                        liberty::Lut::Query& delay_q,
+                        liberty::Lut::Query& slew_q) const = 0;
+};
+
+// The current process-wide backend.  First call resolves DTP_KERNEL_BACKEND
+// (unknown names warn and fall back to scalar); afterwards it is one relaxed
+// atomic load.
+const KernelBackend& backend();
+
+// Selects by name ("scalar", "simd"); returns false (selection unchanged)
+// for unknown names.
+bool set_backend(const std::string& name);
+
+// Registered backend names, selection-priority order.
+std::vector<std::string> backend_names();
+
+// Direct registry access (tests, tolerance-equivalence harnesses).
+const KernelBackend* find_backend(const std::string& name);
+
+}  // namespace dtp::kernels

@@ -1,0 +1,95 @@
+// SIMD kernel backend — identical kernel bodies, vector-friendly compilation.
+//
+// This TU includes the same kernel_impl.h as the scalar backend but is built
+// with -O3 -funroll-loops (plus -march=native when -DDTP_SIMD_NATIVE=ON), so
+// the restrict-qualified loops auto-vectorize and the compiler may contract
+// to FMA.  That perturbs the last ulps relative to scalar, which is why this
+// backend is validated by tolerance-equivalence tests (test_kernel_backend),
+// never by the golden bitwise suite.  kernel_impl.h's functions have internal
+// linkage precisely so this TU keeps its own optimized copies.
+#include "kernels/kernel_backend.h"
+
+#include "kernels/kernel_impl.h"
+#include "obs/trace.h"
+
+namespace dtp::kernels {
+
+namespace {
+
+class SimdBackend final : public KernelBackend {
+ public:
+  const char* name() const override { return "simd"; }
+
+  void dct2_rows(const DctPlan& plan, const double* in, double* out,
+                 size_t rows) const override {
+    DTP_PROF_SCOPE("k_dct2_rows");
+    const size_t m = plan.size();
+    for (size_t r = 0; r < rows; ++r)
+      impl::dct2_row(plan, in + r * m, out + r * m);
+  }
+
+  void idct_rows(const DctPlan& plan, const double* in, double* out,
+                 size_t rows) const override {
+    DTP_PROF_SCOPE("k_idct_rows");
+    const size_t m = plan.size();
+    for (size_t r = 0; r < rows; ++r)
+      impl::idct_row(plan, in + r * m, out + r * m);
+  }
+
+  void idst_rows(const DctPlan& plan, const double* in,
+                 const double* col_scale, double* out,
+                 size_t rows) const override {
+    DTP_PROF_SCOPE("k_idst_rows");
+    const size_t m = plan.size();
+    for (size_t r = 0; r < rows; ++r)
+      impl::idst_row(plan, in + r * m, col_scale, out + r * m);
+  }
+
+  void transpose(size_t m, const double* src, double* dst) const override {
+    DTP_PROF_SCOPE("k_transpose");
+    impl::transpose(m, src, dst);
+  }
+
+  void transpose_scaled(size_t m, const double* src, const double* row_scale,
+                        double* dst) const override {
+    DTP_PROF_SCOPE("k_transpose");
+    impl::transpose_scaled(m, src, row_scale, dst);
+  }
+
+  void density_scatter(const DensityGrid& grid, const DensityCells& cells,
+                       const double* x, const double* y,
+                       double* rho) const override {
+    DTP_PROF_SCOPE("k_density_scatter");
+    impl::density_scatter(grid, cells, x, y, rho);
+  }
+
+  void density_gather(const DensityGrid& grid, const DensityCells& cells,
+                      const double* x, const double* y, const double* field_x,
+                      const double* field_y, double lambda, double* gx,
+                      double* gy) const override {
+    DTP_PROF_SCOPE("k_density_gather");
+    impl::density_gather(grid, cells, x, y, field_x, field_y, lambda, gx, gy);
+  }
+
+  double wa_axis(const double* coords, size_t n, double gamma, double* grads,
+                 double* ep, double* em) const override {
+    DTP_PROF_SCOPE("k_wa_axis");
+    return impl::wa_axis(coords, n, gamma, grads, ep, em);
+  }
+
+  void lut_pair(const liberty::Lut& delay, const liberty::Lut& slew,
+                double slew_in, double load, liberty::Lut::Query& delay_q,
+                liberty::Lut::Query& slew_q) const override {
+    DTP_PROF_SCOPE("k_lut_pair");
+    impl::lut_pair(delay, slew, slew_in, load, delay_q, slew_q);
+  }
+};
+
+}  // namespace
+
+const KernelBackend& simd_backend() {
+  static const SimdBackend backend;
+  return backend;
+}
+
+}  // namespace dtp::kernels

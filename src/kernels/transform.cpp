@@ -1,0 +1,76 @@
+#include "kernels/transform.h"
+
+#include <cmath>
+
+#include "common/assert.h"
+
+namespace dtp::kernels {
+
+namespace {
+constexpr double kPi = 3.14159265358979323846;
+}
+
+HalfSampleDirect::HalfSampleDirect(size_t m) : m_(m) {
+  DTP_ASSERT(m >= 2);
+  cos_tab_.resize(m * m);
+  sin_tab_.resize(m * m);
+  for (size_t u = 0; u < m; ++u)
+    for (size_t x = 0; x < m; ++x) {
+      const double theta =
+          kPi * static_cast<double>(u) * (static_cast<double>(x) + 0.5) /
+          static_cast<double>(m);
+      cos_tab_[u * m + x] = std::cos(theta);
+      sin_tab_[u * m + x] = std::sin(theta);
+    }
+}
+
+void HalfSampleDirect::dct2(const double* in, double* out) const {
+  for (size_t u = 0; u < m_; ++u) {
+    double acc = 0.0;
+    const double* row = cos_tab_.data() + u * m_;
+    for (size_t x = 0; x < m_; ++x) acc += in[x] * row[x];
+    out[u] = acc;
+  }
+}
+
+void HalfSampleDirect::eval_cos(const double* in, double* out) const {
+  for (size_t x = 0; x < m_; ++x) {
+    double acc = 0.0;
+    for (size_t u = 0; u < m_; ++u) acc += in[u] * cos_tab_[u * m_ + x];
+    out[x] = acc;
+  }
+}
+
+void HalfSampleDirect::eval_sin(const double* in, double* out) const {
+  for (size_t x = 0; x < m_; ++x) {
+    double acc = 0.0;
+    for (size_t u = 0; u < m_; ++u) acc += in[u] * sin_tab_[u * m_ + x];
+    out[x] = acc;
+  }
+}
+
+DctPlan::DctPlan(size_t m) : m_(m), fft_(m / 2) {
+  DTP_ASSERT_MSG(m >= 2 && is_power_of_two(m),
+                 "DctPlan requires a power-of-two size");
+  cos_tw_.resize(m);
+  sin_tw_.resize(m);
+  for (size_t k = 0; k < m; ++k) {
+    const double theta = kPi * static_cast<double>(k) / (2.0 * static_cast<double>(m));
+    cos_tw_[k] = std::cos(theta);
+    sin_tw_[k] = std::sin(theta);
+  }
+  const size_t h = m / 2;
+  unpack_re_.resize(h);
+  unpack_im_.resize(h);
+  for (size_t k = 0; k < h; ++k) {
+    const double theta = 2.0 * kPi * static_cast<double>(k) / static_cast<double>(m);
+    unpack_re_[k] = std::cos(theta);
+    unpack_im_[k] = std::sin(theta);
+  }
+  zre_.resize(h);
+  zim_.resize(h);
+  v_.resize(m);
+  rev_.resize(m);
+}
+
+}  // namespace dtp::kernels

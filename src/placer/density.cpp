@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/assert.h"
+#include "kernels/kernel_backend.h"
 #include "obs/trace.h"
 
 namespace dtp::placer {
@@ -36,52 +37,35 @@ DensityModel::DensityModel(const netlist::Design& design, int bins_per_dim,
   rho_.assign(static_cast<size_t>(m_) * m_, 0.0);
 }
 
-DensityModel::Footprint DensityModel::footprint(size_t c, double x,
-                                                double y) const {
-  // Inflate to at least bin dimensions, keeping the center and total charge.
-  const double w = std::max(cell_w_[c], bin_w_);
-  const double h = std::max(cell_h_[c], bin_h_);
-  const double cx = x + 0.5 * cell_w_[c];
-  const double cy = y + 0.5 * cell_h_[c];
-  Footprint f;
-  f.xl = cx - 0.5 * w;
-  f.xh = cx + 0.5 * w;
-  f.yl = cy - 0.5 * h;
-  f.yh = cy + 0.5 * h;
-  f.scale = cell_area_[c] / (w * h);  // charge density inside the footprint
-  return f;
+kernels::DensityGrid DensityModel::grid_view() const {
+  const Rect& core = design_->floorplan.core;
+  kernels::DensityGrid g;
+  g.m = m_;
+  g.bin_w = bin_w_;
+  g.bin_h = bin_h_;
+  g.core_xl = core.xl;
+  g.core_yl = core.yl;
+  g.core_w = core.width();
+  g.core_h = core.height();
+  return g;
+}
+
+kernels::DensityCells DensityModel::cells_view() const {
+  kernels::DensityCells cells;
+  cells.w = cell_w_.data();
+  cells.h = cell_h_.data();
+  cells.area = cell_area_.data();
+  cells.movable = movable_.data();
+  cells.n = cell_w_.size();
+  return cells;
 }
 
 DensityStats DensityModel::update(std::span<const double> x,
                                   std::span<const double> y) {
   DTP_TRACE_SCOPE("density_update");
-  const Rect& core = design_->floorplan.core;
   std::fill(rho_.begin(), rho_.end(), 0.0);
-
-  for (size_t c = 0; c < cell_w_.size(); ++c) {
-    if (!movable_[c] || cell_area_[c] <= 0.0) continue;
-    const Footprint f = footprint(c, x[c], y[c]);
-    // Clamp to the core and convert to bin index ranges.
-    const double xl = std::max(f.xl - core.xl, 0.0);
-    const double xh = std::min(f.xh - core.xl, core.width());
-    const double yl = std::max(f.yl - core.yl, 0.0);
-    const double yh = std::min(f.yh - core.yl, core.height());
-    if (xl >= xh || yl >= yh) continue;
-    const int bx0 = std::clamp(static_cast<int>(xl / bin_w_), 0, m_ - 1);
-    const int bx1 = std::clamp(static_cast<int>(xh / bin_w_), 0, m_ - 1);
-    const int by0 = std::clamp(static_cast<int>(yl / bin_h_), 0, m_ - 1);
-    const int by1 = std::clamp(static_cast<int>(yh / bin_h_), 0, m_ - 1);
-    for (int bx = bx0; bx <= bx1; ++bx) {
-      const double ox = std::min(xh, (bx + 1) * bin_w_) - std::max(xl, bx * bin_w_);
-      if (ox <= 0.0) continue;
-      for (int by = by0; by <= by1; ++by) {
-        const double oy =
-            std::min(yh, (by + 1) * bin_h_) - std::max(yl, by * bin_h_);
-        if (oy <= 0.0) continue;
-        rho_[static_cast<size_t>(bx) * m_ + by] += f.scale * ox * oy;
-      }
-    }
-  }
+  kernels::backend().density_scatter(grid_view(), cells_view(), x.data(),
+                                     y.data(), rho_.data());
 
   {
     DTP_TRACE_SCOPE("poisson_solve");
@@ -105,37 +89,9 @@ void DensityModel::add_gradient(std::span<const double> x,
                                 std::span<const double> y, double lambda,
                                 std::span<double> gx, std::span<double> gy) const {
   DTP_TRACE_SCOPE("density_grad");
-  const Rect& core = design_->floorplan.core;
-  for (size_t c = 0; c < cell_w_.size(); ++c) {
-    if (!movable_[c] || cell_area_[c] <= 0.0) continue;
-    const Footprint f = footprint(c, x[c], y[c]);
-    const double xl = std::max(f.xl - core.xl, 0.0);
-    const double xh = std::min(f.xh - core.xl, core.width());
-    const double yl = std::max(f.yl - core.yl, 0.0);
-    const double yh = std::min(f.yh - core.yl, core.height());
-    if (xl >= xh || yl >= yh) continue;
-    const int bx0 = std::clamp(static_cast<int>(xl / bin_w_), 0, m_ - 1);
-    const int bx1 = std::clamp(static_cast<int>(xh / bin_w_), 0, m_ - 1);
-    const int by0 = std::clamp(static_cast<int>(yl / bin_h_), 0, m_ - 1);
-    const int by1 = std::clamp(static_cast<int>(yh / bin_h_), 0, m_ - 1);
-    double fx = 0.0, fy = 0.0;
-    for (int bx = bx0; bx <= bx1; ++bx) {
-      const double ox = std::min(xh, (bx + 1) * bin_w_) - std::max(xl, bx * bin_w_);
-      if (ox <= 0.0) continue;
-      for (int by = by0; by <= by1; ++by) {
-        const double oy =
-            std::min(yh, (by + 1) * bin_h_) - std::max(yl, by * bin_h_);
-        if (oy <= 0.0) continue;
-        const double q = f.scale * ox * oy;
-        fx += q * field_x_[static_cast<size_t>(bx) * m_ + by];
-        fy += q * field_y_[static_cast<size_t>(bx) * m_ + by];
-      }
-    }
-    // The force -q*grad(psi) = +q*field pulls cells from dense to sparse
-    // regions; as an objective gradient it enters with the opposite sign.
-    gx[c] += -lambda * fx;
-    gy[c] += -lambda * fy;
-  }
+  kernels::backend().density_gather(grid_view(), cells_view(), x.data(),
+                                    y.data(), field_x_.data(), field_y_.data(),
+                                    lambda, gx.data(), gy.data());
 }
 
 }  // namespace dtp::placer

@@ -16,6 +16,7 @@
 #include <span>
 #include <vector>
 
+#include "kernels/kernel_backend.h"
 #include "netlist/netlist.h"
 #include "placer/poisson.h"
 
@@ -52,12 +53,10 @@ class DensityModel {
   const std::vector<double>& potential() const { return psi_; }
 
  private:
-  // Inflated footprint of cell c at (x, y): [xl, xh) x [yl, yh) and charge
-  // density scale so that area is preserved.
-  struct Footprint {
-    double xl, xh, yl, yh, scale;
-  };
-  Footprint footprint(size_t c, double x, double y) const;
+  // Borrowed views handed to the kernel backend's scatter/gather entry
+  // points (which own the footprint-inflation math, see kernel_impl.h).
+  kernels::DensityGrid grid_view() const;
+  kernels::DensityCells cells_view() const;
 
   const netlist::Design* design_;
   int m_;

@@ -11,10 +11,13 @@
 //   field_x  = -d(psi)/dx = sum psi_hat * k_u * sin(k_u x) cos(k_v y)
 //   field_y  analogously with cos*sin.
 //
-// For power-of-two grids every transform runs as a size-2m complex FFT with
-// twiddle rotations (O(m^2 log m) per solve) — the CPU analogue of
-// DREAMPlace's dct2_fft2 CUDA kernels; other sizes fall back to direct
-// O(m^3) cosine/sine sums (also the test oracle for the FFT path).
+// For power-of-two grids every transform row runs as ONE size-m/2 complex
+// FFT of the packed real sequence (kernels::DctPlan, arXiv 2510.21547) —
+// roughly 4x fewer butterflies than the size-2m complex FFT this solver
+// used before the kernel-backend seam; other sizes fall back to direct
+// O(m^3) cosine/sine sums (kernels::HalfSampleDirect, also the test oracle)
+// with a one-time warning and the `placer.poisson.slow_path` counter.  All
+// hot loops dispatch through kernels::backend().
 #pragma once
 
 #include <memory>

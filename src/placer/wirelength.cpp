@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/assert.h"
+#include "kernels/kernel_backend.h"
 #include "obs/trace.h"
 
 namespace dtp::placer {
@@ -23,42 +24,6 @@ WirelengthModel::WirelengthModel(const netlist::Design& design,
       nets_.push_back(static_cast<NetId>(n));
   }
 }
-
-namespace {
-
-// Per-axis WA value and gradient for one net. `coords` are the pin positions
-// on this axis; `grads` receives d(WA)/d(coord_i) (overwritten).
-double wa_axis(std::span<const double> coords, double gamma,
-               std::span<double> grads) {
-  const size_t n = coords.size();
-  double cmax = coords[0], cmin = coords[0];
-  for (double c : coords) {
-    cmax = std::max(cmax, c);
-    cmin = std::min(cmin, c);
-  }
-  double sp = 0.0, tp = 0.0, sm = 0.0, tm = 0.0;
-  thread_local std::vector<double> ep, em;
-  ep.resize(n);
-  em.resize(n);
-  for (size_t i = 0; i < n; ++i) {
-    ep[i] = std::exp((coords[i] - cmax) / gamma);
-    em[i] = std::exp(-(coords[i] - cmin) / gamma);
-    sp += ep[i];
-    tp += coords[i] * ep[i];
-    sm += em[i];
-    tm += coords[i] * em[i];
-  }
-  const double wa_p = tp / sp;
-  const double wa_m = tm / sm;
-  for (size_t i = 0; i < n; ++i) {
-    const double gp = ep[i] / sp * (1.0 + (coords[i] - wa_p) / gamma);
-    const double gm = em[i] / sm * (1.0 - (coords[i] - wa_m) / gamma);
-    grads[i] = gp - gm;
-  }
-  return wa_p - wa_m;
-}
-
-}  // namespace
 
 double WirelengthModel::hpwl(std::span<const double> x,
                              std::span<const double> y) const {
@@ -110,8 +75,11 @@ double WirelengthModel::value_and_gradient(std::span<const double> x,
                                            std::span<double> gy) const {
   DTP_TRACE_SCOPE("wirelength_grad");
   const netlist::Netlist& nl = design_->netlist;
+  const kernels::KernelBackend& kb = kernels::backend();
   double total = 0.0;
-  thread_local std::vector<double> px, py, dgx, dgy;
+  // Per-net pin scratch plus the WA kernel's exp scratch (ep/em) — the
+  // backend entry points never allocate, so the caller owns all of it.
+  thread_local std::vector<double> px, py, dgx, dgy, ep, em;
   for (NetId n : nets_) {
     const netlist::Net& net = nl.net(n);
     const size_t deg = net.pins.size();
@@ -120,6 +88,8 @@ double WirelengthModel::value_and_gradient(std::span<const double> x,
     py.resize(deg);
     dgx.resize(deg);
     dgy.resize(deg);
+    ep.resize(deg);
+    em.resize(deg);
     for (size_t i = 0; i < deg; ++i) {
       const PinId p = net.pins[i];
       const CellId c = nl.pin(p).cell;
@@ -127,8 +97,10 @@ double WirelengthModel::value_and_gradient(std::span<const double> x,
       px[i] = x[static_cast<size_t>(c)] + off.x;
       py[i] = y[static_cast<size_t>(c)] + off.y;
     }
-    total += w * wa_axis(px, gamma_, dgx);
-    total += w * wa_axis(py, gamma_, dgy);
+    total += w * kb.wa_axis(px.data(), deg, gamma_, dgx.data(), ep.data(),
+                            em.data());
+    total += w * kb.wa_axis(py.data(), deg, gamma_, dgy.data(), ep.data(),
+                            em.data());
     for (size_t i = 0; i < deg; ++i) {
       const CellId c = nl.pin(net.pins[i]).cell;
       gx[static_cast<size_t>(c)] += w * dgx[i];

@@ -1,0 +1,260 @@
+// Kernel-backend registry semantics plus scalar/simd equivalence for every
+// kernel family.  The simd backend is compiled with aggressive flags and is
+// only required to agree with scalar within tolerance (FMA contraction and
+// vector reassociation may flip last ulps); the tolerances here ARE the
+// documented contract (DESIGN.md §15).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "kernels/kernel_backend.h"
+#include "kernels/transform.h"
+#include "liberty/lut.h"
+#include "obs/metrics.h"
+#include "placer/poisson.h"
+
+namespace dtp::kernels {
+namespace {
+
+// Relative-ish tolerance for scalar-vs-simd agreement: |a-b| must not exceed
+// kTol * max(1, |a|).
+constexpr double kTol = 1e-12;
+
+void expect_close(double a, double b, const char* what) {
+  EXPECT_LE(std::fabs(a - b), kTol * std::max(1.0, std::fabs(a)))
+      << what << ": scalar=" << a << " simd=" << b;
+}
+
+// Every test must leave the process backend on the scalar default.
+class KernelBackendTest : public ::testing::Test {
+ protected:
+  void TearDown() override { ASSERT_TRUE(set_backend("scalar")); }
+};
+
+TEST_F(KernelBackendTest, RegistryListsScalarFirst) {
+  const std::vector<std::string> names = backend_names();
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "scalar");
+  EXPECT_EQ(names[1], "simd");
+}
+
+TEST_F(KernelBackendTest, DefaultBackendIsScalar) {
+  EXPECT_STREQ(backend().name(), "scalar");
+}
+
+TEST_F(KernelBackendTest, FindBackendResolvesKnownNamesOnly) {
+  ASSERT_NE(find_backend("scalar"), nullptr);
+  ASSERT_NE(find_backend("simd"), nullptr);
+  EXPECT_STREQ(find_backend("scalar")->name(), "scalar");
+  EXPECT_STREQ(find_backend("simd")->name(), "simd");
+  EXPECT_EQ(find_backend("avx1024"), nullptr);
+  EXPECT_EQ(find_backend(""), nullptr);
+}
+
+TEST_F(KernelBackendTest, SetBackendRejectsUnknownAndKeepsSelection) {
+  ASSERT_TRUE(set_backend("simd"));
+  EXPECT_STREQ(backend().name(), "simd");
+  EXPECT_FALSE(set_backend("gpu"));
+  EXPECT_STREQ(backend().name(), "simd");  // unchanged by the failed set
+  ASSERT_TRUE(set_backend("scalar"));
+  EXPECT_STREQ(backend().name(), "scalar");
+}
+
+// ---- per-family scalar/simd equivalence ----------------------------------
+
+TEST_F(KernelBackendTest, TransformRowsAgreeAcrossBackends) {
+  const KernelBackend& sc = *find_backend("scalar");
+  const KernelBackend& si = *find_backend("simd");
+  for (size_t m : {4u, 32u, 128u}) {
+    DctPlan plan(m);
+    const size_t rows = 3;
+    Rng rng(m);
+    std::vector<double> in(rows * m), a(rows * m), b(rows * m), scale(m);
+    for (auto& v : in) v = rng.uniform(-2, 2);
+    for (size_t u = 0; u < m; ++u) scale[u] = 0.1 + 0.01 * static_cast<double>(u);
+
+    sc.dct2_rows(plan, in.data(), a.data(), rows);
+    si.dct2_rows(plan, in.data(), b.data(), rows);
+    for (size_t i = 0; i < rows * m; ++i) expect_close(a[i], b[i], "dct2");
+
+    sc.idct_rows(plan, in.data(), a.data(), rows);
+    si.idct_rows(plan, in.data(), b.data(), rows);
+    for (size_t i = 0; i < rows * m; ++i) expect_close(a[i], b[i], "idct");
+
+    sc.idst_rows(plan, in.data(), scale.data(), a.data(), rows);
+    si.idst_rows(plan, in.data(), scale.data(), b.data(), rows);
+    for (size_t i = 0; i < rows * m; ++i) expect_close(a[i], b[i], "idst");
+
+    std::vector<double> sq(m * m), ta(m * m), tb(m * m);
+    for (auto& v : sq) v = rng.uniform(-1, 1);
+    sc.transpose(m, sq.data(), ta.data());
+    si.transpose(m, sq.data(), tb.data());
+    for (size_t i = 0; i < m * m; ++i)
+      EXPECT_EQ(ta[i], tb[i]) << "transpose is pure data movement";
+  }
+}
+
+TEST_F(KernelBackendTest, TransposeScaledAgreesAcrossBackends) {
+  const KernelBackend& sc = *find_backend("scalar");
+  const KernelBackend& si = *find_backend("simd");
+  const size_t m = 96;  // non-multiple of the tile size exercises edge tiles
+  Rng rng(9);
+  std::vector<double> src(m * m), scale(m), a(m * m), b(m * m);
+  for (auto& v : src) v = rng.uniform(-1, 1);
+  for (auto& v : scale) v = rng.uniform(0.5, 2.0);
+  sc.transpose_scaled(m, src.data(), scale.data(), a.data());
+  si.transpose_scaled(m, src.data(), scale.data(), b.data());
+  for (size_t i = 0; i < m * m; ++i) expect_close(a[i], b[i], "transpose_scaled");
+  // And against the definition.
+  for (size_t i = 0; i < m; ++i)
+    for (size_t j = 0; j < m; ++j)
+      EXPECT_DOUBLE_EQ(a[j * m + i], src[i * m + j] * scale[i]);
+}
+
+TEST_F(KernelBackendTest, DensityKernelsAgreeAcrossBackends) {
+  const KernelBackend& sc = *find_backend("scalar");
+  const KernelBackend& si = *find_backend("simd");
+  const int m = 16;
+  DensityGrid grid;
+  grid.m = m;
+  grid.bin_w = 2.0;
+  grid.bin_h = 1.5;
+  grid.core_xl = 10.0;
+  grid.core_yl = 5.0;
+  grid.core_w = m * grid.bin_w;
+  grid.core_h = m * grid.bin_h;
+
+  const size_t n = 200;
+  Rng rng(77);
+  std::vector<double> w(n), h(n), area(n), x(n), y(n);
+  std::vector<char> movable(n);
+  for (size_t c = 0; c < n; ++c) {
+    w[c] = rng.uniform(0.3, 6.0);
+    h[c] = rng.uniform(0.3, 4.0);
+    area[c] = w[c] * h[c];
+    movable[c] = rng.uniform(0, 1) < 0.9 ? 1 : 0;
+    // Include some cells straddling / outside the core boundary.
+    x[c] = grid.core_xl + rng.uniform(-4.0, grid.core_w + 2.0);
+    y[c] = grid.core_yl + rng.uniform(-4.0, grid.core_h + 2.0);
+  }
+  DensityCells cells{w.data(), h.data(), area.data(), movable.data(), n};
+
+  const size_t mm = static_cast<size_t>(m) * m;
+  std::vector<double> rho_a(mm, 0.0), rho_b(mm, 0.0);
+  sc.density_scatter(grid, cells, x.data(), y.data(), rho_a.data());
+  si.density_scatter(grid, cells, x.data(), y.data(), rho_b.data());
+  for (size_t i = 0; i < mm; ++i) expect_close(rho_a[i], rho_b[i], "scatter");
+
+  std::vector<double> fx(mm), fy(mm);
+  for (auto& v : fx) v = rng.uniform(-1, 1);
+  for (auto& v : fy) v = rng.uniform(-1, 1);
+  std::vector<double> gxa(n, 0.125), gya(n, -0.5), gxb(n, 0.125), gyb(n, -0.5);
+  sc.density_gather(grid, cells, x.data(), y.data(), fx.data(), fy.data(), 0.7,
+                    gxa.data(), gya.data());
+  si.density_gather(grid, cells, x.data(), y.data(), fx.data(), fy.data(), 0.7,
+                    gxb.data(), gyb.data());
+  for (size_t c = 0; c < n; ++c) {
+    expect_close(gxa[c], gxb[c], "gather gx");
+    expect_close(gya[c], gyb[c], "gather gy");
+  }
+}
+
+TEST_F(KernelBackendTest, WaAxisAgreesAcrossBackends) {
+  const KernelBackend& sc = *find_backend("scalar");
+  const KernelBackend& si = *find_backend("simd");
+  Rng rng(5);
+  for (size_t n : {2u, 3u, 17u, 64u}) {
+    std::vector<double> coords(n), ga(n), gb(n), ep(n), em(n);
+    for (auto& c : coords) c = rng.uniform(-50, 50);
+    const double va =
+        sc.wa_axis(coords.data(), n, 4.0, ga.data(), ep.data(), em.data());
+    const double vb =
+        si.wa_axis(coords.data(), n, 4.0, gb.data(), ep.data(), em.data());
+    expect_close(va, vb, "wa value");
+    for (size_t i = 0; i < n; ++i) expect_close(ga[i], gb[i], "wa grad");
+  }
+}
+
+TEST_F(KernelBackendTest, LutPairAgreesAcrossBackendsAndDirectLookup) {
+  const KernelBackend& sc = *find_backend("scalar");
+  const KernelBackend& si = *find_backend("simd");
+  const liberty::Lut delay({0.01, 0.05, 0.2}, {0.001, 0.004, 0.02, 0.1},
+                           {0.10, 0.12, 0.18, 0.40,  //
+                            0.14, 0.16, 0.24, 0.48,  //
+                            0.30, 0.33, 0.42, 0.70});
+  const liberty::Lut slew({0.01, 0.05, 0.2}, {0.001, 0.004, 0.02, 0.1},
+                          {0.02, 0.03, 0.06, 0.20,  //
+                           0.03, 0.04, 0.08, 0.24,  //
+                           0.07, 0.08, 0.13, 0.33});
+  Rng rng(13);
+  for (int k = 0; k < 50; ++k) {
+    const double s = rng.uniform(0.0, 0.3);   // includes extrapolation
+    const double l = rng.uniform(0.0, 0.15);
+    liberty::Lut::Query da, sa, db, sb;
+    sc.lut_pair(delay, slew, s, l, da, sa);
+    si.lut_pair(delay, slew, s, l, db, sb);
+    expect_close(da.value, db.value, "delay value");
+    expect_close(da.d_dx, db.d_dx, "delay d_dx");
+    expect_close(da.d_dy, db.d_dy, "delay d_dy");
+    expect_close(sa.value, sb.value, "slew value");
+    // The scalar pair must be the two direct queries, bit for bit.
+    const liberty::Lut::Query dref = delay.lookup_grad(s, l);
+    const liberty::Lut::Query sref = slew.lookup_grad(s, l);
+    EXPECT_EQ(da.value, dref.value);
+    EXPECT_EQ(da.d_dx, dref.d_dx);
+    EXPECT_EQ(da.d_dy, dref.d_dy);
+    EXPECT_EQ(sa.value, sref.value);
+  }
+}
+
+// ---- solver integration ---------------------------------------------------
+
+TEST_F(KernelBackendTest, PoissonSolveAgreesAcrossBackends) {
+  const int m = 32;
+  Rng rng(21);
+  std::vector<double> rho(static_cast<size_t>(m) * m);
+  for (auto& r : rho) r = rng.uniform(0.0, 1.0);
+
+  auto run = [&](const char* name, std::vector<double>& psi,
+                 std::vector<double>& ex, std::vector<double>& ey) {
+    ASSERT_TRUE(set_backend(name));
+    placer::PoissonSolver solver(m, 50.0, 40.0);
+    ASSERT_TRUE(solver.uses_fft());
+    solver.solve(rho, psi, ex, ey);
+  };
+  std::vector<double> psi_a, ex_a, ey_a, psi_b, ex_b, ey_b;
+  run("scalar", psi_a, ex_a, ey_a);
+  run("simd", psi_b, ex_b, ey_b);
+  for (size_t i = 0; i < psi_a.size(); ++i) {
+    expect_close(psi_a[i], psi_b[i], "psi");
+    expect_close(ex_a[i], ex_b[i], "field_x");
+    expect_close(ey_a[i], ey_b[i], "field_y");
+  }
+}
+
+TEST_F(KernelBackendTest, NonPowerOfTwoGridCountsSlowPathSolves) {
+  obs::Counter& slow =
+      obs::MetricsRegistry::instance().counter("placer.poisson.slow_path");
+  const int m = 12;
+  placer::PoissonSolver solver(m, 30.0, 30.0);
+  EXPECT_FALSE(solver.uses_fft());
+  std::vector<double> rho(static_cast<size_t>(m) * m, 0.25);
+  std::vector<double> psi, ex, ey;
+  const uint64_t before = slow.value();
+  solver.solve(rho, psi, ex, ey);
+  solver.solve(rho, psi, ex, ey);
+  EXPECT_EQ(slow.value(), before + 2);
+
+  // The fast path must not touch the counter.
+  placer::PoissonSolver fast(16, 30.0, 30.0);
+  std::vector<double> rho16(16 * 16, 0.25);
+  const uint64_t mid = slow.value();
+  fast.solve(rho16, psi, ex, ey);
+  EXPECT_EQ(slow.value(), mid);
+}
+
+}  // namespace
+}  // namespace dtp::kernels

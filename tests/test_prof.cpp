@@ -414,6 +414,46 @@ TEST(BenchDiff, SubMillisecondBaselineNeverGates) {
   EXPECT_EQ(bench_diff(tiny_a, tiny_b, {}, nullptr), 0);
 }
 
+TEST(BenchDiff, ProvenanceMismatchWarnsButNeverGates) {
+  BenchSuiteResult old_suite = make_suite(1.0);
+  old_suite.threads = 1;
+  old_suite.commit = "aaa1111";
+  old_suite.kernel_backend = "scalar";
+  BenchSuiteResult new_suite = make_suite(1.0);
+  new_suite.threads = 8;
+  new_suite.commit = "bbb2222";
+  new_suite.kernel_backend = "simd";
+  const JsonValue a = JsonParser::parse(bench_json(old_suite));
+  const JsonValue b = JsonParser::parse(bench_json(new_suite));
+  EXPECT_EQ(a.str_or("kernel_backend", ""), "scalar");
+  EXPECT_EQ(JsonParser::parse(bench_history_line(b)).str_or("kernel_backend", ""),
+            "simd");
+
+  std::FILE* out = std::tmpfile();
+  ASSERT_NE(out, nullptr);
+  EXPECT_EQ(bench_diff(a, b, {}, out), 0);  // warnings are non-fatal
+  std::rewind(out);
+  std::string text(1 << 14, '\0');
+  text.resize(std::fread(text.data(), 1, text.size(), out));
+  std::fclose(out);
+  EXPECT_NE(text.find("thread counts differ (old 1, new 8)"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("kernel backends differ (old scalar, new simd)"),
+            std::string::npos);
+  EXPECT_NE(text.find("commits differ (old aaa1111, new bbb2222)"),
+            std::string::npos);
+
+  // Identical provenance stays quiet.
+  out = std::tmpfile();
+  ASSERT_NE(out, nullptr);
+  EXPECT_EQ(bench_diff(a, a, {}, out), 0);
+  std::rewind(out);
+  std::string quiet(1 << 14, '\0');
+  quiet.resize(std::fread(quiet.data(), 1, quiet.size(), out));
+  std::fclose(out);
+  EXPECT_EQ(quiet.find("WARNING"), std::string::npos) << quiet;
+}
+
 TEST(BenchDiff, MalformedInputsExitOne) {
   const JsonValue good = JsonParser::parse(bench_json(make_suite(1.0)));
   const JsonValue not_bench = JsonParser::parse(R"({"type":"iter"})");
